@@ -1,0 +1,77 @@
+//! Ablation: **eager reservation vs best-effort contiguity** (the paper's
+//! §7 argument against CA-paging-style approaches). Sweeps co-runner churn
+//! pressure and prints host-PT fragmentation for the default allocator, the
+//! CA-paging-like best-effort allocator, and PTEMagnet. Expected shape:
+//! best-effort degrades as churn rises; PTEMagnet stays at 1.0.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{AllocatorKind, Scenario};
+use vmsim_workloads::{BenchId, CoId};
+
+fn bench_besteffort(c: &mut Criterion) {
+    let ops = measure_ops_from_env(15_000);
+    println!("Ablation: best-effort contiguity vs eager reservation (pagerank + objdet)");
+    println!(
+        "{:<14} {:>9} {:>12} {:>10}",
+        "churn-weight", "default", "ca-paging", "ptemagnet"
+    );
+    for weight in [1u32, 2, 4, 8] {
+        let frag = |kind: AllocatorKind| {
+            Scenario::new(BenchId::Pagerank)
+                .corunners(&[CoId::Objdet])
+                .corunner_weight(weight)
+                .allocator(kind)
+                .measure_ops(ops)
+                .run()
+                .host_frag
+        };
+        println!(
+            "{:<14} {:>9.2} {:>12.2} {:>10.2}",
+            weight,
+            frag(AllocatorKind::Default),
+            frag(AllocatorKind::CaPagingLike),
+            frag(AllocatorKind::PteMagnet),
+        );
+    }
+
+    // Criterion part: allocation cost of the three policies under churn.
+    let mut group = c.benchmark_group("besteffort_alloc_path");
+    for kind in [
+        AllocatorKind::Default,
+        AllocatorKind::CaPagingLike,
+        AllocatorKind::PteMagnet,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            use vmsim_os::{GuestBuddy, Pid};
+            use vmsim_types::GuestVirtPage;
+            b.iter_batched(
+                || (kind.build(), GuestBuddy::new(1 << 14)),
+                |(mut a, mut buddy)| {
+                    for vpn in 0..1024u64 {
+                        black_box(
+                            a.allocate(Pid(1), GuestVirtPage::new(vpn), &mut buddy)
+                                .expect("alloc"),
+                        );
+                        // Interleave a churner to contest neighbour frames.
+                        black_box(
+                            a.allocate(Pid(2), GuestVirtPage::new(1 << 20 | vpn), &mut buddy)
+                                .expect("alloc"),
+                        );
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_besteffort
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: **reservation granularity** (§4.1 fixes 8 pages = one cache
+//! line of PTEs). Sweeps 1/2/4/8/16-page groups and prints host-PT
+//! fragmentation, memory overhead, and improvement. Expected shape: the
+//! walk benefit saturates at 8 pages (one 64-byte line holds only 8 PTEs)
+//! while reserved-unused overhead keeps growing past it.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::GranularReservationAllocator;
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::Scenario;
+use vmsim_workloads::{BenchId, CoId};
+
+fn bench_granularity(c: &mut Criterion) {
+    let ops = measure_ops_from_env(25_000);
+    let baseline = Scenario::new(BenchId::Pagerank)
+        .corunners(&[CoId::Objdet])
+        .corunner_weight(4)
+        .measure_ops(ops)
+        .run();
+    println!("Ablation: reservation granularity (pagerank + objdet)");
+    println!(
+        "{:<8} {:>9} {:>12} {:>12}",
+        "pages", "hostfrag", "improvement", "unused-peak"
+    );
+    println!(
+        "{:<8} {:>9.2} {:>11.1}% {:>12}",
+        "none", baseline.host_frag, 0.0, baseline.reserved_unused_peak
+    );
+    for order in 0..=4u32 {
+        let m = Scenario::new(BenchId::Pagerank)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .custom_allocator(Box::new(GranularReservationAllocator::new(order)))
+            .measure_ops(ops)
+            .run();
+        println!(
+            "{:<8} {:>9.2} {:>11.1}% {:>12}",
+            1u64 << order,
+            m.host_frag,
+            m.improvement_over(&baseline) * 100.0,
+            m.reserved_unused_peak
+        );
+    }
+
+    // Criterion part: allocator fault-path cost by granularity.
+    let mut group = c.benchmark_group("granularity_fault_path");
+    for order in [0u32, 3, 4] {
+        group.bench_function(format!("order{order}"), |b| {
+            use vmsim_os::{GuestBuddy, GuestFrameAllocator, Pid};
+            use vmsim_types::GuestVirtPage;
+            b.iter_batched(
+                || {
+                    (
+                        GranularReservationAllocator::new(order),
+                        GuestBuddy::new(1 << 14),
+                    )
+                },
+                |(mut a, mut buddy)| {
+                    for vpn in 0..2048u64 {
+                        black_box(
+                            a.allocate(Pid(1), GuestVirtPage::new(vpn), &mut buddy)
+                                .expect("alloc"),
+                        );
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_granularity
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: **LLC capacity** (artifact appendix A.3.2). Prints the
+//! improvement-vs-LLC-size sweep, then criterion-benches the hierarchy's
+//! access path at two capacities.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::measure_ops_from_env;
+use vmsim_cache::{AccessKind, CacheConfig, CacheHierarchy, HierarchyConfig};
+use vmsim_sim::llc_sensitivity;
+use vmsim_types::HostPhysAddr;
+
+fn bench_llc(c: &mut Criterion) {
+    let ops = measure_ops_from_env(20_000);
+    println!("LLC sensitivity (reduced scale):");
+    for (mb, imp) in llc_sensitivity(0, ops, &[4, 16]) {
+        println!("  {mb:>2} MB: {:+.1}%", imp * 100.0);
+    }
+
+    let mut group = c.benchmark_group("llc_access_path");
+    for mb in [4u64, 32] {
+        let mut config = HierarchyConfig::broadwell(1);
+        config.llc = CacheConfig::from_capacity(mb * 1024 * 1024, 16);
+        let mut h = CacheHierarchy::new(config);
+        let mut i = 0u64;
+        group.bench_function(format!("llc_{mb}mb"), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let line = i % (1 << 18);
+                black_box(h.access(0, HostPhysAddr::new(line * 64), AccessKind::Data))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_llc
+}
+criterion_main!(benches);

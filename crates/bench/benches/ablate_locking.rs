@@ -1,0 +1,81 @@
+//! Ablation: **PaRT locking granularity** (§4.2 requires fine-grained
+//! per-node locks for concurrently faulting threads). Prints multithreaded
+//! fault throughput of the per-node-locked PaRT vs a globally locked
+//! variant, then criterion-benches the single-threaded hot path of both.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::{GlobalLockPart, PaRt};
+use vmsim_types::GuestFrame;
+
+/// Runs `threads` workers doing `per_thread` take/release pairs against the
+/// given closures; returns operations per second.
+fn throughput(threads: u64, per_thread: u64, take: impl Fn(u64, u64) + Sync) -> f64 {
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let take = &take;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // Each thread works its own group space: contention is
+                    // on the tree structure, not on individual groups.
+                    take(t * per_thread + i, t % 8);
+                }
+            });
+        }
+    });
+    (threads * per_thread) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_locking(c: &mut Criterion) {
+    let chunk = Arc::new(AtomicU64::new(0));
+    println!("Ablation: PaRT locking (ops/s, take_or_install across threads)");
+    println!("{:<9} {:>14} {:>14}", "threads", "per-node", "global-lock");
+    for threads in [1u64, 2, 4, 8] {
+        let per_thread = 40_000u64;
+        let part = PaRt::new();
+        let chunk_a = Arc::clone(&chunk);
+        let fine = throughput(threads, per_thread, |g, off| {
+            part.take_or_install(g, off, || {
+                Some(GuestFrame::new(chunk_a.fetch_add(8, Ordering::Relaxed)))
+            });
+        });
+        let global = GlobalLockPart::new();
+        let chunk_b = Arc::clone(&chunk);
+        let coarse = throughput(threads, per_thread, |g, off| {
+            global.take_or_install(g, off, || {
+                Some(GuestFrame::new(chunk_b.fetch_add(8, Ordering::Relaxed)))
+            });
+        });
+        println!("{threads:<9} {fine:>14.0} {coarse:>14.0}");
+    }
+
+    let mut group = c.benchmark_group("part_single_thread");
+    group.bench_function("per_node_locks", |b| {
+        let part = PaRt::new();
+        let mut g = 0u64;
+        b.iter(|| {
+            g += 1;
+            black_box(part.take_or_install(g, 0, || Some(GuestFrame::new(g * 8))))
+        })
+    });
+    group.bench_function("global_lock", |b| {
+        let part = GlobalLockPart::new();
+        let mut g = 0u64;
+        b.iter(|| {
+            g += 1;
+            black_box(part.take_or_install(g, 0, || Some(GuestFrame::new(g * 8))))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_locking
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench for the **§6.4** microbenchmark: prints the allocate-and-touch
+//! result, then wall-clock-measures the guest fault path with each
+//! allocator (the real-code analogue of the paper's cycle claim).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::ReservationAllocator;
+use vmsim_os::{DefaultAllocator, GuestFrameAllocator, GuestOs};
+use vmsim_sim::{report, sec64};
+use vmsim_types::GuestVirtPage;
+
+fn bench_alloc_latency(c: &mut Criterion) {
+    let r = sec64(16_384);
+    println!("{}", report::format_sec64(&r));
+
+    let mut group = c.benchmark_group("fault_path_wallclock");
+    type AllocFactory = fn() -> Box<dyn GuestFrameAllocator>;
+    let cases: Vec<(&str, AllocFactory)> = vec![
+        ("default", || Box::new(DefaultAllocator::new())),
+        ("ptemagnet", || Box::new(ReservationAllocator::new())),
+    ];
+    for (label, mk) in cases {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut g = GuestOs::new(1 << 16, mk());
+                    let pid = g.spawn();
+                    let va = g.mmap(pid, 4096).expect("mmap");
+                    (g, pid, va.page().raw())
+                },
+                |(mut g, pid, base)| {
+                    for i in 0..4096u64 {
+                        black_box(
+                            g.page_fault(pid, GuestVirtPage::new(base + i))
+                                .expect("fault"),
+                        );
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alloc_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench for **Figure 5**: prints the host-PT fragmentation series at
+//! reduced scale, then measures the fragmentation-census computation over
+//! fragmented and PTEMagnet layouts.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::ReservationAllocator;
+use vmsim_bench::{layout_fixture, measure_ops_from_env};
+use vmsim_os::DefaultAllocator;
+use vmsim_sim::{fig5_fig6, report};
+
+fn bench_fig5(c: &mut Criterion) {
+    let ops = measure_ops_from_env(25_000);
+    let s = fig5_fig6(0, ops);
+    println!("{}", report::format_fig5(&s));
+
+    let mut group = c.benchmark_group("fig5_fragmentation_census");
+    let (frag, pid_f, _) = layout_fixture(Box::new(DefaultAllocator::new()), 2048, true);
+    group.bench_function("fragmented_layout", |b| {
+        b.iter(|| black_box(frag.host_pt_fragmentation(pid_f).expect("census")))
+    });
+    let (pm, pid_p, _) = layout_fixture(Box::new(ReservationAllocator::new()), 2048, true);
+    group.bench_function("ptemagnet_layout", |b| {
+        b.iter(|| black_box(pm.host_pt_fragmentation(pid_p).expect("census")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

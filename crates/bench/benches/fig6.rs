@@ -1,0 +1,44 @@
+//! Bench for **Figure 6**: prints the per-benchmark improvement series at
+//! reduced scale, then measures end-to-end steady-state execution (cycles
+//! per op as wall-clock of the simulator's inner loop) for pagerank with
+//! both allocators.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::measure_ops_from_env;
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_sim::{fig5_fig6, report, AllocatorKind, Colocation};
+use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+
+fn bench_fig6(c: &mut Criterion) {
+    let ops = measure_ops_from_env(25_000);
+    let s = fig5_fig6(0, ops);
+    println!("{}", report::format_improvement_figure(&s, "Figure 6"));
+
+    let mut group = c.benchmark_group("fig6_steady_state");
+    group.sample_size(10);
+    for kind in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+        // Build a colocated machine at reduced scale and run it to steady
+        // state once; the bench then measures scheduler rounds.
+        let machine = Machine::with_allocator(MachineConfig::paper(2, 256), kind.build());
+        let mut colo = Colocation::new(machine);
+        let primary = colo.add_app(Box::new(benchmark(BenchId::Pagerank, 0)), 1);
+        colo.add_app(corunner(CoId::Objdet, 1), 1);
+        colo.run_until_steady(primary).expect("init");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                colo.round().expect("round");
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

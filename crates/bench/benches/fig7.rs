@@ -1,0 +1,43 @@
+//! Bench for **Figure 7**: prints the combination-colocation improvement
+//! series at reduced scale, then measures scheduler rounds with the full
+//! co-runner combination live.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::measure_ops_from_env;
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_sim::{fig7, report, AllocatorKind, Colocation};
+use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+
+fn bench_fig7(c: &mut Criterion) {
+    let ops = measure_ops_from_env(25_000);
+    let s = fig7(0, ops);
+    println!("{}", report::format_improvement_figure(&s, "Figure 7"));
+
+    let mut group = c.benchmark_group("fig7_combination_round");
+    group.sample_size(10);
+    for kind in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+        let machine = Machine::with_allocator(MachineConfig::paper(8, 512), kind.build());
+        let mut colo = Colocation::new(machine);
+        let primary = colo.add_app(Box::new(benchmark(BenchId::Mcf, 0)), 1);
+        for (i, co) in CoId::COMBINATION.iter().enumerate() {
+            colo.add_app(corunner(*co, i as u64 + 1), 1);
+        }
+        colo.run_until_steady(primary).expect("init");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                colo.round().expect("round");
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

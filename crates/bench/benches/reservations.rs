@@ -1,0 +1,48 @@
+//! Bench for the **§6.2** study: prints the reserved-unused incidence rows
+//! at reduced scale, then measures the PaRT hot paths (install, hit,
+//! release) that the incidence depends on.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::PaRt;
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{report, sec62};
+use vmsim_types::GuestFrame;
+
+fn bench_reservations(c: &mut Criterion) {
+    let ops = measure_ops_from_env(25_000);
+    let rows = sec62(0, ops);
+    println!("{}", report::format_sec62(&rows));
+
+    let mut group = c.benchmark_group("part_hot_paths");
+    group.bench_function("install_then_retire_group", |b| {
+        let part = PaRt::new();
+        let mut group_id = 0u64;
+        b.iter(|| {
+            group_id += 1;
+            let base = GuestFrame::new((group_id % 1_000_000) * 8);
+            for off in 0..8 {
+                black_box(part.take_or_install(group_id, off, || Some(base)));
+            }
+        })
+    });
+    group.bench_function("reservation_hit", |b| {
+        let part = PaRt::new();
+        // One live entry with page 0 granted; hit page 1 then release it,
+        // keeping the entry alive forever.
+        part.take_or_install(42, 0, || Some(GuestFrame::new(0)));
+        b.iter(|| {
+            black_box(part.take_or_install(42, 1, || unreachable!("entry exists")));
+            black_box(part.release(42, 1));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_reservations
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the substrate data structures: buddy allocator,
+//! page table, TLB, and cache hierarchy. These establish the simulator's
+//! own performance envelope (simulated accesses per second).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_buddy::BuddyAllocator;
+use vmsim_cache::{AccessKind, CacheHierarchy, HierarchyConfig, Tlb, TlbConfig};
+use vmsim_pt::PageTable;
+use vmsim_types::{GuestFrame, GuestVirtPage, HostFrame, HostPhysAddr};
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy");
+    group.bench_function("alloc_free_order0", |b| {
+        let mut buddy = BuddyAllocator::<GuestFrame>::new(1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(0).expect("space");
+            black_box(f);
+            buddy.free(f, 0).expect("valid");
+        })
+    });
+    group.bench_function("alloc_free_order3", |b| {
+        let mut buddy = BuddyAllocator::<GuestFrame>::new(1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(3).expect("space");
+            black_box(f);
+            buddy.free(f, 3).expect("valid");
+        })
+    });
+    group.finish();
+}
+
+fn bench_pt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_table");
+    let mut next = 1_000_000u64;
+    let mut alloc = move || {
+        next += 1;
+        Ok(GuestFrame::new(next - 1))
+    };
+    let mut pt: PageTable<GuestVirtPage, GuestFrame> = PageTable::new(&mut alloc).unwrap();
+    for vpn in 0..4096u64 {
+        pt.map(GuestVirtPage::new(vpn), GuestFrame::new(vpn), &mut alloc)
+            .unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("translate", |b| {
+        b.iter(|| {
+            i = (i + 1237) % 4096;
+            black_box(pt.translate(GuestVirtPage::new(i)))
+        })
+    });
+    group.bench_function("walk_path", |b| {
+        b.iter(|| {
+            i = (i + 1237) % 4096;
+            black_box(pt.walk_path(GuestVirtPage::new(i)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_tlb_and_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardware_models");
+    let mut tlb = Tlb::new(TlbConfig::default());
+    for vpn in 0..1024u64 {
+        tlb.insert(1, GuestVirtPage::new(vpn), HostFrame::new(vpn));
+    }
+    let mut i = 0u64;
+    group.bench_function("tlb_lookup", |b| {
+        b.iter(|| {
+            i = (i + 619) % 1024;
+            black_box(tlb.lookup(1, GuestVirtPage::new(i)))
+        })
+    });
+    let mut h = CacheHierarchy::new(HierarchyConfig::broadwell(1));
+    group.bench_function("cache_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(h.access(0, HostPhysAddr::new((i % (1 << 20)) * 64), AccessKind::Data))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_buddy, bench_pt, bench_tlb_and_cache
+}
+criterion_main!(benches);

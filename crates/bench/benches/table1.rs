@@ -1,0 +1,39 @@
+//! Bench for **Table 1**: prints the paper's rows at reduced scale, then
+//! measures the mechanism behind them — nested page-walk latency over a
+//! contiguous vs a fragmented layout.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::{layout_fixture, measure_ops_from_env};
+use vmsim_os::DefaultAllocator;
+use vmsim_sim::{report, table1};
+use vmsim_types::GuestVirtPage;
+
+fn bench_table1(c: &mut Criterion) {
+    let ops = measure_ops_from_env(40_000);
+    let t = table1(0, ops);
+    println!("{}", report::format_table1(&t));
+
+    let mut group = c.benchmark_group("table1_nested_walk");
+    for (label, interleave) in [("contiguous", false), ("fragmented", true)] {
+        let (mut m, pid, base) = layout_fixture(Box::new(DefaultAllocator::new()), 512, interleave);
+        let first = base.page().raw();
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let vpn = GuestVirtPage::new(first + (i % 512));
+                i += 7; // stride through groups
+                black_box(m.nested_walk(0, pid, vpn).expect("mapped"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for **Table 4**: prints the paper's rows at reduced scale, then
+//! measures steady-state touch latency on colocated machines built with the
+//! default allocator vs PTEMagnet.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::ReservationAllocator;
+use vmsim_bench::{layout_fixture, measure_ops_from_env};
+use vmsim_os::{DefaultAllocator, GuestFrameAllocator};
+use vmsim_sim::{report, table4};
+use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
+
+fn bench_table4(c: &mut Criterion) {
+    let ops = measure_ops_from_env(40_000);
+    let t = table4(0, ops);
+    println!("{}", report::format_table4(&t));
+
+    let mut group = c.benchmark_group("table4_touch");
+    let allocators: Vec<(&str, Box<dyn GuestFrameAllocator>)> = vec![
+        ("default", Box::new(DefaultAllocator::new())),
+        ("ptemagnet", Box::new(ReservationAllocator::new())),
+    ];
+    for (label, allocator) in allocators {
+        let (mut m, pid, base) = layout_fixture(allocator, 512, true);
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let va = GuestVirtAddr::new(base.raw() + (i % 512) * PAGE_SIZE);
+                i += 13;
+                black_box(m.touch(0, pid, va, false).expect("mapped"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench for the **THP study** (§2.3): prints the study at reduced scale,
+//! then measures huge vs small fault costs and walk latency over huge vs
+//! 4 KB mappings.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptemagnet::ThpAllocator;
+use vmsim_bench::measure_ops_from_env;
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_sim::{report, thp_study};
+use vmsim_types::{GuestVirtAddr, GuestVirtPage, PAGE_SIZE};
+
+fn bench_thp(c: &mut Criterion) {
+    let ops = measure_ops_from_env(20_000);
+    let s = thp_study(0, ops);
+    println!("{}", report::format_thp(&s));
+
+    // Walk latency over a huge mapping vs a 4 KB mapping of the same span.
+    let mut group = c.benchmark_group("thp_nested_walk");
+    let build = |thp: bool| {
+        let mut m = if thp {
+            Machine::with_allocator(MachineConfig::paper(1, 64), Box::new(ThpAllocator::new()))
+        } else {
+            Machine::new(MachineConfig::paper(1, 64))
+        };
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, 1024).expect("mmap");
+        for i in 0..1024u64 {
+            m.touch(0, pid, GuestVirtAddr::new(base.raw() + i * PAGE_SIZE), true)
+                .expect("touch");
+        }
+        (m, pid, base.page().raw())
+    };
+    for (label, thp) in [("small_pages", false), ("huge_pages", true)] {
+        let (mut m, pid, first) = build(thp);
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let vpn = GuestVirtPage::new(first + (i % 1024));
+                i += 17;
+                black_box(m.nested_walk(0, pid, vpn).expect("mapped"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thp
+}
+criterion_main!(benches);

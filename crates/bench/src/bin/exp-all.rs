@@ -1,0 +1,53 @@
+//! Runs the complete evaluation — every table, figure, and study — like
+//! the original artifact's `launch_all_exps` script, writing a full
+//! transcript to stdout (tee it into `results/`).
+//!
+//! Usage: `cargo run --release -p vmsim-bench --bin exp-all`
+//! (set `PTEMAGNET_OPS` to trade fidelity for speed).
+
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{report, DEFAULT_MEASURE_OPS};
+
+fn main() {
+    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
+    let t0 = std::time::Instant::now();
+
+    println!("== Table 1 ==");
+    print!("{}", report::format_table1(&vmsim_sim::table1(0, ops)));
+
+    let sweep6 = vmsim_sim::fig5_fig6(0, ops);
+    println!("\n== Figure 5 ==");
+    print!("{}", report::format_fig5(&sweep6));
+    println!("\n== Figure 6 ==");
+    print!("{}", report::format_improvement_figure(&sweep6, "Figure 6"));
+
+    println!("\n== Figure 7 ==");
+    print!(
+        "{}",
+        report::format_improvement_figure(&vmsim_sim::fig7(0, ops), "Figure 7")
+    );
+
+    println!("\n== Table 4 ==");
+    print!("{}", report::format_table4(&vmsim_sim::table4(0, ops)));
+
+    println!("\n== Sec 6.2 ==");
+    print!("{}", report::format_sec62(&vmsim_sim::sec62(0, ops)));
+
+    println!("\n== Sec 6.4 ==");
+    print!("{}", report::format_sec64(&vmsim_sim::sec64(65_536)));
+
+    println!("\n== THP study ==");
+    print!("{}", report::format_thp(&vmsim_sim::thp_study(0, ops / 2)));
+
+    println!("\n== SPECint zero-overhead ==");
+    for (name, imp) in vmsim_sim::specint_zero_overhead(0, ops / 2) {
+        println!("{name:<12} {:>+11.2}%", imp * 100.0);
+    }
+
+    println!("\n== LLC sensitivity ==");
+    for (mb, imp) in vmsim_sim::llc_sensitivity(0, ops / 2, &[1, 2, 4, 16, 64]) {
+        println!("{:<8} {:>+11.1}%", format!("{mb} MB"), imp * 100.0);
+    }
+
+    println!("\nTotal wall-clock: {:.1}s", t0.elapsed().as_secs_f64());
+}

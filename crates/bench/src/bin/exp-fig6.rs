@@ -1,0 +1,15 @@
+//! Regenerates **Figure 6** (§6.1): per-benchmark performance improvement
+//! of PTEMagnet under colocation with objdet (paper: 4 % average, 9 % max).
+//!
+//! Usage: `cargo run --release -p vmsim-bench --bin exp-fig6`
+
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{fig5_fig6, report, DEFAULT_MEASURE_OPS};
+
+fn main() {
+    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
+    let s = fig5_fig6(0, ops);
+    print!("{}", report::format_improvement_figure(&s, "Figure 6"));
+    println!();
+    print!("{}", report::figure_as_bars(&s));
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table 1** (§3.3): pagerank colocated with stress-ng vs
+//! standalone, default kernel, co-runner stopped after the allocation phase.
+//!
+//! Usage: `cargo run --release -p vmsim-bench --bin exp-table1`
+//! (set `PTEMAGNET_OPS` to change the measured-op count).
+
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{report, table1, DEFAULT_MEASURE_OPS};
+
+fn main() {
+    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
+    let t = table1(0, ops);
+    print!("{}", report::format_table1(&t));
+}

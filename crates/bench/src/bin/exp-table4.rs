@@ -1,0 +1,13 @@
+//! Regenerates **Table 4** (§6.3): pagerank + objdet, PTEMagnet vs the
+//! default kernel, with the co-runner running throughout.
+//!
+//! Usage: `cargo run --release -p vmsim-bench --bin exp-table4`
+
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{report, table4, DEFAULT_MEASURE_OPS};
+
+fn main() {
+    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
+    let t = table4(0, ops);
+    print!("{}", report::format_table4(&t));
+}

@@ -1,0 +1,19 @@
+//! Regenerates the **THP study** (paper §2.3 discussion): transparent huge
+//! pages vs PTEMagnet under fresh and externally fragmented memory, plus
+//! THP's sparse-touch internal-fragmentation penalty.
+//!
+//! Expected shape: with fresh memory THP competes with PTEMagnet (both
+//! create contiguity); with fragmented memory every order-9 THP allocation
+//! fails and its benefit evaporates, while PTEMagnet's order-3 reservations
+//! still succeed — the paper's argument for fine-grained reservation.
+//!
+//! Usage: `cargo run --release -p vmsim-bench --bin exp-thp`
+
+use vmsim_bench::measure_ops_from_env;
+use vmsim_sim::{report, thp_study};
+
+fn main() {
+    let ops = measure_ops_from_env(150_000);
+    let s = thp_study(0, ops);
+    print!("{}", report::format_thp(&s));
+}

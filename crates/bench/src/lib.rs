@@ -1,0 +1,79 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has (a) an `exp-*` binary in
+//! `src/bin/` that regenerates the paper's rows/series at full scale, and
+//! (b) a Criterion bench in `benches/` that measures the mechanism behind
+//! the experiment and prints a reduced-scale version of the same rows.
+//!
+//! Scale control: the `PTEMAGNET_OPS` environment variable sets the number
+//! of measured steady-state operations per run (default
+//! [`vmsim_sim::DEFAULT_MEASURE_OPS`] for binaries, a reduced count for
+//! benches).
+
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
+
+/// Reads the measured-op count from `PTEMAGNET_OPS`, with a fallback.
+pub fn measure_ops_from_env(default: u64) -> u64 {
+    std::env::var("PTEMAGNET_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Builds a small machine with `pages` of one process's memory mapped and
+/// touched, interleaved with a second process when `interleave` is set —
+/// the minimal fixture for fragmented-vs-contiguous layout benches.
+///
+/// Returns the machine and the primary process's base address.
+///
+/// # Panics
+///
+/// Panics if the fixture cannot be constructed (sized machine too small).
+pub fn layout_fixture(
+    allocator: Box<dyn vmsim_os::GuestFrameAllocator>,
+    pages: u64,
+    interleave: bool,
+) -> (Machine, vmsim_os::Pid, GuestVirtAddr) {
+    let mut m = Machine::with_allocator(MachineConfig::paper(2, 256), allocator);
+    let pid = m.guest_mut().spawn();
+    let other = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(pid, pages).expect("fixture mmap");
+    let other_base = m.guest_mut().mmap(other, pages).expect("fixture mmap");
+    for i in 0..pages {
+        m.touch(0, pid, GuestVirtAddr::new(base.raw() + i * PAGE_SIZE), true)
+            .expect("fixture touch");
+        if interleave {
+            m.touch(
+                1,
+                other,
+                GuestVirtAddr::new(other_base.raw() + i * PAGE_SIZE),
+                true,
+            )
+            .expect("fixture touch");
+        }
+    }
+    (m, pid, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_os::DefaultAllocator;
+
+    #[test]
+    fn env_override_parses() {
+        // Not setting the variable: default wins.
+        std::env::remove_var("PTEMAGNET_OPS");
+        assert_eq!(measure_ops_from_env(123), 123);
+    }
+
+    #[test]
+    fn fixture_layouts_differ_in_fragmentation() {
+        let (contig, pid_c, _) = layout_fixture(Box::new(DefaultAllocator::new()), 64, false);
+        let (frag, pid_f, _) = layout_fixture(Box::new(DefaultAllocator::new()), 64, true);
+        let c = contig.host_pt_fragmentation(pid_c).unwrap().mean();
+        let f = frag.host_pt_fragmentation(pid_f).unwrap().mean();
+        assert!(f > c, "interleaved fixture must fragment more: {f} vs {c}");
+    }
+}

@@ -1,0 +1,518 @@
+//! The binary buddy allocator.
+
+use std::collections::{BTreeSet, HashMap};
+
+use vmsim_types::{MemError, PageNumber, Result};
+
+use crate::stats::BuddyStats;
+
+/// Highest supported order (inclusive). Matches Linux's `MAX_ORDER - 1` = 10:
+/// the largest block is 2^10 frames = 4 MB.
+pub const MAX_ORDER: u32 = 10;
+
+/// A binary buddy allocator over the frame range `0..total_frames`.
+///
+/// Free blocks are kept in per-order address-ordered sets, so allocation is
+/// deterministic (lowest-address block first) and runs are reproducible.
+/// Every outstanding allocation is tracked, so double frees, frees of
+/// never-allocated frames, and frees with the wrong order are rejected with
+/// [`MemError::InvalidFree`].
+///
+/// The type parameter `F` pins the allocator to one address space (e.g.
+/// [`vmsim_types::GuestFrame`] or [`vmsim_types::HostFrame`]).
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_buddy::BuddyAllocator;
+/// use vmsim_types::HostFrame;
+///
+/// # fn main() -> Result<(), vmsim_types::MemError> {
+/// let mut buddy = BuddyAllocator::<HostFrame>::new(256);
+/// let a = buddy.alloc(0)?;
+/// let b = buddy.alloc(0)?;
+/// // A lone consumer receives consecutive frames (block splitting).
+/// assert_eq!(b.raw(), a.raw() + 1);
+/// buddy.free(a, 0)?;
+/// buddy.free(b, 0)?;
+/// assert_eq!(buddy.free_frames(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BuddyAllocator<F: PageNumber> {
+    /// `free_lists[order]` holds the base frame of every free block of that
+    /// order. BTreeSet gives deterministic lowest-address-first allocation.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Base frame -> order of every outstanding allocation.
+    allocated: HashMap<u64, u32>,
+    total_frames: u64,
+    free_frames: u64,
+    stats: BuddyStats,
+    _space: core::marker::PhantomData<F>,
+}
+
+impl<F: PageNumber> BuddyAllocator<F> {
+    /// Creates an allocator managing `total_frames` frames, all initially free.
+    ///
+    /// Frames beyond the largest power-of-two prefix are still usable: the
+    /// range is tiled greedily with maximal aligned blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames` is zero.
+    pub fn new(total_frames: u64) -> Self {
+        assert!(total_frames > 0, "buddy allocator needs at least one frame");
+        let mut this = Self {
+            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
+            allocated: HashMap::new(),
+            total_frames,
+            free_frames: total_frames,
+            stats: BuddyStats::default(),
+            _space: core::marker::PhantomData,
+        };
+        // Tile [0, total_frames) with maximal aligned power-of-two blocks.
+        let mut frame = 0u64;
+        while frame < total_frames {
+            let align_order = if frame == 0 {
+                MAX_ORDER
+            } else {
+                frame.trailing_zeros().min(MAX_ORDER)
+            };
+            let mut order = align_order;
+            while frame + (1 << order) > total_frames {
+                order -= 1;
+            }
+            this.free_lists[order as usize].insert(frame);
+            frame += 1 << order;
+        }
+        this
+    }
+
+    /// Number of frames managed by this allocator.
+    #[inline]
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Number of currently free frames.
+    #[inline]
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Fraction of frames currently free, in `[0, 1]`.
+    #[inline]
+    pub fn free_fraction(&self) -> f64 {
+        self.free_frames as f64 / self.total_frames as f64
+    }
+
+    /// Cumulative allocation/split/merge counters.
+    #[inline]
+    pub fn stats(&self) -> &BuddyStats {
+        &self.stats
+    }
+
+    /// Number of free blocks currently held at `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > MAX_ORDER`.
+    pub fn free_blocks(&self, order: u32) -> usize {
+        self.free_lists[order as usize].len()
+    }
+
+    /// Largest order with at least one free block, or `None` if memory is
+    /// exhausted.
+    pub fn largest_free_order(&self) -> Option<u32> {
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+
+    /// Allocates a block of 2^`order` frames, aligned to 2^`order`.
+    ///
+    /// Splits a larger block if no block of the requested order is free,
+    /// exactly like the Linux buddy system. The returned frame is the base of
+    /// the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] if no block of `order` or larger is
+    /// free, and [`MemError::OutOfRange`] if `order > MAX_ORDER`.
+    pub fn alloc(&mut self, order: u32) -> Result<F> {
+        if order > MAX_ORDER {
+            return Err(MemError::OutOfRange {
+                value: order as u64,
+                limit: MAX_ORDER as u64 + 1,
+            });
+        }
+        // Find the smallest order >= requested with a free block.
+        let found = (order..=MAX_ORDER)
+            .find(|&o| !self.free_lists[o as usize].is_empty())
+            .ok_or(MemError::OutOfMemory { order })?;
+        let base = *self.free_lists[found as usize]
+            .iter()
+            .next()
+            .expect("non-empty free list");
+        self.free_lists[found as usize].remove(&base);
+        // Split down to the requested order, keeping the lower half and
+        // returning upper halves to the free lists.
+        let mut cur = found;
+        while cur > order {
+            cur -= 1;
+            let upper = base + (1 << cur);
+            self.free_lists[cur as usize].insert(upper);
+            self.stats.splits += 1;
+        }
+        self.allocated.insert(base, order);
+        self.free_frames -= 1 << order;
+        self.stats.allocs += 1;
+        self.stats.allocated_frames += 1 << order;
+        Ok(F::from_raw(base))
+    }
+
+    /// Attempts to allocate the *specific* order-0 frame `frame`.
+    ///
+    /// Used by best-effort contiguity baselines (CA-paging-like allocators)
+    /// that try to extend an application's previous allocation with the
+    /// neighbouring frame. Splits whatever free block contains `frame` down
+    /// to order 0, keeping only `frame` and freeing the rest.
+    ///
+    /// Returns `true` on success, `false` if `frame` is not currently free.
+    pub fn try_alloc_frame_at(&mut self, frame: F) -> bool {
+        let target = frame.to_raw();
+        if target >= self.total_frames {
+            return false;
+        }
+        // Find the free block containing `target`: its base is target with
+        // the low `o` bits cleared, for some order o.
+        let mut containing: Option<(u64, u32)> = None;
+        for o in 0..=MAX_ORDER {
+            let base = target & !((1u64 << o) - 1);
+            if self.free_lists[o as usize].contains(&base) {
+                containing = Some((base, o));
+                break;
+            }
+        }
+        let Some((base, order)) = containing else {
+            return false;
+        };
+        self.free_lists[order as usize].remove(&base);
+        // Split down, keeping the half that contains `target`.
+        let mut keep = base;
+        let mut cur = order;
+        while cur > 0 {
+            cur -= 1;
+            let lower = keep;
+            let upper = keep + (1 << cur);
+            if target >= upper {
+                self.free_lists[cur as usize].insert(lower);
+                keep = upper;
+            } else {
+                self.free_lists[cur as usize].insert(upper);
+                keep = lower;
+            }
+            self.stats.splits += 1;
+        }
+        debug_assert_eq!(keep, target);
+        self.allocated.insert(target, 0);
+        self.free_frames -= 1;
+        self.stats.allocs += 1;
+        self.stats.allocated_frames += 1;
+        self.stats.targeted_allocs += 1;
+        true
+    }
+
+    /// Returns `true` if the order-0 frame `frame` is currently free.
+    pub fn is_frame_free(&self, frame: F) -> bool {
+        let target = frame.to_raw();
+        if target >= self.total_frames {
+            return false;
+        }
+        (0..=MAX_ORDER).any(|o| {
+            let base = target & !((1u64 << o) - 1);
+            self.free_lists[o as usize].contains(&base)
+        })
+    }
+
+    /// Frees the block of 2^`order` frames based at `frame`, coalescing with
+    /// free buddies as far as possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidFree`] if `frame` is not the base of an
+    /// outstanding allocation of exactly `order`.
+    pub fn free(&mut self, frame: F, order: u32) -> Result<()> {
+        let base = frame.to_raw();
+        match self.allocated.get(&base) {
+            Some(&o) if o == order => {}
+            _ => return Err(MemError::InvalidFree { frame: base }),
+        }
+        self.allocated.remove(&base);
+        self.free_frames += 1 << order;
+        self.stats.frees += 1;
+        self.stats.allocated_frames -= 1 << order;
+
+        // Coalesce upward while the buddy is free.
+        let mut cur_base = base;
+        let mut cur_order = order;
+        while cur_order < MAX_ORDER {
+            let buddy = cur_base ^ (1u64 << cur_order);
+            // The buddy must exist wholly within the managed range.
+            if buddy + (1 << cur_order) > self.total_frames {
+                break;
+            }
+            if !self.free_lists[cur_order as usize].remove(&buddy) {
+                break;
+            }
+            cur_base = cur_base.min(buddy);
+            cur_order += 1;
+            self.stats.merges += 1;
+        }
+        self.free_lists[cur_order as usize].insert(cur_base);
+        Ok(())
+    }
+
+    /// Splits an outstanding higher-order allocation into order-0 pieces.
+    ///
+    /// PTEMagnet takes an order-3 chunk from the buddy allocator but may later
+    /// return *individual* frames of it (reclamation of unused reserved pages,
+    /// §4.3). Converting the bookkeeping of one order-`order` allocation into
+    /// 2^`order` order-0 allocations makes those piecewise frees legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidFree`] if `frame` is not the base of an
+    /// outstanding allocation of exactly `order`.
+    pub fn fragment_allocation(&mut self, frame: F, order: u32) -> Result<()> {
+        let base = frame.to_raw();
+        match self.allocated.get(&base) {
+            Some(&o) if o == order => {}
+            _ => return Err(MemError::InvalidFree { frame: base }),
+        }
+        self.allocated.remove(&base);
+        for f in base..base + (1 << order) {
+            self.allocated.insert(f, 0);
+        }
+        Ok(())
+    }
+
+    /// Verifies internal consistency (free-frame accounting, no overlap
+    /// between free blocks and allocations). Intended for tests; cost is
+    /// linear in the number of blocks.
+    pub fn check_invariants(&self) -> bool {
+        let mut counted = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for (o, list) in self.free_lists.iter().enumerate() {
+            for &b in list {
+                // Alignment and range.
+                if b % (1u64 << o) != 0 || b + (1u64 << o) > self.total_frames {
+                    return false;
+                }
+                for f in b..b + (1u64 << o) {
+                    if !seen.insert(f) {
+                        return false;
+                    }
+                }
+                counted += 1u64 << o;
+            }
+        }
+        if counted != self.free_frames {
+            return false;
+        }
+        for (&b, &o) in &self.allocated {
+            for f in b..b + (1u64 << o) {
+                if !seen.insert(f) {
+                    return false;
+                }
+            }
+            counted += 1u64 << o;
+        }
+        counted == self.total_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::GuestFrame;
+
+    fn buddy(n: u64) -> BuddyAllocator<GuestFrame> {
+        BuddyAllocator::new(n)
+    }
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let b = buddy(4096);
+        assert_eq!(b.free_frames(), 4096);
+        assert_eq!(b.total_frames(), 4096);
+        assert!(b.check_invariants());
+        assert_eq!(b.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn non_power_of_two_totals_are_fully_tiled() {
+        for n in [1, 3, 5, 1000, 1025, 4097] {
+            let b = buddy(n);
+            assert_eq!(b.free_frames(), n);
+            assert!(b.check_invariants(), "inconsistent for n={n}");
+        }
+    }
+
+    #[test]
+    fn sequential_order0_allocs_are_contiguous() {
+        // The property that makes interleaved colocated faults fragment
+        // memory: a lone process gets consecutive frames.
+        let mut b = buddy(1024);
+        let frames: Vec<u64> = (0..16).map(|_| b.alloc(0).unwrap().raw()).collect();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(*f, i as u64);
+        }
+    }
+
+    #[test]
+    fn interleaved_allocs_interleave_frames() {
+        // Two "processes" faulting alternately receive alternating frames —
+        // the fragmentation mechanism of paper §2.4.
+        let mut b = buddy(1024);
+        let mut a_frames = vec![];
+        let mut b_frames = vec![];
+        for _ in 0..8 {
+            a_frames.push(b.alloc(0).unwrap().raw());
+            b_frames.push(b.alloc(0).unwrap().raw());
+        }
+        // Process A's frames are 2 apart, not contiguous.
+        assert!(a_frames.windows(2).all(|w| w[1] - w[0] == 2));
+    }
+
+    #[test]
+    fn order3_is_aligned() {
+        let mut b = buddy(1024);
+        // Disturb alignment with a few order-0 allocations first.
+        for _ in 0..3 {
+            b.alloc(0).unwrap();
+        }
+        let c = b.alloc(3).unwrap();
+        assert_eq!(c.raw() % 8, 0);
+    }
+
+    #[test]
+    fn split_and_coalesce_round_trip() {
+        let mut b = buddy(1024);
+        let f = b.alloc(0).unwrap();
+        assert!(b.stats().splits > 0);
+        b.free(f, 0).unwrap();
+        assert_eq!(b.free_frames(), 1024);
+        // Everything coalesced back to the maximal blocks.
+        assert_eq!(b.free_blocks(MAX_ORDER), 1);
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn exhaustion_returns_out_of_memory() {
+        let mut b = buddy(8);
+        assert!(b.alloc(3).is_ok());
+        assert_eq!(b.alloc(0), Err(MemError::OutOfMemory { order: 0 }));
+    }
+
+    #[test]
+    fn order_too_large_is_rejected() {
+        let mut b = buddy(8);
+        assert!(matches!(
+            b.alloc(MAX_ORDER + 1),
+            Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut b = buddy(64);
+        let f = b.alloc(0).unwrap();
+        b.free(f, 0).unwrap();
+        assert_eq!(b.free(f, 0), Err(MemError::InvalidFree { frame: f.raw() }));
+    }
+
+    #[test]
+    fn free_with_wrong_order_is_rejected() {
+        let mut b = buddy(64);
+        let f = b.alloc(3).unwrap();
+        assert!(b.free(f, 0).is_err());
+        assert!(b.free(f, 3).is_ok());
+    }
+
+    #[test]
+    fn free_of_unallocated_frame_is_rejected() {
+        let mut b = buddy(64);
+        assert!(b.free(GuestFrame::new(5), 0).is_err());
+    }
+
+    #[test]
+    fn targeted_alloc_takes_requested_frame() {
+        let mut b = buddy(64);
+        assert!(b.try_alloc_frame_at(GuestFrame::new(13)));
+        assert!(!b.is_frame_free(GuestFrame::new(13)));
+        assert!(b.is_frame_free(GuestFrame::new(12)));
+        assert!(b.check_invariants());
+        // Can't take it twice.
+        assert!(!b.try_alloc_frame_at(GuestFrame::new(13)));
+        b.free(GuestFrame::new(13), 0).unwrap();
+        assert_eq!(b.free_frames(), 64);
+    }
+
+    #[test]
+    fn targeted_alloc_out_of_range_fails() {
+        let mut b = buddy(64);
+        assert!(!b.try_alloc_frame_at(GuestFrame::new(64)));
+    }
+
+    #[test]
+    fn fragment_allocation_allows_piecewise_free() {
+        let mut b = buddy(64);
+        let base = b.alloc(3).unwrap();
+        b.fragment_allocation(base, 3).unwrap();
+        // Free the 8 frames one by one, in scrambled order.
+        for off in [5, 0, 7, 2, 1, 6, 3, 4] {
+            b.free(GuestFrame::new(base.raw() + off), 0).unwrap();
+        }
+        assert_eq!(b.free_frames(), 64);
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn coalescing_respects_range_boundary() {
+        // 3 frames: blocks are {0,1} (order 1) and {2} (order 0). An order-0
+        // request is served from the existing order-0 block (no split), and
+        // freeing frame 2 must not try to merge with its out-of-range buddy
+        // (frame 3 does not exist).
+        let mut b = buddy(3);
+        let f = b.alloc(0).unwrap();
+        assert_eq!(f.raw(), 2);
+        b.free(f, 0).unwrap();
+        assert!(b.check_invariants());
+        assert_eq!(b.free_frames(), 3);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut b = buddy(1024);
+        let f = b.alloc(0).unwrap();
+        let g = b.alloc(2).unwrap();
+        b.free(f, 0).unwrap();
+        b.free(g, 2).unwrap();
+        let s = b.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert!(s.splits >= s.merges);
+        assert_eq!(s.allocated_frames, 0);
+    }
+
+    #[test]
+    fn free_fraction_reflects_usage() {
+        let mut b = buddy(100);
+        assert!((b.free_fraction() - 1.0).abs() < f64::EPSILON);
+        let f = b.alloc(0).unwrap();
+        assert!((b.free_fraction() - 0.99).abs() < 1e-9);
+        b.free(f, 0).unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! External-fragmentation measurement for buddy pools.
+//!
+//! PTEMagnet's discussion sections (§4.4, §6.2) reason about fragmentation of
+//! the *physical* pool — e.g. memory reclaimed from partially-used
+//! reservations cannot form new aligned groups. This module quantifies that.
+
+use vmsim_types::PageNumber;
+
+use crate::allocator::{BuddyAllocator, MAX_ORDER};
+
+/// Snapshot of external fragmentation in a buddy pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FragmentationIndex {
+    /// Free frames in the pool.
+    pub free_frames: u64,
+    /// Free frames that sit inside blocks of at least the *target order*
+    /// (i.e. frames still usable for an aligned reservation).
+    pub reservable_frames: u64,
+    /// The target order the index was computed against.
+    pub target_order: u32,
+}
+
+impl FragmentationIndex {
+    /// Computes the index against `target_order` (order 3 = PTEMagnet's
+    /// 8-frame reservation size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_order > MAX_ORDER`.
+    pub fn measure<F: PageNumber>(buddy: &BuddyAllocator<F>, target_order: u32) -> Self {
+        assert!(target_order <= MAX_ORDER);
+        let mut reservable = 0u64;
+        for order in target_order..=MAX_ORDER {
+            reservable += (buddy.free_blocks(order) as u64) << order;
+        }
+        Self {
+            free_frames: buddy.free_frames(),
+            reservable_frames: reservable,
+            target_order,
+        }
+    }
+
+    /// Fraction of free memory that is *unusable* for a reservation of the
+    /// target order, in `[0, 1]`. 0 = perfectly coalesced, 1 = fully shredded.
+    pub fn unusable_fraction(&self) -> f64 {
+        if self.free_frames == 0 {
+            return 0.0;
+        }
+        1.0 - self.reservable_frames as f64 / self.free_frames as f64
+    }
+}
+
+impl core::fmt::Display for FragmentationIndex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "order-{} unusable fraction {:.3} ({} of {} free frames reservable)",
+            self.target_order,
+            self.unusable_fraction(),
+            self.reservable_frames,
+            self.free_frames
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::GuestFrame;
+
+    #[test]
+    fn fresh_pool_is_unfragmented() {
+        let b = BuddyAllocator::<GuestFrame>::new(1024);
+        let fi = FragmentationIndex::measure(&b, 3);
+        assert_eq!(fi.unusable_fraction(), 0.0);
+        assert_eq!(fi.reservable_frames, 1024);
+    }
+
+    #[test]
+    fn scattered_holes_are_unusable_for_reservations() {
+        // Allocate everything, then free every 8th frame: free memory exists
+        // but no order-3 block can be formed.
+        let mut b = BuddyAllocator::<GuestFrame>::new(64);
+        let mut frames = vec![];
+        for _ in 0..64 {
+            frames.push(b.alloc(0).unwrap());
+        }
+        for f in frames.iter().step_by(8) {
+            b.free(*f, 0).unwrap();
+        }
+        let fi = FragmentationIndex::measure(&b, 3);
+        assert_eq!(fi.free_frames, 8);
+        assert_eq!(fi.reservable_frames, 0);
+        assert_eq!(fi.unusable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_free_memory_reports_zero() {
+        let mut b = BuddyAllocator::<GuestFrame>::new(8);
+        b.alloc(3).unwrap();
+        let fi = FragmentationIndex::measure(&b, 3);
+        assert_eq!(fi.free_frames, 0);
+        assert_eq!(fi.unusable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_order() {
+        let b = BuddyAllocator::<GuestFrame>::new(16);
+        let fi = FragmentationIndex::measure(&b, 3);
+        assert!(fi.to_string().contains("order-3"));
+    }
+}

@@ -1,0 +1,47 @@
+//! A Linux-style binary buddy allocator model.
+//!
+//! Both the guest OS and the host OS in the PTEMagnet simulator allocate
+//! physical frames through an instance of [`BuddyAllocator`]. The allocator
+//! reproduces the properties of the Linux buddy system that matter for the
+//! paper's phenomenon (§2.4):
+//!
+//! * requests are served in power-of-two *orders* (order 0 = one 4 KB frame,
+//!   order 3 = the aligned 8-frame chunk PTEMagnet reserves, …);
+//! * larger free blocks are **split** to serve smaller requests, and freed
+//!   blocks **coalesce** with their buddy when both halves are free;
+//! * blocks of order *k* are always aligned to 2^k frames — which is why a
+//!   single order-3 allocation gives PTEMagnet its aligned 32 KB group for
+//!   free;
+//! * consecutive order-0 allocations from a fresh allocator return
+//!   consecutive frames (split of one larger block), so **interleaved**
+//!   faulting by colocated applications interleaves their frames — the
+//!   fragmentation mechanism the paper studies.
+//!
+//! The allocator is generic over the [`PageNumber`](vmsim_types::PageNumber)
+//! type of the address space it manages, so guest-physical and host-physical
+//! pools cannot be mixed up.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmsim_buddy::BuddyAllocator;
+//! use vmsim_types::GuestFrame;
+//!
+//! # fn main() -> Result<(), vmsim_types::MemError> {
+//! let mut buddy = BuddyAllocator::<GuestFrame>::new(1024);
+//! // An order-3 block is 8 frames, aligned to 8.
+//! let chunk = buddy.alloc(3)?;
+//! assert_eq!(chunk.raw() % 8, 0);
+//! buddy.free(chunk, 3)?;
+//! assert_eq!(buddy.free_frames(), 1024);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod allocator;
+pub mod frag;
+pub mod stats;
+
+pub use allocator::{BuddyAllocator, MAX_ORDER};
+pub use frag::FragmentationIndex;
+pub use stats::BuddyStats;

@@ -1,0 +1,102 @@
+//! Property-based tests for the buddy allocator: conservation, alignment,
+//! and full-coalescing invariants under arbitrary alloc/free interleavings.
+
+use proptest::prelude::*;
+use vmsim_buddy::{BuddyAllocator, MAX_ORDER};
+use vmsim_types::GuestFrame;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u32),
+    /// Free the i-th oldest outstanding allocation (index taken modulo the
+    /// live set size).
+    Free(usize),
+    Targeted(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..=4).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Free),
+        (0u64..512).prop_map(Op::Targeted),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_workload_preserves_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let total = 512u64;
+        let mut b = BuddyAllocator::<GuestFrame>::new(total);
+        let mut live: Vec<(GuestFrame, u32)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(order) => {
+                    if let Ok(f) = b.alloc(order) {
+                        // Blocks are naturally aligned.
+                        prop_assert_eq!(f.raw() % (1 << order), 0);
+                        live.push((f, order));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (f, o) = live.remove(i % live.len());
+                        prop_assert!(b.free(f, o).is_ok());
+                    }
+                }
+                Op::Targeted(frame) => {
+                    let f = GuestFrame::new(frame);
+                    let was_free = b.is_frame_free(f);
+                    let got = b.try_alloc_frame_at(f);
+                    prop_assert_eq!(got, was_free);
+                    if got {
+                        live.push((f, 0));
+                    }
+                }
+            }
+            prop_assert!(b.check_invariants());
+            let outstanding: u64 = live.iter().map(|(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(b.free_frames(), total - outstanding);
+        }
+
+        // Draining everything restores a fully coalesced pool.
+        for (f, o) in live.drain(..) {
+            prop_assert!(b.free(f, o).is_ok());
+        }
+        prop_assert_eq!(b.free_frames(), total);
+        prop_assert!(b.check_invariants());
+        // 512 frames fully coalesce into a single order-9 block.
+        let full_order = total.trailing_zeros().min(MAX_ORDER);
+        prop_assert_eq!(b.free_blocks(full_order), 1);
+        prop_assert_eq!(b.largest_free_order(), Some(full_order));
+    }
+
+    #[test]
+    fn no_two_live_blocks_overlap(orders in prop::collection::vec(0u32..=3, 1..100)) {
+        let mut b = BuddyAllocator::<GuestFrame>::new(1024);
+        let mut claimed = std::collections::HashSet::new();
+        for order in orders {
+            if let Ok(f) = b.alloc(order) {
+                for fr in f.raw()..f.raw() + (1 << order) {
+                    prop_assert!(claimed.insert(fr), "frame {fr} handed out twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order3_blocks_never_straddle_group_boundaries(n in 1usize..60) {
+        // The property PTEMagnet relies on: an order-3 allocation is exactly
+        // one aligned 8-frame reservation group.
+        let mut b = BuddyAllocator::<GuestFrame>::new(512);
+        for _ in 0..n {
+            // Mix in noise allocations.
+            let _ = b.alloc(0);
+            if let Ok(f) = b.alloc(3) {
+                prop_assert_eq!(f.raw() / 8, f.raw().div_ceil(8));
+            }
+        }
+    }
+}

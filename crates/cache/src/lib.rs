@@ -1,0 +1,52 @@
+//! Cache, TLB, and page-walk-cache models for the PTEMagnet simulator.
+//!
+//! The paper's entire phenomenon lives in the cache hierarchy: nested page
+//! walks are fast when the page-table entries they touch hit in the caches
+//! and slow when host-PT entries scatter across many lines and fall out to
+//! DRAM (§3.2–§3.3). This crate models:
+//!
+//! * a generic **set-associative array** with true-LRU replacement
+//!   ([`set_assoc::SetAssoc`]) — the building block for everything else;
+//! * a three-level **cache hierarchy** ([`CacheHierarchy`]) with per-core
+//!   private L1/L2 and a shared LLC, parameterized after the paper's
+//!   Broadwell Xeon E5-2630v4 testbed;
+//! * two-level **TLBs** ([`Tlb`]) caching guest-virtual → host-physical
+//!   translations per process;
+//! * **page-walk caches** and a **nested TLB** ([`PageWalkCaches`]) that let
+//!   the simulated walker skip upper page-table levels, as real hardware
+//!   does — leaving leaf-PTE fetches as the dominant walk cost, exactly the
+//!   accesses PTEMagnet targets;
+//! * a **cycle cost model** ([`LatencyModel`]) and **per-kind counters**
+//!   ([`MemCounters`]) that expose the paper's metrics (page-walk cycles,
+//!   host-PT accesses served by main memory, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use vmsim_cache::{CacheHierarchy, HierarchyConfig, AccessKind, HitLevel};
+//! use vmsim_types::HostPhysAddr;
+//!
+//! let mut caches = CacheHierarchy::new(HierarchyConfig::broadwell(2));
+//! let addr = HostPhysAddr::new(0x4_2000);
+//! let first = caches.access(0, addr, AccessKind::Data);
+//! assert_eq!(first.served_by, HitLevel::Memory);
+//! let second = caches.access(0, addr, AccessKind::Data);
+//! assert_eq!(second.served_by, HitLevel::L1);
+//! assert!(second.cycles < first.cycles);
+//! ```
+
+pub mod config;
+pub mod counters;
+pub mod hierarchy;
+pub mod histogram;
+pub mod pwc;
+pub mod set_assoc;
+pub mod tlb;
+
+pub use config::{CacheConfig, HierarchyConfig, LatencyModel, PwcConfig, TlbConfig};
+pub use counters::{AccessKind, KindCounters, MemCounters, PtKind};
+pub use hierarchy::{AccessResult, CacheHierarchy, HitLevel};
+pub use histogram::Histogram;
+pub use pwc::PageWalkCaches;
+pub use set_assoc::SetAssoc;
+pub use tlb::Tlb;

@@ -1,0 +1,262 @@
+//! Page-walk caches (PWCs) and the nested TLB.
+//!
+//! Real CPUs accelerate page walks with small translation-path caches
+//! (§2.5): PWCs hold recently used *intermediate* page-table nodes so the
+//! walker can skip upper levels, and virtualized parts additionally keep a
+//! nested TLB of guest-physical → host-physical translations so most of the
+//! 2D walk's second dimension short-circuits. With these in place, the
+//! dominant remaining walk cost is fetching **leaf** PTEs from the memory
+//! hierarchy — precisely the accesses whose cache behaviour PTEMagnet
+//! improves. Omitting them would overstate every walk's cost and distort the
+//! paper's effect, so they are modelled explicitly.
+
+use vmsim_types::{GuestFrame, GuestVirtPage, HostFrame, HostVirtPage, PT_INDEX_BITS, PT_LEVELS};
+
+use crate::config::PwcConfig;
+use crate::set_assoc::SetAssoc;
+
+/// Walk-acceleration state for one core: guest PWC, host PWC, nested TLB.
+///
+/// * The **guest PWC** maps an (ASID, guest-vpn prefix) at intermediate level
+///   `L` to the *host-physical* frame of the guest-PT node at level `L+1`,
+///   letting the walker skip guest levels 0..=L **and** the host walks that
+///   locating those nodes would have required (hardware stores host-physical
+///   pointers for the same reason).
+/// * The **host PWC** does the same for the host page table, keyed by
+///   host-vpn prefix.
+/// * The **nested TLB** caches guest-frame → host-frame translations used for
+///   guest-PT node addresses and final data translations.
+#[derive(Clone, Debug)]
+pub struct PageWalkCaches {
+    /// One cache per intermediate guest level (0..PT_LEVELS-1).
+    guest: Vec<SetAssoc<(GuestFrame, HostFrame)>>,
+    /// One cache per intermediate host level (0..PT_LEVELS-1).
+    host: Vec<SetAssoc<HostFrame>>,
+    nested_tlb: SetAssoc<HostFrame>,
+    nested_hits: u64,
+    nested_misses: u64,
+}
+
+impl PageWalkCaches {
+    /// Builds walk caches with the given geometry.
+    pub fn new(config: PwcConfig) -> Self {
+        fn mk<V>(entries: usize, ways: usize) -> SetAssoc<V> {
+            SetAssoc::new((entries / ways).max(1), ways)
+        }
+        Self {
+            guest: (0..PT_LEVELS - 1)
+                .map(|_| mk(config.guest_entries, config.ways))
+                .collect(),
+            host: (0..PT_LEVELS - 1)
+                .map(|_| mk(config.guest_entries, config.ways))
+                .collect(),
+            nested_tlb: mk(config.nested_tlb_entries, config.ways),
+            nested_hits: 0,
+            nested_misses: 0,
+        }
+    }
+
+    #[inline]
+    fn guest_key(asid: u64, vpn: GuestVirtPage, level: usize) -> u64 {
+        let shift = PT_INDEX_BITS * (PT_LEVELS - 1 - level) as u32;
+        (asid << 48) | (vpn.raw() >> shift)
+    }
+
+    #[inline]
+    fn host_key(hvpn: HostVirtPage, level: usize) -> u64 {
+        let shift = PT_INDEX_BITS * (PT_LEVELS - 1 - level) as u32;
+        hvpn.raw() >> shift
+    }
+
+    /// Returns the deepest guest level whose PWC has the walk prefix of
+    /// (`asid`, `vpn`), along with the cached pointer to the next guest-PT
+    /// node: `(level_completed, gPT node frame, its host frame)`.
+    ///
+    /// `level_completed = 2` means the walker can jump straight to the guest
+    /// leaf node.
+    pub fn guest_lookup(
+        &mut self,
+        asid: u64,
+        vpn: GuestVirtPage,
+    ) -> Option<(usize, GuestFrame, HostFrame)> {
+        for level in (0..PT_LEVELS - 1).rev() {
+            let key = Self::guest_key(asid, vpn, level);
+            if let Some(&(gfn, hfn)) = self.guest[level].get(key) {
+                return Some((level, gfn, hfn));
+            }
+        }
+        None
+    }
+
+    /// Records that walking (`asid`, `vpn`) through guest level `level`
+    /// produced the next-level node `gfn` located at host frame `hfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= PT_LEVELS - 1` (leaf results go to the TLB, not
+    /// the PWC).
+    pub fn guest_insert(
+        &mut self,
+        asid: u64,
+        vpn: GuestVirtPage,
+        level: usize,
+        gfn: GuestFrame,
+        hfn: HostFrame,
+    ) {
+        assert!(level < PT_LEVELS - 1, "leaf entries do not belong in a PWC");
+        let key = Self::guest_key(asid, vpn, level);
+        self.guest[level].insert(key, (gfn, hfn));
+    }
+
+    /// Returns the deepest host level whose PWC has the prefix of `hvpn`,
+    /// with the cached next host-PT node frame.
+    pub fn host_lookup(&mut self, hvpn: HostVirtPage) -> Option<(usize, HostFrame)> {
+        for level in (0..PT_LEVELS - 1).rev() {
+            let key = Self::host_key(hvpn, level);
+            if let Some(&hfn) = self.host[level].get(key) {
+                return Some((level, hfn));
+            }
+        }
+        None
+    }
+
+    /// Records that walking `hvpn` through host level `level` produced the
+    /// next-level node at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= PT_LEVELS - 1`.
+    pub fn host_insert(&mut self, hvpn: HostVirtPage, level: usize, node: HostFrame) {
+        assert!(level < PT_LEVELS - 1, "leaf entries do not belong in a PWC");
+        let key = Self::host_key(hvpn, level);
+        self.host[level].insert(key, node);
+    }
+
+    /// Looks up the nested-TLB translation for guest frame `gfn`.
+    pub fn nested_lookup(&mut self, gfn: GuestFrame) -> Option<HostFrame> {
+        match self.nested_tlb.get(gfn.raw()) {
+            Some(&hfn) => {
+                self.nested_hits += 1;
+                Some(hfn)
+            }
+            None => {
+                self.nested_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a nested-TLB translation.
+    pub fn nested_insert(&mut self, gfn: GuestFrame, hfn: HostFrame) {
+        self.nested_tlb.insert(gfn.raw(), hfn);
+    }
+
+    /// Nested-TLB hits since construction.
+    pub fn nested_hits(&self) -> u64 {
+        self.nested_hits
+    }
+
+    /// Nested-TLB misses since construction.
+    pub fn nested_misses(&self) -> u64 {
+        self.nested_misses
+    }
+
+    /// Drops all state (e.g. on a simulated context switch storm or unmap).
+    pub fn flush(&mut self) {
+        for c in &mut self.guest {
+            c.flush();
+        }
+        for c in &mut self.host {
+            c.flush();
+        }
+        self.nested_tlb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pwc() -> PageWalkCaches {
+        PageWalkCaches::new(PwcConfig::default())
+    }
+
+    #[test]
+    fn guest_lookup_prefers_deepest_level() {
+        let mut p = pwc();
+        let vpn = GuestVirtPage::new(0x12345);
+        p.guest_insert(0, vpn, 0, GuestFrame::new(1), HostFrame::new(10));
+        p.guest_insert(0, vpn, 2, GuestFrame::new(3), HostFrame::new(30));
+        let (level, gfn, hfn) = p.guest_lookup(0, vpn).unwrap();
+        assert_eq!(level, 2);
+        assert_eq!(gfn, GuestFrame::new(3));
+        assert_eq!(hfn, HostFrame::new(30));
+    }
+
+    #[test]
+    fn guest_prefix_is_shared_by_neighbouring_pages() {
+        let mut p = pwc();
+        // Pages in the same 2 MB region share the level-2 prefix.
+        let a = GuestVirtPage::new(0x1000);
+        let b = GuestVirtPage::new(0x1001);
+        p.guest_insert(0, a, 2, GuestFrame::new(5), HostFrame::new(50));
+        assert!(p.guest_lookup(0, b).is_some());
+        // A page in a different 2 MB region does not match.
+        let far = GuestVirtPage::new(0x1000 + 512);
+        assert!(p.guest_lookup(0, far).is_none());
+    }
+
+    #[test]
+    fn guest_entries_are_asid_tagged() {
+        let mut p = pwc();
+        let vpn = GuestVirtPage::new(0x42);
+        p.guest_insert(7, vpn, 1, GuestFrame::new(1), HostFrame::new(2));
+        assert!(p.guest_lookup(8, vpn).is_none());
+        assert!(p.guest_lookup(7, vpn).is_some());
+    }
+
+    #[test]
+    fn host_lookup_round_trip() {
+        let mut p = pwc();
+        let hvpn = HostVirtPage::new(0x999);
+        assert!(p.host_lookup(hvpn).is_none());
+        p.host_insert(hvpn, 2, HostFrame::new(77));
+        assert_eq!(p.host_lookup(hvpn), Some((2, HostFrame::new(77))));
+    }
+
+    #[test]
+    fn nested_tlb_counts_hits_and_misses() {
+        let mut p = pwc();
+        assert!(p.nested_lookup(GuestFrame::new(4)).is_none());
+        p.nested_insert(GuestFrame::new(4), HostFrame::new(8));
+        assert_eq!(p.nested_lookup(GuestFrame::new(4)), Some(HostFrame::new(8)));
+        assert_eq!(p.nested_hits(), 1);
+        assert_eq!(p.nested_misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf entries")]
+    fn leaf_level_insert_is_rejected() {
+        let mut p = pwc();
+        p.guest_insert(
+            0,
+            GuestVirtPage::new(1),
+            PT_LEVELS - 1,
+            GuestFrame::new(0),
+            HostFrame::new(0),
+        );
+    }
+
+    #[test]
+    fn flush_clears_all_structures() {
+        let mut p = pwc();
+        let vpn = GuestVirtPage::new(0x5);
+        p.guest_insert(0, vpn, 1, GuestFrame::new(1), HostFrame::new(1));
+        p.host_insert(HostVirtPage::new(0x5), 1, HostFrame::new(1));
+        p.nested_insert(GuestFrame::new(1), HostFrame::new(1));
+        p.flush();
+        assert!(p.guest_lookup(0, vpn).is_none());
+        assert!(p.host_lookup(HostVirtPage::new(0x5)).is_none());
+        assert!(p.nested_lookup(GuestFrame::new(1)).is_none());
+    }
+}

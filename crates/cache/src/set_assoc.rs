@@ -1,0 +1,288 @@
+//! A generic set-associative array with true-LRU replacement.
+//!
+//! Used as the storage engine for data caches, TLBs, page-walk caches, and
+//! the nested TLB. Keys are `u64` identifiers (cache-line index, page number,
+//! or an ASID-tagged page number); the set is selected by the key's low bits.
+
+/// One way (slot) of a set.
+#[derive(Clone, Debug)]
+struct Way<V> {
+    key: u64,
+    value: V,
+    /// Monotonic timestamp of the last touch; smallest = LRU victim.
+    last_used: u64,
+}
+
+/// A set-associative array mapping `u64` keys to values `V`, with true-LRU
+/// replacement within each set.
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_cache::SetAssoc;
+///
+/// let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+/// sa.insert(1, 10);
+/// sa.insert(5, 50); // maps to the same set as key 1 (4 sets)
+/// assert_eq!(sa.get(1), Some(&10));
+/// sa.insert(9, 90); // evicts key 5 (LRU after the get of key 1)
+/// assert_eq!(sa.get(5), None);
+/// assert_eq!(sa.get(1), Some(&10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssoc<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> SetAssoc<V> {
+    /// Creates an array with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        assert!(ways > 0, "need at least one way");
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        (key & self.set_mask) as usize
+    }
+
+    /// Looks up `key`, updating LRU state and hit/miss counters.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(key);
+        match self.sets[set].iter_mut().find(|w| w.key == key) {
+            Some(w) => {
+                w.last_used = clock;
+                self.hits += 1;
+                Some(&w.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for `key` without touching LRU state or counters.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        self.sets[self.set_of(key)]
+            .iter()
+            .find(|w| w.key == key)
+            .map(|w| &w.value)
+    }
+
+    /// Inserts `key -> value`, evicting the LRU way of a full set.
+    ///
+    /// Returns the evicted `(key, value)` pair, if any. Inserting an existing
+    /// key replaces its value (and returns the old one paired with the key).
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let set_vec = &mut self.sets[set];
+        if let Some(w) = set_vec.iter_mut().find(|w| w.key == key) {
+            w.last_used = clock;
+            let old = core::mem::replace(&mut w.value, value);
+            return Some((key, old));
+        }
+        if set_vec.len() < ways {
+            set_vec.push(Way {
+                key,
+                value,
+                last_used: clock,
+            });
+            return None;
+        }
+        // Evict the least recently used way.
+        let victim = set_vec
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_used)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let old = core::mem::replace(
+            &mut set_vec[victim],
+            Way {
+                key,
+                value,
+                last_used: clock,
+            },
+        );
+        self.evictions += 1;
+        Some((old.key, old.value))
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn invalidate(&mut self, key: u64) -> Option<V> {
+        let set = self.set_of(key);
+        let pos = self.sets[set].iter().position(|w| w.key == key)?;
+        Some(self.sets[set].swap_remove(pos).value)
+    }
+
+    /// Removes every entry for which `pred` returns true.
+    pub fn invalidate_if(&mut self, mut pred: impl FnMut(u64, &V) -> bool) {
+        for set in &mut self.sets {
+            set.retain(|w| !pred(w.key, &w.value));
+        }
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions (capacity/conflict replacements) since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(8, 2);
+        assert!(sa.get(42).is_none());
+        sa.insert(42, 1);
+        assert_eq!(sa.get(42), Some(&1));
+        assert_eq!(sa.hits(), 1);
+        assert_eq!(sa.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set, two ways: keys 0, 8, 16 all collide.
+        let mut sa: SetAssoc<&str> = SetAssoc::new(8, 2);
+        sa.insert(0, "a");
+        sa.insert(8, "b");
+        sa.get(0); // make 8 the LRU
+        let evicted = sa.insert(16, "c");
+        assert_eq!(evicted, Some((8, "b")));
+        assert!(sa.peek(0).is_some());
+        assert!(sa.peek(16).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_in_place() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        sa.insert(3, 1);
+        let old = sa.insert(3, 2);
+        assert_eq!(old, Some((3, 1)));
+        assert_eq!(sa.get(3), Some(&2));
+        assert_eq!(sa.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_counters() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(1, 2);
+        sa.insert(0, 0);
+        sa.insert(1, 1);
+        sa.peek(0); // would protect 0 if it updated LRU — it must not
+        let h = sa.hits();
+        sa.get(1); // now 0 is LRU
+        assert_eq!(sa.hits(), h + 1);
+        let evicted = sa.insert(2, 2);
+        assert_eq!(evicted.map(|(k, _)| k), Some(0));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        sa.insert(7, 70);
+        assert_eq!(sa.invalidate(7), Some(70));
+        assert_eq!(sa.invalidate(7), None);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn invalidate_if_filters_entries() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 4);
+        for k in 0..8 {
+            sa.insert(k, k * 10);
+        }
+        sa.invalidate_if(|k, _| k % 2 == 0);
+        assert_eq!(sa.len(), 4);
+        assert!(sa.peek(2).is_none());
+        assert!(sa.peek(3).is_some());
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        for k in 0..8 {
+            sa.insert(k, k);
+        }
+        sa.flush();
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        for k in 0..100 {
+            sa.insert(k, k);
+        }
+        assert!(sa.len() <= sa.capacity());
+        assert_eq!(sa.capacity(), 8);
+        assert!(sa.evictions() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_set_count() {
+        SetAssoc::<u64>::new(3, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the cache structures: LRU equivalence against a
+//! reference model, and hierarchy-level invariants.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use vmsim_cache::{
+    AccessKind, CacheHierarchy, HierarchyConfig, HitLevel, SetAssoc, Tlb, TlbConfig,
+};
+use vmsim_types::{GuestVirtPage, HostFrame, HostPhysAddr};
+
+/// Reference LRU model: one recency queue per set.
+struct ModelLru {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    mask: u64,
+}
+
+impl ModelLru {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            ways,
+            mask: sets as u64 - 1,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> bool {
+        let set = &mut self.sets[(key & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos).unwrap();
+            set.push_back(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        let ways = self.ways;
+        let set = &mut self.sets[(key & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos).unwrap();
+            set.push_back(k);
+            return;
+        }
+        if set.len() == ways {
+            set.pop_front();
+        }
+        set.push_back(key);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u64),
+    Insert(u64),
+    Invalidate(u64),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_assoc_matches_reference_lru(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..64).prop_map(Op::Get),
+                (0u64..64).prop_map(Op::Insert),
+                (0u64..64).prop_map(Op::Invalidate),
+            ],
+            1..300,
+        )
+    ) {
+        let mut sa: SetAssoc<()> = SetAssoc::new(4, 3);
+        let mut model = ModelLru::new(4, 3);
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(sa.get(k).is_some(), model.get(k));
+                }
+                Op::Insert(k) => {
+                    sa.insert(k, ());
+                    model.insert(k);
+                }
+                Op::Invalidate(k) => {
+                    let was_in_model = model.get(k); // also refreshes, but we remove next
+                    if was_in_model {
+                        let set = &mut model.sets[(k & model.mask) as usize];
+                        let pos = set.iter().position(|&x| x == k).unwrap();
+                        set.remove(pos);
+                    }
+                    prop_assert_eq!(sa.invalidate(k).is_some(), was_in_model);
+                }
+            }
+            prop_assert!(sa.len() <= sa.capacity());
+        }
+        // Final residency agreement.
+        for k in 0u64..64 {
+            prop_assert_eq!(sa.peek(k).is_some(), model.get(k));
+        }
+    }
+
+    #[test]
+    fn hierarchy_hit_levels_never_regress_without_interference(
+        addrs in prop::collection::vec(0u64..0x8000, 1..50)
+    ) {
+        // Accessing the same address twice in a row from the same core must
+        // not be served farther away the second time.
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny(1));
+        for a in addrs {
+            let addr = HostPhysAddr::new(a * 64);
+            let first = h.access(0, addr, AccessKind::Data).served_by;
+            let second = h.access(0, addr, AccessKind::Data).served_by;
+            prop_assert!(second <= first, "{second:?} farther than {first:?}");
+            prop_assert_eq!(second, HitLevel::L1);
+        }
+    }
+
+    #[test]
+    fn hierarchy_counters_balance(
+        accesses in prop::collection::vec((0usize..2, 0u64..4096), 1..200)
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny(2));
+        for (core, line) in &accesses {
+            h.access(*core, HostPhysAddr::new(line * 64), AccessKind::Data);
+        }
+        let c = h.counters();
+        prop_assert_eq!(c.data.accesses, accesses.len() as u64);
+        prop_assert_eq!(
+            c.data.l1_hits + c.data.l2_hits + c.data.llc_hits + c.data.memory,
+            c.data.accesses
+        );
+        // Per-core counters sum to the aggregate.
+        let per_core: u64 = (0..2).map(|i| h.core_counters(i).data.accesses).sum();
+        prop_assert_eq!(per_core, c.data.accesses);
+    }
+
+    #[test]
+    fn tlb_translations_are_faithful(
+        entries in prop::collection::vec((0u64..4, 0u64..1024, 0u64..10_000), 1..100)
+    ) {
+        // Whatever survives in the TLB must translate to exactly what was
+        // inserted — eviction may lose entries but never corrupt them.
+        let mut tlb = Tlb::new(TlbConfig {
+            l1_entries: 8,
+            l1_ways: 2,
+            l2_entries: 32,
+            l2_ways: 4,
+        });
+        let mut truth = std::collections::HashMap::new();
+        for (asid, vpn, hfn) in entries {
+            tlb.insert(asid, GuestVirtPage::new(vpn), HostFrame::new(hfn));
+            truth.insert((asid, vpn), hfn);
+        }
+        for ((asid, vpn), hfn) in truth {
+            if let Some(got) = tlb.lookup(asid, GuestVirtPage::new(vpn)) {
+                prop_assert_eq!(got, HostFrame::new(hfn));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Convenience wrappers around the host-PT fragmentation metric (§3.2).
+//!
+//! The metric itself — mean distinct cache lines holding the host PTEs of
+//! each 8-page guest-virtual group — is computed by
+//! [`vmsim_os::Machine::host_pt_fragmentation`] from real page-table entry
+//! addresses; this module adds the side-by-side comparison used by Figure 5
+//! and Tables 1/4.
+
+use vmsim_os::{Machine, Pid};
+use vmsim_pt::LineCensus;
+use vmsim_types::Result;
+
+/// Side-by-side guest-PT vs host-PT fragmentation for one process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FragmentationComparison {
+    /// gPTE census (always ≈1.0: guest PTEs are indexed by virtual address).
+    pub guest: LineCensus,
+    /// hPTE census (the quantity PTEMagnet improves).
+    pub host: LineCensus,
+}
+
+impl FragmentationComparison {
+    /// Ratio of host to guest fragmentation (≥ 1.0 in practice).
+    pub fn host_blowup(&self) -> f64 {
+        if self.guest.mean() == 0.0 {
+            0.0
+        } else {
+            self.host.mean() / self.guest.mean()
+        }
+    }
+}
+
+/// Measures both fragmentation censuses for `pid` on `machine`.
+///
+/// # Errors
+///
+/// Returns [`vmsim_types::MemError::NoSuchProcess`] for unknown pids.
+pub fn fragmentation_comparison(machine: &Machine, pid: Pid) -> Result<FragmentationComparison> {
+    Ok(FragmentationComparison {
+        guest: machine.guest_pt_fragmentation(pid)?,
+        host: machine.host_pt_fragmentation(pid)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReservationAllocator;
+    use vmsim_os::MachineConfig;
+    use vmsim_types::GuestVirtAddr;
+
+    #[test]
+    fn ptemagnet_pins_host_fragmentation_to_one() {
+        let mut m = Machine::with_allocator(
+            MachineConfig::small(),
+            Box::new(ReservationAllocator::new()),
+        );
+        let a = m.guest_mut().spawn();
+        let b = m.guest_mut().spawn();
+        let va_a = m.guest_mut().mmap(a, 64).unwrap();
+        let va_b = m.guest_mut().mmap(b, 64).unwrap();
+        // Aggressively interleaved faulting.
+        for i in 0..64 {
+            m.touch(0, a, GuestVirtAddr::new(va_a.raw() + i * 4096), false)
+                .unwrap();
+            m.touch(1, b, GuestVirtAddr::new(va_b.raw() + i * 4096), false)
+                .unwrap();
+        }
+        let cmp = fragmentation_comparison(&m, a).unwrap();
+        assert!(
+            (cmp.host.mean() - 1.0).abs() < 1e-9,
+            "got {}",
+            cmp.host.mean()
+        );
+        assert!((cmp.guest.mean() - 1.0).abs() < 1e-9);
+        assert!((cmp.host_blowup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_allocator_blows_up_under_interleaving() {
+        let mut m = Machine::new(MachineConfig::small());
+        let a = m.guest_mut().spawn();
+        let b = m.guest_mut().spawn();
+        let va_a = m.guest_mut().mmap(a, 64).unwrap();
+        let va_b = m.guest_mut().mmap(b, 64).unwrap();
+        for i in 0..64 {
+            m.touch(0, a, GuestVirtAddr::new(va_a.raw() + i * 4096), false)
+                .unwrap();
+            m.touch(1, b, GuestVirtAddr::new(va_b.raw() + i * 4096), false)
+                .unwrap();
+        }
+        let cmp = fragmentation_comparison(&m, a).unwrap();
+        assert!(cmp.host_blowup() > 1.5, "got {}", cmp.host_blowup());
+    }
+}

@@ -1,0 +1,719 @@
+//! The Page Reservation Table (PaRT): a concurrent 4-level radix tree.
+//!
+//! PaRT tracks one entry per aligned eight-page virtual group that currently
+//! has a physical reservation (paper §4.2). A leaf holds the base frame of
+//! the reserved chunk, an 8-bit mask of which pages were handed to the
+//! application, and its own lock. The tree uses **fine-grained locking** —
+//! one lock per node slot — so concurrently faulting threads of a process
+//! contend only when they touch the same region, satisfying the paper's
+//! scalability requirement.
+//!
+//! The tree is indexed by *group number* (virtual page number >> 3), nine
+//! bits per level, covering a 48-bit virtual address space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vmsim_types::{GuestFrame, GROUP_PAGES};
+
+/// Fan-out of each radix level (nine index bits).
+const FANOUT: usize = 512;
+/// Number of radix levels.
+const DEPTH: usize = 4;
+
+/// One reservation: an aligned eight-frame chunk and its usage mask.
+///
+/// Pages not currently mapped (`live` bit clear) are *owned by the
+/// reservation* — whether never granted or granted and later freed — and
+/// can be (re)granted without a buddy call. Frames only return to the buddy
+/// allocator when the whole entry dies: retired after full grant, emptied
+/// by the application freeing its last page, or reclaimed under pressure
+/// (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Base frame of the chunk (aligned to eight frames).
+    pub base: GuestFrame,
+    /// Bit i set ⇒ page i of the group is currently mapped.
+    pub live: u8,
+}
+
+impl Reservation {
+    /// Frames of this chunk currently owned by the reservation (not mapped).
+    pub fn unused_frames(&self) -> impl Iterator<Item = GuestFrame> + '_ {
+        (0..GROUP_PAGES as u8)
+            .filter(move |i| self.live & (1 << i) == 0)
+            .map(move |i| GuestFrame::new(self.base.raw() + u64::from(i)))
+    }
+
+    /// Number of frames currently owned by the reservation.
+    pub fn unused_count(&self) -> u32 {
+        GROUP_PAGES as u32 - self.live.count_ones()
+    }
+}
+
+/// Result of a take-or-install operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TakeOutcome {
+    /// The page was granted from an existing reservation (the fast path the
+    /// paper's §6.4 microbenchmark exercises).
+    FromReservation(GuestFrame),
+    /// A new reservation was installed and the page granted from it.
+    FromNewReservation(GuestFrame),
+    /// No reservation existed and the chunk factory declined (buddy could
+    /// not supply an aligned chunk); the caller must fall back.
+    Unavailable,
+}
+
+/// Result of releasing a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The group had no reservation entry: free the frame as the default
+    /// kernel would.
+    NotTracked,
+    /// The page was tracked: it returns to the reservation (re-grantable
+    /// without a buddy call). If this was the group's last live page, the
+    /// entry was deleted and **all eight frames** of the chunk are returned
+    /// for the caller to hand back to the buddy allocator.
+    Released {
+        /// Frames to return to the buddy allocator (empty unless the entry
+        /// was deleted; the whole chunk when it was).
+        unused_frames: Vec<GuestFrame>,
+        /// Whether the reservation entry was removed.
+        entry_deleted: bool,
+    },
+}
+
+enum Slot {
+    Empty,
+    Interior(Arc<Node>),
+    Leaf(Arc<LeafNode>),
+}
+
+struct Node {
+    slots: Vec<RwLock<Slot>>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self {
+            slots: (0..FANOUT).map(|_| RwLock::new(Slot::Empty)).collect(),
+        }
+    }
+}
+
+struct LeafNode {
+    /// The per-reservation lock the paper describes.
+    inner: Mutex<Option<Reservation>>,
+}
+
+/// Counters exposed by a PaRT instance. All values are cumulative except
+/// `live_entries` and `unused_frames`, which are gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartStats {
+    /// Grants served from existing reservations.
+    pub hits: u64,
+    /// Reservations installed.
+    pub installs: u64,
+    /// Entries deleted because all eight pages were granted.
+    pub retired_full: u64,
+    /// Entries deleted because the application freed all its pages.
+    pub deleted_empty: u64,
+    /// Current number of live entries.
+    pub live_entries: u64,
+    /// Current reserved-but-unused frames across live entries.
+    pub unused_frames: u64,
+}
+
+/// The concurrent Page Reservation Table.
+///
+/// All methods take `&self`; interior locking makes concurrent use by many
+/// faulting threads safe. Shared between parent and child after `fork` via
+/// `Arc` (paper §4.4).
+///
+/// # Examples
+///
+/// ```
+/// use ptemagnet::{PaRt, TakeOutcome};
+/// use vmsim_types::GuestFrame;
+///
+/// let part = PaRt::new();
+/// // First fault to group 5 installs a reservation from an 8-aligned chunk.
+/// let got = part.take_or_install(5, 2, || Some(GuestFrame::new(64)));
+/// assert_eq!(got, TakeOutcome::FromNewReservation(GuestFrame::new(66)));
+/// // Later faults in the group are buddy-free fast-path hits.
+/// let got = part.take_or_install(5, 3, || unreachable!());
+/// assert_eq!(got, TakeOutcome::FromReservation(GuestFrame::new(67)));
+/// assert_eq!(part.unused_frames(), 6);
+/// ```
+pub struct PaRt {
+    root: Arc<Node>,
+    hits: AtomicU64,
+    installs: AtomicU64,
+    retired_full: AtomicU64,
+    deleted_empty: AtomicU64,
+    live_entries: AtomicU64,
+    unused_frames: AtomicU64,
+}
+
+impl Default for PaRt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for PaRt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PaRt(entries={}, unused={}, hits={}, installs={})",
+            s.live_entries, s.unused_frames, s.hits, s.installs
+        )
+    }
+}
+
+impl PaRt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            root: Arc::new(Node::new()),
+            hits: AtomicU64::new(0),
+            installs: AtomicU64::new(0),
+            retired_full: AtomicU64::new(0),
+            deleted_empty: AtomicU64::new(0),
+            live_entries: AtomicU64::new(0),
+            unused_frames: AtomicU64::new(0),
+        }
+    }
+
+    /// Radix index of `group` at `level` (level 0 = root).
+    #[inline]
+    fn index(group: u64, level: usize) -> usize {
+        ((group >> (9 * (DEPTH - 1 - level))) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Finds the leaf for `group`, creating the path if `create` is true.
+    fn leaf(&self, group: u64, create: bool) -> Option<Arc<LeafNode>> {
+        let mut node = Arc::clone(&self.root);
+        for level in 0..DEPTH {
+            let idx = Self::index(group, level);
+            let is_last = level == DEPTH - 1;
+            // Fast path: read lock.
+            {
+                let slot = node.slots[idx].read();
+                match &*slot {
+                    Slot::Interior(child) if !is_last => {
+                        let child = Arc::clone(child);
+                        drop(slot);
+                        node = child;
+                        continue;
+                    }
+                    Slot::Leaf(leaf) if is_last => return Some(Arc::clone(leaf)),
+                    Slot::Empty if !create => return None,
+                    _ => {}
+                }
+            }
+            // Slow path: write lock and create (re-check under the lock).
+            let mut slot = node.slots[idx].write();
+            match &*slot {
+                Slot::Interior(child) if !is_last => {
+                    let child = Arc::clone(child);
+                    drop(slot);
+                    node = child;
+                }
+                Slot::Leaf(leaf) if is_last => return Some(Arc::clone(leaf)),
+                Slot::Empty => {
+                    if is_last {
+                        let leaf = Arc::new(LeafNode {
+                            inner: Mutex::new(None),
+                        });
+                        *slot = Slot::Leaf(Arc::clone(&leaf));
+                        return Some(leaf);
+                    }
+                    let child = Arc::new(Node::new());
+                    *slot = Slot::Interior(Arc::clone(&child));
+                    drop(slot);
+                    node = child;
+                }
+                _ => unreachable!("slot kind matches level"),
+            }
+        }
+        unreachable!("loop returns at the leaf level")
+    }
+
+    /// Grants page `offset` of `group`, installing a new reservation from
+    /// `chunk_factory` if none exists.
+    ///
+    /// `chunk_factory` must return the base of an **aligned eight-frame
+    /// chunk** (a buddy order-3 block), or `None` if no such chunk is
+    /// available (high fragmentation / memory pressure) — in which case
+    /// [`TakeOutcome::Unavailable`] tells the caller to fall back to default
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 8` or if the page is already granted and live —
+    /// the OS above guarantees a page faults only while unmapped.
+    pub fn take_or_install(
+        &self,
+        group: u64,
+        offset: u64,
+        chunk_factory: impl FnOnce() -> Option<GuestFrame>,
+    ) -> TakeOutcome {
+        assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
+        let bit = 1u8 << offset;
+        let leaf = self.leaf(group, true).expect("created on demand");
+        let mut guard = leaf.inner.lock();
+        match guard.as_mut() {
+            Some(res) => {
+                assert!(
+                    res.live & bit == 0,
+                    "page {offset} of group {group:#x} is already live"
+                );
+                res.live |= bit;
+                let frame = GuestFrame::new(res.base.raw() + offset);
+                self.unused_frames.fetch_sub(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if res.live == 0xff {
+                    // Fully mapped: the entry is no longer needed (§4.2).
+                    *guard = None;
+                    self.live_entries.fetch_sub(1, Ordering::Relaxed);
+                    self.retired_full.fetch_add(1, Ordering::Relaxed);
+                }
+                TakeOutcome::FromReservation(frame)
+            }
+            None => {
+                let Some(base) = chunk_factory() else {
+                    return TakeOutcome::Unavailable;
+                };
+                assert_eq!(
+                    base.raw() % GROUP_PAGES,
+                    0,
+                    "reservation chunks must be group-aligned"
+                );
+                *guard = Some(Reservation { base, live: bit });
+                self.installs.fetch_add(1, Ordering::Relaxed);
+                self.live_entries.fetch_add(1, Ordering::Relaxed);
+                self.unused_frames
+                    .fetch_add(GROUP_PAGES - 1, Ordering::Relaxed);
+                TakeOutcome::FromNewReservation(GuestFrame::new(base.raw() + offset))
+            }
+        }
+    }
+
+    /// Attempts to grant page `offset` of `group` from an *existing*
+    /// reservation, without installing one. Returns `None` when no entry
+    /// covers the group **or the page is already live in it** — unlike
+    /// [`PaRt::take_or_install`], which treats a live page as a caller
+    /// contract violation. Used on the fork-inheritance path (§4.4), where
+    /// the parent may legitimately still have the page mapped (the child is
+    /// COW-breaking it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 8`.
+    pub fn try_take(&self, group: u64, offset: u64) -> Option<GuestFrame> {
+        assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
+        let bit = 1u8 << offset;
+        let leaf = self.leaf(group, false)?;
+        let mut guard = leaf.inner.lock();
+        let res = guard.as_mut()?;
+        if res.live & bit != 0 {
+            return None;
+        }
+        res.live |= bit;
+        let frame = GuestFrame::new(res.base.raw() + offset);
+        self.unused_frames.fetch_sub(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if res.live == 0xff {
+            *guard = None;
+            self.live_entries.fetch_sub(1, Ordering::Relaxed);
+            self.retired_full.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(frame)
+    }
+
+    /// Releases page `offset` of `group` (application `free()` path, §4.3).
+    ///
+    /// If the freed page empties the reservation, the entry is deleted and
+    /// the never-granted frames are handed back for the caller to return to
+    /// the buddy allocator.
+    pub fn release(&self, group: u64, offset: u64) -> ReleaseOutcome {
+        assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
+        let bit = 1u8 << offset;
+        let Some(leaf) = self.leaf(group, false) else {
+            return ReleaseOutcome::NotTracked;
+        };
+        let mut guard = leaf.inner.lock();
+        let Some(res) = guard.as_mut() else {
+            return ReleaseOutcome::NotTracked;
+        };
+        if res.live & bit == 0 {
+            // Tracked group, but this page is not live in it.
+            return ReleaseOutcome::NotTracked;
+        }
+        // The page returns to the reservation, not to the buddy allocator —
+        // it can be re-granted on a later fault without a buddy call.
+        res.live &= !bit;
+        self.unused_frames.fetch_add(1, Ordering::Relaxed);
+        if res.live == 0 {
+            // The application freed all its pages in this group: the entry
+            // dies and every frame of the chunk goes back to the caller.
+            let unused: Vec<GuestFrame> = res.unused_frames().collect();
+            debug_assert_eq!(unused.len() as u64, GROUP_PAGES);
+            self.unused_frames
+                .fetch_sub(unused.len() as u64, Ordering::Relaxed);
+            *guard = None;
+            self.live_entries.fetch_sub(1, Ordering::Relaxed);
+            self.deleted_empty.fetch_add(1, Ordering::Relaxed);
+            ReleaseOutcome::Released {
+                unused_frames: unused,
+                entry_deleted: true,
+            }
+        } else {
+            ReleaseOutcome::Released {
+                unused_frames: Vec::new(),
+                entry_deleted: false,
+            }
+        }
+    }
+
+    /// Looks up the reservation covering `group` without modifying it.
+    pub fn peek(&self, group: u64) -> Option<Reservation> {
+        let leaf = self.leaf(group, false)?;
+        let res = *leaf.inner.lock();
+        res
+    }
+
+    /// Visits every live reservation (in unspecified order).
+    pub fn for_each(&self, mut f: impl FnMut(u64, &Reservation)) {
+        Self::visit(&self.root, 0, 0, &mut f);
+    }
+
+    #[allow(clippy::only_used_in_recursion)] // level documents tree depth
+    fn visit(node: &Node, level: usize, prefix: u64, f: &mut impl FnMut(u64, &Reservation)) {
+        for (i, slot) in node.slots.iter().enumerate() {
+            let slot = slot.read();
+            match &*slot {
+                Slot::Empty => {}
+                Slot::Interior(child) => {
+                    let child = Arc::clone(child);
+                    drop(slot);
+                    Self::visit(&child, level + 1, (prefix << 9) | i as u64, f);
+                }
+                Slot::Leaf(leaf) => {
+                    let leaf = Arc::clone(leaf);
+                    drop(slot);
+                    let snapshot = *leaf.inner.lock();
+                    if let Some(res) = snapshot {
+                        f((prefix << 9) | i as u64, &res);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains reserved-but-unused frames, calling `release_frame` for each,
+    /// until it returns `false` (target met) or the table has no more unused
+    /// frames. Drained entries are deleted; their live pages stay mapped and
+    /// keep benefiting from the contiguity already created (§4.3).
+    ///
+    /// Returns the number of frames drained.
+    pub fn drain_unused(&self, mut release_frame: impl FnMut(GuestFrame) -> bool) -> u64 {
+        let mut groups: Vec<u64> = Vec::new();
+        self.for_each(|group, res| {
+            if res.unused_count() > 0 {
+                groups.push(group);
+            }
+        });
+        let mut drained = 0u64;
+        for group in groups {
+            let Some(leaf) = self.leaf(group, false) else {
+                continue;
+            };
+            let mut guard = leaf.inner.lock();
+            let Some(res) = guard.as_mut() else {
+                continue;
+            };
+            let unused: Vec<GuestFrame> = res.unused_frames().collect();
+            if unused.is_empty() {
+                continue;
+            }
+            // The reservation is destroyed: live pages stay mapped; no
+            // future grants can come from it.
+            let live = res.live;
+            *guard = None;
+            drop(guard);
+            self.live_entries.fetch_sub(1, Ordering::Relaxed);
+            self.unused_frames
+                .fetch_sub(unused.len() as u64, Ordering::Relaxed);
+            let _ = live;
+            let mut stop = false;
+            for frame in unused {
+                drained += 1;
+                if !release_frame(frame) {
+                    stop = true;
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+        drained
+    }
+
+    /// Forcibly drains one group's reservation (if it exists), returning
+    /// the frames it owned. Live pages stay mapped and are unaffected.
+    /// Used when the OS targets a reserved frame for swap or compaction
+    /// (§4.4 "Swap and THP").
+    pub fn drain_group(&self, group: u64) -> Vec<GuestFrame> {
+        let Some(leaf) = self.leaf(group, false) else {
+            return Vec::new();
+        };
+        let mut guard = leaf.inner.lock();
+        let Some(res) = guard.as_ref() else {
+            return Vec::new();
+        };
+        let unused: Vec<GuestFrame> = res.unused_frames().collect();
+        self.unused_frames
+            .fetch_sub(unused.len() as u64, Ordering::Relaxed);
+        *guard = None;
+        self.live_entries.fetch_sub(1, Ordering::Relaxed);
+        unused
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> PartStats {
+        PartStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            installs: self.installs.load(Ordering::Relaxed),
+            retired_full: self.retired_full.load(Ordering::Relaxed),
+            deleted_empty: self.deleted_empty.load(Ordering::Relaxed),
+            live_entries: self.live_entries.load(Ordering::Relaxed),
+            unused_frames: self.unused_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current reserved-but-unused frame count (the §6.2 metric).
+    pub fn unused_frames(&self) -> u64 {
+        self.unused_frames.load(Ordering::Relaxed)
+    }
+
+    /// Current number of live entries.
+    pub fn live_entries(&self) -> u64 {
+        self.live_entries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(base: u64) -> impl FnOnce() -> Option<GuestFrame> {
+        move || Some(GuestFrame::new(base))
+    }
+
+    #[test]
+    fn install_then_hit() {
+        let part = PaRt::new();
+        let a = part.take_or_install(5, 0, chunk(80));
+        assert_eq!(a, TakeOutcome::FromNewReservation(GuestFrame::new(80)));
+        let b = part.take_or_install(5, 3, || panic!("no second chunk needed"));
+        assert_eq!(b, TakeOutcome::FromReservation(GuestFrame::new(83)));
+        let s = part.stats();
+        assert_eq!(s.installs, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.live_entries, 1);
+        assert_eq!(s.unused_frames, 6);
+    }
+
+    #[test]
+    fn factory_decline_reports_unavailable() {
+        let part = PaRt::new();
+        assert_eq!(
+            part.take_or_install(1, 0, || None),
+            TakeOutcome::Unavailable
+        );
+        assert_eq!(part.live_entries(), 0);
+    }
+
+    #[test]
+    fn fully_granted_entry_retires() {
+        let part = PaRt::new();
+        part.take_or_install(7, 0, chunk(8));
+        for off in 1..8 {
+            part.take_or_install(7, off, || panic!("reservation exists"));
+        }
+        assert_eq!(part.live_entries(), 0);
+        assert_eq!(part.stats().retired_full, 1);
+        assert_eq!(part.unused_frames(), 0);
+        // Post-retirement, frees are not tracked.
+        assert_eq!(part.release(7, 0), ReleaseOutcome::NotTracked);
+    }
+
+    #[test]
+    fn release_last_live_page_deletes_entry_and_returns_unused() {
+        let part = PaRt::new();
+        part.take_or_install(2, 1, chunk(16));
+        part.take_or_install(2, 4, || None);
+        match part.release(2, 1) {
+            ReleaseOutcome::Released {
+                entry_deleted,
+                unused_frames,
+            } => {
+                assert!(!entry_deleted);
+                assert!(unused_frames.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match part.release(2, 4) {
+            ReleaseOutcome::Released {
+                entry_deleted,
+                unused_frames,
+            } => {
+                assert!(entry_deleted);
+                // The whole chunk returns: freed pages re-joined the
+                // reservation, so all of 16..24 is owned by it at death.
+                let raws: Vec<u64> = unused_frames.iter().map(|f| f.raw()).collect();
+                assert_eq!(raws, (16..24).collect::<Vec<u64>>());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(part.live_entries(), 0);
+        assert_eq!(part.stats().deleted_empty, 1);
+    }
+
+    #[test]
+    fn distinct_groups_are_independent() {
+        let part = PaRt::new();
+        part.take_or_install(0, 0, chunk(0));
+        part.take_or_install(1, 0, chunk(8));
+        // Far-apart groups exercise distinct subtrees.
+        part.take_or_install(1 << 30, 0, chunk(16));
+        assert_eq!(part.live_entries(), 3);
+        assert_eq!(part.peek(0).unwrap().base, GuestFrame::new(0));
+        assert_eq!(part.peek(1 << 30).unwrap().base, GuestFrame::new(16));
+        assert!(part.peek(2).is_none());
+    }
+
+    #[test]
+    fn refault_after_free_within_live_entry_regrants_same_frame() {
+        let part = PaRt::new();
+        part.take_or_install(3, 0, chunk(24));
+        part.take_or_install(3, 2, || None);
+        part.release(3, 2);
+        // Page 2 faults again while the entry is alive: same frame comes
+        // back, and unused accounting is unchanged (it was granted before).
+        let r = part.take_or_install(3, 2, || panic!("entry exists"));
+        assert_eq!(r, TakeOutcome::FromReservation(GuestFrame::new(26)));
+        assert_eq!(part.unused_frames(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn double_grant_panics() {
+        let part = PaRt::new();
+        part.take_or_install(3, 0, chunk(24));
+        part.take_or_install(3, 0, || None);
+    }
+
+    #[test]
+    #[should_panic(expected = "group-aligned")]
+    fn misaligned_chunk_panics() {
+        let part = PaRt::new();
+        part.take_or_install(3, 0, chunk(5));
+    }
+
+    #[test]
+    fn for_each_visits_live_entries() {
+        let part = PaRt::new();
+        part.take_or_install(10, 0, chunk(0));
+        part.take_or_install(20, 0, chunk(8));
+        let mut seen = Vec::new();
+        part.for_each(|g, r| seen.push((g, r.base.raw())));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(10, 0), (20, 8)]);
+    }
+
+    #[test]
+    fn drain_unused_returns_frames_and_deletes_entries() {
+        let part = PaRt::new();
+        part.take_or_install(1, 0, chunk(0));
+        part.take_or_install(2, 0, chunk(8));
+        let mut freed = Vec::new();
+        let drained = part.drain_unused(|f| {
+            freed.push(f.raw());
+            true
+        });
+        assert_eq!(drained, 14);
+        assert_eq!(part.live_entries(), 0);
+        assert_eq!(part.unused_frames(), 0);
+        assert_eq!(freed.len(), 14);
+        // Pages 0 of both groups stay granted (not in the freed list).
+        assert!(!freed.contains(&0));
+        assert!(!freed.contains(&8));
+    }
+
+    #[test]
+    fn drain_unused_respects_stop_signal() {
+        let part = PaRt::new();
+        part.take_or_install(1, 0, chunk(0));
+        part.take_or_install(2, 0, chunk(8));
+        let mut count = 0;
+        // Stop after the first entry's frames.
+        part.drain_unused(|_| {
+            count += 1;
+            count < 7
+        });
+        // One entry drained (7 frames), the other survives.
+        assert_eq!(part.live_entries(), 1);
+    }
+
+    #[test]
+    fn concurrent_faulting_threads_are_safe() {
+        // Many threads fault into disjoint and overlapping groups; chunk
+        // bases come from an atomic bump allocator. Every granted frame must
+        // be unique, and all bookkeeping must balance.
+        use std::sync::atomic::AtomicU64;
+        let part = Arc::new(PaRt::new());
+        let next_chunk = Arc::new(AtomicU64::new(0));
+        let threads = 8;
+        let groups_per_thread = 64u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let part = Arc::clone(&part);
+            let next_chunk = Arc::clone(&next_chunk);
+            handles.push(std::thread::spawn(move || {
+                let mut frames = Vec::new();
+                for g in 0..groups_per_thread {
+                    // Threads share groups (g) but own distinct offsets (t).
+                    let out = part.take_or_install(g, t, || {
+                        Some(GuestFrame::new(
+                            next_chunk.fetch_add(GROUP_PAGES, Ordering::Relaxed),
+                        ))
+                    });
+                    match out {
+                        TakeOutcome::FromReservation(f) | TakeOutcome::FromNewReservation(f) => {
+                            frames.push(f.raw())
+                        }
+                        TakeOutcome::Unavailable => unreachable!(),
+                    }
+                }
+                frames
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "no frame granted twice");
+        // 64 groups × 8 offsets each = all entries fully granted & retired.
+        assert_eq!(part.live_entries(), 0);
+        assert_eq!(part.unused_frames(), 0);
+        assert_eq!(part.stats().installs, 64);
+    }
+}

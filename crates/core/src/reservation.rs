@@ -1,0 +1,699 @@
+//! The PTEMagnet reservation allocator (paper §4.1–§4.2).
+//!
+//! Plugs into the guest OS through [`GuestFrameAllocator`]. On the first
+//! fault to an eight-page group it takes an aligned order-3 chunk from the
+//! buddy allocator, grants the faulting page, and parks the rest in the
+//! process's [`PaRt`]. Later faults in the group are PaRT hits — no buddy
+//! call at all, which is why allocation gets (slightly) *faster* with
+//! PTEMagnet (§6.4) while guaranteeing guest-physical contiguity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vmsim_os::{AllocCost, GuestBuddy, GuestFrameAllocator, Pid};
+use vmsim_types::{GuestFrame, GuestVirtPage, MemError, Result, GROUP_SHIFT};
+
+use crate::part::{PaRt, ReleaseOutcome, TakeOutcome};
+use crate::policy::EnablePolicy;
+
+/// Cumulative counters of the reservation allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReservationStats {
+    /// Faults served from an existing reservation (fast path).
+    pub reservation_hits: u64,
+    /// New reservations installed (order-3 buddy allocations).
+    pub reservations_created: u64,
+    /// Faults that fell back to order-0 allocation (no aligned chunk
+    /// available, or PTEMagnet disabled for the process by policy).
+    pub fallbacks: u64,
+    /// Frames returned to the buddy allocator by reclamation.
+    pub reclaimed_frames: u64,
+}
+
+/// The PTEMagnet guest frame allocator.
+///
+/// Each process owns a [`PaRt`]; forked children additionally hold `Arc`
+/// references to their ancestors' tables so a child fault can be served from
+/// a parent reservation, while children never *create* reservations in the
+/// parent's table (§4.4).
+///
+/// # Examples
+///
+/// ```
+/// use ptemagnet::ReservationAllocator;
+/// use vmsim_os::{GuestBuddy, GuestFrameAllocator, Pid};
+/// use vmsim_types::GuestVirtPage;
+///
+/// # fn main() -> Result<(), vmsim_types::MemError> {
+/// let mut alloc = ReservationAllocator::new();
+/// let mut buddy = GuestBuddy::new(256);
+/// let (first, _) = alloc.allocate(Pid(1), GuestVirtPage::new(8), &mut buddy)?;
+/// let (second, cost) = alloc.allocate(Pid(1), GuestVirtPage::new(9), &mut buddy)?;
+/// // Adjacent virtual pages are guaranteed adjacent physical frames.
+/// assert_eq!(second.raw(), first.raw() + 1);
+/// assert!(cost.reservation_hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReservationAllocator {
+    /// Per-process reservation tables.
+    parts: HashMap<Pid, Arc<PaRt>>,
+    /// Ancestor tables visible to each process (fork inheritance chain).
+    inherited: HashMap<Pid, Vec<Arc<PaRt>>>,
+    policy: EnablePolicy,
+    /// Declared memory limits for the policy check (cgroup model, §4.4).
+    memory_limits: HashMap<Pid, u64>,
+    /// Reverse index: chunk base frame -> (owner pid, group), for the swap
+    /// hook (§4.4). Entries are validated lazily against the owning PaRT,
+    /// so stale entries (retired/drained groups) are harmless.
+    chunk_owner: HashMap<u64, (Pid, u64)>,
+    stats: ReservationStats,
+    /// Victim selection for reclamation ("randomly selected application",
+    /// §4.3) — seeded for reproducibility.
+    rng: StdRng,
+}
+
+impl Default for ReservationAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReservationAllocator {
+    /// Creates an allocator with PTEMagnet enabled for every process.
+    pub fn new() -> Self {
+        Self::with_policy(EnablePolicy::Always)
+    }
+
+    /// Creates an allocator with a conditional enablement policy.
+    pub fn with_policy(policy: EnablePolicy) -> Self {
+        Self {
+            parts: HashMap::new(),
+            inherited: HashMap::new(),
+            policy,
+            memory_limits: HashMap::new(),
+            chunk_owner: HashMap::new(),
+            stats: ReservationStats::default(),
+            rng: StdRng::seed_from_u64(0x9e37_79b9),
+        }
+    }
+
+    /// Registers a process's declared memory limit (the cgroup
+    /// `memory.limit_in_bytes` the policy inspects).
+    pub fn set_memory_limit(&mut self, pid: Pid, bytes: u64) {
+        self.memory_limits.insert(pid, bytes);
+    }
+
+    /// Allocator counters.
+    pub fn stats(&self) -> ReservationStats {
+        self.stats
+    }
+
+    /// The reservation table of `pid`, if it has one.
+    pub fn part_of(&self, pid: Pid) -> Option<&Arc<PaRt>> {
+        self.parts.get(&pid)
+    }
+
+    /// Reserved-but-unused frames across all processes (the §6.2 metric).
+    pub fn total_unused_frames(&self) -> u64 {
+        self.parts.values().map(|p| p.unused_frames()).sum()
+    }
+
+    fn part(&mut self, pid: Pid) -> Arc<PaRt> {
+        Arc::clone(
+            self.parts
+                .entry(pid)
+                .or_insert_with(|| Arc::new(PaRt::new())),
+        )
+    }
+
+    fn fallback(&mut self, buddy: &mut GuestBuddy) -> Result<(GuestFrame, AllocCost)> {
+        let gfn = buddy.alloc(0)?;
+        self.stats.fallbacks += 1;
+        Ok((
+            gfn,
+            AllocCost {
+                buddy_calls: 1,
+                ..AllocCost::default()
+            },
+        ))
+    }
+}
+
+impl GuestFrameAllocator for ReservationAllocator {
+    fn name(&self) -> &'static str {
+        "ptemagnet"
+    }
+
+    fn allocate(
+        &mut self,
+        pid: Pid,
+        vpn: GuestVirtPage,
+        buddy: &mut GuestBuddy,
+    ) -> Result<(GuestFrame, AllocCost)> {
+        if !self.policy.enabled(self.memory_limits.get(&pid).copied()) {
+            return self.fallback(buddy);
+        }
+        let group = vpn.group_id();
+        let offset = vpn.group_offset();
+
+        // A child first consults ancestor tables (§4.4): if the page is
+        // covered by a live parental reservation and not itself mapped by
+        // the ancestor (e.g. the child is COW-breaking a shared page), take
+        // it from there.
+        if let Some(chain) = self.inherited.get(&pid) {
+            for ancestor in chain.clone() {
+                if let Some(gfn) = ancestor.try_take(group, offset) {
+                    self.stats.reservation_hits += 1;
+                    return Ok((
+                        gfn,
+                        AllocCost {
+                            part_lookups: 1,
+                            reservation_hit: true,
+                            ..AllocCost::default()
+                        },
+                    ));
+                }
+            }
+        }
+
+        let part = self.part(pid);
+        // Fast path: the group already has a reservation with this page
+        // available.
+        if let Some(gfn) = part.try_take(group, offset) {
+            self.stats.reservation_hits += 1;
+            return Ok((
+                gfn,
+                AllocCost {
+                    part_lookups: 1,
+                    reservation_hit: true,
+                    ..AllocCost::default()
+                },
+            ));
+        }
+        // An entry exists but this page is live in it: the process is
+        // COW-breaking a page it still shares through that reservation, so
+        // the copy needs a fresh frame from the default path.
+        if part.peek(group).is_some() {
+            let (gfn, mut cost) = self.fallback(buddy)?;
+            cost.part_lookups = 1;
+            return Ok((gfn, cost));
+        }
+        // No reservation: install one. The chunk factory runs under the
+        // group's leaf lock, exactly like the kernel patch calls the buddy
+        // allocator from the fault handler.
+        let mut buddy_calls = 0u32;
+        let outcome = part.take_or_install(group, offset, || {
+            buddy_calls += 1;
+            match buddy.alloc(GROUP_SHIFT) {
+                Ok(base) => {
+                    // Reservations are handed back frame-by-frame later, so
+                    // convert the order-3 bookkeeping to order-0 pieces now.
+                    buddy
+                        .fragment_allocation(base, GROUP_SHIFT)
+                        .expect("freshly allocated chunk can be fragmented");
+                    Some(base)
+                }
+                Err(_) => None,
+            }
+        });
+        match outcome {
+            TakeOutcome::FromReservation(gfn) => {
+                self.stats.reservation_hits += 1;
+                Ok((
+                    gfn,
+                    AllocCost {
+                        part_lookups: 1,
+                        reservation_hit: true,
+                        ..AllocCost::default()
+                    },
+                ))
+            }
+            TakeOutcome::FromNewReservation(gfn) => {
+                self.stats.reservations_created += 1;
+                self.chunk_owner
+                    .insert(gfn.raw() & !(vmsim_types::GROUP_PAGES - 1), (pid, group));
+                Ok((
+                    gfn,
+                    AllocCost {
+                        buddy_calls,
+                        part_lookups: 1,
+                        ..AllocCost::default()
+                    },
+                ))
+            }
+            TakeOutcome::Unavailable => {
+                // No aligned chunk available: behave like the default kernel.
+                self.fallback(buddy)
+            }
+        }
+    }
+
+    fn free(
+        &mut self,
+        pid: Pid,
+        vpn: GuestVirtPage,
+        gfn: GuestFrame,
+        buddy: &mut GuestBuddy,
+    ) -> Result<()> {
+        let group = vpn.group_id();
+        let offset = vpn.group_offset();
+        // The page may be tracked by the process's own table or an
+        // ancestor's (if granted from an inherited reservation).
+        let mut tables: Vec<Arc<PaRt>> = Vec::new();
+        if let Some(own) = self.parts.get(&pid) {
+            tables.push(Arc::clone(own));
+        }
+        if let Some(chain) = self.inherited.get(&pid) {
+            tables.extend(chain.iter().cloned());
+        }
+        for table in tables {
+            // Only the table whose reservation covers this exact frame may
+            // account the release.
+            let covers = table
+                .peek(group)
+                .is_some_and(|r| r.base.raw() + offset == gfn.raw());
+            if !covers {
+                continue;
+            }
+            match table.release(group, offset) {
+                ReleaseOutcome::Released {
+                    unused_frames,
+                    entry_deleted,
+                } => {
+                    // While the entry lives, the freed page stays parked in
+                    // the reservation (re-grantable without a buddy call);
+                    // only entry death returns frames — all of them — to
+                    // the buddy allocator.
+                    if entry_deleted {
+                        for f in unused_frames {
+                            buddy.free(f, 0)?;
+                        }
+                    }
+                    return Ok(());
+                }
+                ReleaseOutcome::NotTracked => {}
+            }
+        }
+        // Not covered by any reservation (entry retired, reclaimed, or
+        // allocated via fallback): default kernel path.
+        buddy.free(gfn, 0)
+    }
+
+    fn fork(&mut self, parent: Pid, child: Pid) {
+        // The child sees the parent's table plus everything the parent
+        // inherited, but creates new reservations only in its own table.
+        let mut chain = Vec::new();
+        if let Some(p) = self.parts.get(&parent) {
+            chain.push(Arc::clone(p));
+        }
+        if let Some(pchain) = self.inherited.get(&parent) {
+            chain.extend(pchain.iter().cloned());
+        }
+        if !chain.is_empty() {
+            self.inherited.insert(child, chain);
+        }
+        if let Some(limit) = self.memory_limits.get(&parent).copied() {
+            self.memory_limits.insert(child, limit);
+        }
+    }
+
+    fn exit(&mut self, pid: Pid, buddy: &mut GuestBuddy) {
+        self.inherited.remove(&pid);
+        self.memory_limits.remove(&pid);
+        if let Some(part) = self.parts.remove(&pid) {
+            // Return every frame still parked in reservations. Live pages
+            // were already freed by the OS unmap path (release() handled
+            // them), so only never-granted frames remain here.
+            part.drain_unused(|f| {
+                buddy
+                    .free(f, 0)
+                    .expect("reserved frames are live order-0 allocations");
+                true
+            });
+        }
+    }
+
+    fn reclaim(&mut self, buddy: &mut GuestBuddy, target_frames: u64) -> u64 {
+        // Walk the reservations of randomly selected processes until the
+        // target is met (§4.3).
+        let mut released = 0u64;
+        let mut candidates: Vec<Pid> = self
+            .parts
+            .iter()
+            .filter(|(_, p)| p.unused_frames() > 0)
+            .map(|(&pid, _)| pid)
+            .collect();
+        while released < target_frames && !candidates.is_empty() {
+            let idx = self.rng.random_range(0..candidates.len());
+            let victim = candidates.swap_remove(idx);
+            let part = Arc::clone(&self.parts[&victim]);
+            let mut remaining = target_frames - released;
+            released += part.drain_unused(|f| {
+                buddy
+                    .free(f, 0)
+                    .expect("reserved frames are live order-0 allocations");
+                remaining = remaining.saturating_sub(1);
+                remaining > 0
+            });
+        }
+        self.stats.reclaimed_frames += released;
+        released
+    }
+
+    fn on_frame_targeted(&mut self, gfn: GuestFrame, buddy: &mut GuestBuddy) -> u64 {
+        let chunk = gfn.raw() & !(vmsim_types::GROUP_PAGES - 1);
+        let Some(&(pid, group)) = self.chunk_owner.get(&chunk) else {
+            return 0;
+        };
+        let covers = self
+            .parts
+            .get(&pid)
+            .and_then(|p| p.peek(group))
+            .is_some_and(|r| r.base.raw() == chunk);
+        if !covers {
+            // Stale: the reservation retired, emptied, or was reclaimed.
+            self.chunk_owner.remove(&chunk);
+            return 0;
+        }
+        let part = Arc::clone(&self.parts[&pid]);
+        let mut released = 0u64;
+        for f in part.drain_group(group) {
+            buddy
+                .free(f, 0)
+                .expect("reserved frames are live order-0 allocations");
+            released += 1;
+        }
+        self.chunk_owner.remove(&chunk);
+        self.stats.reclaimed_frames += released;
+        released
+    }
+
+    fn reserved_unused_frames(&self) -> u64 {
+        self.total_unused_frames()
+    }
+
+    fn reserved_unused_frames_of(&self, pid: Pid) -> u64 {
+        self.parts.get(&pid).map_or(0, |p| p.unused_frames())
+    }
+}
+
+/// A convenience error kept for API completeness: currently unused paths
+/// return standard [`MemError`] values.
+#[doc(hidden)]
+pub type ReservationError = MemError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::GROUP_PAGES;
+
+    fn setup() -> (ReservationAllocator, GuestBuddy) {
+        (ReservationAllocator::new(), GuestBuddy::new(1024))
+    }
+
+    #[test]
+    fn first_fault_reserves_whole_group() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (gfn, cost) = a.allocate(pid, GuestVirtPage::new(8), &mut buddy).unwrap();
+        assert_eq!(gfn.raw() % GROUP_PAGES, 0);
+        assert_eq!(cost.buddy_calls, 1);
+        assert!(!cost.reservation_hit);
+        // 8 frames left the pool even though one page was granted.
+        assert_eq!(buddy.free_frames(), 1024 - 8);
+        assert_eq!(a.reserved_unused_frames(), 7);
+    }
+
+    #[test]
+    fn later_faults_hit_reservation_and_are_contiguous() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (first, _) = a.allocate(pid, GuestVirtPage::new(16), &mut buddy).unwrap();
+        for off in 1..GROUP_PAGES {
+            let (gfn, cost) = a
+                .allocate(pid, GuestVirtPage::new(16 + off), &mut buddy)
+                .unwrap();
+            assert_eq!(gfn.raw(), first.raw() + off, "contiguity guaranteed");
+            assert!(cost.reservation_hit);
+            assert_eq!(cost.buddy_calls, 0);
+        }
+        assert_eq!(a.stats().reservation_hits, 7);
+        assert_eq!(a.reserved_unused_frames(), 0);
+    }
+
+    #[test]
+    fn interleaved_processes_stay_contiguous() {
+        // The headline property: colocation does NOT fragment groups.
+        let (mut a, mut buddy) = setup();
+        let p1 = Pid(1);
+        let p2 = Pid(2);
+        let mut frames1 = Vec::new();
+        for off in 0..GROUP_PAGES {
+            let (f1, _) = a.allocate(p1, GuestVirtPage::new(off), &mut buddy).unwrap();
+            let (_f2, _) = a.allocate(p2, GuestVirtPage::new(off), &mut buddy).unwrap();
+            frames1.push(f1.raw());
+        }
+        assert!(frames1.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn fallback_when_no_aligned_chunk() {
+        let (mut a, mut buddy) = setup();
+        // Shred the pool: allocate everything, free every other frame —
+        // plenty of free memory, no order-3 block.
+        let mut held = Vec::new();
+        for _ in 0..1024 {
+            held.push(buddy.alloc(0).unwrap());
+        }
+        for f in held.iter().skip(1).step_by(2) {
+            buddy.free(*f, 0).unwrap();
+        }
+        let (gfn, cost) = a
+            .allocate(Pid(1), GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        assert_eq!(cost.buddy_calls, 1);
+        assert!(!cost.reservation_hit);
+        assert_eq!(a.stats().fallbacks, 1);
+        // Frame is usable and freeable.
+        a.free(Pid(1), GuestVirtPage::new(0), gfn, &mut buddy)
+            .unwrap();
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut a = ReservationAllocator::new();
+        let mut buddy = GuestBuddy::new(8);
+        a.allocate(Pid(1), GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        assert!(matches!(
+            a.allocate(Pid(1), GuestVirtPage::new(64), &mut buddy),
+            Err(MemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn free_of_all_granted_pages_returns_unused_frames() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (g0, _) = a.allocate(pid, GuestVirtPage::new(0), &mut buddy).unwrap();
+        let (g1, _) = a.allocate(pid, GuestVirtPage::new(1), &mut buddy).unwrap();
+        assert_eq!(buddy.free_frames(), 1024 - 8);
+        a.free(pid, GuestVirtPage::new(0), g0, &mut buddy).unwrap();
+        // Entry still alive: the freed frame stays parked in the
+        // reservation (re-grantable), not in the buddy pool.
+        assert_eq!(buddy.free_frames(), 1024 - 8);
+        assert_eq!(a.reserved_unused_frames(), 7);
+        a.free(pid, GuestVirtPage::new(1), g1, &mut buddy).unwrap();
+        // Last live page freed: entry deleted, all 8 frames back.
+        assert_eq!(buddy.free_frames(), 1024);
+        assert_eq!(a.reserved_unused_frames(), 0);
+    }
+
+    #[test]
+    fn free_after_full_grant_uses_default_path() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let mut frames = Vec::new();
+        for off in 0..GROUP_PAGES {
+            frames.push(
+                a.allocate(pid, GuestVirtPage::new(off), &mut buddy)
+                    .unwrap()
+                    .0,
+            );
+        }
+        for (off, gfn) in frames.into_iter().enumerate() {
+            a.free(pid, GuestVirtPage::new(off as u64), gfn, &mut buddy)
+                .unwrap();
+        }
+        assert_eq!(buddy.free_frames(), 1024);
+    }
+
+    #[test]
+    fn child_takes_from_parent_reservation() {
+        let (mut a, mut buddy) = setup();
+        let parent = Pid(1);
+        let child = Pid(2);
+        let (pf, _) = a
+            .allocate(parent, GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        a.fork(parent, child);
+        // Child faults page 1 of the same group: granted from the parent's
+        // reservation, adjacent to the parent's frame.
+        let (cf, cost) = a
+            .allocate(child, GuestVirtPage::new(1), &mut buddy)
+            .unwrap();
+        assert_eq!(cf.raw(), pf.raw() + 1);
+        assert!(cost.reservation_hit);
+        // A fault in a fresh group creates a reservation in the CHILD's own
+        // table, not the parent's.
+        a.allocate(child, GuestVirtPage::new(64), &mut buddy)
+            .unwrap();
+        assert_eq!(a.part_of(child).unwrap().live_entries(), 1);
+        assert_eq!(a.part_of(parent).unwrap().live_entries(), 1);
+    }
+
+    #[test]
+    fn exit_returns_all_reserved_frames() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (gfn, _) = a.allocate(pid, GuestVirtPage::new(0), &mut buddy).unwrap();
+        // The OS frees the mapped page first (unmap path), then exits.
+        a.free(pid, GuestVirtPage::new(0), gfn, &mut buddy).unwrap();
+        a.exit(pid, &mut buddy);
+        assert_eq!(buddy.free_frames(), 1024);
+    }
+
+    #[test]
+    fn exit_with_live_pages_still_drains_unused() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        a.allocate(pid, GuestVirtPage::new(0), &mut buddy).unwrap();
+        a.exit(pid, &mut buddy);
+        // 7 unused frames drained; the granted one is owned by the OS layer.
+        assert_eq!(buddy.free_frames(), 1024 - 1);
+    }
+
+    #[test]
+    fn reclaim_meets_target_and_counts() {
+        let (mut a, mut buddy) = setup();
+        for g in 0..4u64 {
+            a.allocate(Pid(1), GuestVirtPage::new(g * 8), &mut buddy)
+                .unwrap();
+        }
+        assert_eq!(a.reserved_unused_frames(), 28);
+        let released = a.reclaim(&mut buddy, 10);
+        assert!(released >= 10, "met the target, got {released}");
+        assert!(a.reserved_unused_frames() <= 28 - released);
+        assert_eq!(a.stats().reclaimed_frames, released);
+    }
+
+    #[test]
+    fn reclaimed_groups_no_longer_grant() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (f0, _) = a.allocate(pid, GuestVirtPage::new(0), &mut buddy).unwrap();
+        a.reclaim(&mut buddy, 100);
+        // Fault page 1: the old reservation is gone, so a new chunk (or
+        // fallback) serves it — and the frame is NOT adjacent-by-guarantee.
+        let (f1, _) = a.allocate(pid, GuestVirtPage::new(1), &mut buddy).unwrap();
+        assert_ne!(f1.raw(), f0.raw());
+        // Frame 0 can still be freed through the default path.
+        a.free(pid, GuestVirtPage::new(0), f0, &mut buddy).unwrap();
+    }
+
+    #[test]
+    fn policy_disables_reservations_for_small_processes() {
+        let mut a = ReservationAllocator::with_policy(EnablePolicy::MemoryLimitAbove(1024 * 1024));
+        let mut buddy = GuestBuddy::new(1024);
+        let small = Pid(1);
+        let big = Pid(2);
+        a.set_memory_limit(small, 4096);
+        a.set_memory_limit(big, 64 * 1024 * 1024);
+        let (_f, cost) = a
+            .allocate(small, GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        assert!(!cost.reservation_hit);
+        assert_eq!(a.stats().fallbacks, 1);
+        assert_eq!(a.reserved_unused_frames(), 0);
+        a.allocate(big, GuestVirtPage::new(0), &mut buddy).unwrap();
+        assert_eq!(a.reserved_unused_frames(), 7);
+    }
+
+    #[test]
+    fn cow_break_on_live_page_falls_back_to_fresh_frame() {
+        // Regression (found by tests/stress.rs): after fork, a process
+        // COW-breaking a page that is still live in a covering reservation
+        // must get a *new* frame, not panic or double-grant.
+        let (mut a, mut buddy) = setup();
+        let parent = Pid(1);
+        let child = Pid(2);
+        let (orig, _) = a
+            .allocate(parent, GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        a.fork(parent, child);
+        // Parent COW-breaks its own page 0 (own-table path).
+        let (copy_p, cost) = a
+            .allocate(parent, GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        assert_ne!(copy_p, orig);
+        assert!(!cost.reservation_hit);
+        // Child COW-breaks the same page (inherited-table path).
+        let (copy_c, _) = a
+            .allocate(child, GuestVirtPage::new(0), &mut buddy)
+            .unwrap();
+        assert_ne!(copy_c, orig);
+        assert_ne!(copy_c, copy_p);
+        // Everything remains freeable without leaks.
+        a.free(parent, GuestVirtPage::new(0), copy_p, &mut buddy)
+            .unwrap();
+        a.free(child, GuestVirtPage::new(0), copy_c, &mut buddy)
+            .unwrap();
+        a.free(parent, GuestVirtPage::new(0), orig, &mut buddy)
+            .unwrap();
+        a.exit(child, &mut buddy);
+        a.exit(parent, &mut buddy);
+        assert_eq!(buddy.free_frames(), 1024);
+    }
+
+    #[test]
+    fn swap_target_reclaims_covering_reservation() {
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        let (gfn, _) = a.allocate(pid, GuestVirtPage::new(0), &mut buddy).unwrap();
+        assert_eq!(a.reserved_unused_frames(), 7);
+        // The OS targets a *reserved* (unmapped) frame of the same chunk.
+        let target = GuestFrame::new(gfn.raw() + 3);
+        let released = a.on_frame_targeted(target, &mut buddy);
+        assert_eq!(released, 7, "whole reservation reclaimed");
+        assert_eq!(a.reserved_unused_frames(), 0);
+        // The mapped page is untouched and still freeable (default path).
+        a.free(pid, GuestVirtPage::new(0), gfn, &mut buddy).unwrap();
+        assert_eq!(buddy.free_frames(), 1024);
+        // Re-targeting is a no-op.
+        assert_eq!(a.on_frame_targeted(target, &mut buddy), 0);
+    }
+
+    #[test]
+    fn swap_target_on_unreserved_frame_is_noop() {
+        let (mut a, mut buddy) = setup();
+        assert_eq!(a.on_frame_targeted(GuestFrame::new(500), &mut buddy), 0);
+    }
+
+    #[test]
+    fn adversarial_every_eighth_page_wastes_seven_eighths() {
+        // The pathological pattern discussed in §6.2: touching only every
+        // eighth page reserves 8x the application's footprint.
+        let (mut a, mut buddy) = setup();
+        let pid = Pid(1);
+        for g in 0..8u64 {
+            a.allocate(pid, GuestVirtPage::new(g * 8), &mut buddy)
+                .unwrap();
+        }
+        assert_eq!(a.reserved_unused_frames(), 7 * 8);
+        assert_eq!(buddy.free_frames(), 1024 - 64);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the assembled machine: whatever sequence of
+//! touches colocated processes perform, translation must be coherent
+//! (same page -> same frame while mapped) and cycle accounting sane.
+
+use proptest::prelude::*;
+use vmsim_os::{Machine, MachineConfig, Pid};
+use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
+
+#[derive(Clone, Debug)]
+struct Touch {
+    proc: usize,
+    page: u64,
+    write: bool,
+}
+
+fn touch_strategy() -> impl Strategy<Value = Touch> {
+    (0usize..3, 0u64..96, any::<bool>()).prop_map(|(proc, page, write)| Touch { proc, page, write })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn translations_are_coherent_under_arbitrary_touch_orders(
+        touches in prop::collection::vec(touch_strategy(), 1..150)
+    ) {
+        let mut m = Machine::new(MachineConfig::small());
+        let mut procs: Vec<(Pid, GuestVirtAddr)> = Vec::new();
+        for _ in 0..3 {
+            let pid = m.guest_mut().spawn();
+            let va = m.guest_mut().mmap(pid, 96).unwrap();
+            procs.push((pid, va));
+        }
+        // Model: (proc, page) -> frame assigned at first touch.
+        let mut model: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
+
+        for t in touches {
+            let (pid, base) = procs[t.proc];
+            let core = t.proc % m.caches().core_count();
+            let va = GuestVirtAddr::new(base.raw() + t.page * PAGE_SIZE);
+            let out = m.touch(core, pid, va, t.write).unwrap();
+            prop_assert!(out.cycles > 0);
+            prop_assert!(!(out.tlb_hit && out.faulted), "fresh faults cannot hit TLB");
+
+            let gfn = m
+                .guest()
+                .process(pid)
+                .unwrap()
+                .page_table
+                .translate(va.page())
+                .unwrap()
+                .raw();
+            match model.get(&(t.proc, t.page)) {
+                Some(&expected) => prop_assert_eq!(
+                    gfn, expected,
+                    "mapping changed without unmap (proc {}, page {})",
+                    t.proc, t.page
+                ),
+                None => {
+                    prop_assert!(out.faulted, "first touch must fault");
+                    model.insert((t.proc, t.page), gfn);
+                }
+            }
+
+            // The TLB path and the page-table path agree: touching again
+            // immediately yields the same frame via the TLB.
+            let again = m.touch(core, pid, va, false).unwrap();
+            prop_assert!(again.tlb_hit);
+            prop_assert!(!again.faulted);
+        }
+
+        // No two live (proc, page) pairs share a frame (no COW here).
+        let mut frames: Vec<u64> = model.values().copied().collect();
+        let n = frames.len();
+        frames.sort_unstable();
+        frames.dedup();
+        prop_assert_eq!(frames.len(), n, "distinct pages own distinct frames");
+    }
+
+    #[test]
+    fn cycle_costs_are_monotone_in_distance(
+        pages in prop::collection::vec(0u64..512, 2..40)
+    ) {
+        // For any touch sequence: a TLB hit is never more expensive than
+        // the cold access to the same page was.
+        let mut m = Machine::new(MachineConfig::small());
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 512).unwrap();
+        let mut cold_cost: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for p in pages {
+            let addr = GuestVirtAddr::new(va.raw() + p * PAGE_SIZE);
+            let out = m.touch(0, pid, addr, false).unwrap();
+            match cold_cost.get(&p) {
+                None => {
+                    cold_cost.insert(p, out.cycles);
+                }
+                Some(&cold) if out.tlb_hit => {
+                    prop_assert!(
+                        out.cycles <= cold,
+                        "warm access ({}) dearer than cold ({cold})",
+                        out.cycles
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

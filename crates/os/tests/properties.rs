@@ -1,0 +1,140 @@
+//! Property-based tests for the guest OS: frame conservation and mapping
+//! consistency under arbitrary fault/unmap/fork/COW sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vmsim_os::{DefaultAllocator, GuestOs, Pid};
+use vmsim_types::GuestVirtPage;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Spawn,
+    /// Fault page `page` of process index `proc` (both taken modulo live
+    /// counts).
+    Fault {
+        proc: usize,
+        page: u64,
+    },
+    /// Write-fault (COW break if shared).
+    Write {
+        proc: usize,
+        page: u64,
+    },
+    Unmap {
+        proc: usize,
+        page: u64,
+    },
+    Fork {
+        proc: usize,
+    },
+    Exit {
+        proc: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Spawn),
+        8 => (0usize..8, 0u64..64).prop_map(|(proc, page)| Op::Fault { proc, page }),
+        4 => (0usize..8, 0u64..64).prop_map(|(proc, page)| Op::Write { proc, page }),
+        3 => (0usize..8, 0u64..64).prop_map(|(proc, page)| Op::Unmap { proc, page }),
+        2 => (0usize..8).prop_map(|proc| Op::Fork { proc }),
+        1 => (0usize..8).prop_map(|proc| Op::Exit { proc }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn guest_os_conserves_frames(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let total = 4096u64;
+        let mut g = GuestOs::new(total, Box::new(DefaultAllocator::new()));
+        // Live processes and their 64-page VMA bases.
+        let mut procs: Vec<(Pid, u64)> = Vec::new();
+        {
+            let pid = g.spawn();
+            let va = g.mmap(pid, 64).unwrap();
+            procs.push((pid, va.page().raw()));
+        }
+
+        for op in ops {
+            if procs.is_empty() {
+                let pid = g.spawn();
+                let va = g.mmap(pid, 64).unwrap();
+                procs.push((pid, va.page().raw()));
+            }
+            match op {
+                Op::Spawn => {
+                    let pid = g.spawn();
+                    let va = g.mmap(pid, 64).unwrap();
+                    procs.push((pid, va.page().raw()));
+                }
+                Op::Fault { proc, page } => {
+                    let (pid, base) = procs[proc % procs.len()];
+                    let vpn = GuestVirtPage::new(base + page);
+                    let _ = g.page_fault(pid, vpn); // AlreadyMapped is fine
+                }
+                Op::Write { proc, page } => {
+                    let (pid, base) = procs[proc % procs.len()];
+                    let vpn = GuestVirtPage::new(base + page);
+                    let _ = g.write_fault(pid, vpn); // Unmapped is fine
+                }
+                Op::Unmap { proc, page } => {
+                    let (pid, base) = procs[proc % procs.len()];
+                    let vpn = GuestVirtPage::new(base + page);
+                    // Only unmap pages still inside the VMA; repeated
+                    // unmaps of the same page legitimately fail.
+                    let _ = g.munmap(pid, vpn, 1);
+                }
+                Op::Fork { proc } => {
+                    let (pid, base) = procs[proc % procs.len()];
+                    if let Ok(child) = g.fork(pid) {
+                        procs.push((child, base));
+                    }
+                }
+                Op::Exit { proc } => {
+                    let (pid, _) = procs.remove(proc % procs.len());
+                    g.exit(pid).unwrap();
+                }
+            }
+
+            // Invariant 1: buddy accounting is internally consistent.
+            prop_assert!(g.buddy().check_invariants());
+
+            // Invariant 2: every translation maps to a distinct frame
+            // unless the PTE is COW-shared.
+            let mut owners: HashMap<u64, bool /* cow */> = HashMap::new();
+            for (pid, base) in &procs {
+                let proc_ref = g.process(*pid).unwrap();
+                for page in 0..64u64 {
+                    let vpn = GuestVirtPage::new(base + page);
+                    if let Some(pte) = proc_ref.page_table.lookup(vpn) {
+                        let frame = pte.frame().raw();
+                        if let Some(prev_cow) = owners.get(&frame) {
+                            prop_assert!(
+                                *prev_cow && pte.is_cow(),
+                                "frame {frame:#x} shared without COW"
+                            );
+                        } else {
+                            owners.insert(frame, pte.is_cow());
+                        }
+                    }
+                }
+            }
+
+            // Invariant 3: rss matches the page table's mapped count.
+            for (pid, _) in &procs {
+                let p = g.process(*pid).unwrap();
+                prop_assert_eq!(p.rss_pages, p.page_table.stats().mapped_pages);
+            }
+        }
+
+        // Teardown: exiting everything returns every frame.
+        for (pid, _) in procs {
+            g.exit(pid).unwrap();
+        }
+        prop_assert_eq!(g.buddy().free_frames(), total);
+    }
+}

@@ -1,0 +1,235 @@
+//! The 64-bit page-table entry format.
+
+use core::marker::PhantomData;
+
+use vmsim_types::PageNumber;
+
+const PRESENT: u64 = 1 << 0;
+const WRITABLE: u64 = 1 << 1;
+const ACCESSED: u64 = 1 << 5;
+const DIRTY: u64 = 1 << 6;
+/// Page-size bit (x86 PS): set on a level-2 entry that maps a 2 MB page
+/// directly instead of pointing at a leaf node.
+const HUGE: u64 = 1 << 7;
+/// Software-available bit used to mark copy-on-write mappings.
+const COW: u64 = 1 << 9;
+const FRAME_SHIFT: u32 = 12;
+const FRAME_MASK: u64 = ((1u64 << 40) - 1) << FRAME_SHIFT;
+
+/// An 8-byte page-table entry, typed by the frame space it points into.
+///
+/// Follows the x86-64 layout: low bits are flags, bits 12..52 hold the frame
+/// number. The same format is used at every level (intermediate entries point
+/// at the frame of the next node; leaf entries point at the mapped frame).
+#[derive(PartialEq, Eq, Hash)]
+pub struct Pte<F> {
+    raw: u64,
+    _space: PhantomData<F>,
+}
+
+// Manual Clone/Copy: the derive would bound `F: Copy`, but a PTE is a plain
+// 64-bit word regardless of the frame marker type.
+impl<F> Clone for Pte<F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<F> Copy for Pte<F> {}
+
+impl<F: PageNumber> Pte<F> {
+    /// Creates a present, writable entry pointing at `frame`.
+    pub fn present(frame: F) -> Self {
+        Self {
+            raw: PRESENT | WRITABLE | ((frame.to_raw() << FRAME_SHIFT) & FRAME_MASK),
+            _space: PhantomData,
+        }
+    }
+
+    /// The frame this entry points to.
+    ///
+    /// Meaningless if the entry is not present; callers should check
+    /// [`Pte::is_present`] first.
+    pub fn frame(self) -> F {
+        F::from_raw((self.raw & FRAME_MASK) >> FRAME_SHIFT)
+    }
+}
+
+impl<F> Pte<F> {
+    /// The all-zero, non-present entry.
+    pub const fn empty() -> Self {
+        Self {
+            raw: 0,
+            _space: PhantomData,
+        }
+    }
+
+    /// Reconstructs an entry from its raw 64-bit representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self {
+            raw,
+            _space: PhantomData,
+        }
+    }
+
+    /// Raw 64-bit representation.
+    pub const fn raw(self) -> u64 {
+        self.raw
+    }
+
+    /// Whether the entry holds a valid translation.
+    pub const fn is_present(self) -> bool {
+        self.raw & PRESENT != 0
+    }
+
+    /// Whether the mapping is writable.
+    pub const fn is_writable(self) -> bool {
+        self.raw & WRITABLE != 0
+    }
+
+    /// Returns a copy with the writable bit set to `w`.
+    #[must_use]
+    pub const fn with_writable(self, w: bool) -> Self {
+        Self {
+            raw: if w {
+                self.raw | WRITABLE
+            } else {
+                self.raw & !WRITABLE
+            },
+            _space: PhantomData,
+        }
+    }
+
+    /// Whether this is a huge-page (2 MB) mapping entry (x86 PS bit).
+    pub const fn is_huge(self) -> bool {
+        self.raw & HUGE != 0
+    }
+
+    /// Returns a copy with the huge-page bit set.
+    #[must_use]
+    pub const fn as_huge(self) -> Self {
+        Self {
+            raw: self.raw | HUGE,
+            _space: PhantomData,
+        }
+    }
+
+    /// Whether the entry is marked copy-on-write.
+    pub const fn is_cow(self) -> bool {
+        self.raw & COW != 0
+    }
+
+    /// Returns a copy with the COW bit set to `c`.
+    #[must_use]
+    pub const fn with_cow(self, c: bool) -> Self {
+        Self {
+            raw: if c { self.raw | COW } else { self.raw & !COW },
+            _space: PhantomData,
+        }
+    }
+
+    /// Whether the accessed bit is set.
+    pub const fn is_accessed(self) -> bool {
+        self.raw & ACCESSED != 0
+    }
+
+    /// Returns a copy with the accessed bit set.
+    #[must_use]
+    pub const fn touched(self) -> Self {
+        Self {
+            raw: self.raw | ACCESSED,
+            _space: PhantomData,
+        }
+    }
+
+    /// Whether the dirty bit is set.
+    pub const fn is_dirty(self) -> bool {
+        self.raw & DIRTY != 0
+    }
+
+    /// Returns a copy with the dirty bit set.
+    #[must_use]
+    pub const fn dirtied(self) -> Self {
+        Self {
+            raw: self.raw | DIRTY,
+            _space: PhantomData,
+        }
+    }
+}
+
+impl<F> Default for Pte<F> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<F> core::fmt::Debug for Pte<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if !self.is_present() {
+            return write!(f, "Pte(absent)");
+        }
+        write!(
+            f,
+            "Pte(frame={:#x}{}{}{}{})",
+            (self.raw & FRAME_MASK) >> FRAME_SHIFT,
+            if self.is_writable() { " W" } else { "" },
+            if self.is_cow() { " COW" } else { "" },
+            if self.is_accessed() { " A" } else { "" },
+            if self.is_dirty() { " D" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::GuestFrame;
+
+    #[test]
+    fn empty_is_absent() {
+        let e: Pte<GuestFrame> = Pte::empty();
+        assert!(!e.is_present());
+        assert_eq!(e.raw(), 0);
+        assert_eq!(e, Pte::default());
+    }
+
+    #[test]
+    fn present_round_trips_frame() {
+        let e = Pte::present(GuestFrame::new(0x12345));
+        assert!(e.is_present());
+        assert!(e.is_writable());
+        assert_eq!(e.frame(), GuestFrame::new(0x12345));
+    }
+
+    #[test]
+    fn flag_builders_are_independent() {
+        let e = Pte::present(GuestFrame::new(1))
+            .with_cow(true)
+            .with_writable(false)
+            .touched()
+            .dirtied();
+        assert!(e.is_cow());
+        assert!(!e.is_writable());
+        assert!(e.is_accessed());
+        assert!(e.is_dirty());
+        assert_eq!(e.frame(), GuestFrame::new(1));
+        let e2 = e.with_cow(false).with_writable(true);
+        assert!(!e2.is_cow());
+        assert!(e2.is_writable());
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let e = Pte::present(GuestFrame::new(42)).with_cow(true);
+        let back: Pte<GuestFrame> = Pte::from_raw(e.raw());
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let e = Pte::present(GuestFrame::new(7));
+        let s = format!("{e:?}");
+        assert!(s.contains("0x7"));
+        assert!(format!("{:?}", Pte::<GuestFrame>::empty()).contains("absent"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Cache-line census helpers behind the host-PT fragmentation metric.
+//!
+//! The paper (§3.2) characterizes host-PT fragmentation as *"the average
+//! number of cache blocks with hPTEs that correspond to gPTEs packed into a
+//! single cache block"* — i.e. for each aligned group of eight guest-virtual
+//! pages, how many distinct 64-byte lines hold their eight host PTEs. A
+//! perfectly contiguous layout gives 1.0; fully scattered gives 8.0.
+
+use std::collections::HashSet;
+
+/// Census over groups: how many distinct PTE cache lines each group touched.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LineCensus {
+    /// Number of groups inspected (groups with at least one mapped page).
+    pub groups: u64,
+    /// Sum over groups of distinct cache lines touched.
+    pub total_lines: u64,
+    /// Histogram: `by_count[k]` groups touched exactly `k+1` lines.
+    pub by_count: [u64; 8],
+}
+
+impl LineCensus {
+    /// Mean distinct lines per group — the paper's fragmentation metric.
+    ///
+    /// Returns 0.0 if no groups were inspected.
+    pub fn mean(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.total_lines as f64 / self.groups as f64
+        }
+    }
+
+    /// Fraction of groups whose PTEs were fully scattered (8 lines).
+    pub fn fully_scattered_fraction(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.by_count[7] as f64 / self.groups as f64
+        }
+    }
+
+    /// Records one group given the PTE byte addresses of its mapped pages.
+    ///
+    /// Groups with no mapped pages are skipped (they have no PTEs to count).
+    pub fn record_group(&mut self, pte_addrs: impl IntoIterator<Item = u64>) {
+        let lines: HashSet<u64> = pte_addrs
+            .into_iter()
+            .map(|a| a >> vmsim_types::CACHE_LINE_SHIFT)
+            .collect();
+        if lines.is_empty() {
+            return;
+        }
+        let n = lines.len().min(8);
+        self.groups += 1;
+        self.total_lines += n as u64;
+        self.by_count[n - 1] += 1;
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &LineCensus) {
+        self.groups += other.groups;
+        self.total_lines += other.total_lines;
+        for (a, b) in self.by_count.iter_mut().zip(other.by_count.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl core::fmt::Display for LineCensus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "fragmentation {:.2} over {} groups ({:.1}% fully scattered)",
+            self.mean(),
+            self.groups,
+            self.fully_scattered_fraction() * 100.0
+        )
+    }
+}
+
+/// Computes a census in one call from per-group PTE address lists.
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_pt::group_line_census;
+///
+/// // Two groups: one with PTEs packed in a single line, one scattered over
+/// // two lines.
+/// let census = group_line_census(vec![
+///     vec![0x1000, 0x1008, 0x1010],
+///     vec![0x2000, 0x3000],
+/// ]);
+/// assert_eq!(census.groups, 2);
+/// assert!((census.mean() - 1.5).abs() < 1e-9);
+/// ```
+pub fn group_line_census<I, G>(groups: I) -> LineCensus
+where
+    I: IntoIterator<Item = G>,
+    G: IntoIterator<Item = u64>,
+{
+    let mut census = LineCensus::default();
+    for g in groups {
+        census.record_group(g);
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_group_counts_one_line() {
+        let mut c = LineCensus::default();
+        c.record_group((0..8u64).map(|i| 0x5000 + i * 8));
+        assert_eq!(c.groups, 1);
+        assert_eq!(c.total_lines, 1);
+        assert_eq!(c.mean(), 1.0);
+        assert_eq!(c.by_count[0], 1);
+    }
+
+    #[test]
+    fn scattered_group_counts_eight_lines() {
+        let mut c = LineCensus::default();
+        c.record_group((0..8u64).map(|i| i * 4096));
+        assert_eq!(c.mean(), 8.0);
+        assert_eq!(c.fully_scattered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_group_is_skipped() {
+        let mut c = LineCensus::default();
+        c.record_group(std::iter::empty());
+        assert_eq!(c.groups, 0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn partial_groups_count_their_lines() {
+        // 3 mapped pages of a group, PTEs on 2 distinct lines.
+        let mut c = LineCensus::default();
+        c.record_group([0x1000, 0x1008, 0x2000]);
+        assert_eq!(c.total_lines, 2);
+        assert_eq!(c.by_count[1], 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = group_line_census(vec![vec![0x1000u64]]);
+        let mut b = group_line_census(vec![vec![0x1000u64, 0x2000]]);
+        b.merge(&a);
+        assert_eq!(b.groups, 2);
+        assert_eq!(b.total_lines, 3);
+    }
+
+    #[test]
+    fn display_shows_mean() {
+        let c = group_line_census(vec![vec![0x1000u64]]);
+        assert!(c.to_string().contains("1.00"));
+    }
+}

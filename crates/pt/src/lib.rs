@@ -1,0 +1,51 @@
+//! Radix page tables materialized in simulated physical frames.
+//!
+//! Page tables in this workspace are not abstract maps: each node is a real
+//! 4 KB frame (allocated from the owning OS's buddy allocator) holding 512
+//! 8-byte entries, so every entry has a concrete physical address and a
+//! concrete 64-byte cache line. That is what lets the paper's phenomenon
+//! *emerge* in the simulator: the census of cache lines touched by host-PTE
+//! accesses (the host-PT fragmentation metric of §3.2) is computed from real
+//! entry addresses, and the cache model sees the same addresses the hardware
+//! page walker would.
+//!
+//! The crate provides:
+//!
+//! * [`Pte`] — the 64-bit entry format (present/writable/COW bits + frame);
+//! * [`PageTable`] — a 4-level radix tree generic over the virtual-page and
+//!   frame newtypes of its address space (guest PT: guest-virtual →
+//!   guest-physical; host PT: host-virtual → host-physical);
+//! * [`walk`] — the ordered list of entry addresses a hardware walker
+//!   touches for a translation, consumed by the nested-walk engine in
+//!   `vmsim-os`;
+//! * [`footprint`] — cache-line census helpers behind the host-PT
+//!   fragmentation metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmsim_pt::PageTable;
+//! use vmsim_types::{GuestFrame, GuestVirtPage};
+//!
+//! # fn main() -> Result<(), vmsim_types::MemError> {
+//! let mut next = 100u64; // toy frame allocator for PT nodes
+//! let mut alloc = || {
+//!     next += 1;
+//!     Ok(GuestFrame::new(next))
+//! };
+//! let mut pt: PageTable<GuestVirtPage, GuestFrame> = PageTable::new(&mut alloc)?;
+//! pt.map(GuestVirtPage::new(0x42), GuestFrame::new(7), &mut alloc)?;
+//! assert_eq!(pt.translate(GuestVirtPage::new(0x42)), Some(GuestFrame::new(7)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod entry;
+pub mod footprint;
+pub mod table;
+pub mod walk;
+
+pub use entry::Pte;
+pub use footprint::{group_line_census, LineCensus};
+pub use table::{PageTable, PtStats};
+pub use walk::{WalkPath, WalkStep};

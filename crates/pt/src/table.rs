@@ -1,0 +1,759 @@
+//! The 4-level radix page table.
+
+use std::collections::HashMap;
+
+use vmsim_types::{MemError, PageNumber, Result, PT_ENTRIES, PT_LEVELS};
+
+use crate::entry::Pte;
+use crate::walk::{WalkPath, WalkStep};
+
+/// Node-count statistics of a page table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PtStats {
+    /// Nodes allocated at each level (index 0 = root level).
+    pub nodes_per_level: [u64; PT_LEVELS],
+    /// Currently present leaf mappings, counted in 4 KB pages (a huge
+    /// mapping contributes 512).
+    pub mapped_pages: u64,
+    /// Currently present huge (2 MB) mappings.
+    pub huge_pages: u64,
+}
+
+/// Where the translation path for a page ends.
+enum SlotKind<F> {
+    /// The path has a non-present entry before reaching any translation.
+    Hole,
+    /// A level-2 huge-page entry covers the page.
+    Huge {
+        /// Node holding the huge entry.
+        node: F,
+        /// Entry index within that node.
+        idx: usize,
+    },
+    /// The path reaches the leaf level.
+    Leaf {
+        /// Leaf node frame.
+        node: F,
+        /// Entry index within the leaf.
+        idx: usize,
+    },
+}
+
+impl PtStats {
+    /// Total nodes across all levels.
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_per_level.iter().sum()
+    }
+}
+
+/// A 4-level radix page table mapping `V` pages to `F` frames, with nodes
+/// materialized in `F`-space frames.
+///
+/// * Guest page table: `PageTable<GuestVirtPage, GuestFrame>` — nodes live in
+///   guest-physical frames.
+/// * Host page table: `PageTable<HostVirtPage, HostFrame>` — nodes live in
+///   host-physical frames.
+///
+/// Node frames come from the caller-supplied allocator closure, so the
+/// table's own memory competes for (simulated) physical memory exactly like
+/// application data — PT node placement is *real* and walkable.
+#[derive(Clone, Debug)]
+pub struct PageTable<V, F> {
+    root: F,
+    /// Node frame -> 512 entries. Intermediate entries point at child node
+    /// frames; leaf entries hold translations.
+    nodes: HashMap<u64, Box<[Pte<F>]>>,
+    /// Level of each node, for stats and diagnostics.
+    node_levels: HashMap<u64, usize>,
+    stats: PtStats,
+    _virt: core::marker::PhantomData<V>,
+}
+
+impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
+    /// Creates an empty table, allocating the root node from `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from `alloc`.
+    pub fn new(mut alloc: impl FnMut() -> Result<F>) -> Result<Self> {
+        let root = alloc()?;
+        let mut nodes = HashMap::new();
+        nodes.insert(root.to_raw(), Self::empty_node());
+        let mut node_levels = HashMap::new();
+        node_levels.insert(root.to_raw(), 0);
+        let mut stats = PtStats::default();
+        stats.nodes_per_level[0] = 1;
+        Ok(Self {
+            root,
+            nodes,
+            node_levels,
+            stats,
+            _virt: core::marker::PhantomData,
+        })
+    }
+
+    fn empty_node() -> Box<[Pte<F>]> {
+        vec![Pte::empty(); PT_ENTRIES as usize].into_boxed_slice()
+    }
+
+    /// Frame of the root node.
+    pub fn root(&self) -> F {
+        self.root
+    }
+
+    /// Node-count statistics.
+    pub fn stats(&self) -> PtStats {
+        self.stats
+    }
+
+    /// Maps `vpn` to a present, writable entry for `frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] if a present mapping exists, and
+    /// propagates node-allocation failures.
+    pub fn map(&mut self, vpn: V, frame: F, alloc: impl FnMut() -> Result<F>) -> Result<()> {
+        self.map_entry(vpn, Pte::present(frame), alloc)
+    }
+
+    /// Maps `vpn` with an explicit entry (used for COW and custom flags).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] if a present mapping exists, and
+    /// propagates node-allocation failures.
+    pub fn map_entry(
+        &mut self,
+        vpn: V,
+        pte: Pte<F>,
+        mut alloc: impl FnMut() -> Result<F>,
+    ) -> Result<()> {
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let idx = vpn.to_raw();
+            let idx = vmsim_types::page::pt_index(idx, level) as usize;
+            let entry = self.nodes[&node.to_raw()][idx];
+            if entry.is_present() && entry.is_huge() {
+                // A huge mapping already covers this page.
+                return Err(MemError::AlreadyMapped { vpn: vpn.to_raw() });
+            }
+            node = if entry.is_present() {
+                entry.frame()
+            } else {
+                let child = alloc()?;
+                self.nodes.insert(child.to_raw(), Self::empty_node());
+                self.node_levels.insert(child.to_raw(), level + 1);
+                self.stats.nodes_per_level[level + 1] += 1;
+                self.nodes.get_mut(&node.to_raw()).expect("node exists")[idx] = Pte::present(child);
+                child
+            };
+        }
+        let leaf_idx = vmsim_types::page::pt_index(vpn.to_raw(), PT_LEVELS - 1) as usize;
+        let leaf = self
+            .nodes
+            .get_mut(&node.to_raw())
+            .expect("leaf node exists");
+        if leaf[leaf_idx].is_present() {
+            return Err(MemError::AlreadyMapped { vpn: vpn.to_raw() });
+        }
+        leaf[leaf_idx] = pte;
+        self.stats.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Removes the mapping for `vpn`, returning the old entry.
+    ///
+    /// Intermediate nodes are kept (as Linux does for process lifetime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if no present mapping exists.
+    pub fn unmap(&mut self, vpn: V) -> Result<Pte<F>> {
+        let (node, idx) = self
+            .leaf_slot(vpn)
+            .ok_or(MemError::Unmapped { vpn: vpn.to_raw() })?;
+        let leaf = self
+            .nodes
+            .get_mut(&node.to_raw())
+            .expect("leaf node exists");
+        let old = leaf[idx];
+        if !old.is_present() {
+            return Err(MemError::Unmapped { vpn: vpn.to_raw() });
+        }
+        leaf[idx] = Pte::empty();
+        self.stats.mapped_pages -= 1;
+        Ok(old)
+    }
+
+    /// Rewrites the present entry translating `vpn` through `f`. For huge
+    /// mappings the PS bit is preserved regardless of what `f` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if no present mapping exists.
+    pub fn update(&mut self, vpn: V, f: impl FnOnce(Pte<F>) -> Pte<F>) -> Result<Pte<F>> {
+        let (node, idx, huge) = match self.slot_of(vpn) {
+            SlotKind::Hole => return Err(MemError::Unmapped { vpn: vpn.to_raw() }),
+            SlotKind::Huge { node, idx } => (node, idx, true),
+            SlotKind::Leaf { node, idx } => (node, idx, false),
+        };
+        let entries = self.nodes.get_mut(&node.to_raw()).expect("node exists");
+        if !entries[idx].is_present() {
+            return Err(MemError::Unmapped { vpn: vpn.to_raw() });
+        }
+        entries[idx] = f(entries[idx]);
+        if huge {
+            entries[idx] = entries[idx].as_huge();
+        }
+        Ok(entries[idx])
+    }
+
+    /// Looks up the entry translating `vpn`, if present. For a page covered
+    /// by a huge mapping this is the level-2 PS entry, whose frame is the
+    /// 2 MB chunk base (use [`PageTable::translate`] for the page's frame).
+    pub fn lookup(&self, vpn: V) -> Option<Pte<F>> {
+        match self.slot_of(vpn) {
+            SlotKind::Hole => None,
+            SlotKind::Huge { node, idx } | SlotKind::Leaf { node, idx } => {
+                let pte = self.nodes[&node.to_raw()][idx];
+                pte.is_present().then_some(pte)
+            }
+        }
+    }
+
+    /// Translates `vpn` to its mapped 4 KB frame, if present (huge mappings
+    /// resolve to `chunk_base + offset`).
+    pub fn translate(&self, vpn: V) -> Option<F> {
+        let pte = self.lookup(vpn)?;
+        if pte.is_huge() {
+            let offset = vpn.to_raw() & (PT_ENTRIES - 1);
+            Some(F::from_raw(pte.frame().to_raw() + offset))
+        } else {
+            Some(pte.frame())
+        }
+    }
+
+    /// Whether `vpn` is covered by a huge (2 MB) mapping.
+    pub fn is_huge_mapping(&self, vpn: V) -> bool {
+        matches!(self.slot_of(vpn), SlotKind::Huge { .. })
+    }
+
+    /// Frame of the leaf node that holds (or would hold) `vpn`'s PTE, if the
+    /// path down to the leaf level exists.
+    pub fn leaf_node(&self, vpn: V) -> Option<F> {
+        self.leaf_slot(vpn).map(|(node, _)| node)
+    }
+
+    /// Raw physical byte address of the entry translating `vpn` (the leaf
+    /// PTE, or the level-2 PS entry for huge mappings), if the path exists.
+    /// This is the address whose cache line the fragmentation metric counts.
+    pub fn pte_addr_raw(&self, vpn: V) -> Option<u64> {
+        match self.slot_of(vpn) {
+            SlotKind::Hole => None,
+            SlotKind::Huge { node, idx } | SlotKind::Leaf { node, idx } => Some(
+                (node.to_raw() << vmsim_types::PAGE_SHIFT) + idx as u64 * vmsim_types::PTE_SIZE,
+            ),
+        }
+    }
+
+    /// Whether a huge mapping could be installed over the aligned 2 MB
+    /// region containing `vpn` (the level-2 slot is empty: no huge mapping,
+    /// no leaf node — even an empty one — occupies it).
+    pub fn can_map_large(&self, vpn: V) -> bool {
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let idx = vmsim_types::page::pt_index(vpn.to_raw(), level) as usize;
+            let entry = self.nodes[&node.to_raw()][idx];
+            if !entry.is_present() {
+                return true;
+            }
+            if entry.is_huge() || level == PT_LEVELS - 2 {
+                return false;
+            }
+            node = entry.frame();
+        }
+        unreachable!("loop returns by level 2")
+    }
+
+    /// Maps an aligned 2 MB region (512 pages) with one huge entry, as a
+    /// THP-style allocation does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if `base_vpn` or `chunk` is not
+    /// 512-aligned, [`MemError::AlreadyMapped`] if anything in the region is
+    /// mapped, and propagates node-allocation failures.
+    pub fn map_large(
+        &mut self,
+        base_vpn: V,
+        chunk: F,
+        mut alloc: impl FnMut() -> Result<F>,
+    ) -> Result<()> {
+        if !base_vpn.to_raw().is_multiple_of(PT_ENTRIES) {
+            return Err(MemError::OutOfRange {
+                value: base_vpn.to_raw(),
+                limit: PT_ENTRIES,
+            });
+        }
+        if !chunk.to_raw().is_multiple_of(PT_ENTRIES) {
+            return Err(MemError::OutOfRange {
+                value: chunk.to_raw(),
+                limit: PT_ENTRIES,
+            });
+        }
+        // Build the path down to level 2.
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 2 {
+            let idx = vmsim_types::page::pt_index(base_vpn.to_raw(), level) as usize;
+            let entry = self.nodes[&node.to_raw()][idx];
+            if entry.is_present() && entry.is_huge() {
+                return Err(MemError::AlreadyMapped {
+                    vpn: base_vpn.to_raw(),
+                });
+            }
+            node = if entry.is_present() {
+                entry.frame()
+            } else {
+                let child = alloc()?;
+                self.nodes.insert(child.to_raw(), Self::empty_node());
+                self.node_levels.insert(child.to_raw(), level + 1);
+                self.stats.nodes_per_level[level + 1] += 1;
+                self.nodes.get_mut(&node.to_raw()).expect("node exists")[idx] = Pte::present(child);
+                child
+            };
+        }
+        let idx = vmsim_types::page::pt_index(base_vpn.to_raw(), PT_LEVELS - 2) as usize;
+        let slot = &mut self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx];
+        if slot.is_present() {
+            // Either a huge mapping or a populated (or once-populated) leaf
+            // node occupies the slot.
+            return Err(MemError::AlreadyMapped {
+                vpn: base_vpn.to_raw(),
+            });
+        }
+        *slot = Pte::present(chunk).as_huge();
+        self.stats.mapped_pages += PT_ENTRIES;
+        self.stats.huge_pages += 1;
+        Ok(())
+    }
+
+    /// Removes the huge mapping covering `vpn`, returning its PS entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if no huge mapping covers `vpn`.
+    pub fn unmap_large(&mut self, vpn: V) -> Result<Pte<F>> {
+        let SlotKind::Huge { node, idx } = self.slot_of(vpn) else {
+            return Err(MemError::Unmapped { vpn: vpn.to_raw() });
+        };
+        let slot = &mut self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx];
+        let old = *slot;
+        *slot = Pte::empty();
+        self.stats.mapped_pages -= PT_ENTRIES;
+        self.stats.huge_pages -= 1;
+        Ok(old)
+    }
+
+    /// Demotes the huge mapping covering `vpn` into 512 individual 4 KB
+    /// mappings over the same frames (THP splitting). Flags (writable/COW)
+    /// are inherited by every small entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if no huge mapping covers `vpn`, and
+    /// propagates allocation failure for the new leaf node.
+    pub fn demote(&mut self, vpn: V, mut alloc: impl FnMut() -> Result<F>) -> Result<()> {
+        let SlotKind::Huge { node, idx } = self.slot_of(vpn) else {
+            return Err(MemError::Unmapped { vpn: vpn.to_raw() });
+        };
+        let huge = self.nodes[&node.to_raw()][idx];
+        let leaf = alloc()?;
+        let mut entries = Self::empty_node();
+        for (i, e) in entries.iter_mut().enumerate() {
+            let small = Pte::present(F::from_raw(huge.frame().to_raw() + i as u64))
+                .with_writable(huge.is_writable())
+                .with_cow(huge.is_cow());
+            *e = small;
+        }
+        self.nodes.insert(leaf.to_raw(), entries);
+        self.node_levels.insert(leaf.to_raw(), PT_LEVELS - 1);
+        self.stats.nodes_per_level[PT_LEVELS - 1] += 1;
+        self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx] = Pte::present(leaf);
+        self.stats.huge_pages -= 1;
+        Ok(())
+    }
+
+    /// Walks the radix tree for `vpn`, recording the entry consulted at each
+    /// level. Stops early at the first non-present intermediate entry.
+    pub fn walk_path(&self, vpn: V) -> WalkPath<F> {
+        let mut steps = Vec::with_capacity(PT_LEVELS);
+        let mut node = self.root;
+        for level in 0..PT_LEVELS {
+            let idx = vmsim_types::page::pt_index(vpn.to_raw(), level);
+            steps.push(WalkStep {
+                level,
+                node,
+                index: idx,
+            });
+            let entry = self.nodes[&node.to_raw()][idx as usize];
+            if !entry.is_present() {
+                return WalkPath {
+                    steps,
+                    complete: false,
+                };
+            }
+            if entry.is_huge() {
+                // The PS entry is the translation: a huge walk is one level
+                // shorter than a 4 KB walk.
+                return WalkPath {
+                    steps,
+                    complete: true,
+                };
+            }
+            if level < PT_LEVELS - 1 {
+                node = entry.frame();
+            }
+        }
+        WalkPath {
+            steps,
+            complete: true,
+        }
+    }
+
+    /// Iterates over the frames of all allocated nodes with their levels.
+    pub fn node_frames(&self) -> impl Iterator<Item = (F, usize)> + '_ {
+        self.node_levels
+            .iter()
+            .map(|(&raw, &level)| (F::from_raw(raw), level))
+    }
+
+    fn slot_of(&self, vpn: V) -> SlotKind<F> {
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let idx = vmsim_types::page::pt_index(vpn.to_raw(), level) as usize;
+            let entry = self.nodes[&node.to_raw()][idx];
+            if !entry.is_present() {
+                return SlotKind::Hole;
+            }
+            if entry.is_huge() {
+                return SlotKind::Huge { node, idx };
+            }
+            node = entry.frame();
+        }
+        let idx = vmsim_types::page::pt_index(vpn.to_raw(), PT_LEVELS - 1) as usize;
+        SlotKind::Leaf { node, idx }
+    }
+
+    fn leaf_slot(&self, vpn: V) -> Option<(F, usize)> {
+        match self.slot_of(vpn) {
+            SlotKind::Leaf { node, idx } => Some((node, idx)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::{GuestFrame, GuestVirtPage, GROUP_PAGES};
+
+    /// A bump allocator for node frames starting at a high frame number so
+    /// node frames never collide with data frames used in tests.
+    fn bump(start: u64) -> impl FnMut() -> Result<GuestFrame> {
+        let mut next = start;
+        move || {
+            next += 1;
+            Ok(GuestFrame::new(next - 1))
+        }
+    }
+
+    fn table() -> PageTable<GuestVirtPage, GuestFrame> {
+        PageTable::new(bump(1000)).unwrap()
+    }
+
+    #[test]
+    fn new_table_has_only_root() {
+        let t = table();
+        assert_eq!(t.stats().total_nodes(), 1);
+        assert_eq!(t.stats().mapped_pages, 0);
+        assert_eq!(t.root(), GuestFrame::new(1000));
+    }
+
+    #[test]
+    fn map_translate_round_trip() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map(GuestVirtPage::new(0x42), GuestFrame::new(7), &mut alloc)
+            .unwrap();
+        assert_eq!(
+            t.translate(GuestVirtPage::new(0x42)),
+            Some(GuestFrame::new(7))
+        );
+        assert_eq!(t.translate(GuestVirtPage::new(0x43)), None);
+        // Mapping built 3 intermediate nodes.
+        assert_eq!(t.stats().total_nodes(), 4);
+        assert_eq!(t.stats().mapped_pages, 1);
+    }
+
+    #[test]
+    fn double_map_is_rejected() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        let vpn = GuestVirtPage::new(5);
+        t.map(vpn, GuestFrame::new(1), &mut alloc).unwrap();
+        assert_eq!(
+            t.map(vpn, GuestFrame::new(2), &mut alloc),
+            Err(MemError::AlreadyMapped { vpn: 5 })
+        );
+    }
+
+    #[test]
+    fn unmap_then_remap() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        let vpn = GuestVirtPage::new(5);
+        t.map(vpn, GuestFrame::new(1), &mut alloc).unwrap();
+        let old = t.unmap(vpn).unwrap();
+        assert_eq!(old.frame(), GuestFrame::new(1));
+        assert_eq!(t.translate(vpn), None);
+        assert_eq!(t.stats().mapped_pages, 0);
+        t.map(vpn, GuestFrame::new(2), &mut alloc).unwrap();
+        assert_eq!(t.translate(vpn), Some(GuestFrame::new(2)));
+    }
+
+    #[test]
+    fn unmap_missing_fails() {
+        let mut t = table();
+        assert_eq!(
+            t.unmap(GuestVirtPage::new(9)),
+            Err(MemError::Unmapped { vpn: 9 })
+        );
+    }
+
+    #[test]
+    fn update_rewrites_flags() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        let vpn = GuestVirtPage::new(5);
+        t.map(vpn, GuestFrame::new(1), &mut alloc).unwrap();
+        let new = t
+            .update(vpn, |p| p.with_cow(true).with_writable(false))
+            .unwrap();
+        assert!(new.is_cow());
+        assert!(!new.is_writable());
+        assert!(t.lookup(vpn).unwrap().is_cow());
+    }
+
+    #[test]
+    fn neighbouring_pages_share_leaf_node() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        for i in 0..GROUP_PAGES {
+            t.map(GuestVirtPage::new(i), GuestFrame::new(100 + i), &mut alloc)
+                .unwrap();
+        }
+        // 8 mappings in the same group: still only 4 nodes total.
+        assert_eq!(t.stats().total_nodes(), 4);
+        let leaf = t.leaf_node(GuestVirtPage::new(0)).unwrap();
+        for i in 1..GROUP_PAGES {
+            assert_eq!(t.leaf_node(GuestVirtPage::new(i)), Some(leaf));
+        }
+    }
+
+    #[test]
+    fn pte_addrs_of_group_share_cache_line() {
+        // The geometric fact behind the whole paper: the 8 leaf PTEs of an
+        // aligned group fall in one 64-byte line of the leaf node.
+        let mut t = table();
+        let mut alloc = bump(2000);
+        for i in 0..GROUP_PAGES {
+            t.map(GuestVirtPage::new(i), GuestFrame::new(100 + i), &mut alloc)
+                .unwrap();
+        }
+        let lines: std::collections::HashSet<u64> = (0..GROUP_PAGES)
+            .map(|i| t.pte_addr_raw(GuestVirtPage::new(i)).unwrap() / 64)
+            .collect();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn walk_path_is_complete_for_mapped_pages() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        let vpn = GuestVirtPage::new(0x42);
+        t.map(vpn, GuestFrame::new(7), &mut alloc).unwrap();
+        let path = t.walk_path(vpn);
+        assert!(path.complete);
+        assert_eq!(path.steps.len(), 4);
+        assert_eq!(path.steps[0].node, t.root());
+        assert_eq!(path.leaf().unwrap().index, 0x42);
+    }
+
+    #[test]
+    fn walk_path_stops_at_first_hole() {
+        let t = table();
+        let path = t.walk_path(GuestVirtPage::new(0x42));
+        assert!(!path.complete);
+        assert_eq!(path.steps.len(), 1);
+        assert!(path.leaf().is_none());
+    }
+
+    #[test]
+    fn distant_pages_use_distinct_subtrees() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map(GuestVirtPage::new(0), GuestFrame::new(1), &mut alloc)
+            .unwrap();
+        // A page 512^3 away shares only the root.
+        t.map(
+            GuestVirtPage::new(512 * 512 * 512),
+            GuestFrame::new(2),
+            &mut alloc,
+        )
+        .unwrap();
+        assert_eq!(t.stats().total_nodes(), 7);
+        assert_eq!(t.stats().nodes_per_level, [1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn node_frames_reports_all_nodes() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map(GuestVirtPage::new(0), GuestFrame::new(1), &mut alloc)
+            .unwrap();
+        let nodes: Vec<_> = t.node_frames().collect();
+        assert_eq!(nodes.len(), 4);
+        assert!(nodes.iter().any(|&(f, l)| f == t.root() && l == 0));
+    }
+
+    #[test]
+    fn huge_map_translate_round_trip() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map_large(GuestVirtPage::new(512), GuestFrame::new(1024), &mut alloc)
+            .unwrap();
+        assert!(t.is_huge_mapping(GuestVirtPage::new(512)));
+        assert!(t.is_huge_mapping(GuestVirtPage::new(1023)));
+        assert!(!t.is_huge_mapping(GuestVirtPage::new(1024)));
+        // Every covered page translates to chunk base + offset.
+        assert_eq!(
+            t.translate(GuestVirtPage::new(512 + 37)),
+            Some(GuestFrame::new(1024 + 37))
+        );
+        assert_eq!(t.stats().huge_pages, 1);
+        assert_eq!(t.stats().mapped_pages, 512);
+        // Only 3 nodes (root + 2 intermediates): huge walks are shorter.
+        assert_eq!(t.stats().total_nodes(), 3);
+    }
+
+    #[test]
+    fn huge_walk_path_is_three_levels() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map_large(GuestVirtPage::new(0), GuestFrame::new(512), &mut alloc)
+            .unwrap();
+        let path = t.walk_path(GuestVirtPage::new(5));
+        assert!(path.complete);
+        assert_eq!(path.steps.len(), 3);
+        assert!(path.leaf().is_none(), "PS entry is not a level-3 leaf");
+    }
+
+    #[test]
+    fn huge_map_alignment_enforced() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        assert!(matches!(
+            t.map_large(GuestVirtPage::new(5), GuestFrame::new(512), &mut alloc),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.map_large(GuestVirtPage::new(512), GuestFrame::new(5), &mut alloc),
+            Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_and_small_mappings_conflict() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        // Small page inside the region blocks a huge mapping.
+        t.map(GuestVirtPage::new(512 + 3), GuestFrame::new(1), &mut alloc)
+            .unwrap();
+        assert!(matches!(
+            t.map_large(GuestVirtPage::new(512), GuestFrame::new(1024), &mut alloc),
+            Err(MemError::AlreadyMapped { .. })
+        ));
+        // And a huge mapping blocks small maps inside it.
+        t.map_large(GuestVirtPage::new(1024), GuestFrame::new(2048), &mut alloc)
+            .unwrap();
+        assert!(matches!(
+            t.map(GuestVirtPage::new(1024 + 9), GuestFrame::new(2), &mut alloc),
+            Err(MemError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_large_round_trip() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map_large(GuestVirtPage::new(512), GuestFrame::new(1024), &mut alloc)
+            .unwrap();
+        let old = t.unmap_large(GuestVirtPage::new(700)).unwrap();
+        assert_eq!(old.frame(), GuestFrame::new(1024));
+        assert!(old.is_huge());
+        assert_eq!(t.translate(GuestVirtPage::new(512)), None);
+        assert_eq!(t.stats().mapped_pages, 0);
+        assert_eq!(t.stats().huge_pages, 0);
+        // Region is reusable for small pages now.
+        t.map(GuestVirtPage::new(512), GuestFrame::new(7), &mut alloc)
+            .unwrap();
+    }
+
+    #[test]
+    fn demote_preserves_translations_and_flags() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map_large(GuestVirtPage::new(512), GuestFrame::new(1024), &mut alloc)
+            .unwrap();
+        t.update(GuestVirtPage::new(512), |p| {
+            p.with_cow(true).with_writable(false)
+        })
+        .unwrap();
+        t.demote(GuestVirtPage::new(512), &mut alloc).unwrap();
+        assert!(!t.is_huge_mapping(GuestVirtPage::new(512)));
+        assert_eq!(t.stats().huge_pages, 0);
+        assert_eq!(t.stats().mapped_pages, 512);
+        for off in [0u64, 13, 511] {
+            let pte = t.lookup(GuestVirtPage::new(512 + off)).unwrap();
+            assert_eq!(pte.frame(), GuestFrame::new(1024 + off));
+            assert!(pte.is_cow());
+            assert!(!pte.is_writable());
+            assert!(!pte.is_huge());
+        }
+        // Individual pages can now be unmapped.
+        t.unmap(GuestVirtPage::new(512 + 13)).unwrap();
+        assert_eq!(t.stats().mapped_pages, 511);
+    }
+
+    #[test]
+    fn huge_pte_addr_is_the_ps_entry() {
+        let mut t = table();
+        let mut alloc = bump(2000);
+        t.map_large(GuestVirtPage::new(0), GuestFrame::new(512), &mut alloc)
+            .unwrap();
+        // All 512 pages share one translation entry (and its cache line).
+        let a = t.pte_addr_raw(GuestVirtPage::new(0)).unwrap();
+        let b = t.pte_addr_raw(GuestVirtPage::new(511)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocation_failure_propagates() {
+        let mut t = table();
+        let mut failing = || Err(MemError::OutOfMemory { order: 0 });
+        assert_eq!(
+            t.map(GuestVirtPage::new(1), GuestFrame::new(1), &mut failing),
+            Err(MemError::OutOfMemory { order: 0 })
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Walk paths: the ordered entry addresses a hardware walker touches.
+
+use vmsim_types::{PageNumber, PAGE_SHIFT, PTE_SIZE};
+
+/// One step of a page walk: the entry consulted at one radix level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkStep<F> {
+    /// Radix level of the node (0 = root, 3 = leaf).
+    pub level: usize,
+    /// Physical frame holding the node.
+    pub node: F,
+    /// Entry index within the node (0..512).
+    pub index: u64,
+}
+
+impl<F: PageNumber> WalkStep<F> {
+    /// Raw physical byte address of the entry, in the node's frame space.
+    ///
+    /// Guest-PT steps yield guest-physical addresses; host-PT steps yield
+    /// host-physical addresses. The caller wraps the raw value in the
+    /// appropriate address newtype.
+    #[inline]
+    pub fn entry_addr_raw(&self) -> u64 {
+        (self.node.to_raw() << PAGE_SHIFT) + self.index * PTE_SIZE
+    }
+}
+
+/// The sequence of entries a walker touches translating one page.
+///
+/// Contains a step for every level down to (and including) the deepest
+/// existing entry. `complete` is true when the leaf entry was present, i.e.
+/// the translation exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalkPath<F> {
+    /// Steps from the root toward the leaf, in walk order.
+    pub steps: Vec<WalkStep<F>>,
+    /// Whether the walk reached a present leaf entry.
+    pub complete: bool,
+}
+
+impl<F: PageNumber> WalkPath<F> {
+    /// The leaf step, if the walk got that far.
+    pub fn leaf(&self) -> Option<&WalkStep<F>> {
+        self.steps
+            .last()
+            .filter(|s| s.level == vmsim_types::PT_LEVELS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_types::GuestFrame;
+
+    #[test]
+    fn entry_addr_math() {
+        let s = WalkStep {
+            level: 3,
+            node: GuestFrame::new(2),
+            index: 5,
+        };
+        assert_eq!(s.entry_addr_raw(), 2 * 4096 + 5 * 8);
+    }
+
+    #[test]
+    fn leaf_requires_final_level() {
+        let partial = WalkPath {
+            steps: vec![WalkStep {
+                level: 0,
+                node: GuestFrame::new(1),
+                index: 0,
+            }],
+            complete: false,
+        };
+        assert!(partial.leaf().is_none());
+        let full = WalkPath {
+            steps: vec![
+                WalkStep {
+                    level: 2,
+                    node: GuestFrame::new(1),
+                    index: 0,
+                },
+                WalkStep {
+                    level: 3,
+                    node: GuestFrame::new(2),
+                    index: 1,
+                },
+            ],
+            complete: true,
+        };
+        assert_eq!(full.leaf().unwrap().node, GuestFrame::new(2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the radix page table: equivalence with a flat
+//! map model under arbitrary operation sequences, and structural walk-path
+//! invariants, including huge-page interactions.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vmsim_pt::PageTable;
+use vmsim_types::{GuestFrame, GuestVirtPage, Result, PT_ENTRIES, PT_LEVELS};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Map { vpn: u64, frame: u64 },
+    Unmap { vpn: u64 },
+    MapLarge { region: u64, chunk: u64 },
+    Demote { region: u64 },
+    UnmapLarge { region: u64 },
+    Translate { vpn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Keep vpns within 4 regions (2 MB each) so ops interact.
+    prop_oneof![
+        (0u64..2048, 0u64..10_000).prop_map(|(vpn, frame)| Op::Map { vpn, frame }),
+        (0u64..2048).prop_map(|vpn| Op::Unmap { vpn }),
+        (0u64..4, 0u64..16).prop_map(|(region, c)| Op::MapLarge {
+            region,
+            chunk: c * 512,
+        }),
+        (0u64..4).prop_map(|region| Op::Demote { region }),
+        (0u64..4).prop_map(|region| Op::UnmapLarge { region }),
+        (0u64..2048).prop_map(|vpn| Op::Translate { vpn }),
+    ]
+}
+
+fn node_alloc() -> impl FnMut() -> Result<GuestFrame> {
+    let mut next = 1_000_000u64;
+    move || {
+        next += 1;
+        Ok(GuestFrame::new(next - 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut alloc = node_alloc();
+        let mut table: PageTable<GuestVirtPage, GuestFrame> =
+            PageTable::new(&mut alloc).unwrap();
+        // Model: vpn -> frame, plus which 2 MB regions are huge-mapped.
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut huge: HashMap<u64, u64> = HashMap::new(); // region -> chunk
+
+        for op in ops {
+            match op {
+                Op::Map { vpn, frame } => {
+                    let ok = table.map(GuestVirtPage::new(vpn), GuestFrame::new(frame), &mut alloc);
+                    let expect_ok = !model.contains_key(&vpn) && !huge.contains_key(&(vpn / 512));
+                    prop_assert_eq!(ok.is_ok(), expect_ok);
+                    if expect_ok {
+                        model.insert(vpn, frame);
+                    }
+                }
+                Op::Unmap { vpn } => {
+                    let ok = table.unmap(GuestVirtPage::new(vpn));
+                    // 4 KB unmap succeeds only for 4 KB mappings; a page
+                    // covered by a huge mapping must be demoted first.
+                    let expect_ok =
+                        model.contains_key(&vpn) && !huge.contains_key(&(vpn / 512));
+                    prop_assert_eq!(ok.is_ok(), expect_ok);
+                    if ok.is_ok() {
+                        model.remove(&vpn);
+                    }
+                }
+                Op::MapLarge { region, chunk } => {
+                    let base = region * 512;
+                    // Succeeds only if the region's slot is empty: no huge
+                    // mapping AND no leaf node was ever created there.
+                    let expect_ok =
+                        !huge.contains_key(&region) && table_can_large(&table, base);
+                    let ok = table.map_large(
+                        GuestVirtPage::new(base),
+                        GuestFrame::new(chunk),
+                        &mut alloc,
+                    );
+                    prop_assert_eq!(ok.is_ok(), expect_ok, "map_large at {}", base);
+                    if ok.is_ok() {
+                        huge.insert(region, chunk);
+                        for i in 0..512 {
+                            model.insert(base + i, chunk + i);
+                        }
+                    }
+                }
+                Op::Demote { region } => {
+                    let base = region * 512;
+                    let ok = table.demote(GuestVirtPage::new(base), &mut alloc);
+                    prop_assert_eq!(ok.is_ok(), huge.contains_key(&region));
+                    // Translations unchanged; only the mapping kind changed.
+                    huge.remove(&region);
+                }
+                Op::UnmapLarge { region } => {
+                    let base = region * 512;
+                    let ok = table.unmap_large(GuestVirtPage::new(base));
+                    prop_assert_eq!(ok.is_ok(), huge.contains_key(&region));
+                    if ok.is_ok() {
+                        huge.remove(&region);
+                        for i in 0..512 {
+                            model.remove(&(base + i));
+                        }
+                    }
+                }
+                Op::Translate { vpn } => {
+                    let got = table.translate(GuestVirtPage::new(vpn)).map(|f| f.raw());
+                    prop_assert_eq!(got, model.get(&vpn).copied());
+                }
+            }
+            prop_assert_eq!(table.stats().mapped_pages as usize, model.len());
+            prop_assert_eq!(table.stats().huge_pages as usize, huge.len());
+        }
+
+        // Final sweep: every model entry translates, every hole does not.
+        for (vpn, frame) in &model {
+            prop_assert_eq!(
+                table.translate(GuestVirtPage::new(*vpn)),
+                Some(GuestFrame::new(*frame))
+            );
+        }
+    }
+
+    #[test]
+    fn walk_paths_are_structurally_sound(vpns in prop::collection::vec(0u64..(1 << 27), 1..60)) {
+        let mut alloc = node_alloc();
+        let mut table: PageTable<GuestVirtPage, GuestFrame> =
+            PageTable::new(&mut alloc).unwrap();
+        for (i, vpn) in vpns.iter().enumerate() {
+            if i % 2 == 0 {
+                let _ = table.map(GuestVirtPage::new(*vpn), GuestFrame::new(i as u64), &mut alloc);
+            }
+        }
+        for vpn in &vpns {
+            let page = GuestVirtPage::new(*vpn);
+            let path = table.walk_path(page);
+            // Levels strictly ascend from the root.
+            for (i, step) in path.steps.iter().enumerate() {
+                prop_assert_eq!(step.level, i);
+                prop_assert!(step.index < PT_ENTRIES);
+            }
+            prop_assert!(path.steps.len() <= PT_LEVELS);
+            prop_assert!(!path.steps.is_empty());
+            // Completeness agrees with translate().
+            prop_assert_eq!(path.complete, table.translate(page).is_some());
+            // The first step is always the root.
+            prop_assert_eq!(path.steps[0].node, table.root());
+        }
+    }
+}
+
+/// Mirrors `PageTable::can_map_large` for the model check.
+fn table_can_large(table: &PageTable<GuestVirtPage, GuestFrame>, base: u64) -> bool {
+    table.can_map_large(GuestVirtPage::new(base))
+}

@@ -1,0 +1,45 @@
+//! Calibration probe: runs a few benchmark/allocator pairs at full scale
+//! and prints the key shape metrics (fragmentation, walk-cycle share,
+//! improvement) so model constants can be tuned.
+
+use vmsim_sim::{AllocatorKind, Scenario};
+use vmsim_workloads::{BenchId, CoId};
+
+fn main() {
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+    let weight: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    for bench in [BenchId::Pagerank, BenchId::Xz, BenchId::Gcc, BenchId::Mcf] {
+        let t0 = std::time::Instant::now();
+        let base = Scenario::new(bench)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(weight)
+            .measure_ops(ops)
+            .run();
+        let pm = Scenario::new(bench)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(weight)
+            .allocator(AllocatorKind::PteMagnet)
+            .measure_ops(ops)
+            .run();
+        let walk_share = base.page_walk_cycles as f64 / base.cycles as f64;
+        let imp = pm.improvement_over(&base);
+        println!(
+            "{:<9} frag {:.2}->{:.2}  tlbmiss {:.3}  walk-share {:.1}%  hostPTmem {}->{}  imp {:+.2}%  ({:.1}s)",
+            bench.name(),
+            base.host_frag,
+            pm.host_frag,
+            base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
+            walk_share * 100.0,
+            base.host_pt_memory,
+            pm.host_pt_memory,
+            imp * 100.0,
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

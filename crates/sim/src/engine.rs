@@ -1,0 +1,325 @@
+//! The colocation engine: interleaved execution of workloads inside one VM.
+
+use std::collections::HashMap;
+
+use vmsim_os::{Machine, Pid};
+use vmsim_types::{GuestVirtAddr, MemError, Result, PAGE_SHIFT};
+use vmsim_workloads::{Op, Phase, Workload};
+
+/// One application running inside the VM.
+struct App {
+    pid: Pid,
+    core: usize,
+    workload: Box<dyn Workload>,
+    /// Region handle -> (base address, pages).
+    regions: HashMap<u32, (GuestVirtAddr, u64)>,
+    /// Cycles this app has accumulated.
+    cycles: u64,
+    /// Operations this app has executed.
+    ops: u64,
+    /// Whether the app is scheduled.
+    running: bool,
+    /// Ops per scheduling round (relative execution rate).
+    weight: u32,
+}
+
+/// A set of colocated applications driven round-robin over a [`Machine`].
+///
+/// Each app is pinned to its own core (the paper pins application and
+/// co-runner threads to distinct cores, §6.1); the engine interleaves their
+/// operations to model concurrent execution, which is what interleaves their
+/// page faults at the buddy allocator.
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_os::{Machine, MachineConfig};
+/// use vmsim_sim::Colocation;
+/// use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+///
+/// # fn main() -> Result<(), vmsim_types::MemError> {
+/// let mut colo = Colocation::new(Machine::new(MachineConfig::small()));
+/// let app = colo.add_app(Box::new(benchmark(BenchId::Gcc, 0)), 1);
+/// colo.add_app(corunner(CoId::Pyaes, 1), 2);
+/// // Run until gcc finishes initializing, then measure 100 more of its ops.
+/// colo.run_until_steady(app)?;
+/// colo.run_ops(app, 100, |_| {})?;
+/// assert!(colo.cycles(app) > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Colocation {
+    machine: Machine,
+    apps: Vec<App>,
+}
+
+impl Colocation {
+    /// Creates an engine over `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no cores.
+    pub fn new(machine: Machine) -> Self {
+        assert!(machine.caches().core_count() > 0);
+        Self {
+            machine,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Adds an application, pinning it to the next core (wrapping if there
+    /// are more apps than cores). Returns its app index.
+    pub fn add_app(&mut self, workload: Box<dyn Workload>, weight: u32) -> usize {
+        let core = self.apps.len() % self.machine.caches().core_count();
+        let pid = self.machine.guest_mut().spawn();
+        self.apps.push(App {
+            pid,
+            core,
+            workload,
+            regions: HashMap::new(),
+            cycles: 0,
+            ops: 0,
+            running: true,
+            weight: weight.max(1),
+        });
+        self.apps.len() - 1
+    }
+
+    /// The machine under simulation.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (e.g. to reset counters between
+    /// phases).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The guest pid of app `idx`.
+    pub fn pid(&self, idx: usize) -> Pid {
+        self.apps[idx].pid
+    }
+
+    /// The core app `idx` is pinned to.
+    pub fn core(&self, idx: usize) -> usize {
+        self.apps[idx].core
+    }
+
+    /// Cycles accumulated by app `idx`.
+    pub fn cycles(&self, idx: usize) -> u64 {
+        self.apps[idx].cycles
+    }
+
+    /// Operations executed by app `idx`.
+    pub fn ops(&self, idx: usize) -> u64 {
+        self.apps[idx].ops
+    }
+
+    /// Current phase of app `idx`'s workload.
+    pub fn phase(&self, idx: usize) -> Phase {
+        self.apps[idx].workload.phase()
+    }
+
+    /// Stops scheduling app `idx` (the paper stops the co-runner before
+    /// measuring in §3.3).
+    pub fn stop(&mut self, idx: usize) {
+        self.apps[idx].running = false;
+    }
+
+    /// Resumes scheduling app `idx`.
+    pub fn resume(&mut self, idx: usize) {
+        self.apps[idx].running = true;
+    }
+
+    /// Executes one operation of app `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors (OOM, invalid region use). Workload streams
+    /// only reference regions they allocated, so errors indicate a resource
+    /// exhaustion problem rather than a workload bug.
+    pub fn step_app(&mut self, idx: usize) -> Result<()> {
+        let app = &mut self.apps[idx];
+        let op = app.workload.next_op();
+        match op {
+            Op::Alloc { region, pages } => {
+                let base = self.machine.guest_mut().mmap(app.pid, pages)?;
+                app.regions.insert(region, (base, pages));
+            }
+            Op::Touch {
+                region,
+                page_idx,
+                write,
+            } => {
+                let &(base, pages) = app.regions.get(&region).ok_or(MemError::InvalidVma)?;
+                debug_assert!(page_idx < pages);
+                let va = GuestVirtAddr::new(base.raw() + (page_idx << PAGE_SHIFT));
+                let out = self.machine.touch(app.core, app.pid, va, write)?;
+                app.cycles += out.cycles;
+            }
+            Op::Free { region } => {
+                let (base, pages) = app.regions.remove(&region).ok_or(MemError::InvalidVma)?;
+                self.machine.munmap(app.pid, base.page(), pages)?;
+            }
+        }
+        app.ops += 1;
+        Ok(())
+    }
+
+    /// Runs one scheduling round: every running app executes `weight` ops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn round(&mut self) -> Result<()> {
+        for idx in 0..self.apps.len() {
+            if !self.apps[idx].running {
+                continue;
+            }
+            for _ in 0..self.apps[idx].weight {
+                self.step_app(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs rounds until app `idx` leaves its [`Phase::Init`] phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn run_until_steady(&mut self, idx: usize) -> Result<()> {
+        while self.apps[idx].workload.phase() == Phase::Init {
+            self.round()?;
+        }
+        Ok(())
+    }
+
+    /// Runs rounds until app `idx` has executed `ops` more operations.
+    /// Calls `sample` after every round (for §6.2-style periodic sampling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn run_ops(
+        &mut self,
+        idx: usize,
+        ops: u64,
+        mut sample: impl FnMut(&Machine),
+    ) -> Result<()> {
+        let target = self.apps[idx].ops + ops;
+        while self.apps[idx].ops < target {
+            self.round()?;
+            sample(&self.machine);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_os::MachineConfig;
+    use vmsim_workloads::{ChurnConfig, ChurnWorkload, StreamConfig, StreamingWorkload};
+
+    fn small_stream() -> Box<dyn Workload> {
+        Box::new(StreamingWorkload::new(
+            StreamConfig {
+                name: "s",
+                regions: vec![32],
+                seq_prob: 0.7,
+                near_prob: 0.5,
+                write_ratio: 0.2,
+                touches_per_page: 2,
+            },
+            1,
+        ))
+    }
+
+    fn small_churn() -> Box<dyn Workload> {
+        Box::new(ChurnWorkload::new(
+            ChurnConfig {
+                name: "c",
+                min_region_pages: 4,
+                max_region_pages: 8,
+                live_regions: 2,
+                touch_fraction: 1.0,
+                steady_touches_per_cycle: 1,
+            },
+            2,
+        ))
+    }
+
+    #[test]
+    fn apps_get_distinct_pids_and_cores() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        let b = c.add_app(small_churn(), 1);
+        assert_ne!(c.pid(a), c.pid(b));
+        assert_ne!(c.core(a), c.core(b));
+    }
+
+    #[test]
+    fn init_completes_and_footprint_is_resident() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        c.run_until_steady(a).unwrap();
+        let pid = c.pid(a);
+        assert_eq!(c.machine().guest().process(pid).unwrap().rss_pages, 32);
+        assert!(c.cycles(a) > 0);
+    }
+
+    #[test]
+    fn churn_app_allocates_and_frees() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let idx = c.add_app(small_churn(), 1);
+        for _ in 0..200 {
+            c.round().unwrap();
+        }
+        let stats = c.machine().guest().stats();
+        assert!(stats.faults > 0);
+        assert!(stats.unmaps > 0);
+        assert!(c.ops(idx) >= 200);
+    }
+
+    #[test]
+    fn stopped_apps_do_not_progress() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        let b = c.add_app(small_churn(), 1);
+        c.stop(b);
+        let before = c.ops(b);
+        for _ in 0..10 {
+            c.round().unwrap();
+        }
+        assert_eq!(c.ops(b), before);
+        assert!(c.ops(a) > 0);
+        c.resume(b);
+        c.round().unwrap();
+        assert!(c.ops(b) > before);
+    }
+
+    #[test]
+    fn weights_bias_interleaving() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        let b = c.add_app(small_churn(), 4);
+        for _ in 0..50 {
+            c.round().unwrap();
+        }
+        assert!(c.ops(b) >= 4 * c.ops(a));
+    }
+
+    #[test]
+    fn run_ops_executes_exactly_enough_rounds() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        c.run_until_steady(a).unwrap();
+        let before = c.ops(a);
+        let mut samples = 0;
+        c.run_ops(a, 100, |_| samples += 1).unwrap();
+        assert!(c.ops(a) >= before + 100);
+        assert!(samples > 0);
+    }
+}

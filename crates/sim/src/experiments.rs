@@ -1,0 +1,677 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Each function builds the scenarios the paper describes, runs them, and
+//! returns a typed result that the `report` module renders in the paper's
+//! row format. The experiment binaries in `vmsim-bench` are thin wrappers
+//! around these functions.
+
+use serde::{Deserialize, Serialize};
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
+use vmsim_workloads::{BenchId, CoId};
+
+use crate::scenario::{AllocatorKind, RunMetrics, Scenario};
+
+/// Default measured steady-state operations per run.
+pub const DEFAULT_MEASURE_OPS: u64 = 300_000;
+
+/// Percentage change from `from` to `to` (positive = increase).
+pub fn pct_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: pagerank + stress-ng vs standalone (default kernel, §3.3)
+// ---------------------------------------------------------------------------
+
+/// Result of the Table 1 study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1 {
+    /// pagerank running alone in the VM.
+    pub standalone: RunMetrics,
+    /// pagerank colocated with stress-ng (stopped after the allocation
+    /// phase, per the paper's §3.3 protocol).
+    pub colocated: RunMetrics,
+}
+
+impl Table1 {
+    /// The paper's rows: metric name, % change under colocation.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        let s = &self.standalone;
+        let c = &self.colocated;
+        vec![
+            (
+                "Execution time",
+                pct_change(s.cycles as f64, c.cycles as f64),
+            ),
+            (
+                "Cache misses",
+                pct_change(s.data_misses as f64, c.data_misses as f64),
+            ),
+            (
+                "TLB misses",
+                pct_change(s.tlb_misses as f64, c.tlb_misses as f64),
+            ),
+            (
+                "Page walk cycles",
+                pct_change(s.page_walk_cycles as f64, c.page_walk_cycles as f64),
+            ),
+            (
+                "Cycles traversing host PT",
+                pct_change(s.host_pt_cycles as f64, c.host_pt_cycles as f64),
+            ),
+            (
+                "Guest PT accesses from memory",
+                pct_change(s.guest_pt_memory as f64, c.guest_pt_memory as f64),
+            ),
+            (
+                "Host PT accesses from memory",
+                pct_change(s.host_pt_memory as f64, c.host_pt_memory as f64),
+            ),
+            (
+                "Host PT fragmentation",
+                pct_change(s.host_frag, c.host_frag),
+            ),
+        ]
+    }
+}
+
+/// Runs the Table 1 study (§3.3): fragmentation effects isolated from cache
+/// contention by stopping the co-runner after pagerank's allocation phase.
+pub fn table1(seed: u64, measure_ops: u64) -> Table1 {
+    let standalone = Scenario::new(BenchId::Pagerank)
+        .measure_ops(measure_ops)
+        .seed(seed)
+        .run();
+    let colocated = Scenario::new(BenchId::Pagerank)
+        .corunners(&[CoId::StressNg])
+        .corunner_weight(3)
+        .stop_corunners_after_init(true)
+        .measure_ops(measure_ops)
+        .seed(seed)
+        .run();
+    Table1 {
+        standalone,
+        colocated,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 & 6: all benchmarks + objdet, default vs PTEMagnet (§6.1)
+// ---------------------------------------------------------------------------
+
+/// Per-benchmark pair of runs (default vs PTEMagnet) in one colocation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchPair {
+    /// Benchmark identity.
+    pub name: String,
+    /// Run with the default kernel allocator.
+    pub default: RunMetrics,
+    /// Run with PTEMagnet.
+    pub ptemagnet: RunMetrics,
+}
+
+impl BenchPair {
+    /// Execution-time improvement of PTEMagnet over the default (fraction).
+    pub fn improvement(&self) -> f64 {
+        self.ptemagnet.improvement_over(&self.default)
+    }
+}
+
+/// Result of a figure-style sweep over all benchmarks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureSweep {
+    /// Colocation label ("objdet" or "combination").
+    pub colocation: String,
+    /// Per-benchmark pairs, in the paper's order.
+    pub pairs: Vec<BenchPair>,
+}
+
+impl FigureSweep {
+    /// Geometric-mean improvement across benchmarks (the paper's Geomean
+    /// bar).
+    pub fn geomean_improvement(&self) -> f64 {
+        let product: f64 = self
+            .pairs
+            .iter()
+            .map(|p| 1.0 / (1.0 - p.improvement()))
+            .product();
+        1.0 - 1.0 / product.powf(1.0 / self.pairs.len() as f64)
+    }
+}
+
+fn sweep(corunners: &[CoId], weight: u32, label: &str, seed: u64, measure_ops: u64) -> FigureSweep {
+    let pairs = BenchId::ALL
+        .iter()
+        .map(|&bench| {
+            let default = Scenario::new(bench)
+                .corunners(corunners)
+                .corunner_weight(weight)
+                .measure_ops(measure_ops)
+                .seed(seed)
+                .run();
+            let ptemagnet = Scenario::new(bench)
+                .corunners(corunners)
+                .corunner_weight(weight)
+                .allocator(AllocatorKind::PteMagnet)
+                .measure_ops(measure_ops)
+                .seed(seed)
+                .run();
+            BenchPair {
+                name: bench.name().to_string(),
+                default,
+                ptemagnet,
+            }
+        })
+        .collect();
+    FigureSweep {
+        colocation: label.to_string(),
+        pairs,
+    }
+}
+
+/// Figures 5 and 6: every benchmark colocated with objdet, default vs
+/// PTEMagnet. Figure 5 reads the `host_frag` fields; Figure 6 the
+/// improvements.
+pub fn fig5_fig6(seed: u64, measure_ops: u64) -> FigureSweep {
+    sweep(&[CoId::Objdet], 4, "objdet", seed, measure_ops)
+}
+
+/// Figure 7: every benchmark colocated with the combination of co-runners.
+pub fn fig7(seed: u64, measure_ops: u64) -> FigureSweep {
+    sweep(&CoId::COMBINATION, 1, "combination", seed, measure_ops)
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: pagerank + objdet, PTEMagnet vs default, co-runner throughout
+// ---------------------------------------------------------------------------
+
+/// Result of the Table 4 study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table4 {
+    /// pagerank + objdet on the default kernel (co-runner runs throughout).
+    pub default: RunMetrics,
+    /// Same colocation with PTEMagnet.
+    pub ptemagnet: RunMetrics,
+}
+
+impl Table4 {
+    /// The paper's rows: metric name, % change with PTEMagnet.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        let d = &self.default;
+        let p = &self.ptemagnet;
+        vec![
+            (
+                "Host PT fragmentation",
+                pct_change(d.host_frag, p.host_frag),
+            ),
+            (
+                "Execution time",
+                pct_change(d.cycles as f64, p.cycles as f64),
+            ),
+            (
+                "Page walk cycles",
+                pct_change(d.page_walk_cycles as f64, p.page_walk_cycles as f64),
+            ),
+            (
+                "Cycles traversing host PT",
+                pct_change(d.host_pt_cycles as f64, p.host_pt_cycles as f64),
+            ),
+            (
+                "Guest PT accesses from memory",
+                pct_change(d.guest_pt_memory as f64, p.guest_pt_memory as f64),
+            ),
+            (
+                "Host PT accesses from memory",
+                pct_change(d.host_pt_memory as f64, p.host_pt_memory as f64),
+            ),
+        ]
+    }
+}
+
+/// Runs the Table 4 study (§6.3). Unlike §3.3, the co-runner stays running
+/// during measurement (the paper's footnote 2).
+pub fn table4(seed: u64, measure_ops: u64) -> Table4 {
+    let mk = |alloc| {
+        Scenario::new(BenchId::Pagerank)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .allocator(alloc)
+            .measure_ops(measure_ops)
+            .seed(seed)
+            .run()
+    };
+    Table4 {
+        default: mk(AllocatorKind::Default),
+        ptemagnet: mk(AllocatorKind::PteMagnet),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §6.2: incidence of non-allocated pages within reservations
+// ---------------------------------------------------------------------------
+
+/// Reserved-unused incidence for one benchmark (§6.2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReservedUnused {
+    /// Benchmark name.
+    pub name: String,
+    /// Peak reserved-but-unused frames as a fraction of footprint.
+    pub peak_fraction: f64,
+    /// Mean over samples, as a fraction of footprint.
+    pub mean_fraction: f64,
+}
+
+/// Runs the §6.2 study over all benchmarks with PTEMagnet (+ objdet, as in
+/// the main evaluation). The paper's finding: never exceeds 0.2 % of the
+/// footprint.
+pub fn sec62(seed: u64, measure_ops: u64) -> Vec<ReservedUnused> {
+    BenchId::ALL
+        .iter()
+        .map(|&bench| {
+            let m = Scenario::new(bench)
+                .corunners(&[CoId::Objdet])
+                .allocator(AllocatorKind::PteMagnet)
+                .measure_ops(measure_ops)
+                .seed(seed)
+                .run();
+            ReservedUnused {
+                name: bench.name().to_string(),
+                peak_fraction: m.reserved_unused_fraction(),
+                mean_fraction: if m.footprint_pages == 0 {
+                    0.0
+                } else {
+                    m.reserved_unused_mean / m.footprint_pages as f64
+                },
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §6.4: allocation-latency microbenchmark
+// ---------------------------------------------------------------------------
+
+/// Result of the allocation-latency microbenchmark (§6.4).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AllocLatency {
+    /// Pages allocated and first-touched.
+    pub pages: u64,
+    /// Total cycles with the default allocator.
+    pub default_cycles: u64,
+    /// Total cycles with PTEMagnet.
+    pub ptemagnet_cycles: u64,
+}
+
+impl AllocLatency {
+    /// Fractional change of PTEMagnet vs default (negative = faster; the
+    /// paper reports ≈ −0.5 %).
+    pub fn change(&self) -> f64 {
+        self.ptemagnet_cycles as f64 / self.default_cycles as f64 - 1.0
+    }
+}
+
+/// Runs the §6.4 microbenchmark: allocate a large array and touch every
+/// page once, with and without PTEMagnet. (The paper uses a 60 GB array;
+/// `pages` scales it to the simulated VM.)
+///
+/// # Panics
+///
+/// Panics if `pages` is zero.
+pub fn sec64(pages: u64) -> AllocLatency {
+    assert!(pages > 0);
+    let run = |kind: AllocatorKind| -> u64 {
+        // Size the VM to hold the array plus page tables comfortably.
+        let guest_mb = (pages * 8 / 256).max(64);
+        let config = MachineConfig::paper(1, guest_mb);
+        let mut m = Machine::with_allocator(config, kind.build());
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, pages).expect("VM sized to fit");
+        let mut cycles = 0u64;
+        for i in 0..pages {
+            let va = GuestVirtAddr::new(base.raw() + i * PAGE_SIZE);
+            cycles += m.touch(0, pid, va, true).expect("first touch").cycles;
+        }
+        cycles
+    };
+    AllocLatency {
+        pages,
+        default_cycles: run(AllocatorKind::Default),
+        ptemagnet_cycles: run(AllocatorKind::PteMagnet),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// THP study (§2.3): the "big hammer" baseline vs PTEMagnet
+// ---------------------------------------------------------------------------
+
+/// One row of the THP study: allocator behaviour in one memory condition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThpRow {
+    /// Allocator label.
+    pub allocator: String,
+    /// Memory condition ("fresh" or "fragmented").
+    pub condition: String,
+    /// Full run metrics.
+    pub metrics: RunMetrics,
+    /// Improvement over the default allocator in the same condition.
+    pub improvement: f64,
+}
+
+/// Result of the THP study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThpStudy {
+    /// Rows for fresh and fragmented memory, three allocators each.
+    pub rows: Vec<ThpRow>,
+    /// Sparse-touch internal fragmentation: resident pages per touched page
+    /// for (default, thp, ptemagnet) — THP's hidden memory cost.
+    pub sparse_rss_per_touched: [f64; 3],
+}
+
+/// Runs the THP study: pagerank + objdet under (a) fresh memory, where THP
+/// succeeds and performs like PTEMagnet, and (b) externally fragmented
+/// memory (largest free blocks = 16 frames), where order-9 THP allocations
+/// all fail while order-3 PTEMagnet reservations still succeed — the §2.3
+/// argument for fine-grained reservation. Also measures the sparse-touch
+/// internal-fragmentation penalty of THP.
+pub fn thp_study(seed: u64, measure_ops: u64) -> ThpStudy {
+    let mut rows = Vec::new();
+    for (condition, prefrag) in [("fresh", None), ("fragmented", Some(16u64))] {
+        let mk = |kind: AllocatorKind| {
+            let mut s = Scenario::new(BenchId::Pagerank)
+                .corunners(&[CoId::Objdet])
+                .corunner_weight(4)
+                .allocator(kind)
+                .measure_ops(measure_ops)
+                .seed(seed);
+            if let Some(run) = prefrag {
+                s = s.prefragment_run(run);
+            }
+            s.run()
+        };
+        let default = mk(AllocatorKind::Default);
+        for kind in [
+            AllocatorKind::Default,
+            AllocatorKind::Thp,
+            AllocatorKind::PteMagnet,
+        ] {
+            let metrics = if kind == AllocatorKind::Default {
+                default.clone()
+            } else {
+                mk(kind)
+            };
+            rows.push(ThpRow {
+                allocator: kind.name().to_string(),
+                condition: condition.to_string(),
+                improvement: metrics.improvement_over(&default),
+                metrics,
+            });
+        }
+    }
+
+    // Sparse-touch microbenchmark: touch every 8th page of a large VMA.
+    let sparse = |kind: AllocatorKind| -> f64 {
+        let mut m = Machine::with_allocator(MachineConfig::paper(1, 128), kind.build());
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, 8192).expect("mmap");
+        let touched = 8192 / 8;
+        for i in 0..touched {
+            m.touch(
+                0,
+                pid,
+                GuestVirtAddr::new(base.raw() + i * 8 * PAGE_SIZE),
+                true,
+            )
+            .expect("touch");
+        }
+        m.guest().process(pid).expect("pid").rss_pages as f64 / touched as f64
+    };
+    ThpStudy {
+        rows,
+        sparse_rss_per_touched: [
+            sparse(AllocatorKind::Default),
+            sparse(AllocatorKind::Thp),
+            sparse(AllocatorKind::PteMagnet),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §1 analysis: which walk accesses are served from where
+// ---------------------------------------------------------------------------
+
+/// Runs the paper's motivating analysis (§1/§3.2): per-PT-level hit-source
+/// breakdown of nested-walk accesses for pagerank + objdet, with and
+/// without PTEMagnet. Returns `(allocator name, measured counters)` pairs.
+///
+/// The expected shape: guest-PT accesses are served close to the core at
+/// every level, host-PT *leaf* (level 3) accesses are the ones pushed out
+/// to LLC/DRAM by fragmentation — and PTEMagnet pulls them back in.
+pub fn walk_breakdown(seed: u64, measure_ops: u64) -> Vec<(String, vmsim_cache::MemCounters)> {
+    [AllocatorKind::Default, AllocatorKind::PteMagnet]
+        .into_iter()
+        .map(|kind| {
+            let machine = Machine::with_allocator(MachineConfig::paper(2, 1024), kind.build());
+            let mut colo = crate::engine::Colocation::new(machine);
+            let primary = colo.add_app(
+                Box::new(vmsim_workloads::benchmark(BenchId::Pagerank, seed)),
+                1,
+            );
+            colo.add_app(vmsim_workloads::corunner(CoId::Objdet, seed + 1), 4);
+            colo.run_until_steady(primary).expect("init");
+            colo.machine_mut().reset_measurement();
+            colo.run_ops(primary, measure_ops, |_| {}).expect("measure");
+            let core = colo.core(primary);
+            (
+                kind.name().to_string(),
+                *colo.machine().caches().core_counters(core),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §6.1 zero-overhead claim: the rest of SPEC'17 Integer
+// ---------------------------------------------------------------------------
+
+/// Per-benchmark improvement for the low-TLB-pressure SPECint set (§6.1:
+/// "performance improvement in the range of 0–1 %" and "none of the
+/// applications experience any performance degradation").
+///
+/// Averaged over three seeds — on these tiny-footprint applications the
+/// layout-dependent cache-set noise of a single run is comparable to the
+/// effect size, which is exactly why the paper averages 40 runs.
+pub fn specint_zero_overhead(seed: u64, measure_ops: u64) -> Vec<(String, f64)> {
+    BenchId::SPECINT_LOW_PRESSURE
+        .iter()
+        .map(|&bench| {
+            let mut imps = Vec::new();
+            for s in 0..3u64 {
+                let mk = |alloc| {
+                    Scenario::new(bench)
+                        .corunners(&[CoId::Objdet])
+                        .corunner_weight(4)
+                        .allocator(alloc)
+                        .measure_ops(measure_ops)
+                        .seed(seed.wrapping_add(s * 101))
+                        .run()
+                };
+                let base = mk(AllocatorKind::Default);
+                let pm = mk(AllocatorKind::PteMagnet);
+                imps.push(pm.improvement_over(&base));
+            }
+            (
+                bench.name().to_string(),
+                imps.iter().sum::<f64>() / imps.len() as f64,
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Artifact appendix A.3.2: LLC-capacity sensitivity
+// ---------------------------------------------------------------------------
+
+/// Improvement of PTEMagnet (pagerank + objdet) as a function of LLC
+/// capacity. The paper's artifact appendix predicts: *"a larger improvement
+/// can be achieved on a processor with a larger LLC ... more LLC capacity
+/// increases the chances of a cache line with a page table staying in LLC"*.
+pub fn llc_sensitivity(seed: u64, measure_ops: u64, llc_mbs: &[u64]) -> Vec<(u64, f64)> {
+    llc_mbs
+        .iter()
+        .map(|&mb| {
+            let mut config = MachineConfig::paper(2, 1024);
+            config.hierarchy.llc = vmsim_cache::CacheConfig::from_capacity(mb * 1024 * 1024, 16);
+            let mk = |alloc| {
+                Scenario::new(BenchId::Pagerank)
+                    .corunners(&[CoId::Objdet])
+                    .corunner_weight(4)
+                    .allocator(alloc)
+                    .machine(config)
+                    .measure_ops(measure_ops)
+                    .seed(seed)
+                    .run()
+            };
+            let base = mk(AllocatorKind::Default);
+            let pm = mk(AllocatorKind::PteMagnet);
+            (mb, pm.improvement_over(&base))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Hardware sensitivity: TLB reach and nested-TLB capacity
+// ---------------------------------------------------------------------------
+
+/// One row of the hardware-sensitivity study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HwSensitivityRow {
+    /// Which knob was varied ("stlb" or "nested-tlb").
+    pub knob: String,
+    /// The knob's value (entries).
+    pub value: usize,
+    /// Baseline TLB miss ratio (fraction of lookups that walk).
+    pub tlb_miss_ratio: f64,
+    /// PTEMagnet's improvement at this setting.
+    pub improvement: f64,
+}
+
+/// Sweeps STLB capacity and nested-TLB capacity for pagerank + objdet.
+///
+/// Expected shape: PTEMagnet's benefit scales with how often walks happen
+/// (small STLB ⇒ more walks ⇒ more benefit; the artifact appendix makes the
+/// analogous point about page-walk resources), and with how often the
+/// second dimension actually touches host PTEs (tiny nested TLB ⇒ more
+/// hPTE traffic ⇒ more benefit).
+pub fn hw_sensitivity(seed: u64, measure_ops: u64) -> Vec<HwSensitivityRow> {
+    let mut rows = Vec::new();
+    let run = |bench: BenchId, config: MachineConfig, alloc: AllocatorKind| {
+        Scenario::new(bench)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .allocator(alloc)
+            .machine(config)
+            .measure_ops(measure_ops)
+            .seed(seed)
+            .run()
+    };
+    // STLB reach is probed with omnetpp, whose 16k-page footprint straddles
+    // the sweep range (pagerank's 49k pages would swamp every size).
+    for stlb in [384usize, 1536, 12_288] {
+        let mut config = MachineConfig::paper(2, 1024);
+        config.tlb.l2_entries = stlb;
+        let base = run(BenchId::Omnetpp, config, AllocatorKind::Default);
+        let pm = run(BenchId::Omnetpp, config, AllocatorKind::PteMagnet);
+        rows.push(HwSensitivityRow {
+            knob: "stlb".to_string(),
+            value: stlb,
+            tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
+            improvement: pm.improvement_over(&base),
+        });
+    }
+    for nested in [16usize, 64, 256] {
+        let mut config = MachineConfig::paper(2, 1024);
+        config.pwc.nested_tlb_entries = nested;
+        let base = run(BenchId::Pagerank, config, AllocatorKind::Default);
+        let pm = run(BenchId::Pagerank, config, AllocatorKind::PteMagnet);
+        rows.push(HwSensitivityRow {
+            knob: "nested-tlb".to_string(),
+            value: nested,
+            tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
+            improvement: pm.improvement_over(&base),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_change_math() {
+        assert!((pct_change(100.0, 111.0) - 11.0).abs() < 1e-9);
+        assert!((pct_change(100.0, 93.0) + 7.0).abs() < 1e-9);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn sec64_ptemagnet_is_not_slower() {
+        // The paper's §6.4 claim: the reservation mechanism is overhead-free
+        // for allocation (in fact ~0.5 % faster).
+        let r = sec64(4096);
+        assert!(
+            r.change() <= 0.001,
+            "PTEMagnet allocation must not be slower, change = {:+.3}%",
+            r.change() * 100.0
+        );
+        assert!(
+            r.change() > -0.05,
+            "and the delta is small, change = {:+.3}%",
+            r.change() * 100.0
+        );
+    }
+
+    #[test]
+    fn geomean_of_identical_improvements_is_that_improvement() {
+        let base = RunMetrics {
+            benchmark: "x".into(),
+            allocator: "default".into(),
+            measure_ops: 1,
+            cycles: 100_000,
+            tlb_lookups: 0,
+            tlb_misses: 0,
+            data_accesses: 0,
+            data_misses: 0,
+            page_walk_cycles: 0,
+            host_pt_cycles: 0,
+            guest_pt_accesses: 0,
+            guest_pt_memory: 0,
+            host_pt_accesses: 0,
+            host_pt_memory: 0,
+            host_frag: 1.0,
+            guest_frag: 1.0,
+            init_cycles: 0,
+            footprint_pages: 0,
+            reserved_unused_peak: 0,
+            reserved_unused_mean: 0.0,
+            total_faults: 0,
+        };
+        let mut faster = base.clone();
+        faster.cycles = 96_000;
+        let pair = BenchPair {
+            name: "x".into(),
+            default: base,
+            ptemagnet: faster,
+        };
+        let sweep = FigureSweep {
+            colocation: "t".into(),
+            pairs: vec![pair.clone(), pair],
+        };
+        assert!((sweep.geomean_improvement() - 0.04).abs() < 1e-6);
+    }
+}

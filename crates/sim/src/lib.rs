@@ -1,0 +1,43 @@
+//! Colocation simulation engine and experiment harness for the PTEMagnet
+//! (ASPLOS 2021) evaluation.
+//!
+//! The crate turns the substrate (machine + workloads) into the paper's
+//! experiments:
+//!
+//! * [`engine`] — runs a set of workloads colocated inside one VM,
+//!   interleaving their operations (each app pinned to its own core, as the
+//!   paper pins threads), and accumulates per-app cycle counts;
+//! * [`scenario`] — declarative description of one run: benchmark,
+//!   co-runners, allocator, co-runner stop protocol, measurement length;
+//! * [`experiments`] — one function per table/figure of the paper
+//!   (Table 1, Figures 5–7, Table 4, §6.2, §6.4);
+//! * [`report`] — renders results as paper-style text tables.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use vmsim_sim::{Scenario, AllocatorKind};
+//! use vmsim_workloads::{BenchId, CoId};
+//!
+//! let metrics = Scenario::new(BenchId::Pagerank)
+//!     .corunners(&[CoId::Objdet])
+//!     .allocator(AllocatorKind::PteMagnet)
+//!     .measure_ops(200_000)
+//!     .run();
+//! println!("host-PT fragmentation: {:.2}", metrics.host_frag);
+//! ```
+
+pub mod engine;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use engine::Colocation;
+pub use experiments::{
+    fig5_fig6, fig7, hw_sensitivity, llc_sensitivity, sec62, sec64, specint_zero_overhead, table1,
+    table4, thp_study, walk_breakdown, AllocLatency, BenchPair, FigureSweep, HwSensitivityRow,
+    ReservedUnused, Table1, Table4, ThpRow, ThpStudy, DEFAULT_MEASURE_OPS,
+};
+pub use scenario::{AllocatorKind, RunMetrics, Scenario};
+pub use stats::{Replication, Summary};

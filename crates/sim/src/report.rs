@@ -1,0 +1,417 @@
+//! Paper-style text rendering of experiment results.
+
+use core::fmt::Write as _;
+
+use crate::experiments::{AllocLatency, FigureSweep, ReservedUnused, Table1, Table4, ThpStudy};
+
+/// Renders Table 1 in the paper's "metric / change" format.
+pub fn format_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: pagerank colocated with stress-ng vs standalone (default kernel)"
+    );
+    let _ = writeln!(out, "{:<36} {:>10}", "Metric", "Change");
+    for (name, change) in t.rows() {
+        let _ = writeln!(out, "{name:<36} {change:>+9.1}%");
+    }
+    let _ = writeln!(
+        out,
+        "(host PT fragmentation: {:.2} standalone -> {:.2} colocated)",
+        t.standalone.host_frag, t.colocated.host_frag
+    );
+    out
+}
+
+/// Renders Figure 5's series: host-PT fragmentation per benchmark, default
+/// vs PTEMagnet (lower is better).
+pub fn format_fig5(s: &FigureSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5: host PT fragmentation in colocation with {} (lower is better)",
+        s.colocation
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>10}",
+        "benchmark", "default", "ptemagnet"
+    );
+    for p in &s.pairs {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9.2} {:>10.2}",
+            p.name, p.default.host_frag, p.ptemagnet.host_frag
+        );
+    }
+    out
+}
+
+/// Renders Figure 6/7's series: per-benchmark performance improvement.
+pub fn format_improvement_figure(s: &FigureSweep, figure: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{figure}: performance improvement under colocation with {}",
+        s.colocation
+    );
+    let _ = writeln!(out, "{:<10} {:>12}", "benchmark", "improvement");
+    for p in &s.pairs {
+        let _ = writeln!(out, "{:<10} {:>+11.1}%", p.name, p.improvement() * 100.0);
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:>+11.1}%",
+        "Geomean",
+        s.geomean_improvement() * 100.0
+    );
+    out
+}
+
+/// Renders Table 4 in the paper's "metric / change" format.
+pub fn format_table4(t: &Table4) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4: pagerank + objdet, PTEMagnet vs default kernel"
+    );
+    let _ = writeln!(out, "{:<36} {:>10}", "Metric", "Change");
+    for (name, change) in t.rows() {
+        let _ = writeln!(out, "{name:<36} {change:>+9.1}%");
+    }
+    let _ = writeln!(
+        out,
+        "(host PT fragmentation: {:.2} default -> {:.2} PTEMagnet)",
+        t.default.host_frag, t.ptemagnet.host_frag
+    );
+    out
+}
+
+/// Renders the §6.2 reserved-unused study.
+pub fn format_sec62(rows: &[ReservedUnused]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sec 6.2: non-allocated pages within reservations (fraction of footprint)"
+    );
+    let _ = writeln!(out, "{:<10} {:>9} {:>9}", "benchmark", "peak", "mean");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8.3}% {:>8.3}%",
+            r.name,
+            r.peak_fraction * 100.0,
+            r.mean_fraction * 100.0
+        );
+    }
+    out
+}
+
+/// Renders the §6.4 allocation-latency microbenchmark.
+pub fn format_sec64(r: &AllocLatency) -> String {
+    format!(
+        "Sec 6.4: allocation microbenchmark over {} pages\n\
+         default:   {} cycles\n\
+         ptemagnet: {} cycles ({:+.2}%)\n",
+        r.pages,
+        r.default_cycles,
+        r.ptemagnet_cycles,
+        r.change() * 100.0
+    )
+}
+
+/// Renders a labelled horizontal ASCII bar chart (one row per series), for
+/// terminal-native versions of the paper's figures.
+///
+/// Bars are scaled so the largest value spans `width` characters; values
+/// are annotated at the end of each bar with `fmt_value`.
+pub fn ascii_bars(
+    rows: &[(String, f64)],
+    width: usize,
+    fmt_value: impl Fn(f64) -> String,
+) -> String {
+    let max = rows.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max == 0.0 {
+            0
+        } else {
+            ((value.abs() / max) * width as f64).round() as usize
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{bar:<width$}| {val}",
+            bar = "█".repeat(bar_len),
+            val = fmt_value(*value),
+        );
+    }
+    out
+}
+
+/// Renders a [`FigureSweep`] as an ASCII bar chart of improvements.
+pub fn figure_as_bars(s: &FigureSweep) -> String {
+    let mut rows: Vec<(String, f64)> = s
+        .pairs
+        .iter()
+        .map(|p| (p.name.clone(), p.improvement() * 100.0))
+        .collect();
+    rows.push(("Geomean".to_string(), s.geomean_improvement() * 100.0));
+    ascii_bars(&rows, 40, |v| format!("{v:+.1}%"))
+}
+
+/// Renders the §1 walk-source breakdown: for each page-table level of each
+/// dimension, where its accesses were served from.
+pub fn format_breakdown(allocator: &str, c: &vmsim_cache::MemCounters) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Walk-access sources with the {allocator} allocator:");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>7} {:>7} {:>7} {:>7}",
+        "PT level", "accesses", "L1", "L2", "LLC", "DRAM"
+    );
+    let mut row = |label: String, k: &vmsim_cache::KindCounters| {
+        let pct = |x: u64| {
+            if k.accesses == 0 {
+                0.0
+            } else {
+                x as f64 / k.accesses as f64 * 100.0
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            label,
+            k.accesses,
+            pct(k.l1_hits),
+            pct(k.l2_hits),
+            pct(k.llc_hits),
+            pct(k.memory)
+        );
+    };
+    for (level, k) in c.guest_pt_levels.iter().enumerate() {
+        row(format!("guest L{level}"), k);
+    }
+    for (level, k) in c.host_pt_levels.iter().enumerate() {
+        row(format!("host  L{level}"), k);
+    }
+    out
+}
+
+/// Serializes run metrics to CSV (header + one row per run), for plotting
+/// the figures outside the simulator.
+pub fn runs_to_csv(runs: &[crate::scenario::RunMetrics]) -> String {
+    let mut out = String::from(
+        "benchmark,allocator,measure_ops,cycles,tlb_lookups,tlb_misses,data_accesses,\
+         data_misses,page_walk_cycles,host_pt_cycles,guest_pt_accesses,guest_pt_memory,\
+         host_pt_accesses,host_pt_memory,host_frag,guest_frag,init_cycles,footprint_pages,\
+         reserved_unused_peak,total_faults\n",
+    );
+    for r in runs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{},{},{},{}",
+            r.benchmark,
+            r.allocator,
+            r.measure_ops,
+            r.cycles,
+            r.tlb_lookups,
+            r.tlb_misses,
+            r.data_accesses,
+            r.data_misses,
+            r.page_walk_cycles,
+            r.host_pt_cycles,
+            r.guest_pt_accesses,
+            r.guest_pt_memory,
+            r.host_pt_accesses,
+            r.host_pt_memory,
+            r.host_frag,
+            r.guest_frag,
+            r.init_cycles,
+            r.footprint_pages,
+            r.reserved_unused_peak,
+            r.total_faults,
+        );
+    }
+    out
+}
+
+/// Renders the THP study (§2.3 baseline comparison).
+pub fn format_thp(s: &ThpStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "THP study: pagerank + objdet, default vs THP vs PTEMagnet"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<11} {:>12} {:>10} {:>12}",
+        "condition", "allocator", "improvement", "host-frag", "init cycles"
+    );
+    for r in &s.rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<11} {:>+11.1}% {:>10.2} {:>12}",
+            r.condition,
+            r.allocator,
+            r.improvement * 100.0,
+            r.metrics.host_frag,
+            r.metrics.init_cycles
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nSparse-touch (every 8th page) resident pages per touched page:"
+    );
+    let _ = writeln!(
+        out,
+        "default {:.1}   thp {:.1}   ptemagnet {:.1}",
+        s.sparse_rss_per_touched[0], s.sparse_rss_per_touched[1], s.sparse_rss_per_touched[2]
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::AllocLatency;
+
+    #[test]
+    fn ascii_bars_scale_to_the_max() {
+        let rows = vec![
+            ("a".to_string(), 10.0),
+            ("bb".to_string(), 5.0),
+            ("ccc".to_string(), 0.0),
+        ];
+        let chart = ascii_bars(&rows, 10, |v| format!("{v:.0}"));
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        assert_eq!(lines[2].matches('█').count(), 0);
+        // Labels are padded to the widest.
+        assert!(lines[0].starts_with("a   |"));
+    }
+
+    #[test]
+    fn ascii_bars_handle_all_zero_series() {
+        let rows = vec![("x".to_string(), 0.0)];
+        let chart = ascii_bars(&rows, 10, |v| format!("{v}"));
+        assert!(chart.contains("x |"));
+        assert_eq!(chart.matches('█').count(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        use crate::scenario::{AllocatorKind, Scenario};
+        use vmsim_os::MachineConfig;
+        use vmsim_workloads::BenchId;
+        let run = Scenario::new(BenchId::Gcc)
+            .machine(MachineConfig::paper(1, 128))
+            .allocator(AllocatorKind::PteMagnet)
+            .measure_ops(1_000)
+            .run();
+        let csv = runs_to_csv(&[run.clone(), run]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("benchmark,allocator,"));
+        assert!(lines[1].starts_with("gcc,ptemagnet,"));
+        // Same column count in header and rows.
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn sec64_format_mentions_both_allocators() {
+        let s = format_sec64(&AllocLatency {
+            pages: 10,
+            default_cycles: 1000,
+            ptemagnet_cycles: 995,
+        });
+        assert!(s.contains("default"));
+        assert!(s.contains("ptemagnet"));
+        assert!(s.contains("-0.50%"));
+    }
+
+    /// A synthetic RunMetrics for formatting tests.
+    fn metrics(cycles: u64, host_frag: f64) -> crate::scenario::RunMetrics {
+        crate::scenario::RunMetrics {
+            benchmark: "pagerank".into(),
+            allocator: "default".into(),
+            measure_ops: 1000,
+            cycles,
+            tlb_lookups: 500,
+            tlb_misses: 100,
+            data_accesses: 1000,
+            data_misses: 50,
+            page_walk_cycles: cycles / 5,
+            host_pt_cycles: cycles / 10,
+            guest_pt_accesses: 400,
+            guest_pt_memory: 4,
+            host_pt_accesses: 400,
+            host_pt_memory: 40,
+            host_frag,
+            guest_frag: 1.0,
+            init_cycles: 9999,
+            footprint_pages: 1000,
+            reserved_unused_peak: 2,
+            reserved_unused_mean: 1.0,
+            total_faults: 1000,
+        }
+    }
+
+    #[test]
+    fn table_formats_compute_percent_changes() {
+        let t1 = crate::experiments::Table1 {
+            standalone: metrics(100_000, 2.0),
+            colocated: metrics(110_000, 6.0),
+        };
+        let s = format_table1(&t1);
+        assert!(s.contains("Execution time"));
+        assert!(s.contains("+10.0%"));
+        assert!(s.contains("+200.0%"), "fragmentation 2.0 -> 6.0:\n{s}");
+
+        let t4 = crate::experiments::Table4 {
+            default: metrics(100_000, 7.0),
+            ptemagnet: metrics(93_000, 1.0),
+        };
+        let s = format_table4(&t4);
+        assert!(s.contains("-7.0%"));
+        assert!(s.contains("7.00 default -> 1.00 PTEMagnet"));
+    }
+
+    #[test]
+    fn figure_formats_list_every_benchmark_and_geomean() {
+        let sweep = crate::experiments::FigureSweep {
+            colocation: "objdet".into(),
+            pairs: vec![crate::experiments::BenchPair {
+                name: "xz".into(),
+                default: metrics(100_000, 7.0),
+                ptemagnet: metrics(91_000, 1.0),
+            }],
+        };
+        let s = format_fig5(&sweep);
+        assert!(s.contains("xz") && s.contains("7.00") && s.contains("1.00"));
+        let s = format_improvement_figure(&sweep, "Figure 6");
+        assert!(s.contains("+9.0%"));
+        assert!(s.contains("Geomean"));
+        let bars = figure_as_bars(&sweep);
+        assert!(bars.contains('█'));
+        assert!(bars.contains("xz"));
+    }
+
+    #[test]
+    fn breakdown_format_has_all_levels() {
+        let mut c = vmsim_cache::MemCounters::default();
+        c.record(
+            vmsim_cache::AccessKind::host_pt(3),
+            vmsim_cache::HitLevel::Llc,
+            42,
+        );
+        let s = format_breakdown("default", &c);
+        for level in 0..4 {
+            assert!(s.contains(&format!("guest L{level}")));
+            assert!(s.contains(&format!("host  L{level}")));
+        }
+        assert!(s.contains("100.0%"), "host L3 served 100% from LLC:\n{s}");
+    }
+}

@@ -1,0 +1,397 @@
+//! Declarative description of one experimental run.
+
+use serde::{Deserialize, Serialize};
+use vmsim_os::{DefaultAllocator, GuestFrameAllocator, Machine, MachineConfig};
+use vmsim_types::Result;
+use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+
+use crate::engine::Colocation;
+use ptemagnet::{CaPagingLike, ReservationAllocator, ThpAllocator};
+
+/// Which guest frame allocator a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// The stock Linux-like order-0 allocator (the paper's baseline).
+    Default,
+    /// PTEMagnet's reservation allocator (the paper's contribution).
+    PteMagnet,
+    /// Best-effort contiguity baseline (CA-paging-like, §7).
+    CaPagingLike,
+    /// Transparent huge pages (THP=always), the §2.3 "big hammer" baseline.
+    Thp,
+}
+
+impl AllocatorKind {
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Default => "default",
+            AllocatorKind::PteMagnet => "ptemagnet",
+            AllocatorKind::CaPagingLike => "ca-paging-like",
+            AllocatorKind::Thp => "thp",
+        }
+    }
+
+    /// Instantiates the allocator.
+    pub fn build(self) -> Box<dyn GuestFrameAllocator> {
+        match self {
+            AllocatorKind::Default => Box::new(DefaultAllocator::new()),
+            AllocatorKind::PteMagnet => Box::new(ReservationAllocator::new()),
+            AllocatorKind::CaPagingLike => Box::new(CaPagingLike::new()),
+            AllocatorKind::Thp => Box::new(ThpAllocator::new()),
+        }
+    }
+}
+
+impl core::fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything measured about one run. Field names follow the rows of the
+/// paper's Tables 1 and 4.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Steady-state operations measured.
+    pub measure_ops: u64,
+    /// "Execution time": cycles the benchmark spent over `measure_ops`.
+    pub cycles: u64,
+    /// TLB lookups during measurement (benchmark core).
+    pub tlb_lookups: u64,
+    /// Full TLB misses during measurement (each triggers a nested walk).
+    pub tlb_misses: u64,
+    /// Data accesses during measurement.
+    pub data_accesses: u64,
+    /// Data accesses served by main memory ("cache misses").
+    pub data_misses: u64,
+    /// "Page walk cycles": cycles in guest+host PT accesses.
+    pub page_walk_cycles: u64,
+    /// "Cycles spent traversing the host page table".
+    pub host_pt_cycles: u64,
+    /// Guest PT accesses (all levels).
+    pub guest_pt_accesses: u64,
+    /// "Guest page table accesses served by main memory".
+    pub guest_pt_memory: u64,
+    /// Host PT accesses (all levels).
+    pub host_pt_accesses: u64,
+    /// "Host page table accesses served by main memory".
+    pub host_pt_memory: u64,
+    /// Host-PT fragmentation metric (§3.2), measured after the allocation
+    /// phase.
+    pub host_frag: f64,
+    /// Guest-PT fragmentation (≈1.0 by construction).
+    pub guest_frag: f64,
+    /// Cycles spent in the allocation/init phase (for §6.4).
+    pub init_cycles: u64,
+    /// Benchmark's resident footprint in pages.
+    pub footprint_pages: u64,
+    /// Peak reserved-but-unused frames observed during the run (§6.2).
+    pub reserved_unused_peak: u64,
+    /// Mean reserved-but-unused frames over per-round samples (§6.2).
+    pub reserved_unused_mean: f64,
+    /// Guest page faults taken by all apps over the whole run.
+    pub total_faults: u64,
+}
+
+impl RunMetrics {
+    /// Fractional execution-time improvement of `self` over `baseline`
+    /// (positive = faster).
+    pub fn improvement_over(&self, baseline: &RunMetrics) -> f64 {
+        1.0 - self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// Peak reserved-unused memory as a fraction of the footprint (§6.2).
+    pub fn reserved_unused_fraction(&self) -> f64 {
+        if self.footprint_pages == 0 {
+            0.0
+        } else {
+            self.reserved_unused_peak as f64 / self.footprint_pages as f64
+        }
+    }
+}
+
+/// A single experimental run: benchmark + co-runners + allocator + protocol.
+#[derive(Debug)]
+pub struct Scenario {
+    benchmark: BenchId,
+    corunners: Vec<CoId>,
+    allocator: AllocatorKind,
+    /// Overrides `allocator` with an arbitrary implementation (used by the
+    /// ablation benches, e.g. non-standard reservation granularities).
+    custom_allocator: Option<Box<dyn GuestFrameAllocator>>,
+    stop_corunners_after_init: bool,
+    measure_ops: u64,
+    corunner_weight: u32,
+    seed: u64,
+    machine: Option<MachineConfig>,
+    /// If set, pre-fragment free guest memory into alternating runs of this
+    /// many frames before anything runs (power of two).
+    prefragment_run: Option<u64>,
+}
+
+impl Scenario {
+    /// Creates a scenario with defaults: no co-runners, default allocator,
+    /// co-runners running throughout, 200k measured ops, seed 0.
+    pub fn new(benchmark: BenchId) -> Self {
+        Self {
+            benchmark,
+            corunners: Vec::new(),
+            allocator: AllocatorKind::Default,
+            custom_allocator: None,
+            stop_corunners_after_init: false,
+            measure_ops: 200_000,
+            corunner_weight: 1,
+            seed: 0,
+            machine: None,
+            prefragment_run: None,
+        }
+    }
+
+    /// Sets the colocated co-runners.
+    pub fn corunners(mut self, cos: &[CoId]) -> Self {
+        self.corunners = cos.to_vec();
+        self
+    }
+
+    /// Sets the guest frame allocator.
+    pub fn allocator(mut self, kind: AllocatorKind) -> Self {
+        self.allocator = kind;
+        self
+    }
+
+    /// Uses an arbitrary allocator implementation, labelled by its
+    /// [`GuestFrameAllocator::name`]. Overrides [`Scenario::allocator`].
+    pub fn custom_allocator(mut self, allocator: Box<dyn GuestFrameAllocator>) -> Self {
+        self.custom_allocator = Some(allocator);
+        self
+    }
+
+    /// Stops co-runners once the benchmark finishes allocating (the §3.3
+    /// protocol that isolates fragmentation effects from cache contention).
+    pub fn stop_corunners_after_init(mut self, stop: bool) -> Self {
+        self.stop_corunners_after_init = stop;
+        self
+    }
+
+    /// Sets how many steady-state benchmark operations are measured.
+    pub fn measure_ops(mut self, ops: u64) -> Self {
+        self.measure_ops = ops;
+        self
+    }
+
+    /// Sets co-runner scheduling weight (ops per benchmark op).
+    pub fn corunner_weight(mut self, weight: u32) -> Self {
+        self.corunner_weight = weight;
+        self
+    }
+
+    /// Sets the RNG seed (stands in for the paper's 40-run averaging).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the machine configuration.
+    pub fn machine(mut self, config: MachineConfig) -> Self {
+        self.machine = Some(config);
+        self
+    }
+
+    /// Pre-fragments free guest memory into alternating runs of
+    /// `run_length` frames before the workloads start — a long-running VM
+    /// whose largest free blocks are `run_length` frames. Used to study how
+    /// allocators degrade under external fragmentation (THP needs order-9
+    /// blocks; PTEMagnet only order-3).
+    pub fn prefragment_run(mut self, run_length: u64) -> Self {
+        self.prefragment_run = Some(run_length);
+        self
+    }
+
+    /// Runs the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation resource exhaustion (misconfigured machine). Use
+    /// [`Scenario::try_run`] to handle errors.
+    pub fn run(self) -> RunMetrics {
+        self.try_run().expect("scenario execution failed")
+    }
+
+    /// Runs the scenario, propagating simulation errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vmsim_types::MemError`] on resource exhaustion.
+    pub fn try_run(self) -> Result<RunMetrics> {
+        let cores = 1 + self.corunners.len();
+        let config = self
+            .machine
+            .unwrap_or_else(|| MachineConfig::paper(cores, 1024));
+        let (allocator, allocator_name) = match self.custom_allocator {
+            Some(custom) => {
+                let name = custom.name();
+                (custom, name)
+            }
+            None => (self.allocator.build(), self.allocator.name()),
+        };
+        let mut machine = Machine::with_allocator(config, allocator);
+        let _held = self
+            .prefragment_run
+            .map(|run| machine.guest_mut().hold_fragmenting_pattern(run));
+        let mut colo = Colocation::new(machine);
+
+        let primary = colo.add_app(Box::new(benchmark(self.benchmark, self.seed)), 1);
+        let co_idxs: Vec<usize> = self
+            .corunners
+            .iter()
+            .enumerate()
+            .map(|(i, &co)| {
+                colo.add_app(
+                    corunner(co, self.seed.wrapping_mul(31).wrapping_add(i as u64 + 1)),
+                    self.corunner_weight,
+                )
+            })
+            .collect();
+
+        // Phase A: allocation/init, with co-runner faults interleaving.
+        colo.run_until_steady(primary)?;
+        let init_cycles = colo.cycles(primary);
+
+        if self.stop_corunners_after_init {
+            for &i in &co_idxs {
+                colo.stop(i);
+            }
+        }
+
+        // Fragmentation is a property of the layout created during
+        // allocation: measure it now (Figure 5 protocol).
+        let pid = colo.pid(primary);
+        let host_frag = colo.machine().host_pt_fragmentation(pid)?;
+        let guest_frag = colo.machine().guest_pt_fragmentation(pid)?;
+        let footprint_pages = colo.machine().guest().process(pid)?.rss_pages;
+
+        // Phase B: measured steady state.
+        colo.machine_mut().reset_measurement();
+        let cycles_before = colo.cycles(primary);
+        let mut unused_peak = 0u64;
+        let mut unused_sum = 0u128;
+        let mut samples = 0u64;
+        colo.run_ops(primary, self.measure_ops, |m| {
+            let unused = m.guest().allocator().reserved_unused_frames();
+            unused_peak = unused_peak.max(unused);
+            unused_sum += u128::from(unused);
+            samples += 1;
+        })?;
+
+        let core = colo.core(primary);
+        let counters = *colo.machine().caches().core_counters(core);
+        let tlb = colo.machine().tlb(core);
+        Ok(RunMetrics {
+            benchmark: self.benchmark.name().to_string(),
+            allocator: allocator_name.to_string(),
+            measure_ops: self.measure_ops,
+            cycles: colo.cycles(primary) - cycles_before,
+            tlb_lookups: tlb.lookups(),
+            tlb_misses: tlb.misses(),
+            data_accesses: counters.data.accesses,
+            data_misses: counters.data.memory,
+            page_walk_cycles: counters.page_walk_cycles(),
+            host_pt_cycles: counters.host_pt_cycles(),
+            guest_pt_accesses: counters.guest_pt.accesses,
+            guest_pt_memory: counters.guest_pt_memory_accesses(),
+            host_pt_accesses: counters.host_pt.accesses,
+            host_pt_memory: counters.host_pt_memory_accesses(),
+            host_frag: host_frag.mean(),
+            guest_frag: guest_frag.mean(),
+            init_cycles,
+            footprint_pages,
+            reserved_unused_peak: unused_peak,
+            reserved_unused_mean: if samples == 0 {
+                0.0
+            } else {
+                (unused_sum / u128::from(samples)) as f64
+            },
+            total_faults: colo.machine().guest().stats().faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(bench: BenchId) -> Scenario {
+        // Small machine + short measurement for fast unit tests.
+        Scenario::new(bench)
+            .machine(MachineConfig::paper(2, 256))
+            .measure_ops(5_000)
+    }
+
+    #[test]
+    fn allocator_kinds_build() {
+        assert_eq!(AllocatorKind::Default.build().name(), "default");
+        assert_eq!(AllocatorKind::PteMagnet.build().name(), "ptemagnet");
+        assert_eq!(AllocatorKind::CaPagingLike.build().name(), "ca-paging-like");
+    }
+
+    #[test]
+    fn solo_gcc_runs_and_reports() {
+        let m = quick(BenchId::Gcc).run();
+        assert_eq!(m.benchmark, "gcc");
+        assert!(m.cycles > 0);
+        assert!(m.tlb_lookups > 0);
+        assert!(m.footprint_pages >= 6_144);
+        assert!((m.guest_frag - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_default_fragespects_more_than_ptemagnet() {
+        let base = quick(BenchId::Gcc)
+            .corunners(&[CoId::StressNg])
+            .corunner_weight(4)
+            .run();
+        let pm = quick(BenchId::Gcc)
+            .corunners(&[CoId::StressNg])
+            .corunner_weight(4)
+            .allocator(AllocatorKind::PteMagnet)
+            .run();
+        assert!(
+            base.host_frag > 1.5,
+            "baseline fragments: {}",
+            base.host_frag
+        );
+        assert!(
+            (pm.host_frag - 1.0).abs() < 0.05,
+            "ptemagnet pins fragmentation to ~1: {}",
+            pm.host_frag
+        );
+    }
+
+    #[test]
+    fn improvement_math() {
+        let mut a = quick(BenchId::Gcc).run();
+        let mut b = a.clone();
+        a.cycles = 100;
+        b.cycles = 93;
+        assert!((b.improvement_over(&a) - 0.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ptemagnet_reports_reserved_unused() {
+        let m = quick(BenchId::Gcc)
+            .allocator(AllocatorKind::PteMagnet)
+            .run();
+        // Benchmarks touch every page during init, so steady-state unused
+        // reservations are tiny (§6.2: < 0.2 % of footprint).
+        assert!(
+            m.reserved_unused_fraction() < 0.002 + 1e-9,
+            "got {}",
+            m.reserved_unused_fraction()
+        );
+    }
+}

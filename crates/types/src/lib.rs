@@ -1,0 +1,44 @@
+//! Foundation types for the PTEMagnet virtual-memory simulator.
+//!
+//! This crate defines the vocabulary every other crate in the workspace speaks:
+//!
+//! * **Address-space newtypes** ([`addr`]) — four distinct address spaces exist
+//!   under virtualization (guest-virtual, guest-physical, host-virtual,
+//!   host-physical), and mixing them up is the classic source of bugs in
+//!   virtual-memory code. Each space gets its own byte-address and page-number
+//!   newtype so the compiler rules out cross-space confusion.
+//! * **Page geometry** ([`page`]) — page size, page-table fan-out, cache-line
+//!   capacity of page-table entries, and the 8-page *reservation group*
+//!   geometry at the heart of PTEMagnet (ASPLOS 2021, §4.1).
+//! * **Errors** ([`error`]) — the shared [`MemError`] type returned by
+//!   allocators, page tables, and OS models across the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmsim_types::{GuestVirtAddr, GuestVirtPage, GROUP_PAGES};
+//!
+//! let va = GuestVirtAddr::new(0x7f00_1234_5678);
+//! let page: GuestVirtPage = va.page();
+//! // PTEMagnet reserves physical memory for aligned 8-page groups.
+//! let group_base = page.group_base();
+//! assert_eq!(group_base.raw() % GROUP_PAGES, 0);
+//! assert!(group_base.raw() <= page.raw());
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod page;
+
+pub use addr::{
+    GuestFrame, GuestPhysAddr, GuestVirtAddr, GuestVirtPage, HostFrame, HostPhysAddr, HostVirtAddr,
+    HostVirtPage, PageNumber,
+};
+pub use error::MemError;
+pub use page::{
+    CACHE_LINE_SHIFT, CACHE_LINE_SIZE, GROUP_BYTES, GROUP_PAGES, GROUP_SHIFT, PAGE_SHIFT,
+    PAGE_SIZE, PTES_PER_CACHE_LINE, PTE_SIZE, PT_ENTRIES, PT_INDEX_BITS, PT_LEVELS,
+};
+
+/// Convenience alias used by fallible operations across the workspace.
+pub type Result<T> = core::result::Result<T, MemError>;

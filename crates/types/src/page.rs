@@ -1,0 +1,109 @@
+//! Page, page-table, and reservation-group geometry.
+//!
+//! The values here mirror the Linux/x86-64 configuration the paper evaluates
+//! (§2.3, §2.5): 4 KB base pages, 4-level radix page tables with 512 8-byte
+//! entries per node, and 64-byte cache lines — hence 8 PTEs per cache line,
+//! which is exactly why PTEMagnet's reservation group is 8 pages (32 KB).
+
+/// log2 of the base page size (4 KB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KB, the "small page" of Linux/x86).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Size of one page-table entry in bytes (x86-64).
+pub const PTE_SIZE: u64 = 8;
+/// log2 of the number of entries per page-table node.
+pub const PT_INDEX_BITS: u32 = 9;
+/// Number of entries in one page-table node (one 4 KB frame of 8-byte PTEs).
+pub const PT_ENTRIES: u64 = 1 << PT_INDEX_BITS;
+/// Number of levels in the radix page table (x86-64 4-level paging).
+pub const PT_LEVELS: usize = 4;
+
+/// log2 of the CPU cache-line size.
+pub const CACHE_LINE_SHIFT: u32 = 6;
+/// CPU cache-line size in bytes.
+pub const CACHE_LINE_SIZE: u64 = 1 << CACHE_LINE_SHIFT;
+/// How many PTEs fit in one cache line (64 B / 8 B = 8).
+pub const PTES_PER_CACHE_LINE: u64 = CACHE_LINE_SIZE / PTE_SIZE;
+
+/// Pages per PTEMagnet reservation group (§4.1): one group of adjacent pages
+/// whose PTEs fill exactly one cache line.
+pub const GROUP_PAGES: u64 = PTES_PER_CACHE_LINE;
+/// log2 of [`GROUP_PAGES`].
+pub const GROUP_SHIFT: u32 = 3;
+/// Bytes covered by one reservation group (8 × 4 KB = 32 KB).
+pub const GROUP_BYTES: u64 = GROUP_PAGES * PAGE_SIZE;
+
+/// Returns the page-table index used at `level` for page number `vpn`.
+///
+/// `level` 0 is the root (PML4-equivalent); `level 3` is the leaf level that
+/// holds the actual translation. Each level consumes [`PT_INDEX_BITS`] bits of
+/// the page number, most-significant bits first.
+///
+/// # Panics
+///
+/// Panics if `level >= PT_LEVELS`.
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_types::page::pt_index;
+/// // vpn with leaf index 5 and all upper indices 0:
+/// assert_eq!(pt_index(5, 3), 5);
+/// assert_eq!(pt_index(5, 0), 0);
+/// ```
+#[inline]
+pub fn pt_index(vpn: u64, level: usize) -> u64 {
+    assert!(level < PT_LEVELS, "page-table level {level} out of range");
+    let shift = PT_INDEX_BITS * (PT_LEVELS - 1 - level) as u32;
+    (vpn >> shift) & (PT_ENTRIES - 1)
+}
+
+/// Number of page numbers coverable by the 4-level table (virtual span).
+pub const MAX_VPN: u64 = 1 << (PT_INDEX_BITS * PT_LEVELS as u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(PTE_SIZE * PT_ENTRIES, PAGE_SIZE);
+        assert_eq!(PTES_PER_CACHE_LINE, 8);
+        assert_eq!(GROUP_PAGES, 8);
+        assert_eq!(GROUP_BYTES, 32 * 1024);
+        assert_eq!(1u64 << GROUP_SHIFT, GROUP_PAGES);
+    }
+
+    #[test]
+    fn pt_index_extracts_each_level() {
+        // Construct a vpn with distinct known indices per level.
+        let vpn = (1u64 << 27) | (2 << 18) | (3 << 9) | 4;
+        assert_eq!(pt_index(vpn, 0), 1);
+        assert_eq!(pt_index(vpn, 1), 2);
+        assert_eq!(pt_index(vpn, 2), 3);
+        assert_eq!(pt_index(vpn, 3), 4);
+    }
+
+    #[test]
+    fn pt_index_masks_to_nine_bits() {
+        let vpn = u64::MAX;
+        for level in 0..PT_LEVELS {
+            assert_eq!(pt_index(vpn, level), PT_ENTRIES - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pt_index_rejects_bad_level() {
+        pt_index(0, PT_LEVELS);
+    }
+
+    #[test]
+    fn adjacent_pages_share_leaf_node_until_boundary() {
+        // Pages 0..511 share upper indices; page 512 rolls the level-2 index.
+        assert_eq!(pt_index(511, 2), pt_index(0, 2));
+        assert_ne!(pt_index(512, 2), pt_index(0, 2));
+    }
+}

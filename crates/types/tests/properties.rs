@@ -1,0 +1,57 @@
+//! Property-based tests for the address/page arithmetic in `vmsim-types`.
+
+use proptest::prelude::*;
+use vmsim_types::{
+    page::pt_index, GuestVirtAddr, GuestVirtPage, PageNumber, GROUP_PAGES, PAGE_SIZE, PT_ENTRIES,
+    PT_LEVELS,
+};
+
+proptest! {
+    #[test]
+    fn page_round_trip(raw in 0u64..(1 << 48)) {
+        let addr = GuestVirtAddr::new(raw);
+        let page = addr.page();
+        // Reconstructing the address from page base + offset is the identity.
+        prop_assert_eq!(page.base_addr().raw() + addr.page_offset(), raw);
+        prop_assert!(addr.page_offset() < PAGE_SIZE);
+    }
+
+    #[test]
+    fn group_base_is_aligned_and_below(vpn in 0u64..(1 << 36)) {
+        let p = GuestVirtPage::new(vpn);
+        let base = p.group_base();
+        prop_assert_eq!(base.raw() % GROUP_PAGES, 0);
+        prop_assert!(base.raw() <= vpn);
+        prop_assert!(vpn - base.raw() < GROUP_PAGES);
+        prop_assert_eq!(base.raw() + p.group_offset(), vpn);
+        prop_assert_eq!(p.group_id(), vpn / GROUP_PAGES);
+    }
+
+    #[test]
+    fn pt_indices_reconstruct_vpn(vpn in 0u64..(1 << 36)) {
+        // Concatenating the four 9-bit indices yields the original vpn.
+        let mut rebuilt = 0u64;
+        for level in 0..PT_LEVELS {
+            rebuilt = rebuilt * PT_ENTRIES + pt_index(vpn, level);
+        }
+        prop_assert_eq!(rebuilt, vpn);
+    }
+
+    #[test]
+    fn pages_in_same_group_share_leaf_cache_line_slot(vpn in 0u64..(1 << 36)) {
+        // All pages of an aligned 8-page group have leaf indices that fall in
+        // the same 8-entry (one cache line) slot of the leaf node — the
+        // geometric fact PTEMagnet exploits (paper Figure 3).
+        let base = GuestVirtPage::new(vpn).group_base();
+        let lines: std::collections::HashSet<u64> = base
+            .span(GROUP_PAGES)
+            .map(|p| p.pt_index(PT_LEVELS - 1) / GROUP_PAGES)
+            .collect();
+        prop_assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn page_number_trait_round_trips(raw in any::<u64>()) {
+        prop_assert_eq!(GuestVirtPage::from_raw(raw).to_raw(), raw);
+    }
+}

@@ -1,0 +1,205 @@
+//! Empirical access-pattern analysis of workload streams.
+//!
+//! The workload generators stand in for real binaries, so their *measurable
+//! properties* — footprint, sequential-run structure, group locality, fault
+//! rate — are what make the substitution valid (see DESIGN.md). This module
+//! measures those properties from the emitted stream, so calibration claims
+//! are checkable instead of asserted.
+
+use std::collections::HashSet;
+
+use crate::op::{Op, Phase, Workload};
+
+/// Empirical statistics of a slice of a workload's operation stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PatternStats {
+    /// Operations analyzed.
+    pub ops: u64,
+    /// Touch operations.
+    pub touches: u64,
+    /// Region allocations.
+    pub allocs: u64,
+    /// Region frees.
+    pub frees: u64,
+    /// Distinct (region, page) pairs touched.
+    pub unique_pages: u64,
+    /// First touches to never-before-seen pages (page-fault proxies).
+    pub first_touches: u64,
+    /// Page *moves* (consecutive touches to different pages).
+    pub page_moves: u64,
+    /// Page moves to the immediately following page (+1).
+    pub sequential_moves: u64,
+    /// Page moves landing within the same aligned 8-page group.
+    pub group_local_moves: u64,
+    /// Write touches.
+    pub writes: u64,
+}
+
+impl PatternStats {
+    /// Fraction of page moves that are sequential (+1).
+    pub fn sequential_ratio(&self) -> f64 {
+        if self.page_moves == 0 {
+            0.0
+        } else {
+            self.sequential_moves as f64 / self.page_moves as f64
+        }
+    }
+
+    /// Fraction of page moves staying within an aligned 8-page group
+    /// (includes sequential moves that do not cross a group boundary).
+    pub fn group_locality(&self) -> f64 {
+        if self.page_moves == 0 {
+            0.0
+        } else {
+            self.group_local_moves as f64 / self.page_moves as f64
+        }
+    }
+
+    /// First touches (page faults) per operation — the co-runner property
+    /// that drives fragmentation.
+    pub fn fault_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.first_touches as f64 / self.ops as f64
+        }
+    }
+
+    /// Write fraction of touches.
+    pub fn write_ratio(&self) -> f64 {
+        if self.touches == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.touches as f64
+        }
+    }
+}
+
+/// Measures `ops` operations of `workload` (skipping its init phase first,
+/// so steady-state behaviour is what gets characterized).
+pub fn analyze(workload: &mut dyn Workload, ops: u64) -> PatternStats {
+    while workload.phase() == Phase::Init {
+        workload.next_op();
+    }
+    analyze_raw(workload, ops)
+}
+
+/// Measures `ops` operations starting from the current position (init
+/// included if not yet drained).
+pub fn analyze_raw(workload: &mut dyn Workload, ops: u64) -> PatternStats {
+    let mut stats = PatternStats::default();
+    let mut seen: HashSet<(u32, u64)> = HashSet::new();
+    let mut last: Option<(u32, u64)> = None;
+    for _ in 0..ops {
+        stats.ops += 1;
+        match workload.next_op() {
+            Op::Alloc { .. } => stats.allocs += 1,
+            Op::Free { region } => {
+                stats.frees += 1;
+                // Pages of freed regions may be reused under fresh handles;
+                // drop them from the seen-set so re-touches count as faults.
+                seen.retain(|(r, _)| *r != region);
+            }
+            Op::Touch {
+                region,
+                page_idx,
+                write,
+            } => {
+                stats.touches += 1;
+                if write {
+                    stats.writes += 1;
+                }
+                if seen.insert((region, page_idx)) {
+                    stats.first_touches += 1;
+                }
+                if let Some((lr, lp)) = last {
+                    if (lr, lp) != (region, page_idx) {
+                        stats.page_moves += 1;
+                        if lr == region && page_idx == lp + 1 {
+                            stats.sequential_moves += 1;
+                        }
+                        if lr == region && page_idx / 8 == lp / 8 {
+                            stats.group_local_moves += 1;
+                        }
+                    }
+                }
+                last = Some((region, page_idx));
+            }
+        }
+    }
+    stats.unique_pages = seen.len() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{benchmark, corunner, BenchId, CoId};
+
+    #[test]
+    fn xz_has_higher_group_locality_than_mcf() {
+        // The calibration claim behind the paper's best/typical cases.
+        let mut xz = benchmark(BenchId::Xz, 1);
+        let mut mcf = benchmark(BenchId::Mcf, 1);
+        let sx = analyze(&mut xz, 30_000);
+        let sm = analyze(&mut mcf, 30_000);
+        assert!(
+            sx.group_locality() > sm.group_locality(),
+            "xz {:.2} vs mcf {:.2}",
+            sx.group_locality(),
+            sm.group_locality()
+        );
+    }
+
+    #[test]
+    fn graph_kernels_are_sequential_heavy() {
+        let mut pr = benchmark(BenchId::Pagerank, 2);
+        let s = analyze(&mut pr, 30_000);
+        assert!(
+            s.sequential_ratio() > 0.5,
+            "got {:.2}",
+            s.sequential_ratio()
+        );
+        assert!(s.write_ratio() > 0.2 && s.write_ratio() < 0.4);
+    }
+
+    #[test]
+    fn stress_ng_is_all_faults() {
+        // Pure churn: essentially every touch is a first touch.
+        let mut sng = corunner(CoId::StressNg, 3);
+        let s = analyze_raw(sng.as_mut(), 20_000);
+        assert!(s.fault_rate() > 0.5, "got {:.2}", s.fault_rate());
+        assert!(s.frees > 0);
+    }
+
+    #[test]
+    fn objdet_out_faults_serving_corunners() {
+        let rate = |id| {
+            let mut w = corunner(id, 4);
+            analyze_raw(w.as_mut(), 20_000).fault_rate()
+        };
+        assert!(rate(CoId::Objdet) > rate(CoId::Pyaes));
+        assert!(rate(CoId::Objdet) > rate(CoId::Chameleon));
+    }
+
+    #[test]
+    fn steady_state_unique_pages_bounded_by_footprint() {
+        let mut gcc = benchmark(BenchId::Gcc, 5);
+        let footprint = gcc.footprint_pages();
+        let s = analyze(&mut gcc, 50_000);
+        assert!(s.unique_pages <= footprint);
+        assert!(
+            s.unique_pages > footprint / 50,
+            "stream covers the footprint"
+        );
+    }
+
+    #[test]
+    fn empty_analysis_is_all_zeroes() {
+        let mut gcc = benchmark(BenchId::Gcc, 6);
+        let s = analyze_raw(&mut gcc, 0);
+        assert_eq!(s, PatternStats::default());
+        assert_eq!(s.sequential_ratio(), 0.0);
+        assert_eq!(s.fault_rate(), 0.0);
+    }
+}

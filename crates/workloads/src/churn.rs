@@ -1,0 +1,230 @@
+//! Co-runner-style workloads: continuous allocation/free churn.
+//!
+//! Co-runners matter to the studied phenomenon through their **page-fault
+//! rate**: every fault they take while a benchmark is allocating steals the
+//! next frame from the buddy allocator and fragments the benchmark's memory.
+//! The paper's stress-ng configuration "continuously allocates and
+//! deallocates physical memory" with 12 threads; MLPerf objdet has "the
+//! highest page fault rate among all the co-runners" (§6.1).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::op::{Op, Phase, Workload};
+
+/// Tuning knobs of a [`ChurnWorkload`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Workload name for reports.
+    pub name: &'static str,
+    /// Minimum size of each transient region, in pages.
+    pub min_region_pages: u64,
+    /// Maximum size of each transient region, in pages (inclusive).
+    pub max_region_pages: u64,
+    /// Number of transient regions kept alive before the oldest is freed.
+    pub live_regions: usize,
+    /// Fraction of a fresh region's pages touched (faulted) on allocation.
+    pub touch_fraction: f64,
+    /// Steady accesses to already-live pages between churn steps (models
+    /// the co-runner's own compute, which pressures the shared LLC).
+    pub steady_touches_per_cycle: u32,
+}
+
+impl ChurnConfig {
+    fn validate(&self) {
+        assert!(self.min_region_pages > 0);
+        assert!(self.max_region_pages >= self.min_region_pages);
+        assert!(self.live_regions > 0);
+        assert!((0.0..=1.0).contains(&self.touch_fraction));
+    }
+}
+
+/// A co-runner that perpetually allocates, touches, and frees regions.
+#[derive(Clone, Debug)]
+pub struct ChurnWorkload {
+    config: ChurnConfig,
+    rng: StdRng,
+    next_region: u32,
+    /// Live regions with their sizes.
+    live: VecDeque<(u32, u64)>,
+    /// Pending ops queued by the current churn step.
+    pending: VecDeque<Op>,
+}
+
+impl ChurnWorkload {
+    /// Creates the workload with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (zero sizes, empty live set, or
+    /// `touch_fraction` outside `[0, 1]`).
+    pub fn new(config: ChurnConfig, seed: u64) -> Self {
+        config.validate();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_region: 0,
+            live: VecDeque::new(),
+            pending: VecDeque::new(),
+            config,
+        }
+    }
+
+    /// The configuration this workload runs.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    fn schedule_churn_step(&mut self) {
+        // Free the oldest region once the live set is full.
+        if self.live.len() >= self.config.live_regions {
+            let (region, _) = self.live.pop_front().expect("live set is non-empty");
+            self.pending.push_back(Op::Free { region });
+        }
+        // Allocate and partially touch a fresh region.
+        let pages = self
+            .rng
+            .random_range(self.config.min_region_pages..=self.config.max_region_pages);
+        let region = self.next_region;
+        self.next_region += 1;
+        self.pending.push_back(Op::Alloc { region, pages });
+        let touched = ((pages as f64 * self.config.touch_fraction).ceil() as u64).min(pages);
+        for page_idx in 0..touched {
+            self.pending.push_back(Op::Touch {
+                region,
+                page_idx,
+                write: true,
+            });
+        }
+        self.live.push_back((region, pages));
+        // Steady accesses over random live pages.
+        for _ in 0..self.config.steady_touches_per_cycle {
+            let (region, pages) = self.live[self.rng.random_range(0..self.live.len())];
+            let page_idx = self.rng.random_range(0..pages);
+            self.pending.push_back(Op::Touch {
+                region,
+                page_idx,
+                write: false,
+            });
+        }
+    }
+}
+
+impl Workload for ChurnWorkload {
+    fn name(&self) -> &'static str {
+        self.config.name
+    }
+
+    fn next_op(&mut self) -> Op {
+        if self.pending.is_empty() {
+            self.schedule_churn_step();
+        }
+        self.pending.pop_front().expect("churn step queued ops")
+    }
+
+    fn phase(&self) -> Phase {
+        // Churners never settle: they are perpetually allocating.
+        Phase::Steady
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        // Upper bound of the live set.
+        self.config.max_region_pages * self.config.live_regions as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ChurnConfig {
+        ChurnConfig {
+            name: "churn",
+            min_region_pages: 4,
+            max_region_pages: 16,
+            live_regions: 3,
+            touch_fraction: 0.5,
+            steady_touches_per_cycle: 2,
+        }
+    }
+
+    #[test]
+    fn regions_cycle_through_alloc_touch_free() {
+        let mut w = ChurnWorkload::new(config(), 1);
+        let mut allocs = 0;
+        let mut frees = 0;
+        let mut live: std::collections::HashSet<u32> = Default::default();
+        for _ in 0..500 {
+            match w.next_op() {
+                Op::Alloc { region, pages } => {
+                    allocs += 1;
+                    assert!((4..=16).contains(&pages));
+                    assert!(live.insert(region), "region handles are fresh");
+                }
+                Op::Free { region } => {
+                    frees += 1;
+                    assert!(live.remove(&region), "free only live regions");
+                }
+                Op::Touch { region, .. } => {
+                    assert!(live.contains(&region), "touch only live regions");
+                }
+            }
+        }
+        assert!(allocs > 10);
+        assert!(frees > 10);
+        assert!(live.len() <= 3 + 1);
+    }
+
+    #[test]
+    fn touches_stay_within_region_bounds() {
+        let mut w = ChurnWorkload::new(config(), 2);
+        let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
+        for _ in 0..500 {
+            match w.next_op() {
+                Op::Alloc { region, pages } => {
+                    sizes.insert(region, pages);
+                }
+                Op::Free { region } => {
+                    sizes.remove(&region);
+                }
+                Op::Touch {
+                    region, page_idx, ..
+                } => {
+                    assert!(page_idx < sizes[&region]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churners_are_always_steady_phase() {
+        let w = ChurnWorkload::new(config(), 3);
+        assert_eq!(w.phase(), Phase::Steady);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = ChurnWorkload::new(config(), 9);
+        let mut b = ChurnWorkload::new(config(), 9);
+        for _ in 0..300 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn fault_rate_scales_with_touch_fraction() {
+        // A high-touch-fraction churner (objdet-like) produces more faults
+        // (first-touches) per op than a low-touch one.
+        let count_touches = |fraction: f64| {
+            let mut cfg = config();
+            cfg.touch_fraction = fraction;
+            cfg.steady_touches_per_cycle = 0;
+            let mut w = ChurnWorkload::new(cfg, 4);
+            (0..1000)
+                .filter(|_| matches!(w.next_op(), Op::Touch { .. }))
+                .count()
+        };
+        assert!(count_touches(1.0) > count_touches(0.2));
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic workload generators for the PTEMagnet evaluation.
+//!
+//! The paper evaluates real binaries (SPEC'17, GPOP graph kernels, MLPerf
+//! object detection, …) that are not distributable here, so this crate
+//! generates **synthetic memory traces calibrated to the three properties
+//! the studied phenomenon depends on**:
+//!
+//! 1. **Footprint** — how far beyond TLB reach the working set extends
+//!    (drives TLB miss rate);
+//! 2. **Spatial locality** — how often accesses move to a *neighbouring*
+//!    page vs jump arbitrarily (drives reuse of PTE cache lines across
+//!    nearby page walks, the thing PTEMagnet preserves);
+//! 3. **Allocation behaviour** — bulk up-front allocation (benchmarks) vs
+//!    continuous alloc/free churn (co-runners), which drives the fault
+//!    interleaving that fragments guest-physical memory.
+//!
+//! Workloads emit abstract [`Op`]s against region handles; the simulation
+//! engine (in `vmsim-sim`) owns address assignment and the machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmsim_workloads::{profiles, Workload, Phase};
+//!
+//! let mut w = profiles::benchmark(profiles::BenchId::Pagerank, 7);
+//! assert_eq!(w.name(), "pagerank");
+//! // The first op allocates the first region.
+//! let first = w.next_op();
+//! assert!(matches!(first, vmsim_workloads::Op::Alloc { .. }));
+//! assert_eq!(w.phase(), Phase::Init);
+//! ```
+
+pub mod analysis;
+pub mod churn;
+pub mod op;
+pub mod profiles;
+pub mod stream;
+pub mod trace;
+
+pub use analysis::{analyze, analyze_raw, PatternStats};
+pub use churn::{ChurnConfig, ChurnWorkload};
+pub use op::{Op, Phase, Workload};
+pub use profiles::{benchmark, corunner, BenchId, CoId};
+pub use stream::{StreamConfig, StreamingWorkload};
+pub use trace::RecordedTrace;

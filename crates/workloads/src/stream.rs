@@ -1,0 +1,318 @@
+//! Benchmark-style workloads: bulk allocation, then locality-structured
+//! streaming over the footprint.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::op::{Op, Phase, Workload};
+
+/// Tuning knobs of a [`StreamingWorkload`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamConfig {
+    /// Benchmark name for reports.
+    pub name: &'static str,
+    /// Region sizes in pages (e.g. vertex array + edge array for a graph
+    /// kernel). Allocated and initialized up front, in order.
+    pub regions: Vec<u64>,
+    /// Probability that the next steady-state access continues sequentially
+    /// from the previous page (+1).
+    pub seq_prob: f64,
+    /// Probability that a non-sequential access lands within the same
+    /// aligned 8-page group as the current position (near jump) rather than
+    /// anywhere in the region (far jump).
+    pub near_prob: f64,
+    /// Fraction of accesses that write.
+    pub write_ratio: f64,
+    /// Number of consecutive accesses within one page before moving on
+    /// (models cache-line-level locality within a page).
+    pub touches_per_page: u32,
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]`, no region is given, or
+    /// `touches_per_page` is zero.
+    fn validate(&self) {
+        assert!(!self.regions.is_empty(), "need at least one region");
+        assert!(
+            self.regions.iter().all(|&p| p > 0),
+            "regions must be non-empty"
+        );
+        for p in [self.seq_prob, self.near_prob, self.write_ratio] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        assert!(self.touches_per_page > 0);
+    }
+}
+
+/// A benchmark-style workload: allocate-and-initialize, then stream.
+///
+/// During [`Phase::Init`] the workload allocates each region and touches
+/// every page once, sequentially (writing), exactly like initializing large
+/// data structures. In [`Phase::Steady`] it emits a mix of sequential runs,
+/// near jumps (same 8-page group), and far jumps over a randomly chosen
+/// region, weighted by region size.
+///
+/// # Examples
+///
+/// ```
+/// use vmsim_workloads::{Op, Phase, StreamConfig, StreamingWorkload, Workload};
+///
+/// let mut w = StreamingWorkload::new(
+///     StreamConfig {
+///         name: "demo",
+///         regions: vec![4],
+///         seq_prob: 0.8,
+///         near_prob: 0.5,
+///         write_ratio: 0.1,
+///         touches_per_page: 1,
+///     },
+///     42,
+/// );
+/// // Init: one Alloc, then each page touched once.
+/// assert!(matches!(w.next_op(), Op::Alloc { pages: 4, .. }));
+/// for _ in 0..4 {
+///     assert!(matches!(w.next_op(), Op::Touch { .. }));
+/// }
+/// assert_eq!(w.phase(), Phase::Steady);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingWorkload {
+    config: StreamConfig,
+    rng: StdRng,
+    phase: Phase,
+    /// Init progress: (region index, next page).
+    init_cursor: (usize, u64),
+    /// Whether the current init region's Alloc has been emitted.
+    init_alloc_emitted: bool,
+    /// Steady-state position: (region, page).
+    pos: (u32, u64),
+    /// Remaining touches on the current page.
+    page_touches_left: u32,
+}
+
+impl StreamingWorkload {
+    /// Creates the workload with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (see [`StreamConfig`]).
+    pub fn new(config: StreamConfig, seed: u64) -> Self {
+        config.validate();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            phase: Phase::Init,
+            init_cursor: (0, 0),
+            init_alloc_emitted: false,
+            pos: (0, 0),
+            page_touches_left: 0,
+            config,
+        }
+    }
+
+    /// The configuration this workload runs.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    fn pick_region(&mut self) -> u32 {
+        // Weight by size so big regions absorb proportional traffic.
+        let total: u64 = self.config.regions.iter().sum();
+        let mut x = self.rng.random_range(0..total);
+        for (i, &pages) in self.config.regions.iter().enumerate() {
+            if x < pages {
+                return i as u32;
+            }
+            x -= pages;
+        }
+        unreachable!("weights cover the range")
+    }
+
+    fn steady_op(&mut self) -> Op {
+        if self.page_touches_left == 0 {
+            // Move to a new page.
+            let (region, page) = self.pos;
+            let region_pages = self.config.regions[region as usize];
+            let r: f64 = self.rng.random();
+            let (new_region, new_page) = if r < self.config.seq_prob {
+                (region, (page + 1) % region_pages)
+            } else if r < self.config.seq_prob
+                + (1.0 - self.config.seq_prob) * self.config.near_prob
+            {
+                // Near jump: stay within the current aligned 8-page group.
+                let base = page & !7;
+                let candidate = base + self.rng.random_range(0..8u64);
+                (region, candidate.min(region_pages - 1))
+            } else {
+                let nr = self.pick_region();
+                let np = self.rng.random_range(0..self.config.regions[nr as usize]);
+                (nr, np)
+            };
+            self.pos = (new_region, new_page);
+            self.page_touches_left = self.config.touches_per_page;
+        }
+        self.page_touches_left -= 1;
+        let write = self.rng.random::<f64>() < self.config.write_ratio;
+        Op::Touch {
+            region: self.pos.0,
+            page_idx: self.pos.1,
+            write,
+        }
+    }
+}
+
+impl Workload for StreamingWorkload {
+    fn name(&self) -> &'static str {
+        self.config.name
+    }
+
+    fn next_op(&mut self) -> Op {
+        if self.phase == Phase::Steady {
+            return self.steady_op();
+        }
+        let (region, page) = self.init_cursor;
+        if !self.init_alloc_emitted {
+            self.init_alloc_emitted = true;
+            return Op::Alloc {
+                region: region as u32,
+                pages: self.config.regions[region],
+            };
+        }
+        let op = Op::Touch {
+            region: region as u32,
+            page_idx: page,
+            write: true,
+        };
+        // Advance the init cursor.
+        if page + 1 < self.config.regions[region] {
+            self.init_cursor = (region, page + 1);
+        } else if region + 1 < self.config.regions.len() {
+            self.init_cursor = (region + 1, 0);
+            self.init_alloc_emitted = false;
+        } else {
+            self.phase = Phase::Steady;
+        }
+        op
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        self.config.regions.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> StreamConfig {
+        StreamConfig {
+            name: "test",
+            regions: vec![16, 8],
+            seq_prob: 0.5,
+            near_prob: 0.5,
+            write_ratio: 0.3,
+            touches_per_page: 2,
+        }
+    }
+
+    #[test]
+    fn init_allocates_then_touches_every_page_once() {
+        let mut w = StreamingWorkload::new(config(), 1);
+        let mut touched = [vec![0u32; 16], vec![0u32; 8]];
+        let mut allocs = 0;
+        while w.phase() == Phase::Init {
+            match w.next_op() {
+                Op::Alloc { region, pages } => {
+                    allocs += 1;
+                    assert_eq!(pages, [16, 8][region as usize]);
+                }
+                Op::Touch {
+                    region,
+                    page_idx,
+                    write,
+                } => {
+                    assert!(write, "init writes");
+                    touched[region as usize][page_idx as usize] += 1;
+                }
+                Op::Free { .. } => panic!("benchmarks never free during init"),
+            }
+        }
+        assert_eq!(allocs, 2);
+        assert!(touched.iter().flatten().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn steady_ops_stay_in_bounds() {
+        let mut w = StreamingWorkload::new(config(), 2);
+        while w.phase() == Phase::Init {
+            w.next_op();
+        }
+        for _ in 0..1000 {
+            match w.next_op() {
+                Op::Touch {
+                    region, page_idx, ..
+                } => {
+                    assert!(page_idx < [16u64, 8][region as usize]);
+                }
+                other => panic!("steady phase only touches, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StreamingWorkload::new(config(), 42);
+        let mut b = StreamingWorkload::new(config(), 42);
+        for _ in 0..200 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = StreamingWorkload::new(config(), 43);
+        let differs = (0..200).any(|_| a.next_op() != c.next_op());
+        assert!(differs, "different seeds diverge");
+    }
+
+    #[test]
+    fn high_seq_prob_produces_sequential_runs() {
+        let mut cfg = config();
+        cfg.seq_prob = 1.0;
+        cfg.touches_per_page = 1;
+        let mut w = StreamingWorkload::new(cfg, 3);
+        while w.phase() == Phase::Init {
+            w.next_op();
+        }
+        let mut pages = Vec::new();
+        for _ in 0..10 {
+            if let Op::Touch { page_idx, .. } = w.next_op() {
+                pages.push(page_idx);
+            }
+        }
+        assert!(pages
+            .windows(2)
+            .all(|w| w[1] == (w[0] + 1) % 16 || w[1] == (w[0] + 1) % 8));
+    }
+
+    #[test]
+    fn footprint_is_region_sum() {
+        let w = StreamingWorkload::new(config(), 0);
+        assert_eq!(w.footprint_pages(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn empty_regions_rejected() {
+        StreamingWorkload::new(
+            StreamConfig {
+                regions: vec![],
+                ..config()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Recording and replaying workload traces.
+//!
+//! A [`RecordedTrace`] captures a finite prefix of any workload's operation
+//! stream together with its init/steady phase boundary, serializes to a
+//! line-oriented text format (self-contained — no external format crates),
+//! and replays as a [`Workload`] itself: the recorded steady-state portion
+//! loops forever. Recorded traces make cross-machine regression comparisons
+//! exact: two simulators replaying the same trace see byte-identical
+//! operation streams.
+
+use crate::op::{Op, Phase, Workload};
+
+/// A finite recorded operation stream, replayable as an infinite workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordedTrace {
+    name: &'static str,
+    footprint: u64,
+    ops: Vec<Op>,
+    /// Index of the first steady-phase op (ops before it are init).
+    steady_at: usize,
+    cursor: usize,
+}
+
+impl RecordedTrace {
+    /// Records `steady_ops` steady-state operations from `source`, after
+    /// first draining its entire init phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steady_ops` is zero (the replay loop needs a non-empty
+    /// steady section).
+    pub fn record(source: &mut dyn Workload, steady_ops: usize) -> Self {
+        assert!(steady_ops > 0, "need a non-empty steady section");
+        let mut ops = Vec::new();
+        while source.phase() == Phase::Init {
+            ops.push(source.next_op());
+        }
+        let steady_at = ops.len();
+        for _ in 0..steady_ops {
+            ops.push(source.next_op());
+        }
+        Self {
+            name: "recorded",
+            footprint: source.footprint_pages(),
+            ops,
+            steady_at,
+            cursor: 0,
+        }
+    }
+
+    /// Number of recorded operations (init + steady).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty (it never is, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Serializes to the line-oriented text format:
+    /// a header line `trace <footprint> <steady_at>` followed by one op per
+    /// line (`A region pages`, `T region page w|r`, `F region`).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trace {} {}\n", self.footprint, self.steady_at);
+        for op in &self.ops {
+            match op {
+                Op::Alloc { region, pages } => {
+                    out.push_str(&format!("A {region} {pages}\n"));
+                }
+                Op::Touch {
+                    region,
+                    page_idx,
+                    write,
+                } => {
+                    out.push_str(&format!(
+                        "T {region} {page_idx} {}\n",
+                        if *write { "w" } else { "r" }
+                    ));
+                }
+                Op::Free { region } => out.push_str(&format!("F {region}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`RecordedTrace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        let mut h = header.split_whitespace();
+        if h.next() != Some("trace") {
+            return Err(format!("bad header: {header}"));
+        }
+        let footprint: u64 = h
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("bad footprint")?;
+        let steady_at: usize = h
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("bad steady index")?;
+        let mut ops = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let mut parts = line.split_whitespace();
+            let op = match parts.next() {
+                Some("A") => Op::Alloc {
+                    region: parse(&mut parts, i)?,
+                    pages: parse(&mut parts, i)?,
+                },
+                Some("T") => Op::Touch {
+                    region: parse(&mut parts, i)?,
+                    page_idx: parse(&mut parts, i)?,
+                    write: match parts.next() {
+                        Some("w") => true,
+                        Some("r") => false,
+                        other => return Err(format!("line {i}: bad rw flag {other:?}")),
+                    },
+                },
+                Some("F") => Op::Free {
+                    region: parse(&mut parts, i)?,
+                },
+                other => return Err(format!("line {i}: unknown op {other:?}")),
+            };
+            ops.push(op);
+        }
+        if steady_at >= ops.len() {
+            return Err("steady index beyond trace".to_string());
+        }
+        Ok(Self {
+            name: "recorded",
+            footprint,
+            ops,
+            steady_at,
+            cursor: 0,
+        })
+    }
+}
+
+fn parse<'a, T: core::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<T, String> {
+    parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(format!("line {line}: missing or bad field"))
+}
+
+impl Workload for RecordedTrace {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.cursor];
+        self.cursor += 1;
+        if self.cursor >= self.ops.len() {
+            // Loop the steady-state portion forever.
+            self.cursor = self.steady_at;
+        }
+        op
+    }
+
+    fn phase(&self) -> Phase {
+        if self.cursor < self.steady_at {
+            Phase::Init
+        } else {
+            Phase::Steady
+        }
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{benchmark, BenchId};
+    use crate::stream::{StreamConfig, StreamingWorkload};
+
+    fn small() -> StreamingWorkload {
+        StreamingWorkload::new(
+            StreamConfig {
+                name: "s",
+                regions: vec![16],
+                seq_prob: 0.5,
+                near_prob: 0.5,
+                write_ratio: 0.5,
+                touches_per_page: 1,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn record_captures_init_and_steady() {
+        let mut w = small();
+        let t = RecordedTrace::record(&mut w, 50);
+        // 1 alloc + 16 init touches, then 50 steady ops.
+        assert_eq!(t.len(), 17 + 50);
+        assert_eq!(t.footprint_pages(), 16);
+        assert!(matches!(t.ops()[0], Op::Alloc { .. }));
+    }
+
+    #[test]
+    fn replay_matches_original_stream() {
+        let mut original = small();
+        let mut replay = RecordedTrace::record(&mut small(), 100);
+        for _ in 0..117 {
+            assert_eq!(replay.next_op(), original.next_op());
+        }
+    }
+
+    #[test]
+    fn replay_phase_transitions_like_original() {
+        let mut t = RecordedTrace::record(&mut small(), 10);
+        assert_eq!(t.phase(), Phase::Init);
+        for _ in 0..17 {
+            t.next_op();
+        }
+        assert_eq!(t.phase(), Phase::Steady);
+    }
+
+    #[test]
+    fn replay_loops_steady_section_forever() {
+        let mut t = RecordedTrace::record(&mut small(), 5);
+        // Drain init + steady once, capture the steady ops.
+        for _ in 0..17 {
+            t.next_op();
+        }
+        let first_pass: Vec<Op> = (0..5).map(|_| t.next_op()).collect();
+        let second_pass: Vec<Op> = (0..5).map(|_| t.next_op()).collect();
+        assert_eq!(first_pass, second_pass);
+        assert_eq!(t.phase(), Phase::Steady, "never returns to init");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = RecordedTrace::record(&mut small(), 40);
+        let text = t.to_text();
+        let back = RecordedTrace::from_text(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn text_round_trip_of_churny_benchmark() {
+        let mut w = benchmark(BenchId::Gcc, 3);
+        let t = RecordedTrace::record(&mut w, 200);
+        let back = RecordedTrace::from_text(&t.to_text()).unwrap();
+        assert_eq!(back.ops(), t.ops());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(RecordedTrace::from_text("").is_err());
+        assert!(RecordedTrace::from_text("bogus 1 0\nA 0 5").is_err());
+        assert!(RecordedTrace::from_text("trace 16 0\nX 0 5").is_err());
+        assert!(RecordedTrace::from_text("trace 16 0\nT 0 5 z").is_err());
+        assert!(RecordedTrace::from_text("trace 16 9\nA 0 5").is_err());
+    }
+}

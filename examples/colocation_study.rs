@@ -1,0 +1,47 @@
+//! Colocation study: a miniature Figure 6 — run pagerank against the objdet
+//! co-runner with the default allocator and with PTEMagnet, and report the
+//! execution-time improvement.
+//!
+//! Run with: `cargo run --release --example colocation_study [measure_ops]`
+
+use ptemagnet_sim::sim::{AllocatorKind, Scenario};
+use ptemagnet_sim::workloads::{BenchId, CoId};
+
+fn main() {
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("pagerank colocated with objdet, {ops} measured ops per run\n");
+    let base = Scenario::new(BenchId::Pagerank)
+        .corunners(&[CoId::Objdet])
+        .corunner_weight(4)
+        .measure_ops(ops)
+        .run();
+    let magnet = Scenario::new(BenchId::Pagerank)
+        .corunners(&[CoId::Objdet])
+        .corunner_weight(4)
+        .allocator(AllocatorKind::PteMagnet)
+        .measure_ops(ops)
+        .run();
+
+    println!("{:<26} {:>12} {:>12}", "metric", "default", "ptemagnet");
+    println!("{:<26} {:>12} {:>12}", "cycles", base.cycles, magnet.cycles);
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "page-walk cycles", base.page_walk_cycles, magnet.page_walk_cycles
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "host-PT DRAM accesses", base.host_pt_memory, magnet.host_pt_memory
+    );
+    println!(
+        "{:<26} {:>12.2} {:>12.2}",
+        "host-PT fragmentation", base.host_frag, magnet.host_frag
+    );
+    println!(
+        "\nPTEMagnet improves execution time by {:+.1}%",
+        magnet.improvement_over(&base) * 100.0
+    );
+}

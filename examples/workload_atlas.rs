@@ -1,0 +1,66 @@
+//! Workload atlas: empirically characterizes every benchmark and co-runner
+//! generator, printing the three properties the phenomenon depends on
+//! (footprint vs TLB reach, locality structure, fault rate). This is the
+//! checkable version of DESIGN.md's substitution table.
+//!
+//! Run with: `cargo run --release --example workload_atlas`
+
+use ptemagnet_sim::workloads::{
+    analysis::{analyze, analyze_raw},
+    benchmark, corunner, BenchId, CoId, Workload,
+};
+
+/// STLB reach in pages (1536 entries × 4 KB).
+const TLB_REACH_PAGES: u64 = 1536;
+
+fn main() {
+    println!("== Benchmarks (steady state, 40k ops each) ==");
+    println!(
+        "{:<11} {:>10} {:>9} {:>8} {:>8} {:>8}",
+        "name", "footprint", "xTLB", "seq", "group", "writes"
+    );
+    for id in BenchId::ALL
+        .iter()
+        .chain(BenchId::SPECINT_LOW_PRESSURE.iter())
+    {
+        let mut w = benchmark(*id, 7);
+        let footprint = w.footprint_pages();
+        let s = analyze(&mut w, 40_000);
+        println!(
+            "{:<11} {:>10} {:>8.1}x {:>7.0}% {:>7.0}% {:>7.0}%",
+            id.name(),
+            footprint,
+            footprint as f64 / TLB_REACH_PAGES as f64,
+            s.sequential_ratio() * 100.0,
+            s.group_locality() * 100.0,
+            s.write_ratio() * 100.0,
+        );
+    }
+
+    println!("\n== Co-runners (from cold start, 40k ops each) ==");
+    println!(
+        "{:<12} {:>12} {:>9} {:>8}",
+        "name", "fault-rate", "allocs", "frees"
+    );
+    let cos = [
+        CoId::Objdet,
+        CoId::StressNg,
+        CoId::Chameleon,
+        CoId::Pyaes,
+        CoId::JsonSerdes,
+        CoId::RnnServing,
+    ];
+    for id in cos {
+        let mut w = corunner(id, 7);
+        let s = analyze_raw(w.as_mut(), 40_000);
+        println!(
+            "{:<12} {:>11.3} {:>9} {:>8}",
+            id.name(),
+            s.fault_rate(),
+            s.allocs,
+            s.frees
+        );
+    }
+    println!("\nfault-rate = first touches per op: the co-runner knob that drives");
+    println!("buddy-allocator interleaving and therefore host-PT fragmentation.");
+}

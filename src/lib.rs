@@ -1,0 +1,54 @@
+//! Facade crate for the **PTEMagnet** (ASPLOS 2021) reproduction.
+//!
+//! PTEMagnet is a guest-OS memory-allocation technique that prevents
+//! physical-memory fragmentation under virtualization + colocation by
+//! reserving aligned eight-page groups on first fault, so the eight host
+//! PTEs of every group share one cache line and nested page walks stop
+//! missing on scattered host-page-table lines.
+//!
+//! This workspace contains a complete virtual-memory simulator substrate
+//! (buddy allocator, radix page tables, caches/TLBs/page-walk caches, guest
+//! and host OS models) plus PTEMagnet itself and the full evaluation
+//! harness. This crate re-exports everything under one roof:
+//!
+//! | Module | Crate | What's inside |
+//! |---|---|---|
+//! | [`types`] | `vmsim-types` | address-space newtypes, page geometry |
+//! | [`buddy`] | `vmsim-buddy` | binary buddy allocator |
+//! | [`cache`] | `vmsim-cache` | caches, TLBs, page-walk caches |
+//! | [`pt`] | `vmsim-pt` | radix page tables, walk paths, PTE census |
+//! | [`os`] | `vmsim-os` | guest/host OS, fork/COW, nested-walk machine |
+//! | [`magnet`] | `ptemagnet` | ★ PaRT, reservation allocator, reclamation |
+//! | [`workloads`] | `vmsim-workloads` | benchmark/co-runner generators |
+//! | [`sim`] | `vmsim-sim` | colocation engine + paper experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ptemagnet_sim::magnet::ReservationAllocator;
+//! use ptemagnet_sim::os::{Machine, MachineConfig};
+//! use ptemagnet_sim::types::GuestVirtAddr;
+//!
+//! # fn main() -> Result<(), ptemagnet_sim::types::MemError> {
+//! let mut vm = Machine::with_allocator(
+//!     MachineConfig::small(),
+//!     Box::new(ReservationAllocator::new()),
+//! );
+//! let pid = vm.guest_mut().spawn();
+//! let base = vm.guest_mut().mmap(pid, 64)?;
+//! for i in 0..64 {
+//!     vm.touch(0, pid, GuestVirtAddr::new(base.raw() + i * 4096), true)?;
+//! }
+//! assert!((vm.host_pt_fragmentation(pid)?.mean() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ptemagnet as magnet;
+pub use vmsim_buddy as buddy;
+pub use vmsim_cache as cache;
+pub use vmsim_os as os;
+pub use vmsim_pt as pt;
+pub use vmsim_sim as sim;
+pub use vmsim_types as types;
+pub use vmsim_workloads as workloads;

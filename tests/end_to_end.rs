@@ -1,0 +1,151 @@
+//! End-to-end integration tests spanning all crates: the full pipeline from
+//! workload generation through the colocation engine to the paper's
+//! headline claims.
+
+use ptemagnet_sim::os::MachineConfig;
+use ptemagnet_sim::sim::{AllocatorKind, Scenario};
+use ptemagnet_sim::workloads::{BenchId, CoId};
+
+/// A reduced-scale scenario that still has real TLB pressure.
+fn quick(bench: BenchId) -> Scenario {
+    Scenario::new(bench)
+        .machine(MachineConfig::paper(8, 256))
+        .measure_ops(8_000)
+}
+
+#[test]
+fn colocation_fragments_and_slows_the_default_kernel() {
+    // Paper §3.3: colocation raises host-PT fragmentation and execution
+    // time while cache misses and TLB misses stay flat.
+    let alone = quick(BenchId::Pagerank).seed(1).run();
+    let coloc = quick(BenchId::Pagerank)
+        .corunners(&[CoId::StressNg])
+        .corunner_weight(3)
+        .stop_corunners_after_init(true)
+        .seed(1)
+        .run();
+    assert!(
+        coloc.host_frag > alone.host_frag * 1.5,
+        "colocation fragments the host PT: {} vs {}",
+        coloc.host_frag,
+        alone.host_frag
+    );
+    assert!(coloc.cycles > alone.cycles, "and costs execution time");
+    assert!(
+        coloc.page_walk_cycles > alone.page_walk_cycles,
+        "page walks get slower"
+    );
+    // TLB misses are layout-independent: virtual access pattern unchanged.
+    let miss_delta =
+        (coloc.tlb_misses as f64 - alone.tlb_misses as f64).abs() / alone.tlb_misses as f64;
+    assert!(miss_delta < 0.02, "TLB misses flat, delta {miss_delta}");
+}
+
+#[test]
+fn ptemagnet_removes_fragmentation_and_improves_performance() {
+    // Paper §6.1/§6.3: PTEMagnet pins fragmentation to ~1 and wins time.
+    let base = quick(BenchId::Xz)
+        .corunners(&[CoId::Objdet])
+        .corunner_weight(4)
+        .seed(2)
+        .run();
+    let magnet = quick(BenchId::Xz)
+        .corunners(&[CoId::Objdet])
+        .corunner_weight(4)
+        .allocator(AllocatorKind::PteMagnet)
+        .seed(2)
+        .run();
+    assert!(
+        (magnet.host_frag - 1.0).abs() < 0.05,
+        "frag {}",
+        magnet.host_frag
+    );
+    assert!(base.host_frag > 2.0);
+    assert!(
+        magnet.improvement_over(&base) > 0.0,
+        "PTEMagnet must not lose: {:+.2}%",
+        magnet.improvement_over(&base) * 100.0
+    );
+    assert!(magnet.page_walk_cycles < base.page_walk_cycles);
+    assert!(magnet.host_pt_cycles < base.host_pt_cycles);
+}
+
+#[test]
+fn ptemagnet_never_slows_low_pressure_apps() {
+    // Paper §6.1: gcc (low TLB pressure) sees 0–1 %, never a slowdown.
+    let base = quick(BenchId::Gcc).corunners(&[CoId::Objdet]).seed(3).run();
+    let magnet = quick(BenchId::Gcc)
+        .corunners(&[CoId::Objdet])
+        .allocator(AllocatorKind::PteMagnet)
+        .seed(3)
+        .run();
+    let imp = magnet.improvement_over(&base);
+    assert!(imp > -0.01, "no slowdown allowed, got {:+.2}%", imp * 100.0);
+}
+
+#[test]
+fn guest_pt_fragmentation_is_always_one() {
+    // Paper Figure 3: gPTEs are indexed by virtual address, so they are
+    // always packed regardless of allocator or colocation.
+    for alloc in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+        let m = quick(BenchId::Nibble)
+            .corunners(&[CoId::StressNg])
+            .allocator(alloc)
+            .seed(4)
+            .run();
+        assert!(
+            (m.guest_frag - 1.0).abs() < 1e-9,
+            "guest PT stays packed under {alloc}"
+        );
+    }
+}
+
+#[test]
+fn reserved_unused_incidence_is_tiny_for_dense_benchmarks() {
+    // Paper §6.2: < 0.2 % of footprint.
+    let m = quick(BenchId::Bfs)
+        .corunners(&[CoId::Objdet])
+        .allocator(AllocatorKind::PteMagnet)
+        .seed(5)
+        .run();
+    assert!(
+        m.reserved_unused_fraction() < 0.002,
+        "got {:.4}%",
+        m.reserved_unused_fraction() * 100.0
+    );
+}
+
+#[test]
+fn ca_paging_like_baseline_sits_between_default_and_ptemagnet() {
+    // §7's comparison: best-effort contiguity helps but degrades under
+    // churn, while eager reservation is churn-immune.
+    let frag_of = |kind| {
+        quick(BenchId::Pagerank)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .allocator(kind)
+            .seed(6)
+            .run()
+            .host_frag
+    };
+    let default = frag_of(AllocatorKind::Default);
+    let ca = frag_of(AllocatorKind::CaPagingLike);
+    let magnet = frag_of(AllocatorKind::PteMagnet);
+    assert!(magnet < ca, "eager beats best-effort: {magnet} vs {ca}");
+    assert!(ca < default, "best-effort beats nothing: {ca} vs {default}");
+}
+
+#[test]
+fn deterministic_across_identical_seeds() {
+    let a = quick(BenchId::Omnetpp)
+        .corunners(&[CoId::Pyaes])
+        .seed(7)
+        .run();
+    let b = quick(BenchId::Omnetpp)
+        .corunners(&[CoId::Pyaes])
+        .seed(7)
+        .run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.host_frag, b.host_frag);
+    assert_eq!(a.tlb_misses, b.tlb_misses);
+}

@@ -1,0 +1,172 @@
+//! Integration tests for the fork/COW × reservation interaction (paper
+//! §4.4), exercised through the full machine rather than the allocator in
+//! isolation.
+
+use ptemagnet_sim::magnet::ReservationAllocator;
+use ptemagnet_sim::os::{Machine, MachineConfig};
+use ptemagnet_sim::types::{GuestVirtAddr, GROUP_PAGES, PAGE_SIZE};
+
+fn magnet_machine() -> Machine {
+    Machine::with_allocator(
+        MachineConfig::small(),
+        Box::new(ReservationAllocator::new()),
+    )
+}
+
+#[test]
+fn child_pages_join_parent_groups() {
+    let mut m = magnet_machine();
+    let parent = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(parent, 8).unwrap();
+    // Parent touches the first half of a group.
+    for i in 0..4 {
+        m.touch(
+            0,
+            parent,
+            GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+            true,
+        )
+        .unwrap();
+    }
+    let child = m.guest_mut().fork(parent).unwrap();
+    // Child touches the rest: frames come from the parent's reservation,
+    // keeping the whole group contiguous.
+    for i in 4..8 {
+        m.touch(
+            1,
+            child,
+            GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+            false,
+        )
+        .unwrap();
+    }
+    let child_frames: Vec<u64> = (0..8)
+        .filter_map(|i| {
+            m.guest()
+                .process(child)
+                .unwrap()
+                .page_table
+                .translate(GuestVirtAddr::new(base.raw() + i * PAGE_SIZE).page())
+                .map(|f| f.raw())
+        })
+        .collect();
+    assert_eq!(child_frames.len(), 8);
+    assert!(
+        child_frames.windows(2).all(|w| w[1] == w[0] + 1),
+        "group stays contiguous across fork: {child_frames:?}"
+    );
+}
+
+#[test]
+fn cow_writes_keep_both_sides_consistent() {
+    let mut m = magnet_machine();
+    let parent = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(parent, GROUP_PAGES).unwrap();
+    for i in 0..GROUP_PAGES {
+        m.touch(
+            0,
+            parent,
+            GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+            true,
+        )
+        .unwrap();
+    }
+    let child = m.guest_mut().fork(parent).unwrap();
+
+    // Child writes every page: all COW-broken into private frames.
+    for i in 0..GROUP_PAGES {
+        let out = m
+            .touch(
+                1,
+                child,
+                GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+                true,
+            )
+            .unwrap();
+        assert!(out.cow_break, "page {i} must copy");
+    }
+    // Parent then writes: sole owner everywhere, no copies.
+    for i in 0..GROUP_PAGES {
+        let out = m
+            .touch(
+                0,
+                parent,
+                GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+                true,
+            )
+            .unwrap();
+        assert!(!out.cow_break, "page {i} needs no copy");
+    }
+    // Both can exit cleanly with all memory accounted for.
+    let total = m.guest().buddy().total_frames();
+    m.exit(child).unwrap();
+    m.exit(parent).unwrap();
+    assert_eq!(m.guest().buddy().free_frames(), total);
+}
+
+#[test]
+fn grandchildren_inherit_reservation_chains() {
+    let mut m = magnet_machine();
+    let a = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(a, 8).unwrap();
+    m.touch(0, a, GuestVirtAddr::new(base.raw()), true).unwrap();
+    let b = m.guest_mut().fork(a).unwrap();
+    let c = m.guest_mut().fork(b).unwrap();
+    // The grandchild faults page 1: served from the grandparent's
+    // reservation through the inheritance chain.
+    let out = m
+        .touch(1, c, GuestVirtAddr::new(base.raw() + PAGE_SIZE), false)
+        .unwrap();
+    assert!(out.faulted);
+    let f0 = m
+        .guest()
+        .process(a)
+        .unwrap()
+        .page_table
+        .translate(base.page())
+        .unwrap();
+    let f1 = m
+        .guest()
+        .process(c)
+        .unwrap()
+        .page_table
+        .translate(GuestVirtAddr::new(base.raw() + PAGE_SIZE).page())
+        .unwrap();
+    assert_eq!(f1.raw(), f0.raw() + 1, "chain-inherited grant is adjacent");
+}
+
+#[test]
+fn exit_releases_reservations_under_colocation() {
+    let mut m = magnet_machine();
+    let keeper = m.guest_mut().spawn();
+    let leaver = m.guest_mut().spawn();
+    let kb = m.guest_mut().mmap(keeper, 64).unwrap();
+    let lb = m.guest_mut().mmap(leaver, 64).unwrap();
+    for i in 0..64 {
+        m.touch(
+            0,
+            keeper,
+            GuestVirtAddr::new(kb.raw() + i * PAGE_SIZE),
+            true,
+        )
+        .unwrap();
+        // The leaver touches sparsely: every 8th page -> big reservations.
+        if i % 8 == 0 {
+            m.touch(
+                1,
+                leaver,
+                GuestVirtAddr::new(lb.raw() + i * PAGE_SIZE),
+                true,
+            )
+            .unwrap();
+        }
+    }
+    let unused_before = m.guest().allocator().reserved_unused_frames();
+    assert!(unused_before >= 7 * 8);
+    m.exit(leaver).unwrap();
+    // The keeper is untouched, and the leaver's reservations are gone.
+    assert_eq!(m.guest().allocator().reserved_unused_frames(), 0);
+    assert_eq!(m.guest().process(keeper).unwrap().rss_pages, 64);
+    // Keeper's layout is still perfectly packed.
+    assert!((m.host_pt_fragmentation(keeper).unwrap().mean() - 1.0).abs() < 1e-9);
+}

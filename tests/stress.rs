@@ -1,0 +1,118 @@
+//! Randomized long-running stress test of the whole stack: many processes,
+//! every allocator, fork storms, huge pages, reclamation, and swap targets,
+//! with global invariants checked throughout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ptemagnet_sim::magnet::{ReclaimDaemon, ReservationAllocator, ThpAllocator};
+use ptemagnet_sim::os::{DefaultAllocator, GuestFrameAllocator, Machine, MachineConfig, Pid};
+use ptemagnet_sim::types::{GuestFrame, GuestVirtAddr, MemError, PAGE_SIZE};
+
+fn stress(allocator: Box<dyn GuestFrameAllocator>, seed: u64, steps: u32) {
+    let mut config = MachineConfig::small();
+    config.guest_frames = 1 << 14;
+    let total = config.guest_frames;
+    let mut m = Machine::with_allocator(config, allocator);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // (pid, base, pages) of live processes.
+    let mut procs: Vec<(Pid, GuestVirtAddr, u64)> = Vec::new();
+
+    for step in 0..steps {
+        match rng.random_range(0..100u32) {
+            // Spawn with a fresh VMA.
+            0..=4 => {
+                if procs.len() < 6 {
+                    let pid = m.guest_mut().spawn();
+                    let pages = rng.random_range(64..1536);
+                    let va = m.guest_mut().mmap(pid, pages).unwrap();
+                    procs.push((pid, va, pages));
+                }
+            }
+            // Fork a random process.
+            5..=7 => {
+                if let Some(&(pid, va, pages)) = pick(&mut rng, &procs) {
+                    if procs.len() < 8 {
+                        if let Ok(child) = m.guest_mut().fork(pid) {
+                            procs.push((child, va, pages));
+                        }
+                    }
+                }
+            }
+            // Exit a random process.
+            8..=9 => {
+                if procs.len() > 1 {
+                    let idx = rng.random_range(0..procs.len());
+                    let (pid, _, _) = procs.remove(idx);
+                    m.exit(pid).unwrap();
+                }
+            }
+            // Reclaim under synthetic pressure.
+            10 => {
+                ReclaimDaemon::new(0.5).run(m.guest_mut());
+            }
+            // Swap-target a random frame.
+            11..=12 => {
+                let gfn = GuestFrame::new(rng.random_range(0..total));
+                m.guest_mut().swap_target(gfn);
+            }
+            // Touch memory (the common case).
+            _ => {
+                if let Some(&(pid, va, pages)) = pick(&mut rng, &procs) {
+                    let page = rng.random_range(0..pages);
+                    let addr = GuestVirtAddr::new(va.raw() + page * PAGE_SIZE);
+                    let write = rng.random_bool(0.4);
+                    let core = (pid.0 % 2) as usize;
+                    match m.touch(core, pid, addr, write) {
+                        Ok(_) => {}
+                        Err(MemError::OutOfMemory { .. }) => {
+                            // Relieve pressure and carry on.
+                            m.guest_mut().reclaim_reservations(256);
+                        }
+                        Err(e) => panic!("unexpected error at step {step}: {e}"),
+                    }
+                }
+            }
+        }
+        if step % 256 == 0 {
+            assert!(
+                m.guest().buddy().check_invariants(),
+                "buddy broke at {step}"
+            );
+        }
+    }
+
+    // Teardown: everything comes back.
+    for (pid, _, _) in procs {
+        m.exit(pid).unwrap();
+    }
+    assert_eq!(
+        m.guest().buddy().free_frames(),
+        total,
+        "frames leaked under stress"
+    );
+    assert_eq!(m.guest().allocator().reserved_unused_frames(), 0);
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+#[test]
+fn stress_default_allocator() {
+    stress(Box::new(DefaultAllocator::new()), 11, 6_000);
+}
+
+#[test]
+fn stress_ptemagnet_allocator() {
+    stress(Box::new(ReservationAllocator::new()), 22, 6_000);
+}
+
+#[test]
+fn stress_thp_allocator() {
+    stress(Box::new(ThpAllocator::new()), 33, 6_000);
+}
