@@ -1,0 +1,101 @@
+//! Bench for the **experiment harness**: scenario-level parallel speedup
+//! (serial vs worker pool over an 8-seed replication) and the simulator's
+//! inner-loop hot paths (TLB lookup with the L0 fast path, flat `SetAssoc`
+//! churn, and whole engine rounds).
+//!
+//! The replication comparison is only meaningful on a multi-core host; on a
+//! single core the pooled variant should roughly match serial (the pool adds
+//! no per-job overhead beyond thread startup).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmsim_bench::measure_ops_from_env;
+use vmsim_cache::{SetAssoc, Tlb, TlbConfig};
+use vmsim_os::{Machine, MachineConfig};
+use vmsim_sim::{Colocation, Parallelism, Replication, Scenario};
+use vmsim_types::{GuestVirtPage, HostFrame};
+use vmsim_workloads::BenchId;
+
+fn replicate(parallelism: Parallelism, ops: u64) -> Replication {
+    Replication::across_with(parallelism, 0..8, |seed| {
+        Scenario::new(BenchId::Gcc)
+            .machine(MachineConfig::paper(1, 128))
+            .measure_ops(ops)
+            .seed(seed)
+            .run()
+    })
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let ops = measure_ops_from_env(5_000);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("replication_8seed");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(replicate(Parallelism::Serial, ops)))
+    });
+    group.bench_function(format!("threads_{cores}"), |b| {
+        b.iter(|| black_box(replicate(Parallelism::Auto, ops)))
+    });
+    group.finish();
+}
+
+fn bench_inner_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+
+    // Repeated same-page hits: the L0 "last translation" fast path.
+    let mut tlb = Tlb::new(TlbConfig::default());
+    let vpn = GuestVirtPage::new(0x1234);
+    tlb.insert(1, vpn, HostFrame::new(7));
+    group.bench_function("tlb_lookup_hot", |b| {
+        b.iter(|| black_box(tlb.lookup(1, vpn)))
+    });
+
+    // Striding over a resident working set: the flat set scan.
+    let mut tlb = Tlb::new(TlbConfig::default());
+    for p in 0..64u64 {
+        tlb.insert(1, GuestVirtPage::new(p), HostFrame::new(p));
+    }
+    let mut p = 0u64;
+    group.bench_function("tlb_lookup_stride", |b| {
+        b.iter(|| {
+            p = (p + 7) % 64;
+            black_box(tlb.lookup(1, GuestVirtPage::new(p)))
+        })
+    });
+
+    // Mixed get/insert churn on the storage engine itself.
+    let mut sa: SetAssoc<u64> = SetAssoc::new(64, 4);
+    let mut k = 0u64;
+    group.bench_function("set_assoc_churn", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(17);
+            let key = k % 512;
+            if key.is_multiple_of(3) {
+                black_box(sa.insert(key, key).is_some())
+            } else {
+                black_box(sa.get(key).is_some())
+            }
+        })
+    });
+
+    // Whole engine rounds: region table + TLB + caches + walks together.
+    let mut colo = Colocation::new(Machine::new(MachineConfig::small()));
+    let app = colo.add_app(Box::new(vmsim_workloads::benchmark(BenchId::Gcc, 0)), 1);
+    colo.run_until_steady(app).expect("init");
+    group.bench_function("colocation_round", |b| {
+        b.iter(|| colo.round().expect("round"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_replication, bench_inner_loop
+}
+criterion_main!(benches);

@@ -3,15 +3,14 @@
 //! Used as the storage engine for data caches, TLBs, page-walk caches, and
 //! the nested TLB. Keys are `u64` identifiers (cache-line index, page number,
 //! or an ASID-tagged page number); the set is selected by the key's low bits.
-
-/// One way (slot) of a set.
-#[derive(Clone, Debug)]
-struct Way<V> {
-    key: u64,
-    value: V,
-    /// Monotonic timestamp of the last touch; smallest = LRU victim.
-    last_used: u64,
-}
+//!
+//! Storage is a flat struct-of-arrays (keys / LRU stamps / values) with a
+//! fixed `ways` stride per set, so the per-lookup work is one multiply and a
+//! short contiguous scan — no per-set `Vec` indirection on the simulator's
+//! hottest path. A stamp of 0 marks an empty slot; the clock starts at 0 and
+//! is incremented before every stamp, so live stamps are always ≥ 1 and
+//! unique. Unique stamps also make the LRU victim unique, so eviction
+//! behaviour is identical to the previous per-set-`Vec` implementation.
 
 /// A set-associative array mapping `u64` keys to values `V`, with true-LRU
 /// replacement within each set.
@@ -31,10 +30,16 @@ struct Way<V> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssoc<V> {
-    sets: Vec<Vec<Way<V>>>,
+    /// Slot keys; meaningful only where `stamps` is non-zero.
+    keys: Vec<u64>,
+    /// Monotonic last-touch timestamps; 0 = empty slot, smallest = LRU.
+    stamps: Vec<u64>,
+    /// Slot values; `Some` exactly where `stamps` is non-zero.
+    values: Vec<Option<V>>,
     ways: usize,
     set_mask: u64,
     clock: u64,
+    len: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -52,46 +57,66 @@ impl<V> SetAssoc<V> {
             "sets must be a power of two"
         );
         assert!(ways > 0, "need at least one way");
+        let slots = sets * ways;
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            keys: vec![0; slots],
+            stamps: vec![0; slots],
+            values: (0..slots).map(|_| None).collect(),
             ways,
             set_mask: sets as u64 - 1,
             clock: 0,
+            len: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
         }
     }
 
+    /// First slot of `key`'s set in the flat arrays.
     #[inline]
-    fn set_of(&self, key: u64) -> usize {
-        (key & self.set_mask) as usize
+    fn base_of(&self, key: u64) -> usize {
+        (key & self.set_mask) as usize * self.ways
     }
 
     /// Looks up `key`, updating LRU state and hit/miss counters.
     pub fn get(&mut self, key: u64) -> Option<&V> {
+        let mut unused = usize::MAX;
+        self.get_with_hint(key, &mut unused)
+    }
+
+    /// [`get`](Self::get) that checks `hint` (a slot index from a previous
+    /// hit) before scanning the set — the L0 "last translation" fast path.
+    /// Counter and LRU updates are identical to `get`; on a hit, `hint` is
+    /// updated to the hit slot. A stale or out-of-range hint is safe: a live
+    /// slot matching `key` can only exist inside `key`'s own set.
+    pub fn get_with_hint(&mut self, key: u64, hint: &mut usize) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        let set = self.set_of(key);
-        match self.sets[set].iter_mut().find(|w| w.key == key) {
-            Some(w) => {
-                w.last_used = clock;
+        let slot = *hint;
+        if slot < self.stamps.len() && self.stamps[slot] != 0 && self.keys[slot] == key {
+            self.stamps[slot] = clock;
+            self.hits += 1;
+            return self.values[slot].as_ref();
+        }
+        let base = self.base_of(key);
+        for slot in base..base + self.ways {
+            if self.stamps[slot] != 0 && self.keys[slot] == key {
+                self.stamps[slot] = clock;
                 self.hits += 1;
-                Some(&w.value)
-            }
-            None => {
-                self.misses += 1;
-                None
+                *hint = slot;
+                return self.values[slot].as_ref();
             }
         }
+        self.misses += 1;
+        None
     }
 
     /// Checks for `key` without touching LRU state or counters.
     pub fn peek(&self, key: u64) -> Option<&V> {
-        self.sets[self.set_of(key)]
-            .iter()
-            .find(|w| w.key == key)
-            .map(|w| &w.value)
+        let base = self.base_of(key);
+        (base..base + self.ways)
+            .find(|&slot| self.stamps[slot] != 0 && self.keys[slot] == key)
+            .and_then(|slot| self.values[slot].as_ref())
     }
 
     /// Inserts `key -> value`, evicting the LRU way of a full set.
@@ -101,70 +126,88 @@ impl<V> SetAssoc<V> {
     pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
         self.clock += 1;
         let clock = self.clock;
-        let ways = self.ways;
-        let set = self.set_of(key);
-        let set_vec = &mut self.sets[set];
-        if let Some(w) = set_vec.iter_mut().find(|w| w.key == key) {
-            w.last_used = clock;
-            let old = core::mem::replace(&mut w.value, value);
-            return Some((key, old));
+        let base = self.base_of(key);
+        // One pass over the set: find the key, an empty slot, and the LRU
+        // victim simultaneously.
+        let mut empty = None;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for slot in base..base + self.ways {
+            let stamp = self.stamps[slot];
+            if stamp == 0 {
+                empty.get_or_insert(slot);
+            } else if self.keys[slot] == key {
+                self.stamps[slot] = clock;
+                let old = self.values[slot].replace(value).expect("live slot");
+                return Some((key, old));
+            } else if stamp < victim_stamp {
+                victim_stamp = stamp;
+                victim = slot;
+            }
         }
-        if set_vec.len() < ways {
-            set_vec.push(Way {
-                key,
-                value,
-                last_used: clock,
-            });
+        if let Some(slot) = empty {
+            self.keys[slot] = key;
+            self.stamps[slot] = clock;
+            self.values[slot] = Some(value);
+            self.len += 1;
             return None;
         }
-        // Evict the least recently used way.
-        let victim = set_vec
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_used)
-            .map(|(i, _)| i)
-            .expect("full set has a victim");
-        let old = core::mem::replace(
-            &mut set_vec[victim],
-            Way {
-                key,
-                value,
-                last_used: clock,
-            },
-        );
+        let old_key = self.keys[victim];
+        let old = self.values[victim].replace(value).expect("live victim");
+        self.keys[victim] = key;
+        self.stamps[victim] = clock;
         self.evictions += 1;
-        Some((old.key, old.value))
+        Some((old_key, old))
     }
 
     /// Removes `key` if present, returning its value.
     pub fn invalidate(&mut self, key: u64) -> Option<V> {
-        let set = self.set_of(key);
-        let pos = self.sets[set].iter().position(|w| w.key == key)?;
-        Some(self.sets[set].swap_remove(pos).value)
+        let base = self.base_of(key);
+        for slot in base..base + self.ways {
+            if self.stamps[slot] != 0 && self.keys[slot] == key {
+                self.stamps[slot] = 0;
+                self.len -= 1;
+                return self.values[slot].take();
+            }
+        }
+        None
     }
 
     /// Removes every entry for which `pred` returns true.
     pub fn invalidate_if(&mut self, mut pred: impl FnMut(u64, &V) -> bool) {
-        for set in &mut self.sets {
-            set.retain(|w| !pred(w.key, &w.value));
+        for slot in 0..self.stamps.len() {
+            if self.stamps[slot] == 0 {
+                continue;
+            }
+            let keep = {
+                let value = self.values[slot].as_ref().expect("live slot");
+                !pred(self.keys[slot], value)
+            };
+            if !keep {
+                self.stamps[slot] = 0;
+                self.values[slot] = None;
+                self.len -= 1;
+            }
         }
     }
 
     /// Drops all entries (counters are preserved).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        self.stamps.fill(0);
+        for value in &mut self.values {
+            *value = None;
         }
+        self.len = 0;
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Returns `true` if no entries are resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Lookup hits since construction.
@@ -184,7 +227,7 @@ impl<V> SetAssoc<V> {
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.stamps.len()
     }
 }
 
@@ -278,6 +321,35 @@ mod tests {
         assert!(sa.len() <= sa.capacity());
         assert_eq!(sa.capacity(), 8);
         assert!(sa.evictions() > 0);
+    }
+
+    #[test]
+    fn hinted_get_matches_plain_get() {
+        let mut plain: SetAssoc<u64> = SetAssoc::new(4, 2);
+        let mut hinted: SetAssoc<u64> = SetAssoc::new(4, 2);
+        let mut hint = usize::MAX;
+        for k in [1u64, 5, 1, 9, 1, 5, 13, 1] {
+            plain.insert(k, k * 2);
+            hinted.insert(k, k * 2);
+            assert_eq!(plain.get(1), hinted.get_with_hint(1, &mut hint));
+        }
+        assert_eq!(plain.hits(), hinted.hits());
+        assert_eq!(plain.misses(), hinted.misses());
+        assert_eq!(plain.evictions(), hinted.evictions());
+    }
+
+    #[test]
+    fn stale_hint_is_verified_not_trusted() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        sa.insert(3, 30);
+        let mut hint = usize::MAX;
+        assert_eq!(sa.get_with_hint(3, &mut hint), Some(&30));
+        sa.invalidate(3);
+        // The hint now points at a dead slot; the lookup must miss.
+        assert_eq!(sa.get_with_hint(3, &mut hint), None);
+        sa.insert(7, 70);
+        // And a hint for a different key's slot must not produce key 3.
+        assert_eq!(sa.get_with_hint(3, &mut hint), None);
     }
 
     #[test]

@@ -30,6 +30,12 @@ use crate::set_assoc::SetAssoc;
 pub struct Tlb {
     l1: SetAssoc<HostFrame>,
     l2: SetAssoc<HostFrame>,
+    /// L0 "last translation" fast path: the L1 slot of the most recent hit.
+    /// Page-walk loops touch the same page repeatedly, so the next lookup
+    /// usually resolves with one compare instead of a set scan. The hinted
+    /// lookup verifies the slot and performs the exact counter/LRU updates
+    /// of a plain lookup, so every observable value is unchanged.
+    l0_slot: usize,
     hits_l1: u64,
     hits_l2: u64,
     misses: u64,
@@ -46,6 +52,7 @@ impl Tlb {
         Self {
             l1: SetAssoc::new(config.l1_entries / config.l1_ways, config.l1_ways),
             l2: SetAssoc::new(config.l2_entries / config.l2_ways, config.l2_ways),
+            l0_slot: usize::MAX,
             hits_l1: 0,
             hits_l2: 0,
             misses: 0,
@@ -65,7 +72,7 @@ impl Tlb {
     /// the L1.
     pub fn lookup(&mut self, asid: u64, vpn: GuestVirtPage) -> Option<HostFrame> {
         let key = Self::key(asid, vpn);
-        if let Some(&hfn) = self.l1.get(key) {
+        if let Some(&hfn) = self.l1.get_with_hint(key, &mut self.l0_slot) {
             self.hits_l1 += 1;
             return Some(hfn);
         }

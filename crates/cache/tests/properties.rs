@@ -58,6 +58,82 @@ enum Op {
     Invalidate(u64),
 }
 
+/// Reference set-associative array: the per-set-`Vec` implementation the
+/// flat struct-of-arrays `SetAssoc` replaced, kept verbatim so the rewrite
+/// can be checked for exact equivalence — same hits/misses/evictions and the
+/// same eviction victims, not just the same residency.
+struct RefSetAssoc<V> {
+    sets: Vec<Vec<(u64, V, u64)>>, // (key, value, last_used)
+    ways: usize,
+    mask: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> RefSetAssoc<V> {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            mask: sets as u64 - 1,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = &mut self.sets[(key & self.mask) as usize];
+        match set.iter_mut().find(|w| w.0 == key) {
+            Some(w) => {
+                w.2 = clock;
+                self.hits += 1;
+                Some(&w.1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let set = &mut self.sets[(key & self.mask) as usize];
+        if let Some(w) = set.iter_mut().find(|w| w.0 == key) {
+            w.2 = clock;
+            let old = core::mem::replace(&mut w.1, value);
+            return Some((key, old));
+        }
+        if set.len() < ways {
+            set.push((key, value, clock));
+            return None;
+        }
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.2)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let old = core::mem::replace(&mut set[victim], (key, value, clock));
+        self.evictions += 1;
+        Some((old.0, old.1))
+    }
+
+    fn invalidate(&mut self, key: u64) -> Option<V> {
+        let set = &mut self.sets[(key & self.mask) as usize];
+        let pos = set.iter().position(|w| w.0 == key)?;
+        Some(set.swap_remove(pos).1)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -98,6 +174,52 @@ proptest! {
         // Final residency agreement.
         for k in 0u64..64 {
             prop_assert_eq!(sa.peek(k).is_some(), model.get(k));
+        }
+    }
+
+    #[test]
+    fn flat_set_assoc_matches_previous_implementation(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..48).prop_map(Op::Get),
+                (0u64..48).prop_map(Op::Insert),
+                (0u64..48).prop_map(Op::Invalidate),
+            ],
+            1..400,
+        )
+    ) {
+        // Exact equivalence with the old per-set-`Vec` storage: identical
+        // return values (including which entry an insert evicts), identical
+        // hit/miss/eviction counters, at every step — both through `get`
+        // and through the hinted L0 fast path.
+        let mut flat: SetAssoc<u64> = SetAssoc::new(8, 3);
+        let mut hinted: SetAssoc<u64> = SetAssoc::new(8, 3);
+        let mut reference: RefSetAssoc<u64> = RefSetAssoc::new(8, 3);
+        let mut hint = usize::MAX;
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let want = reference.get(k).copied();
+                    prop_assert_eq!(flat.get(k).copied(), want);
+                    prop_assert_eq!(hinted.get_with_hint(k, &mut hint).copied(), want);
+                }
+                Op::Insert(k) => {
+                    let want = reference.insert(k, k * 3);
+                    prop_assert_eq!(flat.insert(k, k * 3), want.clone());
+                    prop_assert_eq!(hinted.insert(k, k * 3), want);
+                }
+                Op::Invalidate(k) => {
+                    let want = reference.invalidate(k);
+                    prop_assert_eq!(flat.invalidate(k), want);
+                    prop_assert_eq!(hinted.invalidate(k), want);
+                }
+            }
+            prop_assert_eq!(flat.hits(), reference.hits);
+            prop_assert_eq!(flat.misses(), reference.misses);
+            prop_assert_eq!(flat.evictions(), reference.evictions);
+            prop_assert_eq!(hinted.hits(), reference.hits);
+            prop_assert_eq!(hinted.misses(), reference.misses);
+            prop_assert_eq!(hinted.evictions(), reference.evictions);
         }
     }
 

@@ -4,12 +4,18 @@
 //! returns a typed result that the `report` module renders in the paper's
 //! row format. The experiment binaries in `vmsim-bench` are thin wrappers
 //! around these functions.
+//!
+//! Every scenario in an experiment is independent and deterministic per
+//! seed, so each function fans its runs out over the [`crate::parallel`]
+//! worker pool (`VMSIM_THREADS`) and reassembles results in job order —
+//! output is bit-identical to a serial run.
 
 use serde::{Deserialize, Serialize};
 use vmsim_os::{Machine, MachineConfig};
 use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
 use vmsim_workloads::{BenchId, CoId};
 
+use crate::parallel::{self, Parallelism};
 use crate::scenario::{AllocatorKind, RunMetrics, Scenario};
 
 /// Default measured steady-state operations per run.
@@ -22,6 +28,18 @@ pub fn pct_change(from: f64, to: f64) -> f64 {
     } else {
         (to - from) / from * 100.0
     }
+}
+
+/// Runs the default-allocator and PTEMagnet variants of one scenario on the
+/// worker pool, returning `(default, ptemagnet)`.
+fn run_default_vs_ptemagnet(
+    mk: impl Fn(AllocatorKind) -> RunMetrics + Sync,
+) -> (RunMetrics, RunMetrics) {
+    let kinds = [AllocatorKind::Default, AllocatorKind::PteMagnet];
+    let mut runs = parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| mk(kind));
+    let ptemagnet = runs.pop().expect("two runs");
+    let default = runs.pop().expect("two runs");
+    (default, ptemagnet)
 }
 
 // ---------------------------------------------------------------------------
@@ -83,17 +101,20 @@ impl Table1 {
 /// Runs the Table 1 study (§3.3): fragmentation effects isolated from cache
 /// contention by stopping the co-runner after pagerank's allocation phase.
 pub fn table1(seed: u64, measure_ops: u64) -> Table1 {
-    let standalone = Scenario::new(BenchId::Pagerank)
-        .measure_ops(measure_ops)
-        .seed(seed)
-        .run();
-    let colocated = Scenario::new(BenchId::Pagerank)
-        .corunners(&[CoId::StressNg])
-        .corunner_weight(3)
-        .stop_corunners_after_init(true)
-        .measure_ops(measure_ops)
-        .seed(seed)
-        .run();
+    let mut runs = parallel::run_indexed(Parallelism::from_env(), 2, |i| {
+        let mut s = Scenario::new(BenchId::Pagerank)
+            .measure_ops(measure_ops)
+            .seed(seed);
+        if i == 1 {
+            s = s
+                .corunners(&[CoId::StressNg])
+                .corunner_weight(3)
+                .stop_corunners_after_init(true);
+        }
+        s.run()
+    });
+    let colocated = runs.pop().expect("two runs");
+    let standalone = runs.pop().expect("two runs");
     Table1 {
         standalone,
         colocated,
@@ -145,27 +166,33 @@ impl FigureSweep {
 }
 
 fn sweep(corunners: &[CoId], weight: u32, label: &str, seed: u64, measure_ops: u64) -> FigureSweep {
+    // One job per (benchmark, allocator) — the finest independent unit —
+    // reassembled into per-benchmark pairs afterwards.
+    let jobs: Vec<(BenchId, AllocatorKind)> = BenchId::ALL
+        .iter()
+        .flat_map(|&bench| {
+            [
+                (bench, AllocatorKind::Default),
+                (bench, AllocatorKind::PteMagnet),
+            ]
+        })
+        .collect();
+    let runs = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(bench, alloc)| {
+        Scenario::new(bench)
+            .corunners(corunners)
+            .corunner_weight(weight)
+            .allocator(alloc)
+            .measure_ops(measure_ops)
+            .seed(seed)
+            .run()
+    });
     let pairs = BenchId::ALL
         .iter()
-        .map(|&bench| {
-            let default = Scenario::new(bench)
-                .corunners(corunners)
-                .corunner_weight(weight)
-                .measure_ops(measure_ops)
-                .seed(seed)
-                .run();
-            let ptemagnet = Scenario::new(bench)
-                .corunners(corunners)
-                .corunner_weight(weight)
-                .allocator(AllocatorKind::PteMagnet)
-                .measure_ops(measure_ops)
-                .seed(seed)
-                .run();
-            BenchPair {
-                name: bench.name().to_string(),
-                default,
-                ptemagnet,
-            }
+        .zip(runs.chunks_exact(2))
+        .map(|(&bench, pair)| BenchPair {
+            name: bench.name().to_string(),
+            default: pair[0].clone(),
+            ptemagnet: pair[1].clone(),
         })
         .collect();
     FigureSweep {
@@ -236,7 +263,7 @@ impl Table4 {
 /// Runs the Table 4 study (§6.3). Unlike §3.3, the co-runner stays running
 /// during measurement (the paper's footnote 2).
 pub fn table4(seed: u64, measure_ops: u64) -> Table4 {
-    let mk = |alloc| {
+    let (default, ptemagnet) = run_default_vs_ptemagnet(|alloc| {
         Scenario::new(BenchId::Pagerank)
             .corunners(&[CoId::Objdet])
             .corunner_weight(4)
@@ -244,11 +271,8 @@ pub fn table4(seed: u64, measure_ops: u64) -> Table4 {
             .measure_ops(measure_ops)
             .seed(seed)
             .run()
-    };
-    Table4 {
-        default: mk(AllocatorKind::Default),
-        ptemagnet: mk(AllocatorKind::PteMagnet),
-    }
+    });
+    Table4 { default, ptemagnet }
 }
 
 // ---------------------------------------------------------------------------
@@ -270,26 +294,23 @@ pub struct ReservedUnused {
 /// the main evaluation). The paper's finding: never exceeds 0.2 % of the
 /// footprint.
 pub fn sec62(seed: u64, measure_ops: u64) -> Vec<ReservedUnused> {
-    BenchId::ALL
-        .iter()
-        .map(|&bench| {
-            let m = Scenario::new(bench)
-                .corunners(&[CoId::Objdet])
-                .allocator(AllocatorKind::PteMagnet)
-                .measure_ops(measure_ops)
-                .seed(seed)
-                .run();
-            ReservedUnused {
-                name: bench.name().to_string(),
-                peak_fraction: m.reserved_unused_fraction(),
-                mean_fraction: if m.footprint_pages == 0 {
-                    0.0
-                } else {
-                    m.reserved_unused_mean / m.footprint_pages as f64
-                },
-            }
-        })
-        .collect()
+    parallel::map_indexed(Parallelism::from_env(), &BenchId::ALL, |&bench| {
+        let m = Scenario::new(bench)
+            .corunners(&[CoId::Objdet])
+            .allocator(AllocatorKind::PteMagnet)
+            .measure_ops(measure_ops)
+            .seed(seed)
+            .run();
+        ReservedUnused {
+            name: bench.name().to_string(),
+            peak_fraction: m.reserved_unused_fraction(),
+            mean_fraction: if m.footprint_pages == 0 {
+                0.0
+            } else {
+                m.reserved_unused_mean / m.footprint_pages as f64
+            },
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -338,10 +359,14 @@ pub fn sec64(pages: u64) -> AllocLatency {
         }
         cycles
     };
+    let kinds = [AllocatorKind::Default, AllocatorKind::PteMagnet];
+    let mut cycles = parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| run(kind));
+    let ptemagnet_cycles = cycles.pop().expect("two runs");
+    let default_cycles = cycles.pop().expect("two runs");
     AllocLatency {
         pages,
-        default_cycles: run(AllocatorKind::Default),
-        ptemagnet_cycles: run(AllocatorKind::PteMagnet),
+        default_cycles,
+        ptemagnet_cycles,
     }
 }
 
@@ -379,36 +404,39 @@ pub struct ThpStudy {
 /// argument for fine-grained reservation. Also measures the sparse-touch
 /// internal-fragmentation penalty of THP.
 pub fn thp_study(seed: u64, measure_ops: u64) -> ThpStudy {
+    let kinds = [
+        AllocatorKind::Default,
+        AllocatorKind::Thp,
+        AllocatorKind::PteMagnet,
+    ];
+    // All six (condition, allocator) runs are independent: fan them out,
+    // then compute each row's improvement against its condition's default.
+    let jobs: Vec<(&'static str, Option<u64>, AllocatorKind)> =
+        [("fresh", None), ("fragmented", Some(16u64))]
+            .into_iter()
+            .flat_map(|(condition, prefrag)| kinds.map(|kind| (condition, prefrag, kind)))
+            .collect();
+    let metrics = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(_, prefrag, kind)| {
+        let mut s = Scenario::new(BenchId::Pagerank)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .allocator(kind)
+            .measure_ops(measure_ops)
+            .seed(seed);
+        if let Some(run) = prefrag {
+            s = s.prefragment_run(run);
+        }
+        s.run()
+    });
     let mut rows = Vec::new();
-    for (condition, prefrag) in [("fresh", None), ("fragmented", Some(16u64))] {
-        let mk = |kind: AllocatorKind| {
-            let mut s = Scenario::new(BenchId::Pagerank)
-                .corunners(&[CoId::Objdet])
-                .corunner_weight(4)
-                .allocator(kind)
-                .measure_ops(measure_ops)
-                .seed(seed);
-            if let Some(run) = prefrag {
-                s = s.prefragment_run(run);
-            }
-            s.run()
-        };
-        let default = mk(AllocatorKind::Default);
-        for kind in [
-            AllocatorKind::Default,
-            AllocatorKind::Thp,
-            AllocatorKind::PteMagnet,
-        ] {
-            let metrics = if kind == AllocatorKind::Default {
-                default.clone()
-            } else {
-                mk(kind)
-            };
+    for (per_condition, jobs) in metrics.chunks_exact(kinds.len()).zip(jobs.chunks_exact(3)) {
+        let default = &per_condition[0];
+        for (&(condition, _, kind), metrics) in jobs.iter().zip(per_condition) {
             rows.push(ThpRow {
                 allocator: kind.name().to_string(),
                 condition: condition.to_string(),
-                improvement: metrics.improvement_over(&default),
-                metrics,
+                improvement: metrics.improvement_over(default),
+                metrics: metrics.clone(),
             });
         }
     }
@@ -430,13 +458,10 @@ pub fn thp_study(seed: u64, measure_ops: u64) -> ThpStudy {
         }
         m.guest().process(pid).expect("pid").rss_pages as f64 / touched as f64
     };
+    let sparse_rss = parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| sparse(kind));
     ThpStudy {
         rows,
-        sparse_rss_per_touched: [
-            sparse(AllocatorKind::Default),
-            sparse(AllocatorKind::Thp),
-            sparse(AllocatorKind::PteMagnet),
-        ],
+        sparse_rss_per_touched: [sparse_rss[0], sparse_rss[1], sparse_rss[2]],
     }
 }
 
@@ -452,26 +477,24 @@ pub fn thp_study(seed: u64, measure_ops: u64) -> ThpStudy {
 /// every level, host-PT *leaf* (level 3) accesses are the ones pushed out
 /// to LLC/DRAM by fragmentation — and PTEMagnet pulls them back in.
 pub fn walk_breakdown(seed: u64, measure_ops: u64) -> Vec<(String, vmsim_cache::MemCounters)> {
-    [AllocatorKind::Default, AllocatorKind::PteMagnet]
-        .into_iter()
-        .map(|kind| {
-            let machine = Machine::with_allocator(MachineConfig::paper(2, 1024), kind.build());
-            let mut colo = crate::engine::Colocation::new(machine);
-            let primary = colo.add_app(
-                Box::new(vmsim_workloads::benchmark(BenchId::Pagerank, seed)),
-                1,
-            );
-            colo.add_app(vmsim_workloads::corunner(CoId::Objdet, seed + 1), 4);
-            colo.run_until_steady(primary).expect("init");
-            colo.machine_mut().reset_measurement();
-            colo.run_ops(primary, measure_ops, |_| {}).expect("measure");
-            let core = colo.core(primary);
-            (
-                kind.name().to_string(),
-                *colo.machine().caches().core_counters(core),
-            )
-        })
-        .collect()
+    let kinds = [AllocatorKind::Default, AllocatorKind::PteMagnet];
+    parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| {
+        let machine = Machine::with_allocator(MachineConfig::paper(2, 1024), kind.build());
+        let mut colo = crate::engine::Colocation::new(machine);
+        let primary = colo.add_app(
+            Box::new(vmsim_workloads::benchmark(BenchId::Pagerank, seed)),
+            1,
+        );
+        colo.add_app(vmsim_workloads::corunner(CoId::Objdet, seed + 1), 4);
+        colo.run_until_steady(primary).expect("init");
+        colo.machine_mut().reset_measurement();
+        colo.run_ops(primary, measure_ops, |_| {}).expect("measure");
+        let core = colo.core(primary);
+        (
+            kind.name().to_string(),
+            *colo.machine().caches().core_counters(core),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -486,24 +509,31 @@ pub fn walk_breakdown(seed: u64, measure_ops: u64) -> Vec<(String, vmsim_cache::
 /// layout-dependent cache-set noise of a single run is comparable to the
 /// effect size, which is exactly why the paper averages 40 runs.
 pub fn specint_zero_overhead(seed: u64, measure_ops: u64) -> Vec<(String, f64)> {
+    const REPS: u64 = 3;
+    // One job per (benchmark, seed replica); each computes one paired
+    // improvement, then replicas are averaged per benchmark in job order.
+    let jobs: Vec<(BenchId, u64)> = BenchId::SPECINT_LOW_PRESSURE
+        .iter()
+        .flat_map(|&bench| (0..REPS).map(move |s| (bench, s)))
+        .collect();
+    let imps = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(bench, s)| {
+        let mk = |alloc| {
+            Scenario::new(bench)
+                .corunners(&[CoId::Objdet])
+                .corunner_weight(4)
+                .allocator(alloc)
+                .measure_ops(measure_ops)
+                .seed(seed.wrapping_add(s * 101))
+                .run()
+        };
+        let base = mk(AllocatorKind::Default);
+        let pm = mk(AllocatorKind::PteMagnet);
+        pm.improvement_over(&base)
+    });
     BenchId::SPECINT_LOW_PRESSURE
         .iter()
-        .map(|&bench| {
-            let mut imps = Vec::new();
-            for s in 0..3u64 {
-                let mk = |alloc| {
-                    Scenario::new(bench)
-                        .corunners(&[CoId::Objdet])
-                        .corunner_weight(4)
-                        .allocator(alloc)
-                        .measure_ops(measure_ops)
-                        .seed(seed.wrapping_add(s * 101))
-                        .run()
-                };
-                let base = mk(AllocatorKind::Default);
-                let pm = mk(AllocatorKind::PteMagnet);
-                imps.push(pm.improvement_over(&base));
-            }
+        .zip(imps.chunks_exact(REPS as usize))
+        .map(|(&bench, imps)| {
             (
                 bench.name().to_string(),
                 imps.iter().sum::<f64>() / imps.len() as f64,
@@ -521,25 +551,27 @@ pub fn specint_zero_overhead(seed: u64, measure_ops: u64) -> Vec<(String, f64)> 
 /// can be achieved on a processor with a larger LLC ... more LLC capacity
 /// increases the chances of a cache line with a page table staying in LLC"*.
 pub fn llc_sensitivity(seed: u64, measure_ops: u64, llc_mbs: &[u64]) -> Vec<(u64, f64)> {
+    // One job per (LLC size, allocator); pairs reassembled in sweep order.
+    let jobs: Vec<(u64, AllocatorKind)> = llc_mbs
+        .iter()
+        .flat_map(|&mb| [(mb, AllocatorKind::Default), (mb, AllocatorKind::PteMagnet)])
+        .collect();
+    let runs = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(mb, alloc)| {
+        let mut config = MachineConfig::paper(2, 1024);
+        config.hierarchy.llc = vmsim_cache::CacheConfig::from_capacity(mb * 1024 * 1024, 16);
+        Scenario::new(BenchId::Pagerank)
+            .corunners(&[CoId::Objdet])
+            .corunner_weight(4)
+            .allocator(alloc)
+            .machine(config)
+            .measure_ops(measure_ops)
+            .seed(seed)
+            .run()
+    });
     llc_mbs
         .iter()
-        .map(|&mb| {
-            let mut config = MachineConfig::paper(2, 1024);
-            config.hierarchy.llc = vmsim_cache::CacheConfig::from_capacity(mb * 1024 * 1024, 16);
-            let mk = |alloc| {
-                Scenario::new(BenchId::Pagerank)
-                    .corunners(&[CoId::Objdet])
-                    .corunner_weight(4)
-                    .allocator(alloc)
-                    .machine(config)
-                    .measure_ops(measure_ops)
-                    .seed(seed)
-                    .run()
-            };
-            let base = mk(AllocatorKind::Default);
-            let pm = mk(AllocatorKind::PteMagnet);
-            (mb, pm.improvement_over(&base))
-        })
+        .zip(runs.chunks_exact(2))
+        .map(|(&mb, pair)| (mb, pair[1].improvement_over(&pair[0])))
         .collect()
 }
 
@@ -568,7 +600,6 @@ pub struct HwSensitivityRow {
 /// second dimension actually touches host PTEs (tiny nested TLB ⇒ more
 /// hPTE traffic ⇒ more benefit).
 pub fn hw_sensitivity(seed: u64, measure_ops: u64) -> Vec<HwSensitivityRow> {
-    let mut rows = Vec::new();
     let run = |bench: BenchId, config: MachineConfig, alloc: AllocatorKind| {
         Scenario::new(bench)
             .corunners(&[CoId::Objdet])
@@ -581,31 +612,30 @@ pub fn hw_sensitivity(seed: u64, measure_ops: u64) -> Vec<HwSensitivityRow> {
     };
     // STLB reach is probed with omnetpp, whose 16k-page footprint straddles
     // the sweep range (pagerank's 49k pages would swamp every size).
-    for stlb in [384usize, 1536, 12_288] {
+    let jobs: Vec<(&'static str, usize, BenchId)> = [384usize, 1536, 12_288]
+        .into_iter()
+        .map(|v| ("stlb", v, BenchId::Omnetpp))
+        .chain(
+            [16usize, 64, 256]
+                .into_iter()
+                .map(|v| ("nested-tlb", v, BenchId::Pagerank)),
+        )
+        .collect();
+    parallel::map_indexed(Parallelism::from_env(), &jobs, |&(knob, value, bench)| {
         let mut config = MachineConfig::paper(2, 1024);
-        config.tlb.l2_entries = stlb;
-        let base = run(BenchId::Omnetpp, config, AllocatorKind::Default);
-        let pm = run(BenchId::Omnetpp, config, AllocatorKind::PteMagnet);
-        rows.push(HwSensitivityRow {
-            knob: "stlb".to_string(),
-            value: stlb,
+        match knob {
+            "stlb" => config.tlb.l2_entries = value,
+            _ => config.pwc.nested_tlb_entries = value,
+        }
+        let base = run(bench, config, AllocatorKind::Default);
+        let pm = run(bench, config, AllocatorKind::PteMagnet);
+        HwSensitivityRow {
+            knob: knob.to_string(),
+            value,
             tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
             improvement: pm.improvement_over(&base),
-        });
-    }
-    for nested in [16usize, 64, 256] {
-        let mut config = MachineConfig::paper(2, 1024);
-        config.pwc.nested_tlb_entries = nested;
-        let base = run(BenchId::Pagerank, config, AllocatorKind::Default);
-        let pm = run(BenchId::Pagerank, config, AllocatorKind::PteMagnet);
-        rows.push(HwSensitivityRow {
-            knob: "nested-tlb".to_string(),
-            value: nested,
-            tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
-            improvement: pm.improvement_over(&base),
-        });
-    }
-    rows
+        }
+    })
 }
 
 #[cfg(test)]

@@ -11,6 +11,9 @@
 //!   co-runners, allocator, co-runner stop protocol, measurement length;
 //! * [`experiments`] — one function per table/figure of the paper
 //!   (Table 1, Figures 5–7, Table 4, §6.2, §6.4);
+//! * [`parallel`] — deterministic worker pool fanning independent runs
+//!   (seeds, benchmarks) across cores; results come back in job order, so
+//!   output is bit-identical to serial. Thread count: `VMSIM_THREADS`;
 //! * [`report`] — renders results as paper-style text tables.
 //!
 //! # Examples
@@ -29,6 +32,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 pub mod stats;
@@ -39,5 +43,6 @@ pub use experiments::{
     table4, thp_study, walk_breakdown, AllocLatency, BenchPair, FigureSweep, HwSensitivityRow,
     ReservedUnused, Table1, Table4, ThpRow, ThpStudy, DEFAULT_MEASURE_OPS,
 };
+pub use parallel::Parallelism;
 pub use scenario::{AllocatorKind, RunMetrics, Scenario};
 pub use stats::{Replication, Summary};

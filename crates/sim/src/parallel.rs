@@ -1,0 +1,172 @@
+//! Deterministic scenario-level parallelism.
+//!
+//! Experiments replicate scenarios across seeds and benchmark lists; each
+//! run is independent, so the harness fans them out over a scoped worker
+//! pool. Determinism is a hard invariant: results are collected **in job
+//! order**, so output is bit-identical to a serial run regardless of thread
+//! count or scheduling. Workers claim job indices from a shared atomic
+//! counter, tag each result with its index, and the pool reassembles the
+//! results by index after the scope joins.
+//!
+//! Thread count comes from [`Parallelism`], normally via the
+//! `VMSIM_THREADS` environment variable ([`Parallelism::from_env`]):
+//! `1` forces serial execution, any larger value sets the pool size, and
+//! unset/`0`/garbage means one worker per available core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-pool sizing policy for scenario-level fan-out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run jobs inline on the calling thread, no pool.
+    Serial,
+    /// Fixed pool of this many workers (clamped to at least 1).
+    Threads(usize),
+    /// One worker per available core (`std::thread::available_parallelism`).
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Reads the policy from `VMSIM_THREADS`: `1` → [`Serial`],
+    /// `n > 1` → [`Threads`]`(n)`, unset, `0`, or unparsable → [`Auto`].
+    ///
+    /// [`Serial`]: Parallelism::Serial
+    /// [`Threads`]: Parallelism::Threads
+    /// [`Auto`]: Parallelism::Auto
+    pub fn from_env() -> Self {
+        match std::env::var("VMSIM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(1) => Self::Serial,
+                Ok(n) if n > 1 => Self::Threads(n),
+                _ => Self::Auto,
+            },
+            Err(_) => Self::Auto,
+        }
+    }
+
+    /// Resolves the policy to a concrete worker count (always ≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Threads(n) => n.max(1),
+            Self::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Runs `jobs` independent jobs, calling `f(i)` for each index `i`, and
+/// returns the results **in index order** — bit-identical to
+/// `(0..jobs).map(f).collect()` whatever the thread count.
+///
+/// With one worker (or zero/one jobs) the jobs run inline on the calling
+/// thread, so `Parallelism::Serial` has no threading overhead at all.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn run_indexed<R, F>(parallelism: Parallelism, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = parallelism.threads().min(jobs.max(1));
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(jobs);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker pool panicked");
+    // Seed-order determinism: reassemble by job index, not completion order.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), jobs, "every job produces one result");
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over `items` with the pool, preserving item order. Convenience
+/// wrapper over [`run_indexed`] for experiment job lists.
+pub fn map_indexed<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(parallelism, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(Parallelism::Serial, 37, |i| i * i + 1);
+        let parallel = run_indexed(Parallelism::Threads(4), 37, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[6], 37);
+    }
+
+    #[test]
+    fn results_are_in_job_order() {
+        // Make later jobs finish first to exercise the reassembly path.
+        let out = run_indexed(Parallelism::Threads(4), 16, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((16 - i) as u64 * 50));
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u32> = run_indexed(Parallelism::Auto, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let items = vec!["a", "bb", "ccc"];
+        let lens = map_indexed(Parallelism::Threads(2), &items, |s| s.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_resolve_to_at_least_one() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(8).threads(), 8);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(Parallelism::Threads(2), 4, |i| {
+                assert!(i != 2, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::parallel::{self, Parallelism};
 use crate::scenario::RunMetrics;
 
 /// Summary statistics of one metric across replicated runs.
@@ -33,7 +34,13 @@ impl Summary {
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "need at least one observation");
         let n = values.len();
-        let mean = values.iter().sum::<f64>() / n as f64;
+        // Single pass for sum/min/max; the variance pass stays separate
+        // because the two-pass form is the numerically stable one.
+        let (sum, min, max) = values.iter().fold(
+            (0.0f64, f64::INFINITY, f64::NEG_INFINITY),
+            |(sum, min, max), &v| (sum + v, min.min(v), max.max(v)),
+        );
+        let mean = sum / n as f64;
         let var = if n < 2 {
             0.0
         } else {
@@ -43,8 +50,8 @@ impl Summary {
             n,
             mean,
             stddev: var.sqrt(),
-            min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min,
+            max,
         }
     }
 
@@ -84,12 +91,34 @@ impl Replication {
     /// each run's metrics. The closure receives the seed and must build and
     /// run the scenario with it.
     ///
+    /// Seeds run on the worker pool configured by `VMSIM_THREADS` (see
+    /// [`Parallelism::from_env`]); results are always in seed order, so the
+    /// outcome is bit-identical to a serial run.
+    ///
     /// # Panics
     ///
-    /// Panics if `seeds` is empty.
-    pub fn across(seeds: impl IntoIterator<Item = u64>, run: impl Fn(u64) -> RunMetrics) -> Self {
-        let runs: Vec<RunMetrics> = seeds.into_iter().map(run).collect();
-        assert!(!runs.is_empty(), "need at least one seed");
+    /// Panics if `seeds` is empty (checked before any scenario runs).
+    pub fn across(
+        seeds: impl IntoIterator<Item = u64>,
+        run: impl Fn(u64) -> RunMetrics + Sync,
+    ) -> Self {
+        Self::across_with(Parallelism::from_env(), seeds, run)
+    }
+
+    /// [`across`](Self::across) with an explicit [`Parallelism`] policy
+    /// instead of the `VMSIM_THREADS` default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty (checked before any scenario runs).
+    pub fn across_with(
+        parallelism: Parallelism,
+        seeds: impl IntoIterator<Item = u64>,
+        run: impl Fn(u64) -> RunMetrics + Sync,
+    ) -> Self {
+        let seeds: Vec<u64> = seeds.into_iter().collect();
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let runs = parallel::run_indexed(parallelism, seeds.len(), |i| run(seeds[i]));
         Self { runs }
     }
 

@@ -1,0 +1,69 @@
+//! Determinism invariant of the parallel harness: replicating a scenario
+//! across seeds on the worker pool must produce **bit-identical** metrics to
+//! running the same seeds serially, in the same (seed) order — regardless of
+//! thread count or scheduling.
+
+use proptest::prelude::*;
+use vmsim_os::MachineConfig;
+use vmsim_sim::{AllocatorKind, Parallelism, Replication, RunMetrics, Scenario};
+use vmsim_workloads::BenchId;
+
+fn run_scenario(bench: BenchId, alloc: AllocatorKind, seed: u64) -> RunMetrics {
+    Scenario::new(bench)
+        .machine(MachineConfig::paper(1, 128))
+        .allocator(alloc)
+        .measure_ops(2_000)
+        .seed(seed)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn parallel_replication_is_bit_identical_to_serial(
+        seed0 in 0u64..1_000,
+        stride in 1u64..50,
+        threads in 2usize..6,
+    ) {
+        let seeds: Vec<u64> = (0..4).map(|i| seed0 + i * stride).collect();
+        let run = |seed| run_scenario(BenchId::Gcc, AllocatorKind::Default, seed);
+        let serial = Replication::across_with(Parallelism::Serial, seeds.clone(), run);
+        let parallel = Replication::across_with(Parallelism::Threads(threads), seeds, run);
+        // RunMetrics equality is field-exact (counters, cycles, floats), so
+        // this checks bit-identical output per seed, in seed order.
+        prop_assert_eq!(&serial.runs, &parallel.runs);
+    }
+
+    #[test]
+    fn paired_improvement_is_thread_count_invariant(
+        seed0 in 0u64..1_000,
+    ) {
+        let seeds: Vec<u64> = (seed0..seed0 + 3).collect();
+        let mk = |par: Parallelism, alloc: AllocatorKind| {
+            Replication::across_with(par, seeds.clone(), move |seed| {
+                run_scenario(BenchId::Gcc, alloc, seed)
+            })
+        };
+        let base_serial = mk(Parallelism::Serial, AllocatorKind::Default);
+        let pm_serial = mk(Parallelism::Serial, AllocatorKind::PteMagnet);
+        let base_parallel = mk(Parallelism::Threads(4), AllocatorKind::Default);
+        let pm_parallel = mk(Parallelism::Threads(4), AllocatorKind::PteMagnet);
+        let serial = pm_serial.improvement_over(&base_serial);
+        let parallel = pm_parallel.improvement_over(&base_parallel);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn experiment_functions_are_thread_count_invariant() {
+    // The experiment entry points read VMSIM_THREADS themselves; drive the
+    // smallest one at two pool sizes and require identical output.
+    std::env::set_var("VMSIM_THREADS", "1");
+    let serial = vmsim_sim::table4(7, 2_000);
+    std::env::set_var("VMSIM_THREADS", "4");
+    let parallel = vmsim_sim::table4(7, 2_000);
+    std::env::remove_var("VMSIM_THREADS");
+    assert_eq!(serial.default, parallel.default);
+    assert_eq!(serial.ptemagnet, parallel.ptemagnet);
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface this workspace's `benches/` use:
+//! [`Criterion`], benchmark groups, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, the `criterion_group!` / `criterion_main!` macros, and
+//! `black_box`. Measurement is simple wall-clock sampling — median
+//! nanoseconds per iteration over `sample_size` samples — printed one line
+//! per benchmark. Statistical analysis, plots, and baselines are out of
+//! scope; numbers are comparable within a run, which is what the harness
+//! benches assert (e.g. serial vs parallel replication on the same host).
+//!
+//! `cargo bench -- --test` (smoke mode) runs every routine exactly once
+//! without timing, as upstream does.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the stub re-runs setup per
+/// sample regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            // Upstream treats `--test` as "run once, no analysis"; the CI
+            // smoke job relies on it.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into(), self.sample_size, self.test_mode, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count for this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(id: &str, sample_size: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        test_mode,
+        samples: Vec::with_capacity(sample_size),
+    };
+    if test_mode {
+        f(&mut b);
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], *b.samples.last().expect("sampled"));
+    println!(
+        "{id}: time [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Handed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing an iteration count so each
+    /// sample spans enough wall-clock time to be readable.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the iteration count until a batch takes >= 1 ms.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= 1_000_000 || iters >= 1 << 20 {
+                break elapsed / u128::from(iters.max(1));
+            }
+            iters *= 4;
+        };
+        self.samples.push(per_iter);
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // One input per measured call; repeat until the sample is readable.
+        let mut total = 0u128;
+        let mut iters = 0u64;
+        while total < 1_000_000 && iters < 1 << 16 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+            iters += 1;
+        }
+        self.samples.push(total / u128::from(iters.max(1)));
+    }
+}
+
+/// Declares a benchmark group entry point, in either upstream form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    runs
+                })
+            });
+            g.finish();
+        }
+        assert!(runs >= 2, "calibration must execute the routine");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+        };
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 1);
+    }
+}

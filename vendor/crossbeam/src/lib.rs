@@ -1,0 +1,119 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API.
+//!
+//! `crossbeam::scope` predates `std::thread::scope`; std now provides the
+//! same structured-concurrency guarantee (all spawned threads join before
+//! the scope returns, so borrows of stack data are sound), so this stub is a
+//! thin adapter over std with crossbeam's call shape: spawn closures receive
+//! the scope handle again (`s.spawn(|s| ...)`), and `scope` returns a
+//! `thread::Result` that is `Err` when any unjoined child panicked. std
+//! itself implements that distinction — it re-raises unjoined child panics
+//! when the scope closure returns — so the adapter only needs to catch them.
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread` module surface).
+
+    use std::thread as std_thread;
+
+    /// Result of a scope or join: `Err` carries the panic payload.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// handle so it can spawn siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err` on
+        /// panic). An explicitly joined panic counts as observed, so the
+        /// enclosing `scope` call still returns `Ok`.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle; every spawned thread is joined before
+    /// this returns. Mirrors `crossbeam::thread::scope`: panics of children
+    /// that were *not* explicitly joined surface as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let total = AtomicU64::new(0);
+        let items = [1u64, 2, 3, 4];
+        let total_ref = &total;
+        crate::scope(|s| {
+            let handles: Vec<_> = items
+                .iter()
+                .map(|&x| s.spawn(move |_| total_ref.fetch_add(x, Ordering::Relaxed)))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn unjoined_panic_is_reported() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child dies"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_observed_and_scope_succeeds() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| panic!("child dies"));
+            assert!(h.join().is_err());
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+    }
+
+    #[test]
+    fn joined_results_come_back() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

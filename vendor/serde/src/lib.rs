@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream tooling, but nothing in-tree actually serializes, so this stub
+//! provides marker traits and no-op derive macros. If real serialization is
+//! ever needed, replace this vendored crate with upstream `serde` (the
+//! derive attribute surface is compatible: swapping the dependency back
+//! requires no source changes).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de`, for paths like `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser`, for paths like `serde::ser::Serialize`.
+pub mod ser {
+    pub use crate::Serialize;
+}

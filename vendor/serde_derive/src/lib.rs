@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored serde stub.
+//!
+//! The stub's `Serialize`/`Deserialize` are marker traits no code bounds on,
+//! so the derives can expand to nothing: the `#[derive(...)]` attribute
+//! stays valid at every use site, `#[serde(...)]` helper attributes are
+//! accepted and ignored, and no impl is emitted (none is needed).
+
+use proc_macro::TokenStream;
+
+/// Stand-in for `serde_derive::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stand-in for `serde_derive::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
