@@ -30,6 +30,27 @@ impl BuddyStats {
     }
 }
 
+impl vmsim_obs::MetricSource for BuddyStats {
+    fn source_name(&self) -> &'static str {
+        "buddy"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        out.push(vmsim_obs::Metric::u64("allocs", self.allocs));
+        out.push(vmsim_obs::Metric::u64("frees", self.frees));
+        out.push(vmsim_obs::Metric::u64("splits", self.splits));
+        out.push(vmsim_obs::Metric::u64("merges", self.merges));
+        out.push(vmsim_obs::Metric::u64(
+            "targeted_allocs",
+            self.targeted_allocs,
+        ));
+        out.push(vmsim_obs::Metric::u64(
+            "allocated_frames",
+            self.allocated_frames,
+        ));
+    }
+}
+
 impl core::fmt::Display for BuddyStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(

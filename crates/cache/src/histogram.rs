@@ -100,6 +100,12 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
+                // The last bucket is open-ended (it absorbs everything at
+                // and above 2^(BUCKETS-1)), so its only honest upper bound
+                // is the observed max.
+                if i == BUCKETS - 1 {
+                    return self.max;
+                }
                 // Upper bound of the bucket, clamped to the observed max.
                 return ((1u64 << (i + 1)) - 1).min(self.max);
             }
@@ -204,6 +210,89 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn bad_percentile_rejected() {
         Histogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn empty_histogram_every_percentile_is_zero() {
+        let h = Histogram::new();
+        for p in [0.001, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 0, "p={p} on empty");
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [0.001, 0.5, 0.99, 1.0] {
+            // One sample occupies every rank; the bucket upper bound clamps
+            // to the observed max, so the answer is exact.
+            assert_eq!(h.percentile(p), 37, "p={p} with one sample");
+        }
+    }
+
+    #[test]
+    fn all_zero_samples_percentiles_stay_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        for p in [0.001, 0.5, 1.0] {
+            assert_eq!(h.percentile(p), 0, "p={p} all-zero");
+        }
+    }
+
+    #[test]
+    fn max_bucket_saturation_clamps_to_observed_max() {
+        let mut h = Histogram::new();
+        // Both exceed the 2^47 top-bucket boundary, so both land in the
+        // saturated last bucket; percentile must clamp to the true max
+        // rather than the unreachable bucket upper bound.
+        h.record(1 << 50);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.buckets().count(), 1, "both share the saturated bucket");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for v in [3u64, 9, 81] {
+            a.record(v);
+        }
+        let reference = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, reference, "merging an empty histogram changes nothing");
+        let mut empty = Histogram::new();
+        empty.merge(&reference);
+        assert_eq!(empty, reference, "merging into empty copies everything");
+    }
+
+    #[test]
+    fn merge_preserves_percentiles_of_the_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+            both.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v * 100);
+            both.record(v * 100);
+        }
+        a.merge(&b);
+        for p in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(a.percentile(p), both.percentile(p), "p={p}");
+        }
+        assert_eq!(a.count(), both.count());
+        assert!((a.mean() - both.mean()).abs() < 1e-9);
     }
 
     #[test]

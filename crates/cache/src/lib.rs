@@ -39,6 +39,7 @@ pub mod config;
 pub mod counters;
 pub mod hierarchy;
 pub mod histogram;
+pub mod obs;
 pub mod pwc;
 pub mod set_assoc;
 pub mod tlb;

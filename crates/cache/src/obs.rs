@@ -1,0 +1,92 @@
+//! [`MetricSource`] implementations for the cache crate's stats types.
+
+use crate::counters::{KindCounters, MemCounters};
+use crate::histogram::Histogram;
+use vmsim_obs::{Metric, MetricSource};
+
+fn emit_kind(prefix: &str, k: &KindCounters, out: &mut Vec<Metric>) {
+    out.push(Metric::u64(format!("{prefix}.accesses"), k.accesses));
+    out.push(Metric::u64(format!("{prefix}.l1_hits"), k.l1_hits));
+    out.push(Metric::u64(format!("{prefix}.l2_hits"), k.l2_hits));
+    out.push(Metric::u64(format!("{prefix}.llc_hits"), k.llc_hits));
+    out.push(Metric::u64(format!("{prefix}.memory"), k.memory));
+    out.push(Metric::u64(format!("{prefix}.cycles"), k.cycles));
+}
+
+impl MetricSource for MemCounters {
+    fn source_name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn emit(&self, out: &mut Vec<Metric>) {
+        emit_kind("data", &self.data, out);
+        emit_kind("guest_pt", &self.guest_pt, out);
+        emit_kind("host_pt", &self.host_pt, out);
+        emit_kind("guest_leaf", &self.guest_leaf, out);
+        emit_kind("host_leaf", &self.host_leaf, out);
+        for (level, k) in self.guest_pt_levels.iter().enumerate() {
+            emit_kind(&format!("guest_pt_l{level}"), k, out);
+        }
+        for (level, k) in self.host_pt_levels.iter().enumerate() {
+            emit_kind(&format!("host_pt_l{level}"), k, out);
+        }
+        out.push(Metric::u64("page_walk_cycles", self.page_walk_cycles()));
+        out.push(Metric::u64("total_cycles", self.total_cycles()));
+    }
+}
+
+impl MetricSource for Histogram {
+    fn source_name(&self) -> &'static str {
+        "hist"
+    }
+
+    fn emit(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::u64("count", self.count()));
+        out.push(Metric::f64("mean", self.mean()));
+        out.push(Metric::u64("max", self.max()));
+        if self.count() > 0 {
+            out.push(Metric::u64("p50", self.percentile(0.5)));
+            out.push(Metric::u64("p90", self.percentile(0.9)));
+            out.push(Metric::u64("p99", self.percentile(0.99)));
+        } else {
+            out.push(Metric::u64("p50", 0));
+            out.push(Metric::u64("p90", 0));
+            out.push(Metric::u64("p99", 0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HitLevel;
+    use crate::AccessKind;
+    use vmsim_obs::Registry;
+
+    #[test]
+    fn mem_counters_emit_per_kind_and_per_level() {
+        let mut c = MemCounters::default();
+        c.record(AccessKind::Data, HitLevel::L1, 4);
+        c.record(AccessKind::host_pt(3), HitLevel::Memory, 200);
+        let mut reg = Registry::new();
+        reg.record(&c);
+        let s = reg.snapshot(0);
+        assert_eq!(s.get("mem.data.accesses").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("mem.host_pt_l3.memory").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("mem.page_walk_cycles").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn histogram_emits_summary_stats() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 400] {
+            h.record(v);
+        }
+        let mut reg = Registry::new();
+        reg.record_as("walk", &h);
+        let s = reg.snapshot(0);
+        assert_eq!(s.get("walk.count").unwrap().as_u64(), Some(3));
+        assert_eq!(s.get("walk.max").unwrap().as_u64(), Some(400));
+        assert!(s.get("walk.p99").is_some());
+    }
+}

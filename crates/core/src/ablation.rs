@@ -120,6 +120,7 @@ impl GuestFrameAllocator for GranularReservationAllocator {
                     AllocCost {
                         buddy_calls: 1,
                         part_lookups: 1,
+                        reservation_new: pages > 1,
                         ..AllocCost::default()
                     },
                 ))

@@ -125,6 +125,34 @@ pub struct PartStats {
     pub unused_frames: u64,
 }
 
+impl PartStats {
+    /// Merges another table's counters into this one (used to aggregate the
+    /// per-process PaRTs into one allocator-level view).
+    pub fn merge(&mut self, other: &PartStats) {
+        self.hits += other.hits;
+        self.installs += other.installs;
+        self.retired_full += other.retired_full;
+        self.deleted_empty += other.deleted_empty;
+        self.live_entries += other.live_entries;
+        self.unused_frames += other.unused_frames;
+    }
+}
+
+impl vmsim_obs::MetricSource for PartStats {
+    fn source_name(&self) -> &'static str {
+        "part"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        out.push(vmsim_obs::Metric::u64("hits", self.hits));
+        out.push(vmsim_obs::Metric::u64("installs", self.installs));
+        out.push(vmsim_obs::Metric::u64("retired_full", self.retired_full));
+        out.push(vmsim_obs::Metric::u64("deleted_empty", self.deleted_empty));
+        out.push(vmsim_obs::Metric::u64("live_entries", self.live_entries));
+        out.push(vmsim_obs::Metric::u64("unused_frames", self.unused_frames));
+    }
+}
+
 /// The concurrent Page Reservation Table.
 ///
 /// All methods take `&self`; interior locking makes concurrent use by many

@@ -32,6 +32,22 @@ pub struct ReservationStats {
     pub reclaimed_frames: u64,
 }
 
+impl vmsim_obs::MetricSource for ReservationStats {
+    fn source_name(&self) -> &'static str {
+        "reservation"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        out.push(vmsim_obs::Metric::u64("hits", self.reservation_hits));
+        out.push(vmsim_obs::Metric::u64("created", self.reservations_created));
+        out.push(vmsim_obs::Metric::u64("fallbacks", self.fallbacks));
+        out.push(vmsim_obs::Metric::u64(
+            "reclaimed_frames",
+            self.reclaimed_frames,
+        ));
+    }
+}
+
 /// The PTEMagnet guest frame allocator.
 ///
 /// Each process owns a [`PaRt`]; forked children additionally hold `Arc`
@@ -148,6 +164,16 @@ impl GuestFrameAllocator for ReservationAllocator {
         "ptemagnet"
     }
 
+    fn emit_metrics(&self, reg: &mut vmsim_obs::Registry) {
+        reg.record(&self.stats);
+        let mut parts = crate::part::PartStats::default();
+        for part in self.parts.values() {
+            parts.merge(&part.stats());
+        }
+        reg.record(&parts);
+        reg.gauge_u64("part.tables", self.parts.len() as u64);
+    }
+
     fn allocate(
         &mut self,
         pid: Pid,
@@ -241,6 +267,7 @@ impl GuestFrameAllocator for ReservationAllocator {
                     AllocCost {
                         buddy_calls,
                         part_lookups: 1,
+                        reservation_new: true,
                         ..AllocCost::default()
                     },
                 ))

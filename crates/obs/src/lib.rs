@@ -1,0 +1,41 @@
+//! `vmsim-obs` — unified observability layer for the PTEMagnet simulator.
+//!
+//! Three pillars, all usable independently:
+//!
+//! 1. **Metrics registry** ([`metric`]): every stats struct in the simulator
+//!    implements [`MetricSource`]; a [`Registry`] collects them into an
+//!    owned, sorted [`Snapshot`] stamped with the sim-op clock, and
+//!    [`delta`] diffs two snapshots. Snapshots export as JSON or CSV.
+//! 2. **Event tracer** ([`trace`]): a bounded ring buffer of typed events
+//!    ([`EventKind`]) with JSONL export. Hot paths gate emission on
+//!    `Option<Tracer>`, so the disabled path is a single branch and the
+//!    simulation outcome is identical with tracing on or off.
+//! 3. **Epoch time series** ([`series`]): the engine snapshots the registry
+//!    every N ops, yielding trajectories instead of endpoints.
+//!
+//! The crate is dependency-free apart from the (vendored) `serde` marker
+//! derives and includes a minimal JSON parser ([`json`]) used for schema
+//! sanity checks of its own output.
+
+pub mod json;
+pub mod metric;
+pub mod series;
+pub mod trace;
+
+pub use metric::{delta, Delta, Metric, MetricSource, Registry, Snapshot, Value};
+pub use series::TimeSeries;
+pub use trace::{Event, EventKind, Tracer, DEFAULT_CAPACITY};
+
+/// Compile-time proof that the vendored serde derive emits real marker
+/// impls (a regression here breaks `T: Serialize` bounds downstream).
+#[allow(dead_code)]
+fn assert_serde_impls() {
+    fn serializable<T: serde::Serialize>() {}
+    fn deserializable<T: serde::de::DeserializeOwned>() {}
+    serializable::<Snapshot>();
+    serializable::<Delta>();
+    serializable::<Event>();
+    serializable::<TimeSeries>();
+    deserializable::<Snapshot>();
+    deserializable::<Event>();
+}

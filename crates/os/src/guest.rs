@@ -33,6 +33,8 @@ pub struct AllocCost {
     pub part_lookups: u32,
     /// Whether the request was served from an existing reservation.
     pub reservation_hit: bool,
+    /// Whether serving the request installed a *new* reservation.
+    pub reservation_new: bool,
 }
 
 /// What an allocator granted for a faulting page.
@@ -135,6 +137,10 @@ pub trait GuestFrameAllocator: core::fmt::Debug {
     fn reserved_unused_frames_of(&self, _pid: Pid) -> u64 {
         0
     }
+
+    /// Contributes allocator-internal metrics (e.g. PTEMagnet's reservation
+    /// and PaRT counters) to an observability snapshot. Default: nothing.
+    fn emit_metrics(&self, _reg: &mut vmsim_obs::Registry) {}
 }
 
 /// The stock Linux allocation policy: one order-0 buddy call per fault.
@@ -208,6 +214,27 @@ pub struct GuestStats {
     pub allocator_buddy_calls: u64,
     /// Total PaRT lookups made by the pluggable allocator.
     pub allocator_part_lookups: u64,
+}
+
+impl vmsim_obs::MetricSource for GuestStats {
+    fn source_name(&self) -> &'static str {
+        "guest"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        out.push(vmsim_obs::Metric::u64("faults", self.faults));
+        out.push(vmsim_obs::Metric::u64("cow_breaks", self.cow_breaks));
+        out.push(vmsim_obs::Metric::u64("forks", self.forks));
+        out.push(vmsim_obs::Metric::u64("unmaps", self.unmaps));
+        out.push(vmsim_obs::Metric::u64(
+            "allocator_buddy_calls",
+            self.allocator_buddy_calls,
+        ));
+        out.push(vmsim_obs::Metric::u64(
+            "allocator_part_lookups",
+            self.allocator_part_lookups,
+        ));
+    }
 }
 
 /// The guest operating system: processes, the guest-physical pool, and the

@@ -19,6 +19,16 @@ pub struct HostStats {
     pub faults: u64,
 }
 
+impl vmsim_obs::MetricSource for HostStats {
+    fn source_name(&self) -> &'static str {
+        "host"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        out.push(vmsim_obs::Metric::u64("faults", self.faults));
+    }
+}
+
 /// The host OS: host-physical pool, the VM's host page table, and the
 /// guest-physical → host-virtual identity.
 #[derive(Debug)]

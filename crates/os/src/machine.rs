@@ -108,6 +108,12 @@ pub struct Machine {
     fault_hist: Vec<Histogram>,
     cost: CostModel,
     config: MachineConfig,
+    /// Monotonic count of [`Machine::touch`] calls — the sim-op clock that
+    /// timestamps observability snapshots and trace events.
+    ops: u64,
+    /// Optional event tracer. `None` (the default) costs one branch per
+    /// event site and keeps the simulation outcome bit-identical.
+    tracer: Option<vmsim_obs::Tracer>,
 }
 
 impl Machine {
@@ -132,7 +138,31 @@ impl Machine {
             fault_hist: (0..cores).map(|_| Histogram::new()).collect(),
             cost: config.cost,
             config,
+            ops: 0,
+            tracer: None,
         }
+    }
+
+    /// Number of [`Machine::touch`] calls played so far (the sim-op clock).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops
+    }
+
+    /// Installs an event tracer; subsequent faults, walks, and reservation
+    /// activity emit typed events into it.
+    pub fn install_tracer(&mut self, tracer: vmsim_obs::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the tracer (with every retained event), if one
+    /// was installed.
+    pub fn take_tracer(&mut self) -> Option<vmsim_obs::Tracer> {
+        self.tracer.take()
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&vmsim_obs::Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The guest OS.
@@ -199,10 +229,15 @@ impl Machine {
         is_write: bool,
     ) -> Result<TouchOutcome> {
         let vpn = va.page();
+        self.ops += 1;
         let mut out = TouchOutcome {
             cycles: self.cost.work_cycles_per_access,
             ..TouchOutcome::default()
         };
+        // Buddy counters before the fault section, so tracing can report
+        // split/merge activity caused by this access. Read only when a
+        // tracer is installed — the disabled path stays a single branch.
+        let buddy_before = self.tracer.as_ref().map(|_| *self.guest.buddy().stats());
 
         // 1. Ensure the page is mapped (guest fault) and writable if needed
         //    (COW break).
@@ -227,6 +262,47 @@ impl Machine {
                     out.host_faults += 1;
                     out.cycles += self.cost.host_fault_cycles;
                 }
+                if let Some(tracer) = self.tracer.as_mut() {
+                    let op = self.ops;
+                    tracer.emit(
+                        op,
+                        vmsim_obs::EventKind::PageFault {
+                            pid: pid.0,
+                            vpn: vpn.raw(),
+                            gfn: info.gfn.raw(),
+                            huge: info.huge,
+                        },
+                    );
+                    if info.cost.reservation_hit {
+                        tracer.emit(
+                            op,
+                            vmsim_obs::EventKind::ReservationHit {
+                                pid: pid.0,
+                                vpn: vpn.raw(),
+                                gfn: info.gfn.raw(),
+                            },
+                        );
+                    }
+                    if info.cost.reservation_new {
+                        tracer.emit(
+                            op,
+                            vmsim_obs::EventKind::ReservationTake {
+                                pid: pid.0,
+                                vpn: vpn.raw(),
+                                gfn: info.gfn.raw(),
+                            },
+                        );
+                    }
+                    if info.huge {
+                        tracer.emit(
+                            op,
+                            vmsim_obs::EventKind::ThpCollapse {
+                                pid: pid.0,
+                                vpn: vpn.raw() & !(vmsim_types::PT_ENTRIES - 1),
+                            },
+                        );
+                    }
+                }
             }
             Some(pte) if is_write && pte.is_cow() => {
                 let (new_gfn, copied) = self.guest.write_fault(pid, vpn)?;
@@ -239,6 +315,18 @@ impl Machine {
                         out.host_faults += 1;
                         out.cycles += self.cost.host_fault_cycles;
                     }
+                    if let Some(tracer) = self.tracer.as_mut() {
+                        let op = self.ops;
+                        tracer.emit(
+                            op,
+                            vmsim_obs::EventKind::PageFault {
+                                pid: pid.0,
+                                vpn: vpn.raw(),
+                                gfn: new_gfn.raw(),
+                                huge: false,
+                            },
+                        );
+                    }
                 }
                 // The mapping changed: shoot down stale translations.
                 for tlb in &mut self.tlbs {
@@ -249,6 +337,17 @@ impl Machine {
         }
         if out.faulted || out.cow_break {
             self.fault_hist[core].record(out.cycles - cycles_before_fault);
+        }
+        if let Some(before) = buddy_before {
+            let after = *self.guest.buddy().stats();
+            let (splits, merges) = (after.splits - before.splits, after.merges - before.merges);
+            let tracer = self.tracer.as_mut().expect("buddy_before implies tracer");
+            if splits > 0 {
+                tracer.emit(self.ops, vmsim_obs::EventKind::BuddySplit { count: splits });
+            }
+            if merges > 0 {
+                tracer.emit(self.ops, vmsim_obs::EventKind::BuddyMerge { count: merges });
+            }
         }
 
         // 2. Translate.
@@ -311,6 +410,7 @@ impl Machine {
         // translation), a 4 KB mapping a 4-step path; iterate whatever the
         // table gave us.
         let steps: Vec<_> = path.steps.iter().skip(start_level).copied().collect();
+        let levels_walked = steps.len() as u32;
         for step in steps {
             // Locate this gPT node in host-physical memory (2nd dimension).
             let (node_hfn, hf) = self.host_frame_of(core, step.node, &mut cycles)?;
@@ -333,6 +433,16 @@ impl Machine {
         host_faults += hf;
         self.tlbs[core].insert(asid, vpn, data_hfn);
         self.walk_hist[core].record(cycles);
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.emit(
+                self.ops,
+                vmsim_obs::EventKind::PtWalk {
+                    levels: levels_walked,
+                    cycles,
+                    pwc_hits: start_level as u32,
+                },
+            );
+        }
         Ok((data_hfn, cycles, host_faults))
     }
 
@@ -469,6 +579,73 @@ impl Machine {
             }
         }
         Ok(census)
+    }
+
+    /// Releases up to `target_frames` of reserved-but-unused guest memory
+    /// back to the buddy allocator (memory-pressure reclamation, §4.3),
+    /// emitting a [`vmsim_obs::EventKind::ReservationReclaim`] event when a
+    /// tracer is installed. Returns frames actually released.
+    pub fn reclaim_reservations(&mut self, target_frames: u64) -> u64 {
+        let freed = self.guest.reclaim_reservations(target_frames);
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.emit(
+                self.ops,
+                vmsim_obs::EventKind::ReservationReclaim { frames: freed },
+            );
+        }
+        freed
+    }
+
+    /// Nested-walk latency distribution merged across every core.
+    pub fn merged_walk_latency(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for h in &self.walk_hist {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Fault-service latency distribution merged across every core.
+    pub fn merged_fault_latency(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for h in &self.fault_hist {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Captures one observability snapshot covering every stats struct in
+    /// the machine: cache counters, guest/host kernel counters, both buddy
+    /// allocators, both page tables (guest PTs merged across processes),
+    /// TLB totals, latency histograms, and whatever the pluggable frame
+    /// allocator contributes (PTEMagnet adds reservation + PaRT counters).
+    pub fn metrics_snapshot(&self) -> vmsim_obs::Snapshot {
+        let mut reg = vmsim_obs::Registry::new();
+        reg.record(&self.caches.counters());
+        reg.record(&self.guest.stats());
+        reg.record(&self.host.stats());
+        reg.record_as("guest_buddy", self.guest.buddy().stats());
+        reg.record_as("host_buddy", self.host.buddy().stats());
+        reg.record_as("host_pt", &self.host.host_pt().stats());
+        let mut guest_pt = vmsim_pt::PtStats::default();
+        for proc in self.guest.processes() {
+            guest_pt.merge(&proc.page_table.stats());
+        }
+        reg.record_as("guest_pt", &guest_pt);
+        let (lookups, misses) = self
+            .tlbs
+            .iter()
+            .fold((0, 0), |(l, m), t| (l + t.lookups(), m + t.misses()));
+        reg.gauge_u64("tlb.lookups", lookups);
+        reg.gauge_u64("tlb.misses", misses);
+        reg.record_as("walk_latency", &self.merged_walk_latency());
+        reg.record_as("fault_latency", &self.merged_fault_latency());
+        reg.gauge_u64(
+            "allocator.reserved_unused_frames",
+            self.guest.allocator().reserved_unused_frames(),
+        );
+        self.guest.allocator().emit_metrics(&mut reg);
+        reg.snapshot(self.ops)
     }
 
     /// Flushes all translation state (TLBs, page-walk caches, nested TLBs)
@@ -737,6 +914,77 @@ mod tests {
         m.reset_measurement();
         assert_eq!(m.fault_latency(0).count(), 0);
         assert_eq!(m.walk_latency(0).count(), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_subsystem() {
+        let mut m = machine();
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 8).unwrap();
+        for i in 0..8 {
+            m.touch(0, pid, GuestVirtAddr::new(va.raw() + i * 4096), true)
+                .unwrap();
+        }
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.op, 8);
+        for name in [
+            "mem.data.accesses",
+            "guest.faults",
+            "host.faults",
+            "guest_buddy.allocs",
+            "host_buddy.allocs",
+            "guest_pt.total_nodes",
+            "host_pt.total_nodes",
+            "tlb.lookups",
+            "walk_latency.count",
+            "fault_latency.count",
+        ] {
+            assert!(snap.get(name).is_some(), "snapshot missing {name}");
+        }
+        assert_eq!(snap.get("guest.faults").unwrap().as_u64(), Some(8));
+    }
+
+    #[test]
+    fn tracer_records_fault_and_walk_events_without_changing_outcomes() {
+        let run = |traced: bool| {
+            let mut m = machine();
+            if traced {
+                m.install_tracer(vmsim_obs::Tracer::new());
+            }
+            let pid = m.guest_mut().spawn();
+            let va = m.guest_mut().mmap(pid, 8).unwrap();
+            let mut outcomes = Vec::new();
+            for i in 0..8 {
+                outcomes.push(
+                    m.touch(0, pid, GuestVirtAddr::new(va.raw() + i * 4096), true)
+                        .unwrap(),
+                );
+            }
+            (outcomes, m.metrics_snapshot(), m.take_tracer())
+        };
+        let (plain_out, plain_snap, plain_tracer) = run(false);
+        let (traced_out, traced_snap, traced_tracer) = run(true);
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain_out, traced_out);
+        assert_eq!(plain_snap, traced_snap);
+        assert!(plain_tracer.is_none());
+        let tracer = traced_tracer.expect("tracer was installed");
+        assert_eq!(tracer.count_kind("page_fault"), 8);
+        assert!(tracer.count_kind("pt_walk") >= 1);
+        assert!(
+            tracer.count_kind("buddy_split") >= 1,
+            "cold pool must split"
+        );
+        assert!(tracer.events().all(|e| e.op >= 1 && e.op <= 8));
+    }
+
+    #[test]
+    fn reclaim_wrapper_emits_reclaim_event() {
+        let mut m = machine();
+        m.install_tracer(vmsim_obs::Tracer::new());
+        m.reclaim_reservations(64);
+        let tracer = m.take_tracer().unwrap();
+        assert_eq!(tracer.count_kind("reservation_reclaim"), 1);
     }
 
     #[test]

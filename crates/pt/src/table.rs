@@ -44,6 +44,31 @@ impl PtStats {
     pub fn total_nodes(&self) -> u64 {
         self.nodes_per_level.iter().sum()
     }
+
+    /// Merges another table's stats into this one (used to aggregate the
+    /// per-process guest page tables into one machine-level view).
+    pub fn merge(&mut self, other: &PtStats) {
+        for (a, b) in self.nodes_per_level.iter_mut().zip(&other.nodes_per_level) {
+            *a += b;
+        }
+        self.mapped_pages += other.mapped_pages;
+        self.huge_pages += other.huge_pages;
+    }
+}
+
+impl vmsim_obs::MetricSource for PtStats {
+    fn source_name(&self) -> &'static str {
+        "pt"
+    }
+
+    fn emit(&self, out: &mut Vec<vmsim_obs::Metric>) {
+        for (level, &n) in self.nodes_per_level.iter().enumerate() {
+            out.push(vmsim_obs::Metric::u64(format!("nodes_l{level}"), n));
+        }
+        out.push(vmsim_obs::Metric::u64("total_nodes", self.total_nodes()));
+        out.push(vmsim_obs::Metric::u64("mapped_pages", self.mapped_pages));
+        out.push(vmsim_obs::Metric::u64("huge_pages", self.huge_pages));
+    }
 }
 
 /// A 4-level radix page table mapping `V` pages to `F` frames, with nodes

@@ -1,0 +1,152 @@
+//! Observability demo/smoke binary: runs a small benchmark matrix with the
+//! tracer and epoch sampling enabled, writes the trace (JSONL), time series
+//! (CSV), and a machine-readable summary (`BENCH_obs.json`), then re-parses
+//! every JSON artifact it produced and exits nonzero if any line fails —
+//! which makes it usable as a CI smoke step.
+//!
+//! Usage: `trace [measure_ops] [out_dir]` (defaults: 20000, `results`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use vmsim_cache::Histogram;
+use vmsim_obs::json;
+use vmsim_sim::{AllocatorKind, ObsConfig, ObservedRun, Scenario};
+use vmsim_workloads::{BenchId, CoId};
+
+fn hist_json(out: &mut String, name: &str, h: &Histogram) {
+    let _ = write!(out, "\"{name}\":{{\"count\":{},\"mean\":", h.count());
+    json::write_f64(out, if h.count() == 0 { 0.0 } else { h.mean() });
+    let _ = write!(
+        out,
+        ",\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.percentile(0.50),
+        h.percentile(0.90),
+        h.percentile(0.99),
+        h.max()
+    );
+}
+
+fn run_summary(out: &mut String, bench: BenchId, alloc: AllocatorKind, run: &ObservedRun) {
+    let m = &run.metrics;
+    let _ = write!(
+        out,
+        "{{\"benchmark\":\"{}\",\"allocator\":\"{}\",\"measure_ops\":{},\"cycles\":{},\
+         \"page_walk_cycles\":{},\"total_faults\":{},",
+        bench.name(),
+        alloc.name(),
+        m.measure_ops,
+        m.cycles,
+        m.page_walk_cycles,
+        m.total_faults
+    );
+    hist_json(out, "walk_latency", &run.walk_latency);
+    out.push(',');
+    hist_json(out, "fault_latency", &run.fault_latency);
+    let mut kinds: Vec<&'static str> = run.events.iter().map(|e| e.kind.name()).collect();
+    kinds.sort_unstable();
+    let _ = write!(
+        out,
+        ",\"events\":{},\"events_dropped\":{},\"event_counts\":{{",
+        run.events.len(),
+        run.trace_dropped
+    );
+    let mut i = 0;
+    let mut first = true;
+    while i < kinds.len() {
+        let name = kinds[i];
+        let j = kinds[i..].iter().take_while(|k| **k == name).count();
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\":{j}");
+        i += j;
+    }
+    let _ = write!(
+        out,
+        "}},\"epoch_samples\":{},\"host_frag\":",
+        run.series.len()
+    );
+    json::write_f64(out, m.host_frag);
+    out.push('}');
+}
+
+fn main() {
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let out_dir = std::env::args().nth(2).unwrap_or_else(|| "results".into());
+    let out_dir = Path::new(&out_dir);
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+
+    let obs = ObsConfig::enabled((ops / 4).max(1));
+    let mut summaries = String::from("[");
+    let mut failures = 0u32;
+
+    for bench in [BenchId::Gcc, BenchId::Pagerank] {
+        for alloc in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+            let t0 = std::time::Instant::now();
+            let run = Scenario::new(bench)
+                .corunners(&[CoId::Objdet])
+                .allocator(alloc)
+                .measure_ops(ops)
+                .run_observed(obs);
+
+            let tag = format!("{}_{}", bench.name(), alloc.name());
+            let jsonl = run.events_jsonl();
+            let trace_path = out_dir.join(format!("trace_{tag}.jsonl"));
+            std::fs::write(&trace_path, &jsonl).expect("write trace");
+            let series_path = out_dir.join(format!("series_{tag}.csv"));
+            std::fs::write(&series_path, run.series.to_csv()).expect("write series");
+
+            for (n, line) in jsonl.lines().enumerate() {
+                if let Err(e) = json::parse(line) {
+                    eprintln!(
+                        "FAIL {}: line {} unparseable: {e:?}",
+                        trace_path.display(),
+                        n + 1
+                    );
+                    failures += 1;
+                }
+            }
+            if let Err(e) = json::parse(&run.series.to_json()) {
+                eprintln!("FAIL series {tag}: {e:?}");
+                failures += 1;
+            }
+
+            if summaries.len() > 1 {
+                summaries.push(',');
+            }
+            run_summary(&mut summaries, bench, alloc, &run);
+            println!(
+                "{tag:<18} events {:>6} (dropped {:>5})  epoch samples {}  walk p99 {:>4}  ({:.1}s)",
+                run.events.len(),
+                run.trace_dropped,
+                run.series.len(),
+                run.walk_latency.percentile(0.99),
+                t0.elapsed().as_secs_f64(),
+            );
+        }
+    }
+    summaries.push(']');
+
+    let bench_path = out_dir.join("BENCH_obs.json");
+    std::fs::write(&bench_path, &summaries).expect("write BENCH_obs.json");
+    match json::parse(&summaries) {
+        Ok(doc) => {
+            let runs = doc.as_arr().map_or(0, <[_]>::len);
+            println!("wrote {} ({} runs)", bench_path.display(), runs);
+        }
+        Err(e) => {
+            eprintln!("FAIL {}: {e:?}", bench_path.display());
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} artifact(s) failed to parse");
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,10 @@
 //!   co-runners, allocator, co-runner stop protocol, measurement length;
 //! * [`experiments`] — one function per table/figure of the paper
 //!   (Table 1, Figures 5–7, Table 4, §6.2, §6.4);
+//! * [`obs`] — scenario-level observability: [`ObsConfig`] knobs
+//!   (`VMSIM_TRACE`, `VMSIM_EPOCH_OPS`) and the [`ObservedRun`] wrapper
+//!   carrying snapshot, epoch time series, and event trace next to the
+//!   untouched [`RunMetrics`];
 //! * [`parallel`] — deterministic worker pool fanning independent runs
 //!   (seeds, benchmarks) across cores; results come back in job order, so
 //!   output is bit-identical to serial. Thread count: `VMSIM_THREADS`;
@@ -32,6 +36,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod obs;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
@@ -43,6 +48,7 @@ pub use experiments::{
     table4, thp_study, walk_breakdown, AllocLatency, BenchPair, FigureSweep, HwSensitivityRow,
     ReservedUnused, Table1, Table4, ThpRow, ThpStudy, DEFAULT_MEASURE_OPS,
 };
+pub use obs::{ObsConfig, ObservedRun};
 pub use parallel::Parallelism;
 pub use scenario::{AllocatorKind, RunMetrics, Scenario};
 pub use stats::{Replication, Summary};

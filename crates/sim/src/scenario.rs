@@ -6,6 +6,7 @@ use vmsim_types::Result;
 use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
 
 use crate::engine::Colocation;
+use crate::obs::{ObsConfig, ObservedRun};
 use ptemagnet::{CaPagingLike, ReservationAllocator, ThpAllocator};
 
 /// Which guest frame allocator a run uses.
@@ -228,6 +229,33 @@ impl Scenario {
     ///
     /// Returns [`vmsim_types::MemError`] on resource exhaustion.
     pub fn try_run(self) -> Result<RunMetrics> {
+        Ok(self.run_inner(ObsConfig::disabled())?.metrics)
+    }
+
+    /// Runs the scenario with observability enabled per `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation resource exhaustion (misconfigured machine). Use
+    /// [`Scenario::try_run_observed`] to handle errors.
+    pub fn run_observed(self, obs: ObsConfig) -> ObservedRun {
+        self.try_run_observed(obs)
+            .expect("scenario execution failed")
+    }
+
+    /// Runs the scenario with observability enabled per `obs`, propagating
+    /// simulation errors. The returned [`ObservedRun::metrics`] is
+    /// bit-identical to what [`Scenario::try_run`] would produce for the
+    /// same scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vmsim_types::MemError`] on resource exhaustion.
+    pub fn try_run_observed(self, obs: ObsConfig) -> Result<ObservedRun> {
+        self.run_inner(obs)
+    }
+
+    fn run_inner(self, obs: ObsConfig) -> Result<ObservedRun> {
         let cores = 1 + self.corunners.len();
         let config = self
             .machine
@@ -240,6 +268,9 @@ impl Scenario {
             None => (self.allocator.build(), self.allocator.name()),
         };
         let mut machine = Machine::with_allocator(config, allocator);
+        if obs.trace {
+            machine.install_tracer(vmsim_obs::Tracer::with_capacity(obs.trace_capacity));
+        }
         let _held = self
             .prefragment_run
             .map(|run| machine.guest_mut().hold_fragmenting_pattern(run));
@@ -281,17 +312,37 @@ impl Scenario {
         let mut unused_peak = 0u64;
         let mut unused_sum = 0u128;
         let mut samples = 0u64;
+        let mut series = vmsim_obs::TimeSeries::new();
+        let mut next_epoch = None;
+        if let Some(interval) = obs.epoch_ops {
+            // Anchor the series at the phase-B start so a run always yields
+            // at least two samples (start + end).
+            series.push(colo.machine().metrics_snapshot());
+            next_epoch = Some(colo.machine().ops_executed() + interval);
+        }
         colo.run_ops(primary, self.measure_ops, |m| {
             let unused = m.guest().allocator().reserved_unused_frames();
             unused_peak = unused_peak.max(unused);
             unused_sum += u128::from(unused);
             samples += 1;
+            if let (Some(interval), Some(next)) = (obs.epoch_ops, next_epoch.as_mut()) {
+                while m.ops_executed() >= *next {
+                    series.push(m.metrics_snapshot());
+                    *next += interval;
+                }
+            }
         })?;
+        if obs.epoch_ops.is_some() {
+            let last_op = series.last().map(|s| s.op);
+            if last_op != Some(colo.machine().ops_executed()) {
+                series.push(colo.machine().metrics_snapshot());
+            }
+        }
 
         let core = colo.core(primary);
         let counters = *colo.machine().caches().core_counters(core);
         let tlb = colo.machine().tlb(core);
-        Ok(RunMetrics {
+        let metrics = RunMetrics {
             benchmark: self.benchmark.name().to_string(),
             allocator: allocator_name.to_string(),
             measure_ops: self.measure_ops,
@@ -317,6 +368,26 @@ impl Scenario {
                 (unused_sum / u128::from(samples)) as f64
             },
             total_faults: colo.machine().guest().stats().faults,
+        };
+
+        let snapshot = colo.machine().metrics_snapshot();
+        let walk_latency = colo.machine().merged_walk_latency();
+        let fault_latency = colo.machine().merged_fault_latency();
+        let (events, trace_dropped) = match colo.machine_mut().take_tracer() {
+            Some(mut tracer) => {
+                let dropped = tracer.dropped();
+                (tracer.drain(), dropped)
+            }
+            None => (Vec::new(), 0),
+        };
+        Ok(ObservedRun {
+            metrics,
+            snapshot,
+            series,
+            events,
+            trace_dropped,
+            walk_latency,
+            fault_latency,
         })
     }
 }

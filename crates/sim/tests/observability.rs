@@ -1,0 +1,118 @@
+//! Acceptance tests for the unified observability layer (ISSUE 2):
+//!
+//! * enabling the tracer + epoch sampling changes no `RunMetrics` field;
+//! * the final registry snapshot covers every stats struct in the stack;
+//! * the event trace exports as parseable JSONL with at least the fault,
+//!   reservation, and walk event kinds;
+//! * a 20k-op run with epoch sampling yields a time series of ≥ 2 samples.
+
+use vmsim_obs::json;
+use vmsim_os::MachineConfig;
+use vmsim_sim::{AllocatorKind, ObsConfig, ObservedRun, Scenario};
+use vmsim_workloads::{BenchId, CoId};
+
+fn scenario(alloc: AllocatorKind, ops: u64) -> Scenario {
+    Scenario::new(BenchId::Gcc)
+        .machine(MachineConfig::paper(2, 256))
+        .corunners(&[CoId::StressNg])
+        .allocator(alloc)
+        .measure_ops(ops)
+}
+
+fn observed(alloc: AllocatorKind, ops: u64) -> ObservedRun {
+    scenario(alloc, ops).run_observed(ObsConfig::enabled(ops / 4))
+}
+
+#[test]
+fn observability_changes_no_run_metrics_field() {
+    for alloc in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+        let plain = scenario(alloc, 5_000).run();
+        let traced = observed(alloc, 5_000);
+        // RunMetrics derives PartialEq over every field (counters, cycles,
+        // floats), so this asserts bit-identical results with the full
+        // observability stack enabled.
+        assert_eq!(plain, traced.metrics, "{} diverged", alloc.name());
+        assert!(!traced.events.is_empty());
+    }
+}
+
+#[test]
+fn snapshot_covers_every_stats_struct() {
+    let run = observed(AllocatorKind::PteMagnet, 5_000);
+    let groups = [
+        "mem",         // MemCounters
+        "guest",       // GuestStats
+        "host",        // HostStats
+        "guest_buddy", // BuddyStats (guest side)
+        "host_buddy",  // BuddyStats (host side)
+        "guest_pt",    // PtStats (guest, merged over processes)
+        "host_pt",     // PtStats (host)
+        "reservation", // ReservationStats
+        "part",        // PartStats
+    ];
+    for prefix in groups {
+        assert!(
+            run.snapshot.group(prefix).count() > 0,
+            "snapshot missing metric group {prefix}"
+        );
+    }
+    assert!(run.snapshot.get("mem.data.accesses").is_some());
+    assert!(run.snapshot.get("walk_latency.count").is_some());
+    assert!(run.snapshot.get("fault_latency.count").is_some());
+    assert!(run.snapshot.get("tlb.lookups").is_some());
+}
+
+#[test]
+fn trace_exports_parseable_jsonl_with_required_kinds() {
+    let run = observed(AllocatorKind::PteMagnet, 5_000);
+    let jsonl = run.events_jsonl();
+    let mut faults = 0usize;
+    let mut walks = 0usize;
+    let mut reservations = 0usize;
+    let mut last_op = 0u64;
+    for line in jsonl.lines() {
+        let doc = json::parse(line).expect("every JSONL line parses");
+        let op = doc.get("op").and_then(|v| v.as_u64()).expect("op field");
+        assert!(op >= last_op, "op stamps are monotonic");
+        last_op = op;
+        match doc
+            .get("event")
+            .and_then(|v| v.as_str())
+            .expect("event field")
+        {
+            "page_fault" => faults += 1,
+            "pt_walk" => walks += 1,
+            "reservation_take" | "reservation_hit" => reservations += 1,
+            _ => {}
+        }
+    }
+    assert!(faults > 0, "trace has page_fault events");
+    assert!(walks > 0, "trace has pt_walk events");
+    assert!(reservations > 0, "trace has reservation events");
+}
+
+#[test]
+fn epoch_series_samples_a_20k_op_run() {
+    let run = scenario(AllocatorKind::PteMagnet, 20_000).run_observed(ObsConfig::enabled(5_000));
+    assert!(
+        run.series.len() >= 2,
+        "expected >= 2 epoch samples, got {}",
+        run.series.len()
+    );
+    let ops: Vec<u64> = run.series.samples.iter().map(|s| s.op).collect();
+    assert!(
+        ops.windows(2).all(|w| w[0] < w[1]),
+        "sample ops strictly increase"
+    );
+    let delta = run
+        .series
+        .overall_delta()
+        .expect("two samples give a delta");
+    assert!(
+        delta.get("mem.data.accesses").unwrap_or(0.0) > 0.0,
+        "data accesses advance across the measured phase"
+    );
+    // The series round-trips through the JSON exporter.
+    let doc = json::parse(&run.series.to_json()).expect("series JSON parses");
+    assert_eq!(doc.as_arr().unwrap().len(), run.series.len());
+}

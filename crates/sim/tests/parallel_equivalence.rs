@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use vmsim_os::MachineConfig;
-use vmsim_sim::{AllocatorKind, Parallelism, Replication, RunMetrics, Scenario};
+use vmsim_sim::{
+    AllocatorKind, ObsConfig, ObservedRun, Parallelism, Replication, RunMetrics, Scenario,
+};
 use vmsim_workloads::BenchId;
 
 fn run_scenario(bench: BenchId, alloc: AllocatorKind, seed: u64) -> RunMetrics {
@@ -52,6 +54,35 @@ proptest! {
         let serial = pm_serial.improvement_over(&base_serial);
         let parallel = pm_parallel.improvement_over(&base_parallel);
         prop_assert_eq!(serial, parallel);
+    }
+}
+
+fn run_observed(bench: BenchId, alloc: AllocatorKind, seed: u64) -> ObservedRun {
+    Scenario::new(bench)
+        .machine(MachineConfig::paper(1, 128))
+        .allocator(alloc)
+        .measure_ops(2_000)
+        .seed(seed)
+        .run_observed(ObsConfig::enabled(500))
+}
+
+#[test]
+fn epoch_time_series_is_thread_count_invariant() {
+    // Observability must not weaken the determinism invariant: with epoch
+    // sampling (and tracing) enabled, the captured time series — every
+    // sample, every metric, every op stamp — must be field-identical
+    // between serial and pooled execution, and each series must actually
+    // sample the run (≥ 2 snapshots).
+    let seeds: [u64; 3] = [3, 17, 92];
+    let run = |i: usize| run_observed(BenchId::Gcc, AllocatorKind::PteMagnet, seeds[i]);
+    let serial = vmsim_sim::parallel::run_indexed(Parallelism::Serial, seeds.len(), run);
+    let parallel = vmsim_sim::parallel::run_indexed(Parallelism::Threads(4), seeds.len(), run);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.metrics, p.metrics);
+        assert_eq!(s.series, p.series, "epoch series must be field-identical");
+        assert_eq!(s.snapshot, p.snapshot);
+        assert_eq!(s.events, p.events);
+        assert!(s.series.len() >= 2, "series samples the run endpoints");
     }
 }
 

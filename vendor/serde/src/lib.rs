@@ -1,11 +1,14 @@
 //! Offline stand-in for `serde`.
 //!
 //! The workspace derives `Serialize`/`Deserialize` on its data types for
-//! downstream tooling, but nothing in-tree actually serializes, so this stub
-//! provides marker traits and no-op derive macros. If real serialization is
-//! ever needed, replace this vendored crate with upstream `serde` (the
-//! derive attribute surface is compatible: swapping the dependency back
-//! requires no source changes).
+//! downstream tooling, but nothing in-tree performs format-driven
+//! serialization, so this stub provides marker traits whose derives emit
+//! empty impls. That is enough for generic code to bound on
+//! `T: Serialize` / `T: de::DeserializeOwned` and have
+//! `#[derive(Serialize, Deserialize)]` satisfy the bound, exactly as with
+//! upstream serde 1.x. If real serialization is ever needed, replace this
+//! vendored crate with upstream `serde` (the derive attribute surface is
+//! compatible: swapping the dependency back requires no source changes).
 
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}
@@ -17,14 +20,21 @@ pub trait Deserialize<'de>: Sized {}
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
 
+/// Marker trait standing in for `serde::Serializer` (never implemented by
+/// the stub; present so `S: Serializer` bounds and paths resolve).
+pub trait Serializer {}
+
+/// Marker trait standing in for `serde::Deserializer<'de>`.
+pub trait Deserializer<'de> {}
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// `serde::de`, for paths like `serde::de::DeserializeOwned`.
 pub mod de {
-    pub use crate::{Deserialize, DeserializeOwned};
+    pub use crate::{Deserialize, DeserializeOwned, Deserializer};
 }
 
 /// `serde::ser`, for paths like `serde::ser::Serialize`.
 pub mod ser {
-    pub use crate::Serialize;
+    pub use crate::{Serialize, Serializer};
 }

@@ -1,20 +1,232 @@
-//! No-op derive macros for the vendored serde stub.
+//! Derive macros for the vendored serde stub.
 //!
-//! The stub's `Serialize`/`Deserialize` are marker traits no code bounds on,
-//! so the derives can expand to nothing: the `#[derive(...)]` attribute
-//! stays valid at every use site, `#[serde(...)]` helper attributes are
-//! accepted and ignored, and no impl is emitted (none is needed).
+//! Unlike the original no-op version, these derives now emit real (empty)
+//! impls of the stub's `Serialize`/`Deserialize` marker traits, so generic
+//! code may bound on `T: Serialize` / `T: DeserializeOwned` and have the
+//! bound satisfied by `#[derive(Serialize, Deserialize)]` exactly as with
+//! upstream serde 1.x. `#[serde(...)]` helper attributes are accepted and
+//! ignored (the stub never serializes, so renames/defaults are moot).
+//!
+//! The input is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote` available offline): we locate the `struct`/`enum`/`union`
+//! keyword at top level, read the type name, the generic parameter list
+//! (lifetimes, types, and const params, with defaults stripped for the
+//! impl), and an optional `where` clause, then splice them into marker
+//! impls. If the item shape is something this mini-parser does not
+//! understand, the derive falls back to emitting nothing — the historical
+//! stub behaviour — rather than failing the build.
 
-use proc_macro::TokenStream;
+use proc_macro::{Spacing, TokenStream, TokenTree};
 
-/// Stand-in for `serde_derive::Serialize`; expands to nothing.
+/// Stand-in for `serde_derive::Serialize`; emits an empty marker impl.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Some(item) => item.impl_block("::serde::Serialize", None),
+        None => TokenStream::new(),
+    }
 }
 
-/// Stand-in for `serde_derive::Deserialize`; expands to nothing.
+/// Stand-in for `serde_derive::Deserialize`; emits an empty marker impl.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Some(item) => item.impl_block("::serde::Deserialize<'de>", Some("'de")),
+        None => TokenStream::new(),
+    }
+}
+
+/// The pieces of a type definition needed to write `impl Trait for Type`.
+struct Item {
+    name: String,
+    /// Generic parameters as declared (defaults stripped), e.g. `'a, T: Clone, const N: usize`.
+    params_decl: Vec<String>,
+    /// Generic arguments for the use site, e.g. `'a, T, N`.
+    params_use: Vec<String>,
+    /// Verbatim `where` clause body (without the `where` keyword), if any.
+    where_clause: Option<String>,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Option<Item> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+        // Find the item keyword at top level. Attribute bodies and doc
+        // comments are single `Group`/`Literal` trees, so a plain scan over
+        // top-level idents cannot be fooled by their contents.
+        let kw = tokens.iter().position(|t| {
+            matches!(t, TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union"))
+        })?;
+        let name = match tokens.get(kw + 1) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return None,
+        };
+
+        // Generic parameter list, if present.
+        let mut i = kw + 2;
+        let mut generic_tokens: Vec<TokenTree> = Vec::new();
+        if is_punct(tokens.get(i), '<') {
+            i += 1;
+            let mut depth = 1usize;
+            loop {
+                let tok = tokens.get(i)?;
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                generic_tokens.push(tok.clone());
+                i += 1;
+            }
+        }
+
+        // Optional `where` clause: everything from the `where` keyword up to
+        // the body brace group or the trailing `;` of a tuple/unit struct.
+        // Parenthesised tuple-struct fields are a single `Group`, so a
+        // top-level scan is sufficient.
+        let mut where_clause = None;
+        if let Some(w) = tokens[i..]
+            .iter()
+            .position(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "where"))
+        {
+            let rest = &tokens[i + w + 1..];
+            let end = rest
+                .iter()
+                .position(|t| {
+                    matches!(t, TokenTree::Group(g)
+                        if g.delimiter() == proc_macro::Delimiter::Brace)
+                        || is_punct(Some(t), ';')
+                })
+                .unwrap_or(rest.len());
+            where_clause = Some(tokens_to_string(&rest[..end]));
+        }
+
+        let (params_decl, params_use) = split_generics(&generic_tokens)?;
+        Some(Item {
+            name,
+            params_decl,
+            params_use,
+            where_clause,
+        })
+    }
+
+    /// Render `impl<extra, P...> Trait for Name<P...> where ... {}`.
+    fn impl_block(&self, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+        let mut decl: Vec<String> = Vec::new();
+        if let Some(lt) = extra_lifetime {
+            decl.push(lt.to_string());
+        }
+        decl.extend(self.params_decl.iter().cloned());
+
+        let mut out = String::from("#[automatically_derived]\nimpl");
+        if !decl.is_empty() {
+            out.push('<');
+            out.push_str(&decl.join(", "));
+            out.push('>');
+        }
+        out.push(' ');
+        out.push_str(trait_path);
+        out.push_str(" for ");
+        out.push_str(&self.name);
+        if !self.params_use.is_empty() {
+            out.push('<');
+            out.push_str(&self.params_use.join(", "));
+            out.push('>');
+        }
+        if let Some(w) = &self.where_clause {
+            out.push_str(" where ");
+            out.push_str(w);
+        }
+        out.push_str(" {}");
+        out.parse().unwrap_or_default()
+    }
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Split a generic parameter list into per-parameter declaration strings
+/// (defaults stripped) and use-site argument names.
+fn split_generics(tokens: &[TokenTree]) -> Option<(Vec<String>, Vec<String>)> {
+    let mut decl = Vec::new();
+    let mut used = Vec::new();
+    for param in split_top_level_commas(tokens) {
+        if param.is_empty() {
+            continue; // trailing comma
+        }
+        // Strip `= default` (type/const parameter defaults are not legal on
+        // impl blocks).
+        let cut = param
+            .iter()
+            .position(|t| is_punct(Some(t), '='))
+            .unwrap_or(param.len());
+        let param = &param[..cut];
+        decl.push(tokens_to_string(param));
+        used.push(param_name(param)?);
+    }
+    Some((decl, used))
+}
+
+/// Split on commas at angle-bracket depth zero. Parenthesised and bracketed
+/// token runs arrive as single `Group` trees, so only `<`/`>` need counting.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(tok.clone());
+    }
+    out
+}
+
+/// Extract the use-site name of one generic parameter: `'a` for lifetimes,
+/// `T` for `T: Bound`, `N` for `const N: usize`.
+fn param_name(param: &[TokenTree]) -> Option<String> {
+    match param.first()? {
+        TokenTree::Punct(p) if p.as_char() == '\'' => match param.get(1)? {
+            TokenTree::Ident(id) => Some(format!("'{id}")),
+            _ => None,
+        },
+        TokenTree::Ident(id) if id.to_string() == "const" => match param.get(1)? {
+            TokenTree::Ident(name) => Some(name.to_string()),
+            _ => None,
+        },
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Re-render tokens as source text, honouring joint punctuation spacing so
+/// multi-character tokens (`'a`, `::`, `=>`) survive the round trip.
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut joint = false;
+    for tok in tokens {
+        if !out.is_empty() && !joint {
+            out.push(' ');
+        }
+        out.push_str(&tok.to_string());
+        joint = matches!(tok, TokenTree::Punct(p) if p.spacing() == Spacing::Joint);
+    }
+    out
 }
