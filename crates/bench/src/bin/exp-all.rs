@@ -3,7 +3,11 @@
 //! transcript to stdout (tee it into `results/`).
 //!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-all`
-//! (set `PTEMAGNET_OPS` to trade fidelity for speed).
+//! (set `VMSIM_OPS` to trade fidelity for speed).
+//!
+//! Each section is also available as its own manifest under `manifests/`
+//! (`vmsim run manifests/table4.json`); this binary goes through the same
+//! driver but shares the Figure 5/6 sweep between both sections.
 
 use vmsim_bench::measure_ops_from_env;
 use vmsim_sim::{report, DEFAULT_MEASURE_OPS};

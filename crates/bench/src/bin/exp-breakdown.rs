@@ -7,22 +7,11 @@
 //! out to LLC/DRAM — "page walks within the host PT incur 4.4x more cache
 //! misses than within the guest PT" — and PTEMagnet pulls them back in.
 //!
+//! Thin wrapper over `manifests/breakdown.json` — edit the manifest or run
+//! it through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-breakdown`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{report, walk_breakdown};
-
 fn main() {
-    let ops = measure_ops_from_env(150_000);
-    for (allocator, counters) in walk_breakdown(0, ops) {
-        print!("{}", report::format_breakdown(&allocator, &counters));
-        let ratio = if counters.guest_pt.memory == 0 {
-            f64::INFINITY
-        } else {
-            counters.host_pt.memory as f64 / counters.guest_pt.memory as f64
-        };
-        println!(
-            "-> host-PT DRAM accesses are {ratio:.1}x the guest-PT's (paper: 4.4x under colocation)\n"
-        );
-    }
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/breakdown.json"));
 }

@@ -1,18 +1,11 @@
 //! Dumps the Figure 5/6 sweep (every benchmark × {default, PTEMagnet} with
 //! objdet) as CSV on stdout, for plotting outside the simulator.
 //!
+//! Thin wrapper over `manifests/csv.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-csv > fig6.csv`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{fig5_fig6, report, DEFAULT_MEASURE_OPS};
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let sweep = fig5_fig6(0, ops);
-    let mut runs = Vec::new();
-    for pair in sweep.pairs {
-        runs.push(pair.default);
-        runs.push(pair.ptemagnet);
-    }
-    print!("{}", report::runs_to_csv(&runs));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/csv.json"));
 }

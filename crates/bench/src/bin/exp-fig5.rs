@@ -1,13 +1,11 @@
 //! Regenerates **Figure 5** (§6.1): host-PT fragmentation per benchmark in
 //! colocation with objdet, with and without PTEMagnet (lower is better).
 //!
+//! Thin wrapper over `manifests/fig5.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-fig5`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{fig5_fig6, report, DEFAULT_MEASURE_OPS};
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let s = fig5_fig6(0, ops);
-    print!("{}", report::format_fig5(&s));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/fig5.json"));
 }

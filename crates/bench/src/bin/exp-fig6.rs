@@ -1,15 +1,11 @@
 //! Regenerates **Figure 6** (§6.1): per-benchmark performance improvement
 //! of PTEMagnet under colocation with objdet (paper: 4 % average, 9 % max).
 //!
+//! Thin wrapper over `manifests/fig6.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-fig6`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{fig5_fig6, report, DEFAULT_MEASURE_OPS};
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let s = fig5_fig6(0, ops);
-    print!("{}", report::format_improvement_figure(&s, "Figure 6"));
-    println!();
-    print!("{}", report::figure_as_bars(&s));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/fig6.json"));
 }

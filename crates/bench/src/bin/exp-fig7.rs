@@ -2,15 +2,11 @@
 //! of PTEMagnet under colocation with the full co-runner combination
 //! (paper: 3 % average, 5 % max).
 //!
+//! Thin wrapper over `manifests/fig7.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-fig7`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{fig7, report, DEFAULT_MEASURE_OPS};
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let s = fig7(0, ops);
-    print!("{}", report::format_improvement_figure(&s, "Figure 7"));
-    println!();
-    print!("{}", report::figure_as_bars(&s));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/fig7.json"));
 }

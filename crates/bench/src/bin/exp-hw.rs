@@ -3,27 +3,11 @@
 //! A.3.2 discussion generalized: the improvement tracks how much host-PT
 //! traffic the walks actually generate).
 //!
+//! Thin wrapper over `manifests/hw.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-hw`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::hw_sensitivity;
-
 fn main() {
-    let ops = measure_ops_from_env(120_000);
-    println!(
-        "Hardware sensitivity (stlb knob: omnetpp + objdet; nested-tlb knob: pagerank + objdet):"
-    );
-    println!(
-        "{:<12} {:>8} {:>10} {:>12}",
-        "knob", "entries", "tlb-miss", "improvement"
-    );
-    for row in hw_sensitivity(0, ops) {
-        println!(
-            "{:<12} {:>8} {:>9.1}% {:>+11.1}%",
-            row.knob,
-            row.value,
-            row.tlb_miss_ratio * 100.0,
-            row.improvement * 100.0
-        );
-    }
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/hw.json"));
 }

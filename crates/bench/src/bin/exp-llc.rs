@@ -5,16 +5,11 @@
 //! DRAM (improvement spikes), it bottoms out in the mid range, and grows
 //! again as capacity retains the packed lines — the paper's branch.
 //!
+//! Thin wrapper over `manifests/llc.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-llc`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::llc_sensitivity;
-
 fn main() {
-    let ops = measure_ops_from_env(150_000);
-    println!("LLC sensitivity: pagerank + objdet, PTEMagnet improvement by LLC size");
-    println!("{:<8} {:>12}", "LLC", "improvement");
-    for (mb, imp) in llc_sensitivity(0, ops, &[1, 2, 4, 16, 64]) {
-        println!("{:<8} {:>+11.1}%", format!("{mb} MB"), imp * 100.0);
-    }
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/llc.json"));
 }

@@ -2,33 +2,12 @@
 //! reservations (paper: never exceeds 0.2 % of the footprint), plus the
 //! adversarial every-eighth-page pattern discussed there.
 //!
+//! Thin wrapper over `manifests/sec62.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment. The adversarial case is
+//! part of the sec62 report.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-sec62`
 
-use ptemagnet::ReservationAllocator;
-use vmsim_bench::measure_ops_from_env;
-use vmsim_os::GuestOs;
-use vmsim_sim::{report, sec62, DEFAULT_MEASURE_OPS};
-use vmsim_types::GuestVirtPage;
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let rows = sec62(0, ops);
-    print!("{}", report::format_sec62(&rows));
-
-    // The §6.2 adversarial case: an application touching only every eighth
-    // page reserves 7× its footprint.
-    let mut guest = GuestOs::new(1 << 16, Box::new(ReservationAllocator::new()));
-    let pid = guest.spawn();
-    let va = guest.mmap(pid, 4096).expect("mmap");
-    for g in 0..512u64 {
-        guest
-            .page_fault(pid, GuestVirtPage::new(va.page().raw() + g * 8))
-            .expect("fault");
-    }
-    let unused = guest.allocator().reserved_unused_frames();
-    println!(
-        "\nAdversarial every-8th-page app: footprint 512 pages, reserved-unused {} pages ({}x)",
-        unused,
-        unused / 512
-    );
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/sec62.json"));
 }

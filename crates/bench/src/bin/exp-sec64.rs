@@ -2,16 +2,20 @@
 //! touch every page once, default kernel vs PTEMagnet (paper: PTEMagnet is
 //! ≈0.5 % *faster* — the reservation mechanism is overhead-free).
 //!
+//! Thin wrapper over `manifests/sec64.json`; the optional argument
+//! overrides the manifest's page count.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-sec64 [pages]`
 
-use vmsim_sim::{report, sec64};
+use vmsim_config::ExperimentSpec;
 
 fn main() {
-    // The paper's array is 60 GB; default to a scaled 256 MB (65536 pages).
-    let pages: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(65_536);
-    let r = sec64(pages);
-    print!("{}", report::format_sec64(&r));
+    let mut manifest =
+        vmsim_bench::parse_embedded(include_str!("../../../../manifests/sec64.json"));
+    // The paper's array is 60 GB; the manifest defaults to a scaled 256 MB
+    // (65536 pages).
+    if let Some(pages) = std::env::args().nth(1).and_then(|s| s.parse::<u64>().ok()) {
+        manifest.experiment = ExperimentSpec::AllocLatency { pages };
+    }
+    print!("{}", vmsim_bench::run_manifest(manifest).report());
 }

@@ -2,28 +2,11 @@
 //! SPEC'17 Integer benchmarks (low TLB pressure). Paper: improvements in
 //! the 0–1 % range and, critically, *no benchmark ever slows down*.
 //!
+//! Thin wrapper over `manifests/specint.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-specint`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::specint_zero_overhead;
-
 fn main() {
-    let ops = measure_ops_from_env(150_000);
-    println!("Zero-overhead check: low-TLB-pressure SPECint + objdet");
-    println!("{:<12} {:>12}", "benchmark", "improvement");
-    let rows = specint_zero_overhead(0, ops);
-    let mut worst = f64::INFINITY;
-    for (name, imp) in &rows {
-        println!("{name:<12} {:>+11.2}%", imp * 100.0);
-        worst = worst.min(*imp);
-    }
-    println!(
-        "\nWorst case: {:+.2}% — {}",
-        worst * 100.0,
-        if worst > -0.01 {
-            "PTEMagnet never slows anything down (paper's claim holds)"
-        } else {
-            "REGRESSION: the zero-overhead claim failed"
-        }
-    );
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/specint.json"));
 }

@@ -1,14 +1,12 @@
 //! Regenerates **Table 1** (§3.3): pagerank colocated with stress-ng vs
 //! standalone, default kernel, co-runner stopped after the allocation phase.
 //!
+//! Thin wrapper over `manifests/table1.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-table1`
-//! (set `PTEMAGNET_OPS` to change the measured-op count).
-
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{report, table1, DEFAULT_MEASURE_OPS};
+//! (set `VMSIM_OPS` to change the measured-op count).
 
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let t = table1(0, ops);
-    print!("{}", report::format_table1(&t));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/table1.json"));
 }

@@ -1,13 +1,11 @@
 //! Regenerates **Table 4** (§6.3): pagerank + objdet, PTEMagnet vs the
 //! default kernel, with the co-runner running throughout.
 //!
+//! Thin wrapper over `manifests/table4.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-table4`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{report, table4, DEFAULT_MEASURE_OPS};
-
 fn main() {
-    let ops = measure_ops_from_env(DEFAULT_MEASURE_OPS);
-    let t = table4(0, ops);
-    print!("{}", report::format_table4(&t));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/table4.json"));
 }

@@ -7,13 +7,11 @@
 //! fails and its benefit evaporates, while PTEMagnet's order-3 reservations
 //! still succeed — the paper's argument for fine-grained reservation.
 //!
+//! Thin wrapper over `manifests/thp.json` — edit the manifest or run it
+//! through `vmsim run` to change the experiment.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-thp`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{report, thp_study};
-
 fn main() {
-    let ops = measure_ops_from_env(150_000);
-    let s = thp_study(0, ops);
-    print!("{}", report::format_thp(&s));
+    vmsim_bench::run_embedded_manifest(include_str!("../../../../manifests/thp.json"));
 }

@@ -3,54 +3,16 @@
 //! exceed 2%". Seeds stand in for runs (the simulator is deterministic per
 //! seed).
 //!
+//! Thin wrapper over `manifests/variance.json`; the optional argument
+//! overrides the manifest's seed list with `0..seeds`.
+//!
 //! Usage: `cargo run --release -p vmsim-bench --bin exp-variance [seeds]`
 
-use vmsim_bench::measure_ops_from_env;
-use vmsim_sim::{AllocatorKind, Replication, Scenario};
-use vmsim_workloads::{BenchId, CoId};
-
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let ops = measure_ops_from_env(150_000);
-    println!("Variance study: pagerank + objdet across {seeds} seeds, {ops} ops each");
-    println!(
-        "{:<11} {:>10} {:>22}",
-        "allocator", "cv", "improvement (mean±sd)"
-    );
-
-    let replicate = |kind: AllocatorKind| {
-        Replication::across(0..seeds, |seed| {
-            Scenario::new(BenchId::Pagerank)
-                .corunners(&[CoId::Objdet])
-                .corunner_weight(4)
-                .allocator(kind)
-                .measure_ops(ops)
-                .seed(seed)
-                .run()
-        })
-    };
-    let base = replicate(AllocatorKind::Default);
-    let pm = replicate(AllocatorKind::PteMagnet);
-    println!(
-        "{:<11} {:>9.2}% {:>22}",
-        "default",
-        base.cycles().cv() * 100.0,
-        "-"
-    );
-    let imp = pm.improvement_over(&base);
-    println!(
-        "{:<11} {:>9.2}% {:>14.1}% ± {:.1}%",
-        "ptemagnet",
-        pm.cycles().cv() * 100.0,
-        imp.mean * 100.0,
-        imp.stddev * 100.0
-    );
-    println!(
-        "\nPaper: execution-time stddev over 40 runs <= 2%. Measured cv: {:.2}% / {:.2}%.",
-        base.cycles().cv() * 100.0,
-        pm.cycles().cv() * 100.0
-    );
+    let mut manifest =
+        vmsim_bench::parse_embedded(include_str!("../../../../manifests/variance.json"));
+    if let Some(seeds) = std::env::args().nth(1).and_then(|s| s.parse::<u64>().ok()) {
+        manifest.seeds = (0..seeds.max(2)).collect();
+    }
+    print!("{}", vmsim_bench::run_manifest(manifest).report());
 }

@@ -5,20 +5,54 @@
 //! (b) a Criterion bench in `benches/` that measures the mechanism behind
 //! the experiment and prints a reduced-scale version of the same rows.
 //!
-//! Scale control: the `PTEMAGNET_OPS` environment variable sets the number
-//! of measured steady-state operations per run (default
-//! [`vmsim_sim::DEFAULT_MEASURE_OPS`] for binaries, a reduced count for
-//! benches).
+//! Scale control: the `VMSIM_OPS` environment variable (deprecated alias
+//! `PTEMAGNET_OPS`) sets the number of measured steady-state operations per
+//! run (default [`vmsim_sim::DEFAULT_MEASURE_OPS`] for binaries, a reduced
+//! count for benches).
 
+use vmsim_config::ExperimentManifest;
 use vmsim_os::{Machine, MachineConfig};
+use vmsim_sim::driver::ManifestRun;
 use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
 
-/// Reads the measured-op count from `PTEMAGNET_OPS`, with a fallback.
+/// Reads the measured-op count from `VMSIM_OPS` (or the deprecated
+/// `PTEMAGNET_OPS` alias), with a fallback. Delegates to
+/// `vmsim_config::env`, the single environment-parsing point.
 pub fn measure_ops_from_env(default: u64) -> u64 {
-    std::env::var("PTEMAGNET_OPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    vmsim_config::env::measure_ops_or(default)
+}
+
+/// Parses a manifest baked into an `exp-*` binary with `include_str!`.
+///
+/// # Panics
+///
+/// Panics if the manifest does not parse — checked-in manifests are
+/// validated in CI (`vmsim validate manifests/*.json`), so this is a build
+/// defect, not a user error.
+pub fn parse_embedded(json: &str) -> ExperimentManifest {
+    ExperimentManifest::from_json(json).expect("checked-in manifest must parse")
+}
+
+/// Runs a manifest with the `VMSIM_OPS` override applied — the shared body
+/// of every `exp-*` binary.
+///
+/// # Panics
+///
+/// Panics if the manifest fails validation or names an unknown policy.
+pub fn run_manifest(mut manifest: ExperimentManifest) -> ManifestRun {
+    manifest.measure_ops = measure_ops_from_env(manifest.measure_ops);
+    vmsim_sim::driver::run_manifest(&manifest)
+        .unwrap_or_else(|e| panic!("manifest '{}': {e}", manifest.name))
+}
+
+/// The whole `main` of a typical `exp-*` binary: parse the embedded
+/// manifest, apply the `VMSIM_OPS` override, run, print the paper report.
+///
+/// # Panics
+///
+/// Panics if the manifest does not parse or fails to run.
+pub fn run_embedded_manifest(json: &str) {
+    print!("{}", run_manifest(parse_embedded(json)).report());
 }
 
 /// Builds a small machine with `pages` of one process's memory mapped and
@@ -63,7 +97,8 @@ mod tests {
 
     #[test]
     fn env_override_parses() {
-        // Not setting the variable: default wins.
+        // Not setting either variable: default wins.
+        std::env::remove_var("VMSIM_OPS");
         std::env::remove_var("PTEMAGNET_OPS");
         assert_eq!(measure_ops_from_env(123), 123);
     }

@@ -1,0 +1,392 @@
+//! Canonical manifests for every experiment of the paper's evaluation.
+//!
+//! Each builder produces exactly the matrix the corresponding pre-manifest
+//! experiment function hand-constructed — same benchmarks, co-runners,
+//! weights, protocols, machine overrides, and seed derivations — so a
+//! manifest-driven run is bit-identical to the legacy path. The checked-in
+//! files under `manifests/` are these builders at their default parameters,
+//! emitted in canonical form (`vmsim emit` regenerates them; golden tests
+//! pin the bytes).
+
+use vmsim_workloads::{BenchId, CoId};
+
+use crate::manifest::{
+    ExperimentManifest, ExperimentSpec, MatrixSpec, PolicySpec, ReportKind, SimConfig, WorkloadSpec,
+};
+use crate::obs::ObsConfig;
+use crate::DEFAULT_MEASURE_OPS;
+
+fn policies(names: &[&str]) -> Vec<PolicySpec> {
+    names.iter().map(|&n| PolicySpec::new(n)).collect()
+}
+
+fn matrix(
+    name: &str,
+    description: &str,
+    seeds: Vec<u64>,
+    measure_ops: u64,
+    report: ReportKind,
+    policy_names: &[&str],
+    workloads: Vec<WorkloadSpec>,
+) -> ExperimentManifest {
+    ExperimentManifest {
+        name: name.to_string(),
+        description: description.to_string(),
+        seeds,
+        measure_ops,
+        obs: ObsConfig::disabled(),
+        sim: None,
+        experiment: ExperimentSpec::Matrix(MatrixSpec {
+            report,
+            policies: policies(policy_names),
+            workloads,
+        }),
+    }
+}
+
+/// The standard colocation of the main evaluation: benchmark + objdet at
+/// weight 4 (Figures 5–7, Table 4, the sensitivity studies).
+fn with_objdet(bench: BenchId) -> WorkloadSpec {
+    WorkloadSpec::new(bench.name()).with_corunners(&[CoId::Objdet], 4)
+}
+
+/// Table 1 (§3.3): pagerank + stress-ng vs standalone, default kernel,
+/// co-runner stopped after the allocation phase.
+pub fn table1(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    let colocated = WorkloadSpec {
+        stop_corunners_after_init: true,
+        ..WorkloadSpec::new(BenchId::Pagerank.name()).with_corunners(&[CoId::StressNg], 3)
+    }
+    .labeled("colocated");
+    matrix(
+        "table1",
+        "Table 1 (sec 3.3): pagerank colocated with stress-ng vs standalone, default kernel",
+        vec![seed],
+        measure_ops,
+        ReportKind::Table1,
+        &["default"],
+        vec![
+            WorkloadSpec::new(BenchId::Pagerank.name()).labeled("standalone"),
+            colocated,
+        ],
+    )
+}
+
+/// Table 4 (§6.3): pagerank + objdet, default vs PTEMagnet, co-runner
+/// running throughout.
+pub fn table4(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    matrix(
+        "table4",
+        "Table 4 (sec 6.3): pagerank + objdet, PTEMagnet vs default, co-runner throughout",
+        vec![seed],
+        measure_ops,
+        ReportKind::Table4,
+        &["default", "ptemagnet"],
+        vec![with_objdet(BenchId::Pagerank)],
+    )
+}
+
+fn sweep_workloads(corunners: &[CoId], weight: u32) -> Vec<WorkloadSpec> {
+    BenchId::ALL
+        .iter()
+        .map(|&b| WorkloadSpec::new(b.name()).with_corunners(corunners, weight))
+        .collect()
+}
+
+fn objdet_sweep(
+    name: &str,
+    description: &str,
+    report: ReportKind,
+    seed: u64,
+    measure_ops: u64,
+) -> ExperimentManifest {
+    matrix(
+        name,
+        description,
+        vec![seed],
+        measure_ops,
+        report,
+        &["default", "ptemagnet"],
+        sweep_workloads(&[CoId::Objdet], 4),
+    )
+}
+
+/// Figure 5 (§6.1): host-PT fragmentation per benchmark, objdet colocation.
+pub fn fig5(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    objdet_sweep(
+        "fig5",
+        "Figure 5 (sec 6.1): host PT fragmentation per benchmark in colocation with objdet",
+        ReportKind::Fig5,
+        seed,
+        measure_ops,
+    )
+}
+
+/// Figure 6 (§6.1): per-benchmark improvement, objdet colocation.
+pub fn fig6(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    objdet_sweep(
+        "fig6",
+        "Figure 6 (sec 6.1): per-benchmark improvement of PTEMagnet in colocation with objdet",
+        ReportKind::Fig6,
+        seed,
+        measure_ops,
+    )
+}
+
+/// Figure 7 (§6.1): per-benchmark improvement, full co-runner combination.
+pub fn fig7(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    matrix(
+        "fig7",
+        "Figure 7 (sec 6.1): per-benchmark improvement of PTEMagnet with the co-runner combination",
+        vec![seed],
+        measure_ops,
+        ReportKind::Fig7,
+        &["default", "ptemagnet"],
+        sweep_workloads(&CoId::COMBINATION, 1),
+    )
+}
+
+/// The Figure 5/6 sweep dumped as CSV for external plotting.
+pub fn csv(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    objdet_sweep(
+        "csv",
+        "Figure 5/6 sweep (benchmark x {default, ptemagnet} with objdet) as CSV on stdout",
+        ReportKind::Csv,
+        seed,
+        measure_ops,
+    )
+}
+
+/// §6.2: reserved-but-unused incidence with PTEMagnet across all
+/// benchmarks (objdet colocation at the legacy weight 1).
+pub fn sec62(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    matrix(
+        "sec62",
+        "Sec 6.2: incidence of non-allocated pages within reservations (fraction of footprint)",
+        vec![seed],
+        measure_ops,
+        ReportKind::Sec62,
+        &["ptemagnet"],
+        BenchId::ALL
+            .iter()
+            .map(|&b| WorkloadSpec::new(b.name()).with_corunners(&[CoId::Objdet], 1))
+            .collect(),
+    )
+}
+
+/// THP study (§2.3): default vs THP vs PTEMagnet under fresh and
+/// pre-fragmented memory (largest free runs = 16 frames).
+pub fn thp(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    let fragmented = WorkloadSpec {
+        prefragment_run: Some(16),
+        ..with_objdet(BenchId::Pagerank)
+    }
+    .labeled("fragmented");
+    matrix(
+        "thp",
+        "THP study (sec 2.3): transparent huge pages vs PTEMagnet under fresh and fragmented memory",
+        vec![seed],
+        measure_ops,
+        ReportKind::Thp,
+        &["default", "thp", "ptemagnet"],
+        vec![with_objdet(BenchId::Pagerank).labeled("fresh"), fragmented],
+    )
+}
+
+/// §6.1 zero-overhead check: low-TLB-pressure SPECint, averaged over three
+/// seed replicas (the legacy `seed + 101·k` derivation).
+pub fn specint(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    matrix(
+        "specint",
+        "Sec 6.1 zero-overhead check: low-TLB-pressure SPECint + objdet, three-seed average",
+        (0..3).map(|k| seed.wrapping_add(k * 101)).collect(),
+        measure_ops,
+        ReportKind::Specint,
+        &["default", "ptemagnet"],
+        BenchId::SPECINT_LOW_PRESSURE
+            .iter()
+            .map(|&b| with_objdet(b))
+            .collect(),
+    )
+}
+
+/// §6.1 run-to-run variance: pagerank + objdet replicated across seeds.
+pub fn variance(seeds: u64, measure_ops: u64) -> ExperimentManifest {
+    matrix(
+        "variance",
+        "Sec 6.1 variance: execution-time spread of pagerank + objdet across seeds",
+        (0..seeds.max(2)).collect(),
+        measure_ops,
+        ReportKind::Variance,
+        &["default", "ptemagnet"],
+        vec![with_objdet(BenchId::Pagerank).labeled("pagerank + objdet")],
+    )
+}
+
+/// Artifact appendix A.3.2: improvement as a function of LLC capacity.
+pub fn llc(seed: u64, measure_ops: u64, llc_mbs: &[u64]) -> ExperimentManifest {
+    matrix(
+        "llc",
+        "Artifact appendix A.3.2: PTEMagnet improvement (pagerank + objdet) by LLC capacity",
+        vec![seed],
+        measure_ops,
+        ReportKind::Llc,
+        &["default", "ptemagnet"],
+        llc_mbs
+            .iter()
+            .map(|&mb| {
+                with_objdet(BenchId::Pagerank)
+                    .labeled(format!("{mb} MB"))
+                    .with_sim(SimConfig {
+                        llc_mb: Some(mb),
+                        ..SimConfig::default()
+                    })
+            })
+            .collect(),
+    )
+}
+
+/// Hardware sensitivity: STLB reach (omnetpp) and nested-TLB capacity
+/// (pagerank), both + objdet.
+pub fn hw(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    let stlb = [384usize, 1536, 12_288].into_iter().map(|entries| {
+        with_objdet(BenchId::Omnetpp)
+            .labeled(format!("stlb:{entries}"))
+            .with_sim(SimConfig {
+                stlb_entries: Some(entries),
+                ..SimConfig::default()
+            })
+    });
+    let nested = [16usize, 64, 256].into_iter().map(|entries| {
+        with_objdet(BenchId::Pagerank)
+            .labeled(format!("nested-tlb:{entries}"))
+            .with_sim(SimConfig {
+                nested_tlb_entries: Some(entries),
+                ..SimConfig::default()
+            })
+    });
+    matrix(
+        "hw",
+        "Hardware sensitivity: PTEMagnet improvement vs STLB reach and nested-TLB capacity",
+        vec![seed],
+        measure_ops,
+        ReportKind::Hw,
+        &["default", "ptemagnet"],
+        stlb.chain(nested).collect(),
+    )
+}
+
+/// §6.4 allocation-latency microbenchmark (not a scenario run).
+pub fn sec64(pages: u64) -> ExperimentManifest {
+    ExperimentManifest {
+        name: "sec64".to_string(),
+        description:
+            "Sec 6.4: allocation microbenchmark, default vs PTEMagnet over a first-touched array"
+                .to_string(),
+        seeds: vec![0],
+        measure_ops: 1,
+        obs: ObsConfig::disabled(),
+        sim: None,
+        experiment: ExperimentSpec::AllocLatency { pages },
+    }
+}
+
+/// §1/§3.2 walk-source breakdown (raw per-level counter capture).
+pub fn breakdown(seed: u64, measure_ops: u64) -> ExperimentManifest {
+    ExperimentManifest {
+        name: "breakdown".to_string(),
+        description:
+            "Sec 1/3.2 walk-source analysis: where each PT level's accesses are served from"
+                .to_string(),
+        seeds: vec![seed],
+        measure_ops,
+        obs: ObsConfig::disabled(),
+        sim: None,
+        experiment: ExperimentSpec::WalkBreakdown,
+    }
+}
+
+/// Tiny observability-enabled matrix for CI smoke runs: solo gcc on a small
+/// machine, both headline policies, tracing and epoch sampling on.
+pub fn smoke() -> ExperimentManifest {
+    let mut m = matrix(
+        "smoke",
+        "CI smoke: solo gcc on a small machine, default vs PTEMagnet, observability on",
+        vec![0],
+        5_000,
+        ReportKind::Runs,
+        &["default", "ptemagnet"],
+        vec![WorkloadSpec::new(BenchId::Gcc.name())],
+    );
+    m.obs = ObsConfig::enabled(1_000);
+    m.sim = Some(SimConfig {
+        guest_mb: Some(256),
+        cores: Some(2),
+        ..SimConfig::default()
+    });
+    m
+}
+
+/// Every checked-in manifest at its default parameters, in `manifests/`
+/// directory order. `vmsim emit` writes these; the golden tests pin them.
+pub fn all() -> Vec<ExperimentManifest> {
+    vec![
+        table1(0, DEFAULT_MEASURE_OPS),
+        table4(0, DEFAULT_MEASURE_OPS),
+        fig5(0, DEFAULT_MEASURE_OPS),
+        fig6(0, DEFAULT_MEASURE_OPS),
+        fig7(0, DEFAULT_MEASURE_OPS),
+        csv(0, DEFAULT_MEASURE_OPS),
+        sec62(0, DEFAULT_MEASURE_OPS),
+        thp(0, 150_000),
+        specint(0, 150_000),
+        variance(8, 150_000),
+        llc(0, 150_000, &[1, 2, 4, 16, 64]),
+        hw(0, 120_000),
+        sec64(65_536),
+        breakdown(0, 150_000),
+        smoke(),
+    ]
+}
+
+/// Looks up a builtin manifest by name.
+pub fn by_name(name: &str) -> Option<ExperimentManifest> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_validates_and_round_trips() {
+        let manifests = all();
+        assert_eq!(manifests.len(), 15);
+        for m in manifests {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let json = m.to_json();
+            let back =
+                ExperimentManifest::from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert_eq!(back, m, "{} parse-identity", m.name);
+            assert_eq!(back.to_json(), json, "{} canonical fixpoint", m.name);
+        }
+    }
+
+    #[test]
+    fn builtin_names_are_unique_and_resolvable() {
+        let manifests = all();
+        for m in &manifests {
+            assert_eq!(by_name(&m.name).as_ref(), Some(m));
+        }
+        let mut names: Vec<_> = manifests.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), manifests.len());
+    }
+
+    #[test]
+    fn specint_seeds_use_legacy_derivation() {
+        let m = specint(7, 1000);
+        assert_eq!(m.seeds, vec![7, 108, 209]);
+    }
+}

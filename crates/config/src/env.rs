@@ -1,0 +1,284 @@
+//! The canonical environment-variable override parser.
+//!
+//! Every runtime override the simulator honours is parsed **here and only
+//! here**, with one canonical `VMSIM_*` name per knob:
+//!
+//! | Variable          | Meaning                                             |
+//! |-------------------|-----------------------------------------------------|
+//! | `VMSIM_OPS`       | Measured steady-state operations per run            |
+//! | `VMSIM_THREADS`   | Worker-pool size (`0` or unset = one per core)      |
+//! | `VMSIM_TRACE`     | Event tracing: `0` off, `1` on, `n > 1` ring size   |
+//! | `VMSIM_EPOCH_OPS` | Registry-snapshot sampling interval (`0` = off)     |
+//!
+//! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
+//! warns once per process on use.
+//!
+//! Parsers are strict: a set-but-malformed value is an [`EnvError`], never a
+//! silent fallback to the default. Callers that cannot fail (Criterion
+//! benches, the worker pool) use the `*_or` lenient wrappers, which warn
+//! once on stderr before falling back. `vmsim validate` surfaces the same
+//! errors via [`check`].
+
+use std::sync::Once;
+
+/// Canonical name for the measured-op count override.
+pub const VAR_OPS: &str = "VMSIM_OPS";
+/// Deprecated alias for [`VAR_OPS`] (the pre-unification name).
+pub const VAR_OPS_DEPRECATED: &str = "PTEMAGNET_OPS";
+/// Worker-pool size for scenario-level fan-out.
+pub const VAR_THREADS: &str = "VMSIM_THREADS";
+/// Event-tracer toggle / ring capacity.
+pub const VAR_TRACE: &str = "VMSIM_TRACE";
+/// Epoch-sampling interval in machine ops.
+pub const VAR_EPOCH_OPS: &str = "VMSIM_EPOCH_OPS";
+
+/// A set-but-invalid environment override.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvError {
+    /// Which variable was malformed.
+    pub var: &'static str,
+    /// The offending value.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl core::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Reads a variable, treating unset and all-whitespace as absent.
+fn raw(var: &str) -> Option<String> {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => Some(v.trim().to_string()),
+        _ => None,
+    }
+}
+
+fn parse_u64(var: &'static str, value: String) -> Result<u64, EnvError> {
+    value.parse::<u64>().map_err(|_| EnvError {
+        var,
+        value,
+        reason: "expected an unsigned integer",
+    })
+}
+
+fn warn_once(once: &'static Once, message: &str) {
+    once.call_once(|| eprintln!("vmsim: warning: {message}"));
+}
+
+/// Measured-op override: `VMSIM_OPS`, falling back to the deprecated
+/// `PTEMAGNET_OPS` alias (which warns once per process).
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the active variable is set but not a positive
+/// integer.
+pub fn measure_ops() -> Result<Option<u64>, EnvError> {
+    static DEPRECATED: Once = Once::new();
+    let (var, value) = match raw(VAR_OPS) {
+        Some(v) => (VAR_OPS, v),
+        None => match raw(VAR_OPS_DEPRECATED) {
+            Some(v) => {
+                warn_once(
+                    &DEPRECATED,
+                    "PTEMAGNET_OPS is deprecated; use VMSIM_OPS instead",
+                );
+                (VAR_OPS_DEPRECATED, v)
+            }
+            None => return Ok(None),
+        },
+    };
+    let n = parse_u64(var, value.clone())?;
+    if n == 0 {
+        return Err(EnvError {
+            var,
+            value,
+            reason: "measured-op count must be positive",
+        });
+    }
+    Ok(Some(n))
+}
+
+/// Lenient wrapper over [`measure_ops`] for infallible call sites
+/// (Criterion benches): a malformed value warns once and yields `default`.
+pub fn measure_ops_or(default: u64) -> u64 {
+    static MALFORMED: Once = Once::new();
+    match measure_ops() {
+        Ok(Some(n)) => n,
+        Ok(None) => default,
+        Err(e) => {
+            warn_once(&MALFORMED, &format!("ignoring malformed {e}"));
+            default
+        }
+    }
+}
+
+/// Worker-pool override: `VMSIM_THREADS`. `None` means "one worker per
+/// available core" (unset or explicitly `0`).
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not an unsigned integer.
+pub fn threads() -> Result<Option<usize>, EnvError> {
+    match raw(VAR_THREADS) {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Ok(None),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(EnvError {
+                var: VAR_THREADS,
+                value: v,
+                reason: "expected an unsigned integer (0 = one per core)",
+            }),
+        },
+    }
+}
+
+/// Lenient wrapper over [`threads`]: a malformed value warns once and
+/// yields `None` (auto).
+pub fn threads_or_auto() -> Option<usize> {
+    static MALFORMED: Once = Once::new();
+    match threads() {
+        Ok(t) => t,
+        Err(e) => {
+            warn_once(&MALFORMED, &format!("ignoring malformed {e}"));
+            None
+        }
+    }
+}
+
+/// Tracer override: `VMSIM_TRACE`. `None` = tracing off; `Some(capacity)` =
+/// tracing on with that ring capacity (`1` selects the default capacity).
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not an unsigned integer.
+pub fn trace() -> Result<Option<usize>, EnvError> {
+    match raw(VAR_TRACE) {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => Ok(None),
+            Ok(1) => Ok(Some(vmsim_obs::DEFAULT_CAPACITY)),
+            Ok(n) => Ok(Some(n as usize)),
+            Err(_) => Err(EnvError {
+                var: VAR_TRACE,
+                value: v,
+                reason: "expected 0 (off), 1 (on), or a ring capacity",
+            }),
+        },
+    }
+}
+
+/// Epoch-sampling override: `VMSIM_EPOCH_OPS`. `None` = sampling off.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not an unsigned integer.
+pub fn epoch_ops() -> Result<Option<u64>, EnvError> {
+    match raw(VAR_EPOCH_OPS) {
+        None => Ok(None),
+        Some(v) => match parse_u64(VAR_EPOCH_OPS, v)? {
+            0 => Ok(None),
+            n => Ok(Some(n)),
+        },
+    }
+}
+
+/// Validates every recognized override, returning all errors (empty =
+/// clean environment). `vmsim validate` prints these.
+pub fn check() -> Vec<EnvError> {
+    let mut errors = Vec::new();
+    if let Err(e) = measure_ops() {
+        errors.push(e);
+    }
+    if let Err(e) = threads() {
+        errors.push(e);
+    }
+    if let Err(e) = trace() {
+        errors.push(e);
+    }
+    if let Err(e) = epoch_ops() {
+        errors.push(e);
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Env vars are process-global; every combination runs in one test to
+    /// avoid racing parallel test threads on the same variables.
+    #[test]
+    fn strict_parsing_and_aliases() {
+        for var in [
+            VAR_OPS,
+            VAR_OPS_DEPRECATED,
+            VAR_THREADS,
+            VAR_TRACE,
+            VAR_EPOCH_OPS,
+        ] {
+            std::env::remove_var(var);
+        }
+        assert_eq!(measure_ops(), Ok(None));
+        assert_eq!(threads(), Ok(None));
+        assert_eq!(trace(), Ok(None));
+        assert_eq!(epoch_ops(), Ok(None));
+        assert!(check().is_empty());
+
+        // Canonical name wins; deprecated alias still honoured.
+        std::env::set_var(VAR_OPS_DEPRECATED, "1000");
+        assert_eq!(measure_ops(), Ok(Some(1000)));
+        std::env::set_var(VAR_OPS, "2000");
+        assert_eq!(measure_ops(), Ok(Some(2000)));
+
+        // Malformed values are errors, not silent defaults.
+        std::env::set_var(VAR_OPS, "lots");
+        assert!(measure_ops().is_err());
+        assert_eq!(measure_ops_or(77), 77);
+        std::env::set_var(VAR_OPS, "0");
+        assert!(measure_ops().is_err());
+
+        std::env::set_var(VAR_THREADS, "8");
+        assert_eq!(threads(), Ok(Some(8)));
+        std::env::set_var(VAR_THREADS, "0");
+        assert_eq!(threads(), Ok(None));
+        std::env::set_var(VAR_THREADS, "many");
+        assert!(threads().is_err());
+        assert_eq!(threads_or_auto(), None);
+
+        std::env::set_var(VAR_TRACE, "1");
+        assert_eq!(trace(), Ok(Some(vmsim_obs::DEFAULT_CAPACITY)));
+        std::env::set_var(VAR_TRACE, "4096");
+        assert_eq!(trace(), Ok(Some(4096)));
+        std::env::set_var(VAR_TRACE, "yes");
+        assert!(trace().is_err());
+
+        std::env::set_var(VAR_EPOCH_OPS, "500");
+        assert_eq!(epoch_ops(), Ok(Some(500)));
+        std::env::set_var(VAR_EPOCH_OPS, "soon");
+        assert!(epoch_ops().is_err());
+
+        // check() reports every malformed variable at once.
+        let errors = check();
+        assert_eq!(errors.len(), 4);
+        for var in [VAR_OPS, VAR_THREADS, VAR_TRACE, VAR_EPOCH_OPS] {
+            assert!(errors.iter().any(|e| e.var == var), "{var} reported");
+        }
+
+        for var in [
+            VAR_OPS,
+            VAR_OPS_DEPRECATED,
+            VAR_THREADS,
+            VAR_TRACE,
+            VAR_EPOCH_OPS,
+        ] {
+            std::env::remove_var(var);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Typed, serializable configuration for the PTEMagnet reproduction.
+//!
+//! This crate is the single place where "what to run" is described and
+//! parsed:
+//!
+//! * [`manifest`] — [`ExperimentManifest`] and its parts
+//!   ([`SimConfig`], [`WorkloadSpec`], [`PolicySpec`]): the full evaluation
+//!   matrix (policies × workloads × seeds × observability) as data, JSON
+//!   round-trippable through the `vmsim-obs` parser;
+//! * [`builtin`] — canonical manifests for every table/figure of the paper,
+//!   mirrored by the checked-in `manifests/` directory;
+//! * [`env`](mod@env) — the canonical environment-override parser (`VMSIM_OPS`,
+//!   `VMSIM_THREADS`, `VMSIM_TRACE`, `VMSIM_EPOCH_OPS`; `PTEMAGNET_OPS`
+//!   kept as a deprecated alias), strict by default;
+//! * [`obs`] — [`ObsConfig`], the per-run observability knobs carried by
+//!   every manifest.
+//!
+//! Policy names are resolved to allocators by the registry in
+//! `ptemagnet::registry` (with `vmsim_os::resolve_os_policy` handling the
+//! OS-native `default`); the driver in `vmsim-sim` executes manifests; the
+//! `vmsim` CLI fronts the whole thing.
+
+pub mod builtin;
+pub mod env;
+pub mod manifest;
+pub mod obs;
+
+pub use env::EnvError;
+pub use manifest::{
+    ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
+    SimConfig, WorkloadSpec,
+};
+pub use obs::ObsConfig;
+
+/// Default measured steady-state operations per run (the full-scale setting
+/// of every headline experiment).
+pub const DEFAULT_MEASURE_OPS: u64 = 300_000;

@@ -1,0 +1,944 @@
+//! The typed experiment-manifest layer.
+//!
+//! An [`ExperimentManifest`] declares a full evaluation matrix — policies ×
+//! workloads × replication seeds, plus machine and observability knobs — as
+//! data. Every paper experiment is a manifest (see [`crate::builtin`] and
+//! the checked-in `manifests/` directory); the `vmsim` CLI and the
+//! `vmsim-sim` driver consume manifests directly, so new policies and
+//! workloads are data, not new binaries.
+//!
+//! Serialization is plain JSON via the `vmsim-obs` parser/writer (the
+//! workspace has no `serde_json`): [`ExperimentManifest::to_json`] emits a
+//! canonical pretty form and [`ExperimentManifest::from_json`] accepts any
+//! RFC 8259 document with the right shape. `to_json ∘ from_json` is
+//! byte-identical on canonical input — the golden tests in this crate pin
+//! that for every checked-in manifest.
+
+use std::fmt::Write as _;
+
+use vmsim_obs::json::{self, Json};
+use vmsim_os::CostModel;
+use vmsim_workloads::{BenchId, CoId};
+
+use crate::obs::ObsConfig;
+
+/// A structurally or semantically invalid manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestError {
+    /// Where in the document the problem is (`$.experiment.workloads[2]`).
+    pub context: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl ManifestError {
+    fn new(context: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+type Result<T> = core::result::Result<T, ManifestError>;
+
+/// A named guest frame-allocation policy, resolved to a concrete allocator
+/// by the registry in `ptemagnet::registry`.
+///
+/// Known names: `default`, `ptemagnet`, `thp`, `ca-paging-like`, and the
+/// parameterized granularity ablation `granular:N` (N ∈ {1, 2, 4, 8, 16}).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PolicySpec(String);
+
+impl PolicySpec {
+    /// Wraps a policy name. Resolution happens in the registry.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The policy name as written in the manifest.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl core::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PolicySpec {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+/// Machine/cache/cost-model overrides over the paper's platform
+/// ([`vmsim_os::MachineConfig::paper`]). `None` everywhere = the exact
+/// legacy configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimConfig {
+    /// VM RAM in MB (default 1024).
+    pub guest_mb: Option<u64>,
+    /// Simulated cores (default: 1 + co-runner count).
+    pub cores: Option<usize>,
+    /// LLC capacity in MB (16-way, as in the LLC-sensitivity study).
+    pub llc_mb: Option<u64>,
+    /// L2 STLB entries.
+    pub stlb_entries: Option<usize>,
+    /// Nested-TLB entries.
+    pub nested_tlb_entries: Option<usize>,
+    /// Software-event cycle costs (full override).
+    pub cost: Option<CostModel>,
+}
+
+impl SimConfig {
+    /// Whether every knob is at its default.
+    pub fn is_vanilla(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Resolves the spec to a concrete [`vmsim_os::MachineConfig`],
+    /// starting from the paper platform with `default_cores` cores.
+    pub fn to_machine_config(&self, default_cores: usize) -> vmsim_os::MachineConfig {
+        let cores = self.cores.unwrap_or(default_cores);
+        let guest_mb = self.guest_mb.unwrap_or(1024);
+        let mut config = vmsim_os::MachineConfig::paper(cores, guest_mb);
+        if let Some(mb) = self.llc_mb {
+            config.hierarchy.llc = vmsim_cache::CacheConfig::from_capacity(mb * 1024 * 1024, 16);
+        }
+        if let Some(entries) = self.stlb_entries {
+            config.tlb.l2_entries = entries;
+        }
+        if let Some(entries) = self.nested_tlb_entries {
+            config.pwc.nested_tlb_entries = entries;
+        }
+        if let Some(cost) = self.cost {
+            config.cost = cost;
+        }
+        config
+    }
+
+    /// Layers `over` on top of `self`: any knob set in `over` wins.
+    pub fn overlaid(&self, over: &SimConfig) -> SimConfig {
+        SimConfig {
+            guest_mb: over.guest_mb.or(self.guest_mb),
+            cores: over.cores.or(self.cores),
+            llc_mb: over.llc_mb.or(self.llc_mb),
+            stlb_entries: over.stlb_entries.or(self.stlb_entries),
+            nested_tlb_entries: over.nested_tlb_entries.or(self.nested_tlb_entries),
+            cost: over.cost.or(self.cost),
+        }
+    }
+}
+
+/// One workload configuration: benchmark + colocation + memory condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display label for reports (`None` = derived from the benchmark and
+    /// co-runner names).
+    pub label: Option<String>,
+    /// Benchmark name ([`BenchId`] display name).
+    pub benchmark: String,
+    /// Co-runner names ([`CoId`] display names).
+    pub corunners: Vec<String>,
+    /// Co-runner scheduling weight (ops per benchmark op).
+    pub corunner_weight: u32,
+    /// Stop co-runners once the benchmark finishes allocating (§3.3).
+    pub stop_corunners_after_init: bool,
+    /// Pre-fragment free guest memory into runs of this many frames.
+    pub prefragment_run: Option<u64>,
+    /// Per-workload machine overrides, layered over the manifest's.
+    pub sim: Option<SimConfig>,
+}
+
+impl WorkloadSpec {
+    /// A solo workload with the legacy defaults (weight 1, no co-runners).
+    pub fn new(benchmark: impl Into<String>) -> Self {
+        Self {
+            label: None,
+            benchmark: benchmark.into(),
+            corunners: Vec::new(),
+            corunner_weight: 1,
+            stop_corunners_after_init: false,
+            prefragment_run: None,
+            sim: None,
+        }
+    }
+
+    /// Builder: sets the co-runners.
+    pub fn with_corunners(mut self, corunners: &[CoId], weight: u32) -> Self {
+        self.corunners = corunners.iter().map(|c| c.name().to_string()).collect();
+        self.corunner_weight = weight;
+        self
+    }
+
+    /// Builder: sets the report label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Builder: sets machine overrides.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// The label used in reports: explicit, or derived
+    /// (`pagerank+objdet`).
+    pub fn display_label(&self) -> String {
+        if let Some(label) = &self.label {
+            return label.clone();
+        }
+        let mut out = self.benchmark.clone();
+        for co in &self.corunners {
+            out.push('+');
+            out.push_str(co);
+        }
+        out
+    }
+
+    /// The parsed benchmark identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] for an unknown benchmark name.
+    pub fn bench_id(&self) -> Result<BenchId> {
+        BenchId::from_name(&self.benchmark).ok_or_else(|| {
+            ManifestError::new(
+                "workload.benchmark",
+                format!("unknown benchmark {:?}", self.benchmark),
+            )
+        })
+    }
+
+    /// The parsed co-runner identities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] for an unknown co-runner name.
+    pub fn co_ids(&self) -> Result<Vec<CoId>> {
+        self.corunners
+            .iter()
+            .map(|name| {
+                CoId::from_name(name).ok_or_else(|| {
+                    ManifestError::new("workload.corunners", format!("unknown co-runner {name:?}"))
+                })
+            })
+            .collect()
+    }
+}
+
+/// How a matrix experiment's runs are aggregated and rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportKind {
+    /// Generic per-run listing (the smoke manifest).
+    Runs,
+    /// Per-run CSV dump on stdout.
+    Csv,
+    /// Paper Table 1 (standalone vs colocated, default kernel).
+    Table1,
+    /// Paper Table 4 (default vs PTEMagnet, co-runner throughout).
+    Table4,
+    /// Paper Figure 5 (host-PT fragmentation per benchmark).
+    Fig5,
+    /// Paper Figure 6 (improvement per benchmark, objdet colocation).
+    Fig6,
+    /// Paper Figure 7 (improvement per benchmark, combination colocation).
+    Fig7,
+    /// Paper §6.2 (reserved-but-unused incidence).
+    Sec62,
+    /// THP study (§2.3): fresh vs fragmented memory conditions.
+    Thp,
+    /// §6.1 zero-overhead check on low-TLB-pressure SPECint.
+    Specint,
+    /// §6.1 run-to-run variance across seeds.
+    Variance,
+    /// Artifact appendix A.3.2 LLC-capacity sweep.
+    Llc,
+    /// Hardware sensitivity (STLB / nested-TLB knobs).
+    Hw,
+}
+
+impl ReportKind {
+    /// Every kind, for `vmsim list`.
+    pub const ALL: [ReportKind; 13] = [
+        ReportKind::Runs,
+        ReportKind::Csv,
+        ReportKind::Table1,
+        ReportKind::Table4,
+        ReportKind::Fig5,
+        ReportKind::Fig6,
+        ReportKind::Fig7,
+        ReportKind::Sec62,
+        ReportKind::Thp,
+        ReportKind::Specint,
+        ReportKind::Variance,
+        ReportKind::Llc,
+        ReportKind::Hw,
+    ];
+
+    /// The manifest string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReportKind::Runs => "runs",
+            ReportKind::Csv => "csv",
+            ReportKind::Table1 => "table1",
+            ReportKind::Table4 => "table4",
+            ReportKind::Fig5 => "fig5",
+            ReportKind::Fig6 => "fig6",
+            ReportKind::Fig7 => "fig7",
+            ReportKind::Sec62 => "sec62",
+            ReportKind::Thp => "thp",
+            ReportKind::Specint => "specint",
+            ReportKind::Variance => "variance",
+            ReportKind::Llc => "llc",
+            ReportKind::Hw => "hw",
+        }
+    }
+
+    /// Parses the manifest string form.
+    pub fn from_str_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+}
+
+/// The policies × workloads matrix with its aggregation rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixSpec {
+    /// How runs are aggregated and rendered.
+    pub report: ReportKind,
+    /// Allocation policies, in report column order.
+    pub policies: Vec<PolicySpec>,
+    /// Workloads, in report row order.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl MatrixSpec {
+    /// Number of scenario runs the matrix expands to per seed.
+    pub fn runs_per_seed(&self) -> usize {
+        self.policies.len() * self.workloads.len()
+    }
+}
+
+/// What an experiment actually executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentSpec {
+    /// The general policies × workloads × seeds matrix.
+    Matrix(MatrixSpec),
+    /// §6.4 allocation-latency microbenchmark (not a scenario run).
+    AllocLatency {
+        /// Pages allocated and first-touched.
+        pages: u64,
+    },
+    /// §1/§3.2 walk-source breakdown (raw counter capture).
+    WalkBreakdown,
+}
+
+impl ExperimentSpec {
+    /// The manifest `kind` string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExperimentSpec::Matrix(_) => "matrix",
+            ExperimentSpec::AllocLatency { .. } => "alloc-latency",
+            ExperimentSpec::WalkBreakdown => "walk-breakdown",
+        }
+    }
+}
+
+/// A complete, serializable description of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentManifest {
+    /// Experiment name; also the `results/<name>.json` artifact stem.
+    pub name: String,
+    /// Human description (which paper table/figure this reproduces).
+    pub description: String,
+    /// Replication seeds, in run order.
+    pub seeds: Vec<u64>,
+    /// Measured steady-state operations per run.
+    pub measure_ops: u64,
+    /// Observability configuration for every run.
+    pub obs: ObsConfig,
+    /// Manifest-wide machine overrides (`None` = paper platform).
+    pub sim: Option<SimConfig>,
+    /// The experiment body.
+    pub experiment: ExperimentSpec,
+}
+
+impl ExperimentManifest {
+    /// Semantic validation: every name resolves, the matrix is non-empty,
+    /// and the report kind's shape constraints hold. Policy-name
+    /// resolution is the registry's job (`vmsim validate` runs both).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ManifestError`] found.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(ManifestError::new(
+                "$.name",
+                "must be a non-empty [a-zA-Z0-9_-]+ artifact stem",
+            ));
+        }
+        if self.seeds.is_empty() {
+            return Err(ManifestError::new("$.seeds", "need at least one seed"));
+        }
+        if self.measure_ops == 0 {
+            return Err(ManifestError::new("$.measure_ops", "must be positive"));
+        }
+        match &self.experiment {
+            ExperimentSpec::AllocLatency { pages } => {
+                if *pages == 0 {
+                    return Err(ManifestError::new("$.experiment.pages", "must be positive"));
+                }
+                Ok(())
+            }
+            ExperimentSpec::WalkBreakdown => Ok(()),
+            ExperimentSpec::Matrix(matrix) => self.validate_matrix(matrix),
+        }
+    }
+
+    fn validate_matrix(&self, matrix: &MatrixSpec) -> Result<()> {
+        if matrix.policies.is_empty() {
+            return Err(ManifestError::new(
+                "$.experiment.policies",
+                "need at least one policy",
+            ));
+        }
+        if matrix.workloads.is_empty() {
+            return Err(ManifestError::new(
+                "$.experiment.workloads",
+                "need at least one workload",
+            ));
+        }
+        for (i, workload) in matrix.workloads.iter().enumerate() {
+            let ctx = format!("$.experiment.workloads[{i}]");
+            workload
+                .bench_id()
+                .and_then(|_| workload.co_ids())
+                .map_err(|e| ManifestError::new(ctx.clone(), e.message))?;
+            if workload.corunner_weight == 0 {
+                return Err(ManifestError::new(ctx, "corunner_weight must be positive"));
+            }
+        }
+        let (w, p, s) = (
+            matrix.workloads.len(),
+            matrix.policies.len(),
+            self.seeds.len(),
+        );
+        let shape = |ok: bool, want: &str| -> Result<()> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ManifestError::new(
+                    "$.experiment",
+                    format!(
+                        "report {:?} needs {want} (got {w} workloads × {p} policies × {s} seeds)",
+                        matrix.report.as_str()
+                    ),
+                ))
+            }
+        };
+        match matrix.report {
+            ReportKind::Runs | ReportKind::Csv => Ok(()),
+            ReportKind::Table1 => shape(w == 2 && p == 1, "2 workloads × 1 policy"),
+            ReportKind::Table4 => shape(w == 1 && p == 2, "1 workload × 2 policies"),
+            ReportKind::Fig5 | ReportKind::Fig6 | ReportKind::Fig7 | ReportKind::Specint => {
+                shape(p == 2, "2 policies (baseline, contender)")
+            }
+            ReportKind::Sec62 => shape(p == 1, "1 policy"),
+            ReportKind::Thp => {
+                shape(p == 3, "3 policies (default baseline, THP, PTEMagnet)")?;
+                if matrix.policies[0].name() != "default" {
+                    return Err(ManifestError::new(
+                        "$.experiment.policies",
+                        "thp report compares against policies[0] = \"default\"",
+                    ));
+                }
+                Ok(())
+            }
+            ReportKind::Variance => shape(p == 2 && s >= 2, "2 policies × several seeds"),
+            ReportKind::Llc => {
+                shape(p == 2, "2 policies")?;
+                for (i, workload) in matrix.workloads.iter().enumerate() {
+                    if workload.sim.and_then(|s| s.llc_mb).is_none() {
+                        return Err(ManifestError::new(
+                            format!("$.experiment.workloads[{i}].sim"),
+                            "llc report needs llc_mb set on every workload",
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            ReportKind::Hw => {
+                shape(p == 2, "2 policies")?;
+                for (i, workload) in matrix.workloads.iter().enumerate() {
+                    let sim = workload.sim.unwrap_or_default();
+                    let knobs = usize::from(sim.stlb_entries.is_some())
+                        + usize::from(sim.nested_tlb_entries.is_some());
+                    if knobs != 1 {
+                        return Err(ManifestError::new(
+                            format!("$.experiment.workloads[{i}].sim"),
+                            "hw report needs exactly one of stlb_entries/nested_tlb_entries per workload",
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // -- serialization -----------------------------------------------------
+
+    /// Canonical pretty JSON form (2-space indent, fixed field order, every
+    /// field present, absent options as `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_str(&self.name));
+        let _ = writeln!(out, "  \"description\": {},", json_str(&self.description));
+        let _ = writeln!(out, "  \"seeds\": {},", u64_array(&self.seeds));
+        let _ = writeln!(out, "  \"measure_ops\": {},", self.measure_ops);
+        let _ = writeln!(
+            out,
+            "  \"obs\": {{\"trace\": {}, \"trace_capacity\": {}, \"epoch_ops\": {}}},",
+            self.obs.trace,
+            self.obs.trace_capacity,
+            opt_u64(self.obs.epoch_ops)
+        );
+        let _ = writeln!(out, "  \"sim\": {},", opt_sim(&self.sim));
+        out.push_str("  \"experiment\": {\n");
+        let _ = writeln!(out, "    \"kind\": {},", json_str(self.experiment.kind()));
+        match &self.experiment {
+            ExperimentSpec::AllocLatency { pages } => {
+                let _ = writeln!(out, "    \"pages\": {pages}");
+            }
+            ExperimentSpec::WalkBreakdown => {
+                // Kind only; trim the trailing comma of the kind line.
+                let comma = out.rfind(',').expect("kind line written");
+                out.remove(comma);
+            }
+            ExperimentSpec::Matrix(matrix) => {
+                let _ = writeln!(out, "    \"report\": {},", json_str(matrix.report.as_str()));
+                out.push_str("    \"policies\": [");
+                for (i, policy) in matrix.policies.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_str(policy.name()));
+                }
+                out.push_str("],\n");
+                out.push_str("    \"workloads\": [\n");
+                for (i, workload) in matrix.workloads.iter().enumerate() {
+                    workload_json(&mut out, workload);
+                    out.push_str(if i + 1 < matrix.workloads.len() {
+                        ",\n"
+                    } else {
+                        "\n"
+                    });
+                }
+                out.push_str("    ]\n");
+            }
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a manifest from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] on malformed JSON or a document of the
+    /// wrong shape. [`validate`](Self::validate) is *not* implied.
+    pub fn from_json(input: &str) -> Result<Self> {
+        let doc = json::parse(input)
+            .map_err(|e| ManifestError::new("$", format!("malformed JSON: {e}")))?;
+        let obs = {
+            let node = field(&doc, "obs")?;
+            ObsConfig {
+                trace: get_bool(node, "obs", "trace")?,
+                trace_capacity: get_u64(node, "obs", "trace_capacity")? as usize,
+                epoch_ops: get_opt_u64(node, "obs", "epoch_ops")?,
+            }
+        };
+        let sim = match field(&doc, "sim")? {
+            Json::Null => None,
+            node => Some(sim_from_json(node, "sim")?),
+        };
+        let experiment = {
+            let node = field(&doc, "experiment")?;
+            let kind = get_str(node, "experiment", "kind")?;
+            match kind.as_str() {
+                "alloc-latency" => ExperimentSpec::AllocLatency {
+                    pages: get_u64(node, "experiment", "pages")?,
+                },
+                "walk-breakdown" => ExperimentSpec::WalkBreakdown,
+                "matrix" => {
+                    let report_name = get_str(node, "experiment", "report")?;
+                    let report = ReportKind::from_str_name(&report_name).ok_or_else(|| {
+                        ManifestError::new(
+                            "$.experiment.report",
+                            format!("unknown report kind {report_name:?}"),
+                        )
+                    })?;
+                    let policies = get_arr(node, "experiment", "policies")?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            p.as_str().map(PolicySpec::new).ok_or_else(|| {
+                                ManifestError::new(
+                                    format!("$.experiment.policies[{i}]"),
+                                    "expected a policy-name string",
+                                )
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    let workloads = get_arr(node, "experiment", "workloads")?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, w)| workload_from_json(w, i))
+                        .collect::<Result<Vec<_>>>()?;
+                    ExperimentSpec::Matrix(MatrixSpec {
+                        report,
+                        policies,
+                        workloads,
+                    })
+                }
+                other => {
+                    return Err(ManifestError::new(
+                        "$.experiment.kind",
+                        format!("unknown experiment kind {other:?}"),
+                    ))
+                }
+            }
+        };
+        Ok(Self {
+            name: get_str(&doc, "$", "name")?,
+            description: get_str(&doc, "$", "description")?,
+            seeds: get_arr(&doc, "$", "seeds")?
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.as_u64().ok_or_else(|| {
+                        ManifestError::new(format!("$.seeds[{i}]"), "expected an unsigned integer")
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            measure_ops: get_u64(&doc, "$", "measure_ops")?,
+            obs,
+            sim,
+            experiment,
+        })
+    }
+}
+
+// -- JSON helpers ----------------------------------------------------------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    json::write_str(&mut out, s);
+    out
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    v.as_deref().map_or_else(|| "null".to_string(), json_str)
+}
+
+fn sim_json(sim: &SimConfig) -> String {
+    let cost = sim.cost.map_or_else(
+        || "null".to_string(),
+        |c| {
+            format!(
+                "{{\"guest_fault_cycles\": {}, \"buddy_call_cycles\": {}, \"part_lookup_cycles\": {}, \
+                 \"host_fault_cycles\": {}, \"huge_fault_extra_cycles\": {}, \"work_cycles_per_access\": {}}}",
+                c.guest_fault_cycles,
+                c.buddy_call_cycles,
+                c.part_lookup_cycles,
+                c.host_fault_cycles,
+                c.huge_fault_extra_cycles,
+                c.work_cycles_per_access
+            )
+        },
+    );
+    format!(
+        "{{\"guest_mb\": {}, \"cores\": {}, \"llc_mb\": {}, \"stlb_entries\": {}, \"nested_tlb_entries\": {}, \"cost\": {}}}",
+        opt_u64(sim.guest_mb),
+        opt_usize(sim.cores),
+        opt_u64(sim.llc_mb),
+        opt_usize(sim.stlb_entries),
+        opt_usize(sim.nested_tlb_entries),
+        cost
+    )
+}
+
+fn opt_sim(sim: &Option<SimConfig>) -> String {
+    sim.as_ref().map_or_else(|| "null".to_string(), sim_json)
+}
+
+fn workload_json(out: &mut String, w: &WorkloadSpec) {
+    out.push_str("      {\n");
+    let _ = writeln!(out, "        \"label\": {},", opt_str(&w.label));
+    let _ = writeln!(out, "        \"benchmark\": {},", json_str(&w.benchmark));
+    out.push_str("        \"corunners\": [");
+    for (i, co) in w.corunners.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(co));
+    }
+    out.push_str("],\n");
+    let _ = writeln!(out, "        \"corunner_weight\": {},", w.corunner_weight);
+    let _ = writeln!(
+        out,
+        "        \"stop_corunners_after_init\": {},",
+        w.stop_corunners_after_init
+    );
+    let _ = writeln!(
+        out,
+        "        \"prefragment_run\": {},",
+        opt_u64(w.prefragment_run)
+    );
+    let _ = writeln!(out, "        \"sim\": {}", opt_sim(&w.sim));
+    out.push_str("      }");
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json> {
+    doc.get(key)
+        .ok_or_else(|| ManifestError::new(format!("$.{key}"), "missing field"))
+}
+
+fn get_str(node: &Json, ctx: &str, key: &str) -> Result<String> {
+    field(node, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected a string"))
+}
+
+fn get_u64(node: &Json, ctx: &str, key: &str) -> Result<u64> {
+    field(node, key)?
+        .as_u64()
+        .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected an unsigned integer"))
+}
+
+fn get_bool(node: &Json, ctx: &str, key: &str) -> Result<bool> {
+    field(node, key)?
+        .as_bool()
+        .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected a boolean"))
+}
+
+fn get_arr<'a>(node: &'a Json, ctx: &str, key: &str) -> Result<&'a [Json]> {
+    field(node, key)?
+        .as_arr()
+        .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected an array"))
+}
+
+fn get_opt_u64(node: &Json, ctx: &str, key: &str) -> Result<Option<u64>> {
+    match field(node, key)? {
+        Json::Null => Ok(None),
+        v => v.as_u64().map(Some).ok_or_else(|| {
+            ManifestError::new(
+                format!("{ctx}.{key}"),
+                "expected an unsigned integer or null",
+            )
+        }),
+    }
+}
+
+fn get_opt_usize(node: &Json, ctx: &str, key: &str) -> Result<Option<usize>> {
+    Ok(get_opt_u64(node, ctx, key)?.map(|n| n as usize))
+}
+
+fn sim_from_json(node: &Json, ctx: &str) -> Result<SimConfig> {
+    let cost = match field(node, "cost")? {
+        Json::Null => None,
+        c => {
+            let cctx = format!("{ctx}.cost");
+            Some(CostModel {
+                guest_fault_cycles: get_u64(c, &cctx, "guest_fault_cycles")?,
+                buddy_call_cycles: get_u64(c, &cctx, "buddy_call_cycles")?,
+                part_lookup_cycles: get_u64(c, &cctx, "part_lookup_cycles")?,
+                host_fault_cycles: get_u64(c, &cctx, "host_fault_cycles")?,
+                huge_fault_extra_cycles: get_u64(c, &cctx, "huge_fault_extra_cycles")?,
+                work_cycles_per_access: get_u64(c, &cctx, "work_cycles_per_access")?,
+            })
+        }
+    };
+    Ok(SimConfig {
+        guest_mb: get_opt_u64(node, ctx, "guest_mb")?,
+        cores: get_opt_usize(node, ctx, "cores")?,
+        llc_mb: get_opt_u64(node, ctx, "llc_mb")?,
+        stlb_entries: get_opt_usize(node, ctx, "stlb_entries")?,
+        nested_tlb_entries: get_opt_usize(node, ctx, "nested_tlb_entries")?,
+        cost,
+    })
+}
+
+fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
+    let ctx = format!("$.experiment.workloads[{index}]");
+    let label = match field(node, "label")? {
+        Json::Null => None,
+        v => Some(
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ManifestError::new(format!("{ctx}.label"), "expected a string"))?,
+        ),
+    };
+    let corunners = get_arr(node, &ctx, "corunners")?
+        .iter()
+        .map(|c| {
+            c.as_str().map(str::to_string).ok_or_else(|| {
+                ManifestError::new(
+                    format!("{ctx}.corunners"),
+                    "expected co-runner name strings",
+                )
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let sim = match field(node, "sim")? {
+        Json::Null => None,
+        v => Some(sim_from_json(v, &format!("{ctx}.sim"))?),
+    };
+    Ok(WorkloadSpec {
+        label,
+        benchmark: get_str(node, &ctx, "benchmark")?,
+        corunners,
+        corunner_weight: get_u64(node, &ctx, "corunner_weight")? as u32,
+        stop_corunners_after_init: get_bool(node, &ctx, "stop_corunners_after_init")?,
+        prefragment_run: get_opt_u64(node, &ctx, "prefragment_run")?,
+        sim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentManifest {
+        ExperimentManifest {
+            name: "sample".into(),
+            description: "round-trip sample".into(),
+            seeds: vec![0, 101],
+            measure_ops: 12_345,
+            obs: ObsConfig::enabled(500),
+            sim: Some(SimConfig {
+                llc_mb: Some(4),
+                ..SimConfig::default()
+            }),
+            experiment: ExperimentSpec::Matrix(MatrixSpec {
+                report: ReportKind::Runs,
+                policies: vec!["default".into(), "granular:4".into()],
+                workloads: vec![
+                    WorkloadSpec::new("pagerank").with_corunners(&[CoId::Objdet], 4),
+                    WorkloadSpec::new("gcc").labeled("solo gcc"),
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let m = sample();
+        let json = m.to_json();
+        let parsed = ExperimentManifest::from_json(&json).expect("parse");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), json, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn special_kinds_round_trip() {
+        for experiment in [
+            ExperimentSpec::AllocLatency { pages: 65_536 },
+            ExperimentSpec::WalkBreakdown,
+        ] {
+            let m = ExperimentManifest {
+                name: "special".into(),
+                description: String::new(),
+                seeds: vec![0],
+                measure_ops: 1,
+                obs: ObsConfig::disabled(),
+                sim: None,
+                experiment,
+            };
+            let json = m.to_json();
+            let parsed = ExperimentManifest::from_json(&json).expect("parse");
+            assert_eq!(parsed, m);
+            assert_eq!(parsed.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut m = sample();
+        assert!(m.validate().is_ok());
+        m.seeds.clear();
+        assert!(m.validate().unwrap_err().context.contains("seeds"));
+        m = sample();
+        m.name = "bad name!".into();
+        assert!(m.validate().is_err());
+        m = sample();
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[0].benchmark = "nonexistent".into();
+        }
+        assert!(m.validate().is_err());
+        m = sample();
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.report = ReportKind::Table4; // needs 1 workload × 2 policies × 1 seed
+        }
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn sim_overlay_and_machine_config() {
+        let base = SimConfig {
+            guest_mb: Some(512),
+            ..SimConfig::default()
+        };
+        let over = SimConfig {
+            llc_mb: Some(2),
+            ..SimConfig::default()
+        };
+        let merged = base.overlaid(&over);
+        assert_eq!(merged.guest_mb, Some(512));
+        assert_eq!(merged.llc_mb, Some(2));
+        let mc = merged.to_machine_config(2);
+        assert_eq!(mc.guest_frames, 512 * 256);
+        assert_eq!(mc.hierarchy.llc.capacity(), 2 * 1024 * 1024);
+        assert!(SimConfig::default().is_vanilla());
+        assert!(!merged.is_vanilla());
+    }
+}

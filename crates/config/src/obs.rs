@@ -1,0 +1,82 @@
+//! Observability configuration for a run.
+//!
+//! Moved here from `vmsim-sim` so the manifest layer can carry it; the
+//! environment knobs are parsed by [`crate::env`] (the single parsing
+//! point) and are strict: malformed values are errors, not silent defaults.
+
+use crate::env::{self, EnvError};
+
+/// What a scenario run should observe beyond its end-of-run metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Install an event tracer on the machine.
+    pub trace: bool,
+    /// Ring capacity (events retained) when tracing.
+    pub trace_capacity: usize,
+    /// Capture a registry snapshot every this many machine ops during the
+    /// measured phase (`None` = endpoints only).
+    pub epoch_ops: Option<u64>,
+}
+
+impl ObsConfig {
+    /// Observability off: the exact legacy execution path.
+    pub fn disabled() -> Self {
+        Self {
+            trace: false,
+            trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
+            epoch_ops: None,
+        }
+    }
+
+    /// Tracing on (default ring capacity) and epoch sampling every
+    /// `epoch_ops` machine ops.
+    pub fn enabled(epoch_ops: u64) -> Self {
+        Self {
+            trace: true,
+            trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
+            epoch_ops: Some(epoch_ops.max(1)),
+        }
+    }
+
+    /// Reads the `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` environment knobs via
+    /// [`crate::env`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError`] if either variable is set but malformed —
+    /// surfaced by `vmsim validate` rather than silently defaulted.
+    pub fn from_env() -> Result<Self, EnvError> {
+        let mut cfg = Self::disabled();
+        if let Some(capacity) = env::trace()? {
+            cfg.trace = true;
+            cfg.trace_capacity = capacity;
+        }
+        cfg.epoch_ops = env::epoch_ops()?;
+        Ok(cfg)
+    }
+
+    /// Whether this configuration observes anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.trace || self.epoch_ops.is_some()
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!ObsConfig::disabled().is_enabled());
+        let on = ObsConfig::enabled(500);
+        assert!(on.trace && on.epoch_ops == Some(500));
+        assert_eq!(ObsConfig::enabled(0).epoch_ops, Some(1));
+        assert_eq!(ObsConfig::default(), ObsConfig::disabled());
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden tests for the checked-in `manifests/` directory.
+//!
+//! Every file under `manifests/` must be the *byte-identical* canonical
+//! serialization of the builtin manifest of the same name (regenerate with
+//! `vmsim emit manifests` after changing a builtin), and every manifest
+//! must survive a parse → serialize round trip unchanged.
+
+use vmsim_config::{builtin, ExperimentManifest};
+
+fn manifests_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../manifests")
+}
+
+#[test]
+fn checked_in_manifests_match_builtins_byte_for_byte() {
+    for manifest in builtin::all() {
+        let path = manifests_dir().join(format!("{}.json", manifest.name));
+        let disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: cannot read (regenerate with `vmsim emit manifests`): {e}",
+                path.display()
+            )
+        });
+        assert_eq!(
+            disk,
+            manifest.to_json(),
+            "{} is stale; regenerate with `vmsim emit manifests`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn manifests_round_trip_byte_identically() {
+    for manifest in builtin::all() {
+        let json = manifest.to_json();
+        let reparsed = ExperimentManifest::from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: canonical JSON must parse: {e}", manifest.name));
+        assert_eq!(reparsed, manifest, "{}: value round trip", manifest.name);
+        assert_eq!(
+            reparsed.to_json(),
+            json,
+            "{}: serialization is not a fixpoint",
+            manifest.name
+        );
+    }
+}
+
+#[test]
+fn every_builtin_validates() {
+    for manifest in builtin::all() {
+        manifest
+            .validate()
+            .unwrap_or_else(|e| panic!("builtin {} must validate: {e}", manifest.name));
+    }
+}

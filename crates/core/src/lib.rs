@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod part;
 pub mod policy;
 pub mod reclaim;
+pub mod registry;
 pub mod reservation;
 
 pub use ablation::{GlobalLockPart, GranularReservationAllocator};
@@ -60,4 +61,5 @@ pub use metrics::fragmentation_comparison;
 pub use part::{PaRt, ReleaseOutcome, Reservation, TakeOutcome};
 pub use policy::EnablePolicy;
 pub use reclaim::ReclaimDaemon;
+pub use registry::UnknownPolicy;
 pub use reservation::{ReservationAllocator, ReservationStats};

@@ -44,7 +44,8 @@ pub mod vma;
 
 pub use cost::CostModel;
 pub use guest::{
-    AllocCost, AllocGrant, DefaultAllocator, GuestBuddy, GuestFrameAllocator, GuestOs,
+    resolve_os_policy, AllocCost, AllocGrant, DefaultAllocator, GuestBuddy, GuestFrameAllocator,
+    GuestOs, OS_POLICY_NAMES,
 };
 pub use host::HostOs;
 pub use machine::{Machine, MachineConfig, TouchOutcome};

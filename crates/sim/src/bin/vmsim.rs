@@ -1,0 +1,272 @@
+//! The unified `vmsim` CLI: validate and execute experiment manifests.
+//!
+//! ```text
+//! vmsim run <manifest.json|builtin-name>... [--out DIR]
+//! vmsim list
+//! vmsim validate <manifest.json>...
+//! vmsim emit [DIR]
+//! ```
+//!
+//! `run` executes each manifest through the `vmsim-sim` driver, prints the
+//! paper-style report, writes `DIR/<name>.json` (default `results/`) with
+//! every run's metrics, and — when the manifest enables observability —
+//! per-run `trace_<name>_<i>.jsonl` and `series_<name>_<i>.csv` artifacts.
+//! Every JSON artifact is re-parsed after writing; any failure exits
+//! nonzero, which makes `run` usable as a CI smoke step.
+//!
+//! Environment overrides (parsed strictly by `vmsim_config::env`; malformed
+//! values are errors here, not silent defaults): `VMSIM_OPS` (measured ops;
+//! deprecated alias `PTEMAGNET_OPS`), `VMSIM_THREADS` (worker pool),
+//! `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` (force observability on).
+//!
+//! `validate` checks manifest shape, resolves every policy against the
+//! registry, and reports malformed `VMSIM_*` environment values. `emit`
+//! regenerates the checked-in `manifests/` directory from the builtin
+//! builders in canonical form. `list` shows builtins, report kinds, and the
+//! policy catalog.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vmsim_config::{builtin, env, ExperimentManifest, ExperimentSpec, ObsConfig};
+use vmsim_obs::json;
+use vmsim_sim::driver;
+
+const USAGE: &str = "usage:
+  vmsim run <manifest.json|builtin-name>... [--out DIR]
+  vmsim list
+  vmsim validate <manifest.json>...
+  vmsim emit [DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("emit") => cmd_emit(args.get(1).map_or("manifests", String::as_str)),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Loads a manifest from a file path, falling back to the builtin of that
+/// name (`vmsim run table4` == `vmsim run manifests/table4.json`).
+fn load(source: &str) -> Result<ExperimentManifest, String> {
+    let path = Path::new(source);
+    if path.exists() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{source}: cannot read: {e}"))?;
+        return ExperimentManifest::from_json(&text).map_err(|e| format!("{source}: {e}"));
+    }
+    builtin::by_name(source)
+        .ok_or_else(|| format!("{source}: no such file and no builtin manifest of that name"))
+}
+
+/// Applies the documented environment overrides to a loaded manifest.
+fn apply_env(manifest: &mut ExperimentManifest) -> Result<(), env::EnvError> {
+    if let Some(ops) = env::measure_ops()? {
+        manifest.measure_ops = ops;
+    }
+    let obs = ObsConfig::from_env()?;
+    if obs.is_enabled() {
+        manifest.obs = obs;
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut sources: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("vmsim run: --out needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            sources.push(arg);
+        }
+    }
+    if sources.is_empty() {
+        eprintln!("vmsim run: no manifests given\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("vmsim run: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0u32;
+    for source in sources {
+        match run_one(source, &out_dir) {
+            Ok(()) => {}
+            Err(RunFailure::Usage(msg)) => {
+                eprintln!("vmsim run: {msg}");
+                return ExitCode::from(2);
+            }
+            Err(RunFailure::Artifacts(n)) => failures += n,
+        }
+    }
+    if failures > 0 {
+        eprintln!("vmsim run: {failures} artifact(s) failed to re-parse");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+enum RunFailure {
+    /// Bad input: manifest unreadable/invalid or malformed environment.
+    Usage(String),
+    /// The experiment ran but this many artifacts failed verification.
+    Artifacts(u32),
+}
+
+fn run_one(source: &str, out_dir: &Path) -> Result<(), RunFailure> {
+    let mut manifest = load(source).map_err(RunFailure::Usage)?;
+    apply_env(&mut manifest).map_err(|e| RunFailure::Usage(e.to_string()))?;
+    let t0 = std::time::Instant::now();
+    let run = driver::run_manifest(&manifest).map_err(|e| RunFailure::Usage(e.to_string()))?;
+    print!("{}", run.report());
+
+    let mut failures = 0u32;
+    let results_path = out_dir.join(format!("{}.json", manifest.name));
+    let artifact = run.results_json();
+    std::fs::write(&results_path, &artifact).expect("write results artifact");
+    match json::parse(&artifact) {
+        Ok(doc) => {
+            let runs = doc
+                .get("runs")
+                .and_then(|r| r.as_arr())
+                .map_or(0, <[_]>::len);
+            eprintln!(
+                "vmsim: wrote {} ({} runs, {:.1}s)",
+                results_path.display(),
+                runs,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("FAIL {}: {e:?}", results_path.display());
+            failures += 1;
+        }
+    }
+
+    if manifest.obs.is_enabled() {
+        for (i, observed) in run.observed.iter().enumerate() {
+            let jsonl = observed.events_jsonl();
+            let trace_path = out_dir.join(format!("trace_{}_{i}.jsonl", manifest.name));
+            std::fs::write(&trace_path, &jsonl).expect("write trace");
+            for (n, line) in jsonl.lines().enumerate() {
+                if let Err(e) = json::parse(line) {
+                    eprintln!(
+                        "FAIL {}: line {} unparseable: {e:?}",
+                        trace_path.display(),
+                        n + 1
+                    );
+                    failures += 1;
+                }
+            }
+            let series_path = out_dir.join(format!("series_{}_{i}.csv", manifest.name));
+            std::fs::write(&series_path, observed.series.to_csv()).expect("write series");
+            if let Err(e) = json::parse(&observed.series.to_json()) {
+                eprintln!("FAIL series {}_{i}: {e:?}", manifest.name);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(RunFailure::Artifacts(failures));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("vmsim validate: no manifests given\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut errors = 0u32;
+
+    // The environment is part of what a run would consume: surface strict
+    // parse errors (including the ObsConfig knobs) here.
+    for e in env::check() {
+        eprintln!("env: {e}");
+        errors += 1;
+    }
+
+    for source in args {
+        match validate_one(source) {
+            Ok(runs) => println!("ok {source} ({runs} runs)"),
+            Err(msg) => {
+                eprintln!("FAIL {source}: {msg}");
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("vmsim validate: {errors} error(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate_one(source: &str) -> Result<usize, String> {
+    let manifest = load(source)?;
+    manifest.validate().map_err(|e| e.to_string())?;
+    let runs = match &manifest.experiment {
+        ExperimentSpec::Matrix(matrix) => {
+            for policy in &matrix.policies {
+                ptemagnet::registry::resolve(policy.name()).map_err(|e| e.to_string())?;
+            }
+            matrix.runs_per_seed() * manifest.seeds.len()
+        }
+        _ => 1,
+    };
+    Ok(runs)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("builtin manifests (vmsim run <name>, or emit to manifests/):");
+    for m in builtin::all() {
+        println!(
+            "  {:<10} {:<15} {}",
+            m.name,
+            m.experiment.kind(),
+            m.description
+        );
+    }
+    println!("\nreport kinds:");
+    let names: Vec<&str> = vmsim_config::ReportKind::ALL
+        .iter()
+        .map(|k| k.as_str())
+        .collect();
+    println!("  {}", names.join(", "));
+    println!("\npolicies (plus granular:N for N in {{1, 2, 4, 8, 16}}):");
+    println!("  {}", ptemagnet::registry::catalog().join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_emit(dir: &str) -> ExitCode {
+    let dir = Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("vmsim emit: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let manifests = builtin::all();
+    for m in &manifests {
+        let path = dir.join(format!("{}.json", m.name));
+        if let Err(e) = std::fs::write(&path, m.to_json()) {
+            eprintln!("vmsim emit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("wrote {} manifests to {}", manifests.len(), dir.display());
+    ExitCode::SUCCESS
+}

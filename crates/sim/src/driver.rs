@@ -1,0 +1,780 @@
+//! The manifest execution engine: runs an [`ExperimentManifest`] on the
+//! worker pool and assembles the paper-typed result.
+//!
+//! This is the single path every experiment takes — the `vmsim` CLI, the
+//! `exp-*` wrapper binaries, and the legacy functions in
+//! [`crate::experiments`] all build a manifest and hand it here. A matrix
+//! manifest expands to one job per (workload, policy, seed) cell, in
+//! workload-major order (`index = (w·P + p)·S + s`); jobs run on the
+//! deterministic pool ([`crate::parallel`]) and come back in job order, so
+//! a manifest-driven run is bit-identical to the hand-constructed legacy
+//! path run serially.
+//!
+//! Policy names resolve through `ptemagnet::registry`; allocator labels in
+//! the resulting [`RunMetrics`] come from the allocator itself
+//! ([`vmsim_os::GuestFrameAllocator::name`]), which the registry guarantees
+//! to match the catalog names the legacy `AllocatorKind` used.
+
+use std::fmt::Write as _;
+
+use ptemagnet::UnknownPolicy;
+use vmsim_cache::MemCounters;
+use vmsim_config::{
+    ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
+    WorkloadSpec,
+};
+use vmsim_obs::json;
+use vmsim_os::{GuestOs, Machine, MachineConfig};
+use vmsim_types::{GuestVirtAddr, GuestVirtPage, PAGE_SIZE};
+
+use crate::experiments::{
+    AllocLatency, BenchPair, FigureSweep, HwSensitivityRow, ReservedUnused, Table1, Table4, ThpRow,
+    ThpStudy,
+};
+use crate::obs::ObservedRun;
+use crate::parallel::{self, Parallelism};
+use crate::report;
+use crate::scenario::{RunMetrics, Scenario};
+use crate::stats::Replication;
+
+/// Why a manifest could not be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    /// The manifest is structurally or semantically invalid.
+    Manifest(ManifestError),
+    /// A policy name does not resolve in the registry.
+    Policy(UnknownPolicy),
+}
+
+impl core::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Manifest(e) => write!(f, "{e}"),
+            Self::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<ManifestError> for DriverError {
+    fn from(e: ManifestError) -> Self {
+        Self::Manifest(e)
+    }
+}
+
+impl From<UnknownPolicy> for DriverError {
+    fn from(e: UnknownPolicy) -> Self {
+        Self::Policy(e)
+    }
+}
+
+/// §6.1 run-to-run variance: one [`Replication`] per policy, paired by
+/// seed.
+#[derive(Clone, Debug)]
+pub struct VarianceStudy {
+    /// Baseline-policy runs, in seed order.
+    pub base: Replication,
+    /// Contender-policy runs, in seed order.
+    pub ptemagnet: Replication,
+}
+
+/// The typed result a manifest's report kind aggregates its runs into.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Generic per-run listing.
+    Runs,
+    /// Per-run CSV dump.
+    Csv,
+    /// Paper Table 1.
+    Table1(Table1),
+    /// Paper Table 4.
+    Table4(Table4),
+    /// Paper Figures 5–7 (which one is in the manifest's report kind).
+    Figure(FigureSweep),
+    /// Paper §6.2 reserved-unused incidence.
+    Sec62(Vec<ReservedUnused>),
+    /// THP study (§2.3).
+    Thp(ThpStudy),
+    /// §6.1 zero-overhead check: per-benchmark mean improvement.
+    Specint(Vec<(String, f64)>),
+    /// §6.1 run-to-run variance.
+    Variance(VarianceStudy),
+    /// LLC-capacity sweep: (LLC MB, improvement) pairs.
+    Llc(Vec<(u64, f64)>),
+    /// Hardware-sensitivity sweep.
+    Hw(Vec<HwSensitivityRow>),
+    /// §6.4 allocation-latency microbenchmark.
+    AllocLatency(AllocLatency),
+    /// §1/§3.2 walk-source breakdown.
+    Breakdown(Vec<(String, MemCounters)>),
+}
+
+/// A fully executed manifest: the input, every observed run (matrix kinds),
+/// and the aggregated outcome.
+#[derive(Debug)]
+pub struct ManifestRun {
+    /// The manifest that was executed (after any environment override).
+    pub manifest: ExperimentManifest,
+    /// Every scenario run in matrix order (empty for the special kinds).
+    pub observed: Vec<ObservedRun>,
+    /// The aggregated, report-kind-typed result.
+    pub outcome: Outcome,
+}
+
+/// Builds the [`Scenario`] for one (workload, policy, seed) cell of a
+/// manifest, with the allocator resolved through the registry.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] for unknown benchmark/co-runner/policy names.
+pub fn build_scenario(
+    manifest: &ExperimentManifest,
+    workload: &WorkloadSpec,
+    policy: &PolicySpec,
+    seed: u64,
+) -> Result<Scenario, DriverError> {
+    let bench = workload.bench_id()?;
+    let corunners = workload.co_ids()?;
+    let allocator = ptemagnet::registry::resolve(policy.name())?;
+    let mut scenario = Scenario::new(bench)
+        .corunners(&corunners)
+        .corunner_weight(workload.corunner_weight)
+        .stop_corunners_after_init(workload.stop_corunners_after_init)
+        .custom_allocator(allocator)
+        .measure_ops(manifest.measure_ops)
+        .seed(seed);
+    if let Some(run) = workload.prefragment_run {
+        scenario = scenario.prefragment_run(run);
+    }
+    let sim = manifest
+        .sim
+        .unwrap_or_default()
+        .overlaid(&workload.sim.unwrap_or_default());
+    if !sim.is_vanilla() {
+        scenario = scenario.machine(sim.to_machine_config(1 + corunners.len()));
+    }
+    Ok(scenario)
+}
+
+/// Validates and executes a manifest.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] if the manifest fails validation or a policy
+/// does not resolve. Simulation resource exhaustion (a misconfigured
+/// machine) panics, as the legacy experiment functions did.
+///
+/// # Panics
+///
+/// Panics on simulation resource exhaustion.
+pub fn run_manifest(manifest: &ExperimentManifest) -> Result<ManifestRun, DriverError> {
+    manifest.validate()?;
+    match &manifest.experiment {
+        ExperimentSpec::AllocLatency { pages } => Ok(ManifestRun {
+            manifest: manifest.clone(),
+            observed: Vec::new(),
+            outcome: Outcome::AllocLatency(crate::experiments::sec64(*pages)),
+        }),
+        ExperimentSpec::WalkBreakdown => Ok(ManifestRun {
+            manifest: manifest.clone(),
+            observed: Vec::new(),
+            outcome: Outcome::Breakdown(crate::experiments::walk_breakdown(
+                manifest.seeds[0],
+                manifest.measure_ops,
+            )),
+        }),
+        ExperimentSpec::Matrix(matrix) => run_matrix(manifest, matrix),
+    }
+}
+
+fn run_matrix(
+    manifest: &ExperimentManifest,
+    matrix: &MatrixSpec,
+) -> Result<ManifestRun, DriverError> {
+    // Resolve every policy once up front so name errors surface before any
+    // simulation work (the pool closure then cannot fail on names).
+    for policy in &matrix.policies {
+        ptemagnet::registry::resolve(policy.name())?;
+    }
+    let (pn, sn) = (matrix.policies.len(), manifest.seeds.len());
+    let total = matrix.workloads.len() * pn * sn;
+    let observed = parallel::run_indexed(Parallelism::from_env(), total, |i| {
+        let (s, p, w) = (i % sn, (i / sn) % pn, i / (sn * pn));
+        build_scenario(
+            manifest,
+            &matrix.workloads[w],
+            &matrix.policies[p],
+            manifest.seeds[s],
+        )
+        .expect("manifest pre-validated")
+        .try_run_observed(manifest.obs)
+        .expect("scenario execution failed")
+    });
+    let outcome = assemble(manifest, matrix, &observed);
+    Ok(ManifestRun {
+        manifest: manifest.clone(),
+        observed,
+        outcome,
+    })
+}
+
+/// The colocation label a figure sweep reports: the shared co-runner name,
+/// `combination` for several, `standalone` for none, `mixed` if workloads
+/// disagree.
+fn colocation_label(workloads: &[WorkloadSpec]) -> String {
+    let first = workloads
+        .first()
+        .map(|w| w.corunners.clone())
+        .unwrap_or_default();
+    if workloads.iter().any(|w| w.corunners != first) {
+        return "mixed".to_string();
+    }
+    match first.len() {
+        0 => "standalone".to_string(),
+        1 => first[0].clone(),
+        _ => "combination".to_string(),
+    }
+}
+
+fn assemble(
+    manifest: &ExperimentManifest,
+    matrix: &MatrixSpec,
+    observed: &[ObservedRun],
+) -> Outcome {
+    let (pn, sn) = (matrix.policies.len(), manifest.seeds.len());
+    let at = |w: usize, p: usize, s: usize| &observed[(w * pn + p) * sn + s].metrics;
+    match matrix.report {
+        ReportKind::Runs => Outcome::Runs,
+        ReportKind::Csv => Outcome::Csv,
+        ReportKind::Table1 => Outcome::Table1(Table1 {
+            standalone: at(0, 0, 0).clone(),
+            colocated: at(1, 0, 0).clone(),
+        }),
+        ReportKind::Table4 => Outcome::Table4(Table4 {
+            default: at(0, 0, 0).clone(),
+            ptemagnet: at(0, 1, 0).clone(),
+        }),
+        ReportKind::Fig5 | ReportKind::Fig6 | ReportKind::Fig7 => Outcome::Figure(FigureSweep {
+            colocation: colocation_label(&matrix.workloads),
+            pairs: matrix
+                .workloads
+                .iter()
+                .enumerate()
+                .map(|(w, workload)| BenchPair {
+                    name: workload.benchmark.clone(),
+                    default: at(w, 0, 0).clone(),
+                    ptemagnet: at(w, 1, 0).clone(),
+                })
+                .collect(),
+        }),
+        ReportKind::Sec62 => Outcome::Sec62(
+            matrix
+                .workloads
+                .iter()
+                .enumerate()
+                .map(|(w, workload)| {
+                    let m = at(w, 0, 0);
+                    ReservedUnused {
+                        name: workload.benchmark.clone(),
+                        peak_fraction: m.reserved_unused_fraction(),
+                        mean_fraction: if m.footprint_pages == 0 {
+                            0.0
+                        } else {
+                            m.reserved_unused_mean / m.footprint_pages as f64
+                        },
+                    }
+                })
+                .collect(),
+        ),
+        ReportKind::Thp => {
+            let mut rows = Vec::new();
+            for (w, workload) in matrix.workloads.iter().enumerate() {
+                let default = at(w, 0, 0);
+                for (p, policy) in matrix.policies.iter().enumerate() {
+                    let metrics = at(w, p, 0);
+                    rows.push(ThpRow {
+                        allocator: policy.name().to_string(),
+                        condition: workload.display_label(),
+                        improvement: metrics.improvement_over(default),
+                        metrics: metrics.clone(),
+                    });
+                }
+            }
+            Outcome::Thp(ThpStudy {
+                rows,
+                sparse_rss_per_touched: sparse_rss(&matrix.policies),
+            })
+        }
+        ReportKind::Specint => Outcome::Specint(
+            matrix
+                .workloads
+                .iter()
+                .enumerate()
+                .map(|(w, workload)| {
+                    let mean = (0..sn)
+                        .map(|s| at(w, 1, s).improvement_over(at(w, 0, s)))
+                        .sum::<f64>()
+                        / sn as f64;
+                    (workload.benchmark.clone(), mean)
+                })
+                .collect(),
+        ),
+        ReportKind::Variance => Outcome::Variance(VarianceStudy {
+            base: Replication {
+                runs: (0..sn).map(|s| at(0, 0, s).clone()).collect(),
+            },
+            ptemagnet: Replication {
+                runs: (0..sn).map(|s| at(0, 1, s).clone()).collect(),
+            },
+        }),
+        ReportKind::Llc => Outcome::Llc(
+            matrix
+                .workloads
+                .iter()
+                .enumerate()
+                .map(|(w, workload)| {
+                    let mb = workload
+                        .sim
+                        .and_then(|s| s.llc_mb)
+                        .expect("llc manifest pre-validated");
+                    (mb, at(w, 1, 0).improvement_over(at(w, 0, 0)))
+                })
+                .collect(),
+        ),
+        ReportKind::Hw => Outcome::Hw(
+            matrix
+                .workloads
+                .iter()
+                .enumerate()
+                .map(|(w, workload)| {
+                    let sim = workload.sim.unwrap_or_default();
+                    let (knob, value) = match sim.stlb_entries {
+                        Some(v) => ("stlb", v),
+                        None => (
+                            "nested-tlb",
+                            sim.nested_tlb_entries.expect("hw manifest pre-validated"),
+                        ),
+                    };
+                    let base = at(w, 0, 0);
+                    HwSensitivityRow {
+                        knob: knob.to_string(),
+                        value,
+                        tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
+                        improvement: at(w, 1, 0).improvement_over(base),
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// The THP study's sparse-touch microbenchmark: touch every 8th page of a
+/// large VMA and report resident pages per touched page, one value per
+/// policy (THP's hidden internal-fragmentation cost).
+fn sparse_rss(policies: &[PolicySpec]) -> [f64; 3] {
+    let sparse = |policy: &PolicySpec| -> f64 {
+        let allocator = ptemagnet::registry::resolve(policy.name()).expect("policy pre-resolved");
+        let mut m = Machine::with_allocator(MachineConfig::paper(1, 128), allocator);
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, 8192).expect("mmap");
+        let touched = 8192 / 8;
+        for i in 0..touched {
+            m.touch(
+                0,
+                pid,
+                GuestVirtAddr::new(base.raw() + i * 8 * PAGE_SIZE),
+                true,
+            )
+            .expect("touch");
+        }
+        m.guest().process(pid).expect("pid").rss_pages as f64 / touched as f64
+    };
+    let values = parallel::map_indexed(Parallelism::from_env(), policies, sparse);
+    [values[0], values[1], values[2]]
+}
+
+/// The §6.2 adversarial microbenchmark: an application touching only every
+/// eighth page reserves ~7× its footprint. Returns the report line.
+fn sec62_adversarial() -> String {
+    let mut guest = GuestOs::new(1 << 16, Box::new(ptemagnet::ReservationAllocator::new()));
+    let pid = guest.spawn();
+    let va = guest.mmap(pid, 4096).expect("mmap");
+    for g in 0..512u64 {
+        guest
+            .page_fault(pid, GuestVirtPage::new(va.page().raw() + g * 8))
+            .expect("fault");
+    }
+    let unused = guest.allocator().reserved_unused_frames();
+    format!(
+        "\nAdversarial every-8th-page app: footprint 512 pages, reserved-unused {} pages ({}x)\n",
+        unused,
+        unused / 512
+    )
+}
+
+impl ManifestRun {
+    /// The per-run metrics in matrix order (empty for the special kinds).
+    pub fn metrics(&self) -> Vec<RunMetrics> {
+        self.observed.iter().map(|r| r.metrics.clone()).collect()
+    }
+
+    fn report_kind(&self) -> Option<ReportKind> {
+        match &self.manifest.experiment {
+            ExperimentSpec::Matrix(matrix) => Some(matrix.report),
+            _ => None,
+        }
+    }
+
+    /// Renders the result as the paper-style text the corresponding `exp-*`
+    /// binary prints.
+    pub fn report(&self) -> String {
+        match &self.outcome {
+            Outcome::Runs => self.runs_listing(),
+            Outcome::Csv => report::runs_to_csv(&self.metrics()),
+            Outcome::Table1(t) => report::format_table1(t),
+            Outcome::Table4(t) => report::format_table4(t),
+            Outcome::Figure(sweep) => match self.report_kind() {
+                Some(ReportKind::Fig5) => report::format_fig5(sweep),
+                Some(ReportKind::Fig7) => format!(
+                    "{}\n{}",
+                    report::format_improvement_figure(sweep, "Figure 7"),
+                    report::figure_as_bars(sweep)
+                ),
+                _ => format!(
+                    "{}\n{}",
+                    report::format_improvement_figure(sweep, "Figure 6"),
+                    report::figure_as_bars(sweep)
+                ),
+            },
+            Outcome::Sec62(rows) => {
+                format!("{}{}", report::format_sec62(rows), sec62_adversarial())
+            }
+            Outcome::Thp(study) => report::format_thp(study),
+            Outcome::Specint(rows) => {
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "Zero-overhead check: low-TLB-pressure SPECint + objdet"
+                );
+                let _ = writeln!(out, "{:<12} {:>12}", "benchmark", "improvement");
+                let mut worst = f64::INFINITY;
+                for (name, imp) in rows {
+                    let _ = writeln!(out, "{name:<12} {:>+11.2}%", imp * 100.0);
+                    worst = worst.min(*imp);
+                }
+                let _ = writeln!(
+                    out,
+                    "\nWorst case: {:+.2}% — {}",
+                    worst * 100.0,
+                    if worst > -0.01 {
+                        "PTEMagnet never slows anything down (paper's claim holds)"
+                    } else {
+                        "REGRESSION: the zero-overhead claim failed"
+                    }
+                );
+                out
+            }
+            Outcome::Variance(v) => self.variance_report(v),
+            Outcome::Llc(rows) => {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", self.manifest.description);
+                let _ = writeln!(out, "{:<8} {:>12}", "LLC", "improvement");
+                for (mb, imp) in rows {
+                    let _ = writeln!(out, "{:<8} {:>+11.1}%", format!("{mb} MB"), imp * 100.0);
+                }
+                out
+            }
+            Outcome::Hw(rows) => {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", self.manifest.description);
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>8} {:>10} {:>12}",
+                    "knob", "entries", "tlb-miss", "improvement"
+                );
+                for row in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:<12} {:>8} {:>9.1}% {:>+11.1}%",
+                        row.knob,
+                        row.value,
+                        row.tlb_miss_ratio * 100.0,
+                        row.improvement * 100.0
+                    );
+                }
+                out
+            }
+            Outcome::AllocLatency(r) => report::format_sec64(r),
+            Outcome::Breakdown(rows) => {
+                let mut out = String::new();
+                for (allocator, counters) in rows {
+                    out.push_str(&report::format_breakdown(allocator, counters));
+                    let ratio = if counters.guest_pt.memory == 0 {
+                        f64::INFINITY
+                    } else {
+                        counters.host_pt.memory as f64 / counters.guest_pt.memory as f64
+                    };
+                    let _ = writeln!(
+                        out,
+                        "-> host-PT DRAM accesses are {ratio:.1}x the guest-PT's (paper: 4.4x under colocation)\n"
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    fn variance_report(&self, v: &VarianceStudy) -> String {
+        let (label, policies) = match &self.manifest.experiment {
+            ExperimentSpec::Matrix(matrix) => (
+                matrix.workloads[0].display_label(),
+                (
+                    matrix.policies[0].name().to_string(),
+                    matrix.policies[1].name().to_string(),
+                ),
+            ),
+            _ => unreachable!("variance is a matrix report"),
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Variance study: {label} across {} seeds, {} ops each",
+            self.manifest.seeds.len(),
+            self.manifest.measure_ops
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>22}",
+            "allocator", "cv", "improvement (mean±sd)"
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9.2}% {:>22}",
+            policies.0,
+            v.base.cycles().cv() * 100.0,
+            "-"
+        );
+        let imp = v.ptemagnet.improvement_over(&v.base);
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9.2}% {:>14.1}% ± {:.1}%",
+            policies.1,
+            v.ptemagnet.cycles().cv() * 100.0,
+            imp.mean * 100.0,
+            imp.stddev * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "\nPaper: execution-time stddev over 40 runs <= 2%. Measured cv: {:.2}% / {:.2}%.",
+            v.base.cycles().cv() * 100.0,
+            v.ptemagnet.cycles().cv() * 100.0
+        );
+        out
+    }
+
+    fn runs_listing(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.manifest.description);
+        let _ = writeln!(
+            out,
+            "{:<24} {:<14} {:>6} {:>14} {:>10}",
+            "workload", "policy", "seed", "cycles", "host-frag"
+        );
+        self.for_each_cell(|workload, policy, seed, run| {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<14} {:>6} {:>14} {:>10.3}",
+                workload.display_label(),
+                policy.name(),
+                seed,
+                run.metrics.cycles,
+                run.metrics.host_frag
+            );
+        });
+        out
+    }
+
+    /// Calls `f` for every matrix cell in run order with its coordinates.
+    fn for_each_cell(&self, mut f: impl FnMut(&WorkloadSpec, &PolicySpec, u64, &ObservedRun)) {
+        let ExperimentSpec::Matrix(matrix) = &self.manifest.experiment else {
+            return;
+        };
+        let (pn, sn) = (matrix.policies.len(), self.manifest.seeds.len());
+        for (i, run) in self.observed.iter().enumerate() {
+            let (s, p, w) = (i % sn, (i / sn) % pn, i / (sn * pn));
+            f(
+                &matrix.workloads[w],
+                &matrix.policies[p],
+                self.manifest.seeds[s],
+                run,
+            );
+        }
+    }
+
+    /// The machine-readable `results/<name>.json` artifact: manifest
+    /// identity plus every run's metrics (or the special-kind payload),
+    /// parseable by `vmsim_obs::json`.
+    pub fn results_json(&self) -> String {
+        let m = &self.manifest;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_str(&m.name));
+        let _ = writeln!(out, "  \"description\": {},", json_str(&m.description));
+        let _ = writeln!(out, "  \"kind\": {},", json_str(m.experiment.kind()));
+        let _ = writeln!(out, "  \"measure_ops\": {},", m.measure_ops);
+        let mut seeds = String::from("[");
+        for (i, s) in m.seeds.iter().enumerate() {
+            if i > 0 {
+                seeds.push_str(", ");
+            }
+            let _ = write!(seeds, "{s}");
+        }
+        seeds.push(']');
+        let _ = writeln!(out, "  \"seeds\": {seeds},");
+        match &self.outcome {
+            Outcome::AllocLatency(r) => {
+                out.push_str("  \"runs\": [],\n");
+                let _ = writeln!(
+                    out,
+                    "  \"alloc_latency\": {{\"pages\": {}, \"default_cycles\": {}, \"ptemagnet_cycles\": {}}}",
+                    r.pages, r.default_cycles, r.ptemagnet_cycles
+                );
+            }
+            Outcome::Breakdown(rows) => {
+                out.push_str("  \"runs\": [],\n");
+                out.push_str("  \"breakdown\": [\n");
+                for (i, (allocator, c)) in rows.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "    {{\"allocator\": {}, \"guest_pt_accesses\": {}, \"guest_pt_memory\": {}, \"host_pt_accesses\": {}, \"host_pt_memory\": {}}}",
+                        json_str(allocator),
+                        c.guest_pt.accesses,
+                        c.guest_pt.memory,
+                        c.host_pt.accesses,
+                        c.host_pt.memory
+                    );
+                    out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("  ]\n");
+            }
+            _ => {
+                if self.observed.is_empty() {
+                    out.push_str("  \"runs\": []\n");
+                } else {
+                    out.push_str("  \"runs\": [\n");
+                    let total = self.observed.len();
+                    let mut i = 0usize;
+                    self.for_each_cell(|workload, policy, seed, run| {
+                        out.push_str("    ");
+                        run_json(
+                            &mut out,
+                            &workload.display_label(),
+                            policy.name(),
+                            seed,
+                            &run.metrics,
+                        );
+                        out.push_str(if i + 1 < total { ",\n" } else { "\n" });
+                        i += 1;
+                    });
+                    out.push_str("  ]\n");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    json::write_str(&mut out, s);
+    out
+}
+
+/// Writes one run's metrics as a single-line JSON object (all
+/// [`RunMetrics`] fields in declaration order, prefixed with the matrix
+/// coordinates).
+fn run_json(out: &mut String, workload: &str, policy: &str, seed: u64, r: &RunMetrics) {
+    let _ = write!(
+        out,
+        "{{\"workload\": {}, \"policy\": {}, \"seed\": {seed}, \"benchmark\": {}, \"allocator\": {}, ",
+        json_str(workload),
+        json_str(policy),
+        json_str(&r.benchmark),
+        json_str(&r.allocator)
+    );
+    let _ = write!(
+        out,
+        "\"measure_ops\": {}, \"cycles\": {}, \"tlb_lookups\": {}, \"tlb_misses\": {}, \
+         \"data_accesses\": {}, \"data_misses\": {}, \"page_walk_cycles\": {}, \
+         \"host_pt_cycles\": {}, \"guest_pt_accesses\": {}, \"guest_pt_memory\": {}, \
+         \"host_pt_accesses\": {}, \"host_pt_memory\": {}, ",
+        r.measure_ops,
+        r.cycles,
+        r.tlb_lookups,
+        r.tlb_misses,
+        r.data_accesses,
+        r.data_misses,
+        r.page_walk_cycles,
+        r.host_pt_cycles,
+        r.guest_pt_accesses,
+        r.guest_pt_memory,
+        r.host_pt_accesses,
+        r.host_pt_memory
+    );
+    out.push_str("\"host_frag\": ");
+    json::write_f64(out, r.host_frag);
+    out.push_str(", \"guest_frag\": ");
+    json::write_f64(out, r.guest_frag);
+    let _ = write!(
+        out,
+        ", \"init_cycles\": {}, \"footprint_pages\": {}, \"reserved_unused_peak\": {}, ",
+        r.init_cycles, r.footprint_pages, r.reserved_unused_peak
+    );
+    out.push_str("\"reserved_unused_mean\": ");
+    json::write_f64(out, r.reserved_unused_mean);
+    let _ = write!(out, ", \"total_faults\": {}}}", r.total_faults);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmsim_config::builtin;
+
+    #[test]
+    fn smoke_manifest_runs_and_serializes() {
+        let run = run_manifest(&builtin::smoke()).expect("smoke manifest");
+        assert_eq!(run.observed.len(), 2);
+        assert!(matches!(run.outcome, Outcome::Runs));
+        // Observability was on; metrics stay bit-identical regardless.
+        assert!(run.observed[0].series.len() >= 2);
+        let text = run.report();
+        assert!(text.contains("gcc") && text.contains("ptemagnet"), "{text}");
+        let artifact = run.results_json();
+        let doc = json::parse(&artifact).expect("artifact parses");
+        assert_eq!(doc.get("name").and_then(|n| n.as_str()), Some("smoke"));
+        assert_eq!(
+            doc.get("runs").and_then(|r| r.as_arr()).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn unknown_policy_is_a_driver_error() {
+        let mut m = builtin::smoke();
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.policies[1] = PolicySpec::new("warp-drive");
+        }
+        match run_manifest(&m) {
+            Err(DriverError::Policy(p)) => assert_eq!(p.name, "warp-drive"),
+            other => panic!("expected policy error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_manifest_is_a_driver_error() {
+        let mut m = builtin::smoke();
+        m.seeds.clear();
+        assert!(matches!(run_manifest(&m), Err(DriverError::Manifest(_))));
+    }
+}

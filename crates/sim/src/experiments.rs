@@ -1,25 +1,30 @@
 //! One function per table/figure of the paper's evaluation.
 //!
-//! Each function builds the scenarios the paper describes, runs them, and
-//! returns a typed result that the `report` module renders in the paper's
-//! row format. The experiment binaries in `vmsim-bench` are thin wrappers
-//! around these functions.
+//! Every matrix-style experiment is now **manifest-driven**: each function
+//! builds the corresponding [`vmsim_config::builtin`] manifest and hands it
+//! to [`crate::driver::run_manifest`], then unwraps the typed outcome. The
+//! manifests reproduce the legacy hand-constructed scenarios exactly (same
+//! benchmarks, co-runners, weights, protocols, seed derivations), so the
+//! results are bit-identical to the pre-manifest implementation — pinned by
+//! the `manifest_parity` integration tests.
 //!
-//! Every scenario in an experiment is independent and deterministic per
-//! seed, so each function fans its runs out over the [`crate::parallel`]
-//! worker pool (`VMSIM_THREADS`) and reassembles results in job order —
-//! output is bit-identical to a serial run.
+//! Two experiments are not scenario matrices and keep their direct
+//! implementations here: [`sec64`] (the §6.4 allocation-latency
+//! microbenchmark) and [`walk_breakdown`] (raw per-level counter capture,
+//! which also uses a different co-runner seed derivation than the scenario
+//! engine). The driver calls back into them for the `alloc-latency` and
+//! `walk-breakdown` manifest kinds.
 
 use serde::{Deserialize, Serialize};
 use vmsim_os::{Machine, MachineConfig};
 use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
 use vmsim_workloads::{BenchId, CoId};
 
-use crate::parallel::{self, Parallelism};
-use crate::scenario::{AllocatorKind, RunMetrics, Scenario};
+pub use vmsim_config::DEFAULT_MEASURE_OPS;
 
-/// Default measured steady-state operations per run.
-pub const DEFAULT_MEASURE_OPS: u64 = 300_000;
+use crate::driver::{self, Outcome};
+use crate::parallel::{self, Parallelism};
+use crate::scenario::{AllocatorKind, RunMetrics};
 
 /// Percentage change from `from` to `to` (positive = increase).
 pub fn pct_change(from: f64, to: f64) -> f64 {
@@ -30,16 +35,9 @@ pub fn pct_change(from: f64, to: f64) -> f64 {
     }
 }
 
-/// Runs the default-allocator and PTEMagnet variants of one scenario on the
-/// worker pool, returning `(default, ptemagnet)`.
-fn run_default_vs_ptemagnet(
-    mk: impl Fn(AllocatorKind) -> RunMetrics + Sync,
-) -> (RunMetrics, RunMetrics) {
-    let kinds = [AllocatorKind::Default, AllocatorKind::PteMagnet];
-    let mut runs = parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| mk(kind));
-    let ptemagnet = runs.pop().expect("two runs");
-    let default = runs.pop().expect("two runs");
-    (default, ptemagnet)
+fn run_builtin(manifest: &vmsim_config::ExperimentManifest) -> driver::ManifestRun {
+    driver::run_manifest(manifest)
+        .unwrap_or_else(|e| panic!("builtin manifest {}: {e}", manifest.name))
 }
 
 // ---------------------------------------------------------------------------
@@ -101,23 +99,9 @@ impl Table1 {
 /// Runs the Table 1 study (§3.3): fragmentation effects isolated from cache
 /// contention by stopping the co-runner after pagerank's allocation phase.
 pub fn table1(seed: u64, measure_ops: u64) -> Table1 {
-    let mut runs = parallel::run_indexed(Parallelism::from_env(), 2, |i| {
-        let mut s = Scenario::new(BenchId::Pagerank)
-            .measure_ops(measure_ops)
-            .seed(seed);
-        if i == 1 {
-            s = s
-                .corunners(&[CoId::StressNg])
-                .corunner_weight(3)
-                .stop_corunners_after_init(true);
-        }
-        s.run()
-    });
-    let colocated = runs.pop().expect("two runs");
-    let standalone = runs.pop().expect("two runs");
-    Table1 {
-        standalone,
-        colocated,
+    match run_builtin(&vmsim_config::builtin::table1(seed, measure_ops)).outcome {
+        Outcome::Table1(t) => t,
+        _ => unreachable!("table1 manifest yields a Table1 outcome"),
     }
 }
 
@@ -165,39 +149,10 @@ impl FigureSweep {
     }
 }
 
-fn sweep(corunners: &[CoId], weight: u32, label: &str, seed: u64, measure_ops: u64) -> FigureSweep {
-    // One job per (benchmark, allocator) — the finest independent unit —
-    // reassembled into per-benchmark pairs afterwards.
-    let jobs: Vec<(BenchId, AllocatorKind)> = BenchId::ALL
-        .iter()
-        .flat_map(|&bench| {
-            [
-                (bench, AllocatorKind::Default),
-                (bench, AllocatorKind::PteMagnet),
-            ]
-        })
-        .collect();
-    let runs = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(bench, alloc)| {
-        Scenario::new(bench)
-            .corunners(corunners)
-            .corunner_weight(weight)
-            .allocator(alloc)
-            .measure_ops(measure_ops)
-            .seed(seed)
-            .run()
-    });
-    let pairs = BenchId::ALL
-        .iter()
-        .zip(runs.chunks_exact(2))
-        .map(|(&bench, pair)| BenchPair {
-            name: bench.name().to_string(),
-            default: pair[0].clone(),
-            ptemagnet: pair[1].clone(),
-        })
-        .collect();
-    FigureSweep {
-        colocation: label.to_string(),
-        pairs,
+fn figure(manifest: &vmsim_config::ExperimentManifest) -> FigureSweep {
+    match run_builtin(manifest).outcome {
+        Outcome::Figure(sweep) => sweep,
+        _ => unreachable!("figure manifests yield a Figure outcome"),
     }
 }
 
@@ -205,12 +160,12 @@ fn sweep(corunners: &[CoId], weight: u32, label: &str, seed: u64, measure_ops: u
 /// PTEMagnet. Figure 5 reads the `host_frag` fields; Figure 6 the
 /// improvements.
 pub fn fig5_fig6(seed: u64, measure_ops: u64) -> FigureSweep {
-    sweep(&[CoId::Objdet], 4, "objdet", seed, measure_ops)
+    figure(&vmsim_config::builtin::fig6(seed, measure_ops))
 }
 
 /// Figure 7: every benchmark colocated with the combination of co-runners.
 pub fn fig7(seed: u64, measure_ops: u64) -> FigureSweep {
-    sweep(&CoId::COMBINATION, 1, "combination", seed, measure_ops)
+    figure(&vmsim_config::builtin::fig7(seed, measure_ops))
 }
 
 // ---------------------------------------------------------------------------
@@ -263,16 +218,10 @@ impl Table4 {
 /// Runs the Table 4 study (§6.3). Unlike §3.3, the co-runner stays running
 /// during measurement (the paper's footnote 2).
 pub fn table4(seed: u64, measure_ops: u64) -> Table4 {
-    let (default, ptemagnet) = run_default_vs_ptemagnet(|alloc| {
-        Scenario::new(BenchId::Pagerank)
-            .corunners(&[CoId::Objdet])
-            .corunner_weight(4)
-            .allocator(alloc)
-            .measure_ops(measure_ops)
-            .seed(seed)
-            .run()
-    });
-    Table4 { default, ptemagnet }
+    match run_builtin(&vmsim_config::builtin::table4(seed, measure_ops)).outcome {
+        Outcome::Table4(t) => t,
+        _ => unreachable!("table4 manifest yields a Table4 outcome"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -294,23 +243,10 @@ pub struct ReservedUnused {
 /// the main evaluation). The paper's finding: never exceeds 0.2 % of the
 /// footprint.
 pub fn sec62(seed: u64, measure_ops: u64) -> Vec<ReservedUnused> {
-    parallel::map_indexed(Parallelism::from_env(), &BenchId::ALL, |&bench| {
-        let m = Scenario::new(bench)
-            .corunners(&[CoId::Objdet])
-            .allocator(AllocatorKind::PteMagnet)
-            .measure_ops(measure_ops)
-            .seed(seed)
-            .run();
-        ReservedUnused {
-            name: bench.name().to_string(),
-            peak_fraction: m.reserved_unused_fraction(),
-            mean_fraction: if m.footprint_pages == 0 {
-                0.0
-            } else {
-                m.reserved_unused_mean / m.footprint_pages as f64
-            },
-        }
-    })
+    match run_builtin(&vmsim_config::builtin::sec62(seed, measure_ops)).outcome {
+        Outcome::Sec62(rows) => rows,
+        _ => unreachable!("sec62 manifest yields a Sec62 outcome"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -404,64 +340,9 @@ pub struct ThpStudy {
 /// argument for fine-grained reservation. Also measures the sparse-touch
 /// internal-fragmentation penalty of THP.
 pub fn thp_study(seed: u64, measure_ops: u64) -> ThpStudy {
-    let kinds = [
-        AllocatorKind::Default,
-        AllocatorKind::Thp,
-        AllocatorKind::PteMagnet,
-    ];
-    // All six (condition, allocator) runs are independent: fan them out,
-    // then compute each row's improvement against its condition's default.
-    let jobs: Vec<(&'static str, Option<u64>, AllocatorKind)> =
-        [("fresh", None), ("fragmented", Some(16u64))]
-            .into_iter()
-            .flat_map(|(condition, prefrag)| kinds.map(|kind| (condition, prefrag, kind)))
-            .collect();
-    let metrics = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(_, prefrag, kind)| {
-        let mut s = Scenario::new(BenchId::Pagerank)
-            .corunners(&[CoId::Objdet])
-            .corunner_weight(4)
-            .allocator(kind)
-            .measure_ops(measure_ops)
-            .seed(seed);
-        if let Some(run) = prefrag {
-            s = s.prefragment_run(run);
-        }
-        s.run()
-    });
-    let mut rows = Vec::new();
-    for (per_condition, jobs) in metrics.chunks_exact(kinds.len()).zip(jobs.chunks_exact(3)) {
-        let default = &per_condition[0];
-        for (&(condition, _, kind), metrics) in jobs.iter().zip(per_condition) {
-            rows.push(ThpRow {
-                allocator: kind.name().to_string(),
-                condition: condition.to_string(),
-                improvement: metrics.improvement_over(default),
-                metrics: metrics.clone(),
-            });
-        }
-    }
-
-    // Sparse-touch microbenchmark: touch every 8th page of a large VMA.
-    let sparse = |kind: AllocatorKind| -> f64 {
-        let mut m = Machine::with_allocator(MachineConfig::paper(1, 128), kind.build());
-        let pid = m.guest_mut().spawn();
-        let base = m.guest_mut().mmap(pid, 8192).expect("mmap");
-        let touched = 8192 / 8;
-        for i in 0..touched {
-            m.touch(
-                0,
-                pid,
-                GuestVirtAddr::new(base.raw() + i * 8 * PAGE_SIZE),
-                true,
-            )
-            .expect("touch");
-        }
-        m.guest().process(pid).expect("pid").rss_pages as f64 / touched as f64
-    };
-    let sparse_rss = parallel::map_indexed(Parallelism::from_env(), &kinds, |&kind| sparse(kind));
-    ThpStudy {
-        rows,
-        sparse_rss_per_touched: [sparse_rss[0], sparse_rss[1], sparse_rss[2]],
+    match run_builtin(&vmsim_config::builtin::thp(seed, measure_ops)).outcome {
+        Outcome::Thp(study) => study,
+        _ => unreachable!("thp manifest yields a Thp outcome"),
     }
 }
 
@@ -509,37 +390,10 @@ pub fn walk_breakdown(seed: u64, measure_ops: u64) -> Vec<(String, vmsim_cache::
 /// layout-dependent cache-set noise of a single run is comparable to the
 /// effect size, which is exactly why the paper averages 40 runs.
 pub fn specint_zero_overhead(seed: u64, measure_ops: u64) -> Vec<(String, f64)> {
-    const REPS: u64 = 3;
-    // One job per (benchmark, seed replica); each computes one paired
-    // improvement, then replicas are averaged per benchmark in job order.
-    let jobs: Vec<(BenchId, u64)> = BenchId::SPECINT_LOW_PRESSURE
-        .iter()
-        .flat_map(|&bench| (0..REPS).map(move |s| (bench, s)))
-        .collect();
-    let imps = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(bench, s)| {
-        let mk = |alloc| {
-            Scenario::new(bench)
-                .corunners(&[CoId::Objdet])
-                .corunner_weight(4)
-                .allocator(alloc)
-                .measure_ops(measure_ops)
-                .seed(seed.wrapping_add(s * 101))
-                .run()
-        };
-        let base = mk(AllocatorKind::Default);
-        let pm = mk(AllocatorKind::PteMagnet);
-        pm.improvement_over(&base)
-    });
-    BenchId::SPECINT_LOW_PRESSURE
-        .iter()
-        .zip(imps.chunks_exact(REPS as usize))
-        .map(|(&bench, imps)| {
-            (
-                bench.name().to_string(),
-                imps.iter().sum::<f64>() / imps.len() as f64,
-            )
-        })
-        .collect()
+    match run_builtin(&vmsim_config::builtin::specint(seed, measure_ops)).outcome {
+        Outcome::Specint(rows) => rows,
+        _ => unreachable!("specint manifest yields a Specint outcome"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -551,28 +405,10 @@ pub fn specint_zero_overhead(seed: u64, measure_ops: u64) -> Vec<(String, f64)> 
 /// can be achieved on a processor with a larger LLC ... more LLC capacity
 /// increases the chances of a cache line with a page table staying in LLC"*.
 pub fn llc_sensitivity(seed: u64, measure_ops: u64, llc_mbs: &[u64]) -> Vec<(u64, f64)> {
-    // One job per (LLC size, allocator); pairs reassembled in sweep order.
-    let jobs: Vec<(u64, AllocatorKind)> = llc_mbs
-        .iter()
-        .flat_map(|&mb| [(mb, AllocatorKind::Default), (mb, AllocatorKind::PteMagnet)])
-        .collect();
-    let runs = parallel::map_indexed(Parallelism::from_env(), &jobs, |&(mb, alloc)| {
-        let mut config = MachineConfig::paper(2, 1024);
-        config.hierarchy.llc = vmsim_cache::CacheConfig::from_capacity(mb * 1024 * 1024, 16);
-        Scenario::new(BenchId::Pagerank)
-            .corunners(&[CoId::Objdet])
-            .corunner_weight(4)
-            .allocator(alloc)
-            .machine(config)
-            .measure_ops(measure_ops)
-            .seed(seed)
-            .run()
-    });
-    llc_mbs
-        .iter()
-        .zip(runs.chunks_exact(2))
-        .map(|(&mb, pair)| (mb, pair[1].improvement_over(&pair[0])))
-        .collect()
+    match run_builtin(&vmsim_config::builtin::llc(seed, measure_ops, llc_mbs)).outcome {
+        Outcome::Llc(rows) => rows,
+        _ => unreachable!("llc manifest yields an Llc outcome"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -600,42 +436,10 @@ pub struct HwSensitivityRow {
 /// second dimension actually touches host PTEs (tiny nested TLB ⇒ more
 /// hPTE traffic ⇒ more benefit).
 pub fn hw_sensitivity(seed: u64, measure_ops: u64) -> Vec<HwSensitivityRow> {
-    let run = |bench: BenchId, config: MachineConfig, alloc: AllocatorKind| {
-        Scenario::new(bench)
-            .corunners(&[CoId::Objdet])
-            .corunner_weight(4)
-            .allocator(alloc)
-            .machine(config)
-            .measure_ops(measure_ops)
-            .seed(seed)
-            .run()
-    };
-    // STLB reach is probed with omnetpp, whose 16k-page footprint straddles
-    // the sweep range (pagerank's 49k pages would swamp every size).
-    let jobs: Vec<(&'static str, usize, BenchId)> = [384usize, 1536, 12_288]
-        .into_iter()
-        .map(|v| ("stlb", v, BenchId::Omnetpp))
-        .chain(
-            [16usize, 64, 256]
-                .into_iter()
-                .map(|v| ("nested-tlb", v, BenchId::Pagerank)),
-        )
-        .collect();
-    parallel::map_indexed(Parallelism::from_env(), &jobs, |&(knob, value, bench)| {
-        let mut config = MachineConfig::paper(2, 1024);
-        match knob {
-            "stlb" => config.tlb.l2_entries = value,
-            _ => config.pwc.nested_tlb_entries = value,
-        }
-        let base = run(bench, config, AllocatorKind::Default);
-        let pm = run(bench, config, AllocatorKind::PteMagnet);
-        HwSensitivityRow {
-            knob: knob.to_string(),
-            value,
-            tlb_miss_ratio: base.tlb_misses as f64 / base.tlb_lookups.max(1) as f64,
-            improvement: pm.improvement_over(&base),
-        }
-    })
+    match run_builtin(&vmsim_config::builtin::hw(seed, measure_ops)).outcome {
+        Outcome::Hw(rows) => rows,
+        _ => unreachable!("hw manifest yields an Hw outcome"),
+    }
 }
 
 #[cfg(test)]

@@ -9,12 +9,17 @@
 //!   paper pins threads), and accumulates per-app cycle counts;
 //! * [`scenario`] — declarative description of one run: benchmark,
 //!   co-runners, allocator, co-runner stop protocol, measurement length;
+//! * [`driver`] — the manifest execution engine: expands a
+//!   `vmsim_config::ExperimentManifest` into scenario runs on the worker
+//!   pool and assembles the typed, paper-shaped outcome. The `vmsim` CLI
+//!   and every `exp-*` binary go through it;
 //! * [`experiments`] — one function per table/figure of the paper
-//!   (Table 1, Figures 5–7, Table 4, §6.2, §6.4);
-//! * [`obs`] — scenario-level observability: [`ObsConfig`] knobs
-//!   (`VMSIM_TRACE`, `VMSIM_EPOCH_OPS`) and the [`ObservedRun`] wrapper
-//!   carrying snapshot, epoch time series, and event trace next to the
-//!   untouched [`RunMetrics`];
+//!   (Table 1, Figures 5–7, Table 4, §6.2, §6.4), each a thin wrapper over
+//!   the corresponding builtin manifest;
+//! * [`obs`] — scenario-level observability: the [`ObsConfig`] knobs
+//!   (re-exported from `vmsim-config`; `VMSIM_TRACE`, `VMSIM_EPOCH_OPS`)
+//!   and the [`ObservedRun`] wrapper carrying snapshot, epoch time series,
+//!   and event trace next to the untouched [`RunMetrics`];
 //! * [`parallel`] — deterministic worker pool fanning independent runs
 //!   (seeds, benchmarks) across cores; results come back in job order, so
 //!   output is bit-identical to serial. Thread count: `VMSIM_THREADS`;
@@ -33,7 +38,16 @@
 //!     .run();
 //! println!("host-PT fragmentation: {:.2}", metrics.host_frag);
 //! ```
+//!
+//! Manifest-driven (the canonical path):
+//!
+//! ```no_run
+//! let manifest = vmsim_config::builtin::table4(0, 300_000);
+//! let run = vmsim_sim::driver::run_manifest(&manifest).expect("valid manifest");
+//! print!("{}", run.report());
+//! ```
 
+pub mod driver;
 pub mod engine;
 pub mod experiments;
 pub mod obs;
@@ -42,6 +56,7 @@ pub mod report;
 pub mod scenario;
 pub mod stats;
 
+pub use driver::{run_manifest, DriverError, ManifestRun, Outcome, VarianceStudy};
 pub use engine::Colocation;
 pub use experiments::{
     fig5_fig6, fig7, hw_sensitivity, llc_sensitivity, sec62, sec64, specint_zero_overhead, table1,

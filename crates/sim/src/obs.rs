@@ -1,91 +1,21 @@
-//! Scenario-level observability: configuration knobs and the observed-run
-//! wrapper.
+//! Scenario-level observability: the observed-run wrapper.
 //!
 //! [`RunMetrics`] stays exactly what it always was — the
 //! end-of-run aggregates whose bit-identity the determinism tests assert.
 //! Everything the observability layer adds (final registry snapshot, epoch
 //! time series, event trace, merged latency histograms) lives alongside it
 //! in [`ObservedRun`], so enabling observability can never change a metric.
+//!
+//! The configuration type moved to `vmsim-config` so manifests can carry
+//! it; the strict environment knobs (`VMSIM_TRACE`, `VMSIM_EPOCH_OPS`) are
+//! parsed by `vmsim_config::env`, the single parsing point.
 
 use vmsim_cache::Histogram;
 use vmsim_obs::{Event, Snapshot, TimeSeries};
 
+pub use vmsim_config::ObsConfig;
+
 use crate::scenario::RunMetrics;
-
-/// What a scenario run should observe beyond its [`RunMetrics`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ObsConfig {
-    /// Install an event tracer on the machine.
-    pub trace: bool,
-    /// Ring capacity (events retained) when tracing.
-    pub trace_capacity: usize,
-    /// Capture a registry snapshot every this many machine ops during the
-    /// measured phase (`None` = endpoints only).
-    pub epoch_ops: Option<u64>,
-}
-
-impl ObsConfig {
-    /// Observability off: the exact legacy execution path.
-    pub fn disabled() -> Self {
-        Self {
-            trace: false,
-            trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
-            epoch_ops: None,
-        }
-    }
-
-    /// Tracing on (default ring capacity) and epoch sampling every
-    /// `epoch_ops` machine ops.
-    pub fn enabled(epoch_ops: u64) -> Self {
-        Self {
-            trace: true,
-            trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
-            epoch_ops: Some(epoch_ops.max(1)),
-        }
-    }
-
-    /// Reads the `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` environment knobs:
-    ///
-    /// * `VMSIM_TRACE` — unset, empty, or `0` disables tracing; `1` enables
-    ///   it at the default ring capacity; any larger number enables it with
-    ///   that capacity.
-    /// * `VMSIM_EPOCH_OPS` — a positive number enables epoch sampling at
-    ///   that interval; unset, empty, or `0` disables it.
-    pub fn from_env() -> Self {
-        let mut cfg = Self::disabled();
-        if let Ok(v) = std::env::var("VMSIM_TRACE") {
-            match v.trim().parse::<u64>() {
-                Ok(0) => {}
-                Ok(1) => cfg.trace = true,
-                Ok(n) => {
-                    cfg.trace = true;
-                    cfg.trace_capacity = n as usize;
-                }
-                Err(_) if !v.trim().is_empty() => cfg.trace = true,
-                Err(_) => {}
-            }
-        }
-        if let Ok(v) = std::env::var("VMSIM_EPOCH_OPS") {
-            if let Ok(n) = v.trim().parse::<u64>() {
-                if n > 0 {
-                    cfg.epoch_ops = Some(n);
-                }
-            }
-        }
-        cfg
-    }
-
-    /// Whether this configuration observes anything at all.
-    pub fn is_enabled(&self) -> bool {
-        self.trace || self.epoch_ops.is_some()
-    }
-}
-
-impl Default for ObsConfig {
-    fn default() -> Self {
-        Self::disabled()
-    }
-}
 
 /// A scenario result plus everything the observability layer captured.
 #[derive(Clone, Debug)]
@@ -121,43 +51,5 @@ impl ObservedRun {
             out.push('\n');
         }
         out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn clear_env() {
-        std::env::remove_var("VMSIM_TRACE");
-        std::env::remove_var("VMSIM_EPOCH_OPS");
-    }
-
-    #[test]
-    fn env_knobs_parse() {
-        // Env vars are process-global: run every combination in one test to
-        // avoid racing parallel test threads on the same variables.
-        clear_env();
-        assert_eq!(ObsConfig::from_env(), ObsConfig::disabled());
-
-        std::env::set_var("VMSIM_TRACE", "1");
-        std::env::set_var("VMSIM_EPOCH_OPS", "500");
-        let cfg = ObsConfig::from_env();
-        assert!(cfg.trace);
-        assert_eq!(cfg.trace_capacity, vmsim_obs::DEFAULT_CAPACITY);
-        assert_eq!(cfg.epoch_ops, Some(500));
-
-        std::env::set_var("VMSIM_TRACE", "4096");
-        std::env::set_var("VMSIM_EPOCH_OPS", "0");
-        let cfg = ObsConfig::from_env();
-        assert!(cfg.trace);
-        assert_eq!(cfg.trace_capacity, 4096);
-        assert_eq!(cfg.epoch_ops, None);
-
-        std::env::set_var("VMSIM_TRACE", "0");
-        let cfg = ObsConfig::from_env();
-        assert!(!cfg.trace);
-        assert!(!cfg.is_enabled());
-        clear_env();
     }
 }

@@ -28,20 +28,19 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    /// Reads the policy from `VMSIM_THREADS`: `1` → [`Serial`],
-    /// `n > 1` → [`Threads`]`(n)`, unset, `0`, or unparsable → [`Auto`].
+    /// Reads the policy from `VMSIM_THREADS` via `vmsim_config::env` (the
+    /// single parsing point): `1` → [`Serial`], `n > 1` → [`Threads`]`(n)`,
+    /// unset or `0` → [`Auto`]. A malformed value warns once and falls back
+    /// to [`Auto`]; `vmsim validate` reports it as an error.
     ///
     /// [`Serial`]: Parallelism::Serial
     /// [`Threads`]: Parallelism::Threads
     /// [`Auto`]: Parallelism::Auto
     pub fn from_env() -> Self {
-        match std::env::var("VMSIM_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(1) => Self::Serial,
-                Ok(n) if n > 1 => Self::Threads(n),
-                _ => Self::Auto,
-            },
-            Err(_) => Self::Auto,
+        match vmsim_config::env::threads_or_auto() {
+            Some(1) => Self::Serial,
+            Some(n) => Self::Threads(n),
+            None => Self::Auto,
         }
     }
 

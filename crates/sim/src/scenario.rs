@@ -1,13 +1,12 @@
 //! Declarative description of one experimental run.
 
 use serde::{Deserialize, Serialize};
-use vmsim_os::{DefaultAllocator, GuestFrameAllocator, Machine, MachineConfig};
+use vmsim_os::{GuestFrameAllocator, Machine, MachineConfig};
 use vmsim_types::Result;
 use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
 
 use crate::engine::Colocation;
 use crate::obs::{ObsConfig, ObservedRun};
-use ptemagnet::{CaPagingLike, ReservationAllocator, ThpAllocator};
 
 /// Which guest frame allocator a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,14 +32,10 @@ impl AllocatorKind {
         }
     }
 
-    /// Instantiates the allocator.
+    /// Instantiates the allocator through the policy registry — the single
+    /// name → allocator mapping every layer shares.
     pub fn build(self) -> Box<dyn GuestFrameAllocator> {
-        match self {
-            AllocatorKind::Default => Box::new(DefaultAllocator::new()),
-            AllocatorKind::PteMagnet => Box::new(ReservationAllocator::new()),
-            AllocatorKind::CaPagingLike => Box::new(CaPagingLike::new()),
-            AllocatorKind::Thp => Box::new(ThpAllocator::new()),
-        }
+        ptemagnet::registry::resolve(self.name()).expect("built-in kinds are registered")
     }
 }
 

@@ -69,6 +69,15 @@ impl BenchId {
         BenchId::Xalancbmk,
     ];
 
+    /// Parses a display name back to its identity (the inverse of
+    /// [`BenchId::name`]); used by the manifest layer.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .chain(Self::SPECINT_LOW_PRESSURE)
+            .find(|b| b.name() == name)
+    }
+
     /// The benchmark's display name (matches the paper's axis labels).
     pub fn name(self) -> &'static str {
         match self {
@@ -129,6 +138,24 @@ impl CoId {
         CoId::GccCo,
         CoId::XzCo,
     ];
+
+    /// Every co-runner (the combination plus the Table 1 stressor).
+    pub const ALL: [CoId; 8] = [
+        CoId::Objdet,
+        CoId::StressNg,
+        CoId::Chameleon,
+        CoId::Pyaes,
+        CoId::JsonSerdes,
+        CoId::RnnServing,
+        CoId::GccCo,
+        CoId::XzCo,
+    ];
+
+    /// Parses a display name back to its identity (the inverse of
+    /// [`CoId::name`]); used by the manifest layer.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
 
     /// The co-runner's display name.
     pub fn name(self) -> &'static str {
