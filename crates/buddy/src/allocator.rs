@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use vmsim_types::{MemError, PageNumber, Result};
+use vmsim_types::{FaultInjector, MemError, PageNumber, Result};
 
 use crate::stats::BuddyStats;
 
@@ -49,6 +49,9 @@ pub struct BuddyAllocator<F: PageNumber> {
     total_frames: u64,
     free_frames: u64,
     stats: BuddyStats,
+    /// Optional deterministic fault injector: when installed, allocations
+    /// may be denied by plan even though memory is available.
+    injector: Option<FaultInjector>,
     _space: core::marker::PhantomData<F>,
 }
 
@@ -69,6 +72,7 @@ impl<F: PageNumber> BuddyAllocator<F> {
             total_frames,
             free_frames: total_frames,
             stats: BuddyStats::default(),
+            injector: None,
             _space: core::marker::PhantomData,
         };
         // Tile [0, total_frames) with maximal aligned power-of-two blocks.
@@ -130,6 +134,48 @@ impl<F: PageNumber> BuddyAllocator<F> {
             .find(|&o| !self.free_lists[o as usize].is_empty())
     }
 
+    /// Installs (or replaces) the deterministic fault injector.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Mutable access to the installed fault injector, if any.
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Fragmentation shock: splits every free block larger than `max_order`
+    /// down to `max_order` pieces, destroying contiguity without changing
+    /// the free-frame count. Returns the number of splits performed.
+    ///
+    /// Deterministic: blocks are visited in descending order, ascending
+    /// address. Subsequent frees still coalesce normally, so the shock
+    /// decays as the workload churns — exactly how external fragmentation
+    /// behaves on a real host.
+    pub fn shatter(&mut self, max_order: u32) -> u64 {
+        let max_order = max_order.min(MAX_ORDER);
+        let mut splits = 0u64;
+        for order in (max_order + 1)..=MAX_ORDER {
+            let blocks: Vec<u64> = std::mem::take(&mut self.free_lists[order as usize])
+                .into_iter()
+                .collect();
+            for base in blocks {
+                let pieces = 1u64 << (order - max_order);
+                for i in 0..pieces {
+                    self.free_lists[max_order as usize].insert(base + (i << max_order));
+                }
+                splits += pieces - 1;
+            }
+        }
+        self.stats.splits += splits;
+        splits
+    }
+
     /// Allocates a block of 2^`order` frames, aligned to 2^`order`.
     ///
     /// Splits a larger block if no block of the requested order is free,
@@ -146,6 +192,13 @@ impl<F: PageNumber> BuddyAllocator<F> {
                 value: order as u64,
                 limit: MAX_ORDER as u64 + 1,
             });
+        }
+        // Planned denial: an installed injector may refuse the allocation
+        // even with memory available, forcing the caller's fallback path.
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.should_fail_alloc(order) {
+                return Err(MemError::OutOfMemory { order });
+            }
         }
         // Find the smallest order >= requested with a free block.
         let found = (order..=MAX_ORDER)
@@ -505,6 +558,67 @@ mod tests {
         assert_eq!(s.frees, 2);
         assert!(s.splits >= s.merges);
         assert_eq!(s.allocated_frames, 0);
+    }
+
+    #[test]
+    fn injector_denies_allocs_with_memory_available() {
+        use vmsim_types::{FaultInjector, FaultPlan};
+        let mut b = buddy(1024);
+        let plan = FaultPlan {
+            chunk_fail_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        b.set_fault_injector(FaultInjector::new(&plan, 0));
+        // Order-3 is always denied; order-0 (oom_rate 0) always succeeds.
+        assert_eq!(b.alloc(3), Err(MemError::OutOfMemory { order: 3 }));
+        assert!(b.alloc(0).is_ok());
+        assert_eq!(b.fault_injector().unwrap().stats().chunk_denials, 1);
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn zero_plan_injector_changes_nothing() {
+        let mut plain = buddy(256);
+        let mut faulted = buddy(256);
+        faulted.set_fault_injector(vmsim_types::FaultInjector::new(
+            &vmsim_types::FaultPlan::default(),
+            7,
+        ));
+        for order in [0, 0, 3, 1, 0, 3] {
+            assert_eq!(
+                plain.alloc(order).unwrap(),
+                faulted.alloc(order).unwrap(),
+                "zero plan must be invisible"
+            );
+        }
+        assert_eq!(faulted.fault_injector().unwrap().stats().injected(), 0);
+    }
+
+    #[test]
+    fn shatter_destroys_contiguity_but_keeps_frames() {
+        let mut b = buddy(1024);
+        let free_before = b.free_frames();
+        let splits = b.shatter(0);
+        assert!(splits > 0);
+        assert_eq!(b.free_frames(), free_before);
+        assert_eq!(b.largest_free_order(), Some(0));
+        assert!(b.check_invariants());
+        // No order-3 block exists, but order-0 still succeeds.
+        assert_eq!(b.alloc(3), Err(MemError::OutOfMemory { order: 3 }));
+        let f = b.alloc(0).unwrap();
+        // Frees coalesce again: the shock decays with churn.
+        b.free(f, 0).unwrap();
+        assert_eq!(b.free_frames(), 1024);
+    }
+
+    #[test]
+    fn shatter_to_mid_order_preserves_that_order() {
+        // Shock at order 2: order-3 chunks denied, order-2 still intact.
+        let mut b = buddy(64);
+        b.shatter(2);
+        assert_eq!(b.largest_free_order(), Some(2));
+        assert_eq!(b.free_blocks(2), 16);
+        assert!(b.check_invariants());
     }
 
     #[test]

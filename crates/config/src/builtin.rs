@@ -8,6 +8,7 @@
 //! emitted in canonical form (`vmsim emit` regenerates them; golden tests
 //! pin the bytes).
 
+use vmsim_types::FaultPlan;
 use vmsim_workloads::{BenchId, CoId};
 
 use crate::manifest::{
@@ -36,6 +37,7 @@ fn matrix(
         measure_ops,
         obs: ObsConfig::disabled(),
         sim: None,
+        faults: None,
         experiment: ExperimentSpec::Matrix(MatrixSpec {
             report,
             policies: policies(policy_names),
@@ -287,6 +289,7 @@ pub fn sec64(pages: u64) -> ExperimentManifest {
         measure_ops: 1,
         obs: ObsConfig::disabled(),
         sim: None,
+        faults: None,
         experiment: ExperimentSpec::AllocLatency { pages },
     }
 }
@@ -302,6 +305,7 @@ pub fn breakdown(seed: u64, measure_ops: u64) -> ExperimentManifest {
         measure_ops,
         obs: ObsConfig::disabled(),
         sim: None,
+        faults: None,
         experiment: ExperimentSpec::WalkBreakdown,
     }
 }
@@ -317,6 +321,47 @@ pub fn smoke() -> ExperimentManifest {
         ReportKind::Runs,
         &["default", "ptemagnet"],
         vec![WorkloadSpec::new(BenchId::Gcc.name())],
+    );
+    m.obs = ObsConfig::enabled(1_000);
+    m.sim = Some(SimConfig {
+        guest_mb: Some(256),
+        cores: Some(2),
+        ..SimConfig::default()
+    });
+    m
+}
+
+/// Robustness study: graceful degradation under rising fault-injection
+/// severity. Solo gcc on the smoke machine, default vs PTEMagnet, with each
+/// row adding harsher chunk denials, OOM storms, fragmentation shocks,
+/// reclaim storms, and host swap-outs; observability on so every injected
+/// fault lands in the trace.
+pub fn pressure() -> ExperimentManifest {
+    let mut workloads = vec![WorkloadSpec::new(BenchId::Gcc.name()).labeled("baseline")];
+    workloads.extend([0.25_f64, 0.5, 0.75].into_iter().map(|rate| {
+        WorkloadSpec::new(BenchId::Gcc.name())
+            .labeled(format!("severity {rate}"))
+            .with_faults(FaultPlan {
+                seed: 0xFA17,
+                chunk_fail_rate: rate,
+                oom_rate: rate / 25.0,
+                frag_shock_every: Some(2_500),
+                frag_shock_order: 0,
+                reclaim_storm_every: Some(2_000),
+                reclaim_storm_frames: 256,
+                swap_out_every: Some(4_000),
+                daemon_threshold: Some(0.05),
+                daemon_restore_to: Some(0.1),
+            })
+    }));
+    let mut m = matrix(
+        "pressure",
+        "Robustness: graceful degradation of default vs PTEMagnet under rising fault severity",
+        vec![0],
+        5_000,
+        ReportKind::Pressure,
+        &["default", "ptemagnet"],
+        workloads,
     );
     m.obs = ObsConfig::enabled(1_000);
     m.sim = Some(SimConfig {
@@ -346,6 +391,7 @@ pub fn all() -> Vec<ExperimentManifest> {
         sec64(65_536),
         breakdown(0, 150_000),
         smoke(),
+        pressure(),
     ]
 }
 
@@ -361,7 +407,7 @@ mod tests {
     #[test]
     fn every_builtin_validates_and_round_trips() {
         let manifests = all();
-        assert_eq!(manifests.len(), 15);
+        assert_eq!(manifests.len(), 16);
         for m in manifests {
             m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let json = m.to_json();

@@ -31,6 +31,7 @@ pub use manifest::{
     SimConfig, WorkloadSpec,
 };
 pub use obs::ObsConfig;
+pub use vmsim_types::FaultPlan;
 
 /// Default measured steady-state operations per run (the full-scale setting
 /// of every headline experiment).

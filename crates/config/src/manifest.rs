@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 
 use vmsim_obs::json::{self, Json};
 use vmsim_os::CostModel;
+use vmsim_types::FaultPlan;
 use vmsim_workloads::{BenchId, CoId};
 
 use crate::obs::ObsConfig;
@@ -159,6 +160,8 @@ pub struct WorkloadSpec {
     pub prefragment_run: Option<u64>,
     /// Per-workload machine overrides, layered over the manifest's.
     pub sim: Option<SimConfig>,
+    /// Per-workload fault plan; replaces the manifest-level plan wholesale.
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorkloadSpec {
@@ -172,6 +175,7 @@ impl WorkloadSpec {
             stop_corunners_after_init: false,
             prefragment_run: None,
             sim: None,
+            faults: None,
         }
     }
 
@@ -191,6 +195,12 @@ impl WorkloadSpec {
     /// Builder: sets machine overrides.
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = Some(sim);
+        self
+    }
+
+    /// Builder: sets the per-workload fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -268,11 +278,13 @@ pub enum ReportKind {
     Llc,
     /// Hardware sensitivity (STLB / nested-TLB knobs).
     Hw,
+    /// Degradation under rising fault-injection rates (robustness study).
+    Pressure,
 }
 
 impl ReportKind {
     /// Every kind, for `vmsim list`.
-    pub const ALL: [ReportKind; 13] = [
+    pub const ALL: [ReportKind; 14] = [
         ReportKind::Runs,
         ReportKind::Csv,
         ReportKind::Table1,
@@ -286,6 +298,7 @@ impl ReportKind {
         ReportKind::Variance,
         ReportKind::Llc,
         ReportKind::Hw,
+        ReportKind::Pressure,
     ];
 
     /// The manifest string form.
@@ -304,6 +317,7 @@ impl ReportKind {
             ReportKind::Variance => "variance",
             ReportKind::Llc => "llc",
             ReportKind::Hw => "hw",
+            ReportKind::Pressure => "pressure",
         }
     }
 
@@ -371,6 +385,9 @@ pub struct ExperimentManifest {
     pub obs: ObsConfig,
     /// Manifest-wide machine overrides (`None` = paper platform).
     pub sim: Option<SimConfig>,
+    /// Manifest-wide fault plan applied to every run (`None` = no faults).
+    /// A workload's own plan, when set, replaces this one wholesale.
+    pub faults: Option<FaultPlan>,
     /// The experiment body.
     pub experiment: ExperimentSpec,
 }
@@ -400,6 +417,16 @@ impl ExperimentManifest {
         }
         if self.measure_ops == 0 {
             return Err(ManifestError::new("$.measure_ops", "must be positive"));
+        }
+        if let Some(plan) = &self.faults {
+            validate_fault_plan(plan, "$.faults")?;
+        }
+        if let ExperimentSpec::Matrix(matrix) = &self.experiment {
+            for (i, workload) in matrix.workloads.iter().enumerate() {
+                if let Some(plan) = &workload.faults {
+                    validate_fault_plan(plan, &format!("$.experiment.workloads[{i}].faults"))?;
+                }
+            }
         }
         match &self.experiment {
             ExperimentSpec::AllocLatency { pages } => {
@@ -455,7 +482,7 @@ impl ExperimentManifest {
             }
         };
         match matrix.report {
-            ReportKind::Runs | ReportKind::Csv => Ok(()),
+            ReportKind::Runs | ReportKind::Csv | ReportKind::Pressure => Ok(()),
             ReportKind::Table1 => shape(w == 2 && p == 1, "2 workloads × 1 policy"),
             ReportKind::Table4 => shape(w == 1 && p == 2, "1 workload × 2 policies"),
             ReportKind::Fig5 | ReportKind::Fig6 | ReportKind::Fig7 | ReportKind::Specint => {
@@ -522,6 +549,7 @@ impl ExperimentManifest {
             opt_u64(self.obs.epoch_ops)
         );
         let _ = writeln!(out, "  \"sim\": {},", opt_sim(&self.sim));
+        let _ = writeln!(out, "  \"faults\": {},", opt_faults(&self.faults));
         out.push_str("  \"experiment\": {\n");
         let _ = writeln!(out, "    \"kind\": {},", json_str(self.experiment.kind()));
         match &self.experiment {
@@ -642,9 +670,59 @@ impl ExperimentManifest {
             measure_ops: get_u64(&doc, "$", "measure_ops")?,
             obs,
             sim,
+            faults: opt_faults_from_json(&doc, "$.faults")?,
             experiment,
         })
     }
+}
+
+/// Semantic checks on a fault plan: rates are probabilities, periods are
+/// positive, and the reclaim-daemon watermarks satisfy
+/// `0 ≤ threshold ≤ restore_to ≤ 1` (the constructor invariant of
+/// `ptemagnet::ReclaimDaemon`, which plain deserialization would bypass).
+fn validate_fault_plan(plan: &FaultPlan, ctx: &str) -> Result<()> {
+    let rate = |name: &str, v: f64| -> Result<()> {
+        if v.is_finite() && (0.0..=1.0).contains(&v) {
+            Ok(())
+        } else {
+            Err(ManifestError::new(
+                format!("{ctx}.{name}"),
+                "must be a probability in [0, 1]",
+            ))
+        }
+    };
+    rate("chunk_fail_rate", plan.chunk_fail_rate)?;
+    rate("oom_rate", plan.oom_rate)?;
+    for (name, every) in [
+        ("frag_shock_every", plan.frag_shock_every),
+        ("reclaim_storm_every", plan.reclaim_storm_every),
+        ("swap_out_every", plan.swap_out_every),
+    ] {
+        if every == Some(0) {
+            return Err(ManifestError::new(
+                format!("{ctx}.{name}"),
+                "period must be positive (or null to disable)",
+            ));
+        }
+    }
+    if let Some(threshold) = plan.daemon_threshold {
+        rate("daemon_threshold", threshold)?;
+        if let Some(restore_to) = plan.daemon_restore_to {
+            rate("daemon_restore_to", restore_to)?;
+            if restore_to < threshold {
+                return Err(ManifestError::new(
+                    format!("{ctx}.daemon_restore_to"),
+                    "needs 0 <= daemon_threshold <= daemon_restore_to <= 1",
+                ));
+            }
+        }
+    } else if plan.daemon_restore_to.is_some() {
+        return Err(ManifestError::new(
+            format!("{ctx}.daemon_restore_to"),
+            "requires daemon_threshold to be set",
+        ));
+    }
+    Ok(())
 }
 
 // -- JSON helpers ----------------------------------------------------------
@@ -710,6 +788,91 @@ fn opt_sim(sim: &Option<SimConfig>) -> String {
     sim.as_ref().map_or_else(|| "null".to_string(), sim_json)
 }
 
+fn opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(
+        || "null".to_string(),
+        |f| {
+            let mut out = String::new();
+            json::write_f64(&mut out, f);
+            out
+        },
+    )
+}
+
+fn fault_plan_json(plan: &FaultPlan) -> String {
+    format!(
+        "{{\"seed\": {}, \"chunk_fail_rate\": {}, \"oom_rate\": {}, \"frag_shock_every\": {}, \
+         \"frag_shock_order\": {}, \"reclaim_storm_every\": {}, \"reclaim_storm_frames\": {}, \
+         \"swap_out_every\": {}, \"daemon_threshold\": {}, \"daemon_restore_to\": {}}}",
+        plan.seed,
+        opt_f64(Some(plan.chunk_fail_rate)),
+        opt_f64(Some(plan.oom_rate)),
+        opt_u64(plan.frag_shock_every),
+        plan.frag_shock_order,
+        opt_u64(plan.reclaim_storm_every),
+        plan.reclaim_storm_frames,
+        opt_u64(plan.swap_out_every),
+        opt_f64(plan.daemon_threshold),
+        opt_f64(plan.daemon_restore_to),
+    )
+}
+
+fn opt_faults(faults: &Option<FaultPlan>) -> String {
+    faults
+        .as_ref()
+        .map_or_else(|| "null".to_string(), fault_plan_json)
+}
+
+/// Every key a `"faults"` object may carry; anything else is an unknown
+/// fault kind and rejected loudly rather than silently ignored.
+const FAULT_PLAN_KEYS: [&str; 10] = [
+    "seed",
+    "chunk_fail_rate",
+    "oom_rate",
+    "frag_shock_every",
+    "frag_shock_order",
+    "reclaim_storm_every",
+    "reclaim_storm_frames",
+    "swap_out_every",
+    "daemon_threshold",
+    "daemon_restore_to",
+];
+
+fn fault_plan_from_json(node: &Json, ctx: &str) -> Result<FaultPlan> {
+    let Json::Obj(fields) = node else {
+        return Err(ManifestError::new(ctx, "expected a fault-plan object"));
+    };
+    for (key, _) in fields {
+        if !FAULT_PLAN_KEYS.contains(&key.as_str()) {
+            return Err(ManifestError::new(
+                ctx,
+                format!("unknown fault kind {key:?}"),
+            ));
+        }
+    }
+    Ok(FaultPlan {
+        seed: get_u64(node, ctx, "seed")?,
+        chunk_fail_rate: get_f64(node, ctx, "chunk_fail_rate")?,
+        oom_rate: get_f64(node, ctx, "oom_rate")?,
+        frag_shock_every: get_opt_u64(node, ctx, "frag_shock_every")?,
+        frag_shock_order: get_u64(node, ctx, "frag_shock_order")? as u32,
+        reclaim_storm_every: get_opt_u64(node, ctx, "reclaim_storm_every")?,
+        reclaim_storm_frames: get_u64(node, ctx, "reclaim_storm_frames")?,
+        swap_out_every: get_opt_u64(node, ctx, "swap_out_every")?,
+        daemon_threshold: get_opt_f64(node, ctx, "daemon_threshold")?,
+        daemon_restore_to: get_opt_f64(node, ctx, "daemon_restore_to")?,
+    })
+}
+
+/// Lenient lookup: a missing or `null` `"faults"` key is no plan, so
+/// pre-fault-injection manifests keep parsing unchanged.
+fn opt_faults_from_json(node: &Json, ctx: &str) -> Result<Option<FaultPlan>> {
+    match node.get("faults") {
+        None | Some(Json::Null) => Ok(None),
+        Some(plan) => fault_plan_from_json(plan, ctx).map(Some),
+    }
+}
+
 fn workload_json(out: &mut String, w: &WorkloadSpec) {
     out.push_str("      {\n");
     let _ = writeln!(out, "        \"label\": {},", opt_str(&w.label));
@@ -733,7 +896,8 @@ fn workload_json(out: &mut String, w: &WorkloadSpec) {
         "        \"prefragment_run\": {},",
         opt_u64(w.prefragment_run)
     );
-    let _ = writeln!(out, "        \"sim\": {}", opt_sim(&w.sim));
+    let _ = writeln!(out, "        \"sim\": {},", opt_sim(&w.sim));
+    let _ = writeln!(out, "        \"faults\": {}", opt_faults(&w.faults));
     out.push_str("      }");
 }
 
@@ -781,6 +945,22 @@ fn get_opt_u64(node: &Json, ctx: &str, key: &str) -> Result<Option<u64>> {
 
 fn get_opt_usize(node: &Json, ctx: &str, key: &str) -> Result<Option<usize>> {
     Ok(get_opt_u64(node, ctx, key)?.map(|n| n as usize))
+}
+
+fn get_f64(node: &Json, ctx: &str, key: &str) -> Result<f64> {
+    field(node, key)?
+        .as_f64()
+        .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected a number"))
+}
+
+fn get_opt_f64(node: &Json, ctx: &str, key: &str) -> Result<Option<f64>> {
+    match field(node, key)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected a number or null")),
+    }
 }
 
 fn sim_from_json(node: &Json, ctx: &str) -> Result<SimConfig> {
@@ -841,6 +1021,7 @@ fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
         stop_corunners_after_init: get_bool(node, &ctx, "stop_corunners_after_init")?,
         prefragment_run: get_opt_u64(node, &ctx, "prefragment_run")?,
         sim,
+        faults: opt_faults_from_json(node, &format!("{ctx}.faults"))?,
     })
 }
 
@@ -859,6 +1040,7 @@ mod tests {
                 llc_mb: Some(4),
                 ..SimConfig::default()
             }),
+            faults: None,
             experiment: ExperimentSpec::Matrix(MatrixSpec {
                 report: ReportKind::Runs,
                 policies: vec!["default".into(), "granular:4".into()],
@@ -892,6 +1074,7 @@ mod tests {
                 measure_ops: 1,
                 obs: ObsConfig::disabled(),
                 sim: None,
+                faults: None,
                 experiment,
             };
             let json = m.to_json();
@@ -920,6 +1103,121 @@ mod tests {
             matrix.report = ReportKind::Table4; // needs 1 workload × 2 policies × 1 seed
         }
         assert!(m.validate().is_err());
+    }
+
+    fn pressure_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            chunk_fail_rate: 0.25,
+            oom_rate: 0.01,
+            frag_shock_every: Some(10_000),
+            frag_shock_order: 1,
+            reclaim_storm_every: Some(50_000),
+            reclaim_storm_frames: 512,
+            swap_out_every: None,
+            daemon_threshold: Some(0.1),
+            daemon_restore_to: Some(0.2),
+        }
+    }
+
+    #[test]
+    fn fault_plans_round_trip_at_both_levels() {
+        let mut m = sample();
+        m.faults = Some(pressure_plan());
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[1].faults = Some(FaultPlan {
+                oom_rate: 0.5,
+                ..FaultPlan::none()
+            });
+        }
+        assert!(m.validate().is_ok());
+        let json = m.to_json();
+        let parsed = ExperimentManifest::from_json(&json).expect("parse");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), json, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn missing_faults_key_parses_as_no_plan() {
+        // Pre-fault-injection manifests have no "faults" key at all.
+        let stripped: String = sample()
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"faults\""))
+            .map(|l| {
+                // The workload "sim" line regains its line-final position.
+                if l.trim() == "\"sim\": null," && l.starts_with("        ") {
+                    "        \"sim\": null".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ExperimentManifest::from_json(&stripped).expect("parse");
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn unknown_fault_kind_is_rejected() {
+        let json = sample()
+            .to_json()
+            .replace("  \"faults\": null,", "  \"faults\": {\"meteor\": 1},");
+        let err = ExperimentManifest::from_json(&json).unwrap_err();
+        assert!(err.message.contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn daemon_watermarks_are_validated() {
+        // Deserialization bypasses ReclaimDaemon::new's assertions, so the
+        // manifest layer must enforce 0 <= threshold <= restore_to <= 1.
+        let mut m = sample();
+        m.faults = Some(FaultPlan {
+            daemon_threshold: Some(1.5),
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().unwrap_err().context.contains("threshold"));
+        m.faults = Some(FaultPlan {
+            daemon_threshold: Some(0.4),
+            daemon_restore_to: Some(0.2),
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().unwrap_err().context.contains("restore_to"));
+        m.faults = Some(FaultPlan {
+            daemon_restore_to: Some(0.2),
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().is_err(), "restore_to without threshold");
+        m.faults = Some(FaultPlan {
+            daemon_threshold: Some(0.1),
+            daemon_restore_to: Some(0.2),
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_rates_and_periods_are_validated() {
+        let mut m = sample();
+        m.faults = Some(FaultPlan {
+            chunk_fail_rate: -0.1,
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().is_err());
+        m.faults = Some(FaultPlan {
+            oom_rate: f64::NAN,
+            ..FaultPlan::none()
+        });
+        assert!(m.validate().is_err());
+        m.faults = None;
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[0].faults = Some(FaultPlan {
+                frag_shock_every: Some(0),
+                ..FaultPlan::none()
+            });
+        }
+        let err = m.validate().unwrap_err();
+        assert!(err.context.contains("workloads[0]"), "{err}");
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl GuestFrameAllocator for GranularReservationAllocator {
                     AllocCost {
                         buddy_calls: 1,
                         part_lookups: 1,
+                        fallback: true,
                         ..AllocCost::default()
                     },
                 ));
@@ -132,6 +133,7 @@ impl GuestFrameAllocator for GranularReservationAllocator {
                     gfn,
                     AllocCost {
                         buddy_calls: 1,
+                        fallback: true,
                         ..AllocCost::default()
                     },
                 ))

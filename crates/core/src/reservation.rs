@@ -153,6 +153,7 @@ impl ReservationAllocator {
             gfn,
             AllocCost {
                 buddy_calls: 1,
+                fallback: true,
                 ..AllocCost::default()
             },
         ))
@@ -374,6 +375,9 @@ impl GuestFrameAllocator for ReservationAllocator {
             .filter(|(_, p)| p.unused_frames() > 0)
             .map(|(&pid, _)| pid)
             .collect();
+        // HashMap iteration order is arbitrary; sort before applying the
+        // seeded RNG so victim selection is reproducible across runs.
+        candidates.sort_unstable();
         while released < target_frames && !candidates.is_empty() {
             let idx = self.rng.random_range(0..candidates.len());
             let victim = candidates.swap_remove(idx);
@@ -421,6 +425,20 @@ impl GuestFrameAllocator for ReservationAllocator {
 
     fn reserved_unused_frames(&self) -> u64 {
         self.total_unused_frames()
+    }
+
+    fn any_reserved_unused_frame(&self) -> Option<GuestFrame> {
+        // Lowest frame number across every table: a min is independent of
+        // map/tree iteration order, so the pick is deterministic.
+        let mut best: Option<u64> = None;
+        for part in self.parts.values() {
+            part.for_each(|_group, r| {
+                for f in r.unused_frames() {
+                    best = Some(best.map_or(f.raw(), |b| b.min(f.raw())));
+                }
+            });
+        }
+        best.map(GuestFrame::new)
     }
 
     fn reserved_unused_frames_of(&self, pid: Pid) -> u64 {

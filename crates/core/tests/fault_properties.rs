@@ -1,0 +1,222 @@
+//! Property-based tests of graceful degradation under fault injection.
+//!
+//! Whatever the fault schedule — per-allocation denial rolls, fragmentation
+//! shocks, reclaim storms, host swap-outs — three safety properties must
+//! hold unconditionally:
+//!
+//! 1. a served page fault always leaves the faulting page mapped;
+//! 2. reservation reclaim never changes a PTE that is already mapped;
+//! 3. the PaRT never references a frame the buddy considers free.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use ptemagnet::ReservationAllocator;
+use vmsim_os::{GuestBuddy, GuestFrameAllocator, Machine, MachineConfig, Pid};
+use vmsim_types::{FaultInjector, FaultPlan, GuestFrame, GuestVirtPage, GROUP_PAGES, PAGE_SIZE};
+
+/// `None` one time in four, otherwise a period drawn from `range`.
+fn opt_period(range: std::ops::Range<u64>) -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        1 => Just(None),
+        3 => range.prop_map(Some),
+    ]
+}
+
+/// Arbitrary fault plans, up to and including 100% denial rates: the safety
+/// properties may not depend on the injector being merciful.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u64>(), 0u64..=100, 0u64..=100),
+        (opt_period(1..50), 0u32..4),
+        (opt_period(1..40), 1u64..128, opt_period(1..60)),
+    )
+        .prop_map(
+            |((seed, chunk_pct, oom_pct), (shock, order), (storm, frames, swap))| FaultPlan {
+                seed,
+                chunk_fail_rate: chunk_pct as f64 / 100.0,
+                oom_rate: oom_pct as f64 / 100.0,
+                frag_shock_every: shock,
+                frag_shock_order: order,
+                reclaim_storm_every: storm,
+                reclaim_storm_frames: frames,
+                swap_out_every: swap,
+                daemon_threshold: Some(0.05),
+                daemon_restore_to: Some(0.1),
+            },
+        )
+}
+
+fn faulted_machine(plan: FaultPlan, run_seed: u64) -> Machine {
+    let mut m = Machine::with_allocator(
+        MachineConfig::small(),
+        Box::new(ReservationAllocator::new()),
+    );
+    m.install_faults(plan, run_seed);
+    m
+}
+
+#[derive(Clone, Debug)]
+enum DegradeOp {
+    Touch { vpn: u64 },
+    Reclaim { target: u64 },
+}
+
+fn degrade_op_strategy() -> impl Strategy<Value = DegradeOp> {
+    prop_oneof![
+        5 => (0u64..192).prop_map(|vpn| DegradeOp::Touch { vpn }),
+        1 => (1u64..512).prop_map(|target| DegradeOp::Reclaim { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_page_faults_always_map_the_page(
+        plan in plan_strategy(),
+        run_seed in any::<u64>(),
+        vpns in prop::collection::vec(0u64..192, 1..120),
+    ) {
+        // Graceful degradation, part 1: however aggressively the injector
+        // denies the buddy, an access to a valid VMA must never observably
+        // fail — the machine absorbs the denial (fallback or reclaim+retry)
+        // and the faulting page ends up mapped.
+        let mut m = faulted_machine(plan, run_seed);
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, 192).unwrap();
+        for vpn in vpns {
+            let out = m.touch(0, pid, base + vpn * PAGE_SIZE, false);
+            prop_assert!(out.is_ok(), "touch failed under faults: {out:?}");
+            let page = GuestVirtPage::new(base.page().raw() + vpn);
+            prop_assert!(
+                m.guest().process(pid).unwrap().page_table.translate(page).is_some(),
+                "page {page:?} not mapped after its fault was served"
+            );
+        }
+    }
+
+    #[test]
+    fn reclaim_never_changes_a_mapped_pte(
+        plan in plan_strategy(),
+        run_seed in any::<u64>(),
+        ops in prop::collection::vec(degrade_op_strategy(), 1..120),
+    ) {
+        // Graceful degradation, part 2: reclaim (explicit or storm-driven)
+        // may only harvest reserved-unused frames. Every translation that
+        // existed before a reclaim must read back unchanged after it.
+        let mut m = faulted_machine(plan, run_seed);
+        let pid = m.guest_mut().spawn();
+        let base = m.guest_mut().mmap(pid, 192).unwrap();
+        let mut mapped: HashMap<u64, GuestFrame> = HashMap::new();
+        for op in ops {
+            match op {
+                DegradeOp::Touch { vpn } => {
+                    let out = m.touch(0, pid, base + vpn * PAGE_SIZE, false);
+                    prop_assert!(out.is_ok(), "touch failed under faults: {out:?}");
+                    let page = GuestVirtPage::new(base.page().raw() + vpn);
+                    let gfn = m
+                        .guest()
+                        .process(pid)
+                        .unwrap()
+                        .page_table
+                        .translate(page)
+                        .expect("just faulted");
+                    mapped.entry(vpn).or_insert(gfn);
+                }
+                DegradeOp::Reclaim { target } => {
+                    m.reclaim_reservations(target);
+                }
+            }
+            let pt = &m.guest().process(pid).unwrap().page_table;
+            for (&vpn, &gfn) in &mapped {
+                let page = GuestVirtPage::new(base.page().raw() + vpn);
+                prop_assert_eq!(
+                    pt.translate(page),
+                    Some(gfn),
+                    "mapped PTE for vpn {} changed", vpn
+                );
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc { pid: u64, vpn: u64 },
+    Free { pid: u64, vpn: u64 },
+    Reclaim { target: u64 },
+}
+
+fn alloc_op_strategy() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        6 => (1u64..4, 0u64..64).prop_map(|(pid, vpn)| AllocOp::Alloc { pid, vpn }),
+        3 => (1u64..4, 0u64..64).prop_map(|(pid, vpn)| AllocOp::Free { pid, vpn }),
+        1 => (1u64..32).prop_map(|target| AllocOp::Reclaim { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn part_never_references_a_freed_frame(
+        plan in plan_strategy(),
+        run_seed in any::<u64>(),
+        ops in prop::collection::vec(alloc_op_strategy(), 1..150),
+    ) {
+        // Graceful degradation, part 3: whatever mix of denials, fallbacks,
+        // frees and reclaims the run sees, no reservation in any process's
+        // PaRT may reference a frame the buddy has on its free lists —
+        // every referenced frame is either granted (mapped) or held in
+        // reserve, never both reserved and free.
+        let mut alloc = ReservationAllocator::new();
+        let mut buddy = GuestBuddy::new(1024);
+        buddy.set_fault_injector(FaultInjector::new(&plan, run_seed));
+        let mut live: HashMap<(u64, u64), GuestFrame> = HashMap::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc { pid, vpn } => {
+                    if live.contains_key(&(pid, vpn)) {
+                        continue;
+                    }
+                    // Denied allocations are a legitimate outcome here (the
+                    // machine layer handles recovery); the invariant below
+                    // must hold either way.
+                    if let Ok((gfn, _)) =
+                        alloc.allocate(Pid(pid), GuestVirtPage::new(vpn), &mut buddy)
+                    {
+                        live.insert((pid, vpn), gfn);
+                    }
+                }
+                AllocOp::Free { pid, vpn } => {
+                    if let Some(gfn) = live.remove(&(pid, vpn)) {
+                        alloc
+                            .free(Pid(pid), GuestVirtPage::new(vpn), gfn, &mut buddy)
+                            .unwrap();
+                    }
+                }
+                AllocOp::Reclaim { target } => {
+                    alloc.reclaim(&mut buddy, target);
+                }
+            }
+            let mut violations: Vec<GuestFrame> = Vec::new();
+            for pid in 1..4u64 {
+                if let Some(part) = alloc.part_of(Pid(pid)) {
+                    part.for_each(|_, res| {
+                        for off in 0..GROUP_PAGES {
+                            let frame = GuestFrame::new(res.base.raw() + off);
+                            if buddy.is_frame_free(frame) {
+                                violations.push(frame);
+                            }
+                        }
+                    });
+                }
+            }
+            prop_assert!(
+                violations.is_empty(),
+                "PaRT references frames on the free lists: {violations:?}"
+            );
+        }
+    }
+}

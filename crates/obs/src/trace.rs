@@ -40,6 +40,26 @@ pub enum EventKind {
     BuddyMerge { count: u64 },
     /// A transparent-huge-page region was mapped as one huge page.
     ThpCollapse { pid: u64, vpn: u64 },
+    /// The fault injector denied buddy allocations while serving this op:
+    /// contiguous-chunk (order ≥ 1) and single-frame (order 0) denials.
+    FaultInjected {
+        chunk_denials: u64,
+        oom_denials: u64,
+    },
+    /// A scheduled fragmentation shock shattered the guest free lists down
+    /// to `max_order`, performing `splits` block splits.
+    FragShock { max_order: u32, splits: u64 },
+    /// A scheduled reclaim storm released this many reserved-unused frames.
+    ReclaimStorm { frames: u64 },
+    /// The host targeted a reserved-unused frame for swap-out; the covering
+    /// reservation released this many frames.
+    SwapOut { gfn: u64, frames: u64 },
+    /// A reservation degraded to a single-frame fallback allocation
+    /// (no aligned chunk available, or the chunk allocation was denied).
+    ReservationFallback { pid: u64, vpn: u64, gfn: u64 },
+    /// An injected OOM was absorbed: reclaim freed `reclaimed` frames and
+    /// the faulting allocation was retried with injection suppressed.
+    OomRetry { reclaimed: u64 },
 }
 
 impl EventKind {
@@ -54,6 +74,12 @@ impl EventKind {
             EventKind::BuddySplit { .. } => "buddy_split",
             EventKind::BuddyMerge { .. } => "buddy_merge",
             EventKind::ThpCollapse { .. } => "thp_collapse",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::FragShock { .. } => "frag_shock",
+            EventKind::ReclaimStorm { .. } => "reclaim_storm",
+            EventKind::SwapOut { .. } => "swap_out",
+            EventKind::ReservationFallback { .. } => "reservation_fallback",
+            EventKind::OomRetry { .. } => "oom_retry",
         }
     }
 
@@ -92,6 +118,30 @@ impl EventKind {
             }
             EventKind::ThpCollapse { pid, vpn } => {
                 let _ = write!(out, ",\"pid\":{pid},\"vpn\":{vpn}");
+            }
+            EventKind::FaultInjected {
+                chunk_denials,
+                oom_denials,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"chunk_denials\":{chunk_denials},\"oom_denials\":{oom_denials}"
+                );
+            }
+            EventKind::FragShock { max_order, splits } => {
+                let _ = write!(out, ",\"max_order\":{max_order},\"splits\":{splits}");
+            }
+            EventKind::ReclaimStorm { frames } => {
+                let _ = write!(out, ",\"frames\":{frames}");
+            }
+            EventKind::SwapOut { gfn, frames } => {
+                let _ = write!(out, ",\"gfn\":{gfn},\"frames\":{frames}");
+            }
+            EventKind::ReservationFallback { pid, vpn, gfn } => {
+                let _ = write!(out, ",\"pid\":{pid},\"vpn\":{vpn},\"gfn\":{gfn}");
+            }
+            EventKind::OomRetry { reclaimed } => {
+                let _ = write!(out, ",\"reclaimed\":{reclaimed}");
             }
         }
     }
@@ -236,6 +286,22 @@ mod tests {
             EventKind::BuddySplit { count: 5 },
             EventKind::BuddyMerge { count: 5 },
             EventKind::ThpCollapse { pid: 1, vpn: 512 },
+            EventKind::FaultInjected {
+                chunk_denials: 2,
+                oom_denials: 1,
+            },
+            EventKind::FragShock {
+                max_order: 0,
+                splits: 42,
+            },
+            EventKind::ReclaimStorm { frames: 64 },
+            EventKind::SwapOut { gfn: 96, frames: 7 },
+            EventKind::ReservationFallback {
+                pid: 1,
+                vpn: 2,
+                gfn: 3,
+            },
+            EventKind::OomRetry { reclaimed: 12 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let line = Event { op: i as u64, kind }.to_json();

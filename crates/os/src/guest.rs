@@ -35,6 +35,10 @@ pub struct AllocCost {
     pub reservation_hit: bool,
     /// Whether serving the request installed a *new* reservation.
     pub reservation_new: bool,
+    /// Whether a reservation-capable allocator degraded to a single-frame
+    /// fallback allocation (no aligned chunk available, or denied by
+    /// policy/fault injection) — the §4.2 graceful-degradation path.
+    pub fallback: bool,
 }
 
 /// What an allocator granted for a faulting page.
@@ -136,6 +140,14 @@ pub trait GuestFrameAllocator: core::fmt::Debug {
     /// Per-process variant of [`Self::reserved_unused_frames`].
     fn reserved_unused_frames_of(&self, _pid: Pid) -> u64 {
         0
+    }
+
+    /// A deterministic reserved-but-unused frame, if any exist — the
+    /// lowest-numbered one, so the choice is independent of internal map
+    /// iteration order. Used by the fault-injection driver to pick host
+    /// swap-out targets (§4.4). `None` for non-reserving allocators.
+    fn any_reserved_unused_frame(&self) -> Option<GuestFrame> {
+        None
     }
 
     /// Contributes allocator-internal metrics (e.g. PTEMagnet's reservation
@@ -288,7 +300,16 @@ impl GuestOs {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let buddy = &mut self.buddy;
+        // Process creation is not a fault-servicing path: injected
+        // allocation failures target the degradation paths (§4.2–§4.3),
+        // not the ability to construct a process at all.
+        if let Some(inj) = buddy.fault_injector_mut() {
+            inj.push_suppress();
+        }
         let proc = Process::new(pid, || buddy.alloc(0)).expect("guest OOM while spawning");
+        if let Some(inj) = buddy.fault_injector_mut() {
+            inj.pop_suppress();
+        }
         self.processes.insert(pid, proc);
         pid
     }
@@ -451,6 +472,30 @@ impl GuestOs {
             stats,
             ..
         } = self;
+        // Like spawn: fork is process management, not fault servicing —
+        // a mid-copy injected denial would tear down the child half-built.
+        if let Some(inj) = buddy.fault_injector_mut() {
+            inj.push_suppress();
+        }
+        let result = Self::fork_inner(
+            child_pid, parent, buddy, allocator, processes, frame_refs, stats,
+        );
+        if let Some(inj) = buddy.fault_injector_mut() {
+            inj.pop_suppress();
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fork_inner(
+        child_pid: Pid,
+        parent: Pid,
+        buddy: &mut GuestBuddy,
+        allocator: &mut Box<dyn GuestFrameAllocator>,
+        processes: &mut BTreeMap<Pid, Process>,
+        frame_refs: &mut HashMap<u64, u32>,
+        stats: &mut GuestStats,
+    ) -> Result<Pid> {
         let parent_proc = processes
             .get_mut(&parent)
             .ok_or(MemError::NoSuchProcess { pid: parent.0 })?;
@@ -638,6 +683,13 @@ impl GuestOs {
     /// The guest-physical buddy allocator.
     pub fn buddy(&self) -> &GuestBuddy {
         &self.buddy
+    }
+
+    /// Mutable access to the guest-physical buddy allocator — used by the
+    /// fault-injection driver to install injectors and apply fragmentation
+    /// shocks.
+    pub fn buddy_mut(&mut self) -> &mut GuestBuddy {
+        &mut self.buddy
     }
 
     /// The pluggable frame allocator.

@@ -18,8 +18,8 @@ use vmsim_cache::{
 };
 use vmsim_pt::LineCensus;
 use vmsim_types::{
-    GuestFrame, GuestVirtAddr, GuestVirtPage, HostFrame, HostPhysAddr, HostVirtPage, MemError,
-    Result, GROUP_PAGES, PAGE_SHIFT, PTE_SIZE, PT_LEVELS,
+    FaultInjector, FaultPlan, GuestFrame, GuestVirtAddr, GuestVirtPage, HostFrame, HostPhysAddr,
+    HostVirtPage, MemError, Result, GROUP_PAGES, PAGE_SHIFT, PTE_SIZE, PT_LEVELS,
 };
 
 use crate::cost::CostModel;
@@ -114,6 +114,41 @@ pub struct Machine {
     /// Optional event tracer. `None` (the default) costs one branch per
     /// event site and keeps the simulation outcome bit-identical.
     tracer: Option<vmsim_obs::Tracer>,
+    /// Optional fault-injection driver. `None` (the default) costs one
+    /// branch per op; the probabilistic injector itself lives inside the
+    /// guest buddy allocator.
+    faults: Option<FaultDriver>,
+}
+
+/// Machine-level state of an installed [`vmsim_types::FaultPlan`]: the
+/// scheduled triggers (fragmentation shocks, reclaim storms, swap-outs,
+/// daemon passes) and their counters. Per-allocation denial rolls live in
+/// the injector installed into the guest buddy allocator.
+#[derive(Clone, Copy, Debug)]
+struct FaultDriver {
+    plan: FaultPlan,
+    frag_shocks: u64,
+    reclaim_storms: u64,
+    swap_outs: u64,
+    daemon_passes: u64,
+    oom_retries: u64,
+    /// Frames released by storms, daemon passes, swap-outs, and OOM-retry
+    /// reclaims driven by the plan.
+    reclaimed_frames: u64,
+}
+
+impl FaultDriver {
+    fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            frag_shocks: 0,
+            reclaim_storms: 0,
+            swap_outs: 0,
+            daemon_passes: 0,
+            oom_retries: 0,
+            reclaimed_frames: 0,
+        }
+    }
 }
 
 impl Machine {
@@ -140,6 +175,7 @@ impl Machine {
             config,
             ops: 0,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -163,6 +199,23 @@ impl Machine {
     /// The installed tracer, if any.
     pub fn tracer(&self) -> Option<&vmsim_obs::Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Installs a fault plan: a seeded injector goes into the guest buddy
+    /// allocator (per-allocation denial rolls) and this machine drives the
+    /// plan's scheduled triggers on every [`Machine::touch`]. The decision
+    /// stream is a pure function of `(plan, run_seed)`, so faulted runs are
+    /// bit-reproducible regardless of worker-pool width.
+    pub fn install_faults(&mut self, plan: FaultPlan, run_seed: u64) {
+        self.guest
+            .buddy_mut()
+            .set_fault_injector(FaultInjector::new(&plan, run_seed));
+        self.faults = Some(FaultDriver::new(plan));
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// The guest OS.
@@ -230,6 +283,11 @@ impl Machine {
     ) -> Result<TouchOutcome> {
         let vpn = va.page();
         self.ops += 1;
+        // Scheduled fault triggers fire before the access is served, so a
+        // fragmentation shock can deny this very op's reservation chunk.
+        if self.faults.is_some() {
+            self.drive_fault_schedule();
+        }
         let mut out = TouchOutcome {
             cycles: self.cost.work_cycles_per_access,
             ..TouchOutcome::default()
@@ -238,6 +296,11 @@ impl Machine {
         // split/merge activity caused by this access. Read only when a
         // tracer is installed — the disabled path stays a single branch.
         let buddy_before = self.tracer.as_ref().map(|_| *self.guest.buddy().stats());
+        let injector_before = if self.tracer.is_some() {
+            self.guest.buddy().fault_injector().map(|i| i.stats())
+        } else {
+            None
+        };
 
         // 1. Ensure the page is mapped (guest fault) and writable if needed
         //    (COW break).
@@ -245,7 +308,13 @@ impl Machine {
         let pte = self.guest.process(pid)?.page_table.lookup(vpn);
         match pte {
             None => {
-                let info = self.guest.page_fault(pid, vpn)?;
+                let info = match self.guest.page_fault(pid, vpn) {
+                    Ok(info) => info,
+                    Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
+                        self.absorb_oom_and_retry(pid, vpn, |g, p, v| g.page_fault(p, v))?
+                    }
+                    Err(e) => return Err(e),
+                };
                 out.faulted = true;
                 out.cycles += self.cost.guest_fault_cycles
                     + u64::from(info.cost.buddy_calls + info.pt_node_allocs)
@@ -293,6 +362,16 @@ impl Machine {
                             },
                         );
                     }
+                    if info.cost.fallback {
+                        tracer.emit(
+                            op,
+                            vmsim_obs::EventKind::ReservationFallback {
+                                pid: pid.0,
+                                vpn: vpn.raw(),
+                                gfn: info.gfn.raw(),
+                            },
+                        );
+                    }
                     if info.huge {
                         tracer.emit(
                             op,
@@ -305,7 +384,13 @@ impl Machine {
                 }
             }
             Some(pte) if is_write && pte.is_cow() => {
-                let (new_gfn, copied) = self.guest.write_fault(pid, vpn)?;
+                let (new_gfn, copied) = match self.guest.write_fault(pid, vpn) {
+                    Ok(r) => r,
+                    Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
+                        self.absorb_oom_and_retry(pid, vpn, |g, p, v| g.write_fault(p, v))?
+                    }
+                    Err(e) => return Err(e),
+                };
                 out.cow_break = copied;
                 out.cycles += self.cost.guest_fault_cycles;
                 if copied {
@@ -349,6 +434,29 @@ impl Machine {
                 tracer.emit(self.ops, vmsim_obs::EventKind::BuddyMerge { count: merges });
             }
         }
+        if let Some(before) = injector_before {
+            let after = self
+                .guest
+                .buddy()
+                .fault_injector()
+                .expect("injector persists once installed")
+                .stats();
+            let chunk_denials = after.chunk_denials - before.chunk_denials;
+            let oom_denials = after.oom_denials - before.oom_denials;
+            if chunk_denials + oom_denials > 0 {
+                let tracer = self
+                    .tracer
+                    .as_mut()
+                    .expect("injector_before implies tracer");
+                tracer.emit(
+                    self.ops,
+                    vmsim_obs::EventKind::FaultInjected {
+                        chunk_denials,
+                        oom_denials,
+                    },
+                );
+            }
+        }
 
         // 2. Translate.
         let hfn = match self.tlbs[core].lookup(pid.0, vpn) {
@@ -368,6 +476,102 @@ impl Machine {
         let data_hpa = HostPhysAddr::new((hfn.raw() << PAGE_SHIFT) + va.page_offset());
         out.cycles += self.caches.access(core, data_hpa, AccessKind::Data).cycles;
         Ok(out)
+    }
+
+    /// Fires the installed plan's scheduled triggers due at the current op:
+    /// fragmentation shocks, reclaim storms, host swap-outs, and the
+    /// watermark-driven daemon pass. Everything here is a deterministic
+    /// function of the op clock and guest state.
+    fn drive_fault_schedule(&mut self) {
+        let Some(mut driver) = self.faults else {
+            return;
+        };
+        let op = self.ops;
+        let due = |every: Option<u64>| matches!(every, Some(n) if n > 0 && op.is_multiple_of(n));
+
+        if due(driver.plan.frag_shock_every) {
+            let max_order = driver.plan.frag_shock_order;
+            let splits = self.guest.buddy_mut().shatter(max_order);
+            driver.frag_shocks += 1;
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(op, vmsim_obs::EventKind::FragShock { max_order, splits });
+            }
+        }
+        if due(driver.plan.reclaim_storm_every) {
+            let frames = self
+                .guest
+                .reclaim_reservations(driver.plan.reclaim_storm_frames);
+            driver.reclaim_storms += 1;
+            driver.reclaimed_frames += frames;
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(op, vmsim_obs::EventKind::ReclaimStorm { frames });
+            }
+        }
+        if due(driver.plan.swap_out_every) {
+            // The host picks a reserved-unused frame (there is nothing to
+            // swap out otherwise) and the §4.4 hook releases its covering
+            // reservation.
+            if let Some(gfn) = self.guest.allocator().any_reserved_unused_frame() {
+                let frames = self.guest.swap_target(gfn);
+                driver.swap_outs += 1;
+                driver.reclaimed_frames += frames;
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer.emit(
+                        op,
+                        vmsim_obs::EventKind::SwapOut {
+                            gfn: gfn.raw(),
+                            frames,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(threshold) = driver.plan.daemon_threshold {
+            if self.guest.buddy().free_fraction() < threshold {
+                // The §4.3 daemon: restore free memory to the high
+                // watermark by draining reserved-unused frames.
+                let restore_to = driver.plan.daemon_restore_to.unwrap_or(threshold);
+                let total = self.guest.buddy().total_frames();
+                let have = self.guest.buddy().free_frames();
+                let want = (restore_to * total as f64) as u64;
+                let target = want.saturating_sub(have);
+                if target > 0 {
+                    let freed = self.reclaim_reservations(target);
+                    driver.daemon_passes += 1;
+                    driver.reclaimed_frames += freed;
+                }
+            }
+        }
+        self.faults = Some(driver);
+    }
+
+    /// Graceful degradation for an out-of-memory fault under an installed
+    /// plan: reclaim reserved-unused frames, then retry the faulting
+    /// operation exactly once with injection suppressed, so an injected
+    /// denial cannot re-deny its own recovery. A second failure (memory
+    /// genuinely exhausted) propagates.
+    fn absorb_oom_and_retry<T>(
+        &mut self,
+        pid: Pid,
+        vpn: GuestVirtPage,
+        retry: impl FnOnce(&mut GuestOs, Pid, GuestVirtPage) -> Result<T>,
+    ) -> Result<T> {
+        let reclaimed = self.guest.reclaim_reservations(GROUP_PAGES * 4);
+        if let Some(driver) = self.faults.as_mut() {
+            driver.oom_retries += 1;
+            driver.reclaimed_frames += reclaimed;
+        }
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.emit(self.ops, vmsim_obs::EventKind::OomRetry { reclaimed });
+        }
+        if let Some(inj) = self.guest.buddy_mut().fault_injector_mut() {
+            inj.push_suppress();
+        }
+        let result = retry(&mut self.guest, pid, vpn);
+        if let Some(inj) = self.guest.buddy_mut().fault_injector_mut() {
+            inj.pop_suppress();
+        }
+        result
     }
 
     /// Performs a nested (2D) page walk for (`pid`, `vpn`) on `core`,
@@ -644,6 +848,26 @@ impl Machine {
             "allocator.reserved_unused_frames",
             self.guest.allocator().reserved_unused_frames(),
         );
+        // The faults.* gauges are always present (all zero without a plan),
+        // so installing a fault plan never changes the snapshot's key set.
+        let injected = self
+            .guest
+            .buddy()
+            .fault_injector()
+            .map(|i| i.stats())
+            .unwrap_or_default();
+        let driver = self
+            .faults
+            .unwrap_or_else(|| FaultDriver::new(FaultPlan::default()));
+        reg.gauge_u64("faults.injected", injected.injected());
+        reg.gauge_u64("faults.chunk_denials", injected.chunk_denials);
+        reg.gauge_u64("faults.oom_denials", injected.oom_denials);
+        reg.gauge_u64("faults.frag_shocks", driver.frag_shocks);
+        reg.gauge_u64("faults.reclaim_storms", driver.reclaim_storms);
+        reg.gauge_u64("faults.swap_outs", driver.swap_outs);
+        reg.gauge_u64("faults.daemon_passes", driver.daemon_passes);
+        reg.gauge_u64("faults.oom_retries", driver.oom_retries);
+        reg.gauge_u64("faults.reclaimed_frames", driver.reclaimed_frames);
         self.guest.allocator().emit_metrics(&mut reg);
         reg.snapshot(self.ops)
     }
@@ -938,6 +1162,15 @@ mod tests {
             "tlb.lookups",
             "walk_latency.count",
             "fault_latency.count",
+            "faults.injected",
+            "faults.chunk_denials",
+            "faults.oom_denials",
+            "faults.frag_shocks",
+            "faults.reclaim_storms",
+            "faults.swap_outs",
+            "faults.daemon_passes",
+            "faults.oom_retries",
+            "faults.reclaimed_frames",
         ] {
             assert!(snap.get(name).is_some(), "snapshot missing {name}");
         }
@@ -985,6 +1218,84 @@ mod tests {
         m.reclaim_reservations(64);
         let tracer = m.take_tracer().unwrap();
         assert_eq!(tracer.count_kind("reservation_reclaim"), 1);
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        let run = |faulted: bool| {
+            let mut m = machine();
+            if faulted {
+                m.install_faults(FaultPlan::default(), 42);
+            }
+            let pid = m.guest_mut().spawn();
+            let va = m.guest_mut().mmap(pid, 8).unwrap();
+            let mut outcomes = Vec::new();
+            for i in 0..8 {
+                outcomes.push(
+                    m.touch(0, pid, GuestVirtAddr::new(va.raw() + i * 4096), true)
+                        .unwrap(),
+                );
+            }
+            (outcomes, m.metrics_snapshot())
+        };
+        let (plain_out, plain_snap) = run(false);
+        let (faulted_out, faulted_snap) = run(true);
+        assert_eq!(plain_out, faulted_out, "zero plan must be invisible");
+        assert_eq!(plain_snap, faulted_snap, "same snapshot incl. key set");
+    }
+
+    #[test]
+    fn injected_oom_is_absorbed_by_reclaim_and_retry() {
+        let mut m = machine();
+        m.install_tracer(vmsim_obs::Tracer::new());
+        m.install_faults(
+            FaultPlan {
+                oom_rate: 1.0,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 4).unwrap();
+        for i in 0..4 {
+            // Every data-frame allocation is denied once, absorbed, and
+            // retried with injection suppressed — the touch still succeeds.
+            let out = m
+                .touch(0, pid, GuestVirtAddr::new(va.raw() + i * 4096), false)
+                .unwrap();
+            assert!(out.faulted);
+        }
+        let snap = m.metrics_snapshot();
+        assert!(snap.get("faults.oom_denials").unwrap().as_u64().unwrap() >= 4);
+        assert!(snap.get("faults.oom_retries").unwrap().as_u64().unwrap() >= 4);
+        let tracer = m.take_tracer().unwrap();
+        assert!(tracer.count_kind("oom_retry") >= 4);
+        assert!(tracer.count_kind("fault_injected") >= 4);
+        assert_eq!(tracer.count_kind("page_fault"), 4);
+    }
+
+    #[test]
+    fn frag_shock_fires_on_schedule_and_is_survivable() {
+        let mut m = machine();
+        m.install_tracer(vmsim_obs::Tracer::new());
+        m.install_faults(
+            FaultPlan {
+                frag_shock_every: Some(2),
+                frag_shock_order: 0,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 8).unwrap();
+        for i in 0..8 {
+            m.touch(0, pid, GuestVirtAddr::new(va.raw() + i * 4096), false)
+                .unwrap();
+        }
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.get("faults.frag_shocks").unwrap().as_u64(), Some(4));
+        let tracer = m.take_tracer().unwrap();
+        assert_eq!(tracer.count_kind("frag_shock"), 4);
     }
 
     #[test]

@@ -79,6 +79,28 @@ pub struct VarianceStudy {
     pub ptemagnet: Replication,
 }
 
+/// One (workload, policy) cell of a pressure study: how a policy degrades
+/// under that workload's fault plan, relative to the same policy under the
+/// first (least-faulted) workload.
+#[derive(Clone, Debug)]
+pub struct PressureRow {
+    /// Workload display label (typically encodes the fault severity).
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Measured steady-state cycles (seed 0).
+    pub cycles: u64,
+    /// Execution-time degradation vs the first workload, same policy
+    /// (positive = slower under faults).
+    pub slowdown: f64,
+    /// Allocations denied by the fault injector.
+    pub faults_injected: u64,
+    /// Reservation faults degraded to single-frame fallbacks.
+    pub reservation_fallbacks: u64,
+    /// Frames released by reclaim (daemon, storms, swap-out hooks).
+    pub reclaimed_frames: u64,
+}
+
 /// The typed result a manifest's report kind aggregates its runs into.
 #[derive(Clone, Debug)]
 pub enum Outcome {
@@ -108,6 +130,8 @@ pub enum Outcome {
     AllocLatency(AllocLatency),
     /// §1/§3.2 walk-source breakdown.
     Breakdown(Vec<(String, MemCounters)>),
+    /// Graceful-degradation study under fault injection, workload-major.
+    Pressure(Vec<PressureRow>),
 }
 
 /// A fully executed manifest: the input, every observed run (matrix kinds),
@@ -146,6 +170,11 @@ pub fn build_scenario(
         .seed(seed);
     if let Some(run) = workload.prefragment_run {
         scenario = scenario.prefragment_run(run);
+    }
+    // A workload's plan replaces the manifest-level plan wholesale (no
+    // field-wise overlay — a fault plan is one coherent condition).
+    if let Some(plan) = workload.faults.or(manifest.faults) {
+        scenario = scenario.faults(plan);
     }
     let sim = manifest
         .sim
@@ -247,6 +276,25 @@ fn assemble(
     match matrix.report {
         ReportKind::Runs => Outcome::Runs,
         ReportKind::Csv => Outcome::Csv,
+        ReportKind::Pressure => {
+            let mut rows = Vec::new();
+            for (w, workload) in matrix.workloads.iter().enumerate() {
+                for (p, policy) in matrix.policies.iter().enumerate() {
+                    let m = at(w, p, 0);
+                    let base = at(0, p, 0);
+                    rows.push(PressureRow {
+                        workload: workload.display_label(),
+                        policy: policy.name().to_string(),
+                        cycles: m.cycles,
+                        slowdown: m.cycles as f64 / base.cycles.max(1) as f64 - 1.0,
+                        faults_injected: m.faults_injected,
+                        reservation_fallbacks: m.reservation_fallbacks,
+                        reclaimed_frames: m.reclaimed_frames,
+                    });
+                }
+            }
+            Outcome::Pressure(rows)
+        }
         ReportKind::Table1 => Outcome::Table1(Table1 {
             standalone: at(0, 0, 0).clone(),
             colocated: at(1, 0, 0).clone(),
@@ -505,6 +553,35 @@ impl ManifestRun {
                 }
                 out
             }
+            Outcome::Pressure(rows) => {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", self.manifest.description);
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<12} {:>14} {:>10} {:>10} {:>10} {:>10}",
+                    "workload",
+                    "policy",
+                    "cycles",
+                    "slowdown",
+                    "injected",
+                    "fallbacks",
+                    "reclaimed"
+                );
+                for row in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:<16} {:<12} {:>14} {:>+9.1}% {:>10} {:>10} {:>10}",
+                        row.workload,
+                        row.policy,
+                        row.cycles,
+                        row.slowdown * 100.0,
+                        row.faults_injected,
+                        row.reservation_fallbacks,
+                        row.reclaimed_frames
+                    );
+                }
+                out
+            }
             Outcome::AllocLatency(r) => report::format_sec64(r),
             Outcome::Breakdown(rows) => {
                 let mut out = String::new();
@@ -733,7 +810,12 @@ fn run_json(out: &mut String, workload: &str, policy: &str, seed: u64, r: &RunMe
     );
     out.push_str("\"reserved_unused_mean\": ");
     json::write_f64(out, r.reserved_unused_mean);
-    let _ = write!(out, ", \"total_faults\": {}}}", r.total_faults);
+    let _ = write!(
+        out,
+        ", \"total_faults\": {}, \"reservation_fallbacks\": {}, \"reclaimed_frames\": {}, \
+         \"faults_injected\": {}}}",
+        r.total_faults, r.reservation_fallbacks, r.reclaimed_frames, r.faults_injected
+    );
 }
 
 #[cfg(test)]

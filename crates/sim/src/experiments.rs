@@ -494,6 +494,9 @@ mod tests {
             reserved_unused_peak: 0,
             reserved_unused_mean: 0.0,
             total_faults: 0,
+            reservation_fallbacks: 0,
+            reclaimed_frames: 0,
+            faults_injected: 0,
         };
         let mut faster = base.clone();
         faster.cycles = 96_000;

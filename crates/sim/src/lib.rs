@@ -56,7 +56,7 @@ pub mod report;
 pub mod scenario;
 pub mod stats;
 
-pub use driver::{run_manifest, DriverError, ManifestRun, Outcome, VarianceStudy};
+pub use driver::{run_manifest, DriverError, ManifestRun, Outcome, PressureRow, VarianceStudy};
 pub use engine::Colocation;
 pub use experiments::{
     fig5_fig6, fig7, hw_sensitivity, llc_sensitivity, sec62, sec64, specint_zero_overhead, table1,

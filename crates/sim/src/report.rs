@@ -205,12 +205,13 @@ pub fn runs_to_csv(runs: &[crate::scenario::RunMetrics]) -> String {
         "benchmark,allocator,measure_ops,cycles,tlb_lookups,tlb_misses,data_accesses,\
          data_misses,page_walk_cycles,host_pt_cycles,guest_pt_accesses,guest_pt_memory,\
          host_pt_accesses,host_pt_memory,host_frag,guest_frag,init_cycles,footprint_pages,\
-         reserved_unused_peak,total_faults\n",
+         reserved_unused_peak,total_faults,reservation_fallbacks,reclaimed_frames,\
+         faults_injected\n",
     );
     for r in runs {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{}",
             r.benchmark,
             r.allocator,
             r.measure_ops,
@@ -231,6 +232,9 @@ pub fn runs_to_csv(runs: &[crate::scenario::RunMetrics]) -> String {
             r.footprint_pages,
             r.reserved_unused_peak,
             r.total_faults,
+            r.reservation_fallbacks,
+            r.reclaimed_frames,
+            r.faults_injected,
         );
     }
     out
@@ -356,6 +360,9 @@ mod tests {
             reserved_unused_peak: 2,
             reserved_unused_mean: 1.0,
             total_faults: 1000,
+            reservation_fallbacks: 0,
+            reclaimed_frames: 0,
+            faults_injected: 0,
         }
     }
 

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use vmsim_os::{GuestFrameAllocator, Machine, MachineConfig};
-use vmsim_types::Result;
+use vmsim_types::{FaultPlan, Result};
 use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
 
 use crate::engine::Colocation;
@@ -92,6 +92,15 @@ pub struct RunMetrics {
     pub reserved_unused_mean: f64,
     /// Guest page faults taken by all apps over the whole run.
     pub total_faults: u64,
+    /// Reservation faults degraded to single-frame fallbacks (§4.2), whole
+    /// run. Zero for non-reservation allocators.
+    pub reservation_fallbacks: u64,
+    /// Frames released by reservation reclaim (daemon passes, storms, and
+    /// swap-out hooks), whole run. Zero for non-reservation allocators.
+    pub reclaimed_frames: u64,
+    /// Allocations denied by the fault injector, whole run. Zero when the
+    /// scenario carries no fault plan.
+    pub faults_injected: u64,
 }
 
 impl RunMetrics {
@@ -128,6 +137,9 @@ pub struct Scenario {
     /// If set, pre-fragment free guest memory into alternating runs of this
     /// many frames before anything runs (power of two).
     prefragment_run: Option<u64>,
+    /// If set, install deterministic fault injection before the workloads
+    /// start (seeded from the plan seed and the scenario seed).
+    faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -145,6 +157,7 @@ impl Scenario {
             seed: 0,
             machine: None,
             prefragment_run: None,
+            faults: None,
         }
     }
 
@@ -205,6 +218,14 @@ impl Scenario {
     /// blocks; PTEMagnet only order-3).
     pub fn prefragment_run(mut self, run_length: u64) -> Self {
         self.prefragment_run = Some(run_length);
+        self
+    }
+
+    /// Installs a deterministic fault plan for the run. A
+    /// [`FaultPlan::is_zero`] plan leaves the run bit-identical to a
+    /// fault-free one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -269,6 +290,11 @@ impl Scenario {
         let _held = self
             .prefragment_run
             .map(|run| machine.guest_mut().hold_fragmenting_pattern(run));
+        // After the prefragment hold so machine setup is never a fault
+        // target; process spawns suppress injection on their own.
+        if let Some(plan) = self.faults {
+            machine.install_faults(plan, self.seed);
+        }
         let mut colo = Colocation::new(machine);
 
         let primary = colo.add_app(Box::new(benchmark(self.benchmark, self.seed)), 1);
@@ -337,6 +363,8 @@ impl Scenario {
         let core = colo.core(primary);
         let counters = *colo.machine().caches().core_counters(core);
         let tlb = colo.machine().tlb(core);
+        let snapshot = colo.machine().metrics_snapshot();
+        let gauge = |name: &str| snapshot.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
         let metrics = RunMetrics {
             benchmark: self.benchmark.name().to_string(),
             allocator: allocator_name.to_string(),
@@ -363,9 +391,11 @@ impl Scenario {
                 (unused_sum / u128::from(samples)) as f64
             },
             total_faults: colo.machine().guest().stats().faults,
+            reservation_fallbacks: gauge("reservation.fallbacks"),
+            reclaimed_frames: gauge("reservation.reclaimed_frames"),
+            faults_injected: gauge("faults.injected"),
         };
 
-        let snapshot = colo.machine().metrics_snapshot();
         let walk_latency = colo.machine().merged_walk_latency();
         let fault_latency = colo.machine().merged_fault_latency();
         let (events, trace_dropped) = match colo.machine_mut().take_tracer() {

@@ -1,0 +1,182 @@
+//! Error-path contract of the `vmsim` CLI: every bad input — unknown
+//! subcommand, unknown policy, malformed manifest, unknown fault kind,
+//! unwritable output — must exit nonzero with a diagnostic on stderr,
+//! never a success code and never a panic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn vmsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vmsim"))
+        .args(args)
+        .output()
+        .expect("spawn vmsim")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vmsim-cli-errors-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The canonical table4 manifest as JSON, for targeted corruption.
+fn table4_json() -> String {
+    vmsim_config::builtin::by_name("table4")
+        .expect("table4 is a builtin")
+        .to_json()
+}
+
+fn write_manifest(dir: &Path, name: &str, body: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write manifest");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn no_subcommand_prints_usage_and_exits_2() {
+    let out = vmsim(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = vmsim(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn run_without_manifests_exits_2() {
+    let out = vmsim(&["run"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("no manifests given"));
+}
+
+#[test]
+fn run_with_dangling_out_flag_exits_2() {
+    let out = vmsim(&["run", "table4", "--out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--out needs a directory"));
+}
+
+#[test]
+fn missing_manifest_is_a_diagnostic_not_a_panic() {
+    let out = vmsim(&["run", "no-such-manifest-anywhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("no such file and no builtin manifest"));
+}
+
+#[test]
+fn malformed_manifest_fails_validate_and_run() {
+    let dir = scratch("malformed");
+    let path = write_manifest(&dir, "broken.json", "{\"name\": \"oops\", \"seeds\": [");
+    for sub in ["validate", "run"] {
+        let out = vmsim(&[sub, &path]);
+        assert_ne!(out.status.code(), Some(0), "vmsim {sub} must fail");
+        assert!(
+            stderr_of(&out).contains(&path),
+            "diagnostic names the offending file"
+        );
+    }
+}
+
+#[test]
+fn unknown_policy_is_rejected_with_catalog() {
+    let dir = scratch("policy");
+    let body = table4_json().replace("\"ptemagnet\"", "\"wizardry\"");
+    let path = write_manifest(&dir, "policy.json", &body);
+    for sub in ["validate", "run"] {
+        let out = vmsim(&[sub, &path]);
+        assert_ne!(out.status.code(), Some(0), "vmsim {sub} must fail");
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("unknown policy") && err.contains("wizardry"),
+            "diagnostic names the bad policy: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_fault_kind_is_rejected() {
+    let dir = scratch("faultkind");
+    // First manifest-level "faults": null becomes an object with a fault
+    // kind the schema does not know.
+    let body = table4_json().replacen("\"faults\": null", "\"faults\": {\"meteor\": 1}", 1);
+    let path = write_manifest(&dir, "faultkind.json", &body);
+    for sub in ["validate", "run"] {
+        let out = vmsim(&[sub, &path]);
+        assert_ne!(out.status.code(), Some(0), "vmsim {sub} must fail");
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("unknown fault kind") && err.contains("meteor"),
+            "diagnostic names the unknown fault kind: {err}"
+        );
+    }
+}
+
+#[test]
+fn invalid_daemon_watermarks_are_rejected() {
+    let dir = scratch("watermarks");
+    // restore_to below threshold violates 0 <= threshold <= restore_to <= 1.
+    let body = table4_json().replacen(
+        "\"faults\": null",
+        "\"faults\": {\"seed\": 1, \"chunk_fail_rate\": 0.0, \"oom_rate\": 0.0, \
+         \"frag_shock_every\": null, \"frag_shock_order\": 0, \
+         \"reclaim_storm_every\": null, \"reclaim_storm_frames\": 0, \
+         \"swap_out_every\": null, \"daemon_threshold\": 0.9, \
+         \"daemon_restore_to\": 0.1}",
+        1,
+    );
+    let path = write_manifest(&dir, "watermarks.json", &body);
+    let out = vmsim(&["validate", &path]);
+    assert_ne!(out.status.code(), Some(0));
+    assert!(
+        stderr_of(&out).contains("daemon_threshold <= daemon_restore_to"),
+        "diagnostic states the watermark invariant"
+    );
+}
+
+#[test]
+fn emit_to_unwritable_directory_fails() {
+    let dir = scratch("emit");
+    // A regular file where the target directory should go makes
+    // create_dir_all fail deterministically.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").expect("write blocker");
+    let target = blocker.join("manifests");
+    let out = vmsim(&["emit", &target.to_string_lossy()]);
+    assert_ne!(out.status.code(), Some(0));
+    assert!(stderr_of(&out).contains("cannot create"));
+}
+
+#[test]
+fn run_with_unwritable_out_dir_fails() {
+    let dir = scratch("outdir");
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").expect("write blocker");
+    let target = blocker.join("results");
+    let out = vmsim(&["run", "table4", "--out", &target.to_string_lossy()]);
+    assert_ne!(out.status.code(), Some(0));
+    assert!(stderr_of(&out).contains("cannot create"));
+}
+
+#[test]
+fn validate_accepts_every_builtin_and_shipped_manifest() {
+    // The happy path that CI leans on: all builtins (including pressure)
+    // validate cleanly by name.
+    let names: Vec<String> = vmsim_config::builtin::all()
+        .iter()
+        .map(|m| m.name.clone())
+        .collect();
+    let args: Vec<&str> = std::iter::once("validate")
+        .chain(names.iter().map(String::as_str))
+        .collect();
+    let out = vmsim(&args);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}

@@ -8,6 +8,7 @@ use vmsim_os::MachineConfig;
 use vmsim_sim::{
     AllocatorKind, ObsConfig, ObservedRun, Parallelism, Replication, RunMetrics, Scenario,
 };
+use vmsim_types::FaultPlan;
 use vmsim_workloads::BenchId;
 
 fn run_scenario(bench: BenchId, alloc: AllocatorKind, seed: u64) -> RunMetrics {
@@ -84,6 +85,94 @@ fn epoch_time_series_is_thread_count_invariant() {
         assert_eq!(s.events, p.events);
         assert!(s.series.len() >= 2, "series samples the run endpoints");
     }
+}
+
+fn run_observed_with_faults(faults: Option<FaultPlan>, seed: u64) -> ObservedRun {
+    let mut scenario = Scenario::new(BenchId::Gcc)
+        .machine(MachineConfig::paper(1, 128))
+        .allocator(AllocatorKind::PteMagnet)
+        .measure_ops(2_000)
+        .seed(seed);
+    if let Some(plan) = faults {
+        scenario = scenario.faults(plan);
+    }
+    scenario.run_observed(ObsConfig::enabled(500))
+}
+
+#[test]
+fn zero_rate_fault_plan_is_differentially_invisible() {
+    // Differential invariant of the fault layer: installing a FaultPlan whose
+    // every rate is zero and every schedule disabled must be bit-identical to
+    // never installing one — metrics, epoch time series, final snapshot, and
+    // event trace — under both serial and pooled execution. Anything less
+    // means the injector perturbs the RNG stream or the allocator even when
+    // "off", and faulted experiments would not be comparable to baselines.
+    let observed = |faults: Option<FaultPlan>, par: Parallelism| {
+        vmsim_sim::parallel::run_indexed(par, 2, move |i| {
+            run_observed_with_faults(faults, 11 + i as u64 * 31)
+        })
+    };
+    let bare = observed(None, Parallelism::Serial);
+    for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let zeroed = observed(Some(FaultPlan::none()), par);
+        for (b, z) in bare.iter().zip(&zeroed) {
+            assert_eq!(
+                b.metrics, z.metrics,
+                "zero-rate plan must not perturb metrics"
+            );
+            assert_eq!(
+                b.series, z.series,
+                "zero-rate plan must not perturb the epoch series"
+            );
+            assert_eq!(
+                b.snapshot, z.snapshot,
+                "zero-rate plan must not perturb the snapshot"
+            );
+            assert_eq!(
+                b.events, z.events,
+                "zero-rate plan must not emit or displace events"
+            );
+            assert_eq!(z.metrics.faults_injected, 0);
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_pool_widths() {
+    // A *live* fault schedule must stay deterministic under the worker pool:
+    // the injector RNG is derived from (plan seed, run seed) only, never from
+    // thread identity or scheduling order.
+    let plan = FaultPlan {
+        seed: 0xFA17,
+        chunk_fail_rate: 0.5,
+        oom_rate: 0.02,
+        frag_shock_every: Some(700),
+        frag_shock_order: 0,
+        reclaim_storm_every: Some(500),
+        reclaim_storm_frames: 64,
+        swap_out_every: Some(900),
+        daemon_threshold: Some(0.05),
+        daemon_restore_to: Some(0.1),
+    };
+    let run = |par: Parallelism| {
+        vmsim_sim::parallel::run_indexed(par, 3, move |i| {
+            run_observed_with_faults(Some(plan), 5 + i as u64 * 17)
+        })
+    };
+    let serial = run(Parallelism::Serial);
+    let pooled = run(Parallelism::Threads(4));
+    let mut injected = 0;
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(s.metrics, p.metrics);
+        assert_eq!(s.series, p.series);
+        assert_eq!(s.snapshot, p.snapshot);
+        assert_eq!(s.events, p.events);
+        injected += s.metrics.faults_injected;
+    }
+    assert!(
+        injected > 0,
+        "a 50% chunk-fail plan must actually inject faults"
+    );
 }
 
 #[test]

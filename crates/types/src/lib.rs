@@ -12,6 +12,10 @@
 //!   geometry at the heart of PTEMagnet (ASPLOS 2021, §4.1).
 //! * **Errors** ([`error`]) — the shared [`MemError`] type returned by
 //!   allocators, page tables, and OS models across the workspace.
+//! * **Fault injection** ([`faults`]) — the typed [`FaultPlan`] and its
+//!   seeded [`FaultInjector`], the deterministic engine that forces the
+//!   degradation paths (chunk-allocation failure, transient OOM,
+//!   fragmentation shocks, reclaim storms, host swap-out).
 //!
 //! # Examples
 //!
@@ -28,6 +32,7 @@
 
 pub mod addr;
 pub mod error;
+pub mod faults;
 pub mod page;
 
 pub use addr::{
@@ -35,6 +40,7 @@ pub use addr::{
     HostVirtPage, PageNumber,
 };
 pub use error::MemError;
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use page::{
     CACHE_LINE_SHIFT, CACHE_LINE_SIZE, GROUP_BYTES, GROUP_PAGES, GROUP_SHIFT, PAGE_SHIFT,
     PAGE_SIZE, PTES_PER_CACHE_LINE, PTE_SIZE, PT_ENTRIES, PT_INDEX_BITS, PT_LEVELS,
