@@ -12,7 +12,8 @@ use vmsim_types::FaultPlan;
 use vmsim_workloads::{BenchId, CoId};
 
 use crate::manifest::{
-    ExperimentManifest, ExperimentSpec, MatrixSpec, PolicySpec, ReportKind, SimConfig, WorkloadSpec,
+    ExperimentManifest, ExperimentSpec, MatrixSpec, PolicySpec, ReportKind, SimConfig,
+    SupervisorSpec, WorkloadSpec,
 };
 use crate::obs::ObsConfig;
 use crate::DEFAULT_MEASURE_OPS;
@@ -38,6 +39,7 @@ fn matrix(
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        supervisor: None,
         experiment: ExperimentSpec::Matrix(MatrixSpec {
             report,
             policies: policies(policy_names),
@@ -290,6 +292,7 @@ pub fn sec64(pages: u64) -> ExperimentManifest {
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        supervisor: None,
         experiment: ExperimentSpec::AllocLatency { pages },
     }
 }
@@ -306,6 +309,7 @@ pub fn breakdown(seed: u64, measure_ops: u64) -> ExperimentManifest {
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        supervisor: None,
         experiment: ExperimentSpec::WalkBreakdown,
     }
 }
@@ -368,6 +372,15 @@ pub fn pressure() -> ExperimentManifest {
         guest_mb: Some(256),
         cores: Some(2),
         ..SimConfig::default()
+    });
+    // The faulted cells are exactly where a transient failure could appear,
+    // so this is the one shipped manifest with an explicit supervisor policy
+    // (one deterministic retry, original seed kept).
+    m.supervisor = Some(SupervisorSpec {
+        retries: 1,
+        seed_stride: 0,
+        max_cell_ops: None,
+        soft_wall_ms: None,
     });
     m
 }

@@ -9,6 +9,7 @@
 //! | `VMSIM_THREADS`   | Worker-pool size (`0` or unset = one per core)      |
 //! | `VMSIM_TRACE`     | Event tracing: `0` off, `1` on, `n > 1` ring size   |
 //! | `VMSIM_EPOCH_OPS` | Registry-snapshot sampling interval (`0` = off)     |
+//! | `VMSIM_CHAOS_CELL`| Supervisor drill: panic cell `i` (`i` or `i:k`)     |
 //!
 //! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
 //! warns once per process on use.
@@ -31,6 +32,20 @@ pub const VAR_THREADS: &str = "VMSIM_THREADS";
 pub const VAR_TRACE: &str = "VMSIM_TRACE";
 /// Epoch-sampling interval in machine ops.
 pub const VAR_EPOCH_OPS: &str = "VMSIM_EPOCH_OPS";
+/// Supervisor chaos drill: deliberately panic one matrix cell.
+pub const VAR_CHAOS_CELL: &str = "VMSIM_CHAOS_CELL";
+
+/// A deliberate failure injected into the supervised runtime for drills:
+/// cell `cell` panics on its first `fail_attempts` attempts. Parsed from
+/// `VMSIM_CHAOS_CELL` (`"3"` = cell 3 panics every attempt; `"3:1"` = cell 3
+/// panics once and succeeds on retry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Flat matrix-cell index that misbehaves.
+    pub cell: usize,
+    /// How many leading attempts panic (`None` = every attempt).
+    pub fail_attempts: Option<u32>,
+}
 
 /// A set-but-invalid environment override.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -189,6 +204,49 @@ pub fn epoch_ops() -> Result<Option<u64>, EnvError> {
     }
 }
 
+/// Chaos-drill override: `VMSIM_CHAOS_CELL`. `None` = no injected failure.
+/// Accepts `"i"` (cell `i` panics on every attempt) or `"i:k"` (cell `i`
+/// panics on its first `k` attempts, then succeeds).
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but malformed.
+pub fn chaos_cell() -> Result<Option<ChaosPlan>, EnvError> {
+    let Some(v) = raw(VAR_CHAOS_CELL) else {
+        return Ok(None);
+    };
+    let bad = |reason| EnvError {
+        var: VAR_CHAOS_CELL,
+        value: v.clone(),
+        reason,
+    };
+    let (cell_part, attempts_part) = match v.split_once(':') {
+        Some((c, a)) => (c, Some(a)),
+        None => (v.as_str(), None),
+    };
+    let cell = cell_part
+        .parse::<usize>()
+        .map_err(|_| bad("expected a cell index (\"3\") or index:attempts (\"3:1\")"))?;
+    let fail_attempts = match attempts_part {
+        None => None,
+        Some(a) => {
+            let k = a
+                .parse::<u32>()
+                .map_err(|_| bad("expected a cell index (\"3\") or index:attempts (\"3:1\")"))?;
+            if k == 0 {
+                return Err(bad(
+                    "attempt count must be positive (omit for all attempts)",
+                ));
+            }
+            Some(k)
+        }
+    };
+    Ok(Some(ChaosPlan {
+        cell,
+        fail_attempts,
+    }))
+}
+
 /// Validates every recognized override, returning all errors (empty =
 /// clean environment). `vmsim validate` prints these.
 pub fn check() -> Vec<EnvError> {
@@ -203,6 +261,9 @@ pub fn check() -> Vec<EnvError> {
         errors.push(e);
     }
     if let Err(e) = epoch_ops() {
+        errors.push(e);
+    }
+    if let Err(e) = chaos_cell() {
         errors.push(e);
     }
     errors
@@ -264,10 +325,37 @@ mod tests {
         std::env::set_var(VAR_EPOCH_OPS, "soon");
         assert!(epoch_ops().is_err());
 
+        std::env::set_var(VAR_CHAOS_CELL, "3");
+        assert_eq!(
+            chaos_cell(),
+            Ok(Some(ChaosPlan {
+                cell: 3,
+                fail_attempts: None
+            }))
+        );
+        std::env::set_var(VAR_CHAOS_CELL, "3:1");
+        assert_eq!(
+            chaos_cell(),
+            Ok(Some(ChaosPlan {
+                cell: 3,
+                fail_attempts: Some(1)
+            }))
+        );
+        for bad in ["three", "3:never", "3:0", ":2"] {
+            std::env::set_var(VAR_CHAOS_CELL, bad);
+            assert!(chaos_cell().is_err(), "{bad:?} must be rejected");
+        }
+
         // check() reports every malformed variable at once.
         let errors = check();
-        assert_eq!(errors.len(), 4);
-        for var in [VAR_OPS, VAR_THREADS, VAR_TRACE, VAR_EPOCH_OPS] {
+        assert_eq!(errors.len(), 5);
+        for var in [
+            VAR_OPS,
+            VAR_THREADS,
+            VAR_TRACE,
+            VAR_EPOCH_OPS,
+            VAR_CHAOS_CELL,
+        ] {
             assert!(errors.iter().any(|e| e.var == var), "{var} reported");
         }
 
@@ -277,6 +365,7 @@ mod tests {
             VAR_THREADS,
             VAR_TRACE,
             VAR_EPOCH_OPS,
+            VAR_CHAOS_CELL,
         ] {
             std::env::remove_var(var);
         }

@@ -25,10 +25,10 @@ pub mod env;
 pub mod manifest;
 pub mod obs;
 
-pub use env::EnvError;
+pub use env::{ChaosPlan, EnvError};
 pub use manifest::{
     ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
-    SimConfig, WorkloadSpec,
+    SimConfig, SupervisorSpec, WorkloadSpec,
 };
 pub use obs::ObsConfig;
 pub use vmsim_types::FaultPlan;

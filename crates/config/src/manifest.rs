@@ -370,6 +370,35 @@ impl ExperimentSpec {
     }
 }
 
+/// Supervisor policy for one experiment: how quarantined (panicked or
+/// errored) cells are retried and what per-cell budgets apply.
+///
+/// Retry decisions are a pure function of (manifest hash, cell index,
+/// attempt) — no wall-clock enters the seed derivation — so a retried run
+/// is exactly reproducible. The soft wall-time budget is the one
+/// deliberately wall-clock-dependent knob: it exists to truncate a hung
+/// cell, and truncation is always marked explicitly in the results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorSpec {
+    /// Extra attempts granted to a quarantined cell (0 = fail fast).
+    pub retries: u32,
+    /// Seed-perturbation stride mixed into each retry attempt's seed.
+    /// 0 keeps the original seed on every attempt (pure re-execution).
+    pub seed_stride: u64,
+    /// Per-cell measured-operation budget; a cell whose manifest asks for
+    /// more ops is truncated at this many and marked partial.
+    pub max_cell_ops: Option<u64>,
+    /// Per-cell soft wall-time budget in milliseconds; an over-budget cell
+    /// stops at the next checkpoint and is marked truncated.
+    pub soft_wall_ms: Option<u64>,
+}
+
+impl SupervisorSpec {
+    /// Upper bound on `retries`; a manifest asking for more is rejected
+    /// (deterministic retry is for transient chaos, not infinite loops).
+    pub const MAX_RETRIES: u32 = 16;
+}
+
 /// A complete, serializable description of one experiment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentManifest {
@@ -388,6 +417,9 @@ pub struct ExperimentManifest {
     /// Manifest-wide fault plan applied to every run (`None` = no faults).
     /// A workload's own plan, when set, replaces this one wholesale.
     pub faults: Option<FaultPlan>,
+    /// Supervisor policy: retries and per-cell budgets (`None` = fail fast,
+    /// no budgets).
+    pub supervisor: Option<SupervisorSpec>,
     /// The experiment body.
     pub experiment: ExperimentSpec,
 }
@@ -420,6 +452,9 @@ impl ExperimentManifest {
         }
         if let Some(plan) = &self.faults {
             validate_fault_plan(plan, "$.faults")?;
+        }
+        if let Some(supervisor) = &self.supervisor {
+            validate_supervisor(supervisor, "$.supervisor")?;
         }
         if let ExperimentSpec::Matrix(matrix) = &self.experiment {
             for (i, workload) in matrix.workloads.iter().enumerate() {
@@ -550,6 +585,11 @@ impl ExperimentManifest {
         );
         let _ = writeln!(out, "  \"sim\": {},", opt_sim(&self.sim));
         let _ = writeln!(out, "  \"faults\": {},", opt_faults(&self.faults));
+        let _ = writeln!(
+            out,
+            "  \"supervisor\": {},",
+            opt_supervisor(&self.supervisor)
+        );
         out.push_str("  \"experiment\": {\n");
         let _ = writeln!(out, "    \"kind\": {},", json_str(self.experiment.kind()));
         match &self.experiment {
@@ -600,7 +640,15 @@ impl ExperimentManifest {
             let node = field(&doc, "obs")?;
             ObsConfig {
                 trace: get_bool(node, "obs", "trace")?,
-                trace_capacity: get_u64(node, "obs", "trace_capacity")? as usize,
+                trace_capacity: {
+                    let v = get_u64(node, "obs", "trace_capacity")?;
+                    usize::try_from(v).map_err(|_| {
+                        ManifestError::new(
+                            "$.obs.trace_capacity",
+                            format!("value {v} exceeds the platform limit"),
+                        )
+                    })?
+                },
                 epoch_ops: get_opt_u64(node, "obs", "epoch_ops")?,
             }
         };
@@ -671,9 +719,34 @@ impl ExperimentManifest {
             obs,
             sim,
             faults: opt_faults_from_json(&doc, "$.faults")?,
+            supervisor: opt_supervisor_from_json(&doc)?,
             experiment,
         })
     }
+}
+
+/// Semantic checks on a supervisor spec: retry counts are bounded and
+/// budgets, when set, are positive.
+fn validate_supervisor(spec: &SupervisorSpec, ctx: &str) -> Result<()> {
+    if spec.retries > SupervisorSpec::MAX_RETRIES {
+        return Err(ManifestError::new(
+            format!("{ctx}.retries"),
+            format!("at most {} retries", SupervisorSpec::MAX_RETRIES),
+        ));
+    }
+    if spec.max_cell_ops == Some(0) {
+        return Err(ManifestError::new(
+            format!("{ctx}.max_cell_ops"),
+            "budget must be positive (or null to disable)",
+        ));
+    }
+    if spec.soft_wall_ms == Some(0) {
+        return Err(ManifestError::new(
+            format!("{ctx}.soft_wall_ms"),
+            "budget must be positive (or null to disable)",
+        ));
+    }
+    Ok(())
 }
 
 /// Semantic checks on a fault plan: rates are probabilities, periods are
@@ -855,7 +928,7 @@ fn fault_plan_from_json(node: &Json, ctx: &str) -> Result<FaultPlan> {
         chunk_fail_rate: get_f64(node, ctx, "chunk_fail_rate")?,
         oom_rate: get_f64(node, ctx, "oom_rate")?,
         frag_shock_every: get_opt_u64(node, ctx, "frag_shock_every")?,
-        frag_shock_order: get_u64(node, ctx, "frag_shock_order")? as u32,
+        frag_shock_order: get_u32(node, ctx, "frag_shock_order")?,
         reclaim_storm_every: get_opt_u64(node, ctx, "reclaim_storm_every")?,
         reclaim_storm_frames: get_u64(node, ctx, "reclaim_storm_frames")?,
         swap_out_every: get_opt_u64(node, ctx, "swap_out_every")?,
@@ -871,6 +944,52 @@ fn opt_faults_from_json(node: &Json, ctx: &str) -> Result<Option<FaultPlan>> {
         None | Some(Json::Null) => Ok(None),
         Some(plan) => fault_plan_from_json(plan, ctx).map(Some),
     }
+}
+
+fn supervisor_json(spec: &SupervisorSpec) -> String {
+    format!(
+        "{{\"retries\": {}, \"seed_stride\": {}, \"max_cell_ops\": {}, \"soft_wall_ms\": {}}}",
+        spec.retries,
+        spec.seed_stride,
+        opt_u64(spec.max_cell_ops),
+        opt_u64(spec.soft_wall_ms),
+    )
+}
+
+fn opt_supervisor(spec: &Option<SupervisorSpec>) -> String {
+    spec.as_ref()
+        .map_or_else(|| "null".to_string(), supervisor_json)
+}
+
+/// Every key a `"supervisor"` object may carry; anything else is rejected
+/// loudly rather than silently ignored.
+const SUPERVISOR_KEYS: [&str; 4] = ["retries", "seed_stride", "max_cell_ops", "soft_wall_ms"];
+
+/// Lenient lookup: a missing or `null` `"supervisor"` key means fail-fast
+/// with no budgets, so pre-supervisor manifests keep parsing unchanged.
+fn opt_supervisor_from_json(doc: &Json) -> Result<Option<SupervisorSpec>> {
+    let ctx = "$.supervisor";
+    let node = match doc.get("supervisor") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(node) => node,
+    };
+    let Json::Obj(fields) = node else {
+        return Err(ManifestError::new(ctx, "expected a supervisor object"));
+    };
+    for (key, _) in fields {
+        if !SUPERVISOR_KEYS.contains(&key.as_str()) {
+            return Err(ManifestError::new(
+                ctx,
+                format!("unknown supervisor key {key:?}"),
+            ));
+        }
+    }
+    Ok(Some(SupervisorSpec {
+        retries: get_u32(node, ctx, "retries")?,
+        seed_stride: get_u64(node, ctx, "seed_stride")?,
+        max_cell_ops: get_opt_u64(node, ctx, "max_cell_ops")?,
+        soft_wall_ms: get_opt_u64(node, ctx, "soft_wall_ms")?,
+    }))
 }
 
 fn workload_json(out: &mut String, w: &WorkloadSpec) {
@@ -917,6 +1036,18 @@ fn get_u64(node: &Json, ctx: &str, key: &str) -> Result<u64> {
     field(node, key)?
         .as_u64()
         .ok_or_else(|| ManifestError::new(format!("{ctx}.{key}"), "expected an unsigned integer"))
+}
+
+/// Range-checked 32-bit read: a value beyond `u32::MAX` is a validation
+/// error, never a silent `as` truncation.
+fn get_u32(node: &Json, ctx: &str, key: &str) -> Result<u32> {
+    let v = get_u64(node, ctx, key)?;
+    u32::try_from(v).map_err(|_| {
+        ManifestError::new(
+            format!("{ctx}.{key}"),
+            format!("value {v} exceeds the 32-bit limit"),
+        )
+    })
 }
 
 fn get_bool(node: &Json, ctx: &str, key: &str) -> Result<bool> {
@@ -1017,7 +1148,7 @@ fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
         label,
         benchmark: get_str(node, &ctx, "benchmark")?,
         corunners,
-        corunner_weight: get_u64(node, &ctx, "corunner_weight")? as u32,
+        corunner_weight: get_u32(node, &ctx, "corunner_weight")?,
         stop_corunners_after_init: get_bool(node, &ctx, "stop_corunners_after_init")?,
         prefragment_run: get_opt_u64(node, &ctx, "prefragment_run")?,
         sim,
@@ -1041,6 +1172,12 @@ mod tests {
                 ..SimConfig::default()
             }),
             faults: None,
+            supervisor: Some(SupervisorSpec {
+                retries: 2,
+                seed_stride: 13,
+                max_cell_ops: Some(10_000),
+                soft_wall_ms: None,
+            }),
             experiment: ExperimentSpec::Matrix(MatrixSpec {
                 report: ReportKind::Runs,
                 policies: vec!["default".into(), "granular:4".into()],
@@ -1075,6 +1212,7 @@ mod tests {
                 obs: ObsConfig::disabled(),
                 sim: None,
                 faults: None,
+                supervisor: None,
                 experiment,
             };
             let json = m.to_json();
@@ -1165,6 +1303,65 @@ mod tests {
             .replace("  \"faults\": null,", "  \"faults\": {\"meteor\": 1},");
         let err = ExperimentManifest::from_json(&json).unwrap_err();
         assert!(err.message.contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn missing_supervisor_key_parses_as_none() {
+        // Pre-supervisor manifests have no "supervisor" key at all.
+        let mut expect = sample();
+        expect.supervisor = None;
+        let stripped: String = expect
+            .to_json()
+            .lines()
+            .filter(|l| !l.starts_with("  \"supervisor\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ExperimentManifest::from_json(&stripped).expect("parse");
+        assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn unknown_supervisor_key_is_rejected() {
+        let json = sample().to_json().replace(
+            "  \"supervisor\": {\"retries\": 2,",
+            "  \"supervisor\": {\"naps\": 9, \"retries\": 2,",
+        );
+        let err = ExperimentManifest::from_json(&json).unwrap_err();
+        assert!(err.message.contains("unknown supervisor key"), "{err}");
+    }
+
+    #[test]
+    fn supervisor_bounds_are_validated() {
+        let mut m = sample();
+        m.supervisor = Some(SupervisorSpec {
+            retries: SupervisorSpec::MAX_RETRIES + 1,
+            ..SupervisorSpec::default()
+        });
+        assert!(m.validate().unwrap_err().context.contains("retries"));
+        m.supervisor = Some(SupervisorSpec {
+            max_cell_ops: Some(0),
+            ..SupervisorSpec::default()
+        });
+        assert!(m.validate().unwrap_err().context.contains("max_cell_ops"));
+        m.supervisor = Some(SupervisorSpec {
+            soft_wall_ms: Some(0),
+            ..SupervisorSpec::default()
+        });
+        assert!(m.validate().unwrap_err().context.contains("soft_wall_ms"));
+        m.supervisor = Some(SupervisorSpec::default());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_u32_fields_are_rejected_not_truncated() {
+        // 2^33 used to truncate silently through an `as u32` cast.
+        let big = (1_u64 << 33).to_string();
+        let json = sample().to_json().replace(
+            "\"corunner_weight\": 4,",
+            &format!("\"corunner_weight\": {big},"),
+        );
+        let err = ExperimentManifest::from_json(&json).unwrap_err();
+        assert!(err.message.contains("32-bit"), "{err}");
     }
 
     #[test]

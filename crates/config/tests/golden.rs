@@ -5,7 +5,7 @@
 //! `vmsim emit manifests` after changing a builtin), and every manifest
 //! must survive a parse → serialize round trip unchanged.
 
-use vmsim_config::{builtin, ExperimentManifest};
+use vmsim_config::{builtin, ExperimentManifest, SupervisorSpec};
 
 fn manifests_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../manifests")
@@ -43,6 +43,37 @@ fn manifests_round_trip_byte_identically() {
             "{}: serialization is not a fixpoint",
             manifest.name
         );
+    }
+}
+
+/// The optional `supervisor` block survives the round trip in both of its
+/// shapes: absent (`null`) and fully populated. The pressure builtin ships
+/// a non-null spec so at least one checked-in manifest exercises the
+/// populated path.
+#[test]
+fn supervisor_spec_round_trips_in_both_shapes() {
+    let pressure = builtin::by_name("pressure").expect("pressure is a builtin");
+    assert!(
+        pressure.supervisor.is_some(),
+        "pressure carries a populated supervisor spec"
+    );
+
+    let mut maxed = builtin::smoke();
+    assert!(
+        maxed.supervisor.is_none(),
+        "smoke ships without supervision"
+    );
+    maxed.supervisor = Some(SupervisorSpec {
+        retries: 3,
+        seed_stride: 0x9e37,
+        max_cell_ops: Some(1_000_000),
+        soft_wall_ms: Some(45_000),
+    });
+    for manifest in [pressure, maxed] {
+        let reparsed = ExperimentManifest::from_json(&manifest.to_json())
+            .unwrap_or_else(|e| panic!("{}: supervisor JSON must parse: {e}", manifest.name));
+        assert_eq!(reparsed.supervisor, manifest.supervisor);
+        assert_eq!(reparsed.to_json(), manifest.to_json());
     }
 }
 

@@ -60,6 +60,14 @@ pub enum EventKind {
     /// An injected OOM was absorbed: reclaim freed `reclaimed` frames and
     /// the faulting allocation was retried with injection suppressed.
     OomRetry { reclaimed: u64 },
+    /// The supervisor quarantined a matrix cell after all `attempts`
+    /// attempts failed; the cell is reported with its typed error.
+    CellQuarantined { cell: u64, attempts: u32 },
+    /// The supervisor retried a quarantined cell (this is attempt number
+    /// `attempt`, counting the first run as attempt 0).
+    CellRetried { cell: u64, attempt: u32 },
+    /// `vmsim run --resume` skipped this many already-journaled cells.
+    RunResumed { cells: u64 },
 }
 
 impl EventKind {
@@ -80,6 +88,9 @@ impl EventKind {
             EventKind::SwapOut { .. } => "swap_out",
             EventKind::ReservationFallback { .. } => "reservation_fallback",
             EventKind::OomRetry { .. } => "oom_retry",
+            EventKind::CellQuarantined { .. } => "cell_quarantined",
+            EventKind::CellRetried { .. } => "cell_retried",
+            EventKind::RunResumed { .. } => "run_resumed",
         }
     }
 
@@ -142,6 +153,15 @@ impl EventKind {
             }
             EventKind::OomRetry { reclaimed } => {
                 let _ = write!(out, ",\"reclaimed\":{reclaimed}");
+            }
+            EventKind::CellQuarantined { cell, attempts } => {
+                let _ = write!(out, ",\"cell\":{cell},\"attempts\":{attempts}");
+            }
+            EventKind::CellRetried { cell, attempt } => {
+                let _ = write!(out, ",\"cell\":{cell},\"attempt\":{attempt}");
+            }
+            EventKind::RunResumed { cells } => {
+                let _ = write!(out, ",\"cells\":{cells}");
             }
         }
     }
@@ -302,6 +322,15 @@ mod tests {
                 gfn: 3,
             },
             EventKind::OomRetry { reclaimed: 12 },
+            EventKind::CellQuarantined {
+                cell: 3,
+                attempts: 2,
+            },
+            EventKind::CellRetried {
+                cell: 3,
+                attempt: 1,
+            },
+            EventKind::RunResumed { cells: 5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let line = Event { op: i as u64, kind }.to_json();

@@ -1,23 +1,43 @@
 //! The unified `vmsim` CLI: validate and execute experiment manifests.
 //!
 //! ```text
-//! vmsim run <manifest.json|builtin-name>... [--out DIR]
+//! vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL]
 //! vmsim list
 //! vmsim validate <manifest.json>...
 //! vmsim emit [DIR]
 //! ```
 //!
-//! `run` executes each manifest through the `vmsim-sim` driver, prints the
-//! paper-style report, writes `DIR/<name>.json` (default `results/`) with
-//! every run's metrics, and — when the manifest enables observability —
-//! per-run `trace_<name>_<i>.jsonl` and `series_<name>_<i>.csv` artifacts.
-//! Every JSON artifact is re-parsed after writing; any failure exits
-//! nonzero, which makes `run` usable as a CI smoke step.
+//! `run` executes each manifest through the `vmsim-sim` supervised driver,
+//! prints the paper-style report, writes `DIR/<name>.json` (default
+//! `results/`) with every run's metrics, and — when the manifest enables
+//! observability — per-cell `trace_<name>_<i>.jsonl` and
+//! `series_<name>_<i>.csv` artifacts. Every JSON artifact is re-parsed
+//! after writing; failures are diagnosed per path, never panicked on.
+//!
+//! Matrix runs are crash-safe: each completed cell is appended to
+//! `DIR/<name>.journal.jsonl` as it finishes, and `--resume <journal>`
+//! replays completed cells so a killed run picks up where it left off with
+//! byte-identical merged artifacts. A cell that panics or exhausts its
+//! fault plan is quarantined (recorded in the results JSON with its typed
+//! error) while the rest of the matrix completes.
+//!
+//! Exit-code contract for `run`:
+//!
+//! * `0` — every cell completed and every artifact verified;
+//! * `1` — the experiment ran but one or more artifacts failed to write
+//!   or re-parse;
+//! * `2` — invalid input: bad usage, unreadable/invalid manifest,
+//!   malformed environment value, or an unusable `--resume` journal;
+//! * `3` — the run completed but one or more cells were quarantined
+//!   (takes precedence over `1`).
 //!
 //! Environment overrides (parsed strictly by `vmsim_config::env`; malformed
 //! values are errors here, not silent defaults): `VMSIM_OPS` (measured ops;
 //! deprecated alias `PTEMAGNET_OPS`), `VMSIM_THREADS` (worker pool),
-//! `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` (force observability on).
+//! `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` (force observability on), and
+//! `VMSIM_CHAOS_CELL` (`i` or `i:k`: deterministically panic matrix cell
+//! `i`, every attempt or only the first `k` — the supervised-runtime
+//! failure drill).
 //!
 //! `validate` checks manifest shape, resolves every policy against the
 //! registry, and reports malformed `VMSIM_*` environment values. `emit`
@@ -28,15 +48,19 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use vmsim_config::{builtin, env, ExperimentManifest, ExperimentSpec, ObsConfig};
+use vmsim_config::{builtin, env, ChaosPlan, ExperimentManifest, ExperimentSpec, ObsConfig};
 use vmsim_obs::json;
-use vmsim_sim::driver;
+use vmsim_sim::driver::{self, Supervisor};
+use vmsim_sim::Journal;
 
 const USAGE: &str = "usage:
-  vmsim run <manifest.json|builtin-name>... [--out DIR]
+  vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL]
   vmsim list
   vmsim validate <manifest.json>...
   vmsim emit [DIR]";
+
+/// Exit code for a run that completed with quarantined cells.
+const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,112 +103,225 @@ fn apply_env(manifest: &mut ExperimentManifest) -> Result<(), env::EnvError> {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut out_dir = PathBuf::from("results");
+    let mut resume: Option<PathBuf> = None;
     let mut sources: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--out" {
-            match it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("vmsim run: --out needs a directory\n{USAGE}");
                     return ExitCode::from(2);
                 }
-            }
-        } else {
-            sources.push(arg);
+            },
+            "--resume" => match it.next() {
+                Some(path) => resume = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("vmsim run: --resume needs a journal file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => sources.push(arg),
         }
     }
     if sources.is_empty() {
         eprintln!("vmsim run: no manifests given\n{USAGE}");
         return ExitCode::from(2);
     }
+    if resume.is_some() && sources.len() != 1 {
+        eprintln!("vmsim run: --resume takes exactly one manifest\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let chaos = match env::chaos_cell() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("vmsim run: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("vmsim run: cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
 
-    let mut failures = 0u32;
+    let mut artifact_failures = 0u32;
+    let mut quarantined = 0u64;
     for source in sources {
-        match run_one(source, &out_dir) {
-            Ok(()) => {}
-            Err(RunFailure::Usage(msg)) => {
+        match run_one(source, &out_dir, resume.as_deref(), chaos) {
+            Ok(stats) => {
+                artifact_failures += stats.artifact_failures;
+                quarantined += stats.quarantined;
+            }
+            Err(msg) => {
                 eprintln!("vmsim run: {msg}");
                 return ExitCode::from(2);
             }
-            Err(RunFailure::Artifacts(n)) => failures += n,
         }
     }
-    if failures > 0 {
-        eprintln!("vmsim run: {failures} artifact(s) failed to re-parse");
+    if quarantined > 0 {
+        eprintln!("vmsim run: {quarantined} cell(s) quarantined (see results JSON)");
+        return ExitCode::from(EXIT_DEGRADED);
+    }
+    if artifact_failures > 0 {
+        eprintln!("vmsim run: {artifact_failures} artifact(s) failed");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-enum RunFailure {
-    /// Bad input: manifest unreadable/invalid or malformed environment.
-    Usage(String),
-    /// The experiment ran but this many artifacts failed verification.
-    Artifacts(u32),
+/// What one manifest's execution degraded into (usage errors return `Err`
+/// from [`run_one`] instead).
+#[derive(Default)]
+struct RunStats {
+    artifact_failures: u32,
+    quarantined: u64,
 }
 
-fn run_one(source: &str, out_dir: &Path) -> Result<(), RunFailure> {
-    let mut manifest = load(source).map_err(RunFailure::Usage)?;
-    apply_env(&mut manifest).map_err(|e| RunFailure::Usage(e.to_string()))?;
-    let t0 = std::time::Instant::now();
-    let run = driver::run_manifest(&manifest).map_err(|e| RunFailure::Usage(e.to_string()))?;
-    print!("{}", run.report());
+fn run_one(
+    source: &str,
+    out_dir: &Path,
+    resume: Option<&Path>,
+    chaos: Option<ChaosPlan>,
+) -> Result<RunStats, String> {
+    let mut manifest = load(source)?;
+    apply_env(&mut manifest).map_err(|e| e.to_string())?;
+    // Validate before the journal is opened: creating the journal truncates
+    // `<out>/<name>.journal.jsonl`, and an invalid manifest must never
+    // clobber the journal a previous (interrupted) run left behind.
+    manifest.validate().map_err(|e| format!("{source}: {e}"))?;
+    let mut stats = RunStats::default();
 
-    let mut failures = 0u32;
-    let results_path = out_dir.join(format!("{}.json", manifest.name));
-    let artifact = run.results_json();
-    std::fs::write(&results_path, &artifact).expect("write results artifact");
-    match json::parse(&artifact) {
-        Ok(doc) => {
-            let runs = doc
-                .get("runs")
-                .and_then(|r| r.as_arr())
-                .map_or(0, <[_]>::len);
+    // Matrix runs journal each completed cell for crash-safe resumption.
+    // An unusable --resume journal is a usage error; a journal that merely
+    // cannot be *created* degrades to an unjournaled run.
+    let journal = if matches!(manifest.experiment, ExperimentSpec::Matrix(_)) {
+        match resume {
+            Some(path) => Some(Journal::resume(path, &manifest).map_err(|e| e.to_string())?),
+            None => {
+                let path = out_dir.join(format!("{}.journal.jsonl", manifest.name));
+                match Journal::create(&path, &manifest) {
+                    Ok(j) => Some(j),
+                    Err(e) => {
+                        eprintln!("vmsim: journal disabled: {e}");
+                        stats.artifact_failures += 1;
+                        None
+                    }
+                }
+            }
+        }
+    } else {
+        None
+    };
+    if let Some(j) = &journal {
+        if j.completed() > 0 {
             eprintln!(
-                "vmsim: wrote {} ({} runs, {:.1}s)",
-                results_path.display(),
-                runs,
-                t0.elapsed().as_secs_f64()
+                "vmsim: resuming {} completed cell(s) from {}",
+                j.completed(),
+                j.path().display()
             );
         }
-        Err(e) => {
-            eprintln!("FAIL {}: {e:?}", results_path.display());
-            failures += 1;
+    }
+
+    let t0 = std::time::Instant::now();
+    let sup = Supervisor {
+        journal: journal.as_ref(),
+        chaos,
+    };
+    let run = driver::run_supervised(&manifest, &sup).map_err(|e| e.to_string())?;
+    print!("{}", run.report());
+    stats.quarantined = run.supervision.quarantined;
+
+    let results_path = out_dir.join(format!("{}.json", manifest.name));
+    let artifact = run.results_json();
+    if let Err(e) = std::fs::write(&results_path, &artifact) {
+        eprintln!("FAIL {}: cannot write: {e}", results_path.display());
+        stats.artifact_failures += 1;
+    } else {
+        match json::parse(&artifact) {
+            Ok(doc) => {
+                let runs = doc
+                    .get("runs")
+                    .and_then(|r| r.as_arr())
+                    .map_or(0, <[_]>::len);
+                eprintln!(
+                    "vmsim: wrote {} ({} runs, {:.1}s)",
+                    results_path.display(),
+                    runs,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e:?}", results_path.display());
+                stats.artifact_failures += 1;
+            }
         }
     }
 
     if manifest.obs.is_enabled() {
-        for (i, observed) in run.observed.iter().enumerate() {
-            let jsonl = observed.events_jsonl();
+        for cell in &run.cells {
+            let (Some(jsonl), Some(csv)) = (cell.events_jsonl(), cell.series_csv()) else {
+                continue; // quarantined: no artifacts to write
+            };
+            let i = cell.index;
             let trace_path = out_dir.join(format!("trace_{}_{i}.jsonl", manifest.name));
-            std::fs::write(&trace_path, &jsonl).expect("write trace");
-            for (n, line) in jsonl.lines().enumerate() {
-                if let Err(e) = json::parse(line) {
-                    eprintln!(
-                        "FAIL {}: line {} unparseable: {e:?}",
-                        trace_path.display(),
-                        n + 1
-                    );
-                    failures += 1;
+            if let Err(e) = std::fs::write(&trace_path, &jsonl) {
+                eprintln!("FAIL {}: cannot write: {e}", trace_path.display());
+                stats.artifact_failures += 1;
+            } else {
+                for (n, line) in jsonl.lines().enumerate() {
+                    if let Err(e) = json::parse(line) {
+                        eprintln!(
+                            "FAIL {}: line {} unparseable: {e:?}",
+                            trace_path.display(),
+                            n + 1
+                        );
+                        stats.artifact_failures += 1;
+                    }
                 }
             }
             let series_path = out_dir.join(format!("series_{}_{i}.csv", manifest.name));
-            std::fs::write(&series_path, observed.series.to_csv()).expect("write series");
-            if let Err(e) = json::parse(&observed.series.to_json()) {
-                eprintln!("FAIL series {}_{i}: {e:?}", manifest.name);
-                failures += 1;
+            if let Err(e) = std::fs::write(&series_path, &csv) {
+                eprintln!("FAIL {}: cannot write: {e}", series_path.display());
+                stats.artifact_failures += 1;
+            }
+            // Fresh cells also verify the series' JSON rendering (replayed
+            // cells were verified when they originally ran).
+            if let Some(observed) = cell.observed() {
+                if let Err(e) = json::parse(&observed.series.to_json()) {
+                    eprintln!("FAIL series {}_{i}: {e:?}", manifest.name);
+                    stats.artifact_failures += 1;
+                }
             }
         }
     }
-    if failures > 0 {
-        return Err(RunFailure::Artifacts(failures));
+
+    // The supervisor trace exists only when something degraded the run, so
+    // a clean (or cleanly resumed) run's artifact set is unchanged.
+    if !run.supervision.is_clean() && !run.supervisor_events.is_empty() {
+        let mut jsonl = String::new();
+        for event in &run.supervisor_events {
+            jsonl.push_str(&event.to_json());
+            jsonl.push('\n');
+        }
+        let path = out_dir.join(format!("trace_{}_supervisor.jsonl", manifest.name));
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("FAIL {}: cannot write: {e}", path.display());
+            stats.artifact_failures += 1;
+        }
     }
-    Ok(())
+    if !run.supervision.is_clean() {
+        let sv = &run.supervision;
+        eprintln!(
+            "vmsim: supervisor: {} quarantined, {} retried, {} truncated",
+            sv.quarantined, sv.retried, sv.truncated
+        );
+    }
+    if let Some(err) = journal.as_ref().and_then(Journal::io_error) {
+        eprintln!("FAIL journal: {err}");
+        stats.artifact_failures += 1;
+    }
+    Ok(stats)
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {

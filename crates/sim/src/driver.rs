@@ -1,5 +1,6 @@
 //! The manifest execution engine: runs an [`ExperimentManifest`] on the
-//! worker pool and assembles the paper-typed result.
+//! worker pool under panic supervision and assembles the paper-typed
+//! result.
 //!
 //! This is the single path every experiment takes — the `vmsim` CLI, the
 //! `exp-*` wrapper binaries, and the legacy functions in
@@ -10,31 +11,45 @@
 //! a manifest-driven run is bit-identical to the hand-constructed legacy
 //! path run serially.
 //!
+//! Each cell runs inside its own `catch_unwind`: a panicking or resource-
+//! exhausted cell is **quarantined** — recorded as a [`CellRun`] carrying
+//! its typed [`RunError`] — while every other cell completes bit-identical
+//! to an unfailed run at any `VMSIM_THREADS`. The manifest's optional
+//! `supervisor` block adds deterministic bounded retry (the seed for
+//! attempt *a* is a pure function of manifest hash, cell index, and
+//! attempt — no wall clock) and per-cell budgets
+//! ([`crate::scenario::CellBudget`]). Completed cells stream into an
+//! optional [`Journal`] so a killed run can be resumed with
+//! `vmsim run --resume`.
+//!
 //! Policy names resolve through `ptemagnet::registry`; allocator labels in
 //! the resulting [`RunMetrics`] come from the allocator itself
 //! ([`vmsim_os::GuestFrameAllocator::name`]), which the registry guarantees
 //! to match the catalog names the legacy `AllocatorKind` used.
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use ptemagnet::UnknownPolicy;
 use vmsim_cache::MemCounters;
 use vmsim_config::{
-    ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
-    WorkloadSpec,
+    ChaosPlan, ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec,
+    ReportKind, SupervisorSpec, WorkloadSpec,
 };
-use vmsim_obs::json;
+use vmsim_obs::{json, Event, EventKind, Metric, MetricSource};
 use vmsim_os::{GuestOs, Machine, MachineConfig};
-use vmsim_types::{GuestVirtAddr, GuestVirtPage, PAGE_SIZE};
+use vmsim_types::{GuestVirtAddr, GuestVirtPage, MemError, RunError, PAGE_SIZE};
 
 use crate::experiments::{
     AllocLatency, BenchPair, FigureSweep, HwSensitivityRow, ReservedUnused, Table1, Table4, ThpRow,
     ThpStudy,
 };
+use crate::journal::{self, Journal, JournalEntry};
 use crate::obs::ObservedRun;
 use crate::parallel::{self, Parallelism};
 use crate::report;
-use crate::scenario::{RunMetrics, Scenario};
+use crate::scenario::{CellBudget, RunMetrics, Scenario};
 use crate::stats::Replication;
 
 /// Why a manifest could not be executed.
@@ -132,16 +147,161 @@ pub enum Outcome {
     Breakdown(Vec<(String, MemCounters)>),
     /// Graceful-degradation study under fault injection, workload-major.
     Pressure(Vec<PressureRow>),
+    /// At least one cell was quarantined; no aggregate result exists.
+    Degraded,
 }
 
-/// A fully executed manifest: the input, every observed run (matrix kinds),
-/// and the aggregated outcome.
+/// The payload of a completed matrix cell: a freshly executed run or one
+/// replayed from a [`Journal`].
+#[derive(Debug)]
+pub enum CellData {
+    /// Executed in this process; full observability payload available.
+    Fresh(ObservedRun),
+    /// Replayed from a journal: metrics plus the original artifact text.
+    Resumed(JournalEntry),
+}
+
+impl CellData {
+    /// The cell's end-of-run aggregates.
+    #[must_use]
+    pub fn metrics(&self) -> &RunMetrics {
+        match self {
+            CellData::Fresh(run) => &run.metrics,
+            CellData::Resumed(entry) => &entry.metrics,
+        }
+    }
+}
+
+/// One supervised matrix cell: either completed data or the typed error
+/// that quarantined it after every allowed attempt.
+#[derive(Debug)]
+pub struct CellRun {
+    /// Matrix index (`(w·P + p)·S + s`).
+    pub index: usize,
+    /// Attempts consumed (1 = first try succeeded; for a quarantined cell
+    /// this is the full retry allowance).
+    pub attempts: u32,
+    /// Whether the cell was replayed from a journal instead of executed.
+    pub resumed: bool,
+    /// The completed run, or the error from the final attempt.
+    pub data: Result<CellData, RunError>,
+}
+
+impl CellRun {
+    /// The cell's metrics, if it completed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.data.as_ref().ok().map(CellData::metrics)
+    }
+
+    /// The freshly executed run, if the cell ran in this process.
+    #[must_use]
+    pub fn observed(&self) -> Option<&ObservedRun> {
+        match &self.data {
+            Ok(CellData::Fresh(run)) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// The quarantining error, if the cell failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&RunError> {
+        self.data.as_ref().err()
+    }
+
+    /// Whether a budget truncated the cell's measured phase.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        match &self.data {
+            Ok(CellData::Fresh(run)) => run.truncated,
+            Ok(CellData::Resumed(entry)) => entry.truncated,
+            Err(_) => false,
+        }
+    }
+
+    /// The cell's trace artifact text, if it completed (empty string when
+    /// tracing was off).
+    #[must_use]
+    pub fn events_jsonl(&self) -> Option<String> {
+        match &self.data {
+            Ok(CellData::Fresh(run)) => Some(run.events_jsonl()),
+            Ok(CellData::Resumed(entry)) => Some(entry.events_jsonl.clone()),
+            Err(_) => None,
+        }
+    }
+
+    /// The cell's epoch-series CSV artifact text, if it completed.
+    #[must_use]
+    pub fn series_csv(&self) -> Option<String> {
+        match &self.data {
+            Ok(CellData::Fresh(run)) => Some(run.series.to_csv()),
+            Ok(CellData::Resumed(entry)) => Some(entry.series_csv.clone()),
+            Err(_) => None,
+        }
+    }
+}
+
+/// What the supervisor did across a whole manifest run. Registers as the
+/// `supervisor.*` gauge group ([`MetricSource`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Supervision {
+    /// Cells that failed every allowed attempt.
+    pub quarantined: u64,
+    /// Total retry attempts across all cells (recovered or not).
+    pub retried: u64,
+    /// Cells whose measured phase a budget stopped early.
+    pub truncated: u64,
+    /// Cells replayed from a journal instead of executed.
+    pub resumed: u64,
+}
+
+impl Supervision {
+    /// True when nothing degraded the run. Resumption is deliberately not
+    /// counted: a resumed run's outputs are byte-identical to a clean one,
+    /// so nothing in the artifacts may depend on it.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0 && self.retried == 0 && self.truncated == 0
+    }
+}
+
+impl MetricSource for Supervision {
+    fn source_name(&self) -> &'static str {
+        "supervisor"
+    }
+
+    fn emit(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::u64("quarantined", self.quarantined));
+        out.push(Metric::u64("retried", self.retried));
+        out.push(Metric::u64("truncated", self.truncated));
+        out.push(Metric::u64("resumed", self.resumed));
+    }
+}
+
+/// Supervised-execution inputs beyond the manifest itself.
+#[derive(Default)]
+pub struct Supervisor<'a> {
+    /// Journal to replay completed cells from and append new ones to.
+    pub journal: Option<&'a Journal>,
+    /// Deterministic failure drill (`VMSIM_CHAOS_CELL`): panic the given
+    /// cell on its first `fail_attempts` attempts (every attempt if
+    /// unbounded).
+    pub chaos: Option<ChaosPlan>,
+}
+
+/// A fully executed manifest: the input, every supervised cell (matrix
+/// kinds), the supervisor's tally, and the aggregated outcome.
 #[derive(Debug)]
 pub struct ManifestRun {
     /// The manifest that was executed (after any environment override).
     pub manifest: ExperimentManifest,
-    /// Every scenario run in matrix order (empty for the special kinds).
-    pub observed: Vec<ObservedRun>,
+    /// Every matrix cell in run order (empty for the special kinds).
+    pub cells: Vec<CellRun>,
+    /// Quarantine/retry/truncation/resume counters for the whole run.
+    pub supervision: Supervision,
+    /// Supervisor trace events (`cell_quarantined`, `cell_retried`,
+    /// `run_resumed`), deterministic in cell-index order.
+    pub supervisor_events: Vec<Event>,
     /// The aggregated, report-kind-typed result.
     pub outcome: Outcome,
 }
@@ -186,66 +346,273 @@ pub fn build_scenario(
     Ok(scenario)
 }
 
-/// Validates and executes a manifest.
+/// Validates and executes a manifest with no journal and no chaos drill.
+/// Equivalent to [`run_supervised`] with a default [`Supervisor`].
 ///
 /// # Errors
 ///
 /// Returns [`DriverError`] if the manifest fails validation or a policy
-/// does not resolve. Simulation resource exhaustion (a misconfigured
-/// machine) panics, as the legacy experiment functions did.
+/// does not resolve. Matrix cells never panic out of this function: a
+/// failing cell is quarantined into its [`CellRun`] and the outcome
+/// becomes [`Outcome::Degraded`].
 ///
 /// # Panics
 ///
-/// Panics on simulation resource exhaustion.
+/// The special kinds (alloc-latency, walk-breakdown) still panic on
+/// simulation resource exhaustion, as the legacy experiment functions did.
 pub fn run_manifest(manifest: &ExperimentManifest) -> Result<ManifestRun, DriverError> {
+    run_supervised(manifest, &Supervisor::default())
+}
+
+/// Validates and executes a manifest under full supervision: per-cell
+/// panic isolation, deterministic bounded retry, budgets, and optional
+/// journal replay/append.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] if the manifest fails validation or a policy
+/// does not resolve.
+///
+/// # Panics
+///
+/// The special kinds (alloc-latency, walk-breakdown) still panic on
+/// simulation resource exhaustion, as the legacy experiment functions did.
+pub fn run_supervised(
+    manifest: &ExperimentManifest,
+    sup: &Supervisor<'_>,
+) -> Result<ManifestRun, DriverError> {
     manifest.validate()?;
     match &manifest.experiment {
         ExperimentSpec::AllocLatency { pages } => Ok(ManifestRun {
             manifest: manifest.clone(),
-            observed: Vec::new(),
+            cells: Vec::new(),
+            supervision: Supervision::default(),
+            supervisor_events: Vec::new(),
             outcome: Outcome::AllocLatency(crate::experiments::sec64(*pages)),
         }),
         ExperimentSpec::WalkBreakdown => Ok(ManifestRun {
             manifest: manifest.clone(),
-            observed: Vec::new(),
+            cells: Vec::new(),
+            supervision: Supervision::default(),
+            supervisor_events: Vec::new(),
             outcome: Outcome::Breakdown(crate::experiments::walk_breakdown(
                 manifest.seeds[0],
                 manifest.measure_ops,
             )),
         }),
-        ExperimentSpec::Matrix(matrix) => run_matrix(manifest, matrix),
+        ExperimentSpec::Matrix(matrix) => run_matrix(manifest, matrix, sup),
     }
 }
 
 fn run_matrix(
     manifest: &ExperimentManifest,
     matrix: &MatrixSpec,
+    sup: &Supervisor<'_>,
 ) -> Result<ManifestRun, DriverError> {
     // Resolve every policy once up front so name errors surface before any
     // simulation work (the pool closure then cannot fail on names).
     for policy in &matrix.policies {
         ptemagnet::registry::resolve(policy.name())?;
     }
+    let spec = manifest.supervisor.unwrap_or_default();
+    let budget = CellBudget {
+        max_ops: spec.max_cell_ops,
+        soft_wall: spec.soft_wall_ms.map(Duration::from_millis),
+    };
+    let hash = journal::manifest_hash(manifest);
     let (pn, sn) = (matrix.policies.len(), manifest.seeds.len());
     let total = matrix.workloads.len() * pn * sn;
-    let observed = parallel::run_indexed(Parallelism::from_env(), total, |i| {
-        let (s, p, w) = (i % sn, (i / sn) % pn, i / (sn * pn));
-        build_scenario(
-            manifest,
-            &matrix.workloads[w],
-            &matrix.policies[p],
-            manifest.seeds[s],
-        )
-        .expect("manifest pre-validated")
-        .try_run_observed(manifest.obs)
-        .expect("scenario execution failed")
+    let raw = parallel::run_supervised(Parallelism::from_env(), total, |i| {
+        run_cell(manifest, matrix, i, spec, budget, hash, sup)
     });
-    let outcome = assemble(manifest, matrix, &observed);
+    // The outer supervised join is a safety net for panics escaping the
+    // per-attempt `catch_unwind` inside `run_cell` (it should never fire).
+    let cells: Vec<CellRun> = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|panic| CellRun {
+                index: i,
+                attempts: 1,
+                resumed: false,
+                data: Err(RunError::MachinePanic {
+                    payload: panic.payload,
+                }),
+            })
+        })
+        .collect();
+    let (supervision, supervisor_events) = supervise(&cells);
+    let outcome = if cells.iter().any(|c| c.data.is_err()) {
+        Outcome::Degraded
+    } else {
+        let metrics: Vec<RunMetrics> = cells
+            .iter()
+            .map(|c| c.metrics().expect("no cell failed").clone())
+            .collect();
+        assemble(manifest, matrix, &metrics)
+    };
     Ok(ManifestRun {
         manifest: manifest.clone(),
-        observed,
+        cells,
+        supervision,
+        supervisor_events,
         outcome,
     })
+}
+
+/// Executes one matrix cell through its retry allowance. Every attempt is
+/// individually `catch_unwind`-isolated, so neighbouring cells on the same
+/// worker thread are unaffected by a panic here.
+fn run_cell(
+    manifest: &ExperimentManifest,
+    matrix: &MatrixSpec,
+    i: usize,
+    spec: SupervisorSpec,
+    budget: CellBudget,
+    hash: u64,
+    sup: &Supervisor<'_>,
+) -> CellRun {
+    let (pn, sn) = (matrix.policies.len(), manifest.seeds.len());
+    let (s, p, w) = (i % sn, (i / sn) % pn, i / (sn * pn));
+    let workload = &matrix.workloads[w];
+    let policy = &matrix.policies[p];
+    let base_seed = manifest.seeds[s];
+
+    if let Some(journal) = sup.journal {
+        if let Some(entry) = journal.lookup(journal::cell_key(hash, i as u64, base_seed)) {
+            return CellRun {
+                index: i,
+                attempts: entry.attempts,
+                resumed: true,
+                data: Ok(CellData::Resumed(entry.clone())),
+            };
+        }
+    }
+
+    let faulted = workload.faults.or(manifest.faults).is_some();
+    let max_attempts = spec.retries + 1;
+    let mut last = None;
+    for attempt in 0..max_attempts {
+        let seed = retry_seed(base_seed, hash, i as u64, attempt, spec.seed_stride);
+        let chaos_hit = sup
+            .chaos
+            .is_some_and(|c| c.cell == i && c.fail_attempts.is_none_or(|k| attempt < k));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            assert!(
+                !chaos_hit,
+                "chaos drill: injected panic at cell {i} (attempt {attempt})"
+            );
+            build_scenario(manifest, workload, policy, seed)
+                .expect("manifest pre-validated")
+                .try_run_supervised(manifest.obs, budget)
+        }));
+        last = Some(match outcome {
+            Ok(Ok(run)) => {
+                let cell = CellRun {
+                    index: i,
+                    attempts: attempt + 1,
+                    resumed: false,
+                    data: Ok(CellData::Fresh(run)),
+                };
+                if let (Some(journal), Ok(CellData::Fresh(run))) = (sup.journal, &cell.data) {
+                    journal.record(
+                        i as u64,
+                        &workload.display_label(),
+                        policy.name(),
+                        base_seed,
+                        cell.attempts,
+                        run,
+                    );
+                }
+                return cell;
+            }
+            Ok(Err(e)) => classify(e, faulted),
+            Err(payload) => RunError::from_panic(payload.as_ref()),
+        });
+    }
+    CellRun {
+        index: i,
+        attempts: max_attempts,
+        resumed: false,
+        data: Err(last.expect("at least one attempt ran")),
+    }
+}
+
+/// Sharpens a generic out-of-memory failure into the fault-plan taxonomy:
+/// under an active fault plan, pool exhaustion means the plan drove the
+/// machine past what graceful degradation could absorb.
+fn classify(e: RunError, faulted: bool) -> RunError {
+    match e {
+        RunError::Sim {
+            error: MemError::OutOfMemory { order },
+        } if faulted => RunError::FaultPlanExhausted { order },
+        other => other,
+    }
+}
+
+/// The seed for retry `attempt` of cell `index`: the base seed perturbed
+/// by `seed_stride` times a pure mix of (manifest hash, cell index,
+/// attempt). Attempt 0 — and any attempt with stride 0 — runs the
+/// canonical seed, so clean runs are untouched and retry decisions never
+/// consult the wall clock.
+#[must_use]
+pub fn retry_seed(base: u64, manifest_hash: u64, index: u64, attempt: u32, stride: u64) -> u64 {
+    if attempt == 0 || stride == 0 {
+        return base;
+    }
+    let mut x = manifest_hash ^ index.rotate_left(32) ^ u64::from(attempt);
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    base.wrapping_add(stride.wrapping_mul(x | 1))
+}
+
+/// Tallies the supervisor counters and builds the supervisor trace —
+/// deterministic because it walks cells in index order after the join.
+fn supervise(cells: &[CellRun]) -> (Supervision, Vec<Event>) {
+    let mut sv = Supervision::default();
+    let mut events = Vec::new();
+    for cell in cells {
+        let idx = cell.index as u64;
+        if cell.resumed {
+            sv.resumed += 1;
+        }
+        if cell.truncated() {
+            sv.truncated += 1;
+        }
+        // Resumed cells replay their recorded attempts so a resumed run's
+        // counters (and results JSON) match the uninterrupted run's.
+        sv.retried += u64::from(cell.attempts.saturating_sub(1));
+        for attempt in 1..cell.attempts {
+            events.push(Event {
+                op: idx,
+                kind: EventKind::CellRetried { cell: idx, attempt },
+            });
+        }
+        if cell.data.is_err() {
+            sv.quarantined += 1;
+            events.push(Event {
+                op: idx,
+                kind: EventKind::CellQuarantined {
+                    cell: idx,
+                    attempts: cell.attempts,
+                },
+            });
+        }
+    }
+    if sv.resumed > 0 {
+        events.insert(
+            0,
+            Event {
+                op: 0,
+                kind: EventKind::RunResumed { cells: sv.resumed },
+            },
+        );
+    }
+    (sv, events)
 }
 
 /// The colocation label a figure sweep reports: the shared co-runner name,
@@ -266,13 +633,9 @@ fn colocation_label(workloads: &[WorkloadSpec]) -> String {
     }
 }
 
-fn assemble(
-    manifest: &ExperimentManifest,
-    matrix: &MatrixSpec,
-    observed: &[ObservedRun],
-) -> Outcome {
+fn assemble(manifest: &ExperimentManifest, matrix: &MatrixSpec, metrics: &[RunMetrics]) -> Outcome {
     let (pn, sn) = (matrix.policies.len(), manifest.seeds.len());
-    let at = |w: usize, p: usize, s: usize| &observed[(w * pn + p) * sn + s].metrics;
+    let at = |w: usize, p: usize, s: usize| &metrics[(w * pn + p) * sn + s];
     match matrix.report {
         ReportKind::Runs => Outcome::Runs,
         ReportKind::Csv => Outcome::Csv,
@@ -462,9 +825,13 @@ fn sec62_adversarial() -> String {
 }
 
 impl ManifestRun {
-    /// The per-run metrics in matrix order (empty for the special kinds).
+    /// The metrics of every *completed* cell in matrix order (empty for
+    /// the special kinds; quarantined cells are skipped).
     pub fn metrics(&self) -> Vec<RunMetrics> {
-        self.observed.iter().map(|r| r.metrics.clone()).collect()
+        self.cells
+            .iter()
+            .filter_map(|c| c.metrics().cloned())
+            .collect()
     }
 
     fn report_kind(&self) -> Option<ReportKind> {
@@ -475,9 +842,20 @@ impl ManifestRun {
     }
 
     /// Renders the result as the paper-style text the corresponding `exp-*`
-    /// binary prints.
+    /// binary prints. A degraded run gets a per-cell status listing; any
+    /// run with quarantined/retried/truncated cells gets the supervisor
+    /// summary appended (clean runs are byte-identical to before).
     pub fn report(&self) -> String {
+        let mut text = self.outcome_report();
+        if !self.supervision.is_clean() && !matches!(self.outcome, Outcome::Degraded) {
+            text.push_str(&self.supervision_summary());
+        }
+        text
+    }
+
+    fn outcome_report(&self) -> String {
         match &self.outcome {
+            Outcome::Degraded => self.degraded_listing(),
             Outcome::Runs => self.runs_listing(),
             Outcome::Csv => report::runs_to_csv(&self.metrics()),
             Outcome::Table1(t) => report::format_table1(t),
@@ -658,33 +1036,75 @@ impl ManifestRun {
             "{:<24} {:<14} {:>6} {:>14} {:>10}",
             "workload", "policy", "seed", "cycles", "host-frag"
         );
-        self.for_each_cell(|workload, policy, seed, run| {
-            let _ = writeln!(
-                out,
-                "{:<24} {:<14} {:>6} {:>14} {:>10.3}",
-                workload.display_label(),
-                policy.name(),
-                seed,
-                run.metrics.cycles,
-                run.metrics.host_frag
-            );
+        self.for_each_cell(|workload, policy, seed, cell| {
+            if let Some(m) = cell.metrics() {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<14} {:>6} {:>14} {:>10.3}",
+                    workload.display_label(),
+                    policy.name(),
+                    seed,
+                    m.cycles,
+                    m.host_frag
+                );
+            }
         });
         out
     }
 
+    /// The report for a run with quarantined cells: a per-cell status
+    /// listing plus the supervisor summary.
+    fn degraded_listing(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.manifest.description);
+        let _ = writeln!(out, "supervised run completed with quarantined cells");
+        let _ = writeln!(
+            out,
+            "{:<24} {:<14} {:>6} {:<11} detail",
+            "workload", "policy", "seed", "status"
+        );
+        self.for_each_cell(|workload, policy, seed, cell| {
+            let (status, detail) = match &cell.data {
+                Ok(data) => (
+                    if cell.truncated() { "truncated" } else { "ok" },
+                    format!("{} cycles", data.metrics().cycles),
+                ),
+                Err(e) => ("failed", format!("[{}] {e}", e.kind())),
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:<14} {:>6} {:<11} {}",
+                workload.display_label(),
+                policy.name(),
+                seed,
+                status,
+                detail
+            );
+        });
+        out.push_str(&self.supervision_summary());
+        out
+    }
+
+    fn supervision_summary(&self) -> String {
+        format!(
+            "\nsupervisor: quarantined {}  retried {}  truncated {}\n",
+            self.supervision.quarantined, self.supervision.retried, self.supervision.truncated
+        )
+    }
+
     /// Calls `f` for every matrix cell in run order with its coordinates.
-    fn for_each_cell(&self, mut f: impl FnMut(&WorkloadSpec, &PolicySpec, u64, &ObservedRun)) {
+    fn for_each_cell(&self, mut f: impl FnMut(&WorkloadSpec, &PolicySpec, u64, &CellRun)) {
         let ExperimentSpec::Matrix(matrix) = &self.manifest.experiment else {
             return;
         };
         let (pn, sn) = (matrix.policies.len(), self.manifest.seeds.len());
-        for (i, run) in self.observed.iter().enumerate() {
+        for (i, cell) in self.cells.iter().enumerate() {
             let (s, p, w) = (i % sn, (i / sn) % pn, i / (sn * pn));
             f(
                 &matrix.workloads[w],
                 &matrix.policies[p],
                 self.manifest.seeds[s],
-                run,
+                cell,
             );
         }
     }
@@ -735,30 +1155,80 @@ impl ManifestRun {
                 out.push_str("  ]\n");
             }
             _ => {
-                if self.observed.is_empty() {
-                    out.push_str("  \"runs\": []\n");
+                if self.cells.is_empty() {
+                    out.push_str("  \"runs\": []");
                 } else {
                     out.push_str("  \"runs\": [\n");
-                    let total = self.observed.len();
+                    let total = self.cells.len();
                     let mut i = 0usize;
-                    self.for_each_cell(|workload, policy, seed, run| {
+                    self.for_each_cell(|workload, policy, seed, cell| {
                         out.push_str("    ");
-                        run_json(
+                        cell_json(
                             &mut out,
                             &workload.display_label(),
                             policy.name(),
                             seed,
-                            &run.metrics,
+                            cell,
                         );
                         out.push_str(if i + 1 < total { ",\n" } else { "\n" });
                         i += 1;
                     });
-                    out.push_str("  ]\n");
+                    out.push_str("  ]");
+                }
+                // The summary appears only when something degraded the run,
+                // so clean artifacts stay byte-identical to the pre-
+                // supervisor format (and resumption alone adds nothing).
+                if self.supervision.is_clean() {
+                    out.push('\n');
+                } else {
+                    let sv = &self.supervision;
+                    out.push_str(",\n");
+                    let _ = writeln!(
+                        out,
+                        "  \"supervisor\": {{\"quarantined\": {}, \"retried\": {}, \"truncated\": {}}}",
+                        sv.quarantined, sv.retried, sv.truncated
+                    );
                 }
             }
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// Writes one cell as a results-JSON entry: completed cells reuse the
+/// classic run object (plus `"attempts"`/`"truncated"` markers only when a
+/// retry or budget fired, keeping clean artifacts byte-stable); failed
+/// cells get an explicit `"status": "failed"` record with the typed error.
+fn cell_json(out: &mut String, workload: &str, policy: &str, seed: u64, cell: &CellRun) {
+    match &cell.data {
+        Ok(data) => {
+            let mut body = String::new();
+            run_json(&mut body, workload, policy, seed, data.metrics());
+            if cell.attempts > 1 || cell.truncated() {
+                body.pop();
+                if cell.attempts > 1 {
+                    let _ = write!(body, ", \"attempts\": {}", cell.attempts);
+                }
+                if cell.truncated() {
+                    body.push_str(", \"truncated\": true");
+                }
+                body.push('}');
+            }
+            out.push_str(&body);
+        }
+        Err(e) => {
+            let _ = write!(
+                out,
+                "{{\"workload\": {}, \"policy\": {}, \"seed\": {seed}, \"status\": \"failed\", \
+                 \"error_kind\": {}, \"error\": {}, \"attempts\": {}}}",
+                json_str(workload),
+                json_str(policy),
+                json_str(e.kind()),
+                json_str(&e.to_string()),
+                cell.attempts
+            );
+        }
     }
 }
 
@@ -770,8 +1240,9 @@ fn json_str(s: &str) -> String {
 
 /// Writes one run's metrics as a single-line JSON object (all
 /// [`RunMetrics`] fields in declaration order, prefixed with the matrix
-/// coordinates).
-fn run_json(out: &mut String, workload: &str, policy: &str, seed: u64, r: &RunMetrics) {
+/// coordinates). Shared with the journal, which stores this object
+/// verbatim so resumed results splice back byte-identically.
+pub(crate) fn run_json(out: &mut String, workload: &str, policy: &str, seed: u64, r: &RunMetrics) {
     let _ = write!(
         out,
         "{{\"workload\": {}, \"policy\": {}, \"seed\": {seed}, \"benchmark\": {}, \"allocator\": {}, ",
@@ -826,18 +1297,180 @@ mod tests {
     #[test]
     fn smoke_manifest_runs_and_serializes() {
         let run = run_manifest(&builtin::smoke()).expect("smoke manifest");
-        assert_eq!(run.observed.len(), 2);
+        assert_eq!(run.cells.len(), 2);
         assert!(matches!(run.outcome, Outcome::Runs));
+        assert!(run.supervision.is_clean());
+        assert!(run.supervisor_events.is_empty());
         // Observability was on; metrics stay bit-identical regardless.
-        assert!(run.observed[0].series.len() >= 2);
+        assert!(run.cells[0].observed().expect("fresh cell").series.len() >= 2);
         let text = run.report();
         assert!(text.contains("gcc") && text.contains("ptemagnet"), "{text}");
+        assert!(!text.contains("supervisor:"), "{text}");
         let artifact = run.results_json();
         let doc = json::parse(&artifact).expect("artifact parses");
         assert_eq!(doc.get("name").and_then(|n| n.as_str()), Some("smoke"));
         assert_eq!(
             doc.get("runs").and_then(|r| r.as_arr()).map(<[_]>::len),
             Some(2)
+        );
+        assert!(doc.get("supervisor").is_none(), "clean run has no summary");
+    }
+
+    #[test]
+    fn chaos_quarantines_one_cell_and_leaves_the_rest_bit_identical() {
+        let manifest = builtin::smoke();
+        let clean = run_manifest(&manifest).expect("clean run");
+        let sup = Supervisor {
+            journal: None,
+            chaos: Some(ChaosPlan {
+                cell: 1,
+                fail_attempts: None,
+            }),
+        };
+        let run = run_supervised(&manifest, &sup).expect("degraded run");
+        assert!(matches!(run.outcome, Outcome::Degraded));
+        assert_eq!(run.supervision.quarantined, 1);
+        let err = run.cells[1].error().expect("cell 1 quarantined");
+        assert_eq!(err.kind(), "machine_panic");
+        assert!(err.to_string().contains("chaos drill"), "{err}");
+        // The surviving cell is bit-identical to the unfailed run.
+        assert_eq!(
+            run.cells[0].metrics().expect("cell 0 survived"),
+            clean.cells[0].metrics().expect("clean cell 0")
+        );
+        assert_eq!(
+            run.supervisor_events,
+            vec![Event {
+                op: 1,
+                kind: EventKind::CellQuarantined {
+                    cell: 1,
+                    attempts: 1
+                },
+            }]
+        );
+        // The degraded artifact records the failure explicitly.
+        let doc = json::parse(&run.results_json()).expect("artifact parses");
+        let runs = doc.get("runs").and_then(|r| r.as_arr()).expect("runs");
+        assert_eq!(
+            runs[1].get("status").and_then(|s| s.as_str()),
+            Some("failed")
+        );
+        assert_eq!(
+            runs[1].get("error_kind").and_then(|s| s.as_str()),
+            Some("machine_panic")
+        );
+        assert_eq!(
+            doc.get("supervisor")
+                .and_then(|s| s.get("quarantined"))
+                .and_then(vmsim_obs::json::Json::as_u64),
+            Some(1)
+        );
+        let text = run.report();
+        assert!(text.contains("quarantined"), "{text}");
+    }
+
+    #[test]
+    fn transient_chaos_recovers_through_deterministic_retry() {
+        let mut manifest = builtin::smoke();
+        manifest.supervisor = Some(SupervisorSpec {
+            retries: 2,
+            seed_stride: 0,
+            max_cell_ops: None,
+            soft_wall_ms: None,
+        });
+        let sup = Supervisor {
+            journal: None,
+            chaos: Some(ChaosPlan {
+                cell: 0,
+                fail_attempts: Some(1),
+            }),
+        };
+        let run = run_supervised(&manifest, &sup).expect("recovered run");
+        assert!(matches!(run.outcome, Outcome::Runs), "not degraded");
+        assert_eq!(run.cells[0].attempts, 2);
+        assert_eq!(run.supervision.quarantined, 0);
+        assert_eq!(run.supervision.retried, 1);
+        assert_eq!(
+            run.supervisor_events,
+            vec![Event {
+                op: 0,
+                kind: EventKind::CellRetried {
+                    cell: 0,
+                    attempt: 1
+                },
+            }]
+        );
+        // With stride 0 the retry reran the canonical seed: metrics match
+        // an unfailed run exactly, and the artifact gains only the
+        // attempts marker plus the summary.
+        let clean = run_manifest(&manifest).expect("clean run");
+        assert_eq!(
+            run.cells[0].metrics().expect("recovered"),
+            clean.cells[0].metrics().expect("clean")
+        );
+        let doc = json::parse(&run.results_json()).expect("artifact parses");
+        let runs = doc.get("runs").and_then(|r| r.as_arr()).expect("runs");
+        assert_eq!(
+            runs[0]
+                .get("attempts")
+                .and_then(vmsim_obs::json::Json::as_u64),
+            Some(2)
+        );
+        assert!(runs[0].get("status").is_none());
+        let text = run.report();
+        assert!(
+            text.contains("supervisor: quarantined 0  retried 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn retry_seed_is_pure_and_stride_scaled() {
+        // Pure: same inputs, same output.
+        assert_eq!(retry_seed(7, 99, 3, 2, 13), retry_seed(7, 99, 3, 2, 13));
+        // Attempt 0 and stride 0 leave the base seed untouched.
+        assert_eq!(retry_seed(7, 99, 3, 0, 13), 7);
+        assert_eq!(retry_seed(7, 99, 3, 2, 0), 7);
+        // Perturbations differ across attempts, cells, and manifests.
+        assert_ne!(retry_seed(7, 99, 3, 1, 13), retry_seed(7, 99, 3, 2, 13));
+        assert_ne!(retry_seed(7, 99, 3, 1, 13), retry_seed(7, 99, 4, 1, 13));
+        assert_ne!(retry_seed(7, 99, 3, 1, 13), retry_seed(7, 98, 3, 1, 13));
+    }
+
+    #[test]
+    fn supervision_registers_supervisor_gauges() {
+        let sv = Supervision {
+            quarantined: 2,
+            retried: 3,
+            truncated: 1,
+            resumed: 4,
+        };
+        let mut registry = vmsim_obs::Registry::new();
+        registry.record(&sv);
+        let snapshot = registry.snapshot(0);
+        let get = |name: &str| {
+            snapshot
+                .metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .clone()
+        };
+        assert_eq!(
+            get("supervisor.quarantined"),
+            Metric::u64("supervisor.quarantined", 2)
+        );
+        assert_eq!(
+            get("supervisor.retried"),
+            Metric::u64("supervisor.retried", 3)
+        );
+        assert_eq!(
+            get("supervisor.truncated"),
+            Metric::u64("supervisor.truncated", 1)
+        );
+        assert_eq!(
+            get("supervisor.resumed"),
+            Metric::u64("supervisor.resumed", 4)
         );
     }
 

@@ -50,20 +50,25 @@
 pub mod driver;
 pub mod engine;
 pub mod experiments;
+pub mod journal;
 pub mod obs;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
 pub mod stats;
 
-pub use driver::{run_manifest, DriverError, ManifestRun, Outcome, PressureRow, VarianceStudy};
+pub use driver::{
+    run_manifest, run_supervised, CellData, CellRun, DriverError, ManifestRun, Outcome,
+    PressureRow, Supervision, Supervisor, VarianceStudy,
+};
 pub use engine::Colocation;
 pub use experiments::{
     fig5_fig6, fig7, hw_sensitivity, llc_sensitivity, sec62, sec64, specint_zero_overhead, table1,
     table4, thp_study, walk_breakdown, AllocLatency, BenchPair, FigureSweep, HwSensitivityRow,
     ReservedUnused, Table1, Table4, ThpRow, ThpStudy, DEFAULT_MEASURE_OPS,
 };
+pub use journal::{Journal, JournalEntry};
 pub use obs::{ObsConfig, ObservedRun};
 pub use parallel::Parallelism;
-pub use scenario::{AllocatorKind, RunMetrics, Scenario};
+pub use scenario::{AllocatorKind, CellBudget, RunMetrics, Scenario};
 pub use stats::{Replication, Summary};

@@ -40,6 +40,9 @@ pub struct ObservedRun {
     /// Fault-service latency distribution, merged across cores, for the
     /// measured phase.
     pub fault_latency: Histogram,
+    /// Whether a supervisor budget stopped the measured phase early; when
+    /// set, [`RunMetrics::measure_ops`] records the ops actually executed.
+    pub truncated: bool,
 }
 
 impl ObservedRun {

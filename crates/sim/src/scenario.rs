@@ -1,12 +1,73 @@
 //! Declarative description of one experimental run.
 
+use std::time::{Duration, Instant};
+
 use serde::{Deserialize, Serialize};
 use vmsim_os::{GuestFrameAllocator, Machine, MachineConfig};
-use vmsim_types::{FaultPlan, Result};
-use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+use vmsim_types::{FaultPlan, Result, RunError};
+use vmsim_workloads::{benchmark, corunner, BenchId, CoId, Phase};
 
 use crate::engine::Colocation;
 use crate::obs::{ObsConfig, ObservedRun};
+
+/// Per-cell resource budgets the supervised runtime enforces on a run.
+///
+/// The op budget is deterministic (it just shortens the measured phase);
+/// the soft wall budget is deliberately wall-clock-dependent — it exists to
+/// stop a hung cell — and any effect it has is marked as truncation, never
+/// silent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellBudget {
+    /// Cap on measured ops; a scenario asking for more is truncated here.
+    pub max_ops: Option<u64>,
+    /// Soft wall-clock limit for the whole run (init + measurement).
+    pub soft_wall: Option<Duration>,
+}
+
+impl CellBudget {
+    /// No budgets: the run executes exactly as scripted.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
+/// Wall-budget bookkeeping: checks the clock every `CHECK_ROUNDS` scheduler
+/// rounds so the hot loop never syscalls per round.
+struct WallBudget {
+    deadline: Option<Instant>,
+    rounds: u32,
+}
+
+impl WallBudget {
+    const CHECK_ROUNDS: u32 = 64;
+
+    fn start(limit: Option<Duration>) -> Self {
+        Self {
+            deadline: limit.map(|d| Instant::now() + d),
+            rounds: 0,
+        }
+    }
+
+    /// True when the deadline has passed (checked at most every
+    /// `CHECK_ROUNDS` calls).
+    fn expired(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.rounds += 1;
+        if self.rounds < Self::CHECK_ROUNDS {
+            return false;
+        }
+        self.rounds = 0;
+        Instant::now() >= deadline
+    }
+
+    /// True when the deadline has passed, checked immediately (for the
+    /// chunked measured phase, where calls are already infrequent).
+    fn expired_now(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Which guest frame allocator a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -245,7 +306,7 @@ impl Scenario {
     ///
     /// Returns [`vmsim_types::MemError`] on resource exhaustion.
     pub fn try_run(self) -> Result<RunMetrics> {
-        Ok(self.run_inner(ObsConfig::disabled())?.metrics)
+        Ok(self.try_run_observed(ObsConfig::disabled())?.metrics)
     }
 
     /// Runs the scenario with observability enabled per `obs`.
@@ -268,10 +329,39 @@ impl Scenario {
     ///
     /// Returns [`vmsim_types::MemError`] on resource exhaustion.
     pub fn try_run_observed(self, obs: ObsConfig) -> Result<ObservedRun> {
-        self.run_inner(obs)
+        self.try_run_supervised(obs, CellBudget::unlimited())
+            .map_err(|e| match e {
+                RunError::Sim { error } => error,
+                // With no budgets installed the only failure source is the
+                // simulation itself.
+                other => unreachable!("unbudgeted run failed with {other}"),
+            })
     }
 
-    fn run_inner(self, obs: ObsConfig) -> Result<ObservedRun> {
+    /// Runs the scenario under supervisor budgets, with observability per
+    /// `obs`. With [`CellBudget::unlimited`] the result is bit-identical to
+    /// [`Scenario::try_run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Sim`] on resource exhaustion, and
+    /// [`RunError::BudgetExceeded`] when the soft wall budget expires during
+    /// the allocation/init phase — before any measurable result exists. A
+    /// budget expiring during the measured phase is *not* an error: the run
+    /// stops early and comes back with [`ObservedRun::truncated`] set.
+    pub fn try_run_supervised(
+        self,
+        obs: ObsConfig,
+        budget: CellBudget,
+    ) -> core::result::Result<ObservedRun, RunError> {
+        self.run_inner(obs, budget)
+    }
+
+    fn run_inner(
+        self,
+        obs: ObsConfig,
+        budget: CellBudget,
+    ) -> core::result::Result<ObservedRun, RunError> {
         let cores = 1 + self.corunners.len();
         let config = self
             .machine
@@ -310,8 +400,20 @@ impl Scenario {
             })
             .collect();
 
-        // Phase A: allocation/init, with co-runner faults interleaving.
-        colo.run_until_steady(primary)?;
+        // Phase A: allocation/init, with co-runner faults interleaving. The
+        // wall budget is checked on a coarse round cadence; expiring here —
+        // before any measurable result exists — fails the cell.
+        let wall_limit_ms = budget.soft_wall.map_or(0, |d| d.as_millis() as u64);
+        let mut wall = WallBudget::start(budget.soft_wall);
+        while colo.phase(primary) == Phase::Init {
+            colo.round()?;
+            if wall.expired() {
+                return Err(RunError::BudgetExceeded {
+                    budget: "wall",
+                    limit: wall_limit_ms,
+                });
+            }
+        }
         let init_cycles = colo.cycles(primary);
 
         if self.stop_corunners_after_init {
@@ -341,7 +443,7 @@ impl Scenario {
             series.push(colo.machine().metrics_snapshot());
             next_epoch = Some(colo.machine().ops_executed() + interval);
         }
-        colo.run_ops(primary, self.measure_ops, |m| {
+        let mut sample = |m: &Machine| {
             let unused = m.guest().allocator().reserved_unused_frames();
             unused_peak = unused_peak.max(unused);
             unused_sum += u128::from(unused);
@@ -352,7 +454,29 @@ impl Scenario {
                     *next += interval;
                 }
             }
-        })?;
+        };
+        // The op budget shortens the measured phase up front; the wall
+        // budget is polled between chunks and stops it mid-flight. Either
+        // way the run comes back marked truncated, with `measure_ops`
+        // recording what actually executed. The chunking itself changes
+        // nothing: the primary app runs one op per round, so N chunked
+        // rounds replay exactly the same schedule as one run_ops(N) call.
+        let requested_ops = self.measure_ops;
+        let effective_ops = budget
+            .max_ops
+            .map_or(requested_ops, |cap| cap.min(requested_ops));
+        let mut truncated = effective_ops < requested_ops;
+        const CHUNK_OPS: u64 = 1024;
+        let mut executed_ops = 0u64;
+        while executed_ops < effective_ops {
+            if wall.expired_now() {
+                truncated = true;
+                break;
+            }
+            let chunk = CHUNK_OPS.min(effective_ops - executed_ops);
+            colo.run_ops(primary, chunk, &mut sample)?;
+            executed_ops += chunk;
+        }
         if obs.epoch_ops.is_some() {
             let last_op = series.last().map(|s| s.op);
             if last_op != Some(colo.machine().ops_executed()) {
@@ -368,7 +492,7 @@ impl Scenario {
         let metrics = RunMetrics {
             benchmark: self.benchmark.name().to_string(),
             allocator: allocator_name.to_string(),
-            measure_ops: self.measure_ops,
+            measure_ops: executed_ops,
             cycles: colo.cycles(primary) - cycles_before,
             tlb_lookups: tlb.lookups(),
             tlb_misses: tlb.misses(),
@@ -413,6 +537,7 @@ impl Scenario {
             trace_dropped,
             walk_latency,
             fault_latency,
+            truncated,
         })
     }
 }
@@ -475,6 +600,46 @@ mod tests {
         a.cycles = 100;
         b.cycles = 93;
         assert!((b.improvement_over(&a) - 0.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_plain_run() {
+        let plain = quick(BenchId::Gcc).run();
+        let supervised = quick(BenchId::Gcc)
+            .try_run_supervised(ObsConfig::disabled(), CellBudget::unlimited())
+            .expect("clean run");
+        assert!(!supervised.truncated);
+        assert_eq!(supervised.metrics, plain);
+    }
+
+    #[test]
+    fn op_budget_truncates_into_a_partial_result() {
+        let run = quick(BenchId::Gcc)
+            .try_run_supervised(
+                ObsConfig::disabled(),
+                CellBudget {
+                    max_ops: Some(1_000),
+                    soft_wall: None,
+                },
+            )
+            .expect("truncation is not an error");
+        assert!(run.truncated);
+        assert_eq!(run.metrics.measure_ops, 1_000);
+        assert!(run.metrics.cycles > 0, "partial measurement still counted");
+    }
+
+    #[test]
+    fn wall_budget_expiring_in_init_is_a_typed_error() {
+        let err = quick(BenchId::Gcc)
+            .try_run_supervised(
+                ObsConfig::disabled(),
+                CellBudget {
+                    max_ops: None,
+                    soft_wall: Some(Duration::ZERO),
+                },
+            )
+            .expect_err("zero wall budget cannot survive init");
+        assert_eq!(err.kind(), "budget_exceeded");
     }
 
     #[test]

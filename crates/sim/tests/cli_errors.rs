@@ -7,10 +7,18 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn vmsim(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_vmsim"))
-        .args(args)
-        .output()
-        .expect("spawn vmsim")
+    vmsim_env(args, &[])
+}
+
+/// Spawn `vmsim` with explicit supervisor environment; `VMSIM_CHAOS_CELL`
+/// is cleared first so tests never inherit a drill from the outer shell.
+fn vmsim_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vmsim"));
+    cmd.env_remove("VMSIM_CHAOS_CELL");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("spawn vmsim")
 }
 
 fn stderr_of(out: &Output) -> String {
@@ -164,6 +172,145 @@ fn run_with_unwritable_out_dir_fails() {
     let out = vmsim(&["run", "table4", "--out", &target.to_string_lossy()]);
     assert_ne!(out.status.code(), Some(0));
     assert!(stderr_of(&out).contains("cannot create"));
+}
+
+#[test]
+fn malformed_chaos_env_is_a_usage_error() {
+    let dir = scratch("chaos-env");
+    for bad in ["banana", "3:0", "3:", ":1", "-1", "1:2:3"] {
+        let out = vmsim_env(
+            &["run", "smoke", "--out", &dir.to_string_lossy()],
+            &[("VMSIM_CHAOS_CELL", bad)],
+        );
+        assert_eq!(out.status.code(), Some(2), "{bad:?} must be a usage error");
+        assert!(
+            stderr_of(&out).contains("VMSIM_CHAOS_CELL"),
+            "diagnostic names the variable for {bad:?}: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn quarantined_cells_exit_3_distinct_from_usage_errors() {
+    let dir = scratch("chaos-exit");
+    let out = vmsim_env(
+        &["run", "smoke", "--out", &dir.to_string_lossy()],
+        &[("VMSIM_CHAOS_CELL", "0")],
+    );
+    // Degraded science (exit 3) is distinguishable from bad input (exit 2)
+    // and from a clean run (exit 0).
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("quarantined"));
+    // The degraded artifact still exists and names the failed cell.
+    let artifact = std::fs::read_to_string(dir.join("smoke.json")).expect("results written");
+    assert!(artifact.contains("\"status\": \"failed\""));
+    assert!(artifact.contains("\"error_kind\": \"machine_panic\""));
+}
+
+#[test]
+fn resume_flag_misuse_is_a_usage_error() {
+    // Dangling flag.
+    let out = vmsim(&["run", "smoke", "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--resume needs a journal file"));
+
+    // More than one manifest under --resume is ambiguous.
+    let out = vmsim(&["run", "smoke", "table4", "--resume", "whatever.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--resume takes exactly one manifest"));
+
+    // A journal that does not exist.
+    let dir = scratch("resume-misuse");
+    let out = vmsim(&[
+        "run",
+        "smoke",
+        "--out",
+        &dir.to_string_lossy(),
+        "--resume",
+        "/no/such/journal.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_manifest() {
+    let dir = scratch("resume-mismatch");
+    let out = vmsim(&["run", "smoke", "--out", &dir.to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let journal = dir.join("smoke.journal.jsonl");
+    assert!(journal.exists(), "clean matrix run leaves a journal behind");
+
+    // The mismatch is detected before any simulation starts, so resuming
+    // the (much larger) table4 manifest against smoke's journal is cheap.
+    let out = vmsim(&[
+        "run",
+        "table4",
+        "--out",
+        &dir.to_string_lossy(),
+        "--resume",
+        &journal.to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("different manifest"));
+}
+
+#[test]
+fn invalid_manifest_never_clobbers_an_existing_journal() {
+    let dir = scratch("journal-clobber");
+    // Leave a (crashed) run's journal behind.
+    let out = vmsim_env(
+        &["run", "smoke", "--out", &dir.to_string_lossy()],
+        &[("VMSIM_CHAOS_CELL", "1")],
+    );
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    let journal = dir.join("smoke.journal.jsonl");
+    let before = std::fs::read(&journal).expect("journal survives the crash");
+    assert!(before.len() > 100, "journal holds the completed cell");
+
+    // A rerun with a *broken* manifest of the same name must fail before
+    // the journal is opened for truncation.
+    let body = table4_json()
+        .replace("\"table4\"", "\"smoke\"")
+        .replace("\"ptemagnet\"", "\"wizardry\"");
+    let path = write_manifest(&dir, "bad-smoke.json", &body);
+    let out = vmsim(&["run", &path, "--out", &dir.to_string_lossy()]);
+    assert_ne!(out.status.code(), Some(0));
+    let after = std::fs::read(&journal).expect("journal still exists");
+    assert_eq!(before, after, "invalid input must not touch the journal");
+}
+
+#[test]
+fn chaos_then_resume_reproduces_clean_results_byte_for_byte() {
+    let clean_dir = scratch("roundtrip-clean");
+    let crash_dir = scratch("roundtrip-crash");
+
+    let out = vmsim(&["run", "smoke", "--out", &clean_dir.to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    // Kill the last cell; the survivors are already journaled.
+    let out = vmsim_env(
+        &["run", "smoke", "--out", &crash_dir.to_string_lossy()],
+        &[("VMSIM_CHAOS_CELL", "1")],
+    );
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+
+    let journal = crash_dir.join("smoke.journal.jsonl");
+    let out = vmsim(&[
+        "run",
+        "smoke",
+        "--out",
+        &crash_dir.to_string_lossy(),
+        "--resume",
+        &journal.to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    for name in ["smoke.json", "trace_smoke_0.jsonl", "trace_smoke_1.jsonl"] {
+        let clean = std::fs::read(clean_dir.join(name)).expect(name);
+        let resumed = std::fs::read(crash_dir.join(name)).expect(name);
+        assert_eq!(clean, resumed, "{name} must be byte-identical after resume");
+    }
 }
 
 #[test]

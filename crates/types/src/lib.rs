@@ -16,6 +16,9 @@
 //!   seeded [`FaultInjector`], the deterministic engine that forces the
 //!   degradation paths (chunk-allocation failure, transient OOM,
 //!   fragmentation shocks, reclaim storms, host swap-out).
+//! * **Run failures** ([`run_error`]) — the typed [`RunError`] taxonomy the
+//!   supervised experiment runtime records when a cell is quarantined
+//!   instead of letting a panic abort the matrix.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod addr;
 pub mod error;
 pub mod faults;
 pub mod page;
+pub mod run_error;
 
 pub use addr::{
     GuestFrame, GuestPhysAddr, GuestVirtAddr, GuestVirtPage, HostFrame, HostPhysAddr, HostVirtAddr,
@@ -41,6 +45,8 @@ pub use addr::{
 };
 pub use error::MemError;
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
+pub use run_error::RunError;
+
 pub use page::{
     CACHE_LINE_SHIFT, CACHE_LINE_SIZE, GROUP_BYTES, GROUP_PAGES, GROUP_SHIFT, PAGE_SHIFT,
     PAGE_SIZE, PTES_PER_CACHE_LINE, PTE_SIZE, PT_ENTRIES, PT_INDEX_BITS, PT_LEVELS,
