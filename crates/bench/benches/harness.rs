@@ -14,7 +14,7 @@ use vmsim_bench::measure_ops_from_env;
 use vmsim_cache::{SetAssoc, Tlb, TlbConfig};
 use vmsim_os::{Machine, MachineConfig};
 use vmsim_sim::{Colocation, Parallelism, Replication, Scenario};
-use vmsim_types::{GuestVirtPage, HostFrame};
+use vmsim_types::{GuestVirtAddr, GuestVirtPage, HostFrame};
 use vmsim_workloads::BenchId;
 
 fn replicate(parallelism: Parallelism, ops: u64) -> Replication {
@@ -93,9 +93,70 @@ fn bench_inner_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The memoizing, batching translation core: a cold TLB-missing walk every
+/// iteration, a memo-table replay of a warm walk, and a batched VMA run
+/// through `touch_run`. Mirrors the kernels `bench-core` snapshots into
+/// `BENCH_core.json`.
+fn bench_translation_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_core");
+
+    // Cold full walks: stride co-prime with the page count defeats the TLB
+    // and the memo table, so every touch pays the naive nested walk.
+    let mut m = Machine::new(MachineConfig::paper(1, 256));
+    m.set_memo_enabled(false);
+    let pid = m.guest_mut().spawn();
+    let pages = 4096u64;
+    let base = m.guest_mut().mmap(pid, pages).expect("mmap");
+    for p in 0..pages {
+        m.touch(0, pid, GuestVirtAddr::new(base.raw() + p * 4096), false)
+            .expect("prefault");
+    }
+    let mut p = 0u64;
+    group.bench_function("full_walk_cold", |b| {
+        b.iter(|| {
+            p = (p + 257) % pages;
+            black_box(
+                m.touch(0, pid, GuestVirtAddr::new(base.raw() + p * 4096), false)
+                    .expect("touch"),
+            )
+        })
+    });
+
+    // Memo replay: the same warm page over and over — after the first
+    // touch every iteration is a signature hit.
+    let mut m = Machine::new(MachineConfig::paper(1, 256));
+    m.set_memo_enabled(true);
+    let pid = m.guest_mut().spawn();
+    let va = m.guest_mut().mmap(pid, 1).expect("mmap");
+    m.touch(0, pid, va, false).expect("warm");
+    group.bench_function("full_walk_memo_hit", |b| {
+        b.iter(|| black_box(m.touch(0, pid, va, false).expect("touch")))
+    });
+
+    // Batched VMA run: one write + three reads per page over a 128-page
+    // region, submitted as a single `touch_run` like the engine's batcher.
+    let mut m = Machine::new(MachineConfig::paper(1, 256));
+    m.set_memo_enabled(true);
+    let pid = m.guest_mut().spawn();
+    let run_pages = 128u64;
+    let base = m.guest_mut().mmap(pid, run_pages).expect("mmap");
+    let run: Vec<(GuestVirtAddr, bool)> = (0..run_pages)
+        .flat_map(|pg| {
+            let va = GuestVirtAddr::new(base.raw() + pg * 4096);
+            [(va, true), (va, false), (va, false), (va, false)]
+        })
+        .collect();
+    m.touch_run(0, pid, &run).expect("warm");
+    group.bench_function("batched_vma_run", |b| {
+        b.iter(|| black_box(m.touch_run(0, pid, &run).expect("run")))
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_replication, bench_inner_loop
+    targets = bench_replication, bench_inner_loop, bench_translation_core
 }
 criterion_main!(benches);

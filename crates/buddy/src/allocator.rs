@@ -1,7 +1,5 @@
 //! The binary buddy allocator.
 
-use std::collections::{BTreeSet, HashMap};
-
 use vmsim_types::{FaultInjector, MemError, PageNumber, Result};
 
 use crate::stats::BuddyStats;
@@ -9,6 +7,109 @@ use crate::stats::BuddyStats;
 /// Highest supported order (inclusive). Matches Linux's `MAX_ORDER - 1` = 10:
 /// the largest block is 2^10 frames = 4 MB.
 pub const MAX_ORDER: u32 = 10;
+
+/// An ordered set of block indices, stored as a bitmap.
+///
+/// Replaces the `BTreeSet<u64>` free lists: the allocator's hot operations
+/// (take the lowest free block, test/remove a specific buddy, insert a
+/// block) all become word-sized bit manipulation, with a monotone
+/// `min_word` hint making "lowest set bit" O(1) amortized. Iteration order
+/// is ascending, so allocation remains deterministic lowest-address-first —
+/// bit-identical to the tree-based implementation.
+#[derive(Clone, Debug)]
+struct BlockSet {
+    words: Vec<u64>,
+    len: usize,
+    /// No set bit lives below this word index (lowered on insert, advanced
+    /// lazily during searches).
+    min_word: usize,
+}
+
+impl BlockSet {
+    fn new(blocks: u64) -> Self {
+        let words = blocks.div_ceil(64) as usize;
+        Self {
+            words: vec![0; words],
+            len: 0,
+            min_word: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn contains(&self, block: u64) -> bool {
+        let (w, b) = ((block / 64) as usize, block % 64);
+        w < self.words.len() && self.words[w] & (1u64 << b) != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, block: u64) {
+        let (w, b) = ((block / 64) as usize, block % 64);
+        debug_assert!(self.words[w] & (1u64 << b) == 0, "block already free");
+        self.words[w] |= 1u64 << b;
+        self.len += 1;
+        self.min_word = self.min_word.min(w);
+    }
+
+    /// Removes `block` if present; returns whether it was set.
+    #[inline]
+    fn remove(&mut self, block: u64) -> bool {
+        let (w, b) = ((block / 64) as usize, block % 64);
+        if w >= self.words.len() || self.words[w] & (1u64 << b) == 0 {
+            return false;
+        }
+        self.words[w] &= !(1u64 << b);
+        self.len -= 1;
+        true
+    }
+
+    /// The lowest set block index, advancing the `min_word` hint past
+    /// leading zero words.
+    fn first(&mut self) -> Option<u64> {
+        while self.min_word < self.words.len() {
+            let word = self.words[self.min_word];
+            if word != 0 {
+                return Some(self.min_word as u64 * 64 + u64::from(word.trailing_zeros()));
+            }
+            self.min_word += 1;
+        }
+        None
+    }
+
+    /// Ascending iteration over set blocks (cold paths: shatter, invariant
+    /// checks).
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            core::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(w as u64 * 64 + u64::from(b))
+            })
+        })
+    }
+
+    /// Removes every block, returning them in ascending order.
+    fn drain_ascending(&mut self) -> Vec<u64> {
+        let out: Vec<u64> = self.iter().collect();
+        self.words.fill(0);
+        self.len = 0;
+        self.min_word = self.words.len();
+        out
+    }
+}
 
 /// A binary buddy allocator over the frame range `0..total_frames`.
 ///
@@ -41,11 +142,14 @@ pub const MAX_ORDER: u32 = 10;
 /// ```
 #[derive(Clone, Debug)]
 pub struct BuddyAllocator<F: PageNumber> {
-    /// `free_lists[order]` holds the base frame of every free block of that
-    /// order. BTreeSet gives deterministic lowest-address-first allocation.
-    free_lists: Vec<BTreeSet<u64>>,
-    /// Base frame -> order of every outstanding allocation.
-    allocated: HashMap<u64, u32>,
+    /// `free_lists[order]` holds the base frames of every free block of
+    /// that order, as a bitmap indexed by `base >> order`. Ascending order
+    /// gives deterministic lowest-address-first allocation.
+    free_lists: Vec<BlockSet>,
+    /// `allocated[base]` is `order + 1` for the base frame of every
+    /// outstanding allocation, 0 elsewhere — a dense array replacing the
+    /// former hash map on the per-fault alloc/free path.
+    allocated: Vec<u8>,
     total_frames: u64,
     free_frames: u64,
     stats: BuddyStats,
@@ -67,8 +171,10 @@ impl<F: PageNumber> BuddyAllocator<F> {
     pub fn new(total_frames: u64) -> Self {
         assert!(total_frames > 0, "buddy allocator needs at least one frame");
         let mut this = Self {
-            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
-            allocated: HashMap::new(),
+            free_lists: (0..=MAX_ORDER)
+                .map(|o| BlockSet::new(total_frames >> o))
+                .collect(),
+            allocated: vec![0; total_frames as usize],
             total_frames,
             free_frames: total_frames,
             stats: BuddyStats::default(),
@@ -87,7 +193,7 @@ impl<F: PageNumber> BuddyAllocator<F> {
             while frame + (1 << order) > total_frames {
                 order -= 1;
             }
-            this.free_lists[order as usize].insert(frame);
+            this.free_lists[order as usize].insert(frame >> order);
             frame += 1 << order;
         }
         this
@@ -161,13 +267,13 @@ impl<F: PageNumber> BuddyAllocator<F> {
         let max_order = max_order.min(MAX_ORDER);
         let mut splits = 0u64;
         for order in (max_order + 1)..=MAX_ORDER {
-            let blocks: Vec<u64> = std::mem::take(&mut self.free_lists[order as usize])
-                .into_iter()
-                .collect();
-            for base in blocks {
+            let blocks = self.free_lists[order as usize].drain_ascending();
+            for block in blocks {
+                let base = block << order;
                 let pieces = 1u64 << (order - max_order);
                 for i in 0..pieces {
-                    self.free_lists[max_order as usize].insert(base + (i << max_order));
+                    self.free_lists[max_order as usize]
+                        .insert((base + (i << max_order)) >> max_order);
                 }
                 splits += pieces - 1;
             }
@@ -204,21 +310,21 @@ impl<F: PageNumber> BuddyAllocator<F> {
         let found = (order..=MAX_ORDER)
             .find(|&o| !self.free_lists[o as usize].is_empty())
             .ok_or(MemError::OutOfMemory { order })?;
-        let base = *self.free_lists[found as usize]
-            .iter()
-            .next()
+        let block = self.free_lists[found as usize]
+            .first()
             .expect("non-empty free list");
-        self.free_lists[found as usize].remove(&base);
+        self.free_lists[found as usize].remove(block);
+        let base = block << found;
         // Split down to the requested order, keeping the lower half and
         // returning upper halves to the free lists.
         let mut cur = found;
         while cur > order {
             cur -= 1;
             let upper = base + (1 << cur);
-            self.free_lists[cur as usize].insert(upper);
+            self.free_lists[cur as usize].insert(upper >> cur);
             self.stats.splits += 1;
         }
-        self.allocated.insert(base, order);
+        self.allocated[base as usize] = order as u8 + 1;
         self.free_frames -= 1 << order;
         self.stats.allocs += 1;
         self.stats.allocated_frames += 1 << order;
@@ -243,7 +349,7 @@ impl<F: PageNumber> BuddyAllocator<F> {
         let mut containing: Option<(u64, u32)> = None;
         for o in 0..=MAX_ORDER {
             let base = target & !((1u64 << o) - 1);
-            if self.free_lists[o as usize].contains(&base) {
+            if self.free_lists[o as usize].contains(base >> o) {
                 containing = Some((base, o));
                 break;
             }
@@ -251,7 +357,7 @@ impl<F: PageNumber> BuddyAllocator<F> {
         let Some((base, order)) = containing else {
             return false;
         };
-        self.free_lists[order as usize].remove(&base);
+        self.free_lists[order as usize].remove(base >> order);
         // Split down, keeping the half that contains `target`.
         let mut keep = base;
         let mut cur = order;
@@ -260,16 +366,16 @@ impl<F: PageNumber> BuddyAllocator<F> {
             let lower = keep;
             let upper = keep + (1 << cur);
             if target >= upper {
-                self.free_lists[cur as usize].insert(lower);
+                self.free_lists[cur as usize].insert(lower >> cur);
                 keep = upper;
             } else {
-                self.free_lists[cur as usize].insert(upper);
+                self.free_lists[cur as usize].insert(upper >> cur);
                 keep = lower;
             }
             self.stats.splits += 1;
         }
         debug_assert_eq!(keep, target);
-        self.allocated.insert(target, 0);
+        self.allocated[target as usize] = 1;
         self.free_frames -= 1;
         self.stats.allocs += 1;
         self.stats.allocated_frames += 1;
@@ -285,7 +391,7 @@ impl<F: PageNumber> BuddyAllocator<F> {
         }
         (0..=MAX_ORDER).any(|o| {
             let base = target & !((1u64 << o) - 1);
-            self.free_lists[o as usize].contains(&base)
+            self.free_lists[o as usize].contains(base >> o)
         })
     }
 
@@ -298,11 +404,10 @@ impl<F: PageNumber> BuddyAllocator<F> {
     /// outstanding allocation of exactly `order`.
     pub fn free(&mut self, frame: F, order: u32) -> Result<()> {
         let base = frame.to_raw();
-        match self.allocated.get(&base) {
-            Some(&o) if o == order => {}
-            _ => return Err(MemError::InvalidFree { frame: base }),
+        if base >= self.total_frames || self.allocated[base as usize] != order as u8 + 1 {
+            return Err(MemError::InvalidFree { frame: base });
         }
-        self.allocated.remove(&base);
+        self.allocated[base as usize] = 0;
         self.free_frames += 1 << order;
         self.stats.frees += 1;
         self.stats.allocated_frames -= 1 << order;
@@ -316,14 +421,14 @@ impl<F: PageNumber> BuddyAllocator<F> {
             if buddy + (1 << cur_order) > self.total_frames {
                 break;
             }
-            if !self.free_lists[cur_order as usize].remove(&buddy) {
+            if !self.free_lists[cur_order as usize].remove(buddy >> cur_order) {
                 break;
             }
             cur_base = cur_base.min(buddy);
             cur_order += 1;
             self.stats.merges += 1;
         }
-        self.free_lists[cur_order as usize].insert(cur_base);
+        self.free_lists[cur_order as usize].insert(cur_base >> cur_order);
         Ok(())
     }
 
@@ -340,13 +445,11 @@ impl<F: PageNumber> BuddyAllocator<F> {
     /// outstanding allocation of exactly `order`.
     pub fn fragment_allocation(&mut self, frame: F, order: u32) -> Result<()> {
         let base = frame.to_raw();
-        match self.allocated.get(&base) {
-            Some(&o) if o == order => {}
-            _ => return Err(MemError::InvalidFree { frame: base }),
+        if base >= self.total_frames || self.allocated[base as usize] != order as u8 + 1 {
+            return Err(MemError::InvalidFree { frame: base });
         }
-        self.allocated.remove(&base);
         for f in base..base + (1 << order) {
-            self.allocated.insert(f, 0);
+            self.allocated[f as usize] = 1;
         }
         Ok(())
     }
@@ -358,9 +461,10 @@ impl<F: PageNumber> BuddyAllocator<F> {
         let mut counted = 0u64;
         let mut seen = std::collections::HashSet::new();
         for (o, list) in self.free_lists.iter().enumerate() {
-            for &b in list {
-                // Alignment and range.
-                if b % (1u64 << o) != 0 || b + (1u64 << o) > self.total_frames {
+            for block in list.iter() {
+                let b = block << o;
+                // Range (alignment is structural: bit i is base i << o).
+                if b + (1u64 << o) > self.total_frames {
                     return false;
                 }
                 for f in b..b + (1u64 << o) {
@@ -374,8 +478,12 @@ impl<F: PageNumber> BuddyAllocator<F> {
         if counted != self.free_frames {
             return false;
         }
-        for (&b, &o) in &self.allocated {
-            for f in b..b + (1u64 << o) {
+        for (b, &tag) in self.allocated.iter().enumerate() {
+            if tag == 0 {
+                continue;
+            }
+            let o = u32::from(tag - 1);
+            for f in b as u64..b as u64 + (1u64 << o) {
                 if !seen.insert(f) {
                     return false;
                 }

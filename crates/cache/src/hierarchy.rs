@@ -90,24 +90,48 @@ impl CacheHierarchy {
         let lat = self.config.latency;
         let cc = &mut self.cores[core];
 
-        let (served_by, cycles) = if cc.l1.get(line).is_some() {
+        // Each level's lookup-and-fill is fused into one set scan: a miss
+        // at a level always ends with the line filled there, whichever
+        // lower level serves it, so the fill can ride the lookup's scan.
+        let (served_by, cycles) = if cc.l1.access_fill(line, ()) {
             (HitLevel::L1, lat.l1)
-        } else if cc.l2.get(line).is_some() {
-            cc.l1.insert(line, ());
+        } else if cc.l2.access_fill(line, ()) {
             (HitLevel::L2, lat.l2)
-        } else if self.llc.get(line).is_some() {
-            cc.l1.insert(line, ());
-            cc.l2.insert(line, ());
+        } else if self.llc.access_fill(line, ()) {
             (HitLevel::Llc, lat.llc)
         } else {
-            cc.l1.insert(line, ());
-            cc.l2.insert(line, ());
-            self.llc.insert(line, ());
             (HitLevel::Memory, lat.memory)
         };
 
         self.counters[core].record(kind, served_by, cycles);
         AccessResult { served_by, cycles }
+    }
+
+    /// Index of the L1 set that `addr`'s line maps to on `core`.
+    #[inline]
+    pub fn l1_set_index(&self, core: usize, addr: HostPhysAddr) -> u32 {
+        self.cores[core].l1.set_index(addr.cache_line())
+    }
+
+    /// Mutation epoch of `core`'s L1 set `index` (see
+    /// [`SetAssoc::set_epoch_at`]). Unchanged-since-fill proves that a line
+    /// observed as the set's MRU is still resident and still MRU, so its hit
+    /// can be replayed via [`CacheHierarchy::replay_l1_hit`].
+    #[inline]
+    pub fn l1_set_epoch_at(&self, core: usize, index: u32) -> u64 {
+        self.cores[core].l1.set_epoch_at(index)
+    }
+
+    /// Records the counter effect of an L1 hit whose LRU promotion is a
+    /// proven no-op (line is MRU, set epoch unchanged since the proof was
+    /// captured). Observable counters move exactly as in
+    /// [`CacheHierarchy::access`]; cache state is untouched by construction.
+    /// Returns the cycles charged.
+    #[inline]
+    pub fn replay_l1_hit(&mut self, core: usize, kind: AccessKind) -> u64 {
+        let cycles = self.config.latency.l1;
+        self.counters[core].record(kind, HitLevel::L1, cycles);
+        cycles
     }
 
     /// Checks residency of `addr` for `core` without modifying any state.

@@ -43,6 +43,13 @@ pub struct SetAssoc<V> {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Per-set mutation epochs: bumped whenever a set's contents or LRU
+    /// order change (hit promotion, insert, invalidate, flush). A lookup
+    /// that misses changes neither, so it does not bump. Memoization layers
+    /// use "epoch unchanged since fill" as proof that a resident entry is
+    /// still the set's MRU and that replaying its hit without touching LRU
+    /// state is behaviour-preserving.
+    set_epochs: Vec<u64>,
 }
 
 impl<V> SetAssoc<V> {
@@ -69,6 +76,7 @@ impl<V> SetAssoc<V> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            set_epochs: vec![0; sets],
         }
     }
 
@@ -76,6 +84,25 @@ impl<V> SetAssoc<V> {
     #[inline]
     fn base_of(&self, key: u64) -> usize {
         (key & self.set_mask) as usize * self.ways
+    }
+
+    /// Index of the set `key` maps to.
+    #[inline]
+    pub fn set_index(&self, key: u64) -> u32 {
+        (key & self.set_mask) as u32
+    }
+
+    /// Current mutation epoch of the set `key` maps to (see `set_epochs`).
+    #[inline]
+    pub fn set_epoch(&self, key: u64) -> u64 {
+        self.set_epochs[(key & self.set_mask) as usize]
+    }
+
+    /// Current mutation epoch of set `index` (for callers that captured the
+    /// index at fill time).
+    #[inline]
+    pub fn set_epoch_at(&self, index: u32) -> u64 {
+        self.set_epochs[index as usize]
     }
 
     /// Looks up `key`, updating LRU state and hit/miss counters.
@@ -92,23 +119,76 @@ impl<V> SetAssoc<V> {
     pub fn get_with_hint(&mut self, key: u64, hint: &mut usize) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
+        let set = (key & self.set_mask) as usize;
         let slot = *hint;
         if slot < self.stamps.len() && self.stamps[slot] != 0 && self.keys[slot] == key {
             self.stamps[slot] = clock;
             self.hits += 1;
+            self.set_epochs[set] += 1;
             return self.values[slot].as_ref();
         }
-        let base = self.base_of(key);
+        let base = set * self.ways;
         for slot in base..base + self.ways {
             if self.stamps[slot] != 0 && self.keys[slot] == key {
                 self.stamps[slot] = clock;
                 self.hits += 1;
+                self.set_epochs[set] += 1;
                 *hint = slot;
                 return self.values[slot].as_ref();
             }
         }
         self.misses += 1;
         None
+    }
+
+    /// Fused lookup-and-fill: one set scan that either promotes a hit
+    /// (exactly like [`SetAssoc::get`]) or fills the miss with `value`
+    /// (exactly like a missing [`SetAssoc::get`] followed by
+    /// [`SetAssoc::insert`]). Returns whether the key was already present.
+    ///
+    /// Observable behaviour — hit/miss/eviction counters, victim choice,
+    /// LRU order, and set epochs — is identical to the two-call sequence;
+    /// only the internal clock advances once instead of twice, which
+    /// preserves the relative order of all stamps and therefore every
+    /// future replacement decision.
+    pub fn access_fill(&mut self, key: u64, value: V) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = (key & self.set_mask) as usize;
+        let base = set * self.ways;
+        let mut empty = None;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for slot in base..base + self.ways {
+            let stamp = self.stamps[slot];
+            if stamp == 0 {
+                empty.get_or_insert(slot);
+            } else if self.keys[slot] == key {
+                self.stamps[slot] = clock;
+                self.hits += 1;
+                self.set_epochs[set] += 1;
+                return true;
+            } else if stamp < victim_stamp {
+                victim_stamp = stamp;
+                victim = slot;
+            }
+        }
+        self.misses += 1;
+        self.set_epochs[set] += 1;
+        let slot = match empty {
+            Some(slot) => {
+                self.len += 1;
+                slot
+            }
+            None => {
+                self.evictions += 1;
+                victim
+            }
+        };
+        self.keys[slot] = key;
+        self.stamps[slot] = clock;
+        self.values[slot] = Some(value);
+        false
     }
 
     /// Checks for `key` without touching LRU state or counters.
@@ -126,6 +206,7 @@ impl<V> SetAssoc<V> {
     pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
         self.clock += 1;
         let clock = self.clock;
+        self.set_epochs[(key & self.set_mask) as usize] += 1;
         let base = self.base_of(key);
         // One pass over the set: find the key, an empty slot, and the LRU
         // victim simultaneously.
@@ -167,6 +248,7 @@ impl<V> SetAssoc<V> {
             if self.stamps[slot] != 0 && self.keys[slot] == key {
                 self.stamps[slot] = 0;
                 self.len -= 1;
+                self.set_epochs[(key & self.set_mask) as usize] += 1;
                 return self.values[slot].take();
             }
         }
@@ -187,6 +269,7 @@ impl<V> SetAssoc<V> {
                 self.stamps[slot] = 0;
                 self.values[slot] = None;
                 self.len -= 1;
+                self.set_epochs[slot / self.ways] += 1;
             }
         }
     }
@@ -198,6 +281,9 @@ impl<V> SetAssoc<V> {
             *value = None;
         }
         self.len = 0;
+        for epoch in &mut self.set_epochs {
+            *epoch += 1;
+        }
     }
 
     /// Number of resident entries.
@@ -356,5 +442,34 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_bad_set_count() {
         SetAssoc::<u64>::new(3, 2);
+    }
+
+    #[test]
+    fn set_epochs_track_mutations_not_misses() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(4, 2);
+        let e0 = sa.set_epoch(0);
+        assert!(sa.get(0).is_none()); // miss: neither contents nor LRU change
+        assert_eq!(sa.set_epoch(0), e0);
+        sa.insert(0, 1);
+        let e1 = sa.set_epoch(0);
+        assert!(e1 > e0);
+        sa.get(0); // hit: LRU promotion counts as a mutation
+        let e2 = sa.set_epoch(0);
+        assert!(e2 > e1);
+        // Activity in set 0 leaves other sets' epochs alone.
+        let other = sa.set_epoch(1);
+        sa.insert(4, 2); // key 4 -> set 0 again
+        assert_eq!(sa.set_epoch(1), other);
+        assert!(sa.set_epoch(0) > e2);
+        // Invalidate and flush both bump.
+        let e3 = sa.set_epoch(0);
+        sa.invalidate(0);
+        assert!(sa.set_epoch(0) > e3);
+        let all_before: Vec<u64> = (0..4).map(|s| sa.set_epoch_at(s)).collect();
+        sa.flush();
+        for (s, before) in all_before.iter().enumerate() {
+            assert!(sa.set_epoch_at(s as u32) > *before);
+        }
+        assert_eq!(sa.set_index(5), 1);
     }
 }

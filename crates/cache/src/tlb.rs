@@ -112,6 +112,33 @@ impl Tlb {
         self.l2.flush();
     }
 
+    /// Index of the L1 set that (`asid`, `vpn`) maps to.
+    #[inline]
+    pub fn l1_set_index(&self, asid: u64, vpn: GuestVirtPage) -> u32 {
+        self.l1.set_index(Self::key(asid, vpn))
+    }
+
+    /// Mutation epoch of L1 set `index` (see [`SetAssoc::set_epoch_at`]).
+    ///
+    /// A memoization layer that saw (`asid`, `vpn`) hit (or be inserted) as
+    /// the set's MRU entry may replay that hit — via
+    /// [`Tlb::replay_l1_hit`] — for as long as the epoch is unchanged: no
+    /// other lookup or insert has touched the set, so the entry is still
+    /// resident, still MRU, and its LRU promotion would be a no-op.
+    #[inline]
+    pub fn l1_set_epoch_at(&self, index: u32) -> u64 {
+        self.l1.set_epoch_at(index)
+    }
+
+    /// Records the counter effect of an L1 hit whose LRU promotion is a
+    /// proven no-op (the entry is MRU and its set epoch is unchanged since
+    /// the proof was captured). Observable counters move exactly as in
+    /// [`Tlb::lookup`]; set state is untouched by construction.
+    #[inline]
+    pub fn replay_l1_hit(&mut self) {
+        self.hits_l1 += 1;
+    }
+
     /// L1 hits since construction.
     pub fn l1_hits(&self) -> u64 {
         self.hits_l1

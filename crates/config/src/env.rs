@@ -10,6 +10,7 @@
 //! | `VMSIM_TRACE`     | Event tracing: `0` off, `1` on, `n > 1` ring size   |
 //! | `VMSIM_EPOCH_OPS` | Registry-snapshot sampling interval (`0` = off)     |
 //! | `VMSIM_CHAOS_CELL`| Supervisor drill: panic cell `i` (`i` or `i:k`)     |
+//! | `VMSIM_MEMO`      | Translation memo layer: `on`/`1` (default), `off`/`0` |
 //!
 //! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
 //! warns once per process on use.
@@ -34,6 +35,9 @@ pub const VAR_TRACE: &str = "VMSIM_TRACE";
 pub const VAR_EPOCH_OPS: &str = "VMSIM_EPOCH_OPS";
 /// Supervisor chaos drill: deliberately panic one matrix cell.
 pub const VAR_CHAOS_CELL: &str = "VMSIM_CHAOS_CELL";
+/// Translation memo layer escape hatch (validated bit-invisible; off only
+/// for debugging or A/B timing).
+pub const VAR_MEMO: &str = "VMSIM_MEMO";
 
 /// A deliberate failure injected into the supervised runtime for drills:
 /// cell `cell` panics on its first `fail_attempts` attempts. Parsed from
@@ -247,6 +251,43 @@ pub fn chaos_cell() -> Result<Option<ChaosPlan>, EnvError> {
     }))
 }
 
+/// Memo-layer override: `VMSIM_MEMO`. `true` (the default) keeps the
+/// machine's memoizing translation fast path on; `off`/`0`/`false` forces
+/// every access down the naive path. The layer is validated bit-invisible,
+/// so this knob only trades wall-clock speed for simplicity when debugging.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a recognized
+/// boolean spelling (`on`/`off`, `1`/`0`, `true`/`false`).
+pub fn memo_enabled() -> Result<bool, EnvError> {
+    match raw(VAR_MEMO) {
+        None => Ok(true),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => Ok(true),
+            "0" | "off" | "false" | "no" => Ok(false),
+            _ => Err(EnvError {
+                var: VAR_MEMO,
+                value: v,
+                reason: "expected on/off, 1/0, or true/false",
+            }),
+        },
+    }
+}
+
+/// Lenient wrapper over [`memo_enabled`]: a malformed value warns once and
+/// yields `true` (memo on).
+pub fn memo_enabled_or_default() -> bool {
+    static MALFORMED: Once = Once::new();
+    match memo_enabled() {
+        Ok(b) => b,
+        Err(e) => {
+            warn_once(&MALFORMED, &format!("ignoring malformed {e}"));
+            true
+        }
+    }
+}
+
 /// Validates every recognized override, returning all errors (empty =
 /// clean environment). `vmsim validate` prints these.
 pub fn check() -> Vec<EnvError> {
@@ -264,6 +305,9 @@ pub fn check() -> Vec<EnvError> {
         errors.push(e);
     }
     if let Err(e) = chaos_cell() {
+        errors.push(e);
+    }
+    if let Err(e) = memo_enabled() {
         errors.push(e);
     }
     errors
@@ -346,15 +390,33 @@ mod tests {
             assert!(chaos_cell().is_err(), "{bad:?} must be rejected");
         }
 
+        // Memo knob: defaults on, accepts boolean spellings, rejects junk.
+        assert_eq!(memo_enabled(), Ok(true));
+        for (v, want) in [
+            ("on", true),
+            ("1", true),
+            ("true", true),
+            ("off", false),
+            ("0", false),
+            ("FALSE", false),
+        ] {
+            std::env::set_var(VAR_MEMO, v);
+            assert_eq!(memo_enabled(), Ok(want), "VMSIM_MEMO={v}");
+        }
+        std::env::set_var(VAR_MEMO, "maybe");
+        assert!(memo_enabled().is_err());
+        assert!(memo_enabled_or_default());
+
         // check() reports every malformed variable at once.
         let errors = check();
-        assert_eq!(errors.len(), 5);
+        assert_eq!(errors.len(), 6);
         for var in [
             VAR_OPS,
             VAR_THREADS,
             VAR_TRACE,
             VAR_EPOCH_OPS,
             VAR_CHAOS_CELL,
+            VAR_MEMO,
         ] {
             assert!(errors.iter().any(|e| e.var == var), "{var} reported");
         }
@@ -366,6 +428,7 @@ mod tests {
             VAR_TRACE,
             VAR_EPOCH_OPS,
             VAR_CHAOS_CELL,
+            VAR_MEMO,
         ] {
             std::env::remove_var(var);
         }

@@ -176,6 +176,12 @@ impl vmsim_obs::MetricSource for PartStats {
 /// ```
 pub struct PaRt {
     root: Arc<Node>,
+    /// One-entry leaf cache. Leaf nodes are never removed from the tree
+    /// (only their `Option<Reservation>` payload is cleared), so a cached
+    /// `(group, leaf)` pair stays valid forever. Faulting streams hit the
+    /// same group several times in a row (lookup + grant, eight pages per
+    /// group), making this a near-free shortcut past the radix descent.
+    last_leaf: Mutex<Option<(u64, Arc<LeafNode>)>>,
     hits: AtomicU64,
     installs: AtomicU64,
     retired_full: AtomicU64,
@@ -206,6 +212,7 @@ impl PaRt {
     pub fn new() -> Self {
         Self {
             root: Arc::new(Node::new()),
+            last_leaf: Mutex::new(None),
             hits: AtomicU64::new(0),
             installs: AtomicU64::new(0),
             retired_full: AtomicU64::new(0),
@@ -223,6 +230,23 @@ impl PaRt {
 
     /// Finds the leaf for `group`, creating the path if `create` is true.
     fn leaf(&self, group: u64, create: bool) -> Option<Arc<LeafNode>> {
+        {
+            let cache = self.last_leaf.lock();
+            if let Some((g, leaf)) = &*cache {
+                if *g == group {
+                    return Some(Arc::clone(leaf));
+                }
+            }
+        }
+        let found = self.leaf_descent(group, create);
+        if let Some(leaf) = &found {
+            *self.last_leaf.lock() = Some((group, Arc::clone(leaf)));
+        }
+        found
+    }
+
+    /// The full radix descent behind [`PaRt::leaf`]'s cache.
+    fn leaf_descent(&self, group: u64, create: bool) -> Option<Arc<LeafNode>> {
         let mut node = Arc::clone(&self.root);
         for level in 0..DEPTH {
             let idx = Self::index(group, level);

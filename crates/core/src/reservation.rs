@@ -291,14 +291,9 @@ impl GuestFrameAllocator for ReservationAllocator {
         let offset = vpn.group_offset();
         // The page may be tracked by the process's own table or an
         // ancestor's (if granted from an inherited reservation).
-        let mut tables: Vec<Arc<PaRt>> = Vec::new();
-        if let Some(own) = self.parts.get(&pid) {
-            tables.push(Arc::clone(own));
-        }
-        if let Some(chain) = self.inherited.get(&pid) {
-            tables.extend(chain.iter().cloned());
-        }
-        for table in tables {
+        let own = self.parts.get(&pid);
+        let chain = self.inherited.get(&pid).map_or(&[][..], |c| c.as_slice());
+        for table in own.into_iter().chain(chain) {
             // Only the table whose reservation covers this exact frame may
             // account the release.
             let covers = table

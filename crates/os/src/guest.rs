@@ -12,7 +12,7 @@
 //! * `ptemagnet::ReservationAllocator` (in the `ptemagnet` crate) — the
 //!   paper's contribution, plugging in through the same trait.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use vmsim_buddy::BuddyAllocator;
@@ -271,9 +271,17 @@ pub struct GuestOs {
     allocator: Box<dyn GuestFrameAllocator>,
     processes: BTreeMap<Pid, Process>,
     next_pid: u64,
-    /// Reference counts for frames shared across address spaces (fork/COW).
-    frame_refs: HashMap<u64, u32>,
+    /// Reference counts for frames shared across address spaces (fork/COW),
+    /// indexed densely by guest frame number (0 = untracked).
+    frame_refs: Vec<u32>,
     stats: GuestStats,
+    /// Per-process translation generations, indexed by `pid.0`. Bumped by
+    /// every operation that changes an *existing* mapping of that process
+    /// (COW break or restore-write, fork's COW downgrade, munmap, exit).
+    /// Faults that only fill previously-empty slots do not bump: no cached
+    /// translation can exist for an unmapped page. The machine's memo layer
+    /// uses these to cheaply prove a cached translation is still current.
+    xlate_gens: Vec<u64>,
 }
 
 impl GuestOs {
@@ -285,9 +293,27 @@ impl GuestOs {
             allocator,
             processes: BTreeMap::new(),
             next_pid: 1,
-            frame_refs: HashMap::new(),
+            frame_refs: vec![0; total_frames as usize],
             stats: GuestStats::default(),
+            xlate_gens: Vec::new(),
         }
+    }
+
+    /// The translation generation of `pid` (see the field docs). Unknown
+    /// pids read as generation 0.
+    #[inline]
+    pub fn xlate_gen(&self, pid: Pid) -> u64 {
+        self.xlate_gens.get(pid.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Bumps `pid`'s translation generation, invalidating any memoized
+    /// translations for that process.
+    fn bump_xlate_gen(xlate_gens: &mut Vec<u64>, pid: Pid) {
+        let i = pid.0 as usize;
+        if xlate_gens.len() <= i {
+            xlate_gens.resize(i + 1, 0);
+        }
+        xlate_gens[i] += 1;
     }
 
     /// Spawns a new, empty process and returns its pid.
@@ -369,7 +395,7 @@ impl GuestOs {
             AllocGrant::Small(gfn) => {
                 proc.page_table.map(vpn, gfn, || buddy.alloc(0))?;
                 proc.rss_pages += 1;
-                frame_refs.insert(gfn.raw(), 1);
+                frame_refs[gfn.raw() as usize] = 1;
                 (gfn, false)
             }
             AllocGrant::Huge(chunk) => {
@@ -378,7 +404,7 @@ impl GuestOs {
                     .map_large(region_base, chunk, || buddy.alloc(0))?;
                 proc.rss_pages += PT_ENTRIES;
                 for i in 0..PT_ENTRIES {
-                    frame_refs.insert(chunk.raw() + i, 1);
+                    frame_refs[(chunk.raw() + i) as usize] = 1;
                 }
                 (
                     GuestFrame::new(chunk.raw() + (vpn.raw() & (PT_ENTRIES - 1))),
@@ -412,6 +438,7 @@ impl GuestOs {
             processes,
             frame_refs,
             stats,
+            xlate_gens,
             ..
         } = self;
         let proc = processes
@@ -424,6 +451,7 @@ impl GuestOs {
         if !pte.is_cow() {
             // translate() rather than pte.frame(): for a huge mapping the
             // entry's frame is the 2 MB chunk base, not this page's frame.
+            // Nothing mutates, so the translation generation stays put.
             let gfn = proc.page_table.translate(vpn).expect("present mapping");
             return Ok((gfn, false));
         }
@@ -431,23 +459,24 @@ impl GuestOs {
         // 4 KB leaf entry here.
         debug_assert!(!pte.is_huge(), "huge mappings never carry COW");
         let old = pte.frame();
-        let refs = frame_refs
-            .get_mut(&old.raw())
-            .expect("cow frame is tracked");
+        let refs = &mut frame_refs[old.raw() as usize];
+        debug_assert!(*refs > 0, "cow frame is tracked");
         if *refs == 1 {
             // Sole owner: just restore write access.
             proc.page_table
                 .update(vpn, |p| p.with_cow(false).with_writable(true))?;
+            Self::bump_xlate_gen(xlate_gens, pid);
             return Ok((old, false));
         }
         *refs -= 1;
         let (new_gfn, cost) = allocator.allocate(pid, vpn, buddy)?;
-        frame_refs.insert(new_gfn.raw(), 1);
+        frame_refs[new_gfn.raw() as usize] = 1;
         proc.page_table.unmap(vpn)?;
         proc.page_table.map(vpn, new_gfn, || buddy.alloc(0))?;
         stats.cow_breaks += 1;
         stats.allocator_buddy_calls += u64::from(cost.buddy_calls);
         stats.allocator_part_lookups += u64::from(cost.part_lookups);
+        Self::bump_xlate_gen(xlate_gens, pid);
         Ok((new_gfn, true))
     }
 
@@ -483,6 +512,12 @@ impl GuestOs {
         if let Some(inj) = buddy.fault_injector_mut() {
             inj.pop_suppress();
         }
+        if result.is_ok() {
+            // The parent's live PTEs were downgraded to COW (and any huge
+            // mappings split), so its cached translations' write permissions
+            // are stale.
+            Self::bump_xlate_gen(&mut self.xlate_gens, parent);
+        }
         result
     }
 
@@ -493,7 +528,7 @@ impl GuestOs {
         buddy: &mut GuestBuddy,
         allocator: &mut Box<dyn GuestFrameAllocator>,
         processes: &mut BTreeMap<Pid, Process>,
-        frame_refs: &mut HashMap<u64, u32>,
+        frame_refs: &mut [u32],
         stats: &mut GuestStats,
     ) -> Result<Pid> {
         let parent_proc = processes
@@ -536,9 +571,7 @@ impl GuestOs {
                 Pte::present(*gfn).with_cow(true).with_writable(false),
                 || buddy.alloc(0),
             )?;
-            *frame_refs
-                .get_mut(&gfn.raw())
-                .expect("shared frame tracked") += 1;
+            frame_refs[gfn.raw() as usize] += 1;
         }
         child.rss_pages = mappings.len() as u64;
         processes.insert(child_pid, child);
@@ -567,33 +600,38 @@ impl GuestOs {
             processes,
             frame_refs,
             stats,
+            xlate_gens,
             ..
         } = self;
         let proc = processes
             .get_mut(&pid)
             .ok_or(MemError::NoSuchProcess { pid: pid.0 })?;
         proc.vmas.remove(start, pages)?;
+        Self::bump_xlate_gen(xlate_gens, pid);
         // Partial unmap of a huge mapping requires demotion first (the
-        // THP-split cost the paper's §2.3 discussion refers to).
-        for vpn in start.span(pages) {
+        // THP-split cost the paper's §2.3 discussion refers to). Hugeness
+        // is a property of the level-2 entry, so one check covers each
+        // aligned 2 MB region.
+        let mut vpn_raw = start.raw();
+        let end = start.raw() + pages;
+        while vpn_raw < end {
+            let vpn = GuestVirtPage::new(vpn_raw);
             if proc.page_table.is_huge_mapping(vpn) {
                 proc.page_table.demote(vpn, || buddy.alloc(0))?;
             }
+            vpn_raw = (vpn_raw | (PT_ENTRIES - 1)) + 1;
         }
-        let mut unmapped = Vec::new();
+        let mut unmapped = Vec::with_capacity(pages as usize);
         for vpn in start.span(pages) {
-            if proc.page_table.lookup(vpn).is_none() {
+            let Some(old) = proc.page_table.take(vpn) else {
                 continue;
-            }
-            let old = proc.page_table.unmap(vpn)?;
+            };
             proc.rss_pages -= 1;
             let gfn = old.frame();
-            let refs = frame_refs
-                .get_mut(&gfn.raw())
-                .expect("mapped frame tracked");
+            let refs = &mut frame_refs[gfn.raw() as usize];
+            debug_assert!(*refs > 0, "mapped frame tracked");
             *refs -= 1;
             if *refs == 0 {
-                frame_refs.remove(&gfn.raw());
                 allocator.free(pid, vpn, gfn, buddy)?;
             }
             unmapped.push(vpn);
@@ -629,6 +667,7 @@ impl GuestOs {
                 .expect("PT node frames are order-0 buddy allocations");
         }
         self.allocator.exit(pid, &mut self.buddy);
+        Self::bump_xlate_gen(&mut self.xlate_gens, pid);
         Ok(unmapped)
     }
 
@@ -1084,6 +1123,37 @@ mod tests {
         g.exit(child).unwrap();
         g.exit(parent).unwrap();
         assert_eq!(g.buddy().free_frames(), total);
+    }
+
+    #[test]
+    fn xlate_gen_moves_only_on_mapping_mutations() {
+        let mut g = os();
+        let pid = g.spawn();
+        assert_eq!(g.xlate_gen(pid), 0);
+        let va = g.mmap(pid, 4).unwrap();
+        // Filling empty slots never invalidates a cached translation.
+        g.page_fault(pid, va.page()).unwrap();
+        assert_eq!(g.xlate_gen(pid), 0);
+        // Write fault on a private page mutates nothing.
+        g.write_fault(pid, va.page()).unwrap();
+        assert_eq!(g.xlate_gen(pid), 0);
+        // Fork downgrades the parent's PTEs to COW.
+        let child = g.fork(pid).unwrap();
+        let after_fork = g.xlate_gen(pid);
+        assert!(after_fork > 0);
+        assert_eq!(g.xlate_gen(child), 0);
+        // COW break (child) and restore-write (parent, sole owner) both bump.
+        g.write_fault(child, va.page()).unwrap();
+        assert_eq!(g.xlate_gen(child), 1);
+        g.write_fault(pid, va.page()).unwrap();
+        assert_eq!(g.xlate_gen(pid), after_fork + 1);
+        // munmap and exit bump.
+        let before = g.xlate_gen(pid);
+        g.munmap(pid, va.page(), 1).unwrap();
+        assert!(g.xlate_gen(pid) > before);
+        let before = g.xlate_gen(child);
+        g.exit(child).unwrap();
+        assert!(g.xlate_gen(child) > before);
     }
 
     #[test]

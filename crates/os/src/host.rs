@@ -83,6 +83,12 @@ impl HostOs {
         if self.host_pt.lookup(hvpn).is_some() {
             return Err(MemError::AlreadyMapped { vpn: hvpn.raw() });
         }
+        self.fault_unchecked(hvpn)
+    }
+
+    /// [`HostOs::fault`] for a page the caller has just proven unmapped,
+    /// skipping the presence re-check's table descent (hot backing path).
+    pub(crate) fn fault_unchecked(&mut self, hvpn: HostVirtPage) -> Result<HostFrame> {
         let hfn = self.buddy.alloc(0)?;
         let Self { buddy, host_pt, .. } = self;
         host_pt.map(hvpn, hfn, || buddy.alloc(0))?;
@@ -101,13 +107,19 @@ impl HostOs {
         if let Some(hfn) = self.translate(hvpn) {
             return Ok((hfn, false));
         }
-        Ok((self.fault(hvpn)?, true))
+        Ok((self.fault_unchecked(hvpn)?, true))
     }
 
     /// The host page table's walk path for `hvpn` (entry addresses are
     /// host-physical).
     pub fn walk_path(&self, hvpn: HostVirtPage) -> WalkPath<HostFrame> {
         self.host_pt.walk_path(hvpn)
+    }
+
+    /// Single-descent combination of [`HostOs::walk_path`] and
+    /// [`HostOs::translate`].
+    pub fn walk_translate(&self, hvpn: HostVirtPage) -> (WalkPath<HostFrame>, Option<HostFrame>) {
+        self.host_pt.walk_translate(hvpn)
     }
 
     /// Host-physical byte address of the host PTE for `hvpn`, if its leaf

@@ -94,6 +94,74 @@ pub struct TouchOutcome {
     pub host_faults: u32,
 }
 
+/// Number of slots in each core's direct-mapped memo table (power of two).
+const MEMO_SLOTS: usize = 4096;
+
+/// One memoized translation: the proof that a repeat touch of `va` by `pid`
+/// is a pure TLB-L1 + data-L1 hit whose only observable effects are counter
+/// increments and a fixed cycle charge.
+///
+/// The proof is a fingerprint of everything the warm path depends on:
+/// the process's translation generation (mapping + COW state unchanged),
+/// the TLB-L1 set epoch (entry still resident and still MRU, so its LRU
+/// promotion is a no-op), and the data-L1 set epoch (likewise for the data
+/// line). Any intervening activity that could change the outcome bumps one
+/// of the three, and the slot silently stops matching.
+#[derive(Clone, Copy, Debug)]
+struct MemoSlot {
+    /// Owning process; 0 marks an empty slot (pids start at 1).
+    pid: u64,
+    /// The exact virtual address (page + offset: the offset picks the data
+    /// cache line).
+    va: u64,
+    /// [`GuestOs::xlate_gen`] of `pid` at fill time.
+    gen: u64,
+    /// L1 TLB set of the translation, captured at fill so validation needs
+    /// no lookup.
+    tlb_set: u32,
+    /// L1 data-cache set of the data line, likewise.
+    data_set: u32,
+    /// [`Tlb::l1_set_epoch_at`] of `tlb_set` at fill time.
+    tlb_epoch: u64,
+    /// [`CacheHierarchy::l1_set_epoch_at`] of `data_set` at fill time.
+    data_epoch: u64,
+    /// Whether a *write* can replay: the page is mapped writable (not COW).
+    /// Reads replay regardless.
+    write_ok: bool,
+}
+
+impl MemoSlot {
+    const EMPTY: Self = Self {
+        pid: 0,
+        va: 0,
+        gen: 0,
+        tlb_set: 0,
+        data_set: 0,
+        tlb_epoch: 0,
+        data_epoch: 0,
+        write_ok: false,
+    };
+}
+
+/// Counters of the memo layer, reported separately from
+/// [`Machine::metrics_snapshot`] so memoization stays invisible to the
+/// simulation's observable state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Touches replayed from a memo slot (full fingerprint validation).
+    pub hits: u64,
+    /// Touches replayed by the [`Machine::touch_run`] same-page streak path
+    /// (no fingerprint validation needed).
+    pub streak_hits: u64,
+    /// Memo slots (re)filled after a slow-path touch.
+    pub fills: u64,
+    /// Touches served by the full naive path (faults, TLB, walks).
+    pub naive_walks: u64,
+    /// Whole-table clears (fault-plan trigger fired, translation state
+    /// flushed, or a plan was installed).
+    pub clears: u64,
+}
+
 /// The assembled VM: guest, host, and hardware state.
 #[derive(Debug)]
 pub struct Machine {
@@ -102,6 +170,12 @@ pub struct Machine {
     caches: CacheHierarchy,
     tlbs: Vec<Tlb>,
     pwcs: Vec<PageWalkCaches>,
+    /// Per-core direct-mapped memo tables (see [`MemoSlot`]).
+    memos: Vec<Box<[MemoSlot]>>,
+    /// The `VMSIM_MEMO` escape hatch: when false, every touch takes the
+    /// naive path.
+    memo_enabled: bool,
+    memo_stats: MemoStats,
     /// Per-core nested-walk latency distributions.
     walk_hist: Vec<Histogram>,
     /// Per-core fault-service latency distributions (guest fault + backing).
@@ -169,6 +243,11 @@ impl Machine {
             pwcs: (0..cores)
                 .map(|_| PageWalkCaches::new(config.pwc))
                 .collect(),
+            memos: (0..cores)
+                .map(|_| vec![MemoSlot::EMPTY; MEMO_SLOTS].into_boxed_slice())
+                .collect(),
+            memo_enabled: true,
+            memo_stats: MemoStats::default(),
             walk_hist: (0..cores).map(|_| Histogram::new()).collect(),
             fault_hist: (0..cores).map(|_| Histogram::new()).collect(),
             cost: config.cost,
@@ -211,6 +290,45 @@ impl Machine {
             .buddy_mut()
             .set_fault_injector(FaultInjector::new(&plan, run_seed));
         self.faults = Some(FaultDriver::new(plan));
+        self.clear_memos();
+    }
+
+    /// Enables or disables the translation memo layer (the `VMSIM_MEMO`
+    /// escape hatch). Disabling clears the tables so a later re-enable
+    /// starts from a clean slate. Memoization is validated to be
+    /// bit-invisible, so this only affects wall-clock speed.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.clear_memos();
+            self.memo_stats = MemoStats::default();
+        }
+        self.memo_enabled = enabled;
+    }
+
+    /// Whether the memo layer is active.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
+    }
+
+    /// Memo-layer counters. Deliberately *not* part of
+    /// [`Machine::metrics_snapshot`]: snapshots must be bit-identical with
+    /// the memo layer on, off, or absent.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo_stats
+    }
+
+    /// Invalidates every memo slot on every core.
+    fn clear_memos(&mut self) {
+        for table in &mut self.memos {
+            table.fill(MemoSlot::EMPTY);
+        }
+        self.memo_stats.clears += 1;
+    }
+
+    /// Direct-mapped memo slot index for `va`.
+    #[inline]
+    fn memo_index(va: GuestVirtAddr) -> usize {
+        ((va.raw() >> PAGE_SHIFT) as usize) & (MEMO_SLOTS - 1)
     }
 
     /// Whether a fault plan is installed.
@@ -281,13 +399,163 @@ impl Machine {
         va: GuestVirtAddr,
         is_write: bool,
     ) -> Result<TouchOutcome> {
-        let vpn = va.page();
         self.ops += 1;
         // Scheduled fault triggers fire before the access is served, so a
-        // fragmentation shock can deny this very op's reservation chunk.
-        if self.faults.is_some() {
-            self.drive_fault_schedule();
+        // fragmentation shock can deny this very op's reservation chunk. A
+        // fired trigger may mutate translation-relevant state wholesale, so
+        // it drops every memo.
+        if self.faults.is_some() && self.drive_fault_schedule() {
+            self.clear_memos();
         }
+        if self.memo_enabled {
+            if let Some((out, _)) = self.memo_replay(core, pid, va, is_write) {
+                return Ok(out);
+            }
+        }
+        let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
+        if self.memo_enabled {
+            self.memo_fill(core, pid, va, write_ok, data_hpa);
+        }
+        Ok(out)
+    }
+
+    /// Plays a run of accesses by one (`core`, `pid`) pair, returning the
+    /// total cycles charged. Semantically identical to calling
+    /// [`Machine::touch`] once per element (bit-identical counters, events,
+    /// histograms, and cycle totals) but with a fast path for same-page
+    /// streaks: once an access to a page has been played, immediately
+    /// repeated accesses to the same address need no revalidation at all —
+    /// nothing can have intervened — so they replay directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`]; the first failing access aborts the run.
+    pub fn touch_run(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        run: &[(GuestVirtAddr, bool)],
+    ) -> Result<u64> {
+        let mut total = 0u64;
+        // The address (and write permission) proven warm by the previous
+        // iteration; u64::MAX never matches a real va.
+        let mut prev_va = u64::MAX;
+        let mut prev_write_ok = false;
+        for &(va, is_write) in run {
+            self.ops += 1;
+            if self.faults.is_some() && self.drive_fault_schedule() {
+                self.clear_memos();
+                prev_va = u64::MAX;
+            }
+            if self.memo_enabled && va.raw() == prev_va && (!is_write || prev_write_ok) {
+                // Same-page streak: the previous op touched this very
+                // address and nothing intervened, so the TLB entry and the
+                // data line are still MRU in their sets by construction.
+                self.memo_stats.streak_hits += 1;
+                self.tlbs[core].replay_l1_hit();
+                total += self.cost.work_cycles_per_access
+                    + self.caches.replay_l1_hit(core, AccessKind::Data);
+                continue;
+            }
+            if self.memo_enabled {
+                if let Some((out, write_ok)) = self.memo_replay(core, pid, va, is_write) {
+                    total += out.cycles;
+                    prev_va = va.raw();
+                    prev_write_ok = write_ok;
+                    continue;
+                }
+            }
+            let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
+            if self.memo_enabled {
+                self.memo_fill(core, pid, va, write_ok, data_hpa);
+            }
+            total += out.cycles;
+            prev_va = va.raw();
+            prev_write_ok = write_ok;
+        }
+        Ok(total)
+    }
+
+    /// Attempts to replay a memoized warm touch. `None` means the slot does
+    /// not prove this access; take the slow path. On a hit, returns the
+    /// outcome and the slot's write permission, and applies the warm path's
+    /// exact observable side effects: the TLB L1-hit counter, the data L1
+    /// MemCounters record, and the fixed warm-cycle charge. No tracer
+    /// events, no histogram samples, no PWC activity — precisely what the
+    /// naive warm path does.
+    #[inline]
+    fn memo_replay(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        va: GuestVirtAddr,
+        is_write: bool,
+    ) -> Option<(TouchOutcome, bool)> {
+        let slot = &self.memos[core][Self::memo_index(va)];
+        if slot.pid != pid.0
+            || slot.va != va.raw()
+            || (is_write && !slot.write_ok)
+            || slot.gen != self.guest.xlate_gen(pid)
+            || slot.tlb_epoch != self.tlbs[core].l1_set_epoch_at(slot.tlb_set)
+            || slot.data_epoch != self.caches.l1_set_epoch_at(core, slot.data_set)
+        {
+            return None;
+        }
+        let write_ok = slot.write_ok;
+        self.memo_stats.hits += 1;
+        self.tlbs[core].replay_l1_hit();
+        let data_cycles = self.caches.replay_l1_hit(core, AccessKind::Data);
+        Some((
+            TouchOutcome {
+                cycles: self.cost.work_cycles_per_access + data_cycles,
+                tlb_hit: true,
+                ..TouchOutcome::default()
+            },
+            write_ok,
+        ))
+    }
+
+    /// Fills the memo slot for `va` after a successful slow-path touch. The
+    /// touch itself guarantees the preconditions: its data access left the
+    /// line MRU in `core`'s L1, and its translation ended MRU in the L1 TLB
+    /// (promoted by the hit, or freshly inserted by the walk).
+    #[inline]
+    fn memo_fill(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        va: GuestVirtAddr,
+        write_ok: bool,
+        data_hpa: HostPhysAddr,
+    ) {
+        let tlb_set = self.tlbs[core].l1_set_index(pid.0, va.page());
+        let data_set = self.caches.l1_set_index(core, data_hpa);
+        self.memos[core][Self::memo_index(va)] = MemoSlot {
+            pid: pid.0,
+            va: va.raw(),
+            gen: self.guest.xlate_gen(pid),
+            tlb_set,
+            data_set,
+            tlb_epoch: self.tlbs[core].l1_set_epoch_at(tlb_set),
+            data_epoch: self.caches.l1_set_epoch_at(core, data_set),
+            write_ok,
+        };
+        self.memo_stats.fills += 1;
+    }
+
+    /// The full (naive) touch path: fault service, TLB lookup, nested walk,
+    /// data access. Also returns whether the page ended up writable without
+    /// a COW break (for memo filling) and the data line's host-physical
+    /// address.
+    fn touch_slow(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        va: GuestVirtAddr,
+        is_write: bool,
+    ) -> Result<(TouchOutcome, bool, HostPhysAddr)> {
+        let vpn = va.page();
+        self.memo_stats.naive_walks += 1;
         let mut out = TouchOutcome {
             cycles: self.cost.work_cycles_per_access,
             ..TouchOutcome::default()
@@ -306,8 +574,13 @@ impl Machine {
         //    (COW break).
         let cycles_before_fault = out.cycles;
         let pte = self.guest.process(pid)?.page_table.lookup(vpn);
+        // Whether, after the fault section, the page is writable without
+        // further kernel involvement (feeds the memo's write permission).
+        let write_ok;
         match pte {
             None => {
+                // A fresh fault installs a private, writable mapping.
+                write_ok = true;
                 let info = match self.guest.page_fault(pid, vpn) {
                     Ok(info) => info,
                     Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
@@ -384,6 +657,9 @@ impl Machine {
                 }
             }
             Some(pte) if is_write && pte.is_cow() => {
+                // Whether a copy happened or write access was restored, the
+                // page is now privately writable.
+                write_ok = true;
                 let (new_gfn, copied) = match self.guest.write_fault(pid, vpn) {
                     Ok(r) => r,
                     Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
@@ -418,7 +694,9 @@ impl Machine {
                     tlb.invalidate(pid.0, vpn);
                 }
             }
-            Some(_) => {}
+            Some(pte) => {
+                write_ok = !pte.is_cow();
+            }
         }
         if out.faulted || out.cow_break {
             self.fault_hist[core].record(out.cycles - cycles_before_fault);
@@ -475,24 +753,27 @@ impl Machine {
         // 3. Access the data itself.
         let data_hpa = HostPhysAddr::new((hfn.raw() << PAGE_SHIFT) + va.page_offset());
         out.cycles += self.caches.access(core, data_hpa, AccessKind::Data).cycles;
-        Ok(out)
+        Ok((out, write_ok, data_hpa))
     }
 
     /// Fires the installed plan's scheduled triggers due at the current op:
     /// fragmentation shocks, reclaim storms, host swap-outs, and the
     /// watermark-driven daemon pass. Everything here is a deterministic
-    /// function of the op clock and guest state.
-    fn drive_fault_schedule(&mut self) {
+    /// function of the op clock and guest state. Returns whether any
+    /// trigger actually executed (the caller drops its memos if so).
+    fn drive_fault_schedule(&mut self) -> bool {
         let Some(mut driver) = self.faults else {
-            return;
+            return false;
         };
         let op = self.ops;
         let due = |every: Option<u64>| matches!(every, Some(n) if n > 0 && op.is_multiple_of(n));
+        let mut fired = false;
 
         if due(driver.plan.frag_shock_every) {
             let max_order = driver.plan.frag_shock_order;
             let splits = self.guest.buddy_mut().shatter(max_order);
             driver.frag_shocks += 1;
+            fired = true;
             if let Some(tracer) = self.tracer.as_mut() {
                 tracer.emit(op, vmsim_obs::EventKind::FragShock { max_order, splits });
             }
@@ -503,6 +784,7 @@ impl Machine {
                 .reclaim_reservations(driver.plan.reclaim_storm_frames);
             driver.reclaim_storms += 1;
             driver.reclaimed_frames += frames;
+            fired = true;
             if let Some(tracer) = self.tracer.as_mut() {
                 tracer.emit(op, vmsim_obs::EventKind::ReclaimStorm { frames });
             }
@@ -515,6 +797,7 @@ impl Machine {
                 let frames = self.guest.swap_target(gfn);
                 driver.swap_outs += 1;
                 driver.reclaimed_frames += frames;
+                fired = true;
                 if let Some(tracer) = self.tracer.as_mut() {
                     tracer.emit(
                         op,
@@ -539,10 +822,12 @@ impl Machine {
                     let freed = self.reclaim_reservations(target);
                     driver.daemon_passes += 1;
                     driver.reclaimed_frames += freed;
+                    fired = true;
                 }
             }
         }
         self.faults = Some(driver);
+        fired
     }
 
     /// Graceful degradation for an out-of-memory fault under an installed
@@ -595,12 +880,11 @@ impl Machine {
 
         let (path, data_gfn) = {
             let pt = &self.guest.process(pid)?.page_table;
-            let path = pt.walk_path(vpn);
-            if !path.complete {
-                return Err(MemError::Unmapped { vpn: vpn.raw() });
+            let (path, gfn) = pt.walk_translate(vpn);
+            match gfn {
+                Some(gfn) => (path, gfn),
+                None => return Err(MemError::Unmapped { vpn: vpn.raw() }),
             }
-            let gfn = pt.translate(vpn).expect("complete walk has a leaf");
-            (path, gfn)
         };
 
         // The guest PWC may let us skip upper guest levels (and the host
@@ -612,10 +896,10 @@ impl Machine {
 
         // A huge guest mapping produces a 3-step path (the PS entry is the
         // translation), a 4 KB mapping a 4-step path; iterate whatever the
-        // table gave us.
-        let steps: Vec<_> = path.steps.iter().skip(start_level).copied().collect();
-        let levels_walked = steps.len() as u32;
-        for step in steps {
+        // table gave us. The path is an inline copy, so no allocation here.
+        let levels_walked = path.len().saturating_sub(start_level) as u32;
+        for i in start_level..path.len() {
+            let step = path.steps()[i];
             // Locate this gPT node in host-physical memory (2nd dimension).
             let (node_hfn, hf) = self.host_frame_of(core, step.node, &mut cycles)?;
             host_faults += hf;
@@ -675,19 +959,23 @@ impl Machine {
         }
         let hvpn = self.host.hvpn_of(gfn);
         let mut host_faults = 0u32;
-        if self.host.translate(hvpn).is_none() {
-            self.host.fault(hvpn)?;
-            host_faults += 1;
-            *cycles += self.cost.host_fault_cycles;
-        }
-        let path = self.host.walk_path(hvpn);
+        let (path, hfn) = match self.host.walk_translate(hvpn) {
+            (path, Some(hfn)) => (path, hfn),
+            (_, None) => {
+                self.host.fault_unchecked(hvpn)?;
+                host_faults += 1;
+                *cycles += self.cost.host_fault_cycles;
+                let (path, hfn) = self.host.walk_translate(hvpn);
+                (path, hfn.expect("faulted in above"))
+            }
+        };
         debug_assert!(path.complete);
         let start_level = match self.pwcs[core].host_lookup(hvpn) {
             Some((level, _node)) => level + 1,
             None => 0,
         };
         for level in start_level..PT_LEVELS {
-            let step = &path.steps[level];
+            let step = path.steps()[level];
             // Host PT nodes live in host-physical frames, so the entry
             // address is directly host-physical.
             let hpa = HostPhysAddr::new(step.entry_addr_raw());
@@ -699,7 +987,6 @@ impl Machine {
                 self.pwcs[core].host_insert(hvpn, level - 1, step.node);
             }
         }
-        let hfn = self.host.translate(hvpn).expect("faulted in above");
         self.pwcs[core].nested_insert(gfn, hfn);
         Ok((hfn, host_faults))
     }
@@ -883,6 +1170,9 @@ impl Machine {
         for pwc in &mut self.pwcs {
             pwc.flush();
         }
+        // The TLB flush bumps every set epoch, which already invalidates all
+        // memos; clearing keeps the tables from carrying dead entries.
+        self.clear_memos();
     }
 
     /// Resets all hardware measurement counters (cache + TLB), preserving
@@ -1296,6 +1586,151 @@ mod tests {
         assert_eq!(snap.get("faults.frag_shocks").unwrap().as_u64(), Some(4));
         let tracer = m.take_tracer().unwrap();
         assert_eq!(tracer.count_kind("frag_shock"), 4);
+    }
+
+    /// A little workload with warm re-touches, a fork, COW breaks, and an
+    /// unmap — enough to exercise every memo validation clause.
+    fn mixed_workload(m: &mut Machine) -> Vec<TouchOutcome> {
+        let mut outcomes = Vec::new();
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 8).unwrap();
+        for round in 0..3 {
+            for i in 0..8 {
+                let a = GuestVirtAddr::new(va.raw() + i * 4096);
+                outcomes.push(m.touch(0, pid, a, round == 2).unwrap());
+                outcomes.push(m.touch(0, pid, a, false).unwrap());
+            }
+        }
+        let child = m.guest_mut().fork(pid).unwrap();
+        for i in 0..8 {
+            let a = GuestVirtAddr::new(va.raw() + i * 4096);
+            outcomes.push(m.touch(0, pid, a, false).unwrap());
+            outcomes.push(m.touch(1, child, a, true).unwrap());
+            outcomes.push(m.touch(1, child, a, true).unwrap());
+        }
+        m.munmap(pid, va.page(), 2).unwrap();
+        for i in 2..8 {
+            let a = GuestVirtAddr::new(va.raw() + i * 4096);
+            outcomes.push(m.touch(0, pid, a, true).unwrap());
+        }
+        outcomes
+    }
+
+    #[test]
+    fn memo_layer_is_bit_invisible() {
+        let run = |memo: bool| {
+            let mut m = machine();
+            m.set_memo_enabled(memo);
+            let outcomes = mixed_workload(&mut m);
+            (outcomes, m.metrics_snapshot(), m.memo_stats())
+        };
+        let (naive_out, naive_snap, naive_stats) = run(false);
+        let (memo_out, memo_snap, memo_stats) = run(true);
+        assert_eq!(naive_out, memo_out, "outcomes must be bit-identical");
+        assert_eq!(naive_snap, memo_snap, "snapshots must be bit-identical");
+        assert_eq!(naive_stats.hits, 0, "disabled layer never replays");
+        assert!(memo_stats.hits > 0, "warm re-touches must replay");
+    }
+
+    #[test]
+    fn memo_layer_is_bit_invisible_under_tracing() {
+        let run = |memo: bool| {
+            let mut m = machine();
+            m.set_memo_enabled(memo);
+            m.install_tracer(vmsim_obs::Tracer::new());
+            let outcomes = mixed_workload(&mut m);
+            let tracer = m.take_tracer().unwrap();
+            let events: Vec<String> = tracer
+                .events()
+                .map(|e| format!("{}:{:?}", e.op, e.kind))
+                .collect();
+            (outcomes, m.metrics_snapshot(), events)
+        };
+        let (naive_out, naive_snap, naive_events) = run(false);
+        let (memo_out, memo_snap, memo_events) = run(true);
+        assert_eq!(naive_out, memo_out);
+        assert_eq!(naive_snap, memo_snap);
+        assert_eq!(naive_events, memo_events, "trace streams must match");
+    }
+
+    #[test]
+    fn touch_run_matches_per_op_touches() {
+        let ops: Vec<(u64, bool)> = (0..64)
+            .flat_map(|i| {
+                let page = (i * 7) % 8;
+                // Streaks of 3 touches per page, writes every other op.
+                (0..3).map(move |j| (page, j % 2 == 0))
+            })
+            .collect();
+        let per_op = {
+            let mut m = machine();
+            let pid = m.guest_mut().spawn();
+            let va = m.guest_mut().mmap(pid, 8).unwrap();
+            let mut total = 0u64;
+            for &(page, w) in &ops {
+                total += m
+                    .touch(0, pid, GuestVirtAddr::new(va.raw() + page * 4096), w)
+                    .unwrap()
+                    .cycles;
+            }
+            (total, m.ops_executed(), m.metrics_snapshot())
+        };
+        let batched = {
+            let mut m = machine();
+            let pid = m.guest_mut().spawn();
+            let va = m.guest_mut().mmap(pid, 8).unwrap();
+            let run: Vec<(GuestVirtAddr, bool)> = ops
+                .iter()
+                .map(|&(page, w)| (GuestVirtAddr::new(va.raw() + page * 4096), w))
+                .collect();
+            let total = m.touch_run(0, pid, &run).unwrap();
+            (total, m.ops_executed(), m.metrics_snapshot())
+        };
+        assert_eq!(per_op, batched, "batching must be bit-identical");
+    }
+
+    #[test]
+    fn memo_invalidated_by_cow_and_unmap() {
+        let mut m = machine();
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 1).unwrap();
+        m.touch(0, pid, va, false).unwrap();
+        m.touch(0, pid, va, false).unwrap();
+        assert!(m.memo_stats().hits >= 1, "warm read replays");
+        // Fork downgrades the parent's PTE to COW: a memoized *write* must
+        // not replay (it needs a COW break), and even reads revalidate.
+        let child = m.guest_mut().fork(pid).unwrap();
+        let hits_before = m.memo_stats().hits;
+        let w = m.touch(0, pid, va, true).unwrap();
+        assert!(w.cow_break || w.cycles > m.config().cost.work_cycles_per_access + 10);
+        assert_eq!(m.memo_stats().hits, hits_before, "stale memo must miss");
+        // Unmap in the child: its memoized touch goes slow and segfaults.
+        m.touch(1, child, va, false).unwrap();
+        m.munmap(child, va.page(), 1).unwrap();
+        assert!(m.touch(1, child, va, false).is_err(), "no stale replay");
+    }
+
+    #[test]
+    fn memo_cleared_by_fault_plan_triggers() {
+        let mut m = machine();
+        m.install_faults(
+            FaultPlan {
+                frag_shock_every: Some(4),
+                frag_shock_order: 0,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 1).unwrap();
+        let clears_start = m.memo_stats().clears;
+        for _ in 0..8 {
+            m.touch(0, pid, va, false).unwrap();
+        }
+        assert!(
+            m.memo_stats().clears >= clears_start + 2,
+            "each fired shock clears the memo tables"
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The 4-level radix page table.
 
-use std::collections::HashMap;
-
 use vmsim_types::{MemError, PageNumber, Result, PT_ENTRIES, PT_LEVELS};
 
 use crate::entry::Pte;
@@ -20,20 +18,20 @@ pub struct PtStats {
 }
 
 /// Where the translation path for a page ends.
-enum SlotKind<F> {
+enum SlotKind {
     /// The path has a non-present entry before reaching any translation.
     Hole,
     /// A level-2 huge-page entry covers the page.
     Huge {
-        /// Node holding the huge entry.
-        node: F,
+        /// Arena index of the node holding the huge entry.
+        node: usize,
         /// Entry index within that node.
         idx: usize,
     },
     /// The path reaches the leaf level.
     Leaf {
-        /// Leaf node frame.
-        node: F,
+        /// Arena index of the leaf node.
+        node: usize,
         /// Entry index within the leaf.
         idx: usize,
     },
@@ -71,6 +69,23 @@ impl vmsim_obs::MetricSource for PtStats {
     }
 }
 
+/// Sentinel child index: the slot has no attached child node.
+const NO_NODE: u32 = u32::MAX;
+
+/// One radix node in the arena.
+#[derive(Clone, Debug)]
+struct Node<F> {
+    /// Physical frame holding the node.
+    frame: F,
+    /// Radix level (0 = root).
+    level: usize,
+    /// The 512 entries.
+    entries: Box<[Pte<F>]>,
+    /// Arena index of the child node behind each entry. Empty for leaf
+    /// nodes; [`NO_NODE`] for empty slots and huge (PS) entries.
+    children: Box<[u32]>,
+}
+
 /// A 4-level radix page table mapping `V` pages to `F` frames, with nodes
 /// materialized in `F`-space frames.
 ///
@@ -82,14 +97,16 @@ impl vmsim_obs::MetricSource for PtStats {
 /// Node frames come from the caller-supplied allocator closure, so the
 /// table's own memory competes for (simulated) physical memory exactly like
 /// application data — PT node placement is *real* and walkable.
+///
+/// Nodes live in an index-based arena (`Vec`): tables only ever grow (Linux
+/// keeps intermediate nodes for process lifetime, and nothing removes leaf
+/// nodes), so arena indices are stable and every traversal is a pointer-free
+/// index chase — no per-node hashing on the hot translate path, and cloning
+/// a table for a snapshot is one contiguous `Vec` clone.
 #[derive(Clone, Debug)]
 pub struct PageTable<V, F> {
-    root: F,
-    /// Node frame -> 512 entries. Intermediate entries point at child node
-    /// frames; leaf entries hold translations.
-    nodes: HashMap<u64, Box<[Pte<F>]>>,
-    /// Level of each node, for stats and diagnostics.
-    node_levels: HashMap<u64, usize>,
+    /// Arena of nodes; index 0 is the root.
+    nodes: Vec<Node<F>>,
     stats: PtStats,
     _virt: core::marker::PhantomData<V>,
 }
@@ -102,28 +119,39 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
     /// Propagates allocation failure from `alloc`.
     pub fn new(mut alloc: impl FnMut() -> Result<F>) -> Result<Self> {
         let root = alloc()?;
-        let mut nodes = HashMap::new();
-        nodes.insert(root.to_raw(), Self::empty_node());
-        let mut node_levels = HashMap::new();
-        node_levels.insert(root.to_raw(), 0);
-        let mut stats = PtStats::default();
-        stats.nodes_per_level[0] = 1;
-        Ok(Self {
-            root,
-            nodes,
-            node_levels,
-            stats,
+        let mut table = Self {
+            nodes: Vec::new(),
+            stats: PtStats::default(),
             _virt: core::marker::PhantomData,
-        })
+        };
+        table.push_node(root, 0);
+        Ok(table)
     }
 
-    fn empty_node() -> Box<[Pte<F>]> {
+    fn empty_entries() -> Box<[Pte<F>]> {
         vec![Pte::empty(); PT_ENTRIES as usize].into_boxed_slice()
+    }
+
+    /// Appends a node to the arena and returns its index.
+    fn push_node(&mut self, frame: F, level: usize) -> usize {
+        let children = if level == PT_LEVELS - 1 {
+            Box::new([]) as Box<[u32]>
+        } else {
+            vec![NO_NODE; PT_ENTRIES as usize].into_boxed_slice()
+        };
+        self.nodes.push(Node {
+            frame,
+            level,
+            entries: Self::empty_entries(),
+            children,
+        });
+        self.stats.nodes_per_level[level] += 1;
+        self.nodes.len() - 1
     }
 
     /// Frame of the root node.
     pub fn root(&self) -> F {
-        self.root
+        self.nodes[0].frame
     }
 
     /// Node-count statistics.
@@ -153,31 +181,27 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         pte: Pte<F>,
         mut alloc: impl FnMut() -> Result<F>,
     ) -> Result<()> {
-        let mut node = self.root;
+        let mut node = 0;
         for level in 0..PT_LEVELS - 1 {
-            let idx = vpn.to_raw();
-            let idx = vmsim_types::page::pt_index(idx, level) as usize;
-            let entry = self.nodes[&node.to_raw()][idx];
+            let idx = vmsim_types::page::pt_index(vpn.to_raw(), level) as usize;
+            let entry = self.nodes[node].entries[idx];
             if entry.is_present() && entry.is_huge() {
                 // A huge mapping already covers this page.
                 return Err(MemError::AlreadyMapped { vpn: vpn.to_raw() });
             }
             node = if entry.is_present() {
-                entry.frame()
+                self.nodes[node].children[idx] as usize
             } else {
-                let child = alloc()?;
-                self.nodes.insert(child.to_raw(), Self::empty_node());
-                self.node_levels.insert(child.to_raw(), level + 1);
-                self.stats.nodes_per_level[level + 1] += 1;
-                self.nodes.get_mut(&node.to_raw()).expect("node exists")[idx] = Pte::present(child);
+                let frame = alloc()?;
+                let child = self.push_node(frame, level + 1);
+                let parent = &mut self.nodes[node];
+                parent.entries[idx] = Pte::present(frame);
+                parent.children[idx] = child as u32;
                 child
             };
         }
         let leaf_idx = vmsim_types::page::pt_index(vpn.to_raw(), PT_LEVELS - 1) as usize;
-        let leaf = self
-            .nodes
-            .get_mut(&node.to_raw())
-            .expect("leaf node exists");
+        let leaf = &mut self.nodes[node].entries;
         if leaf[leaf_idx].is_present() {
             return Err(MemError::AlreadyMapped { vpn: vpn.to_raw() });
         }
@@ -197,10 +221,7 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         let (node, idx) = self
             .leaf_slot(vpn)
             .ok_or(MemError::Unmapped { vpn: vpn.to_raw() })?;
-        let leaf = self
-            .nodes
-            .get_mut(&node.to_raw())
-            .expect("leaf node exists");
+        let leaf = &mut self.nodes[node].entries;
         let old = leaf[idx];
         if !old.is_present() {
             return Err(MemError::Unmapped { vpn: vpn.to_raw() });
@@ -208,6 +229,21 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         leaf[idx] = Pte::empty();
         self.stats.mapped_pages -= 1;
         Ok(old)
+    }
+
+    /// Removes the 4 KB mapping for `vpn` if one is present, returning the
+    /// old entry. A single descent replacing the `lookup` + `unmap` pair on
+    /// hot teardown paths; huge mappings must be demoted first.
+    pub fn take(&mut self, vpn: V) -> Option<Pte<F>> {
+        let (node, idx) = self.leaf_slot(vpn)?;
+        let leaf = &mut self.nodes[node].entries;
+        let old = leaf[idx];
+        if !old.is_present() {
+            return None;
+        }
+        leaf[idx] = Pte::empty();
+        self.stats.mapped_pages -= 1;
+        Some(old)
     }
 
     /// Rewrites the present entry translating `vpn` through `f`. For huge
@@ -222,7 +258,7 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
             SlotKind::Huge { node, idx } => (node, idx, true),
             SlotKind::Leaf { node, idx } => (node, idx, false),
         };
-        let entries = self.nodes.get_mut(&node.to_raw()).expect("node exists");
+        let entries = &mut self.nodes[node].entries;
         if !entries[idx].is_present() {
             return Err(MemError::Unmapped { vpn: vpn.to_raw() });
         }
@@ -240,7 +276,7 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         match self.slot_of(vpn) {
             SlotKind::Hole => None,
             SlotKind::Huge { node, idx } | SlotKind::Leaf { node, idx } => {
-                let pte = self.nodes[&node.to_raw()][idx];
+                let pte = self.nodes[node].entries[idx];
                 pte.is_present().then_some(pte)
             }
         }
@@ -266,7 +302,7 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
     /// Frame of the leaf node that holds (or would hold) `vpn`'s PTE, if the
     /// path down to the leaf level exists.
     pub fn leaf_node(&self, vpn: V) -> Option<F> {
-        self.leaf_slot(vpn).map(|(node, _)| node)
+        self.leaf_slot(vpn).map(|(node, _)| self.nodes[node].frame)
     }
 
     /// Raw physical byte address of the entry translating `vpn` (the leaf
@@ -276,7 +312,8 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         match self.slot_of(vpn) {
             SlotKind::Hole => None,
             SlotKind::Huge { node, idx } | SlotKind::Leaf { node, idx } => Some(
-                (node.to_raw() << vmsim_types::PAGE_SHIFT) + idx as u64 * vmsim_types::PTE_SIZE,
+                (self.nodes[node].frame.to_raw() << vmsim_types::PAGE_SHIFT)
+                    + idx as u64 * vmsim_types::PTE_SIZE,
             ),
         }
     }
@@ -285,17 +322,17 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
     /// region containing `vpn` (the level-2 slot is empty: no huge mapping,
     /// no leaf node — even an empty one — occupies it).
     pub fn can_map_large(&self, vpn: V) -> bool {
-        let mut node = self.root;
+        let mut node = 0;
         for level in 0..PT_LEVELS - 1 {
             let idx = vmsim_types::page::pt_index(vpn.to_raw(), level) as usize;
-            let entry = self.nodes[&node.to_raw()][idx];
+            let entry = self.nodes[node].entries[idx];
             if !entry.is_present() {
                 return true;
             }
             if entry.is_huge() || level == PT_LEVELS - 2 {
                 return false;
             }
-            node = entry.frame();
+            node = self.nodes[node].children[idx] as usize;
         }
         unreachable!("loop returns by level 2")
     }
@@ -327,28 +364,28 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
             });
         }
         // Build the path down to level 2.
-        let mut node = self.root;
+        let mut node = 0;
         for level in 0..PT_LEVELS - 2 {
             let idx = vmsim_types::page::pt_index(base_vpn.to_raw(), level) as usize;
-            let entry = self.nodes[&node.to_raw()][idx];
+            let entry = self.nodes[node].entries[idx];
             if entry.is_present() && entry.is_huge() {
                 return Err(MemError::AlreadyMapped {
                     vpn: base_vpn.to_raw(),
                 });
             }
             node = if entry.is_present() {
-                entry.frame()
+                self.nodes[node].children[idx] as usize
             } else {
-                let child = alloc()?;
-                self.nodes.insert(child.to_raw(), Self::empty_node());
-                self.node_levels.insert(child.to_raw(), level + 1);
-                self.stats.nodes_per_level[level + 1] += 1;
-                self.nodes.get_mut(&node.to_raw()).expect("node exists")[idx] = Pte::present(child);
+                let frame = alloc()?;
+                let child = self.push_node(frame, level + 1);
+                let parent = &mut self.nodes[node];
+                parent.entries[idx] = Pte::present(frame);
+                parent.children[idx] = child as u32;
                 child
             };
         }
         let idx = vmsim_types::page::pt_index(base_vpn.to_raw(), PT_LEVELS - 2) as usize;
-        let slot = &mut self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx];
+        let slot = &mut self.nodes[node].entries[idx];
         if slot.is_present() {
             // Either a huge mapping or a populated (or once-populated) leaf
             // node occupies the slot.
@@ -371,7 +408,7 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         let SlotKind::Huge { node, idx } = self.slot_of(vpn) else {
             return Err(MemError::Unmapped { vpn: vpn.to_raw() });
         };
-        let slot = &mut self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx];
+        let slot = &mut self.nodes[node].entries[idx];
         let old = *slot;
         *slot = Pte::empty();
         self.stats.mapped_pages -= PT_ENTRIES;
@@ -391,19 +428,17 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
         let SlotKind::Huge { node, idx } = self.slot_of(vpn) else {
             return Err(MemError::Unmapped { vpn: vpn.to_raw() });
         };
-        let huge = self.nodes[&node.to_raw()][idx];
-        let leaf = alloc()?;
-        let mut entries = Self::empty_node();
-        for (i, e) in entries.iter_mut().enumerate() {
-            let small = Pte::present(F::from_raw(huge.frame().to_raw() + i as u64))
+        let huge = self.nodes[node].entries[idx];
+        let frame = alloc()?;
+        let leaf = self.push_node(frame, PT_LEVELS - 1);
+        for (i, e) in self.nodes[leaf].entries.iter_mut().enumerate() {
+            *e = Pte::present(F::from_raw(huge.frame().to_raw() + i as u64))
                 .with_writable(huge.is_writable())
                 .with_cow(huge.is_cow());
-            *e = small;
         }
-        self.nodes.insert(leaf.to_raw(), entries);
-        self.node_levels.insert(leaf.to_raw(), PT_LEVELS - 1);
-        self.stats.nodes_per_level[PT_LEVELS - 1] += 1;
-        self.nodes.get_mut(&node.to_raw()).expect("level-2 node")[idx] = Pte::present(leaf);
+        let parent = &mut self.nodes[node];
+        parent.entries[idx] = Pte::present(frame);
+        parent.children[idx] = leaf as u32;
         self.stats.huge_pages -= 1;
         Ok(())
     }
@@ -411,65 +446,66 @@ impl<V: PageNumber, F: PageNumber> PageTable<V, F> {
     /// Walks the radix tree for `vpn`, recording the entry consulted at each
     /// level. Stops early at the first non-present intermediate entry.
     pub fn walk_path(&self, vpn: V) -> WalkPath<F> {
-        let mut steps = Vec::with_capacity(PT_LEVELS);
-        let mut node = self.root;
+        self.walk_translate(vpn).0
+    }
+
+    /// Single-descent combination of [`PageTable::walk_path`] and
+    /// [`PageTable::translate`]: the recorded path plus the mapped 4 KB
+    /// frame (`None` when the walk is incomplete).
+    pub fn walk_translate(&self, vpn: V) -> (WalkPath<F>, Option<F>) {
+        let mut path = WalkPath::new();
+        let mut node = 0;
         for level in 0..PT_LEVELS {
             let idx = vmsim_types::page::pt_index(vpn.to_raw(), level);
-            steps.push(WalkStep {
+            path.push(WalkStep {
                 level,
-                node,
+                node: self.nodes[node].frame,
                 index: idx,
             });
-            let entry = self.nodes[&node.to_raw()][idx as usize];
+            let entry = self.nodes[node].entries[idx as usize];
             if !entry.is_present() {
-                return WalkPath {
-                    steps,
-                    complete: false,
-                };
+                return (path, None);
             }
             if entry.is_huge() {
                 // The PS entry is the translation: a huge walk is one level
                 // shorter than a 4 KB walk.
-                return WalkPath {
-                    steps,
-                    complete: true,
-                };
+                path.complete = true;
+                let offset = vpn.to_raw() & (PT_ENTRIES - 1);
+                return (path, Some(F::from_raw(entry.frame().to_raw() + offset)));
             }
             if level < PT_LEVELS - 1 {
-                node = entry.frame();
+                node = self.nodes[node].children[idx as usize] as usize;
+            } else {
+                path.complete = true;
+                return (path, Some(entry.frame()));
             }
         }
-        WalkPath {
-            steps,
-            complete: true,
-        }
+        unreachable!("loop returns at the leaf level")
     }
 
     /// Iterates over the frames of all allocated nodes with their levels.
     pub fn node_frames(&self) -> impl Iterator<Item = (F, usize)> + '_ {
-        self.node_levels
-            .iter()
-            .map(|(&raw, &level)| (F::from_raw(raw), level))
+        self.nodes.iter().map(|n| (n.frame, n.level))
     }
 
-    fn slot_of(&self, vpn: V) -> SlotKind<F> {
-        let mut node = self.root;
+    fn slot_of(&self, vpn: V) -> SlotKind {
+        let mut node = 0;
         for level in 0..PT_LEVELS - 1 {
             let idx = vmsim_types::page::pt_index(vpn.to_raw(), level) as usize;
-            let entry = self.nodes[&node.to_raw()][idx];
+            let entry = self.nodes[node].entries[idx];
             if !entry.is_present() {
                 return SlotKind::Hole;
             }
             if entry.is_huge() {
                 return SlotKind::Huge { node, idx };
             }
-            node = entry.frame();
+            node = self.nodes[node].children[idx] as usize;
         }
         let idx = vmsim_types::page::pt_index(vpn.to_raw(), PT_LEVELS - 1) as usize;
         SlotKind::Leaf { node, idx }
     }
 
-    fn leaf_slot(&self, vpn: V) -> Option<(F, usize)> {
+    fn leaf_slot(&self, vpn: V) -> Option<(usize, usize)> {
         match self.slot_of(vpn) {
             SlotKind::Leaf { node, idx } => Some((node, idx)),
             _ => None,
@@ -609,8 +645,8 @@ mod tests {
         t.map(vpn, GuestFrame::new(7), &mut alloc).unwrap();
         let path = t.walk_path(vpn);
         assert!(path.complete);
-        assert_eq!(path.steps.len(), 4);
-        assert_eq!(path.steps[0].node, t.root());
+        assert_eq!(path.len(), 4);
+        assert_eq!(path.steps()[0].node, t.root());
         assert_eq!(path.leaf().unwrap().index, 0x42);
     }
 
@@ -619,7 +655,7 @@ mod tests {
         let t = table();
         let path = t.walk_path(GuestVirtPage::new(0x42));
         assert!(!path.complete);
-        assert_eq!(path.steps.len(), 1);
+        assert_eq!(path.len(), 1);
         assert!(path.leaf().is_none());
     }
 
@@ -679,7 +715,7 @@ mod tests {
             .unwrap();
         let path = t.walk_path(GuestVirtPage::new(5));
         assert!(path.complete);
-        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.len(), 3);
         assert!(path.leaf().is_none(), "PS entry is not a level-3 leaf");
     }
 

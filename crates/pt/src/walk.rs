@@ -30,18 +30,73 @@ impl<F: PageNumber> WalkStep<F> {
 /// Contains a step for every level down to (and including) the deepest
 /// existing entry. `complete` is true when the leaf entry was present, i.e.
 /// the translation exists.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Stored inline — a radix walk touches at most [`PT_LEVELS`](vmsim_types::PT_LEVELS) entries per
+/// dimension, so the steps fit in a fixed array and building a path never
+/// allocates. The type is `Copy`, which is what lets the machine layer
+/// capture walk footprints without boxing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkPath<F> {
-    /// Steps from the root toward the leaf, in walk order.
-    pub steps: Vec<WalkStep<F>>,
+    steps: [WalkStep<F>; vmsim_types::PT_LEVELS],
+    len: u8,
     /// Whether the walk reached a present leaf entry.
     pub complete: bool,
 }
 
+impl<F: PageNumber> Default for WalkPath<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<F: PageNumber> WalkPath<F> {
+    /// An empty, incomplete path.
+    #[inline]
+    pub fn new() -> Self {
+        Self {
+            steps: [WalkStep {
+                level: 0,
+                node: F::from_raw(0),
+                index: 0,
+            }; vmsim_types::PT_LEVELS],
+            len: 0,
+            complete: false,
+        }
+    }
+
+    /// Appends a step in walk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path already holds [`PT_LEVELS`](vmsim_types::PT_LEVELS) steps — a radix walk
+    /// cannot be deeper than the tree.
+    #[inline]
+    pub fn push(&mut self, step: WalkStep<F>) {
+        self.steps[self.len as usize] = step;
+        self.len += 1;
+    }
+
+    /// Steps from the root toward the leaf, in walk order.
+    #[inline]
+    pub fn steps(&self) -> &[WalkStep<F>] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// Number of steps recorded.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the walk recorded no steps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// The leaf step, if the walk got that far.
     pub fn leaf(&self) -> Option<&WalkStep<F>> {
-        self.steps
+        self.steps()
             .last()
             .filter(|s| s.level == vmsim_types::PT_LEVELS - 1)
     }
@@ -64,30 +119,27 @@ mod tests {
 
     #[test]
     fn leaf_requires_final_level() {
-        let partial = WalkPath {
-            steps: vec![WalkStep {
-                level: 0,
-                node: GuestFrame::new(1),
-                index: 0,
-            }],
-            complete: false,
-        };
+        let mut partial = WalkPath::new();
+        partial.push(WalkStep {
+            level: 0,
+            node: GuestFrame::new(1),
+            index: 0,
+        });
         assert!(partial.leaf().is_none());
-        let full = WalkPath {
-            steps: vec![
-                WalkStep {
-                    level: 2,
-                    node: GuestFrame::new(1),
-                    index: 0,
-                },
-                WalkStep {
-                    level: 3,
-                    node: GuestFrame::new(2),
-                    index: 1,
-                },
-            ],
-            complete: true,
-        };
+        let mut full = WalkPath::new();
+        full.push(WalkStep {
+            level: 2,
+            node: GuestFrame::new(1),
+            index: 0,
+        });
+        full.push(WalkStep {
+            level: 3,
+            node: GuestFrame::new(2),
+            index: 1,
+        });
+        full.complete = true;
         assert_eq!(full.leaf().unwrap().node, GuestFrame::new(2));
+        assert_eq!(full.len(), 2);
+        assert!(!full.is_empty());
     }
 }

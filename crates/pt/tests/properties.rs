@@ -143,16 +143,16 @@ proptest! {
             let page = GuestVirtPage::new(*vpn);
             let path = table.walk_path(page);
             // Levels strictly ascend from the root.
-            for (i, step) in path.steps.iter().enumerate() {
+            for (i, step) in path.steps().iter().enumerate() {
                 prop_assert_eq!(step.level, i);
                 prop_assert!(step.index < PT_ENTRIES);
             }
-            prop_assert!(path.steps.len() <= PT_LEVELS);
-            prop_assert!(!path.steps.is_empty());
+            prop_assert!(path.len() <= PT_LEVELS);
+            prop_assert!(!path.is_empty());
             // Completeness agrees with translate().
             prop_assert_eq!(path.complete, table.translate(page).is_some());
             // The first step is always the root.
-            prop_assert_eq!(path.steps[0].node, table.root());
+            prop_assert_eq!(path.steps()[0].node, table.root());
         }
     }
 }

@@ -201,6 +201,10 @@ pub struct Scenario {
     /// If set, install deterministic fault injection before the workloads
     /// start (seeded from the plan seed and the scenario seed).
     faults: Option<FaultPlan>,
+    /// Overrides the `VMSIM_MEMO` environment default for this run (the
+    /// differential suite runs memo-on and memo-off side by side in one
+    /// process, where a global env var cannot express both).
+    memo: Option<bool>,
 }
 
 impl Scenario {
@@ -219,6 +223,7 @@ impl Scenario {
             machine: None,
             prefragment_run: None,
             faults: None,
+            memo: None,
         }
     }
 
@@ -287,6 +292,14 @@ impl Scenario {
     /// fault-free one.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Forces the walk-memo layer on or off for this run, overriding the
+    /// `VMSIM_MEMO` environment default. The memo layer is validated
+    /// bit-invisible, so this only affects wall-clock time.
+    pub fn memo(mut self, enabled: bool) -> Self {
+        self.memo = Some(enabled);
         self
     }
 
@@ -374,6 +387,12 @@ impl Scenario {
             None => (self.allocator.build(), self.allocator.name()),
         };
         let mut machine = Machine::with_allocator(config, allocator);
+        // VMSIM_MEMO escape hatch: the memo layer is validated bit-invisible
+        // (see the differential suite), so this only affects wall-clock.
+        machine.set_memo_enabled(
+            self.memo
+                .unwrap_or_else(vmsim_config::env::memo_enabled_or_default),
+        );
         if obs.trace {
             machine.install_tracer(vmsim_obs::Tracer::with_capacity(obs.trace_capacity));
         }

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_core.json, the checked-in translation-core baseline.
+#
+# The file holds, per tracked scenario cell, the deterministic cost-model
+# counters (cycles, TLB traffic, memo hits/fills, naive walks) plus
+# informational wall-clock medians for three microkernels. CI's bench-smoke
+# job re-runs the same cells and fails if any cell takes >5% more
+# naive-path walks than this baseline records (wall times never gate).
+#
+# Re-run after any change that intentionally shifts the cost model or the
+# memo layer's coverage, and commit the result:
+#
+#   ./scripts/regen-bench-core.sh
+#   git add BENCH_core.json
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p vmsim-bench --bin bench-core
+./target/release/bench-core --out BENCH_core.json
