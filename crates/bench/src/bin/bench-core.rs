@@ -1,22 +1,12 @@
 //! Regenerates `BENCH_core.json`: the checked-in performance baseline for
 //! the memoizing/batching translation core.
 //!
-//! Two kinds of numbers per tracked cell:
-//!
-//! * **deterministic** — cost-model counters (cycles, TLB traffic) and memo
-//!   counters ([`vmsim_os::MemoStats`]): identical on every machine and
-//!   every run. The CI gate compares these; `naive_walks` (touches that had
-//!   to take the full translation path instead of a memo replay) is the
-//!   regression signal — more naive walks means the memo layer stopped
-//!   covering the workload.
-//! * **informational** — wall-clock timings (whole-cell milliseconds and
-//!   microkernel medians). Machine-dependent; recorded for trend-watching,
-//!   never gated.
-//!
-//! Usage:
+//! The measurement logic lives in [`vmsim_sim::perf`] (shared with the
+//! `vmsim perf` trajectory subcommand); this binary is a thin CLI wrapper
+//! kept for the classic baseline workflow:
 //!
 //! ```text
-//! bench-core                  # print the JSON to stdout
+//! bench-core                  # print the bench-core-v1 JSON to stdout
 //! bench-core --out FILE      # write the JSON to FILE (regen baseline)
 //! bench-core --check FILE    # run, compare against FILE, exit 1 on
 //!                             #   >5% naive-walk regression in any cell
@@ -24,299 +14,60 @@
 //!
 //! Regenerate with `scripts/regen-bench-core.sh` (or directly:
 //! `cargo run --release -p vmsim-bench --bin bench-core -- --out BENCH_core.json`).
+//! For the append-only performance history, use `vmsim perf` instead.
 
-use std::time::Instant;
+use std::process::ExitCode;
 
-use vmsim_os::{Machine, MachineConfig, MemoStats};
-use vmsim_sim::Colocation;
-use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
-use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+use vmsim_sim::perf;
 
-/// Measured steady-state ops per cell. Deliberately small: the baseline must
-/// regenerate in seconds, and the deterministic counters it gates on are
-/// exact at any scale.
-const CELL_OPS: u64 = 20_000;
-
-/// The tracked cells: the fig6 protocol (objdet co-runner at weight 4) for
-/// one low-TLB-pressure benchmark (gcc) and one walk-heavy one (mcf), under
-/// both allocators.
-const CELLS: [(BenchId, &str); 4] = [
-    (BenchId::Gcc, "default"),
-    (BenchId::Gcc, "ptemagnet"),
-    (BenchId::Mcf, "default"),
-    (BenchId::Mcf, "ptemagnet"),
-];
-
-struct CellResult {
-    benchmark: &'static str,
-    allocator: &'static str,
-    cycles: u64,
-    tlb_lookups: u64,
-    tlb_misses: u64,
-    memo: MemoStats,
-    wall_ms: f64,
-}
-
-fn run_cell(bench: BenchId, alloc: &'static str) -> CellResult {
-    let allocator = ptemagnet::registry::resolve(alloc).expect("tracked allocators are registered");
-    let mut machine = Machine::with_allocator(MachineConfig::paper(2, 1024), allocator);
-    machine.set_memo_enabled(vmsim_config::env::memo_enabled_or_default());
-    let mut colo = Colocation::new(machine);
-    let primary = colo.add_app(Box::new(benchmark(bench, 0)), 1);
-    // Seed matches the scenario layer: seed.wrapping_mul(31).wrapping_add(1).
-    colo.add_app(corunner(CoId::Objdet, 1), 4);
-    colo.run_until_steady(primary).expect("init");
-    colo.machine_mut().reset_measurement();
-    let memo_before = colo.machine().memo_stats();
-    let cycles_before = colo.cycles(primary);
-    let start = Instant::now();
-    colo.run_ops(primary, CELL_OPS, |_| {})
-        .expect("measured phase");
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let memo_after = colo.machine().memo_stats();
-    let core = colo.core(primary);
-    let tlb = colo.machine().tlb(core);
-    CellResult {
-        benchmark: bench.name(),
-        allocator: alloc,
-        cycles: colo.cycles(primary) - cycles_before,
-        tlb_lookups: tlb.lookups(),
-        tlb_misses: tlb.misses(),
-        memo: MemoStats {
-            hits: memo_after.hits - memo_before.hits,
-            streak_hits: memo_after.streak_hits - memo_before.streak_hits,
-            fills: memo_after.fills - memo_before.fills,
-            naive_walks: memo_after.naive_walks - memo_before.naive_walks,
-            clears: memo_after.clears - memo_before.clears,
-        },
-        wall_ms,
-    }
-}
-
-/// Median nanoseconds per op of `op` over `iters` calls, sampled three
-/// times (the same shape as the Criterion benches in `benches/harness.rs`,
-/// scaled down so the baseline regenerates in seconds).
-fn median_ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..3)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                op();
-            }
-            start.elapsed().as_secs_f64() * 1e9 / iters as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[1]
-}
-
-struct KernelResult {
-    name: &'static str,
-    ns_per_op: f64,
-}
-
-/// The three microkernels mirroring the `harness.rs` Criterion benches:
-/// cold full walks, memo-hit replays, and a batched VMA run.
-fn run_kernels() -> Vec<KernelResult> {
-    let pages = 4096u64;
-    let mut out = Vec::new();
-
-    // full_walk_cold: stride far beyond TLB and memo reach, memo disabled.
-    let mut m = Machine::new(MachineConfig::paper(1, 1024));
-    m.set_memo_enabled(false);
-    let pid = m.guest_mut().spawn();
-    let base = m.guest_mut().mmap(pid, pages).expect("mmap");
-    for i in 0..pages {
-        m.touch(0, pid, GuestVirtAddr::new(base.raw() + i * PAGE_SIZE), true)
-            .expect("prefault");
-    }
-    let mut i = 0u64;
-    out.push(KernelResult {
-        name: "full_walk_cold",
-        ns_per_op: median_ns_per_op(20_000, || {
-            // Large prime stride defeats TLB and cache locality.
-            i = (i + 257) % pages;
-            m.touch(
-                0,
-                pid,
-                GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
-                false,
-            )
-            .expect("touch");
-        }),
-    });
-
-    // full_walk_memo_hit: one warm page replayed from its memo slot.
-    let mut m = Machine::new(MachineConfig::paper(1, 1024));
-    let pid = m.guest_mut().spawn();
-    let base = m.guest_mut().mmap(pid, 8).expect("mmap");
-    m.touch(0, pid, base, true).expect("warm");
-    m.touch(0, pid, base, false).expect("fill memo");
-    out.push(KernelResult {
-        name: "full_walk_memo_hit",
-        ns_per_op: median_ns_per_op(200_000, || {
-            m.touch(0, pid, base, false).expect("replay");
-        }),
-    });
-
-    // batched_vma_run: 128 pages x 4 touches each through touch_run.
-    let mut m = Machine::new(MachineConfig::paper(1, 1024));
-    let pid = m.guest_mut().spawn();
-    let base = m.guest_mut().mmap(pid, 128).expect("mmap");
-    let run: Vec<(GuestVirtAddr, bool)> = (0..128u64)
-        .flat_map(|p| {
-            let va = GuestVirtAddr::new(base.raw() + p * PAGE_SIZE);
-            [(va, true), (va, false), (va, false), (va, false)]
-        })
-        .collect();
-    m.touch_run(0, pid, &run).expect("warm run");
-    out.push(KernelResult {
-        name: "batched_vma_run",
-        ns_per_op: median_ns_per_op(500, || {
-            m.touch_run(0, pid, &run).expect("run");
-        }),
-    });
-
-    out
-}
-
-fn render_json(cells: &[CellResult], kernels: &[KernelResult]) -> String {
-    use std::fmt::Write;
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench-core-v1\",");
-    let _ = writeln!(s, "  \"measure_ops\": {CELL_OPS},");
-    let _ = writeln!(s, "  \"cells\": [");
-    for (i, c) in cells.iter().enumerate() {
-        let comma = if i + 1 < cells.len() { "," } else { "" };
-        let _ = writeln!(s, "    {{");
-        let _ = writeln!(s, "      \"benchmark\": \"{}\",", c.benchmark);
-        let _ = writeln!(s, "      \"allocator\": \"{}\",", c.allocator);
-        let _ = writeln!(s, "      \"deterministic\": {{");
-        let _ = writeln!(s, "        \"cycles\": {},", c.cycles);
-        let _ = writeln!(s, "        \"tlb_lookups\": {},", c.tlb_lookups);
-        let _ = writeln!(s, "        \"tlb_misses\": {},", c.tlb_misses);
-        let _ = writeln!(s, "        \"memo_hits\": {},", c.memo.hits);
-        let _ = writeln!(s, "        \"memo_streak_hits\": {},", c.memo.streak_hits);
-        let _ = writeln!(s, "        \"memo_fills\": {},", c.memo.fills);
-        let _ = writeln!(s, "        \"naive_walks\": {},", c.memo.naive_walks);
-        let _ = writeln!(s, "        \"memo_clears\": {}", c.memo.clears);
-        let _ = writeln!(s, "      }},");
-        let _ = writeln!(s, "      \"informational\": {{");
-        let _ = writeln!(s, "        \"wall_ms\": {:.1}", c.wall_ms);
-        let _ = writeln!(s, "      }}");
-        let _ = writeln!(s, "    }}{comma}");
-    }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"kernels\": [");
-    for (i, k) in kernels.iter().enumerate() {
-        let comma = if i + 1 < kernels.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{ \"name\": \"{}\", \"informational_ns_per_op\": {:.1} }}{comma}",
-            k.name, k.ns_per_op
-        );
-    }
-    let _ = writeln!(s, "  ]");
-    let _ = writeln!(s, "}}");
-    s
-}
-
-/// Pulls `(benchmark, allocator) -> naive_walks` out of a baseline file.
-/// The format is our own (written by `render_json` above), so a line scan
-/// is enough — no JSON parser dependency needed.
-fn parse_baseline_naive_walks(text: &str) -> Vec<(String, String, u64)> {
-    let mut out = Vec::new();
-    let (mut bench, mut alloc) = (None::<String>, None::<String>);
-    for line in text.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("\"benchmark\": \"") {
-            bench = rest.split('"').next().map(str::to_string);
-        } else if let Some(rest) = line.strip_prefix("\"allocator\": \"") {
-            alloc = rest.split('"').next().map(str::to_string);
-        } else if let Some(rest) = line.strip_prefix("\"naive_walks\": ") {
-            let n: u64 = rest
-                .trim_end_matches(',')
-                .parse()
-                .expect("baseline naive_walks must be an integer");
-            if let (Some(b), Some(a)) = (bench.take(), alloc.take()) {
-                out.push((b, a, n));
-            }
-        }
-    }
-    out
-}
-
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = None;
-    let mut check_path = None;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--out" => out_path = Some(it.next().expect("--out needs a path").clone()),
-            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            "--out" => out = it.next().cloned(),
+            "--check" => check = it.next().cloned(),
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!("bench-core: unknown argument: {other}");
                 eprintln!("usage: bench-core [--out FILE | --check FILE]");
-                std::process::exit(2);
+                return ExitCode::from(2);
             }
         }
     }
 
-    let cells: Vec<CellResult> = CELLS
-        .iter()
-        .map(|&(bench, alloc)| {
-            eprintln!("running {} x {alloc} ...", bench.name());
-            run_cell(bench, alloc)
-        })
-        .collect();
+    let cells = perf::run_cells();
     eprintln!("running microkernels ...");
-    let kernels = run_kernels();
-    let json = render_json(&cells, &kernels);
+    let kernels = perf::run_kernels();
+    let json = perf::baseline_json(&cells, &kernels);
 
-    if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let expected = parse_baseline_naive_walks(&baseline);
-        assert!(
-            !expected.is_empty(),
-            "baseline {path} contains no cells — regenerate it"
-        );
-        let mut failed = false;
-        for (bench, alloc, base_walks) in expected {
-            let Some(cell) = cells
-                .iter()
-                .find(|c| c.benchmark == bench && c.allocator == alloc)
-            else {
-                eprintln!("MISSING: baseline cell {bench} x {alloc} not tracked anymore");
-                failed = true;
-                continue;
-            };
-            let walks = cell.memo.naive_walks;
-            // The gate: >5% more naive-path walks than the baseline means
-            // memo coverage regressed. Fewer walks is an improvement —
-            // regenerate the baseline to lock it in.
-            let limit = base_walks + base_walks / 20;
-            let verdict = if walks > limit { "FAIL" } else { "ok" };
-            eprintln!(
-                "{verdict}: {bench} x {alloc}: naive_walks {walks} (baseline {base_walks}, limit {limit})"
-            );
-            failed |= walks > limit;
-        }
-        if failed {
-            eprintln!("bench-core check FAILED: naive-walk regression over 5%");
-            std::process::exit(1);
+    if let Some(path) = check {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench-core: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let failed = perf::check_baseline(&cells, &baseline);
+        if failed > 0 {
+            eprintln!("bench-core check FAILED: {failed} cell(s) regressed over 5%");
+            return ExitCode::FAILURE;
         }
         eprintln!("bench-core check passed");
-        return;
+        return ExitCode::SUCCESS;
     }
 
-    match out_path {
+    match out {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("bench-core: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
     }
+    ExitCode::SUCCESS
 }

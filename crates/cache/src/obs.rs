@@ -47,10 +47,12 @@ impl MetricSource for Histogram {
         if self.count() > 0 {
             out.push(Metric::u64("p50", self.percentile(0.5)));
             out.push(Metric::u64("p90", self.percentile(0.9)));
+            out.push(Metric::u64("p95", self.percentile(0.95)));
             out.push(Metric::u64("p99", self.percentile(0.99)));
         } else {
             out.push(Metric::u64("p50", 0));
             out.push(Metric::u64("p90", 0));
+            out.push(Metric::u64("p95", 0));
             out.push(Metric::u64("p99", 0));
         }
     }
@@ -87,6 +89,36 @@ mod tests {
         let s = reg.snapshot(0);
         assert_eq!(s.get("walk.count").unwrap().as_u64(), Some(3));
         assert_eq!(s.get("walk.max").unwrap().as_u64(), Some(400));
+        assert!(s.get("walk.p95").is_some());
         assert!(s.get("walk.p99").is_some());
+    }
+
+    #[test]
+    fn empty_histogram_emits_zeroed_percentiles() {
+        let mut reg = Registry::new();
+        reg.record_as("walk", &Histogram::new());
+        let s = reg.snapshot(0);
+        for name in ["walk.p50", "walk.p90", "walk.p95", "walk.p99"] {
+            assert_eq!(s.get(name).unwrap().as_u64(), Some(0), "{name}");
+        }
+    }
+
+    #[test]
+    fn saturated_top_bucket_percentiles_clamp_to_observed_max() {
+        // Values past the last power-of-two bucket boundary all land in
+        // the saturated top bucket; exported percentiles must clamp to
+        // the observed max instead of reporting the bucket's lower bound.
+        let mut h = Histogram::new();
+        let huge = u64::MAX - 3;
+        for _ in 0..100 {
+            h.record(huge);
+        }
+        let mut reg = Registry::new();
+        reg.record_as("walk", &h);
+        let s = reg.snapshot(0);
+        for name in ["walk.p50", "walk.p90", "walk.p95", "walk.p99"] {
+            assert_eq!(s.get(name).unwrap().as_u64(), Some(huge), "{name}");
+        }
+        assert_eq!(s.get("walk.max").unwrap().as_u64(), Some(huge));
     }
 }

@@ -11,6 +11,8 @@
 //! | `VMSIM_EPOCH_OPS` | Registry-snapshot sampling interval (`0` = off)     |
 //! | `VMSIM_CHAOS_CELL`| Supervisor drill: panic cell `i` (`i` or `i:k`)     |
 //! | `VMSIM_MEMO`      | Translation memo layer: `on`/`1` (default), `off`/`0` |
+//! | `VMSIM_PROFILE`   | Phase profiler: `on`/`1`, `off`/`0` (default)       |
+//! | `VMSIM_HEARTBEAT_OPS` | Heartbeat cadence in machine ops (positive)     |
 //!
 //! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
 //! warns once per process on use.
@@ -38,6 +40,10 @@ pub const VAR_CHAOS_CELL: &str = "VMSIM_CHAOS_CELL";
 /// Translation memo layer escape hatch (validated bit-invisible; off only
 /// for debugging or A/B timing).
 pub const VAR_MEMO: &str = "VMSIM_MEMO";
+/// Phase-profiler toggle (validated bit-invisible to results).
+pub const VAR_PROFILE: &str = "VMSIM_PROFILE";
+/// Live-telemetry heartbeat cadence, in machine ops per heartbeat.
+pub const VAR_HEARTBEAT_OPS: &str = "VMSIM_HEARTBEAT_OPS";
 
 /// A deliberate failure injected into the supervised runtime for drills:
 /// cell `cell` panics on its first `fail_attempts` attempts. Parsed from
@@ -288,6 +294,69 @@ pub fn memo_enabled_or_default() -> bool {
     }
 }
 
+/// Phase-profiler override: `VMSIM_PROFILE`. Off by default; `on`/`1`
+/// installs the span profiler on every run's machine. Like the tracer and
+/// memo knobs, the profiler is proven bit-invisible to `RunMetrics`, so
+/// this only adds wall-clock cost and profile artifacts.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a recognized
+/// boolean spelling (`on`/`off`, `1`/`0`, `true`/`false`).
+pub fn profile() -> Result<bool, EnvError> {
+    match raw(VAR_PROFILE) {
+        None => Ok(false),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => Ok(true),
+            "0" | "off" | "false" | "no" => Ok(false),
+            _ => Err(EnvError {
+                var: VAR_PROFILE,
+                value: v,
+                reason: "expected on/off, 1/0, or true/false",
+            }),
+        },
+    }
+}
+
+/// Heartbeat-cadence override: `VMSIM_HEARTBEAT_OPS`. `None` = use the
+/// built-in default cadence. The value is a *sim-op* interval, so the
+/// points at which heartbeats fire are deterministic even though their
+/// wall-clock payload is not. Heartbeats themselves are enabled by
+/// `vmsim run --progress`, not by this variable.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a positive integer.
+pub fn heartbeat_ops() -> Result<Option<u64>, EnvError> {
+    match raw(VAR_HEARTBEAT_OPS) {
+        None => Ok(None),
+        Some(v) => {
+            let n = parse_u64(VAR_HEARTBEAT_OPS, v.clone())?;
+            if n == 0 {
+                return Err(EnvError {
+                    var: VAR_HEARTBEAT_OPS,
+                    value: v,
+                    reason: "heartbeat cadence must be positive",
+                });
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Lenient wrapper over [`heartbeat_ops`]: a malformed value warns once
+/// and yields `None` (default cadence).
+pub fn heartbeat_ops_or_default() -> Option<u64> {
+    static MALFORMED: Once = Once::new();
+    match heartbeat_ops() {
+        Ok(n) => n,
+        Err(e) => {
+            warn_once(&MALFORMED, &format!("ignoring malformed {e}"));
+            None
+        }
+    }
+}
+
 /// Validates every recognized override, returning all errors (empty =
 /// clean environment). `vmsim validate` prints these.
 pub fn check() -> Vec<EnvError> {
@@ -310,6 +379,12 @@ pub fn check() -> Vec<EnvError> {
     if let Err(e) = memo_enabled() {
         errors.push(e);
     }
+    if let Err(e) = profile() {
+        errors.push(e);
+    }
+    if let Err(e) = heartbeat_ops() {
+        errors.push(e);
+    }
     errors
 }
 
@@ -327,6 +402,8 @@ mod tests {
             VAR_THREADS,
             VAR_TRACE,
             VAR_EPOCH_OPS,
+            VAR_PROFILE,
+            VAR_HEARTBEAT_OPS,
         ] {
             std::env::remove_var(var);
         }
@@ -407,9 +484,28 @@ mod tests {
         assert!(memo_enabled().is_err());
         assert!(memo_enabled_or_default());
 
+        // Profiler knob: defaults off, boolean spellings, rejects junk.
+        assert_eq!(profile(), Ok(false));
+        for (v, want) in [("on", true), ("1", true), ("off", false), ("NO", false)] {
+            std::env::set_var(VAR_PROFILE, v);
+            assert_eq!(profile(), Ok(want), "VMSIM_PROFILE={v}");
+        }
+        std::env::set_var(VAR_PROFILE, "sometimes");
+        assert!(profile().is_err());
+
+        // Heartbeat cadence: positive op interval, default when unset.
+        assert_eq!(heartbeat_ops(), Ok(None));
+        std::env::set_var(VAR_HEARTBEAT_OPS, "2500");
+        assert_eq!(heartbeat_ops(), Ok(Some(2500)));
+        for bad in ["0", "often"] {
+            std::env::set_var(VAR_HEARTBEAT_OPS, bad);
+            assert!(heartbeat_ops().is_err(), "{bad:?} must be rejected");
+        }
+        assert_eq!(heartbeat_ops_or_default(), None);
+
         // check() reports every malformed variable at once.
         let errors = check();
-        assert_eq!(errors.len(), 6);
+        assert_eq!(errors.len(), 8);
         for var in [
             VAR_OPS,
             VAR_THREADS,
@@ -417,6 +513,8 @@ mod tests {
             VAR_EPOCH_OPS,
             VAR_CHAOS_CELL,
             VAR_MEMO,
+            VAR_PROFILE,
+            VAR_HEARTBEAT_OPS,
         ] {
             assert!(errors.iter().any(|e| e.var == var), "{var} reported");
         }
@@ -429,6 +527,8 @@ mod tests {
             VAR_EPOCH_OPS,
             VAR_CHAOS_CELL,
             VAR_MEMO,
+            VAR_PROFILE,
+            VAR_HEARTBEAT_OPS,
         ] {
             std::env::remove_var(var);
         }

@@ -578,10 +578,11 @@ impl ExperimentManifest {
         let _ = writeln!(out, "  \"measure_ops\": {},", self.measure_ops);
         let _ = writeln!(
             out,
-            "  \"obs\": {{\"trace\": {}, \"trace_capacity\": {}, \"epoch_ops\": {}}},",
+            "  \"obs\": {{\"trace\": {}, \"trace_capacity\": {}, \"epoch_ops\": {}, \"profile\": {}}},",
             self.obs.trace,
             self.obs.trace_capacity,
-            opt_u64(self.obs.epoch_ops)
+            opt_u64(self.obs.epoch_ops),
+            self.obs.profile
         );
         let _ = writeln!(out, "  \"sim\": {},", opt_sim(&self.sim));
         let _ = writeln!(out, "  \"faults\": {},", opt_faults(&self.faults));
@@ -650,6 +651,14 @@ impl ExperimentManifest {
                     })?
                 },
                 epoch_ops: get_opt_u64(node, "obs", "epoch_ops")?,
+                // Absent in pre-profiler manifests; default off rather
+                // than rejecting them.
+                profile: match node.get("profile") {
+                    None | Some(Json::Null) => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| ManifestError::new("$.obs.profile", "expected a boolean"))?,
+                },
             }
         };
         let sim = match field(&doc, "sim")? {

@@ -16,6 +16,9 @@ pub struct ObsConfig {
     /// Capture a registry snapshot every this many machine ops during the
     /// measured phase (`None` = endpoints only).
     pub epoch_ops: Option<u64>,
+    /// Install the phase profiler on the machine (profile JSON + folded
+    /// stacks artifacts; bit-invisible to `RunMetrics`).
+    pub profile: bool,
 }
 
 impl ObsConfig {
@@ -25,6 +28,7 @@ impl ObsConfig {
             trace: false,
             trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
             epoch_ops: None,
+            profile: false,
         }
     }
 
@@ -35,11 +39,20 @@ impl ObsConfig {
             trace: true,
             trace_capacity: vmsim_obs::DEFAULT_CAPACITY,
             epoch_ops: Some(epoch_ops.max(1)),
+            profile: false,
         }
     }
 
-    /// Reads the `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` environment knobs via
-    /// [`crate::env`].
+    /// Profiling on, everything else off: the cheapest observed config.
+    pub fn profiled() -> Self {
+        Self {
+            profile: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Reads the `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` / `VMSIM_PROFILE`
+    /// environment knobs via [`crate::env`].
     ///
     /// # Errors
     ///
@@ -52,12 +65,13 @@ impl ObsConfig {
             cfg.trace_capacity = capacity;
         }
         cfg.epoch_ops = env::epoch_ops()?;
+        cfg.profile = env::profile()?;
         Ok(cfg)
     }
 
     /// Whether this configuration observes anything at all.
     pub fn is_enabled(&self) -> bool {
-        self.trace || self.epoch_ops.is_some()
+        self.trace || self.epoch_ops.is_some() || self.profile
     }
 }
 
@@ -78,5 +92,7 @@ mod tests {
         assert!(on.trace && on.epoch_ops == Some(500));
         assert_eq!(ObsConfig::enabled(0).epoch_ops, Some(1));
         assert_eq!(ObsConfig::default(), ObsConfig::disabled());
+        let prof = ObsConfig::profiled();
+        assert!(prof.is_enabled() && prof.profile && !prof.trace);
     }
 }

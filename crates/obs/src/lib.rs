@@ -1,6 +1,6 @@
 //! `vmsim-obs` — unified observability layer for the PTEMagnet simulator.
 //!
-//! Three pillars, all usable independently:
+//! Four pillars, all usable independently:
 //!
 //! 1. **Metrics registry** ([`metric`]): every stats struct in the simulator
 //!    implements [`MetricSource`]; a [`Registry`] collects them into an
@@ -12,6 +12,10 @@
 //!    simulation outcome is identical with tracing on or off.
 //! 3. **Epoch time series** ([`series`]): the engine snapshots the registry
 //!    every N ops, yielding trajectories instead of endpoints.
+//! 4. **Phase profiler** ([`prof`]): hierarchical spans with static phase
+//!    IDs accumulating simulated cycles and wall-clock self-time per
+//!    phase, exported as profile JSON and folded stacks. Gated on
+//!    `Option<Profiler>` like the tracer, so disabled costs one branch.
 //!
 //! The crate is dependency-free apart from the (vendored) `serde` marker
 //! derives and includes a minimal JSON parser ([`json`]) used for schema
@@ -19,10 +23,12 @@
 
 pub mod json;
 pub mod metric;
+pub mod prof;
 pub mod series;
 pub mod trace;
 
 pub use metric::{delta, Delta, Metric, MetricSource, Registry, Snapshot, Value};
+pub use prof::{Phase, PhaseProfile, PhaseTotals, Profiler, PHASE_COUNT};
 pub use series::TimeSeries;
 pub use trace::{Event, EventKind, Tracer, DEFAULT_CAPACITY};
 
@@ -36,6 +42,8 @@ fn assert_serde_impls() {
     serializable::<Delta>();
     serializable::<Event>();
     serializable::<TimeSeries>();
+    serializable::<PhaseProfile>();
     deserializable::<Snapshot>();
     deserializable::<Event>();
+    deserializable::<PhaseProfile>();
 }

@@ -119,6 +119,13 @@ impl Registry {
         self.metrics.push(Metric::f64(name, value));
     }
 
+    /// Finish collection and diff against an earlier snapshot of the
+    /// same machine in one step: `reg.delta_since(op, &base)` is
+    /// `reg.snapshot(op).delta(&base)` without naming the intermediate.
+    pub fn delta_since(self, op: u64, base: &Snapshot) -> Delta {
+        self.snapshot(op).delta(base)
+    }
+
     /// Finish collection: sort by name and stamp with the sim-op clock.
     pub fn snapshot(mut self, op: u64) -> Snapshot {
         self.metrics.sort_by(|a, b| a.name.cmp(&b.name));
@@ -331,6 +338,17 @@ mod tests {
         assert_eq!(d.get("fake.count"), Some(6.0));
         assert_eq!(d.get("fake.rate"), Some(3.0));
         assert_eq!(d.nonzero().count(), 2);
+    }
+
+    #[test]
+    fn delta_since_matches_snapshot_then_delta() {
+        let base = snap(4, 100);
+        let mut reg = Registry::new();
+        reg.record(&Fake(10));
+        let d = reg.delta_since(500, &base);
+        assert_eq!(d, snap(10, 500).delta(&base));
+        assert_eq!(d.ops, 400);
+        assert_eq!(d.get("fake.count"), Some(6.0));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use vmsim_cache::{
     AccessKind, CacheHierarchy, HierarchyConfig, Histogram, PageWalkCaches, PwcConfig, Tlb,
     TlbConfig,
 };
+use vmsim_obs::Phase;
 use vmsim_pt::LineCensus;
 use vmsim_types::{
     FaultInjector, FaultPlan, GuestFrame, GuestVirtAddr, GuestVirtPage, HostFrame, HostPhysAddr,
@@ -188,6 +189,11 @@ pub struct Machine {
     /// Optional event tracer. `None` (the default) costs one branch per
     /// event site and keeps the simulation outcome bit-identical.
     tracer: Option<vmsim_obs::Tracer>,
+    /// Optional phase profiler. Same contract as the tracer: `None` costs
+    /// one branch per span site and the simulation outcome is
+    /// bit-identical with profiling on or off (the profiler only reads
+    /// wall clocks and already-computed cycle charges).
+    prof: Option<vmsim_obs::Profiler>,
     /// Optional fault-injection driver. `None` (the default) costs one
     /// branch per op; the probabilistic injector itself lives inside the
     /// guest buddy allocator.
@@ -254,6 +260,7 @@ impl Machine {
             config,
             ops: 0,
             tracer: None,
+            prof: None,
             faults: None,
         }
     }
@@ -278,6 +285,51 @@ impl Machine {
     /// The installed tracer, if any.
     pub fn tracer(&self) -> Option<&vmsim_obs::Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Installs a phase profiler; translation phases accrue wall-clock
+    /// self-time and simulated cycles into it until it is taken back.
+    pub fn install_profiler(&mut self, prof: vmsim_obs::Profiler) {
+        self.prof = Some(prof);
+    }
+
+    /// Removes and returns the profiler (with its accumulated phase
+    /// totals), if one was installed.
+    pub fn take_profiler(&mut self) -> Option<vmsim_obs::Profiler> {
+        self.prof.take()
+    }
+
+    /// The installed profiler, if any.
+    pub fn profiler(&self) -> Option<&vmsim_obs::Profiler> {
+        self.prof.as_ref()
+    }
+
+    /// Opens a profiler span for caller-side phases (the engine's
+    /// workload loop, the scenario's epoch sampling). No-op when no
+    /// profiler is installed.
+    #[inline]
+    pub fn prof_enter(&mut self, phase: vmsim_obs::Phase) {
+        if let Some(p) = self.prof.as_mut() {
+            p.begin(phase);
+        }
+    }
+
+    /// Closes the innermost profiler span opened by [`Machine::prof_enter`]
+    /// (or internally). No-op when no profiler is installed.
+    #[inline]
+    pub fn prof_exit(&mut self) {
+        if let Some(p) = self.prof.as_mut() {
+            p.end();
+        }
+    }
+
+    /// Charges simulated cycles to a phase. No-op when no profiler is
+    /// installed.
+    #[inline]
+    fn prof_cycles(&mut self, phase: vmsim_obs::Phase, cycles: u64) {
+        if let Some(p) = self.prof.as_mut() {
+            p.add_cycles(phase, cycles);
+        }
     }
 
     /// Installs a fault plan: a seeded injector goes into the guest buddy
@@ -404,17 +456,28 @@ impl Machine {
         // fragmentation shock can deny this very op's reservation chunk. A
         // fired trigger may mutate translation-relevant state wholesale, so
         // it drops every memo.
-        if self.faults.is_some() && self.drive_fault_schedule() {
-            self.clear_memos();
+        if self.faults.is_some() {
+            self.prof_enter(Phase::FaultDriver);
+            let fired = self.drive_fault_schedule();
+            self.prof_exit();
+            if fired {
+                self.clear_memos();
+            }
         }
         if self.memo_enabled {
-            if let Some((out, _)) = self.memo_replay(core, pid, va, is_write) {
+            self.prof_enter(Phase::MemoProbe);
+            let replayed = self.memo_replay(core, pid, va, is_write);
+            self.prof_exit();
+            if let Some((out, _)) = replayed {
+                self.prof_cycles(Phase::MemoProbe, out.cycles);
                 return Ok(out);
             }
         }
         let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
         if self.memo_enabled {
+            self.prof_enter(Phase::Fill);
             self.memo_fill(core, pid, va, write_ok, data_hpa);
+            self.prof_exit();
         }
         Ok(out)
     }
@@ -443,22 +506,35 @@ impl Machine {
         let mut prev_write_ok = false;
         for &(va, is_write) in run {
             self.ops += 1;
-            if self.faults.is_some() && self.drive_fault_schedule() {
-                self.clear_memos();
-                prev_va = u64::MAX;
+            if self.faults.is_some() {
+                self.prof_enter(Phase::FaultDriver);
+                let fired = self.drive_fault_schedule();
+                self.prof_exit();
+                if fired {
+                    self.clear_memos();
+                    prev_va = u64::MAX;
+                }
             }
             if self.memo_enabled && va.raw() == prev_va && (!is_write || prev_write_ok) {
                 // Same-page streak: the previous op touched this very
                 // address and nothing intervened, so the TLB entry and the
                 // data line are still MRU in their sets by construction.
+                self.prof_enter(Phase::MemoProbe);
                 self.memo_stats.streak_hits += 1;
                 self.tlbs[core].replay_l1_hit();
-                total += self.cost.work_cycles_per_access
+                let cycles = self.cost.work_cycles_per_access
                     + self.caches.replay_l1_hit(core, AccessKind::Data);
+                total += cycles;
+                self.prof_cycles(Phase::MemoProbe, cycles);
+                self.prof_exit();
                 continue;
             }
             if self.memo_enabled {
-                if let Some((out, write_ok)) = self.memo_replay(core, pid, va, is_write) {
+                self.prof_enter(Phase::MemoProbe);
+                let replayed = self.memo_replay(core, pid, va, is_write);
+                self.prof_exit();
+                if let Some((out, write_ok)) = replayed {
+                    self.prof_cycles(Phase::MemoProbe, out.cycles);
                     total += out.cycles;
                     prev_va = va.raw();
                     prev_write_ok = write_ok;
@@ -467,7 +543,9 @@ impl Machine {
             }
             let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
             if self.memo_enabled {
+                self.prof_enter(Phase::Fill);
                 self.memo_fill(core, pid, va, write_ok, data_hpa);
+                self.prof_exit();
             }
             total += out.cycles;
             prev_va = va.raw();
@@ -571,7 +649,12 @@ impl Machine {
         };
 
         // 1. Ensure the page is mapped (guest fault) and writable if needed
-        //    (COW break).
+        //    (COW break). Profiled as the alloc phase: buddy allocations,
+        //    reservations, COW copies, and host backing all happen here.
+        // An error propagating out of this section leaks the span; that is
+        // fine — touch errors abort the run and `Profiler::finish` closes
+        // dangling spans.
+        self.prof_enter(Phase::Alloc);
         let cycles_before_fault = out.cycles;
         let pte = self.guest.process(pid)?.page_table.lookup(vpn);
         // Whether, after the fault section, the page is writable without
@@ -735,9 +818,14 @@ impl Machine {
                 );
             }
         }
+        self.prof_cycles(Phase::Alloc, out.cycles - cycles_before_fault);
+        self.prof_exit();
 
         // 2. Translate.
-        let hfn = match self.tlbs[core].lookup(pid.0, vpn) {
+        self.prof_enter(Phase::TlbLookup);
+        let looked_up = self.tlbs[core].lookup(pid.0, vpn);
+        self.prof_exit();
+        let hfn = match looked_up {
             Some(hfn) => {
                 out.tlb_hit = true;
                 hfn
@@ -750,9 +838,15 @@ impl Machine {
             }
         };
 
-        // 3. Access the data itself.
+        // 3. Access the data itself. The base per-op work and the data
+        // access are the workload's own execution, not translation.
         let data_hpa = HostPhysAddr::new((hfn.raw() << PAGE_SHIFT) + va.page_offset());
-        out.cycles += self.caches.access(core, data_hpa, AccessKind::Data).cycles;
+        let data_cycles = self.caches.access(core, data_hpa, AccessKind::Data).cycles;
+        out.cycles += data_cycles;
+        self.prof_cycles(
+            Phase::Workload,
+            self.cost.work_cycles_per_access + data_cycles,
+        );
         Ok((out, write_ok, data_hpa))
     }
 
@@ -886,10 +980,14 @@ impl Machine {
                 None => return Err(MemError::Unmapped { vpn: vpn.raw() }),
             }
         };
+        self.prof_enter(Phase::GuestWalk);
 
         // The guest PWC may let us skip upper guest levels (and the host
         // walks needed to locate those nodes).
-        let start_level = match self.pwcs[core].guest_lookup(asid, vpn) {
+        self.prof_enter(Phase::Pwc);
+        let guest_pwc_hit = self.pwcs[core].guest_lookup(asid, vpn);
+        self.prof_exit();
+        let start_level = match guest_pwc_hit {
             Some((level, _gfn, _hfn)) => level + 1,
             None => 0,
         };
@@ -906,10 +1004,12 @@ impl Machine {
             // Touch the gPT entry itself.
             let entry_hpa =
                 HostPhysAddr::new((node_hfn.raw() << PAGE_SHIFT) + step.index * PTE_SIZE);
-            cycles += self
+            let entry_cycles = self
                 .caches
                 .access(core, entry_hpa, AccessKind::guest_pt(step.level))
                 .cycles;
+            cycles += entry_cycles;
+            self.prof_cycles(Phase::GuestWalk, entry_cycles);
             // Cache the walk prefix completed at this node.
             if step.level > 0 {
                 self.pwcs[core].guest_insert(asid, vpn, step.level - 1, step.node, node_hfn);
@@ -919,8 +1019,10 @@ impl Machine {
         // Final host walk: translate the data page itself.
         let (data_hfn, hf) = self.host_frame_of(core, data_gfn, &mut cycles)?;
         host_faults += hf;
+        self.prof_enter(Phase::Fill);
         self.tlbs[core].insert(asid, vpn, data_hfn);
         self.walk_hist[core].record(cycles);
+        self.prof_exit();
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.emit(
                 self.ops,
@@ -931,6 +1033,7 @@ impl Machine {
                 },
             );
         }
+        self.prof_exit();
         Ok((data_hfn, cycles, host_faults))
     }
 
@@ -954,9 +1057,13 @@ impl Machine {
         gfn: GuestFrame,
         cycles: &mut u64,
     ) -> Result<(HostFrame, u32)> {
-        if let Some(hfn) = self.pwcs[core].nested_lookup(gfn) {
+        self.prof_enter(Phase::Pwc);
+        let nested_hit = self.pwcs[core].nested_lookup(gfn);
+        self.prof_exit();
+        if let Some(hfn) = nested_hit {
             return Ok((hfn, 0));
         }
+        self.prof_enter(Phase::HostWalk);
         let hvpn = self.host.hvpn_of(gfn);
         let mut host_faults = 0u32;
         let (path, hfn) = match self.host.walk_translate(hvpn) {
@@ -965,12 +1072,16 @@ impl Machine {
                 self.host.fault_unchecked(hvpn)?;
                 host_faults += 1;
                 *cycles += self.cost.host_fault_cycles;
+                self.prof_cycles(Phase::HostWalk, self.cost.host_fault_cycles);
                 let (path, hfn) = self.host.walk_translate(hvpn);
                 (path, hfn.expect("faulted in above"))
             }
         };
         debug_assert!(path.complete);
-        let start_level = match self.pwcs[core].host_lookup(hvpn) {
+        self.prof_enter(Phase::Pwc);
+        let host_pwc_hit = self.pwcs[core].host_lookup(hvpn);
+        self.prof_exit();
+        let start_level = match host_pwc_hit {
             Some((level, _node)) => level + 1,
             None => 0,
         };
@@ -979,15 +1090,18 @@ impl Machine {
             // Host PT nodes live in host-physical frames, so the entry
             // address is directly host-physical.
             let hpa = HostPhysAddr::new(step.entry_addr_raw());
-            *cycles += self
+            let entry_cycles = self
                 .caches
                 .access(core, hpa, AccessKind::host_pt(level))
                 .cycles;
+            *cycles += entry_cycles;
+            self.prof_cycles(Phase::HostWalk, entry_cycles);
             if level > 0 {
                 self.pwcs[core].host_insert(hvpn, level - 1, step.node);
             }
         }
         self.pwcs[core].nested_insert(gfn, hfn);
+        self.prof_exit();
         Ok((hfn, host_faults))
     }
 
@@ -1651,6 +1765,94 @@ mod tests {
         assert_eq!(naive_out, memo_out);
         assert_eq!(naive_snap, memo_snap);
         assert_eq!(naive_events, memo_events, "trace streams must match");
+    }
+
+    #[test]
+    fn profiler_is_bit_invisible_and_accounts_every_cycle() {
+        use vmsim_obs::Phase;
+        let run = |profile: bool| {
+            let mut m = machine();
+            if profile {
+                m.install_profiler(vmsim_obs::Profiler::new());
+            }
+            let outcomes = mixed_workload(&mut m);
+            let profile = m.take_profiler().map(|p| p.finish(0));
+            (outcomes, m.metrics_snapshot(), profile)
+        };
+        let (plain_out, plain_snap, none) = run(false);
+        let (prof_out, prof_snap, profile) = run(true);
+        assert!(none.is_none());
+        assert_eq!(plain_out, prof_out, "outcomes must be bit-identical");
+        assert_eq!(plain_snap, prof_snap, "snapshots must be bit-identical");
+
+        // The per-phase cycle ledger partitions the total cycle cost.
+        let profile = profile.expect("profiler installed");
+        let total_cycles: u64 = plain_out.iter().map(|o| o.cycles).sum();
+        let attributed: u64 = profile.phases.iter().map(|p| p.cycles).sum();
+        assert_eq!(attributed, total_cycles, "phase cycles must partition");
+        // The workload faults, walks, memo-replays, and allocates.
+        for phase in [
+            Phase::MemoProbe,
+            Phase::GuestWalk,
+            Phase::HostWalk,
+            Phase::Alloc,
+            Phase::Workload,
+        ] {
+            assert!(
+                profile.get(phase).cycles > 0,
+                "phase {} accrued no cycles",
+                phase.name()
+            );
+        }
+        // Span accounting: every touch probes the TLB or replays a memo.
+        assert!(profile.get(Phase::TlbLookup).enters > 0);
+        assert!(profile.get(Phase::Fill).enters > 0);
+    }
+
+    #[test]
+    fn profiled_touch_run_matches_profiled_per_op_touches() {
+        // touch_run's streak fast path charges its cycles to memo_probe;
+        // the equivalence with per-op stepping must hold for the
+        // deterministic profile columns too.
+        let mut m = machine();
+        m.install_profiler(vmsim_obs::Profiler::new());
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 4).unwrap();
+        let run: Vec<(GuestVirtAddr, bool)> = (0..32)
+            .map(|i| (GuestVirtAddr::new(va.raw() + (i / 8) * 4096), false))
+            .collect();
+        let batched_total = m.touch_run(0, pid, &run).unwrap();
+        let batched: Vec<(u64, u64)> = m
+            .take_profiler()
+            .unwrap()
+            .finish(0)
+            .phases
+            .iter()
+            .map(|p| (p.cycles, p.enters))
+            .collect();
+
+        let mut m = machine();
+        m.install_profiler(vmsim_obs::Profiler::new());
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 4).unwrap();
+        let mut per_op_total = 0;
+        for i in 0..32u64 {
+            per_op_total += m
+                .touch(0, pid, GuestVirtAddr::new(va.raw() + (i / 8) * 4096), false)
+                .unwrap()
+                .cycles;
+        }
+        let per_op: Vec<(u64, u64)> = m
+            .take_profiler()
+            .unwrap()
+            .finish(0)
+            .phases
+            .iter()
+            .map(|p| (p.cycles, p.enters))
+            .collect();
+        assert_eq!(batched_total, per_op_total);
+        let total = |v: &[(u64, u64)]| -> u64 { v.iter().map(|&(c, _)| c).sum() };
+        assert_eq!(total(&batched), total(&per_op), "cycle ledgers agree");
     }
 
     #[test]

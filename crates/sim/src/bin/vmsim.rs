@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL]
+//!           [--progress FILE]
+//! vmsim perf [--check] [--out FILE]
 //! vmsim list
 //! vmsim validate <manifest.json>...
 //! vmsim emit [DIR]
@@ -10,9 +12,21 @@
 //! `run` executes each manifest through the `vmsim-sim` supervised driver,
 //! prints the paper-style report, writes `DIR/<name>.json` (default
 //! `results/`) with every run's metrics, and — when the manifest enables
-//! observability — per-cell `trace_<name>_<i>.jsonl` and
-//! `series_<name>_<i>.csv` artifacts. Every JSON artifact is re-parsed
+//! observability — per-cell `trace_<name>_<i>.jsonl`,
+//! `series_<name>_<i>.csv`, and (with profiling on) `profile_<name>_<i>.json`
+//! plus `profile_<name>.folded` artifacts. Every JSON artifact is re-parsed
 //! after writing; failures are diagnosed per path, never panicked on.
+//!
+//! `--progress FILE` streams live JSONL heartbeats (ops done, ops/sec,
+//! ETA, memo hit rate, retry state) to FILE while cells execute, plus a
+//! one-line stderr summary per beat. The stream is wall-clock telemetry
+//! only: results are bit-identical with and without it. Cadence is
+//! deterministic in op space (`VMSIM_HEARTBEAT_OPS` ops between beats).
+//!
+//! `perf` runs the pinned bench-core cells and appends a stamped entry to
+//! the checked-in perf trajectory (`BENCH_trajectory.json`); `--check`
+//! instead compares the newest entry against the previous one and fails on
+//! deterministic-counter regressions (see `vmsim_sim::perf`).
 //!
 //! Matrix runs are crash-safe: each completed cell is appended to
 //! `DIR/<name>.journal.jsonl` as it finishes, and `--resume <journal>`
@@ -49,12 +63,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vmsim_config::{builtin, env, ChaosPlan, ExperimentManifest, ExperimentSpec, ObsConfig};
-use vmsim_obs::json;
+use vmsim_obs::{json, PhaseProfile};
 use vmsim_sim::driver::{self, Supervisor};
-use vmsim_sim::Journal;
+use vmsim_sim::{Journal, Progress};
 
 const USAGE: &str = "usage:
-  vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL]
+  vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL] [--progress FILE]
+  vmsim perf [--check] [--out FILE]
   vmsim list
   vmsim validate <manifest.json>...
   vmsim emit [DIR]";
@@ -66,6 +81,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("perf") => vmsim_sim::perf::cmd_perf(&args[1..]),
         Some("list") => cmd_list(),
         Some("validate") => cmd_validate(&args[1..]),
         Some("emit") => cmd_emit(args.get(1).map_or("manifests", String::as_str)),
@@ -104,6 +120,7 @@ fn apply_env(manifest: &mut ExperimentManifest) -> Result<(), env::EnvError> {
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut resume: Option<PathBuf> = None;
+    let mut progress_path: Option<PathBuf> = None;
     let mut sources: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -122,6 +139,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--progress" => match it.next() {
+                Some(path) => progress_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("vmsim run: --progress needs a stream file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             _ => sources.push(arg),
         }
     }
@@ -133,6 +157,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("vmsim run: --resume takes exactly one manifest\n{USAGE}");
         return ExitCode::from(2);
     }
+    if progress_path.is_some() && sources.len() != 1 {
+        eprintln!("vmsim run: --progress takes exactly one manifest\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let heartbeat_ops = match env::heartbeat_ops() {
+        Ok(interval) => interval.unwrap_or(vmsim_sim::DEFAULT_HEARTBEAT_OPS),
+        Err(e) => {
+            eprintln!("vmsim run: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let chaos = match env::chaos_cell() {
         Ok(plan) => plan,
         Err(e) => {
@@ -148,7 +183,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut artifact_failures = 0u32;
     let mut quarantined = 0u64;
     for source in sources {
-        match run_one(source, &out_dir, resume.as_deref(), chaos) {
+        match run_one(
+            source,
+            &out_dir,
+            resume.as_deref(),
+            progress_path.as_deref(),
+            heartbeat_ops,
+            chaos,
+        ) {
             Ok(stats) => {
                 artifact_failures += stats.artifact_failures;
                 quarantined += stats.quarantined;
@@ -182,6 +224,8 @@ fn run_one(
     source: &str,
     out_dir: &Path,
     resume: Option<&Path>,
+    progress_path: Option<&Path>,
+    heartbeat_ops: u64,
     chaos: Option<ChaosPlan>,
 ) -> Result<RunStats, String> {
     let mut manifest = load(source)?;
@@ -223,10 +267,20 @@ fn run_one(
         }
     }
 
+    // An unusable --progress path is a usage error, like an unusable
+    // --resume journal: the user named a stream they cannot have.
+    let progress = match progress_path {
+        Some(path) => {
+            Some(Progress::create(path, &manifest, heartbeat_ops).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
     let t0 = std::time::Instant::now();
     let sup = Supervisor {
         journal: journal.as_ref(),
         chaos,
+        progress: progress.as_ref(),
     };
     let run = driver::run_supervised(&manifest, &sup).map_err(|e| e.to_string())?;
     print!("{}", run.report());
@@ -259,6 +313,49 @@ fn run_one(
     }
 
     if manifest.obs.is_enabled() {
+        // Profiles exist only on freshly executed cells (the journal does
+        // not persist them); the folded artifact merges every profiled
+        // cell into one flamegraph-ready file.
+        let mut merged: Option<PhaseProfile> = None;
+        for cell in &run.cells {
+            if let Some(profile) = cell.observed().and_then(|o| o.profile.as_ref()) {
+                let i = cell.index;
+                let path = out_dir.join(format!("profile_{}_{i}.json", manifest.name));
+                let mut text = profile.to_json();
+                text.push('\n');
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("FAIL {}: cannot write: {e}", path.display());
+                    stats.artifact_failures += 1;
+                } else if let Err(e) = json::parse(&text) {
+                    eprintln!("FAIL {}: {e:?}", path.display());
+                    stats.artifact_failures += 1;
+                }
+                match merged.as_mut() {
+                    None => merged = Some(profile.clone()),
+                    Some(m) => {
+                        m.total_wall_ns += profile.total_wall_ns;
+                        for (acc, t) in m.phases.iter_mut().zip(&profile.phases) {
+                            acc.wall_ns += t.wall_ns;
+                            acc.cycles += t.cycles;
+                            acc.enters += t.enters;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(m) = &merged {
+            let path = out_dir.join(format!("profile_{}.folded", manifest.name));
+            if let Err(e) = std::fs::write(&path, m.to_folded()) {
+                eprintln!("FAIL {}: cannot write: {e}", path.display());
+                stats.artifact_failures += 1;
+            } else {
+                eprintln!(
+                    "vmsim: wrote {} ({:.1}% of wall time attributed)",
+                    path.display(),
+                    m.attributed_fraction() * 100.0
+                );
+            }
+        }
         for cell in &run.cells {
             let (Some(jsonl), Some(csv)) = (cell.events_jsonl(), cell.series_csv()) else {
                 continue; // quarantined: no artifacts to write
@@ -319,6 +416,10 @@ fn run_one(
     }
     if let Some(err) = journal.as_ref().and_then(Journal::io_error) {
         eprintln!("FAIL journal: {err}");
+        stats.artifact_failures += 1;
+    }
+    if let Some(err) = progress.as_ref().and_then(Progress::io_error) {
+        eprintln!("FAIL progress: {err}");
         stats.artifact_failures += 1;
     }
     Ok(stats)

@@ -48,6 +48,7 @@ use crate::experiments::{
 use crate::journal::{self, Journal, JournalEntry};
 use crate::obs::ObservedRun;
 use crate::parallel::{self, Parallelism};
+use crate::progress::Progress;
 use crate::report;
 use crate::scenario::{CellBudget, RunMetrics, Scenario};
 use crate::stats::Replication;
@@ -287,6 +288,9 @@ pub struct Supervisor<'a> {
     /// cell on its first `fail_attempts` attempts (every attempt if
     /// unbounded).
     pub chaos: Option<ChaosPlan>,
+    /// Heartbeat stream to pulse while cells execute (`--progress`).
+    /// Telemetry only: attaching one leaves every result byte-identical.
+    pub progress: Option<&'a Progress>,
 }
 
 /// A fully executed manifest: the input, every supervised cell (matrix
@@ -478,8 +482,19 @@ fn run_cell(
     let policy = &matrix.policies[p];
     let base_seed = manifest.seeds[s];
 
+    let label = workload.display_label();
     if let Some(journal) = sup.journal {
         if let Some(entry) = journal.lookup(journal::cell_key(hash, i as u64, base_seed)) {
+            if let Some(progress) = sup.progress {
+                progress.cell_status(
+                    i as u64,
+                    &label,
+                    policy.name(),
+                    base_seed,
+                    entry.attempts,
+                    "resumed",
+                );
+            }
             return CellRun {
                 index: i,
                 attempts: entry.attempts,
@@ -502,9 +517,26 @@ fn run_cell(
                 !chaos_hit,
                 "chaos drill: injected panic at cell {i} (attempt {attempt})"
             );
-            build_scenario(manifest, workload, policy, seed)
-                .expect("manifest pre-validated")
-                .try_run_supervised(manifest.obs, budget)
+            let scenario =
+                build_scenario(manifest, workload, policy, seed).expect("manifest pre-validated");
+            match sup.progress {
+                Some(progress) => scenario.try_run_supervised_with_progress(
+                    manifest.obs,
+                    budget,
+                    progress.heartbeat_ops(),
+                    &mut |pulse| {
+                        progress.heartbeat(
+                            i as u64,
+                            &label,
+                            policy.name(),
+                            base_seed,
+                            attempt + 1,
+                            &pulse,
+                        );
+                    },
+                ),
+                None => scenario.try_run_supervised(manifest.obs, budget),
+            }
         }));
         last = Some(match outcome {
             Ok(Ok(run)) => {
@@ -517,11 +549,21 @@ fn run_cell(
                 if let (Some(journal), Ok(CellData::Fresh(run))) = (sup.journal, &cell.data) {
                     journal.record(
                         i as u64,
-                        &workload.display_label(),
+                        &label,
                         policy.name(),
                         base_seed,
                         cell.attempts,
                         run,
+                    );
+                }
+                if let Some(progress) = sup.progress {
+                    progress.cell_status(
+                        i as u64,
+                        &label,
+                        policy.name(),
+                        base_seed,
+                        cell.attempts,
+                        "done",
                     );
                 }
                 return cell;
@@ -529,6 +571,16 @@ fn run_cell(
             Ok(Err(e)) => classify(e, faulted),
             Err(payload) => RunError::from_panic(payload.as_ref()),
         });
+    }
+    if let Some(progress) = sup.progress {
+        progress.cell_status(
+            i as u64,
+            &label,
+            policy.name(),
+            base_seed,
+            max_attempts,
+            "quarantined",
+        );
     }
     CellRun {
         index: i,
@@ -1326,6 +1378,7 @@ mod tests {
                 cell: 1,
                 fail_attempts: None,
             }),
+            progress: None,
         };
         let run = run_supervised(&manifest, &sup).expect("degraded run");
         assert!(matches!(run.outcome, Outcome::Degraded));
@@ -1384,6 +1437,7 @@ mod tests {
                 cell: 0,
                 fail_attempts: Some(1),
             }),
+            progress: None,
         };
         let run = run_supervised(&manifest, &sup).expect("recovered run");
         assert!(matches!(run.outcome, Outcome::Runs), "not degraded");

@@ -292,6 +292,12 @@ impl Colocation {
     /// Runs rounds until app `idx` has executed `ops` more operations.
     /// Calls `sample` after every round (for §6.2-style periodic sampling).
     ///
+    /// With a profiler installed, the scheduling rounds run under a
+    /// `workload` span and each sampling callback under a `sample` span, so
+    /// engine-side time (op generation, region lookup, sampling) is
+    /// attributed rather than left as unaccounted remainder. Each call is a
+    /// single branch when no profiler is installed.
+    ///
     /// # Errors
     ///
     /// Propagates step errors.
@@ -303,8 +309,13 @@ impl Colocation {
     ) -> Result<()> {
         let target = self.apps[idx].ops + ops;
         while self.apps[idx].ops < target {
-            self.round()?;
+            self.machine.prof_enter(vmsim_obs::Phase::Workload);
+            let round = self.round();
+            self.machine.prof_exit();
+            round?;
+            self.machine.prof_enter(vmsim_obs::Phase::Sample);
             sample(&self.machine);
+            self.machine.prof_exit();
         }
         Ok(())
     }

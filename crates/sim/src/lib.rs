@@ -53,6 +53,8 @@ pub mod experiments;
 pub mod journal;
 pub mod obs;
 pub mod parallel;
+pub mod perf;
+pub mod progress;
 pub mod report;
 pub mod scenario;
 pub mod stats;
@@ -70,5 +72,6 @@ pub use experiments::{
 pub use journal::{Journal, JournalEntry};
 pub use obs::{ObsConfig, ObservedRun};
 pub use parallel::Parallelism;
+pub use progress::{Progress, Pulse, DEFAULT_HEARTBEAT_OPS};
 pub use scenario::{AllocatorKind, CellBudget, RunMetrics, Scenario};
 pub use stats::{Replication, Summary};

@@ -11,7 +11,7 @@
 //! parsed by `vmsim_config::env`, the single parsing point.
 
 use vmsim_cache::Histogram;
-use vmsim_obs::{Event, Snapshot, TimeSeries};
+use vmsim_obs::{Event, PhaseProfile, Snapshot, TimeSeries};
 
 pub use vmsim_config::ObsConfig;
 
@@ -40,6 +40,10 @@ pub struct ObservedRun {
     /// Fault-service latency distribution, merged across cores, for the
     /// measured phase.
     pub fault_latency: Histogram,
+    /// Phase-attributed self-profile of the measured phase (present when
+    /// [`ObsConfig::profile`] is set; wall numbers are nondeterministic,
+    /// the cycle ledger is deterministic).
+    pub profile: Option<PhaseProfile>,
     /// Whether a supervisor budget stopped the measured phase early; when
     /// set, [`RunMetrics::measure_ops`] records the ops actually executed.
     pub truncated: bool,

@@ -1,0 +1,749 @@
+//! The perf trajectory: `vmsim perf`, the CI-tracked performance history
+//! of the translation core.
+//!
+//! This module absorbs the `bench-core` measurement logic (the binary is
+//! now a thin wrapper over it): four pinned scenario cells — gcc and mcf
+//! under the default and ptemagnet allocators, fig6 protocol with an
+//! objdet co-runner — plus three wall-clock microkernels. Each cell
+//! reports two ledgers:
+//!
+//! * **deterministic** — cost-model counters (cycles, TLB traffic, memo
+//!   coverage) and the phase profiler's cycle attribution: identical on
+//!   every machine. Regressions in these are gated.
+//! * **informational** — wall-clock numbers (cell milliseconds, kernel
+//!   ns/op, profiler wall attribution): machine-dependent, recorded for
+//!   trend-watching, never gated.
+//!
+//! `vmsim perf` appends one stamped entry to `BENCH_trajectory.json` (a
+//! growing, checked-in history; one entry per line inside the `entries`
+//! array). `vmsim perf --check` diffs the newest entry against the one
+//! before it and exits 1 when a gated counter (`cycles`, `tlb_misses`,
+//! `naive_walks` — all higher-is-worse) grew by more than 5% in any cell.
+//! A malformed trajectory file is exit 2, like any other invalid input.
+
+use std::fmt::Write as _;
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vmsim_obs::{json, Phase, PhaseProfile, Profiler};
+use vmsim_os::{Machine, MachineConfig, MemoStats};
+use vmsim_types::{GuestVirtAddr, PAGE_SIZE};
+use vmsim_workloads::{benchmark, corunner, BenchId, CoId};
+
+use crate::engine::Colocation;
+
+/// Measured steady-state ops per cell. Deliberately small: an entry must
+/// regenerate in seconds, and the deterministic counters are exact at any
+/// scale.
+pub const CELL_OPS: u64 = 20_000;
+
+/// Schema tag of the trajectory file.
+pub const TRAJECTORY_SCHEMA: &str = "bench-trajectory-v1";
+
+/// Default trajectory path (checked in at the repo root).
+pub const TRAJECTORY_PATH: &str = "BENCH_trajectory.json";
+
+/// The tracked cells: the fig6 protocol (objdet co-runner at weight 4) for
+/// one low-TLB-pressure benchmark (gcc) and one walk-heavy one (mcf),
+/// under both allocators.
+const CELLS: [(BenchId, &str); 4] = [
+    (BenchId::Gcc, "default"),
+    (BenchId::Gcc, "ptemagnet"),
+    (BenchId::Mcf, "default"),
+    (BenchId::Mcf, "ptemagnet"),
+];
+
+/// Deterministic counters gated by `--check`; all are higher-is-worse.
+const GATED: [&str; 3] = ["cycles", "tlb_misses", "naive_walks"];
+
+/// One measured trajectory cell.
+pub struct PerfCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Allocator name.
+    pub allocator: &'static str,
+    /// Measured-phase cycles of the primary app.
+    pub cycles: u64,
+    /// TLB lookups on the primary core over the measured phase.
+    pub tlb_lookups: u64,
+    /// TLB misses on the primary core over the measured phase.
+    pub tlb_misses: u64,
+    /// Memo-layer counter deltas over the measured phase.
+    pub memo: MemoStats,
+    /// Wall-clock milliseconds the measured phase took (informational).
+    pub wall_ms: f64,
+    /// Phase-attributed self-profile of the measured phase.
+    pub profile: PhaseProfile,
+}
+
+/// One wall-clock microkernel result (informational).
+pub struct Kernel {
+    /// Kernel name (matches the Criterion benches in `benches/harness.rs`).
+    pub name: &'static str,
+    /// Median nanoseconds per operation over three samples.
+    pub ns_per_op: f64,
+}
+
+fn run_cell(bench: BenchId, alloc: &'static str) -> PerfCell {
+    let allocator = ptemagnet::registry::resolve(alloc).expect("tracked allocators are registered");
+    let mut machine = Machine::with_allocator(MachineConfig::paper(2, 1024), allocator);
+    machine.set_memo_enabled(vmsim_config::env::memo_enabled_or_default());
+    let mut colo = Colocation::new(machine);
+    let primary = colo.add_app(Box::new(benchmark(bench, 0)), 1);
+    // Seed matches the scenario layer: seed.wrapping_mul(31).wrapping_add(1).
+    colo.add_app(corunner(CoId::Objdet, 1), 4);
+    colo.run_until_steady(primary).expect("init");
+    colo.machine_mut().reset_measurement();
+    colo.machine_mut().install_profiler(Profiler::new());
+    let memo_before = colo.machine().memo_stats();
+    let cycles_before = colo.cycles(primary);
+    let start = Instant::now();
+    colo.run_ops(primary, CELL_OPS, |_| {})
+        .expect("measured phase");
+    let wall = start.elapsed();
+    let profile = colo
+        .machine_mut()
+        .take_profiler()
+        .expect("profiler installed above")
+        .finish(wall.as_nanos() as u64);
+    let memo_after = colo.machine().memo_stats();
+    let core = colo.core(primary);
+    let tlb = colo.machine().tlb(core);
+    PerfCell {
+        benchmark: bench.name(),
+        allocator: alloc,
+        cycles: colo.cycles(primary) - cycles_before,
+        tlb_lookups: tlb.lookups(),
+        tlb_misses: tlb.misses(),
+        memo: MemoStats {
+            hits: memo_after.hits - memo_before.hits,
+            streak_hits: memo_after.streak_hits - memo_before.streak_hits,
+            fills: memo_after.fills - memo_before.fills,
+            naive_walks: memo_after.naive_walks - memo_before.naive_walks,
+            clears: memo_after.clears - memo_before.clears,
+        },
+        wall_ms: wall.as_secs_f64() * 1e3,
+        profile,
+    }
+}
+
+/// Runs the four tracked cells, reporting progress on stderr.
+pub fn run_cells() -> Vec<PerfCell> {
+    CELLS
+        .iter()
+        .map(|&(bench, alloc)| {
+            eprintln!("running {} x {alloc} ...", bench.name());
+            run_cell(bench, alloc)
+        })
+        .collect()
+}
+
+/// Median nanoseconds per op of `op` over `iters` calls, sampled three
+/// times (the same shape as the Criterion benches in `benches/harness.rs`,
+/// scaled down so an entry regenerates in seconds).
+fn median_ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[1]
+}
+
+/// The three microkernels mirroring the `harness.rs` Criterion benches:
+/// cold full walks, memo-hit replays, and a batched VMA run.
+pub fn run_kernels() -> Vec<Kernel> {
+    let pages = 4096u64;
+    let mut out = Vec::new();
+
+    // full_walk_cold: stride far beyond TLB and memo reach, memo disabled.
+    let mut m = Machine::new(MachineConfig::paper(1, 1024));
+    m.set_memo_enabled(false);
+    let pid = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(pid, pages).expect("mmap");
+    for i in 0..pages {
+        m.touch(0, pid, GuestVirtAddr::new(base.raw() + i * PAGE_SIZE), true)
+            .expect("prefault");
+    }
+    let mut i = 0u64;
+    out.push(Kernel {
+        name: "full_walk_cold",
+        ns_per_op: median_ns_per_op(20_000, || {
+            // Large prime stride defeats TLB and cache locality.
+            i = (i + 257) % pages;
+            m.touch(
+                0,
+                pid,
+                GuestVirtAddr::new(base.raw() + i * PAGE_SIZE),
+                false,
+            )
+            .expect("touch");
+        }),
+    });
+
+    // full_walk_memo_hit: one warm page replayed from its memo slot.
+    let mut m = Machine::new(MachineConfig::paper(1, 1024));
+    let pid = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(pid, 8).expect("mmap");
+    m.touch(0, pid, base, true).expect("warm");
+    m.touch(0, pid, base, false).expect("fill memo");
+    out.push(Kernel {
+        name: "full_walk_memo_hit",
+        ns_per_op: median_ns_per_op(200_000, || {
+            m.touch(0, pid, base, false).expect("replay");
+        }),
+    });
+
+    // batched_vma_run: 128 pages x 4 touches each through touch_run.
+    let mut m = Machine::new(MachineConfig::paper(1, 1024));
+    let pid = m.guest_mut().spawn();
+    let base = m.guest_mut().mmap(pid, 128).expect("mmap");
+    let run: Vec<(GuestVirtAddr, bool)> = (0..128u64)
+        .flat_map(|p| {
+            let va = GuestVirtAddr::new(base.raw() + p * PAGE_SIZE);
+            [(va, true), (va, false), (va, false), (va, false)]
+        })
+        .collect();
+    m.touch_run(0, pid, &run).expect("warm run");
+    out.push(Kernel {
+        name: "batched_vma_run",
+        ns_per_op: median_ns_per_op(500, || {
+            m.touch_run(0, pid, &run).expect("run");
+        }),
+    });
+
+    out
+}
+
+/// Renders the classic `BENCH_core.json` baseline (schema `bench-core-v1`)
+/// — byte-compatible with what the standalone `bench-core` binary wrote.
+#[must_use]
+pub fn baseline_json(cells: &[PerfCell], kernels: &[Kernel]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"bench-core-v1\",");
+    let _ = writeln!(s, "  \"measure_ops\": {CELL_OPS},");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"benchmark\": \"{}\",", c.benchmark);
+        let _ = writeln!(s, "      \"allocator\": \"{}\",", c.allocator);
+        let _ = writeln!(s, "      \"deterministic\": {{");
+        let _ = writeln!(s, "        \"cycles\": {},", c.cycles);
+        let _ = writeln!(s, "        \"tlb_lookups\": {},", c.tlb_lookups);
+        let _ = writeln!(s, "        \"tlb_misses\": {},", c.tlb_misses);
+        let _ = writeln!(s, "        \"memo_hits\": {},", c.memo.hits);
+        let _ = writeln!(s, "        \"memo_streak_hits\": {},", c.memo.streak_hits);
+        let _ = writeln!(s, "        \"memo_fills\": {},", c.memo.fills);
+        let _ = writeln!(s, "        \"naive_walks\": {},", c.memo.naive_walks);
+        let _ = writeln!(s, "        \"memo_clears\": {}", c.memo.clears);
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"informational\": {{");
+        let _ = writeln!(s, "        \"wall_ms\": {:.1}", c.wall_ms);
+        let _ = writeln!(s, "      }}");
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"kernels\": [");
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"informational_ns_per_op\": {:.1} }}{comma}",
+            k.name, k.ns_per_op
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Checks freshly measured cells against a `bench-core-v1` baseline file's
+/// `naive_walks` counters (the >5% memo-coverage gate the standalone
+/// `bench-core --check` applies). Returns the failure count.
+#[must_use]
+pub fn check_baseline(cells: &[PerfCell], baseline_text: &str) -> u32 {
+    let mut expected = Vec::new();
+    let (mut bench, mut alloc) = (None::<String>, None::<String>);
+    for line in baseline_text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"benchmark\": \"") {
+            bench = rest.split('"').next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"allocator\": \"") {
+            alloc = rest.split('"').next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"naive_walks\": ") {
+            let n: u64 = rest
+                .trim_end_matches(',')
+                .parse()
+                .expect("baseline naive_walks must be an integer");
+            if let (Some(b), Some(a)) = (bench.take(), alloc.take()) {
+                expected.push((b, a, n));
+            }
+        }
+    }
+    assert!(
+        !expected.is_empty(),
+        "baseline contains no cells — regenerate it"
+    );
+    let mut failed = 0u32;
+    for (bench, alloc, base_walks) in expected {
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.benchmark == bench && c.allocator == alloc)
+        else {
+            eprintln!("MISSING: baseline cell {bench} x {alloc} not tracked anymore");
+            failed += 1;
+            continue;
+        };
+        let walks = cell.memo.naive_walks;
+        // The gate: >5% more naive-path walks than the baseline means memo
+        // coverage regressed. Fewer walks is an improvement — regenerate
+        // the baseline to lock it in.
+        let limit = base_walks + base_walks / 20;
+        let verdict = if walks > limit { "FAIL" } else { "ok" };
+        eprintln!(
+            "{verdict}: {bench} x {alloc}: naive_walks {walks} (baseline {base_walks}, limit {limit})"
+        );
+        failed += u32::from(walks > limit);
+    }
+    failed
+}
+
+/// Renders one trajectory entry as a single JSON line (no trailing
+/// newline). `stamp` is seconds since the Unix epoch.
+#[must_use]
+pub fn entry_json(cells: &[PerfCell], kernels: &[Kernel], stamp: u64) -> String {
+    let mut s = String::with_capacity(1024);
+    let _ = write!(
+        s,
+        "{{\"stamp\": {stamp}, \"measure_ops\": {CELL_OPS}, \"cells\": ["
+    );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"benchmark\": \"{}\", \"allocator\": \"{}\", \"deterministic\": {{\
+             \"cycles\": {}, \"tlb_lookups\": {}, \"tlb_misses\": {}, \"memo_hits\": {}, \
+             \"memo_streak_hits\": {}, \"memo_fills\": {}, \"naive_walks\": {}, \
+             \"memo_clears\": {}}}, \"informational\": {{\"wall_ms\": {:.1}}}, \
+             \"profile_cycles\": {{",
+            c.benchmark,
+            c.allocator,
+            c.cycles,
+            c.tlb_lookups,
+            c.tlb_misses,
+            c.memo.hits,
+            c.memo.streak_hits,
+            c.memo.fills,
+            c.memo.naive_walks,
+            c.memo.clears,
+            c.wall_ms,
+        );
+        let mut first = true;
+        for phase in Phase::ALL {
+            let totals = c.profile.get(phase);
+            if totals.cycles == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(s, "\"{}\": {}", phase.name(), totals.cycles);
+        }
+        s.push_str("}, \"profile_attributed\": ");
+        json::write_f64(&mut s, round4(c.profile.attributed_fraction()));
+        s.push('}');
+    }
+    s.push_str("], \"kernels\": [");
+    for (i, k) in kernels.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"name\": \"{}\", \"informational_ns_per_op\": {:.1}}}",
+            k.name, k.ns_per_op
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 1e4).round() / 1e4
+}
+
+/// Reads a trajectory file and returns its entry lines (verbatim, one
+/// JSON object each).
+///
+/// # Errors
+///
+/// Returns a diagnostic when the file does not parse, carries the wrong
+/// schema, or its entries are not one-per-line objects — any of which
+/// means the checked-in history was corrupted and needs human attention.
+pub fn read_trajectory(text: &str) -> Result<Vec<String>, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(TRAJECTORY_SCHEMA) => {}
+        Some(other) => return Err(format!("schema {other:?}, expected {TRAJECTORY_SCHEMA:?}")),
+        None => return Err("missing schema field".to_string()),
+    }
+    let count = doc
+        .get("entries")
+        .and_then(|e| e.as_arr())
+        .ok_or("missing entries array")?
+        .len();
+    // Entries are one per line by construction; recover the verbatim lines
+    // so appending preserves history byte-for-byte.
+    let mut lines = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim().trim_end_matches(',');
+        if trimmed.starts_with("{\"stamp\"") {
+            json::parse(trimmed).map_err(|e| format!("entry line does not parse: {e:?}"))?;
+            lines.push(trimmed.to_string());
+        }
+    }
+    if lines.len() != count {
+        return Err(format!(
+            "found {} entry lines but the entries array holds {count} \
+             (entries must be one per line)",
+            lines.len()
+        ));
+    }
+    Ok(lines)
+}
+
+/// Renders a whole trajectory file from entry lines.
+#[must_use]
+pub fn render_trajectory(entries: &[String]) -> String {
+    let mut s = String::with_capacity(256 + entries.iter().map(String::len).sum::<usize>());
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{TRAJECTORY_SCHEMA}\",");
+    s.push_str("  \"entries\": [\n");
+    for (i, entry) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(s, "    {entry}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Compares the two newest entries: any gated deterministic counter
+/// (`cycles`, `tlb_misses`, `naive_walks`) growing by more than 5% in any
+/// cell is a regression. Returns the regression count.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the trajectory has fewer than two entries or
+/// an entry is structurally unusable.
+pub fn check_entries(entries: &[String]) -> Result<u32, String> {
+    if entries.len() < 2 {
+        return Err(format!(
+            "need at least two entries to compare, found {} — run `vmsim perf` first",
+            entries.len()
+        ));
+    }
+    let prev = json::parse(&entries[entries.len() - 2]).map_err(|e| format!("{e:?}"))?;
+    let newest = json::parse(&entries[entries.len() - 1]).map_err(|e| format!("{e:?}"))?;
+    let cells_of = |doc: &json::Json| -> Result<Vec<json::Json>, String> {
+        Ok(doc
+            .get("cells")
+            .and_then(|c| c.as_arr())
+            .ok_or("entry has no cells array")?
+            .to_vec())
+    };
+    let prev_cells = cells_of(&prev)?;
+    let new_cells = cells_of(&newest)?;
+    let ident = |cell: &json::Json| -> (String, String) {
+        (
+            cell.get("benchmark")
+                .and_then(|b| b.as_str())
+                .unwrap_or_default()
+                .to_string(),
+            cell.get("allocator")
+                .and_then(|a| a.as_str())
+                .unwrap_or_default()
+                .to_string(),
+        )
+    };
+    let mut failed = 0u32;
+    for old in &prev_cells {
+        let (bench, alloc) = ident(old);
+        let Some(new) = new_cells
+            .iter()
+            .find(|c| ident(c) == (bench.clone(), alloc.clone()))
+        else {
+            eprintln!("MISSING: cell {bench} x {alloc} absent from the newest entry");
+            failed += 1;
+            continue;
+        };
+        for counter in GATED {
+            let value = |cell: &json::Json| {
+                cell.get("deterministic")
+                    .and_then(|d| d.get(counter))
+                    .and_then(json::Json::as_u64)
+            };
+            let (Some(base), Some(now)) = (value(old), value(new)) else {
+                eprintln!("MISSING: {bench} x {alloc}: counter {counter} absent");
+                failed += 1;
+                continue;
+            };
+            let limit = base + base / 20;
+            let verdict = if now > limit { "FAIL" } else { "ok" };
+            eprintln!(
+                "{verdict}: {bench} x {alloc}: {counter} {now} (previous {base}, limit {limit})"
+            );
+            failed += u32::from(now > limit);
+        }
+    }
+    Ok(failed)
+}
+
+const PERF_USAGE: &str = "usage:
+  vmsim perf [--out FILE]        run the tracked cells, append a trajectory entry
+  vmsim perf --check [--out FILE]  compare the two newest entries (no run)
+  vmsim perf --baseline FILE     run the tracked cells, write a bench-core-v1 baseline";
+
+/// The `vmsim perf` subcommand.
+#[must_use]
+pub fn cmd_perf(args: &[String]) -> ExitCode {
+    let mut check = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("vmsim perf: --out needs a file\n{PERF_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline = Some(path.clone()),
+                None => {
+                    eprintln!("vmsim perf: --baseline needs a file\n{PERF_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("vmsim perf: unknown argument: {other}\n{PERF_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if check && baseline.is_some() {
+        eprintln!("vmsim perf: --check and --baseline are mutually exclusive\n{PERF_USAGE}");
+        return ExitCode::from(2);
+    }
+    let path = out.unwrap_or_else(|| TRAJECTORY_PATH.to_string());
+
+    if check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("vmsim perf: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match read_trajectory(&text) {
+            Ok(entries) => entries,
+            Err(msg) => {
+                eprintln!("vmsim perf: {path}: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        return match check_entries(&entries) {
+            Ok(0) => {
+                eprintln!("vmsim perf check passed");
+                ExitCode::SUCCESS
+            }
+            Ok(n) => {
+                eprintln!("vmsim perf check FAILED: {n} gated counter(s) regressed over 5%");
+                ExitCode::FAILURE
+            }
+            Err(msg) => {
+                eprintln!("vmsim perf: {path}: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let cells = run_cells();
+    eprintln!("running microkernels ...");
+    let kernels = run_kernels();
+    for c in &cells {
+        eprintln!(
+            "{} x {}: {} cycles, {} naive walks, {:.1} ms \
+             ({:.1}% wall attributed)",
+            c.benchmark,
+            c.allocator,
+            c.cycles,
+            c.memo.naive_walks,
+            c.wall_ms,
+            c.profile.attributed_fraction() * 100.0
+        );
+    }
+
+    if let Some(path) = baseline {
+        let json = baseline_json(&cells, &kernels);
+        return match std::fs::write(&path, &json) {
+            Ok(()) => {
+                eprintln!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vmsim perf: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Append to the trajectory. A missing file starts a fresh history; a
+    // malformed one is an error (never silently overwrite the record).
+    let mut entries = match std::fs::read_to_string(&path) {
+        Ok(text) => match read_trajectory(&text) {
+            Ok(entries) => entries,
+            Err(msg) => {
+                eprintln!("vmsim perf: {path}: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("vmsim perf: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    entries.push(entry_json(&cells, &kernels, stamp));
+    match std::fs::write(&path, render_trajectory(&entries)) {
+        Ok(()) => {
+            eprintln!("appended entry {} to {path}", entries.len() - 1);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vmsim perf: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cell(benchmark: &'static str, allocator: &'static str, cycles: u64) -> PerfCell {
+        let mut prof = Profiler::new();
+        prof.add_cycles(Phase::MemoProbe, cycles / 2);
+        prof.add_cycles(Phase::GuestWalk, cycles - cycles / 2);
+        PerfCell {
+            benchmark,
+            allocator,
+            cycles,
+            tlb_lookups: 20_000,
+            tlb_misses: 1_000,
+            memo: MemoStats {
+                hits: 17_000,
+                streak_hits: 5,
+                fills: 80_000,
+                naive_walks: 80_000,
+                clears: 0,
+            },
+            wall_ms: 50.0,
+            profile: prof.finish(1_000_000),
+        }
+    }
+
+    fn fake_entry(cycles: u64, stamp: u64) -> String {
+        let cells = [
+            fake_cell("gcc", "default", cycles),
+            fake_cell("mcf", "default", 2_000),
+        ];
+        let kernels = [Kernel {
+            name: "full_walk_cold",
+            ns_per_op: 300.0,
+        }];
+        entry_json(&cells, &kernels, stamp)
+    }
+
+    #[test]
+    fn entry_round_trips_through_the_trajectory_renderer() {
+        let entries = vec![fake_entry(1000, 1), fake_entry(1010, 2)];
+        let text = render_trajectory(&entries);
+        let doc = json::parse(&text).expect("trajectory parses");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(TRAJECTORY_SCHEMA)
+        );
+        let recovered = read_trajectory(&text).expect("entries recovered");
+        assert_eq!(recovered, entries, "byte-for-byte entry preservation");
+        let entry = json::parse(&entries[0]).expect("entry parses");
+        assert_eq!(
+            entry.get("cells").and_then(|c| c.as_arr()).map(<[_]>::len),
+            Some(2)
+        );
+        let cell = &entry.get("cells").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            cell.get("profile_cycles")
+                .and_then(|p| p.get("memo_probe"))
+                .and_then(json::Json::as_u64),
+            Some(500)
+        );
+    }
+
+    #[test]
+    fn check_passes_within_five_percent_and_fails_beyond() {
+        // 1000 -> 1050 is exactly the limit (ok); 1000 -> 1051 regresses.
+        let ok = vec![fake_entry(1000, 1), fake_entry(1050, 2)];
+        assert_eq!(check_entries(&ok).expect("comparable"), 0);
+        let bad = vec![fake_entry(1000, 1), fake_entry(1051, 2)];
+        assert_eq!(check_entries(&bad).expect("comparable"), 1, "gcc cell only");
+        let single = vec![fake_entry(1000, 1)];
+        assert!(check_entries(&single).is_err(), "one entry is not a trend");
+    }
+
+    #[test]
+    fn malformed_trajectories_are_rejected_with_diagnostics() {
+        assert!(read_trajectory("not json at all").is_err());
+        assert!(read_trajectory("{\"schema\": \"other\", \"entries\": []}").is_err());
+        assert!(read_trajectory("{\"entries\": []}").is_err());
+        // Parseable but entries not one-per-line: the count cross-check
+        // catches it.
+        let squashed = format!(
+            "{{\"schema\": \"{TRAJECTORY_SCHEMA}\", \"entries\": [{}]}}",
+            fake_entry(1000, 1)
+        );
+        assert!(read_trajectory(&squashed).is_err());
+    }
+
+    #[test]
+    fn baseline_renderer_matches_the_bench_core_schema() {
+        let cells = [fake_cell("gcc", "default", 1000)];
+        let kernels = [Kernel {
+            name: "full_walk_cold",
+            ns_per_op: 300.0,
+        }];
+        let text = baseline_json(&cells, &kernels);
+        let doc = json::parse(&text).expect("baseline parses");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("bench-core-v1")
+        );
+        assert_eq!(check_baseline(&cells, &text), 0, "self-check passes");
+    }
+}

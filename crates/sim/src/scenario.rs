@@ -9,6 +9,7 @@ use vmsim_workloads::{benchmark, corunner, BenchId, CoId, Phase};
 
 use crate::engine::Colocation;
 use crate::obs::{ObsConfig, ObservedRun};
+use crate::progress::Pulse;
 
 /// Per-cell resource budgets the supervised runtime enforces on a run.
 ///
@@ -367,13 +368,37 @@ impl Scenario {
         obs: ObsConfig,
         budget: CellBudget,
     ) -> core::result::Result<ObservedRun, RunError> {
-        self.run_inner(obs, budget)
+        self.run_inner(obs, budget, u64::MAX, &mut |_| {})
+    }
+
+    /// Like [`Scenario::try_run_supervised`], but invokes `on_pulse` at
+    /// heartbeat cadence during the measured phase: at the first measured
+    /// chunk boundary past each multiple of `heartbeat_ops`, plus once when
+    /// the phase ends. Which ops pulse is deterministic (a pure function of
+    /// the scenario and the interval); the pulse payload carries only
+    /// op-space state, so telemetry sinks add wall-clock data themselves.
+    /// The callback cannot affect the run: results are bit-identical to
+    /// [`Scenario::try_run_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Scenario::try_run_supervised`].
+    pub fn try_run_supervised_with_progress(
+        self,
+        obs: ObsConfig,
+        budget: CellBudget,
+        heartbeat_ops: u64,
+        on_pulse: &mut dyn FnMut(Pulse),
+    ) -> core::result::Result<ObservedRun, RunError> {
+        self.run_inner(obs, budget, heartbeat_ops.max(1), on_pulse)
     }
 
     fn run_inner(
         self,
         obs: ObsConfig,
         budget: CellBudget,
+        heartbeat_ops: u64,
+        on_pulse: &mut dyn FnMut(Pulse),
     ) -> core::result::Result<ObservedRun, RunError> {
         let cores = 1 + self.corunners.len();
         let config = self
@@ -448,8 +473,16 @@ impl Scenario {
         let guest_frag = colo.machine().guest_pt_fragmentation(pid)?;
         let footprint_pages = colo.machine().guest().process(pid)?.rss_pages;
 
-        // Phase B: measured steady state.
+        // Phase B: measured steady state. The profiler covers exactly this
+        // phase: installed after the measurement reset, harvested right
+        // after the loop, with the same stopwatch bounding total wall time
+        // so the unattributed remainder is reported rather than hidden.
         colo.machine_mut().reset_measurement();
+        if obs.profile {
+            colo.machine_mut()
+                .install_profiler(vmsim_obs::Profiler::new());
+        }
+        let measured_wall = Instant::now();
         let cycles_before = colo.cycles(primary);
         let mut unused_peak = 0u64;
         let mut unused_sum = 0u128;
@@ -487,6 +520,16 @@ impl Scenario {
         let mut truncated = effective_ops < requested_ops;
         const CHUNK_OPS: u64 = 1024;
         let mut executed_ops = 0u64;
+        let mut pulsed_at = 0u64;
+        let pulse = |colo: &Colocation, done: u64| {
+            let memo = colo.machine().memo_stats();
+            Pulse {
+                ops_done: done,
+                ops_total: effective_ops,
+                memo_hits: memo.hits + memo.streak_hits,
+                memo_misses: memo.naive_walks,
+            }
+        };
         while executed_ops < effective_ops {
             if wall.expired_now() {
                 truncated = true;
@@ -495,6 +538,15 @@ impl Scenario {
             let chunk = CHUNK_OPS.min(effective_ops - executed_ops);
             colo.run_ops(primary, chunk, &mut sample)?;
             executed_ops += chunk;
+            if executed_ops / heartbeat_ops > pulsed_at / heartbeat_ops {
+                pulsed_at = executed_ops;
+                on_pulse(pulse(&colo, executed_ops));
+            }
+        }
+        // Terminal pulse: the phase ended (completed or truncated) since
+        // the last cadence crossing.
+        if executed_ops > 0 && pulsed_at != executed_ops {
+            on_pulse(pulse(&colo, executed_ops));
         }
         if obs.epoch_ops.is_some() {
             let last_op = series.last().map(|s| s.op);
@@ -502,6 +554,10 @@ impl Scenario {
                 series.push(colo.machine().metrics_snapshot());
             }
         }
+        let profile = colo
+            .machine_mut()
+            .take_profiler()
+            .map(|p| p.finish(measured_wall.elapsed().as_nanos() as u64));
 
         let core = colo.core(primary);
         let counters = *colo.machine().caches().core_counters(core);
@@ -556,6 +612,7 @@ impl Scenario {
             trace_dropped,
             walk_latency,
             fault_latency,
+            profile,
             truncated,
         })
     }
@@ -659,6 +716,32 @@ mod tests {
             )
             .expect_err("zero wall budget cannot survive init");
         assert_eq!(err.kind(), "budget_exceeded");
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_accounts_the_measured_phase() {
+        let plain = quick(BenchId::Gcc).run();
+        let prof = quick(BenchId::Gcc).run_observed(ObsConfig::profiled());
+        assert_eq!(prof.metrics, plain, "profiler must be bit-invisible");
+        let profile = prof.profile.expect("profiled run carries a profile");
+        assert!(profile.total_wall_ns > 0);
+        // The deterministic cycle ledger partitions the measured cycles
+        // exactly: every cycle the primary app accumulated in phase B is
+        // attributed to exactly one phase.
+        let ledger: u64 = vmsim_obs::Phase::ALL
+            .iter()
+            .map(|&p| profile.get(p).cycles)
+            .sum();
+        assert_eq!(ledger, plain.cycles);
+        // The engine-side spans account the wall time of the measured loop;
+        // anything else is reported as an explicit remainder.
+        assert!(
+            profile.attributed_fraction() > 0.5,
+            "attributed only {}",
+            profile.attributed_fraction()
+        );
+        let off = quick(BenchId::Gcc).run_observed(ObsConfig::disabled());
+        assert!(off.profile.is_none(), "no profile unless requested");
     }
 
     #[test]

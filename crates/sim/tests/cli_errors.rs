@@ -327,3 +327,105 @@ fn validate_accepts_every_builtin_and_shipped_manifest() {
     let out = vmsim(&args);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
 }
+
+#[test]
+fn perf_unknown_argument_exits_2() {
+    let out = vmsim(&["perf", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown argument"));
+
+    let out = vmsim(&["perf", "--out"]);
+    assert_eq!(out.status.code(), Some(2), "dangling --out");
+
+    let out = vmsim(&["perf", "--check", "--baseline", "x.json"]);
+    assert_eq!(out.status.code(), Some(2), "contradictory modes");
+}
+
+#[test]
+fn perf_check_on_malformed_trajectory_exits_2() {
+    let dir = scratch("perf-check");
+    for (tag, body) in [
+        ("garbage", "not json at all"),
+        (
+            "schema",
+            "{\"schema\": \"something-else\", \"entries\": []}",
+        ),
+        ("noschema", "{\"entries\": []}"),
+    ] {
+        let path = dir.join(format!("{tag}.json"));
+        std::fs::write(&path, body).expect("write trajectory");
+        let out = vmsim(&["perf", "--check", "--out", &path.to_string_lossy()]);
+        assert_eq!(out.status.code(), Some(2), "{tag} must be invalid input");
+        assert!(stderr_of(&out).contains("vmsim perf"), "{tag} diagnostic");
+    }
+
+    // A missing file is also a usage error: --check never measures.
+    let out = vmsim(&[
+        "perf",
+        "--check",
+        "--out",
+        &dir.join("absent.json").to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn perf_check_needs_two_entries_to_compare() {
+    let dir = scratch("perf-single");
+    let path = dir.join("one-entry.json");
+    std::fs::write(
+        &path,
+        "{\n  \"schema\": \"bench-trajectory-v1\",\n  \"entries\": [\n    \
+         {\"stamp\": 0, \"measure_ops\": 20000, \"cells\": [], \"kernels\": []}\n  ]\n}\n",
+    )
+    .expect("write trajectory");
+    let out = vmsim(&["perf", "--check", "--out", &path.to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("two entries"));
+}
+
+#[test]
+fn progress_flag_misuse_is_a_usage_error() {
+    let dir = scratch("progress-misuse");
+    let manifest = write_manifest(&dir, "t4.json", &table4_json());
+
+    let out = vmsim(&["run", &manifest, "--progress"]);
+    assert_eq!(out.status.code(), Some(2), "dangling --progress");
+
+    let unwritable = dir.join("no-such-dir").join("p.jsonl");
+    let out = vmsim(&[
+        "run",
+        &manifest,
+        "--progress",
+        &unwritable.to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "unwritable progress path");
+    assert!(!stderr_of(&out).is_empty());
+
+    let out = vmsim(&[
+        "run",
+        &manifest,
+        &manifest,
+        "--progress",
+        &dir.join("p.jsonl").to_string_lossy(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--progress takes exactly one manifest"
+    );
+}
+
+#[test]
+fn malformed_heartbeat_env_is_a_usage_error() {
+    let dir = scratch("heartbeat-env");
+    let manifest = write_manifest(&dir, "t4.json", &table4_json());
+    for bad in ["0", "x", "-5"] {
+        let out = vmsim_env(&["run", &manifest], &[("VMSIM_HEARTBEAT_OPS", bad)]);
+        assert_eq!(out.status.code(), Some(2), "VMSIM_HEARTBEAT_OPS={bad}");
+        assert!(
+            stderr_of(&out).contains("VMSIM_HEARTBEAT_OPS"),
+            "diagnostic names the variable"
+        );
+    }
+}

@@ -56,6 +56,7 @@ proptest! {
             let sup = Supervisor {
                 journal: None,
                 chaos: Some(ChaosPlan { cell, fail_attempts: None }),
+                progress: None,
             };
             let run = run_supervised(&manifest, &sup).expect("degraded run");
             std::env::remove_var("VMSIM_THREADS");
@@ -101,6 +102,7 @@ fn interrupted_run_resumed_from_journal_is_byte_identical() {
                 cell: 3,
                 fail_attempts: None,
             }),
+            progress: None,
         };
         let run = run_supervised(&manifest, &sup).expect("interrupted run");
         assert!(matches!(run.outcome, Outcome::Degraded));
@@ -114,6 +116,7 @@ fn interrupted_run_resumed_from_journal_is_byte_identical() {
         &Supervisor {
             journal: Some(&journal),
             chaos: None,
+            progress: None,
         },
     )
     .expect("resumed run");
@@ -200,6 +203,7 @@ fn degraded_runs_are_deterministic_across_repetitions() {
             cell: 1,
             fail_attempts: None,
         }),
+        progress: None,
     };
     let a = run_supervised(&manifest, &sup()).expect("first run");
     let b = run_supervised(&manifest, &sup()).expect("second run");

@@ -1,18 +1,24 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_core.json, the checked-in translation-core baseline.
+# Regenerates BENCH_core.json, the checked-in translation-core baseline,
+# and appends the same measurement to BENCH_trajectory.json, the
+# append-only perf history that `vmsim perf --check` gates in CI.
 #
-# The file holds, per tracked scenario cell, the deterministic cost-model
-# counters (cycles, TLB traffic, memo hits/fills, naive walks) plus
-# informational wall-clock medians for three microkernels. CI's bench-smoke
-# job re-runs the same cells and fails if any cell takes >5% more
-# naive-path walks than this baseline records (wall times never gate).
+# Thin wrapper over `vmsim perf` — the measurement logic lives in
+# crates/sim/src/perf.rs and is shared with the bench-core binary.
+#
+# BENCH_core.json holds, per tracked scenario cell, the deterministic
+# cost-model counters (cycles, TLB traffic, memo hits/fills, naive walks)
+# plus informational wall-clock medians for three microkernels. CI's
+# bench-smoke job re-runs the same cells and fails if any cell takes >5%
+# more naive-path walks than this baseline records (wall times never gate).
 #
 # Re-run after any change that intentionally shifts the cost model or the
 # memo layer's coverage, and commit the result:
 #
 #   ./scripts/regen-bench-core.sh
-#   git add BENCH_core.json
+#   git add BENCH_core.json BENCH_trajectory.json
 set -eu
 cd "$(dirname "$0")/.."
-cargo build --release -p vmsim-bench --bin bench-core
-./target/release/bench-core --out BENCH_core.json
+cargo build --release -p vmsim-sim --bin vmsim
+./target/release/vmsim perf --baseline BENCH_core.json
+./target/release/vmsim perf
