@@ -13,7 +13,7 @@ use vmsim_workloads::{BenchId, CoId};
 
 use crate::manifest::{
     ExperimentManifest, ExperimentSpec, MatrixSpec, PolicySpec, ReportKind, SimConfig,
-    SupervisorSpec, WorkloadSpec,
+    SupervisorSpec, VmsSpec, WorkloadSpec,
 };
 use crate::obs::ObsConfig;
 use crate::DEFAULT_MEASURE_OPS;
@@ -39,6 +39,7 @@ fn matrix(
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        vms: None,
         supervisor: None,
         experiment: ExperimentSpec::Matrix(MatrixSpec {
             report,
@@ -292,6 +293,7 @@ pub fn sec64(pages: u64) -> ExperimentManifest {
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        vms: None,
         supervisor: None,
         experiment: ExperimentSpec::AllocLatency { pages },
     }
@@ -309,6 +311,7 @@ pub fn breakdown(seed: u64, measure_ops: u64) -> ExperimentManifest {
         obs: ObsConfig::disabled(),
         sim: None,
         faults: None,
+        vms: None,
         supervisor: None,
         experiment: ExperimentSpec::WalkBreakdown,
     }
@@ -385,6 +388,51 @@ pub fn pressure() -> ExperimentManifest {
     m
 }
 
+/// Multi-tenant colocation study: N guest VMs sharing one overcommitted
+/// host, swept over fleet size × churn, default vs PTEMagnet per VM. Every
+/// workload is solo gcc inside each guest; the interference under study is
+/// between *VMs*, not between processes of one guest.
+pub fn colocation() -> ExperimentManifest {
+    let mut workloads = Vec::new();
+    for &count in &[8u32, 32] {
+        for churn in [None, Some(2_000u64)] {
+            let label = match churn {
+                None => format!("{count} VMs"),
+                Some(period) => format!("{count} VMs, churn @{period}"),
+            };
+            workloads.push(
+                WorkloadSpec::new(BenchId::Gcc.name())
+                    .labeled(label)
+                    .with_vms(VmsSpec {
+                        count,
+                        overcommit: 1.5,
+                        churn_period_ops: churn,
+                        churn_kills: 1,
+                        balloon_watermark: Some(0.1),
+                    }),
+            );
+        }
+    }
+    let mut m = matrix(
+        "colocation",
+        "Multi-tenant host: VM fleet size x churn on 1.5x overcommit, default vs PTEMagnet",
+        vec![0],
+        20_000,
+        ReportKind::Colocation,
+        &["default", "ptemagnet"],
+        workloads,
+    );
+    m.obs = ObsConfig::enabled(2_500);
+    // 48 MB per VM holds gcc's 24 MB footprint at ~50% utilization, so a
+    // 1.5x-overcommitted host is pressured but not starved.
+    m.sim = Some(SimConfig {
+        guest_mb: Some(48),
+        cores: Some(2),
+        ..SimConfig::default()
+    });
+    m
+}
+
 /// Every checked-in manifest at its default parameters, in `manifests/`
 /// directory order. `vmsim emit` writes these; the golden tests pin them.
 pub fn all() -> Vec<ExperimentManifest> {
@@ -405,6 +453,7 @@ pub fn all() -> Vec<ExperimentManifest> {
         breakdown(0, 150_000),
         smoke(),
         pressure(),
+        colocation(),
     ]
 }
 
@@ -420,7 +469,7 @@ mod tests {
     #[test]
     fn every_builtin_validates_and_round_trips() {
         let manifests = all();
-        assert_eq!(manifests.len(), 16);
+        assert_eq!(manifests.len(), 17);
         for m in manifests {
             m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let json = m.to_json();

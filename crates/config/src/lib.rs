@@ -28,7 +28,7 @@ pub mod obs;
 pub use env::{ChaosPlan, EnvError};
 pub use manifest::{
     ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
-    SimConfig, SupervisorSpec, WorkloadSpec,
+    SimConfig, SupervisorSpec, VmsSpec, WorkloadSpec,
 };
 pub use obs::ObsConfig;
 pub use vmsim_types::FaultPlan;

@@ -15,6 +15,7 @@
 //! that for every checked-in manifest.
 
 use std::fmt::Write as _;
+use std::sync::Once;
 
 use vmsim_obs::json::{self, Json};
 use vmsim_os::CostModel;
@@ -142,6 +143,67 @@ impl SimConfig {
     }
 }
 
+/// The multi-tenant host shape: how many guest VMs share the machine, how
+/// overcommitted the host pool is, and the churn/balloon pressure applied
+/// during measurement. A spec with `count` 1 and every pressure knob off is
+/// *inactive* — the run routes through the single-guest engine and is
+/// bit-identical to a manifest with no `vms` section at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VmsSpec {
+    /// Guest VMs colocated on the host.
+    pub count: u32,
+    /// Memory overcommit ratio: host frames = count × guest frames /
+    /// overcommit (1.0 = fully provisioned).
+    pub overcommit: f64,
+    /// Kill-and-reboot one batch of VMs every this many measured ops
+    /// (`None` = no churn).
+    pub churn_period_ops: Option<u64>,
+    /// VMs killed (and immediately rebooted) per churn event.
+    pub churn_kills: u32,
+    /// Balloon guests when the host free-frame fraction drops below this
+    /// watermark (`None` = no balloon pressure).
+    pub balloon_watermark: Option<f64>,
+}
+
+impl Default for VmsSpec {
+    fn default() -> Self {
+        Self {
+            count: 1,
+            overcommit: 1.0,
+            churn_period_ops: None,
+            churn_kills: 1,
+            balloon_watermark: None,
+        }
+    }
+}
+
+impl VmsSpec {
+    /// Upper bound on `count`; a manifest asking for more is rejected.
+    pub const MAX_VMS: u32 = 256;
+    /// Upper bound on `overcommit`.
+    pub const MAX_OVERCOMMIT: f64 = 8.0;
+
+    /// A plain `count`-VM host with no overcommit, churn, or ballooning.
+    #[must_use]
+    pub fn colocated(count: u32) -> Self {
+        Self {
+            count,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this spec actually changes the machine: an inactive spec
+    /// (1 VM, no overcommit, no churn, no balloon) keeps the run on the
+    /// single-guest engine, bit-identical to having no spec at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.count > 1
+            || self.overcommit != 1.0
+            || self.churn_period_ops.is_some()
+            || self.balloon_watermark.is_some()
+    }
+}
+
 /// One workload configuration: benchmark + colocation + memory condition.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
@@ -162,6 +224,9 @@ pub struct WorkloadSpec {
     pub sim: Option<SimConfig>,
     /// Per-workload fault plan; replaces the manifest-level plan wholesale.
     pub faults: Option<FaultPlan>,
+    /// Per-workload multi-tenant host shape; replaces the manifest-level
+    /// `vms` section wholesale.
+    pub vms: Option<VmsSpec>,
 }
 
 impl WorkloadSpec {
@@ -176,6 +241,7 @@ impl WorkloadSpec {
             prefragment_run: None,
             sim: None,
             faults: None,
+            vms: None,
         }
     }
 
@@ -201,6 +267,12 @@ impl WorkloadSpec {
     /// Builder: sets the per-workload fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Builder: sets the per-workload multi-tenant host shape.
+    pub fn with_vms(mut self, vms: VmsSpec) -> Self {
+        self.vms = Some(vms);
         self
     }
 
@@ -280,11 +352,14 @@ pub enum ReportKind {
     Hw,
     /// Degradation under rising fault-injection rates (robustness study).
     Pressure,
+    /// Multi-tenant colocation sweep: VM count × churn × policy on one
+    /// overcommitted host.
+    Colocation,
 }
 
 impl ReportKind {
     /// Every kind, for `vmsim list`.
-    pub const ALL: [ReportKind; 14] = [
+    pub const ALL: [ReportKind; 15] = [
         ReportKind::Runs,
         ReportKind::Csv,
         ReportKind::Table1,
@@ -299,6 +374,7 @@ impl ReportKind {
         ReportKind::Llc,
         ReportKind::Hw,
         ReportKind::Pressure,
+        ReportKind::Colocation,
     ];
 
     /// The manifest string form.
@@ -318,6 +394,7 @@ impl ReportKind {
             ReportKind::Llc => "llc",
             ReportKind::Hw => "hw",
             ReportKind::Pressure => "pressure",
+            ReportKind::Colocation => "colocation",
         }
     }
 
@@ -417,6 +494,10 @@ pub struct ExperimentManifest {
     /// Manifest-wide fault plan applied to every run (`None` = no faults).
     /// A workload's own plan, when set, replaces this one wholesale.
     pub faults: Option<FaultPlan>,
+    /// Manifest-wide multi-tenant host shape (`None` = the single-guest
+    /// machine). A workload's own spec, when set, replaces this one
+    /// wholesale.
+    pub vms: Option<VmsSpec>,
     /// Supervisor policy: retries and per-cell budgets (`None` = fail fast,
     /// no budgets).
     pub supervisor: Option<SupervisorSpec>,
@@ -456,10 +537,16 @@ impl ExperimentManifest {
         if let Some(supervisor) = &self.supervisor {
             validate_supervisor(supervisor, "$.supervisor")?;
         }
+        if let Some(vms) = &self.vms {
+            validate_vms(vms, "$.vms")?;
+        }
         if let ExperimentSpec::Matrix(matrix) = &self.experiment {
             for (i, workload) in matrix.workloads.iter().enumerate() {
                 if let Some(plan) = &workload.faults {
                     validate_fault_plan(plan, &format!("$.experiment.workloads[{i}].faults"))?;
+                }
+                if let Some(vms) = &workload.vms {
+                    validate_vms(vms, &format!("$.experiment.workloads[{i}].vms"))?;
                 }
             }
         }
@@ -562,6 +649,18 @@ impl ExperimentManifest {
                 }
                 Ok(())
             }
+            ReportKind::Colocation => {
+                for (i, workload) in matrix.workloads.iter().enumerate() {
+                    let vms = workload.vms.as_ref().or(self.vms.as_ref());
+                    if vms.is_none_or(|v| v.count < 2) {
+                        return Err(ManifestError::new(
+                            format!("$.experiment.workloads[{i}].vms"),
+                            "colocation report needs a vms section with count >= 2 on every workload",
+                        ));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -586,6 +685,7 @@ impl ExperimentManifest {
         );
         let _ = writeln!(out, "  \"sim\": {},", opt_sim(&self.sim));
         let _ = writeln!(out, "  \"faults\": {},", opt_faults(&self.faults));
+        let _ = writeln!(out, "  \"vms\": {},", opt_vms(&self.vms));
         let _ = writeln!(
             out,
             "  \"supervisor\": {},",
@@ -728,6 +828,7 @@ impl ExperimentManifest {
             obs,
             sim,
             faults: opt_faults_from_json(&doc, "$.faults")?,
+            vms: opt_vms_from_json(&doc)?,
             supervisor: opt_supervisor_from_json(&doc)?,
             experiment,
         })
@@ -754,6 +855,56 @@ fn validate_supervisor(spec: &SupervisorSpec, ctx: &str) -> Result<()> {
             format!("{ctx}.soft_wall_ms"),
             "budget must be positive (or null to disable)",
         ));
+    }
+    Ok(())
+}
+
+/// Semantic checks on a multi-tenant host shape: the VM count and
+/// overcommit ratio are bounded, churn periods are positive, churn batches
+/// fit the fleet, and the balloon watermark is a meaningful fraction.
+fn validate_vms(spec: &VmsSpec, ctx: &str) -> Result<()> {
+    if spec.count == 0 || spec.count > VmsSpec::MAX_VMS {
+        return Err(ManifestError::new(
+            format!("{ctx}.count"),
+            format!("need 1..={} VMs", VmsSpec::MAX_VMS),
+        ));
+    }
+    if !spec.overcommit.is_finite()
+        || spec.overcommit < 1.0
+        || spec.overcommit > VmsSpec::MAX_OVERCOMMIT
+    {
+        return Err(ManifestError::new(
+            format!("{ctx}.overcommit"),
+            format!("must be in [1, {}]", VmsSpec::MAX_OVERCOMMIT),
+        ));
+    }
+    if spec.churn_period_ops == Some(0) {
+        return Err(ManifestError::new(
+            format!("{ctx}.churn_period_ops"),
+            "period must be positive (or null to disable)",
+        ));
+    }
+    if spec.churn_period_ops.is_some() {
+        if spec.count < 2 {
+            return Err(ManifestError::new(
+                format!("{ctx}.churn_period_ops"),
+                "churn needs at least 2 VMs",
+            ));
+        }
+        if spec.churn_kills == 0 || spec.churn_kills >= spec.count {
+            return Err(ManifestError::new(
+                format!("{ctx}.churn_kills"),
+                "must kill between 1 and count-1 VMs per churn event",
+            ));
+        }
+    }
+    if let Some(watermark) = spec.balloon_watermark {
+        if !watermark.is_finite() || watermark <= 0.0 || watermark >= 1.0 {
+            return Err(ManifestError::new(
+                format!("{ctx}.balloon_watermark"),
+                "must be a free-frame fraction in (0, 1)",
+            ));
+        }
     }
     Ok(())
 }
@@ -955,6 +1106,70 @@ fn opt_faults_from_json(node: &Json, ctx: &str) -> Result<Option<FaultPlan>> {
     }
 }
 
+fn vms_json(spec: &VmsSpec) -> String {
+    format!(
+        "{{\"count\": {}, \"overcommit\": {}, \"churn_period_ops\": {}, \"churn_kills\": {}, \"balloon_watermark\": {}}}",
+        spec.count,
+        opt_f64(Some(spec.overcommit)),
+        opt_u64(spec.churn_period_ops),
+        spec.churn_kills,
+        opt_f64(spec.balloon_watermark),
+    )
+}
+
+fn opt_vms(spec: &Option<VmsSpec>) -> String {
+    spec.as_ref().map_or_else(|| "null".to_string(), vms_json)
+}
+
+/// Every key a `"vms"` object may carry; anything else is rejected loudly
+/// rather than silently ignored.
+const VMS_KEYS: [&str; 5] = [
+    "count",
+    "overcommit",
+    "churn_period_ops",
+    "churn_kills",
+    "balloon_watermark",
+];
+
+fn vms_from_json(node: &Json, ctx: &str) -> Result<VmsSpec> {
+    let Json::Obj(fields) = node else {
+        return Err(ManifestError::new(ctx, "expected a vms object"));
+    };
+    for (key, _) in fields {
+        if !VMS_KEYS.contains(&key.as_str()) {
+            return Err(ManifestError::new(ctx, format!("unknown vms key {key:?}")));
+        }
+    }
+    Ok(VmsSpec {
+        count: get_u32(node, ctx, "count")?,
+        overcommit: get_f64(node, ctx, "overcommit")?,
+        churn_period_ops: get_opt_u64(node, ctx, "churn_period_ops")?,
+        churn_kills: get_u32(node, ctx, "churn_kills")?,
+        balloon_watermark: get_opt_f64(node, ctx, "balloon_watermark")?,
+    })
+}
+
+/// Manifest-level lookup: `null` is explicitly single-guest; a manifest
+/// with no `"vms"` key at all predates the multi-tenant schema and keeps
+/// parsing, but the implicit shape is deprecated and warns once per
+/// process (the `PTEMAGNET_OPS` → `VMSIM_OPS` treatment).
+fn opt_vms_from_json(doc: &Json) -> Result<Option<VmsSpec>> {
+    static IMPLICIT_SINGLE_GUEST: Once = Once::new();
+    match doc.get("vms") {
+        None => {
+            IMPLICIT_SINGLE_GUEST.call_once(|| {
+                eprintln!(
+                    "vmsim: warning: manifest has no \"vms\" key; the implicit single-guest \
+                     shape is deprecated — re-emit with `vmsim emit` for an explicit \"vms\": null"
+                );
+            });
+            Ok(None)
+        }
+        Some(Json::Null) => Ok(None),
+        Some(node) => vms_from_json(node, "$.vms").map(Some),
+    }
+}
+
 fn supervisor_json(spec: &SupervisorSpec) -> String {
     format!(
         "{{\"retries\": {}, \"seed_stride\": {}, \"max_cell_ops\": {}, \"soft_wall_ms\": {}}}",
@@ -1025,7 +1240,8 @@ fn workload_json(out: &mut String, w: &WorkloadSpec) {
         opt_u64(w.prefragment_run)
     );
     let _ = writeln!(out, "        \"sim\": {},", opt_sim(&w.sim));
-    let _ = writeln!(out, "        \"faults\": {}", opt_faults(&w.faults));
+    let _ = writeln!(out, "        \"faults\": {},", opt_faults(&w.faults));
+    let _ = writeln!(out, "        \"vms\": {}", opt_vms(&w.vms));
     out.push_str("      }");
 }
 
@@ -1153,6 +1369,12 @@ fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
         Json::Null => None,
         v => Some(sim_from_json(v, &format!("{ctx}.sim"))?),
     };
+    // Lenient like "faults": workloads predating the multi-tenant schema
+    // have no "vms" key; absent and null both mean "inherit the manifest".
+    let vms = match node.get("vms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(vms_from_json(v, &format!("{ctx}.vms"))?),
+    };
     Ok(WorkloadSpec {
         label,
         benchmark: get_str(node, &ctx, "benchmark")?,
@@ -1162,6 +1384,7 @@ fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
         prefragment_run: get_opt_u64(node, &ctx, "prefragment_run")?,
         sim,
         faults: opt_faults_from_json(node, &format!("{ctx}.faults"))?,
+        vms,
     })
 }
 
@@ -1181,6 +1404,7 @@ mod tests {
                 ..SimConfig::default()
             }),
             faults: None,
+            vms: None,
             supervisor: Some(SupervisorSpec {
                 retries: 2,
                 seed_stride: 13,
@@ -1221,6 +1445,7 @@ mod tests {
                 obs: ObsConfig::disabled(),
                 sim: None,
                 faults: None,
+                vms: None,
                 supervisor: None,
                 experiment,
             };
@@ -1286,19 +1511,12 @@ mod tests {
 
     #[test]
     fn missing_faults_key_parses_as_no_plan() {
-        // Pre-fault-injection manifests have no "faults" key at all.
+        // Pre-fault-injection manifests have no "faults" key at all. The
+        // workload "vms" key that now follows keeps the JSON well-formed.
         let stripped: String = sample()
             .to_json()
             .lines()
             .filter(|l| !l.trim_start().starts_with("\"faults\""))
-            .map(|l| {
-                // The workload "sim" line regains its line-final position.
-                if l.trim() == "\"sim\": null," && l.starts_with("        ") {
-                    "        \"sim\": null".to_string()
-                } else {
-                    l.to_string()
-                }
-            })
             .collect::<Vec<_>>()
             .join("\n");
         let parsed = ExperimentManifest::from_json(&stripped).expect("parse");
@@ -1424,6 +1642,140 @@ mod tests {
         }
         let err = m.validate().unwrap_err();
         assert!(err.context.contains("workloads[0]"), "{err}");
+    }
+
+    fn churny_vms() -> VmsSpec {
+        VmsSpec {
+            count: 8,
+            overcommit: 1.5,
+            churn_period_ops: Some(2_000),
+            churn_kills: 2,
+            balloon_watermark: Some(0.1),
+        }
+    }
+
+    #[test]
+    fn vms_round_trips_at_both_levels() {
+        let mut m = sample();
+        m.vms = Some(churny_vms());
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[1].vms = Some(VmsSpec::colocated(4));
+        }
+        assert!(m.validate().is_ok());
+        let json = m.to_json();
+        let parsed = ExperimentManifest::from_json(&json).expect("parse");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), json, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn missing_vms_key_parses_as_none() {
+        // Pre-multi-tenant manifests have no "vms" key at all; they parse
+        // (with a one-time deprecation warning) as the single-guest shape.
+        let stripped: String = sample()
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"vms\""))
+            .map(|l| {
+                // The workload "faults" line regains its line-final position.
+                if l.trim() == "\"faults\": null," && l.starts_with("        ") {
+                    "        \"faults\": null".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ExperimentManifest::from_json(&stripped).expect("parse");
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn unknown_vms_key_is_rejected() {
+        let json = sample().to_json().replace(
+            "  \"vms\": null,",
+            "  \"vms\": {\"count\": 2, \"overcommit\": 1.0, \"churn_period_ops\": null, \
+             \"churn_kills\": 1, \"balloon_watermark\": null, \"flavour\": \"grape\"},",
+        );
+        let err = ExperimentManifest::from_json(&json).unwrap_err();
+        assert!(err.message.contains("unknown vms key"), "{err}");
+    }
+
+    #[test]
+    fn vms_bounds_are_validated() {
+        let check = |mutate: fn(&mut VmsSpec), needle: &str| {
+            let mut m = sample();
+            let mut vms = churny_vms();
+            mutate(&mut vms);
+            m.vms = Some(vms);
+            let err = m.validate().unwrap_err();
+            assert!(err.context.contains(needle), "{err}");
+        };
+        check(|v| v.count = 0, "count");
+        check(|v| v.count = VmsSpec::MAX_VMS + 1, "count");
+        check(|v| v.overcommit = 0.5, "overcommit");
+        check(|v| v.overcommit = 9.0, "overcommit");
+        check(|v| v.overcommit = f64::NAN, "overcommit");
+        check(|v| v.churn_period_ops = Some(0), "churn_period_ops");
+        check(|v| v.count = 1, "churn_period_ops");
+        check(|v| v.churn_kills = 0, "churn_kills");
+        check(|v| v.churn_kills = 8, "churn_kills");
+        check(|v| v.balloon_watermark = Some(0.0), "balloon_watermark");
+        check(|v| v.balloon_watermark = Some(1.0), "balloon_watermark");
+
+        let mut m = sample();
+        m.vms = Some(churny_vms());
+        assert!(m.validate().is_ok());
+        // A workload-level spec is validated in place too.
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[0].vms = Some(VmsSpec {
+                overcommit: 20.0,
+                ..VmsSpec::default()
+            });
+        }
+        let err = m.validate().unwrap_err();
+        assert!(err.context.contains("workloads[0].vms"), "{err}");
+    }
+
+    #[test]
+    fn inactive_vms_specs_are_detected() {
+        assert!(!VmsSpec::default().is_active());
+        assert!(!VmsSpec::colocated(1).is_active());
+        assert!(VmsSpec::colocated(2).is_active());
+        assert!(VmsSpec {
+            overcommit: 1.5,
+            ..VmsSpec::default()
+        }
+        .is_active());
+        assert!(VmsSpec {
+            churn_period_ops: Some(100),
+            count: 2,
+            ..VmsSpec::default()
+        }
+        .is_active());
+        assert!(VmsSpec {
+            balloon_watermark: Some(0.2),
+            ..VmsSpec::default()
+        }
+        .is_active());
+    }
+
+    #[test]
+    fn colocation_report_needs_multi_vm_workloads() {
+        let mut m = sample();
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.report = ReportKind::Colocation;
+        }
+        let err = m.validate().unwrap_err();
+        assert!(err.message.contains("count >= 2"), "{err}");
+        // A manifest-level spec covers every workload.
+        m.vms = Some(VmsSpec::colocated(4));
+        assert!(m.validate().is_ok());
+        // A workload-level single-guest override breaks it again.
+        if let ExperimentSpec::Matrix(matrix) = &mut m.experiment {
+            matrix.workloads[0].vms = Some(VmsSpec::colocated(1));
+        }
+        assert!(m.validate().is_err());
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub enum EventKind {
     CellRetried { cell: u64, attempt: u32 },
     /// `vmsim run --resume` skipped this many already-journaled cells.
     RunResumed { cells: u64 },
+    /// A guest VM (re)booted on the host; `boot` counts boots of this slot.
+    VmBoot { vm: u32, boot: u64 },
+    /// A guest VM was killed; `frames` host frames were released.
+    VmKill { vm: u32, frames: u64 },
+    /// A balloon operation moved `frames` frames between a guest and the
+    /// host pool (`inflate` true = guest gave memory back to the host).
+    Balloon { vm: u32, frames: u64, inflate: bool },
 }
 
 impl EventKind {
@@ -91,6 +98,9 @@ impl EventKind {
             EventKind::CellQuarantined { .. } => "cell_quarantined",
             EventKind::CellRetried { .. } => "cell_retried",
             EventKind::RunResumed { .. } => "run_resumed",
+            EventKind::VmBoot { .. } => "vm_boot",
+            EventKind::VmKill { .. } => "vm_kill",
+            EventKind::Balloon { .. } => "balloon",
         }
     }
 
@@ -162,6 +172,22 @@ impl EventKind {
             }
             EventKind::RunResumed { cells } => {
                 let _ = write!(out, ",\"cells\":{cells}");
+            }
+            EventKind::VmBoot { vm, boot } => {
+                let _ = write!(out, ",\"vm\":{vm},\"boot\":{boot}");
+            }
+            EventKind::VmKill { vm, frames } => {
+                let _ = write!(out, ",\"vm\":{vm},\"frames\":{frames}");
+            }
+            EventKind::Balloon {
+                vm,
+                frames,
+                inflate,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"frames\":{frames},\"inflate\":{inflate}"
+                );
             }
         }
     }
@@ -331,6 +357,13 @@ mod tests {
                 attempt: 1,
             },
             EventKind::RunResumed { cells: 5 },
+            EventKind::VmBoot { vm: 2, boot: 3 },
+            EventKind::VmKill { vm: 2, frames: 640 },
+            EventKind::Balloon {
+                vm: 1,
+                frames: 32,
+                inflate: true,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let line = Event { op: i as u64, kind }.to_json();

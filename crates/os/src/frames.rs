@@ -1,0 +1,165 @@
+//! Dense physical-frame reference counting.
+//!
+//! Both memory layers need to know how many mappings point at a physical
+//! frame: the guest kernel shares guest frames across processes after a
+//! fork (COW, §4.4), and a multi-tenant host shares host frames across the
+//! page tables of colocated VMs. Historically each layer kept an ad-hoc
+//! `Vec<u32>` (or nothing at all, on the host side); [`FrameRefTable`]
+//! centralizes the bookkeeping behind one audited interface, in the style
+//! of a kernel's physical-page reference counter.
+//!
+//! The table is deliberately dumb: a dense `Vec<u32>` indexed by frame
+//! number. Every transition is checked — dropping a reference on an
+//! untracked frame, or re-initializing a frame that still has owners, is a
+//! logic bug upstream and panics loudly rather than corrupting accounting.
+
+/// Dense per-frame reference counts for one physical address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRefTable {
+    refs: Vec<u32>,
+}
+
+impl FrameRefTable {
+    /// An all-zero table covering `frames` physical frames.
+    #[must_use]
+    pub fn new(frames: u64) -> Self {
+        Self {
+            refs: vec![0; frames as usize],
+        }
+    }
+
+    /// Number of frames the table covers.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.refs.len() as u64
+    }
+
+    /// True when the table covers zero frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Current reference count of `frame`.
+    #[must_use]
+    pub fn get(&self, frame: u64) -> u32 {
+        self.refs[frame as usize]
+    }
+
+    /// True when more than one mapping references `frame`.
+    #[must_use]
+    pub fn is_shared(&self, frame: u64) -> bool {
+        self.refs[frame as usize] > 1
+    }
+
+    /// Initializes `frame` with exactly one owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already referenced — a frame must be fully
+    /// released before it can be handed out again.
+    pub fn set_one(&mut self, frame: u64) {
+        let r = &mut self.refs[frame as usize];
+        assert_eq!(*r, 0, "frame {frame} re-initialized with {r} live refs");
+        *r = 1;
+    }
+
+    /// Adds a reference to an already-tracked frame, returning the new
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame had no owner: sharing starts from an existing
+    /// mapping, never from thin air.
+    pub fn incr(&mut self, frame: u64) -> u32 {
+        let r = &mut self.refs[frame as usize];
+        assert!(*r > 0, "frame {frame} shared while unreferenced");
+        *r += 1;
+        *r
+    }
+
+    /// Drops a reference, returning the remaining count (0 means the frame
+    /// is now free to return to its allocator).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a frame with no live references (double free).
+    pub fn decr(&mut self, frame: u64) -> u32 {
+        let r = &mut self.refs[frame as usize];
+        assert!(*r > 0, "frame {frame} released below zero refs");
+        *r -= 1;
+        *r
+    }
+
+    /// Number of frames with at least one live reference.
+    #[must_use]
+    pub fn referenced_frames(&self) -> u64 {
+        self.refs.iter().filter(|&&r| r > 0).count() as u64
+    }
+
+    /// Total live references across all frames.
+    #[must_use]
+    pub fn total_refs(&self) -> u64 {
+        self.refs.iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// Resets every count to zero (the owning address space was torn down
+    /// wholesale, e.g. a VM kill).
+    pub fn clear(&mut self) {
+        self.refs.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts_up_and_down() {
+        let mut t = FrameRefTable::new(8);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.get(3), 0);
+        t.set_one(3);
+        assert!(!t.is_shared(3));
+        assert_eq!(t.incr(3), 2);
+        assert!(t.is_shared(3));
+        assert_eq!(t.referenced_frames(), 1);
+        assert_eq!(t.total_refs(), 2);
+        assert_eq!(t.decr(3), 1);
+        assert_eq!(t.decr(3), 0);
+        assert_eq!(t.referenced_frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-initialized")]
+    fn double_init_panics() {
+        let mut t = FrameRefTable::new(2);
+        t.set_one(0);
+        t.set_one(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn double_free_panics() {
+        let mut t = FrameRefTable::new(2);
+        t.decr(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreferenced")]
+    fn sharing_untracked_frame_panics() {
+        let mut t = FrameRefTable::new(2);
+        t.incr(0);
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut t = FrameRefTable::new(4);
+        t.set_one(0);
+        t.set_one(2);
+        t.incr(2);
+        t.clear();
+        assert_eq!(t.referenced_frames(), 0);
+        t.set_one(0); // legal again after clear
+    }
+}

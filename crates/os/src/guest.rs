@@ -19,6 +19,7 @@ use vmsim_buddy::BuddyAllocator;
 use vmsim_pt::Pte;
 use vmsim_types::{GuestFrame, GuestVirtAddr, GuestVirtPage, MemError, Result, PT_ENTRIES};
 
+use crate::frames::FrameRefTable;
 use crate::process::{Pid, Process};
 
 /// The guest-physical buddy allocator.
@@ -273,7 +274,7 @@ pub struct GuestOs {
     next_pid: u64,
     /// Reference counts for frames shared across address spaces (fork/COW),
     /// indexed densely by guest frame number (0 = untracked).
-    frame_refs: Vec<u32>,
+    frame_refs: FrameRefTable,
     stats: GuestStats,
     /// Per-process translation generations, indexed by `pid.0`. Bumped by
     /// every operation that changes an *existing* mapping of that process
@@ -293,7 +294,7 @@ impl GuestOs {
             allocator,
             processes: BTreeMap::new(),
             next_pid: 1,
-            frame_refs: vec![0; total_frames as usize],
+            frame_refs: FrameRefTable::new(total_frames),
             stats: GuestStats::default(),
             xlate_gens: Vec::new(),
         }
@@ -395,7 +396,7 @@ impl GuestOs {
             AllocGrant::Small(gfn) => {
                 proc.page_table.map(vpn, gfn, || buddy.alloc(0))?;
                 proc.rss_pages += 1;
-                frame_refs[gfn.raw() as usize] = 1;
+                frame_refs.set_one(gfn.raw());
                 (gfn, false)
             }
             AllocGrant::Huge(chunk) => {
@@ -404,7 +405,7 @@ impl GuestOs {
                     .map_large(region_base, chunk, || buddy.alloc(0))?;
                 proc.rss_pages += PT_ENTRIES;
                 for i in 0..PT_ENTRIES {
-                    frame_refs[(chunk.raw() + i) as usize] = 1;
+                    frame_refs.set_one(chunk.raw() + i);
                 }
                 (
                     GuestFrame::new(chunk.raw() + (vpn.raw() & (PT_ENTRIES - 1))),
@@ -459,18 +460,17 @@ impl GuestOs {
         // 4 KB leaf entry here.
         debug_assert!(!pte.is_huge(), "huge mappings never carry COW");
         let old = pte.frame();
-        let refs = &mut frame_refs[old.raw() as usize];
-        debug_assert!(*refs > 0, "cow frame is tracked");
-        if *refs == 1 {
+        debug_assert!(frame_refs.get(old.raw()) > 0, "cow frame is tracked");
+        if !frame_refs.is_shared(old.raw()) {
             // Sole owner: just restore write access.
             proc.page_table
                 .update(vpn, |p| p.with_cow(false).with_writable(true))?;
             Self::bump_xlate_gen(xlate_gens, pid);
             return Ok((old, false));
         }
-        *refs -= 1;
+        frame_refs.decr(old.raw());
         let (new_gfn, cost) = allocator.allocate(pid, vpn, buddy)?;
-        frame_refs[new_gfn.raw() as usize] = 1;
+        frame_refs.set_one(new_gfn.raw());
         proc.page_table.unmap(vpn)?;
         proc.page_table.map(vpn, new_gfn, || buddy.alloc(0))?;
         stats.cow_breaks += 1;
@@ -528,7 +528,7 @@ impl GuestOs {
         buddy: &mut GuestBuddy,
         allocator: &mut Box<dyn GuestFrameAllocator>,
         processes: &mut BTreeMap<Pid, Process>,
-        frame_refs: &mut [u32],
+        frame_refs: &mut FrameRefTable,
         stats: &mut GuestStats,
     ) -> Result<Pid> {
         let parent_proc = processes
@@ -571,7 +571,7 @@ impl GuestOs {
                 Pte::present(*gfn).with_cow(true).with_writable(false),
                 || buddy.alloc(0),
             )?;
-            frame_refs[gfn.raw() as usize] += 1;
+            frame_refs.incr(gfn.raw());
         }
         child.rss_pages = mappings.len() as u64;
         processes.insert(child_pid, child);
@@ -628,10 +628,7 @@ impl GuestOs {
             };
             proc.rss_pages -= 1;
             let gfn = old.frame();
-            let refs = &mut frame_refs[gfn.raw() as usize];
-            debug_assert!(*refs > 0, "mapped frame tracked");
-            *refs -= 1;
-            if *refs == 0 {
+            if frame_refs.decr(gfn.raw()) == 0 {
                 allocator.free(pid, vpn, gfn, buddy)?;
             }
             unmapped.push(vpn);
@@ -739,6 +736,11 @@ impl GuestOs {
     /// Kernel event counters.
     pub fn stats(&self) -> GuestStats {
         self.stats
+    }
+
+    /// The guest-frame reference-count table (fork/COW sharing).
+    pub fn frame_refs(&self) -> &FrameRefTable {
+        &self.frame_refs
     }
 
     /// Releases up to `target_frames` of reserved-but-unused frames

@@ -12,6 +12,8 @@ use vmsim_buddy::BuddyAllocator;
 use vmsim_pt::{PageTable, WalkPath};
 use vmsim_types::{GuestFrame, HostFrame, HostVirtPage, MemError, Result};
 
+use crate::frames::FrameRefTable;
+
 /// Host-kernel event counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostStats {
@@ -36,6 +38,11 @@ pub struct HostOs {
     buddy: BuddyAllocator<HostFrame>,
     host_pt: PageTable<HostVirtPage, HostFrame>,
     vm_base: HostVirtPage,
+    /// Reference counts for host data frames, indexed by host frame number.
+    /// Every mapping installed through the host PT holds one reference;
+    /// page-table node frames are owned by the table itself and stay
+    /// untracked.
+    frame_refs: FrameRefTable,
     stats: HostStats,
 }
 
@@ -53,6 +60,7 @@ impl HostOs {
             buddy,
             host_pt,
             vm_base,
+            frame_refs: FrameRefTable::new(total_frames),
             stats: HostStats::default(),
         }
     }
@@ -92,8 +100,24 @@ impl HostOs {
         let hfn = self.buddy.alloc(0)?;
         let Self { buddy, host_pt, .. } = self;
         host_pt.map(hvpn, hfn, || buddy.alloc(0))?;
+        self.frame_refs.set_one(hfn.raw());
         self.stats.faults += 1;
         Ok(hfn)
+    }
+
+    /// Removes the backing of `hvpn`, releasing the host frame once its last
+    /// reference drops. Returns the frame that was mapped, if any. The leaf
+    /// page-table nodes stay allocated — the slot can be re-faulted cheaply,
+    /// which is exactly what happens when a VM slot is recycled.
+    pub fn unback_page(&mut self, hvpn: HostVirtPage) -> Option<HostFrame> {
+        let pte = self.host_pt.take(hvpn)?;
+        let hfn = pte.frame();
+        if self.frame_refs.decr(hfn.raw()) == 0 {
+            self.buddy
+                .free(hfn, 0)
+                .expect("host data frames are order-0 buddy allocations");
+        }
+        Some(hfn)
     }
 
     /// Returns the host frame backing guest frame `gfn`, faulting it in if
@@ -103,7 +127,17 @@ impl HostOs {
     ///
     /// Returns [`MemError::OutOfMemory`] if a needed fault cannot be served.
     pub fn back_guest_frame(&mut self, gfn: GuestFrame) -> Result<(HostFrame, bool)> {
-        let hvpn = self.hvpn_of(gfn);
+        self.back_page(self.hvpn_of(gfn))
+    }
+
+    /// Returns the host frame backing host-virtual page `hvpn`, faulting it
+    /// in if needed — the general form of [`HostOs::back_guest_frame`] used
+    /// by multi-tenant hosts where each VM has its own base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] if a needed fault cannot be served.
+    pub fn back_page(&mut self, hvpn: HostVirtPage) -> Result<(HostFrame, bool)> {
         if let Some(hfn) = self.translate(hvpn) {
             return Ok((hfn, false));
         }
@@ -142,6 +176,11 @@ impl HostOs {
     /// Host event counters.
     pub fn stats(&self) -> HostStats {
         self.stats
+    }
+
+    /// The host-frame reference-count table.
+    pub fn frame_refs(&self) -> &FrameRefTable {
+        &self.frame_refs
     }
 }
 
@@ -234,6 +273,25 @@ mod tests {
         // Host pool accounting: 2 data frames + root + walk nodes.
         let used = h.buddy().total_frames() - h.buddy().free_frames();
         assert!(used >= 2 + 1 + 3);
+    }
+
+    #[test]
+    fn unback_releases_frame_and_refcount() {
+        let mut h = host();
+        let hvpn = h.hvpn_of(GuestFrame::new(7));
+        let (hfn, faulted) = h.back_page(hvpn).unwrap();
+        assert!(faulted);
+        assert_eq!(h.frame_refs().get(hfn.raw()), 1);
+        let free_before = h.buddy().free_frames();
+        assert_eq!(h.unback_page(hvpn), Some(hfn));
+        assert_eq!(h.frame_refs().get(hfn.raw()), 0);
+        assert_eq!(h.buddy().free_frames(), free_before + 1);
+        assert_eq!(h.translate(hvpn), None);
+        assert_eq!(h.unback_page(hvpn), None, "second unback is a no-op");
+        // The slot can be re-faulted afterwards, reusing the leaf node.
+        let (hfn2, refaulted) = h.back_page(hvpn).unwrap();
+        assert!(refaulted);
+        assert_eq!(h.frame_refs().get(hfn2.raw()), 1);
     }
 
     #[test]

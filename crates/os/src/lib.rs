@@ -36,6 +36,7 @@
 //! ```
 
 pub mod cost;
+pub mod frames;
 pub mod guest;
 pub mod host;
 pub mod machine;
@@ -43,6 +44,7 @@ pub mod process;
 pub mod vma;
 
 pub use cost::CostModel;
+pub use frames::FrameRefTable;
 pub use guest::{
     resolve_os_policy, AllocCost, AllocGrant, DefaultAllocator, GuestBuddy, GuestFrameAllocator,
     GuestOs, OS_POLICY_NAMES,

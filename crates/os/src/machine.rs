@@ -12,6 +12,7 @@
 //! accesses exactly as hardware does, leaving leaf PTE fetches dominant.
 
 use serde::{Deserialize, Serialize};
+use vmsim_buddy::FragmentationIndex;
 use vmsim_cache::{
     AccessKind, CacheHierarchy, HierarchyConfig, Histogram, PageWalkCaches, PwcConfig, Tlb,
     TlbConfig,
@@ -163,11 +164,64 @@ pub struct MemoStats {
     pub clears: u64,
 }
 
-/// The assembled VM: guest, host, and hardware state.
+/// One tenant VM on the host: its guest kernel plus its slot in the host's
+/// virtual address space. A classic single-guest [`Machine`] is simply a
+/// host with one `GuestVm` whose slot starts at `config.vm_base`.
+#[derive(Debug)]
+pub struct GuestVm {
+    guest: GuestOs,
+    /// First host-virtual page of this VM's guest-physical slot; guest
+    /// frame `g` of this VM lives at host-virtual page `base + g`.
+    base: HostVirtPage,
+    /// Guest frames pinned by the balloon driver: allocated from the guest
+    /// buddy (so the guest cannot use them) with their host backing
+    /// released (so the host can hand the frames to other VMs).
+    ballooned: Vec<GuestFrame>,
+    /// Times this VM slot has booted (1 after construction).
+    boots: u64,
+    /// False between a kill and the next boot.
+    running: bool,
+}
+
+impl GuestVm {
+    fn new(guest: GuestOs, base: HostVirtPage) -> Self {
+        Self {
+            guest,
+            base,
+            ballooned: Vec::new(),
+            boots: 1,
+            running: true,
+        }
+    }
+}
+
+/// Per-VM allocator factory for multi-tenant machines: rebooting a VM slot
+/// needs a fresh policy instance, so the machine keeps the recipe, not just
+/// the product.
+struct AllocFactory(Box<dyn Fn(usize) -> Box<dyn GuestFrameAllocator>>);
+
+impl std::fmt::Debug for AllocFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AllocFactory")
+    }
+}
+
+/// The assembled machine: one host plus its tenant VMs and hardware state.
+///
+/// The classic constructors ([`Machine::new`], [`Machine::with_allocator`])
+/// build a single-tenant machine and every historical accessor
+/// ([`Machine::guest`], [`Machine::touch`], …) operates on VM 0, so
+/// existing callers observe bit-identical behaviour. A multi-tenant host
+/// is built with [`Machine::multi_tenant`] and driven through the
+/// `*_vm` methods plus the VM lifecycle API ([`Machine::kill_vm`],
+/// [`Machine::boot_vm`], [`Machine::balloon_vm`]).
 #[derive(Debug)]
 pub struct Machine {
-    guest: GuestOs,
+    vms: Vec<GuestVm>,
     host: HostOs,
+    /// Recipe for per-VM allocators; present only on multi-tenant machines
+    /// (needed to reboot a killed VM slot with a fresh policy instance).
+    factory: Option<AllocFactory>,
     caches: CacheHierarchy,
     tlbs: Vec<Tlb>,
     pwcs: Vec<PageWalkCaches>,
@@ -242,8 +296,12 @@ impl Machine {
     pub fn with_allocator(config: MachineConfig, allocator: Box<dyn GuestFrameAllocator>) -> Self {
         let cores = config.hierarchy.cores;
         Self {
-            guest: GuestOs::new(config.guest_frames, allocator),
+            vms: vec![GuestVm::new(
+                GuestOs::new(config.guest_frames, allocator),
+                HostVirtPage::new(config.vm_base),
+            )],
             host: HostOs::new(config.host_frames, HostVirtPage::new(config.vm_base)),
+            factory: None,
             caches: CacheHierarchy::new(config.hierarchy),
             tlbs: (0..cores).map(|_| Tlb::new(config.tlb)).collect(),
             pwcs: (0..cores)
@@ -263,6 +321,58 @@ impl Machine {
             prof: None,
             faults: None,
         }
+    }
+
+    /// Builds a multi-tenant host: `vm_count` independent guest VMs, each
+    /// with `config.guest_frames` of guest-physical memory and its own
+    /// allocator built by `factory(vm)`, all sharing one host pool of
+    /// `config.host_frames` frames (the caller sizes the pool for the
+    /// desired overcommit ratio). VM `i`'s guest-physical slot is mapped at
+    /// host-virtual page `config.vm_base + i * config.guest_frames`.
+    ///
+    /// A 1-VM multi-tenant machine behaves bit-identically to
+    /// [`Machine::with_allocator`] with the same config and allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_count` is zero.
+    pub fn multi_tenant(
+        config: MachineConfig,
+        vm_count: usize,
+        factory: impl Fn(usize) -> Box<dyn GuestFrameAllocator> + 'static,
+    ) -> Self {
+        assert!(vm_count > 0, "a host needs at least one VM");
+        let mut machine = Self::with_allocator(config, factory(0));
+        for vm in 1..vm_count {
+            machine.vms.push(GuestVm::new(
+                GuestOs::new(config.guest_frames, factory(vm)),
+                HostVirtPage::new(config.vm_base + vm as u64 * config.guest_frames),
+            ));
+        }
+        machine.factory = Some(AllocFactory(Box::new(factory)));
+        machine
+    }
+
+    /// Composed TLB/PWC address-space id for (`vm`, `pid`): VM 0 keeps the
+    /// raw pid, so single-tenant machines are bit-compatible with the
+    /// historical single-guest encoding.
+    #[inline]
+    fn asid_of(vm: usize, pid: Pid) -> u64 {
+        ((vm as u64) << 32) | pid.0
+    }
+
+    /// Host-virtual page backing guest frame `gfn` of VM `vm`.
+    #[inline]
+    fn hvpn_in(&self, vm: usize, gfn: GuestFrame) -> HostVirtPage {
+        HostVirtPage::new(self.vms[vm].base.raw() + gfn.raw())
+    }
+
+    /// Nested-TLB/PWC key for guest frame `gfn` of VM `vm`: guest-frame
+    /// numbers collide across VMs, so the key is namespaced by the VM's
+    /// slot index (identity for VM 0).
+    #[inline]
+    fn nested_key(&self, vm: usize, gfn: GuestFrame) -> GuestFrame {
+        GuestFrame::new(vm as u64 * self.config.guest_frames + gfn.raw())
     }
 
     /// Number of [`Machine::touch`] calls played so far (the sim-op clock).
@@ -338,7 +448,8 @@ impl Machine {
     /// stream is a pure function of `(plan, run_seed)`, so faulted runs are
     /// bit-reproducible regardless of worker-pool width.
     pub fn install_faults(&mut self, plan: FaultPlan, run_seed: u64) {
-        self.guest
+        self.vms[0]
+            .guest
             .buddy_mut()
             .set_fault_injector(FaultInjector::new(&plan, run_seed));
         self.faults = Some(FaultDriver::new(plan));
@@ -388,14 +499,54 @@ impl Machine {
         self.faults.is_some()
     }
 
-    /// The guest OS.
+    /// The guest OS (of VM 0 — the only VM on single-tenant machines).
     pub fn guest(&self) -> &GuestOs {
-        &self.guest
+        &self.vms[0].guest
     }
 
-    /// Mutable access to the guest OS (spawn processes, mmap, …).
+    /// Mutable access to VM 0's guest OS (spawn processes, mmap, …).
     pub fn guest_mut(&mut self) -> &mut GuestOs {
-        &mut self.guest
+        &mut self.vms[0].guest
+    }
+
+    /// The guest OS of VM `vm`.
+    pub fn vm_guest(&self, vm: usize) -> &GuestOs {
+        &self.vms[vm].guest
+    }
+
+    /// Mutable access to VM `vm`'s guest OS.
+    pub fn vm_guest_mut(&mut self, vm: usize) -> &mut GuestOs {
+        &mut self.vms[vm].guest
+    }
+
+    /// Number of VM slots on this host (running or not).
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Whether VM `vm` is currently running.
+    pub fn vm_running(&self, vm: usize) -> bool {
+        self.vms[vm].running
+    }
+
+    /// Times VM slot `vm` has booted.
+    pub fn vm_boots(&self, vm: usize) -> u64 {
+        self.vms[vm].boots
+    }
+
+    /// Frames currently pinned by VM `vm`'s balloon.
+    pub fn vm_ballooned(&self, vm: usize) -> u64 {
+        self.vms[vm].ballooned.len() as u64
+    }
+
+    /// Base of VM `vm`'s guest-physical slot in host-virtual space.
+    pub fn vm_base_of(&self, vm: usize) -> HostVirtPage {
+        self.vms[vm].base
+    }
+
+    /// Free frames left in the host-physical pool.
+    pub fn host_free_frames(&self) -> u64 {
+        self.host.buddy().free_frames()
     }
 
     /// The host OS.
@@ -451,6 +602,38 @@ impl Machine {
         va: GuestVirtAddr,
         is_write: bool,
     ) -> Result<TouchOutcome> {
+        self.touch_in(0, core, pid, va, is_write)
+    }
+
+    /// [`Machine::touch`] against VM `vm` of a multi-tenant host.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM slot is not running.
+    pub fn touch_vm(
+        &mut self,
+        vm: usize,
+        core: usize,
+        pid: Pid,
+        va: GuestVirtAddr,
+        is_write: bool,
+    ) -> Result<TouchOutcome> {
+        assert!(self.vms[vm].running, "touch of a stopped VM");
+        self.touch_in(vm, core, pid, va, is_write)
+    }
+
+    fn touch_in(
+        &mut self,
+        vm: usize,
+        core: usize,
+        pid: Pid,
+        va: GuestVirtAddr,
+        is_write: bool,
+    ) -> Result<TouchOutcome> {
         self.ops += 1;
         // Scheduled fault triggers fire before the access is served, so a
         // fragmentation shock can deny this very op's reservation chunk. A
@@ -466,17 +649,17 @@ impl Machine {
         }
         if self.memo_enabled {
             self.prof_enter(Phase::MemoProbe);
-            let replayed = self.memo_replay(core, pid, va, is_write);
+            let replayed = self.memo_replay(vm, core, pid, va, is_write);
             self.prof_exit();
             if let Some((out, _)) = replayed {
                 self.prof_cycles(Phase::MemoProbe, out.cycles);
                 return Ok(out);
             }
         }
-        let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
+        let (out, write_ok, data_hpa) = self.touch_slow(vm, core, pid, va, is_write)?;
         if self.memo_enabled {
             self.prof_enter(Phase::Fill);
-            self.memo_fill(core, pid, va, write_ok, data_hpa);
+            self.memo_fill(vm, core, pid, va, write_ok, data_hpa);
             self.prof_exit();
         }
         Ok(out)
@@ -495,6 +678,36 @@ impl Machine {
     /// As for [`Machine::touch`]; the first failing access aborts the run.
     pub fn touch_run(
         &mut self,
+        core: usize,
+        pid: Pid,
+        run: &[(GuestVirtAddr, bool)],
+    ) -> Result<u64> {
+        self.touch_run_in(0, core, pid, run)
+    }
+
+    /// [`Machine::touch_run`] against VM `vm` of a multi-tenant host.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM slot is not running.
+    pub fn touch_run_vm(
+        &mut self,
+        vm: usize,
+        core: usize,
+        pid: Pid,
+        run: &[(GuestVirtAddr, bool)],
+    ) -> Result<u64> {
+        assert!(self.vms[vm].running, "touch of a stopped VM");
+        self.touch_run_in(vm, core, pid, run)
+    }
+
+    fn touch_run_in(
+        &mut self,
+        vm: usize,
         core: usize,
         pid: Pid,
         run: &[(GuestVirtAddr, bool)],
@@ -531,7 +744,7 @@ impl Machine {
             }
             if self.memo_enabled {
                 self.prof_enter(Phase::MemoProbe);
-                let replayed = self.memo_replay(core, pid, va, is_write);
+                let replayed = self.memo_replay(vm, core, pid, va, is_write);
                 self.prof_exit();
                 if let Some((out, write_ok)) = replayed {
                     self.prof_cycles(Phase::MemoProbe, out.cycles);
@@ -541,10 +754,10 @@ impl Machine {
                     continue;
                 }
             }
-            let (out, write_ok, data_hpa) = self.touch_slow(core, pid, va, is_write)?;
+            let (out, write_ok, data_hpa) = self.touch_slow(vm, core, pid, va, is_write)?;
             if self.memo_enabled {
                 self.prof_enter(Phase::Fill);
-                self.memo_fill(core, pid, va, write_ok, data_hpa);
+                self.memo_fill(vm, core, pid, va, write_ok, data_hpa);
                 self.prof_exit();
             }
             total += out.cycles;
@@ -564,16 +777,17 @@ impl Machine {
     #[inline]
     fn memo_replay(
         &mut self,
+        vm: usize,
         core: usize,
         pid: Pid,
         va: GuestVirtAddr,
         is_write: bool,
     ) -> Option<(TouchOutcome, bool)> {
         let slot = &self.memos[core][Self::memo_index(va)];
-        if slot.pid != pid.0
+        if slot.pid != Self::asid_of(vm, pid)
             || slot.va != va.raw()
             || (is_write && !slot.write_ok)
-            || slot.gen != self.guest.xlate_gen(pid)
+            || slot.gen != self.vms[vm].guest.xlate_gen(pid)
             || slot.tlb_epoch != self.tlbs[core].l1_set_epoch_at(slot.tlb_set)
             || slot.data_epoch != self.caches.l1_set_epoch_at(core, slot.data_set)
         {
@@ -600,18 +814,20 @@ impl Machine {
     #[inline]
     fn memo_fill(
         &mut self,
+        vm: usize,
         core: usize,
         pid: Pid,
         va: GuestVirtAddr,
         write_ok: bool,
         data_hpa: HostPhysAddr,
     ) {
-        let tlb_set = self.tlbs[core].l1_set_index(pid.0, va.page());
+        let asid = Self::asid_of(vm, pid);
+        let tlb_set = self.tlbs[core].l1_set_index(asid, va.page());
         let data_set = self.caches.l1_set_index(core, data_hpa);
         self.memos[core][Self::memo_index(va)] = MemoSlot {
-            pid: pid.0,
+            pid: asid,
             va: va.raw(),
-            gen: self.guest.xlate_gen(pid),
+            gen: self.vms[vm].guest.xlate_gen(pid),
             tlb_set,
             data_set,
             tlb_epoch: self.tlbs[core].l1_set_epoch_at(tlb_set),
@@ -627,12 +843,14 @@ impl Machine {
     /// address.
     fn touch_slow(
         &mut self,
+        vm: usize,
         core: usize,
         pid: Pid,
         va: GuestVirtAddr,
         is_write: bool,
     ) -> Result<(TouchOutcome, bool, HostPhysAddr)> {
         let vpn = va.page();
+        let asid = Self::asid_of(vm, pid);
         self.memo_stats.naive_walks += 1;
         let mut out = TouchOutcome {
             cycles: self.cost.work_cycles_per_access,
@@ -641,9 +859,16 @@ impl Machine {
         // Buddy counters before the fault section, so tracing can report
         // split/merge activity caused by this access. Read only when a
         // tracer is installed — the disabled path stays a single branch.
-        let buddy_before = self.tracer.as_ref().map(|_| *self.guest.buddy().stats());
+        let buddy_before = self
+            .tracer
+            .as_ref()
+            .map(|_| *self.vms[vm].guest.buddy().stats());
         let injector_before = if self.tracer.is_some() {
-            self.guest.buddy().fault_injector().map(|i| i.stats())
+            self.vms[vm]
+                .guest
+                .buddy()
+                .fault_injector()
+                .map(|i| i.stats())
         } else {
             None
         };
@@ -656,7 +881,7 @@ impl Machine {
         // dangling spans.
         self.prof_enter(Phase::Alloc);
         let cycles_before_fault = out.cycles;
-        let pte = self.guest.process(pid)?.page_table.lookup(vpn);
+        let pte = self.vms[vm].guest.process(pid)?.page_table.lookup(vpn);
         // Whether, after the fault section, the page is writable without
         // further kernel involvement (feeds the memo's write permission).
         let write_ok;
@@ -664,10 +889,10 @@ impl Machine {
             None => {
                 // A fresh fault installs a private, writable mapping.
                 write_ok = true;
-                let info = match self.guest.page_fault(pid, vpn) {
+                let info = match self.vms[vm].guest.page_fault(pid, vpn) {
                     Ok(info) => info,
                     Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
-                        self.absorb_oom_and_retry(pid, vpn, |g, p, v| g.page_fault(p, v))?
+                        self.absorb_oom_and_retry(vm, pid, vpn, |g, p, v| g.page_fault(p, v))?
                     }
                     Err(e) => return Err(e),
                 };
@@ -682,7 +907,8 @@ impl Machine {
                 }
                 // The faulting instruction touches the page immediately, so
                 // the host backs the data frame right away.
-                let (_hfn, host_faulted) = self.host.back_guest_frame(info.gfn)?;
+                let hvpn = self.hvpn_in(vm, info.gfn);
+                let (_hfn, host_faulted) = self.host.back_page(hvpn)?;
                 if host_faulted {
                     out.host_faults += 1;
                     out.cycles += self.cost.host_fault_cycles;
@@ -743,10 +969,10 @@ impl Machine {
                 // Whether a copy happened or write access was restored, the
                 // page is now privately writable.
                 write_ok = true;
-                let (new_gfn, copied) = match self.guest.write_fault(pid, vpn) {
+                let (new_gfn, copied) = match self.vms[vm].guest.write_fault(pid, vpn) {
                     Ok(r) => r,
                     Err(MemError::OutOfMemory { .. }) if self.faults.is_some() => {
-                        self.absorb_oom_and_retry(pid, vpn, |g, p, v| g.write_fault(p, v))?
+                        self.absorb_oom_and_retry(vm, pid, vpn, |g, p, v| g.write_fault(p, v))?
                     }
                     Err(e) => return Err(e),
                 };
@@ -754,7 +980,8 @@ impl Machine {
                 out.cycles += self.cost.guest_fault_cycles;
                 if copied {
                     out.cycles += self.cost.buddy_call_cycles;
-                    let (_hfn, host_faulted) = self.host.back_guest_frame(new_gfn)?;
+                    let hvpn = self.hvpn_in(vm, new_gfn);
+                    let (_hfn, host_faulted) = self.host.back_page(hvpn)?;
                     if host_faulted {
                         out.host_faults += 1;
                         out.cycles += self.cost.host_fault_cycles;
@@ -774,7 +1001,7 @@ impl Machine {
                 }
                 // The mapping changed: shoot down stale translations.
                 for tlb in &mut self.tlbs {
-                    tlb.invalidate(pid.0, vpn);
+                    tlb.invalidate(asid, vpn);
                 }
             }
             Some(pte) => {
@@ -785,7 +1012,7 @@ impl Machine {
             self.fault_hist[core].record(out.cycles - cycles_before_fault);
         }
         if let Some(before) = buddy_before {
-            let after = *self.guest.buddy().stats();
+            let after = *self.vms[vm].guest.buddy().stats();
             let (splits, merges) = (after.splits - before.splits, after.merges - before.merges);
             let tracer = self.tracer.as_mut().expect("buddy_before implies tracer");
             if splits > 0 {
@@ -796,7 +1023,7 @@ impl Machine {
             }
         }
         if let Some(before) = injector_before {
-            let after = self
+            let after = self.vms[vm]
                 .guest
                 .buddy()
                 .fault_injector()
@@ -823,7 +1050,7 @@ impl Machine {
 
         // 2. Translate.
         self.prof_enter(Phase::TlbLookup);
-        let looked_up = self.tlbs[core].lookup(pid.0, vpn);
+        let looked_up = self.tlbs[core].lookup(asid, vpn);
         self.prof_exit();
         let hfn = match looked_up {
             Some(hfn) => {
@@ -831,7 +1058,7 @@ impl Machine {
                 hfn
             }
             None => {
-                let (hfn, walk_cycles, host_faults) = self.nested_walk(core, pid, vpn)?;
+                let (hfn, walk_cycles, host_faults) = self.nested_walk_in(vm, core, pid, vpn)?;
                 out.cycles += walk_cycles;
                 out.host_faults += host_faults;
                 hfn
@@ -865,7 +1092,7 @@ impl Machine {
 
         if due(driver.plan.frag_shock_every) {
             let max_order = driver.plan.frag_shock_order;
-            let splits = self.guest.buddy_mut().shatter(max_order);
+            let splits = self.vms[0].guest.buddy_mut().shatter(max_order);
             driver.frag_shocks += 1;
             fired = true;
             if let Some(tracer) = self.tracer.as_mut() {
@@ -873,7 +1100,7 @@ impl Machine {
             }
         }
         if due(driver.plan.reclaim_storm_every) {
-            let frames = self
+            let frames = self.vms[0]
                 .guest
                 .reclaim_reservations(driver.plan.reclaim_storm_frames);
             driver.reclaim_storms += 1;
@@ -887,8 +1114,8 @@ impl Machine {
             // The host picks a reserved-unused frame (there is nothing to
             // swap out otherwise) and the §4.4 hook releases its covering
             // reservation.
-            if let Some(gfn) = self.guest.allocator().any_reserved_unused_frame() {
-                let frames = self.guest.swap_target(gfn);
+            if let Some(gfn) = self.vms[0].guest.allocator().any_reserved_unused_frame() {
+                let frames = self.vms[0].guest.swap_target(gfn);
                 driver.swap_outs += 1;
                 driver.reclaimed_frames += frames;
                 fired = true;
@@ -904,12 +1131,12 @@ impl Machine {
             }
         }
         if let Some(threshold) = driver.plan.daemon_threshold {
-            if self.guest.buddy().free_fraction() < threshold {
+            if self.vms[0].guest.buddy().free_fraction() < threshold {
                 // The §4.3 daemon: restore free memory to the high
                 // watermark by draining reserved-unused frames.
                 let restore_to = driver.plan.daemon_restore_to.unwrap_or(threshold);
-                let total = self.guest.buddy().total_frames();
-                let have = self.guest.buddy().free_frames();
+                let total = self.vms[0].guest.buddy().total_frames();
+                let have = self.vms[0].guest.buddy().free_frames();
                 let want = (restore_to * total as f64) as u64;
                 let target = want.saturating_sub(have);
                 if target > 0 {
@@ -931,11 +1158,12 @@ impl Machine {
     /// genuinely exhausted) propagates.
     fn absorb_oom_and_retry<T>(
         &mut self,
+        vm: usize,
         pid: Pid,
         vpn: GuestVirtPage,
         retry: impl FnOnce(&mut GuestOs, Pid, GuestVirtPage) -> Result<T>,
     ) -> Result<T> {
-        let reclaimed = self.guest.reclaim_reservations(GROUP_PAGES * 4);
+        let reclaimed = self.vms[vm].guest.reclaim_reservations(GROUP_PAGES * 4);
         if let Some(driver) = self.faults.as_mut() {
             driver.oom_retries += 1;
             driver.reclaimed_frames += reclaimed;
@@ -943,11 +1171,11 @@ impl Machine {
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.emit(self.ops, vmsim_obs::EventKind::OomRetry { reclaimed });
         }
-        if let Some(inj) = self.guest.buddy_mut().fault_injector_mut() {
+        if let Some(inj) = self.vms[vm].guest.buddy_mut().fault_injector_mut() {
             inj.push_suppress();
         }
-        let result = retry(&mut self.guest, pid, vpn);
-        if let Some(inj) = self.guest.buddy_mut().fault_injector_mut() {
+        let result = retry(&mut self.vms[vm].guest, pid, vpn);
+        if let Some(inj) = self.vms[vm].guest.buddy_mut().fault_injector_mut() {
             inj.pop_suppress();
         }
         result
@@ -968,12 +1196,22 @@ impl Machine {
         pid: Pid,
         vpn: GuestVirtPage,
     ) -> Result<(HostFrame, u64, u32)> {
-        let asid = pid.0;
+        self.nested_walk_in(0, core, pid, vpn)
+    }
+
+    fn nested_walk_in(
+        &mut self,
+        vm: usize,
+        core: usize,
+        pid: Pid,
+        vpn: GuestVirtPage,
+    ) -> Result<(HostFrame, u64, u32)> {
+        let asid = Self::asid_of(vm, pid);
         let mut cycles = 0u64;
         let mut host_faults = 0u32;
 
         let (path, data_gfn) = {
-            let pt = &self.guest.process(pid)?.page_table;
+            let pt = &self.vms[vm].guest.process(pid)?.page_table;
             let (path, gfn) = pt.walk_translate(vpn);
             match gfn {
                 Some(gfn) => (path, gfn),
@@ -999,7 +1237,7 @@ impl Machine {
         for i in start_level..path.len() {
             let step = path.steps()[i];
             // Locate this gPT node in host-physical memory (2nd dimension).
-            let (node_hfn, hf) = self.host_frame_of(core, step.node, &mut cycles)?;
+            let (node_hfn, hf) = self.host_frame_of(vm, core, step.node, &mut cycles)?;
             host_faults += hf;
             // Touch the gPT entry itself.
             let entry_hpa =
@@ -1017,7 +1255,7 @@ impl Machine {
         }
 
         // Final host walk: translate the data page itself.
-        let (data_hfn, hf) = self.host_frame_of(core, data_gfn, &mut cycles)?;
+        let (data_hfn, hf) = self.host_frame_of(vm, core, data_gfn, &mut cycles)?;
         host_faults += hf;
         self.prof_enter(Phase::Fill);
         self.tlbs[core].insert(asid, vpn, data_hfn);
@@ -1053,18 +1291,20 @@ impl Machine {
     /// Faults the backing in if the host has not yet populated it.
     fn host_frame_of(
         &mut self,
+        vm: usize,
         core: usize,
         gfn: GuestFrame,
         cycles: &mut u64,
     ) -> Result<(HostFrame, u32)> {
+        let nkey = self.nested_key(vm, gfn);
         self.prof_enter(Phase::Pwc);
-        let nested_hit = self.pwcs[core].nested_lookup(gfn);
+        let nested_hit = self.pwcs[core].nested_lookup(nkey);
         self.prof_exit();
         if let Some(hfn) = nested_hit {
             return Ok((hfn, 0));
         }
         self.prof_enter(Phase::HostWalk);
-        let hvpn = self.host.hvpn_of(gfn);
+        let hvpn = self.hvpn_in(vm, gfn);
         let mut host_faults = 0u32;
         let (path, hfn) = match self.host.walk_translate(hvpn) {
             (path, Some(hfn)) => (path, hfn),
@@ -1100,7 +1340,7 @@ impl Machine {
                 self.pwcs[core].host_insert(hvpn, level - 1, step.node);
             }
         }
-        self.pwcs[core].nested_insert(gfn, hfn);
+        self.pwcs[core].nested_insert(nkey, hfn);
         self.prof_exit();
         Ok((hfn, host_faults))
     }
@@ -1111,10 +1351,30 @@ impl Machine {
     ///
     /// Propagates [`GuestOs::munmap`] errors.
     pub fn munmap(&mut self, pid: Pid, start: GuestVirtPage, pages: u64) -> Result<()> {
-        let unmapped = self.guest.munmap(pid, start, pages)?;
+        self.munmap_in(0, pid, start, pages)
+    }
+
+    /// [`Machine::munmap`] against VM `vm` of a multi-tenant host.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::munmap`].
+    pub fn munmap_vm(
+        &mut self,
+        vm: usize,
+        pid: Pid,
+        start: GuestVirtPage,
+        pages: u64,
+    ) -> Result<()> {
+        self.munmap_in(vm, pid, start, pages)
+    }
+
+    fn munmap_in(&mut self, vm: usize, pid: Pid, start: GuestVirtPage, pages: u64) -> Result<()> {
+        let asid = Self::asid_of(vm, pid);
+        let unmapped = self.vms[vm].guest.munmap(pid, start, pages)?;
         for vpn in unmapped {
             for tlb in &mut self.tlbs {
-                tlb.invalidate(pid.0, vpn);
+                tlb.invalidate(asid, vpn);
             }
         }
         Ok(())
@@ -1126,9 +1386,23 @@ impl Machine {
     ///
     /// Propagates [`GuestOs::exit`] errors.
     pub fn exit(&mut self, pid: Pid) -> Result<()> {
-        self.guest.exit(pid)?;
+        self.exit_in(0, pid)
+    }
+
+    /// [`Machine::exit`] against VM `vm` of a multi-tenant host.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::exit`].
+    pub fn exit_vm(&mut self, vm: usize, pid: Pid) -> Result<()> {
+        self.exit_in(vm, pid)
+    }
+
+    fn exit_in(&mut self, vm: usize, pid: Pid) -> Result<()> {
+        let asid = Self::asid_of(vm, pid);
+        self.vms[vm].guest.exit(pid)?;
         for tlb in &mut self.tlbs {
-            tlb.flush_asid(pid.0);
+            tlb.flush_asid(asid);
         }
         Ok(())
     }
@@ -1141,8 +1415,17 @@ impl Machine {
     ///
     /// Returns [`MemError::NoSuchProcess`] for unknown pids.
     pub fn host_pt_fragmentation(&self, pid: Pid) -> Result<LineCensus> {
+        self.host_pt_fragmentation_vm(0, pid)
+    }
+
+    /// [`Machine::host_pt_fragmentation`] for a process of VM `vm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for unknown pids.
+    pub fn host_pt_fragmentation_vm(&self, vm: usize, pid: Pid) -> Result<LineCensus> {
         let mut census = LineCensus::default();
-        let proc = self.guest.process(pid)?;
+        let proc = self.vms[vm].guest.process(pid)?;
         for vma in &proc.vmas {
             let first_group = vma.start.raw() / GROUP_PAGES;
             let last_group = (vma.end().raw() - 1) / GROUP_PAGES;
@@ -1152,7 +1435,7 @@ impl Machine {
                     .map(GuestVirtPage::new)
                     .filter(|p| vma.contains(*p))
                     .filter_map(|p| proc.page_table.translate(p))
-                    .filter_map(|gfn| self.host.hpte_addr_raw(self.host.hvpn_of(gfn)))
+                    .filter_map(|gfn| self.host.hpte_addr_raw(self.hvpn_in(vm, gfn)))
                     .collect();
                 census.record_group(addrs);
             }
@@ -1168,8 +1451,17 @@ impl Machine {
     ///
     /// Returns [`MemError::NoSuchProcess`] for unknown pids.
     pub fn guest_pt_fragmentation(&self, pid: Pid) -> Result<LineCensus> {
+        self.guest_pt_fragmentation_vm(0, pid)
+    }
+
+    /// [`Machine::guest_pt_fragmentation`] for a process of VM `vm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for unknown pids.
+    pub fn guest_pt_fragmentation_vm(&self, vm: usize, pid: Pid) -> Result<LineCensus> {
         let mut census = LineCensus::default();
-        let proc = self.guest.process(pid)?;
+        let proc = self.vms[vm].guest.process(pid)?;
         for vma in &proc.vmas {
             let first_group = vma.start.raw() / GROUP_PAGES;
             let last_group = (vma.end().raw() - 1) / GROUP_PAGES;
@@ -1191,7 +1483,7 @@ impl Machine {
     /// emitting a [`vmsim_obs::EventKind::ReservationReclaim`] event when a
     /// tracer is installed. Returns frames actually released.
     pub fn reclaim_reservations(&mut self, target_frames: u64) -> u64 {
-        let freed = self.guest.reclaim_reservations(target_frames);
+        let freed = self.vms[0].guest.reclaim_reservations(target_frames);
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.emit(
                 self.ops,
@@ -1199,6 +1491,143 @@ impl Machine {
             );
         }
         freed
+    }
+
+    /// Kills VM `vm`: every host frame backing its guest-physical slot is
+    /// released back to the host pool (through the ref-count table), the
+    /// balloon deflates, and the slot is marked stopped until the next
+    /// [`Machine::boot_vm`]. All translation state is flushed — a VM
+    /// teardown is a host-wide shootdown event. Returns the host frames
+    /// released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not running.
+    pub fn kill_vm(&mut self, vm: usize) -> u64 {
+        assert!(self.vms[vm].running, "kill of a stopped VM");
+        let base = self.vms[vm].base.raw();
+        let mut released = 0u64;
+        for gfn in 0..self.config.guest_frames {
+            if self
+                .host
+                .unback_page(HostVirtPage::new(base + gfn))
+                .is_some()
+            {
+                released += 1;
+            }
+        }
+        self.vms[vm].ballooned.clear();
+        self.vms[vm].running = false;
+        self.flush_translation_state();
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.emit(
+                self.ops,
+                vmsim_obs::EventKind::VmKill {
+                    vm: vm as u32,
+                    frames: released,
+                },
+            );
+        }
+        released
+    }
+
+    /// Boots (or reboots) VM slot `vm` with a fresh guest OS whose
+    /// allocator comes from the machine's per-VM factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is already running or the machine was built
+    /// without a factory ([`Machine::multi_tenant`] installs one).
+    pub fn boot_vm(&mut self, vm: usize) {
+        assert!(!self.vms[vm].running, "boot of a running VM");
+        let allocator = {
+            let factory = self
+                .factory
+                .as_ref()
+                .expect("rebooting a VM needs the multi-tenant allocator factory");
+            (factory.0)(vm)
+        };
+        self.vms[vm].guest = GuestOs::new(self.config.guest_frames, allocator);
+        self.vms[vm].running = true;
+        self.vms[vm].boots += 1;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.emit(
+                self.ops,
+                vmsim_obs::EventKind::VmBoot {
+                    vm: vm as u32,
+                    boot: self.vms[vm].boots,
+                },
+            );
+        }
+    }
+
+    /// Inflates VM `vm`'s balloon by up to `frames` order-0 frames: each is
+    /// allocated from the guest buddy (so the guest cannot use it) and its
+    /// host backing, if any, is released to the host pool. Stops early if
+    /// the guest pool runs dry. Returns the frames actually pinned.
+    /// Translation state is flushed when any host backing was dropped (the
+    /// hypervisor's unmap shootdown).
+    pub fn balloon_vm(&mut self, vm: usize, frames: u64) -> u64 {
+        let mut inflated = 0u64;
+        let mut unbacked = false;
+        while inflated < frames {
+            let Ok(gfn) = self.vms[vm].guest.buddy_mut().alloc(0) else {
+                break;
+            };
+            let hvpn = self.hvpn_in(vm, gfn);
+            if self.host.unback_page(hvpn).is_some() {
+                unbacked = true;
+            }
+            self.vms[vm].ballooned.push(gfn);
+            inflated += 1;
+        }
+        if unbacked {
+            self.flush_translation_state();
+        }
+        if inflated > 0 {
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(
+                    self.ops,
+                    vmsim_obs::EventKind::Balloon {
+                        vm: vm as u32,
+                        frames: inflated,
+                        inflate: true,
+                    },
+                );
+            }
+        }
+        inflated
+    }
+
+    /// Deflates VM `vm`'s balloon by up to `frames`, returning the frames
+    /// to the guest buddy (their host backing is re-faulted lazily on next
+    /// touch). Returns the frames actually released.
+    pub fn deflate_vm(&mut self, vm: usize, frames: u64) -> u64 {
+        let mut deflated = 0u64;
+        while deflated < frames {
+            let Some(gfn) = self.vms[vm].ballooned.pop() else {
+                break;
+            };
+            self.vms[vm]
+                .guest
+                .buddy_mut()
+                .free(gfn, 0)
+                .expect("ballooned frames are live order-0 allocations");
+            deflated += 1;
+        }
+        if deflated > 0 {
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(
+                    self.ops,
+                    vmsim_obs::EventKind::Balloon {
+                        vm: vm as u32,
+                        frames: deflated,
+                        inflate: false,
+                    },
+                );
+            }
+        }
+        deflated
     }
 
     /// Nested-walk latency distribution merged across every core.
@@ -1227,13 +1656,13 @@ impl Machine {
     pub fn metrics_snapshot(&self) -> vmsim_obs::Snapshot {
         let mut reg = vmsim_obs::Registry::new();
         reg.record(&self.caches.counters());
-        reg.record(&self.guest.stats());
+        reg.record(&self.vms[0].guest.stats());
         reg.record(&self.host.stats());
-        reg.record_as("guest_buddy", self.guest.buddy().stats());
+        reg.record_as("guest_buddy", self.vms[0].guest.buddy().stats());
         reg.record_as("host_buddy", self.host.buddy().stats());
         reg.record_as("host_pt", &self.host.host_pt().stats());
         let mut guest_pt = vmsim_pt::PtStats::default();
-        for proc in self.guest.processes() {
+        for proc in self.vms[0].guest.processes() {
             guest_pt.merge(&proc.page_table.stats());
         }
         reg.record_as("guest_pt", &guest_pt);
@@ -1247,11 +1676,11 @@ impl Machine {
         reg.record_as("fault_latency", &self.merged_fault_latency());
         reg.gauge_u64(
             "allocator.reserved_unused_frames",
-            self.guest.allocator().reserved_unused_frames(),
+            self.vms[0].guest.allocator().reserved_unused_frames(),
         );
         // The faults.* gauges are always present (all zero without a plan),
         // so installing a fault plan never changes the snapshot's key set.
-        let injected = self
+        let injected = self.vms[0]
             .guest
             .buddy()
             .fault_injector()
@@ -1269,7 +1698,44 @@ impl Machine {
         reg.gauge_u64("faults.daemon_passes", driver.daemon_passes);
         reg.gauge_u64("faults.oom_retries", driver.oom_retries);
         reg.gauge_u64("faults.reclaimed_frames", driver.reclaimed_frames);
-        self.guest.allocator().emit_metrics(&mut reg);
+        self.vms[0].guest.allocator().emit_metrics(&mut reg);
+        // Multi-tenant hosts additionally expose host-pool pressure and
+        // per-VM occupancy. Single-tenant machines emit nothing here, so
+        // the historical snapshot key set is untouched. The VM count is
+        // fixed for the machine's lifetime (kills mark slots stopped, they
+        // never remove them), so the key set stays constant across a run.
+        if self.vms.len() > 1 {
+            reg.gauge_u64("host.free_frames", self.host.buddy().free_frames());
+            reg.gauge_u64(
+                "host.backed_frames",
+                self.host.frame_refs().referenced_frames(),
+            );
+            reg.gauge_f64(
+                "host.frag",
+                FragmentationIndex::measure(self.host.buddy(), 3).unusable_fraction(),
+            );
+            reg.gauge_u64(
+                "host.vms_running",
+                self.vms.iter().filter(|v| v.running).count() as u64,
+            );
+            for (i, vm) in self.vms.iter().enumerate() {
+                reg.gauge_u64(format!("vm.{i}.running"), u64::from(vm.running));
+                reg.gauge_u64(format!("vm.{i}.boots"), vm.boots);
+                reg.gauge_u64(
+                    format!("vm.{i}.ballooned_frames"),
+                    vm.ballooned.len() as u64,
+                );
+                reg.gauge_u64(
+                    format!("vm.{i}.free_frames"),
+                    vm.guest.buddy().free_frames(),
+                );
+                reg.gauge_u64(format!("vm.{i}.faults"), vm.guest.stats().faults);
+                reg.gauge_u64(
+                    format!("vm.{i}.rss_pages"),
+                    vm.guest.processes().map(|p| p.rss_pages).sum::<u64>(),
+                );
+            }
+        }
         reg.snapshot(self.ops)
     }
 
@@ -1947,5 +2413,142 @@ mod tests {
         // TLB contents survived.
         let again = m.touch(0, pid, va, false).unwrap();
         assert!(again.tlb_hit);
+    }
+
+    /// A small colocated host: `vms` guests at 2x memory overcommit.
+    fn tiny_multi_config(vms: u64) -> MachineConfig {
+        let mut c = MachineConfig::small();
+        c.guest_frames = 1 << 10;
+        c.host_frames = vms * (1 << 9);
+        c
+    }
+
+    fn multi(config: MachineConfig, vms: usize) -> Machine {
+        Machine::multi_tenant(config, vms, |_| Box::new(DefaultAllocator::new()))
+    }
+
+    #[test]
+    fn one_vm_multi_tenant_matches_single_tenant_bitwise() {
+        let mut single = machine();
+        let mut host = multi(MachineConfig::small(), 1);
+        let single_out = mixed_workload(&mut single);
+        let host_out = mixed_workload(&mut host);
+        assert_eq!(single_out, host_out, "outcomes must be bit-identical");
+        assert_eq!(
+            single.metrics_snapshot(),
+            host.metrics_snapshot(),
+            "snapshots must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn colocated_vms_never_share_host_frames() {
+        let mut m = multi(tiny_multi_config(4), 4);
+        for vm in 0..4 {
+            let pid = m.vm_guest_mut(vm).spawn();
+            let va = m.vm_guest_mut(vm).mmap(pid, 16).unwrap();
+            for i in 0..16 {
+                let a = GuestVirtAddr::new(va.raw() + i * 4096);
+                m.touch_vm(vm, 0, pid, a, true).unwrap();
+            }
+        }
+        let refs = m.host().frame_refs();
+        assert!(refs.referenced_frames() >= 64, "each VM faulted 16 pages");
+        assert_eq!(
+            refs.total_refs(),
+            refs.referenced_frames(),
+            "no host frame may back two guest-physical pages"
+        );
+    }
+
+    #[test]
+    fn vm_kill_releases_host_frames_and_reboot_starts_fresh() {
+        let mut m = multi(tiny_multi_config(2), 2);
+        let p0 = m.vm_guest_mut(0).spawn();
+        let va0 = m.vm_guest_mut(0).mmap(p0, 4).unwrap();
+        m.touch_vm(0, 0, p0, va0, false).unwrap();
+        let p1 = m.vm_guest_mut(1).spawn();
+        let va1 = m.vm_guest_mut(1).mmap(p1, 8).unwrap();
+        for i in 0..8 {
+            let a = GuestVirtAddr::new(va1.raw() + i * 4096);
+            m.touch_vm(1, 0, p1, a, false).unwrap();
+        }
+        let free_before = m.host_free_frames();
+        let released = m.kill_vm(1);
+        assert!(released >= 8, "data pages plus PT backing come home");
+        assert_eq!(m.host_free_frames(), free_before + released);
+        assert!(!m.vm_running(1));
+        // The survivor keeps its guest mapping (no fault), but the
+        // teardown shootdown forces a fresh walk.
+        let out = m.touch_vm(0, 0, p0, va0, false).unwrap();
+        assert!(!out.faulted);
+        assert!(!out.tlb_hit);
+        // The rebooted slot is a fresh guest: everything faults anew.
+        m.boot_vm(1);
+        assert!(m.vm_running(1));
+        assert_eq!(m.vm_boots(1), 2);
+        let p1 = m.vm_guest_mut(1).spawn();
+        let va1 = m.vm_guest_mut(1).mmap(p1, 1).unwrap();
+        assert!(m.touch_vm(1, 0, p1, va1, false).unwrap().faulted);
+    }
+
+    #[test]
+    fn balloon_pins_guest_frames_and_deflate_returns_them() {
+        let mut m = multi(tiny_multi_config(2), 2);
+        let pid = m.vm_guest_mut(1).spawn();
+        let va = m.vm_guest_mut(1).mmap(pid, 8).unwrap();
+        for i in 0..8 {
+            let a = GuestVirtAddr::new(va.raw() + i * 4096);
+            m.touch_vm(1, 0, pid, a, false).unwrap();
+        }
+        let guest_free = m.vm_guest(1).buddy().free_frames();
+        let host_free = m.host_free_frames();
+        assert_eq!(m.balloon_vm(1, 64), 64);
+        assert_eq!(m.vm_ballooned(1), 64);
+        assert_eq!(m.vm_guest(1).buddy().free_frames(), guest_free - 64);
+        assert!(
+            m.host_free_frames() >= host_free,
+            "inflation never consumes host memory"
+        );
+        assert_eq!(m.deflate_vm(1, 64), 64);
+        assert_eq!(m.vm_ballooned(1), 0);
+        assert_eq!(m.vm_guest(1).buddy().free_frames(), guest_free);
+    }
+
+    #[test]
+    fn multi_tenant_snapshot_adds_host_and_vm_gauges() {
+        let single = machine();
+        let snap = single.metrics_snapshot();
+        assert!(
+            snap.get("host.free_frames").is_none(),
+            "single-tenant key set must not change"
+        );
+        let m = multi(tiny_multi_config(2), 2);
+        let snap = m.metrics_snapshot();
+        assert!(snap.get("host.free_frames").is_some());
+        assert!(snap.get("host.backed_frames").is_some());
+        assert!(snap.get("host.frag").is_some());
+        assert_eq!(snap.get("host.vms_running").unwrap().as_u64(), Some(2));
+        for vm in 0..2 {
+            assert_eq!(
+                snap.get(&format!("vm.{vm}.running")).unwrap().as_u64(),
+                Some(1)
+            );
+            assert!(snap.get(&format!("vm.{vm}.rss_pages")).is_some());
+        }
+    }
+
+    #[test]
+    fn lifecycle_events_are_traced() {
+        let mut m = multi(tiny_multi_config(2), 2);
+        m.install_tracer(vmsim_obs::Tracer::new());
+        assert!(m.balloon_vm(1, 4) == 4);
+        assert!(m.deflate_vm(1, 4) == 4);
+        m.kill_vm(1);
+        m.boot_vm(1);
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.count_kind("balloon"), 2);
+        assert_eq!(t.count_kind("vm_kill"), 1);
+        assert_eq!(t.count_kind("vm_boot"), 1);
     }
 }

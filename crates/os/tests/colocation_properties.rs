@@ -1,0 +1,142 @@
+//! Property-based tests of the multi-tenant host: under arbitrary
+//! interleavings of guest touches, VM kills/reboots, and balloon traffic,
+//! the host's frame reference counts must exactly mirror the host page
+//! table — every mapped host frame has a matching refcount, and no host
+//! frame ever backs two guest-physical pages (this model has no host-level
+//! page dedup, so every count is 0 or 1 and cross-VM sharing is a bug).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vmsim_os::{DefaultAllocator, Machine, MachineConfig, Pid};
+use vmsim_types::{GuestVirtAddr, HostVirtPage, PAGE_SIZE};
+
+const VMS: usize = 3;
+const PAGES: u64 = 48;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Touch page `page` of the resident process in VM `vm`.
+    Touch { vm: usize, page: u64, write: bool },
+    /// Kill VM `vm` (skipped while already dead).
+    Kill { vm: usize },
+    /// Reboot VM `vm` (skipped while still running).
+    Boot { vm: usize },
+    /// Inflate VM `vm`'s balloon by `frames`.
+    Balloon { vm: usize, frames: u64 },
+    /// Deflate VM `vm`'s balloon by `frames`.
+    Deflate { vm: usize, frames: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..VMS, 0u64..PAGES, any::<bool>())
+            .prop_map(|(vm, page, write)| Op::Touch { vm, page, write }),
+        1 => (0..VMS).prop_map(|vm| Op::Kill { vm }),
+        2 => (0..VMS).prop_map(|vm| Op::Boot { vm }),
+        2 => (0..VMS, 1u64..32).prop_map(|(vm, frames)| Op::Balloon { vm, frames }),
+        2 => (0..VMS, 1u64..32).prop_map(|(vm, frames)| Op::Deflate { vm, frames }),
+    ]
+}
+
+fn host() -> Machine {
+    let mut config = MachineConfig::small();
+    config.guest_frames = 1 << 9;
+    // 2x overcommit across three half-size guests.
+    config.host_frames = (VMS as u64) * (1 << 8);
+    Machine::multi_tenant(config, VMS, |_| Box::new(DefaultAllocator::new()))
+}
+
+/// Spawns the VM's single resident process with a `PAGES`-page region.
+fn resident(m: &mut Machine, vm: usize) -> (Pid, GuestVirtAddr) {
+    let pid = m.vm_guest_mut(vm).spawn();
+    let va = m.vm_guest_mut(vm).mmap(pid, PAGES).unwrap();
+    (pid, va)
+}
+
+/// Scans every VM's guest-physical slot and checks the host refcount table
+/// against the host page table, mapping by mapping.
+fn check_refcounts(m: &Machine) {
+    let guest_frames = m.config().guest_frames;
+    // host frame -> (vm, hvpn) owner of the mapping.
+    let mut owners: HashMap<u64, (usize, u64)> = HashMap::new();
+    for vm in 0..m.vm_count() {
+        let base = m.vm_base_of(vm).raw();
+        for gfn in 0..guest_frames {
+            let hvpn = HostVirtPage::new(base + gfn);
+            if let Some(hfn) = m.host().translate(hvpn) {
+                if let Some(&(other_vm, other_hvpn)) = owners.get(&hfn.raw()) {
+                    panic!(
+                        "host frame {} backs VM {} page {} and VM {} page {}",
+                        hfn.raw(),
+                        other_vm,
+                        other_hvpn,
+                        vm,
+                        hvpn.raw()
+                    );
+                }
+                owners.insert(hfn.raw(), (vm, hvpn.raw()));
+                prop_assert_eq!(
+                    m.host().frame_refs().get(hfn.raw()),
+                    1,
+                    "mapped host frame must hold exactly one reference"
+                );
+            }
+        }
+    }
+    prop_assert_eq!(
+        m.host().frame_refs().total_refs(),
+        owners.len() as u64,
+        "refcount table tracks frames the host PT does not map"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn host_refcounts_mirror_the_host_page_table(
+        ops in prop::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut m = host();
+        let mut residents: Vec<(Pid, GuestVirtAddr)> =
+            (0..VMS).map(|vm| resident(&mut m, vm)).collect();
+
+        for op in ops {
+            match op {
+                Op::Touch { vm, page, write } => {
+                    if !m.vm_running(vm) {
+                        continue;
+                    }
+                    let (pid, base) = residents[vm];
+                    let va = GuestVirtAddr::new(base.raw() + page * PAGE_SIZE);
+                    let out = m.touch_vm(vm, vm % m.caches().core_count(), pid, va, write);
+                    prop_assert!(out.is_ok(), "touch failed: {:?}", out);
+                }
+                Op::Kill { vm } => {
+                    if m.vm_running(vm) {
+                        m.kill_vm(vm);
+                        check_refcounts(&m);
+                    }
+                }
+                Op::Boot { vm } => {
+                    if !m.vm_running(vm) {
+                        m.boot_vm(vm);
+                        residents[vm] = resident(&mut m, vm);
+                    }
+                }
+                Op::Balloon { vm, frames } => {
+                    if m.vm_running(vm) {
+                        m.balloon_vm(vm, frames);
+                    }
+                }
+                Op::Deflate { vm, frames } => {
+                    if m.vm_running(vm) {
+                        m.deflate_vm(vm, frames);
+                    }
+                }
+            }
+        }
+        check_refcounts(&m);
+    }
+}

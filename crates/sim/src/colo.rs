@@ -1,0 +1,596 @@
+//! The host-scale engine: N guest VMs colocated on one overcommitted host.
+//!
+//! Where [`crate::engine::Colocation`] interleaves applications *inside*
+//! one VM, this engine interleaves whole VMs on one
+//! [`Machine::multi_tenant`] host: every VM runs its own instance of the
+//! manifest's benchmark under its own guest kernel and allocator policy,
+//! and the interference under study is between VMs at the host buddy
+//! allocator — the public-cloud scenario of the paper's introduction.
+//!
+//! The measured application is always VM 0's benchmark; the remaining VMs
+//! are the noisy neighbours. On top of round-robin execution the engine
+//! drives two host-level pressure sources from the [`VmsSpec`]:
+//!
+//! * **churn** — every `churn_period_ops` measured primary ops, the next
+//!   `churn_kills` VMs in a seeded rotation (never VM 0) are killed, and
+//!   every VM found dead at a tick is rebooted with a fresh guest kernel
+//!   and a fresh workload, re-running its allocation phase against
+//!   whatever fragmentation the fleet has built up;
+//! * **ballooning** — when host free memory drops below
+//!   `balloon_watermark` of the pool, the engine inflates neighbour
+//!   balloons (guest frames pinned, host backing released) until the
+//!   watermark is restored, and deflates them once the host is
+//!   comfortably above it.
+//!
+//! A spec that [`VmsSpec::is_active`] rejects never reaches this engine:
+//! the scenario layer routes it through the classic single-guest path, so
+//! legacy manifests stay byte-identical.
+
+use std::time::Instant;
+
+use vmsim_config::VmsSpec;
+use vmsim_os::{Machine, MachineConfig, Pid};
+use vmsim_types::{FaultPlan, GuestVirtAddr, Result, RunError, PAGE_SHIFT};
+use vmsim_workloads::{benchmark, BenchId, Op, Phase, Workload};
+
+use crate::obs::{ObsConfig, ObservedRun};
+use crate::progress::Pulse;
+use crate::scenario::{CellBudget, RunMetrics, WallBudget};
+
+/// Guest frames moved per balloon inflate/deflate call (order-0 grabs
+/// inside [`Machine::balloon_vm`], so the chunk is just a batching factor).
+const BALLOON_CHUNK: u64 = 64;
+
+/// Measured-phase scheduling chunk, matching the single-guest path so the
+/// two engines pulse and sample on the same cadence.
+const CHUNK_OPS: u64 = 1024;
+
+/// Everything the scenario layer resolved before handing off: the
+/// per-VM machine sizing plus the run protocol. `config.host_frames` is
+/// recomputed here from the overcommit ratio.
+pub(crate) struct ColoParams {
+    /// The multi-tenant shape (count, overcommit, churn, balloon).
+    pub spec: VmsSpec,
+    /// The benchmark every VM runs (VM 0 is the measured instance).
+    pub benchmark: BenchId,
+    /// Registry name of the per-VM allocator policy.
+    pub allocator_name: &'static str,
+    /// Measured steady-state ops of VM 0's benchmark.
+    pub measure_ops: u64,
+    /// Base seed; VM `i` derives its workload seed from it.
+    pub seed: u64,
+    /// Per-VM machine sizing (`guest_frames` per VM; `host_frames` is
+    /// overridden from the overcommit ratio).
+    pub config: MachineConfig,
+    /// Walk-memo escape hatch, as resolved by the scenario.
+    pub memo: bool,
+    /// Optional deterministic fault plan (installed host-wide).
+    pub faults: Option<FaultPlan>,
+}
+
+/// One VM's application: the benchmark instance running inside it.
+struct VmApp {
+    pid: Pid,
+    core: usize,
+    workload: Box<dyn Workload>,
+    /// Region handle -> (base, pages); see [`crate::engine`] for why a
+    /// flat table.
+    regions: Vec<Option<(GuestVirtAddr, u64)>>,
+    cycles: u64,
+    ops: u64,
+}
+
+impl VmApp {
+    fn region(&self, handle: u32) -> Result<(GuestVirtAddr, u64)> {
+        self.regions
+            .get(handle as usize)
+            .copied()
+            .flatten()
+            .ok_or(vmsim_types::MemError::InvalidVma)
+    }
+}
+
+/// The fleet scheduler: one host machine, one app slot per VM (`None`
+/// while the VM is dead between a churn kill and the next reboot tick).
+struct ColoHost {
+    machine: Machine,
+    apps: Vec<Option<VmApp>>,
+    bench: BenchId,
+    seed: u64,
+    /// Churn rotation cursor over VMs `1..count` (VM 0 is never killed:
+    /// it carries the measurement).
+    victim: usize,
+    /// Balloon rotation cursor over VMs `1..count`.
+    squeeze: usize,
+}
+
+impl ColoHost {
+    fn new(machine: Machine, bench: BenchId, seed: u64) -> Self {
+        let count = machine.vm_count();
+        let mut host = Self {
+            machine,
+            apps: (0..count).map(|_| None).collect(),
+            bench,
+            seed,
+            victim: 0,
+            squeeze: 0,
+        };
+        for vm in 0..count {
+            host.spawn_app(vm);
+        }
+        host
+    }
+
+    /// Spawns a fresh benchmark instance inside VM `vm`. The seed mixes
+    /// the VM index and the boot count, so a rebooted VM replays a new
+    /// stream rather than its predecessor's.
+    fn spawn_app(&mut self, vm: usize) {
+        let cores = self.machine.caches().core_count();
+        let pid = self.machine.vm_guest_mut(vm).spawn();
+        let boot = self.machine.vm_boots(vm);
+        let seed = self
+            .seed
+            .wrapping_add((vm as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(boot.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        self.apps[vm] = Some(VmApp {
+            pid,
+            core: vm % cores,
+            workload: Box::new(benchmark(self.bench, seed)),
+            regions: Vec::new(),
+            cycles: 0,
+            ops: 0,
+        });
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn primary(&self) -> &VmApp {
+        self.apps[0].as_ref().expect("VM 0 is never killed")
+    }
+
+    /// One scheduling round: every running VM's app executes one op.
+    fn round(&mut self) -> Result<()> {
+        for vm in 0..self.apps.len() {
+            if !self.machine.vm_running(vm) {
+                continue;
+            }
+            let Some(mut app) = self.apps[vm].take() else {
+                continue;
+            };
+            let result = self.step(vm, &mut app);
+            self.apps[vm] = Some(app);
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Executes one op of `app` inside VM `vm`.
+    fn step(&mut self, vm: usize, app: &mut VmApp) -> Result<()> {
+        let op = app.workload.next_op();
+        app.ops += 1;
+        match op {
+            Op::Touch {
+                region,
+                page_idx,
+                write,
+            } => {
+                let (base, pages) = app.region(region)?;
+                debug_assert!(page_idx < pages);
+                let va = GuestVirtAddr::new(base.raw() + (page_idx << PAGE_SHIFT));
+                let out = self.machine.touch_vm(vm, app.core, app.pid, va, write)?;
+                app.cycles += out.cycles;
+            }
+            Op::Alloc { region, pages } => {
+                let base = self.machine.vm_guest_mut(vm).mmap(app.pid, pages)?;
+                let slot = region as usize;
+                if slot >= app.regions.len() {
+                    app.regions.resize(slot + 1, None);
+                }
+                app.regions[slot] = Some((base, pages));
+            }
+            Op::Free { region } => {
+                let (base, pages) = app.region(region)?;
+                app.regions[region as usize] = None;
+                self.machine.munmap_vm(vm, app.pid, base.page(), pages)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs rounds until VM 0's app has executed `ops` more operations,
+    /// sampling after every round (mirrors `Colocation::run_ops`).
+    fn run_primary_ops(&mut self, ops: u64, sample: &mut impl FnMut(&Machine)) -> Result<()> {
+        let target = self.primary().ops + ops;
+        while self.primary().ops < target {
+            self.machine.prof_enter(vmsim_obs::Phase::Workload);
+            let round = self.round();
+            self.machine.prof_exit();
+            round?;
+            self.machine.prof_enter(vmsim_obs::Phase::Sample);
+            sample(&self.machine);
+            self.machine.prof_exit();
+        }
+        Ok(())
+    }
+
+    /// One churn tick: reboot every dead VM, then kill the next
+    /// `kills` rotation victims. VM 0 is exempt on both sides.
+    fn churn_tick(&mut self, kills: u32) {
+        let count = self.apps.len();
+        for vm in 1..count {
+            if !self.machine.vm_running(vm) {
+                self.machine.boot_vm(vm);
+                self.spawn_app(vm);
+            }
+        }
+        for _ in 0..kills.min(count as u32 - 1) {
+            let vm = 1 + (self.seed as usize + self.victim) % (count - 1);
+            self.victim += 1;
+            if self.machine.vm_running(vm) {
+                self.machine.kill_vm(vm);
+                self.apps[vm] = None;
+            }
+        }
+    }
+
+    /// Balloon governor: below the low watermark, squeeze neighbours
+    /// until the host is back above it; above twice the watermark, give
+    /// one chunk back. Bounded to one rotation pass per call.
+    fn balloon_pass(&mut self, watermark: f64) {
+        let count = self.apps.len();
+        if count < 2 {
+            return;
+        }
+        let total = self.machine.config().host_frames;
+        let low = (watermark * total as f64) as u64;
+        let free = self.machine.host_free_frames();
+        if free < low {
+            for _ in 1..count {
+                let vm = 1 + self.squeeze % (count - 1);
+                self.squeeze += 1;
+                if !self.machine.vm_running(vm) {
+                    continue;
+                }
+                self.machine.balloon_vm(vm, BALLOON_CHUNK);
+                if self.machine.host_free_frames() >= low {
+                    break;
+                }
+            }
+        } else if free > 2 * low {
+            for vm in 1..count {
+                if self.machine.vm_running(vm) && self.machine.vm_ballooned(vm) > 0 {
+                    self.machine.deflate_vm(vm, BALLOON_CHUNK);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Executes a multi-tenant run: the colocation counterpart of the
+/// scenario's single-guest `run_inner`, producing an [`ObservedRun`] with
+/// the same surfaces (metrics, snapshot, epoch series, trace, latency
+/// histograms, profile).
+pub(crate) fn run_colo(
+    p: ColoParams,
+    obs: ObsConfig,
+    budget: CellBudget,
+    heartbeat_ops: u64,
+    on_pulse: &mut dyn FnMut(Pulse),
+) -> core::result::Result<ObservedRun, RunError> {
+    let spec = p.spec;
+    let count = spec.count.max(1) as usize;
+    let mut config = p.config;
+    // The host pool is sized for the requested overcommit: at 1.0 the
+    // fleet's guest RAM fits exactly; above it the VMs compete.
+    config.host_frames =
+        ((count as u64 * config.guest_frames) as f64 / spec.overcommit).floor() as u64;
+    let name = p.allocator_name;
+    let mut machine = Machine::multi_tenant(config, count, move |_| {
+        ptemagnet::registry::resolve(name).expect("policy pre-validated by the driver")
+    });
+    machine.set_memo_enabled(p.memo);
+    if obs.trace {
+        machine.install_tracer(vmsim_obs::Tracer::with_capacity(obs.trace_capacity));
+    }
+    if let Some(plan) = p.faults {
+        machine.install_faults(plan, p.seed);
+    }
+    let mut host = ColoHost::new(machine, p.benchmark, p.seed);
+
+    // Phase A: run rounds until VM 0 finishes allocating. Neighbours
+    // initialize concurrently (their faults interleave at the host buddy);
+    // whoever is still initializing keeps going through phase B, which is
+    // exactly the noisy-neighbour pressure under study. The balloon
+    // governor already runs here: with tight overcommit the fleet may need
+    // squeezing to get everyone through their allocation phase.
+    let wall_limit_ms = budget.soft_wall.map_or(0, |d| d.as_millis() as u64);
+    let mut wall = WallBudget::start(budget.soft_wall);
+    let mut init_rounds = 0u64;
+    while host.primary().workload.phase() == Phase::Init {
+        host.round()?;
+        init_rounds += 1;
+        if init_rounds.is_multiple_of(64) {
+            if let Some(watermark) = spec.balloon_watermark {
+                host.balloon_pass(watermark);
+            }
+        }
+        if wall.expired() {
+            return Err(RunError::BudgetExceeded {
+                budget: "wall",
+                limit: wall_limit_ms,
+            });
+        }
+    }
+    let init_cycles = host.primary().cycles;
+
+    // Fragmentation is a property of the layout built during allocation:
+    // measured now, on the measured VM (Figure 5 protocol, per-VM).
+    let pid = host.primary().pid;
+    let host_frag = host.machine().host_pt_fragmentation_vm(0, pid)?;
+    let guest_frag = host.machine().guest_pt_fragmentation_vm(0, pid)?;
+    let footprint_pages = host.machine().vm_guest(0).process(pid)?.rss_pages;
+
+    // Phase B: measured steady state of VM 0, with churn and ballooning
+    // applied at chunk boundaries (deterministic: a pure function of the
+    // spec and the chunk cadence).
+    host.machine_mut().reset_measurement();
+    if obs.profile {
+        host.machine_mut()
+            .install_profiler(vmsim_obs::Profiler::new());
+    }
+    let measured_wall = Instant::now();
+    let cycles_before = host.primary().cycles;
+    let mut unused_peak = 0u64;
+    let mut unused_sum = 0u128;
+    let mut samples = 0u64;
+    let mut series = vmsim_obs::TimeSeries::new();
+    let mut next_epoch = None;
+    if let Some(interval) = obs.epoch_ops {
+        series.push(host.machine().metrics_snapshot());
+        next_epoch = Some(host.machine().ops_executed() + interval);
+    }
+    let mut sample = |m: &Machine| {
+        let unused = m.guest().allocator().reserved_unused_frames();
+        unused_peak = unused_peak.max(unused);
+        unused_sum += u128::from(unused);
+        samples += 1;
+        if let (Some(interval), Some(next)) = (obs.epoch_ops, next_epoch.as_mut()) {
+            while m.ops_executed() >= *next {
+                series.push(m.metrics_snapshot());
+                *next += interval;
+            }
+        }
+    };
+    let requested_ops = p.measure_ops;
+    let effective_ops = budget
+        .max_ops
+        .map_or(requested_ops, |cap| cap.min(requested_ops));
+    let mut truncated = effective_ops < requested_ops;
+    let mut executed_ops = 0u64;
+    let mut pulsed_at = 0u64;
+    let mut next_churn = spec.churn_period_ops;
+    let pulse = |host: &ColoHost, done: u64| {
+        let memo = host.machine().memo_stats();
+        Pulse {
+            ops_done: done,
+            ops_total: effective_ops,
+            memo_hits: memo.hits + memo.streak_hits,
+            memo_misses: memo.naive_walks,
+        }
+    };
+    while executed_ops < effective_ops {
+        if wall.expired_now() {
+            truncated = true;
+            break;
+        }
+        let chunk = CHUNK_OPS.min(effective_ops - executed_ops);
+        host.run_primary_ops(chunk, &mut sample)?;
+        executed_ops += chunk;
+        if let Some(period) = spec.churn_period_ops {
+            while next_churn.is_some_and(|at| executed_ops >= at) {
+                host.churn_tick(spec.churn_kills);
+                next_churn = Some(next_churn.expect("churn scheduled") + period);
+            }
+        }
+        if let Some(watermark) = spec.balloon_watermark {
+            host.balloon_pass(watermark);
+        }
+        if executed_ops / heartbeat_ops.max(1) > pulsed_at / heartbeat_ops.max(1) {
+            pulsed_at = executed_ops;
+            on_pulse(pulse(&host, executed_ops));
+        }
+    }
+    if executed_ops > 0 && pulsed_at != executed_ops {
+        on_pulse(pulse(&host, executed_ops));
+    }
+    if obs.epoch_ops.is_some() {
+        let last_op = series.last().map(|s| s.op);
+        if last_op != Some(host.machine().ops_executed()) {
+            series.push(host.machine().metrics_snapshot());
+        }
+    }
+    let profile = host
+        .machine_mut()
+        .take_profiler()
+        .map(|prof| prof.finish(measured_wall.elapsed().as_nanos() as u64));
+
+    let core = host.primary().core;
+    let counters = *host.machine().caches().core_counters(core);
+    let tlb = host.machine().tlb(core);
+    let snapshot = host.machine().metrics_snapshot();
+    let gauge = |name: &str| snapshot.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+    let total_faults: u64 = (0..host.machine().vm_count())
+        .map(|vm| host.machine().vm_guest(vm).stats().faults)
+        .sum();
+    let metrics = RunMetrics {
+        benchmark: p.benchmark.name().to_string(),
+        allocator: name.to_string(),
+        measure_ops: executed_ops,
+        cycles: host.primary().cycles - cycles_before,
+        tlb_lookups: tlb.lookups(),
+        tlb_misses: tlb.misses(),
+        data_accesses: counters.data.accesses,
+        data_misses: counters.data.memory,
+        page_walk_cycles: counters.page_walk_cycles(),
+        host_pt_cycles: counters.host_pt_cycles(),
+        guest_pt_accesses: counters.guest_pt.accesses,
+        guest_pt_memory: counters.guest_pt_memory_accesses(),
+        host_pt_accesses: counters.host_pt.accesses,
+        host_pt_memory: counters.host_pt_memory_accesses(),
+        host_frag: host_frag.mean(),
+        guest_frag: guest_frag.mean(),
+        init_cycles,
+        footprint_pages,
+        reserved_unused_peak: unused_peak,
+        reserved_unused_mean: if samples == 0 {
+            0.0
+        } else {
+            (unused_sum / u128::from(samples)) as f64
+        },
+        total_faults,
+        reservation_fallbacks: gauge("reservation.fallbacks"),
+        reclaimed_frames: gauge("reservation.reclaimed_frames"),
+        faults_injected: gauge("faults.injected"),
+    };
+
+    let walk_latency = host.machine().merged_walk_latency();
+    let fault_latency = host.machine().merged_fault_latency();
+    let (events, trace_dropped) = match host.machine_mut().take_tracer() {
+        Some(mut tracer) => {
+            let dropped = tracer.dropped();
+            (tracer.drain(), dropped)
+        }
+        None => (Vec::new(), 0),
+    };
+    Ok(ObservedRun {
+        metrics,
+        snapshot,
+        series,
+        events,
+        trace_dropped,
+        walk_latency,
+        fault_latency,
+        profile,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use vmsim_config::VmsSpec;
+    use vmsim_obs::json;
+    use vmsim_os::MachineConfig;
+    use vmsim_workloads::BenchId;
+
+    use crate::obs::ObsConfig;
+    use crate::scenario::Scenario;
+
+    /// A small fleet that runs in well under a second.
+    fn fleet(spec: VmsSpec) -> Scenario {
+        Scenario::new(BenchId::Gcc)
+            .machine(MachineConfig::paper(2, 48))
+            .measure_ops(4_000)
+            .vms(spec)
+    }
+
+    #[test]
+    fn inactive_spec_routes_through_the_single_guest_engine() {
+        let plain = Scenario::new(BenchId::Gcc)
+            .machine(MachineConfig::paper(2, 256))
+            .measure_ops(4_000)
+            .run_observed(ObsConfig::enabled(1_000));
+        let tenant = Scenario::new(BenchId::Gcc)
+            .machine(MachineConfig::paper(2, 256))
+            .measure_ops(4_000)
+            .vms(VmsSpec::default())
+            .run_observed(ObsConfig::enabled(1_000));
+        assert_eq!(tenant.metrics, plain.metrics);
+        assert_eq!(tenant.snapshot, plain.snapshot);
+        assert_eq!(tenant.series.to_csv(), plain.series.to_csv());
+    }
+
+    #[test]
+    fn fleet_runs_and_reports_host_gauges() {
+        let run = fleet(VmsSpec {
+            count: 3,
+            overcommit: 1.2,
+            churn_period_ops: None,
+            churn_kills: 1,
+            balloon_watermark: None,
+        })
+        .run_observed(ObsConfig::enabled(1_000));
+        assert_eq!(run.metrics.benchmark, "gcc");
+        assert!(run.metrics.cycles > 0);
+        assert!(run.metrics.footprint_pages >= 6_144);
+        // Every VM initialized, so the fleet faulted at least 3x the
+        // measured VM's footprint.
+        assert!(run.metrics.total_faults >= 3 * 6_144);
+        let host_free = run
+            .snapshot
+            .get("host.vms_running")
+            .and_then(|v| v.as_u64());
+        assert_eq!(host_free, Some(3));
+        assert!(run.series.len() >= 2);
+    }
+
+    #[test]
+    fn churn_kills_and_reboots_neighbours_not_the_primary() {
+        let mut obs = ObsConfig::enabled(1_000);
+        obs.trace = true;
+        let run = fleet(VmsSpec {
+            count: 3,
+            overcommit: 1.2,
+            churn_period_ops: Some(1_024),
+            churn_kills: 1,
+            balloon_watermark: None,
+        })
+        .run_observed(obs);
+        let jsonl = run.events_jsonl();
+        let kills = jsonl.lines().filter(|l| l.contains("vm_kill")).count();
+        let boots = jsonl.lines().filter(|l| l.contains("vm_boot")).count();
+        assert!(kills >= 2, "churn ticked: {kills} kills");
+        assert!(boots >= 1, "dead VMs reboot: {boots} boots");
+        for line in jsonl.lines().filter(|l| l.contains("vm_kill")) {
+            let doc = json::parse(line).expect("event parses");
+            assert_ne!(
+                doc.get("vm").and_then(json::Json::as_u64),
+                Some(0),
+                "VM 0 is never killed"
+            );
+        }
+        assert!(run.metrics.cycles > 0);
+    }
+
+    #[test]
+    fn balloon_governor_fires_under_host_pressure() {
+        // 3 VMs of 48 MB whose resident fleet footprint leaves the host
+        // below the watermark: the governor must start squeezing the
+        // neighbours (pinning their free guest frames) while VM 0 keeps
+        // running.
+        let run = fleet(VmsSpec {
+            count: 3,
+            overcommit: 1.8,
+            churn_period_ops: None,
+            churn_kills: 1,
+            balloon_watermark: Some(0.12),
+        })
+        .try_run_observed(ObsConfig::enabled(1_000))
+        .expect("pressured fleet still completes");
+        let ballooned: u64 = (1..3)
+            .filter_map(|vm| {
+                run.snapshot
+                    .get(&format!("vm.{vm}.ballooned_frames"))
+                    .and_then(|v| v.as_u64())
+            })
+            .sum();
+        assert!(ballooned > 0, "the governor inflated neighbour balloons");
+        assert!(run.metrics.cycles > 0);
+    }
+}

@@ -117,6 +117,31 @@ pub struct PressureRow {
     pub reclaimed_frames: u64,
 }
 
+/// One (workload, policy) cell of a multi-tenant colocation sweep: how a
+/// policy behaves when the workload's VM fleet shares one overcommitted
+/// host, relative to the first (baseline) policy under the same fleet.
+#[derive(Clone, Debug)]
+pub struct ColocationRow {
+    /// Workload display label (typically encodes fleet size and churn).
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// VM fleet size.
+    pub vms: u32,
+    /// Whether the fleet ran under VM churn.
+    pub churn: bool,
+    /// Measured steady-state cycles of VM 0's benchmark (seed 0).
+    pub cycles: u64,
+    /// Execution-time improvement vs the first policy, same fleet
+    /// (positive = faster).
+    pub improvement: f64,
+    /// Host-PT fragmentation of the measured VM after its allocation
+    /// phase.
+    pub host_frag: f64,
+    /// Guest page faults taken fleet-wide over the whole run.
+    pub total_faults: u64,
+}
+
 /// The typed result a manifest's report kind aggregates its runs into.
 #[derive(Clone, Debug)]
 pub enum Outcome {
@@ -148,6 +173,9 @@ pub enum Outcome {
     Breakdown(Vec<(String, MemCounters)>),
     /// Graceful-degradation study under fault injection, workload-major.
     Pressure(Vec<PressureRow>),
+    /// Multi-tenant colocation sweep (VM count x churn x policy),
+    /// workload-major.
+    Colocation(Vec<ColocationRow>),
     /// At least one cell was quarantined; no aggregate result exists.
     Degraded,
 }
@@ -346,6 +374,11 @@ pub fn build_scenario(
         .overlaid(&workload.sim.unwrap_or_default());
     if !sim.is_vanilla() {
         scenario = scenario.machine(sim.to_machine_config(1 + corunners.len()));
+    }
+    // Like fault plans, a workload's vms section replaces the manifest-level
+    // one wholesale (a tenancy shape is one coherent condition).
+    if let Some(spec) = workload.vms.or(manifest.vms) {
+        scenario = scenario.vms(spec);
     }
     Ok(scenario)
 }
@@ -805,6 +838,30 @@ fn assemble(manifest: &ExperimentManifest, matrix: &MatrixSpec, metrics: &[RunMe
                 })
                 .collect(),
         ),
+        ReportKind::Colocation => {
+            let mut rows = Vec::new();
+            for (w, workload) in matrix.workloads.iter().enumerate() {
+                let spec = workload
+                    .vms
+                    .or(manifest.vms)
+                    .expect("colocation manifest pre-validated");
+                let base = at(w, 0, 0);
+                for (p, policy) in matrix.policies.iter().enumerate() {
+                    let m = at(w, p, 0);
+                    rows.push(ColocationRow {
+                        workload: workload.display_label(),
+                        policy: policy.name().to_string(),
+                        vms: spec.count,
+                        churn: spec.churn_period_ops.is_some(),
+                        cycles: m.cycles,
+                        improvement: m.improvement_over(base),
+                        host_frag: m.host_frag,
+                        total_faults: m.total_faults,
+                    });
+                }
+            }
+            Outcome::Colocation(rows)
+        }
         ReportKind::Hw => Outcome::Hw(
             matrix
                 .workloads
@@ -1008,6 +1065,37 @@ impl ManifestRun {
                         row.faults_injected,
                         row.reservation_fallbacks,
                         row.reclaimed_frames
+                    );
+                }
+                out
+            }
+            Outcome::Colocation(rows) => {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", self.manifest.description);
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:<12} {:>5} {:>6} {:>14} {:>12} {:>10} {:>12}",
+                    "fleet",
+                    "policy",
+                    "vms",
+                    "churn",
+                    "cycles",
+                    "improvement",
+                    "host-frag",
+                    "faults"
+                );
+                for row in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:<20} {:<12} {:>5} {:>6} {:>14} {:>+11.1}% {:>10.3} {:>12}",
+                        row.workload,
+                        row.policy,
+                        row.vms,
+                        if row.churn { "on" } else { "off" },
+                        row.cycles,
+                        row.improvement * 100.0,
+                        row.host_frag,
+                        row.total_faults
                     );
                 }
                 out

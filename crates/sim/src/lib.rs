@@ -7,6 +7,9 @@
 //! * [`engine`] — runs a set of workloads colocated inside one VM,
 //!   interleaving their operations (each app pinned to its own core, as the
 //!   paper pins threads), and accumulates per-app cycle counts;
+//! * `colo` — the host-scale counterpart: N guest VMs colocated on one
+//!   overcommitted multi-tenant host, with VM churn and balloon pressure
+//!   (reached through [`Scenario::vms`] / a manifest's `vms` section);
 //! * [`scenario`] — declarative description of one run: benchmark,
 //!   co-runners, allocator, co-runner stop protocol, measurement length;
 //! * [`driver`] — the manifest execution engine: expands a
@@ -47,6 +50,7 @@
 //! print!("{}", run.report());
 //! ```
 
+mod colo;
 pub mod driver;
 pub mod engine;
 pub mod experiments;
@@ -60,8 +64,8 @@ pub mod scenario;
 pub mod stats;
 
 pub use driver::{
-    run_manifest, run_supervised, CellData, CellRun, DriverError, ManifestRun, Outcome,
-    PressureRow, Supervision, Supervisor, VarianceStudy,
+    run_manifest, run_supervised, CellData, CellRun, ColocationRow, DriverError, ManifestRun,
+    Outcome, PressureRow, Supervision, Supervisor, VarianceStudy,
 };
 pub use engine::Colocation;
 pub use experiments::{

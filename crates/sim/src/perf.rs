@@ -4,7 +4,7 @@
 //! This module absorbs the `bench-core` measurement logic (the binary is
 //! now a thin wrapper over it): four pinned scenario cells — gcc and mcf
 //! under the default and ptemagnet allocators, fig6 protocol with an
-//! objdet co-runner — plus three wall-clock microkernels. Each cell
+//! objdet co-runner — plus four wall-clock microkernels. Each cell
 //! reports two ledgers:
 //!
 //! * **deterministic** — cost-model counters (cycles, TLB traffic, memo
@@ -156,8 +156,9 @@ fn median_ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
     samples[1]
 }
 
-/// The three microkernels mirroring the `harness.rs` Criterion benches:
-/// cold full walks, memo-hit replays, and a batched VMA run.
+/// The microkernels: the three mirroring the `harness.rs` Criterion
+/// benches (cold full walks, memo-hit replays, a batched VMA run) plus a
+/// round-robin touch over an 8-VM multi-tenant host.
 pub fn run_kernels() -> Vec<Kernel> {
     let pages = 4096u64;
     let mut out = Vec::new();
@@ -197,6 +198,50 @@ pub fn run_kernels() -> Vec<Kernel> {
         name: "full_walk_memo_hit",
         ns_per_op: median_ns_per_op(200_000, || {
             m.touch(0, pid, base, false).expect("replay");
+        }),
+    });
+
+    // multi_vm_round: one warm touch per VM, round-robin across an 8-VM
+    // host — the per-op cost of the multi-tenant dispatch path (composed
+    // ASIDs, per-VM hvpn rebasing, shared host structures).
+    let vm_count = 8usize;
+    let mut config = MachineConfig::paper(1, 16);
+    config.host_frames = vm_count as u64 * config.guest_frames;
+    let mut m = Machine::multi_tenant(config, vm_count, |_| {
+        ptemagnet::registry::resolve("default").expect("default allocator is registered")
+    });
+    let mut slots = Vec::with_capacity(vm_count);
+    for vm in 0..vm_count {
+        let pid = m.vm_guest_mut(vm).spawn();
+        let base = m.vm_guest_mut(vm).mmap(pid, 64).expect("mmap");
+        for p in 0..64u64 {
+            m.touch_vm(
+                vm,
+                0,
+                pid,
+                GuestVirtAddr::new(base.raw() + p * PAGE_SIZE),
+                true,
+            )
+            .expect("prefault");
+        }
+        slots.push((pid, base));
+    }
+    let mut i = 0u64;
+    out.push(Kernel {
+        name: "multi_vm_round",
+        ns_per_op: median_ns_per_op(20_000, || {
+            let vm = (i % vm_count as u64) as usize;
+            let (pid, base) = slots[vm];
+            let page = (i / vm_count as u64 * 7) % 64;
+            m.touch_vm(
+                vm,
+                0,
+                pid,
+                GuestVirtAddr::new(base.raw() + page * PAGE_SIZE),
+                false,
+            )
+            .expect("touch");
+            i += 1;
         }),
     });
 

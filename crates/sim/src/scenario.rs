@@ -7,6 +7,9 @@ use vmsim_os::{GuestFrameAllocator, Machine, MachineConfig};
 use vmsim_types::{FaultPlan, Result, RunError};
 use vmsim_workloads::{benchmark, corunner, BenchId, CoId, Phase};
 
+use vmsim_config::VmsSpec;
+
+use crate::colo::{self, ColoParams};
 use crate::engine::Colocation;
 use crate::obs::{ObsConfig, ObservedRun};
 use crate::progress::Pulse;
@@ -33,8 +36,9 @@ impl CellBudget {
 }
 
 /// Wall-budget bookkeeping: checks the clock every `CHECK_ROUNDS` scheduler
-/// rounds so the hot loop never syscalls per round.
-struct WallBudget {
+/// rounds so the hot loop never syscalls per round. Shared with the
+/// multi-tenant engine ([`crate::colo`]), which runs the same protocol.
+pub(crate) struct WallBudget {
     deadline: Option<Instant>,
     rounds: u32,
 }
@@ -42,7 +46,7 @@ struct WallBudget {
 impl WallBudget {
     const CHECK_ROUNDS: u32 = 64;
 
-    fn start(limit: Option<Duration>) -> Self {
+    pub(crate) fn start(limit: Option<Duration>) -> Self {
         Self {
             deadline: limit.map(|d| Instant::now() + d),
             rounds: 0,
@@ -51,7 +55,7 @@ impl WallBudget {
 
     /// True when the deadline has passed (checked at most every
     /// `CHECK_ROUNDS` calls).
-    fn expired(&mut self) -> bool {
+    pub(crate) fn expired(&mut self) -> bool {
         let Some(deadline) = self.deadline else {
             return false;
         };
@@ -65,7 +69,7 @@ impl WallBudget {
 
     /// True when the deadline has passed, checked immediately (for the
     /// chunked measured phase, where calls are already infrequent).
-    fn expired_now(&self) -> bool {
+    pub(crate) fn expired_now(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
@@ -206,6 +210,12 @@ pub struct Scenario {
     /// differential suite runs memo-on and memo-off side by side in one
     /// process, where a global env var cannot express both).
     memo: Option<bool>,
+    /// If set *and* active, the run executes on a multi-tenant host
+    /// ([`crate::colo`]): `count` VMs each running this scenario's
+    /// benchmark, sharing an overcommitted host pool. An inactive spec
+    /// (1 VM, no overcommit, no churn, no balloon) keeps the classic
+    /// single-guest path, bit-identically.
+    vms: Option<VmsSpec>,
 }
 
 impl Scenario {
@@ -225,6 +235,7 @@ impl Scenario {
             prefragment_run: None,
             faults: None,
             memo: None,
+            vms: None,
         }
     }
 
@@ -301,6 +312,17 @@ impl Scenario {
     /// bit-invisible, so this only affects wall-clock time.
     pub fn memo(mut self, enabled: bool) -> Self {
         self.memo = Some(enabled);
+        self
+    }
+
+    /// Runs the scenario on a multi-tenant host shaped by `spec`: `count`
+    /// VMs (each running this benchmark under its own guest kernel and a
+    /// fresh instance of the allocator policy) share one host pool sized by
+    /// the overcommit ratio, with optional VM churn and balloon pressure.
+    /// An inactive spec ([`VmsSpec::is_active`] is false) leaves the run on
+    /// the classic single-guest path, bit-identically.
+    pub fn vms(mut self, spec: VmsSpec) -> Self {
+        self.vms = Some(spec);
         self
     }
 
@@ -404,6 +426,28 @@ impl Scenario {
         let config = self
             .machine
             .unwrap_or_else(|| MachineConfig::paper(cores, 1024));
+        // An *active* multi-tenant spec hands the whole run to the
+        // host-scale engine; an inactive one (the explicit single-guest
+        // shape) stays on this path so legacy results are byte-identical.
+        if let Some(spec) = self.vms.filter(VmsSpec::is_active) {
+            let allocator_name = match &self.custom_allocator {
+                Some(custom) => custom.name(),
+                None => self.allocator.name(),
+            };
+            let params = ColoParams {
+                spec,
+                benchmark: self.benchmark,
+                allocator_name,
+                measure_ops: self.measure_ops,
+                seed: self.seed,
+                config,
+                memo: self
+                    .memo
+                    .unwrap_or_else(vmsim_config::env::memo_enabled_or_default),
+                faults: self.faults,
+            };
+            return colo::run_colo(params, obs, budget, heartbeat_ops, on_pulse);
+        }
         let (allocator, allocator_name) = match self.custom_allocator {
             Some(custom) => {
                 let name = custom.name();
