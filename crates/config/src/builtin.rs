@@ -433,6 +433,39 @@ pub fn colocation() -> ExperimentManifest {
     m
 }
 
+/// Guest-thread sweep: gcc + objdet at 1/2/4/8 simulated guest threads,
+/// default vs PTEMagnet. `threads: 1` is the serial engine, byte-identical
+/// to the legacy path (the differential anchor row); the higher rows
+/// interleave the benchmark's faults with the seeded round-robin
+/// interleaver, contending neighbouring 8-page reservation groups — the
+/// workload the lock-free PaRT exists to serve.
+pub fn threads() -> ExperimentManifest {
+    let workloads = [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            with_objdet(BenchId::Gcc)
+                .labeled(format!("threads:{threads}"))
+                .with_threads(threads)
+        })
+        .collect();
+    let mut m = matrix(
+        "threads",
+        "Concurrent guest faulting: gcc + objdet at 1/2/4/8 simulated guest threads",
+        vec![0],
+        20_000,
+        ReportKind::Runs,
+        &["default", "ptemagnet"],
+        workloads,
+    );
+    m.obs = ObsConfig::enabled(2_500);
+    m.sim = Some(SimConfig {
+        guest_mb: Some(256),
+        cores: Some(2),
+        ..SimConfig::default()
+    });
+    m
+}
+
 /// Every checked-in manifest at its default parameters, in `manifests/`
 /// directory order. `vmsim emit` writes these; the golden tests pin them.
 pub fn all() -> Vec<ExperimentManifest> {
@@ -454,6 +487,7 @@ pub fn all() -> Vec<ExperimentManifest> {
         smoke(),
         pressure(),
         colocation(),
+        threads(),
     ]
 }
 
@@ -469,7 +503,7 @@ mod tests {
     #[test]
     fn every_builtin_validates_and_round_trips() {
         let manifests = all();
-        assert_eq!(manifests.len(), 17);
+        assert_eq!(manifests.len(), 18);
         for m in manifests {
             m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let json = m.to_json();

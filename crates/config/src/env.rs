@@ -13,6 +13,7 @@
 //! | `VMSIM_MEMO`      | Translation memo layer: `on`/`1` (default), `off`/`0` |
 //! | `VMSIM_PROFILE`   | Phase profiler: `on`/`1`, `off`/`0` (default)       |
 //! | `VMSIM_HEARTBEAT_OPS` | Heartbeat cadence in machine ops (positive)     |
+//! | `VMSIM_GUEST_THREADS` | Simulated guest threads per workload (1..=64)   |
 //!
 //! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
 //! warns once per process on use.
@@ -44,6 +45,14 @@ pub const VAR_MEMO: &str = "VMSIM_MEMO";
 pub const VAR_PROFILE: &str = "VMSIM_PROFILE";
 /// Live-telemetry heartbeat cadence, in machine ops per heartbeat.
 pub const VAR_HEARTBEAT_OPS: &str = "VMSIM_HEARTBEAT_OPS";
+/// Simulated guest threads per workload process (overrides the manifest's
+/// `threads` key). Distinct from [`VAR_THREADS`], which sizes the *host*
+/// worker pool and never changes results.
+pub const VAR_GUEST_THREADS: &str = "VMSIM_GUEST_THREADS";
+
+/// Upper bound on simulated guest threads (manifest `threads` key and
+/// [`VAR_GUEST_THREADS`] alike — kept in sync with manifest validation).
+pub const MAX_GUEST_THREADS: u32 = 64;
 
 /// A deliberate failure injected into the supervised runtime for drills:
 /// cell `cell` panics on its first `fail_attempts` attempts. Parsed from
@@ -357,6 +366,35 @@ pub fn heartbeat_ops_or_default() -> Option<u64> {
     }
 }
 
+/// Simulated-guest-thread override: `VMSIM_GUEST_THREADS`. `None` = defer
+/// to the workload's `threads` key (default 1, the serial engine). Unlike
+/// `VMSIM_THREADS` this knob changes the simulated workload itself — `N > 1`
+/// interleaves `N` faulting guest threads deterministically — so it is
+/// strict about its range: a positive integer up to [`MAX_GUEST_THREADS`].
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not an integer in
+/// `1..=64`.
+pub fn guest_threads() -> Result<Option<u32>, EnvError> {
+    let Some(v) = raw(VAR_GUEST_THREADS) else {
+        return Ok(None);
+    };
+    match v.parse::<u32>() {
+        Ok(n) if (1..=MAX_GUEST_THREADS).contains(&n) => Ok(Some(n)),
+        Ok(_) => Err(EnvError {
+            var: VAR_GUEST_THREADS,
+            value: v,
+            reason: "guest thread count must be in 1..=64",
+        }),
+        Err(_) => Err(EnvError {
+            var: VAR_GUEST_THREADS,
+            value: v,
+            reason: "expected a guest thread count in 1..=64",
+        }),
+    }
+}
+
 /// Validates every recognized override, returning all errors (empty =
 /// clean environment). `vmsim validate` prints these.
 pub fn check() -> Vec<EnvError> {
@@ -383,6 +421,9 @@ pub fn check() -> Vec<EnvError> {
         errors.push(e);
     }
     if let Err(e) = heartbeat_ops() {
+        errors.push(e);
+    }
+    if let Err(e) = guest_threads() {
         errors.push(e);
     }
     errors
@@ -503,9 +544,20 @@ mod tests {
         }
         assert_eq!(heartbeat_ops_or_default(), None);
 
+        // Guest threads: strict 1..=64, defers to the manifest when unset.
+        assert_eq!(guest_threads(), Ok(None));
+        std::env::set_var(VAR_GUEST_THREADS, "4");
+        assert_eq!(guest_threads(), Ok(Some(4)));
+        std::env::set_var(VAR_GUEST_THREADS, "64");
+        assert_eq!(guest_threads(), Ok(Some(64)));
+        for bad in ["0", "65", "-1", "some"] {
+            std::env::set_var(VAR_GUEST_THREADS, bad);
+            assert!(guest_threads().is_err(), "{bad:?} must be rejected");
+        }
+
         // check() reports every malformed variable at once.
         let errors = check();
-        assert_eq!(errors.len(), 8);
+        assert_eq!(errors.len(), 9);
         for var in [
             VAR_OPS,
             VAR_THREADS,
@@ -515,6 +567,7 @@ mod tests {
             VAR_MEMO,
             VAR_PROFILE,
             VAR_HEARTBEAT_OPS,
+            VAR_GUEST_THREADS,
         ] {
             assert!(errors.iter().any(|e| e.var == var), "{var} reported");
         }
@@ -529,6 +582,7 @@ mod tests {
             VAR_MEMO,
             VAR_PROFILE,
             VAR_HEARTBEAT_OPS,
+            VAR_GUEST_THREADS,
         ] {
             std::env::remove_var(var);
         }

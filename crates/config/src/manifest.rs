@@ -216,6 +216,12 @@ pub struct WorkloadSpec {
     pub corunners: Vec<String>,
     /// Co-runner scheduling weight (ops per benchmark op).
     pub corunner_weight: u32,
+    /// Simulated guest threads faulting concurrently inside the benchmark
+    /// process (1..=64). `1` — the default and the legacy shape — routes
+    /// through the serial engine bit-identically; `N > 1` interleaves `N`
+    /// faulting threads deterministically from the run seed.
+    /// `VMSIM_GUEST_THREADS` overrides this at run time.
+    pub threads: u32,
     /// Stop co-runners once the benchmark finishes allocating (§3.3).
     pub stop_corunners_after_init: bool,
     /// Pre-fragment free guest memory into runs of this many frames.
@@ -237,6 +243,7 @@ impl WorkloadSpec {
             benchmark: benchmark.into(),
             corunners: Vec::new(),
             corunner_weight: 1,
+            threads: 1,
             stop_corunners_after_init: false,
             prefragment_run: None,
             sim: None,
@@ -249,6 +256,13 @@ impl WorkloadSpec {
     pub fn with_corunners(mut self, corunners: &[CoId], weight: u32) -> Self {
         self.corunners = corunners.iter().map(|c| c.name().to_string()).collect();
         self.corunner_weight = weight;
+        self
+    }
+
+    /// Builder: sets the simulated guest-thread count (validated 1..=64 by
+    /// [`ExperimentManifest::validate`]).
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -583,6 +597,9 @@ impl ExperimentManifest {
                 .map_err(|e| ManifestError::new(ctx.clone(), e.message))?;
             if workload.corunner_weight == 0 {
                 return Err(ManifestError::new(ctx, "corunner_weight must be positive"));
+            }
+            if !(1..=64).contains(&workload.threads) {
+                return Err(ManifestError::new(ctx, "threads must be in 1..=64"));
             }
         }
         let (w, p, s) = (
@@ -1229,6 +1246,7 @@ fn workload_json(out: &mut String, w: &WorkloadSpec) {
     }
     out.push_str("],\n");
     let _ = writeln!(out, "        \"corunner_weight\": {},", w.corunner_weight);
+    let _ = writeln!(out, "        \"threads\": {},", w.threads);
     let _ = writeln!(
         out,
         "        \"stop_corunners_after_init\": {},",
@@ -1375,11 +1393,29 @@ fn workload_from_json(node: &Json, index: usize) -> Result<WorkloadSpec> {
         None | Some(Json::Null) => None,
         Some(v) => Some(vms_from_json(v, &format!("{ctx}.vms"))?),
     };
+    // Workloads predating the guest-thread schema have no "threads" key;
+    // that still parses as the serial shape (1), but the implicit form is
+    // deprecated and warns once per process (the "vms" rollout treatment).
+    static IMPLICIT_SERIAL_THREADS: Once = Once::new();
+    let threads = match node.get("threads") {
+        None => {
+            IMPLICIT_SERIAL_THREADS.call_once(|| {
+                eprintln!(
+                    "vmsim: warning: workload has no \"threads\" key; the implicit \
+                     single-thread shape is deprecated — re-emit with `vmsim emit` for an \
+                     explicit \"threads\": 1"
+                );
+            });
+            1
+        }
+        Some(_) => get_u32(node, &ctx, "threads")?,
+    };
     Ok(WorkloadSpec {
         label,
         benchmark: get_str(node, &ctx, "benchmark")?,
         corunners,
         corunner_weight: get_u32(node, &ctx, "corunner_weight")?,
+        threads,
         stop_corunners_after_init: get_bool(node, &ctx, "stop_corunners_after_init")?,
         prefragment_run: get_opt_u64(node, &ctx, "prefragment_run")?,
         sim,

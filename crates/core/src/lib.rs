@@ -54,6 +54,7 @@ pub mod policy;
 pub mod reclaim;
 pub mod registry;
 pub mod reservation;
+mod sync;
 
 pub use ablation::{GlobalLockPart, GranularReservationAllocator};
 pub use baselines::{CaPagingLike, ThpAllocator};

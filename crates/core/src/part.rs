@@ -1,26 +1,75 @@
-//! The Page Reservation Table (PaRT): a concurrent 4-level radix tree.
+//! The Page Reservation Table (PaRT): a lock-free concurrent 4-level radix
+//! tree.
 //!
 //! PaRT tracks one entry per aligned eight-page virtual group that currently
-//! has a physical reservation (paper §4.2). A leaf holds the base frame of
-//! the reserved chunk, an 8-bit mask of which pages were handed to the
-//! application, and its own lock. The tree uses **fine-grained locking** —
-//! one lock per node slot — so concurrently faulting threads of a process
-//! contend only when they touch the same region, satisfying the paper's
-//! scalability requirement.
+//! has a physical reservation (paper §4.2). A leaf packs the whole
+//! reservation — base frame plus the 8-bit live mask — into a single
+//! [`AtomicU64`] word, so grants, releases and retirement are one CAS each
+//! and threads faulting into *disjoint groups never contend at all*,
+//! satisfying (and strengthening) the paper's fine-grained-locking
+//! scalability requirement:
+//!
+//! * **Atomic slot publication.** Interior nodes and leaves are published
+//!   into their parent slot with a `null → ptr` CAS; a racing creator frees
+//!   its candidate and adopts the winner's. Interior nodes are never
+//!   reclaimed while the table lives.
+//! * **CAS install, fused retire.** Installing a reservation is one
+//!   `EMPTY → packed` CAS on the leaf word; granting the last page of a
+//!   group CASes straight to `EMPTY`, so retirement can never be observed
+//!   half-done. A thread that loses an install race parks its
+//!   already-allocated chunk in a small internal spare pool, where the next
+//!   install (or [`PaRt::drain_unused`]) picks it up — no frame is ever
+//!   double-granted or leaked, and the public API is unchanged.
+//! * **Epoch-style reclamation.** [`PaRt::drain_unused`] prunes empty leaf
+//!   nodes: the word is CASed to a `RETIRED` sentinel, the leaf is unlinked
+//!   from its parent slot, and the node itself is freed only after every
+//!   operation pinned in the current or previous epoch has finished (a
+//!   per-table three-bin epoch collector). Operations that encounter a
+//!   `RETIRED` word help unlink it and re-descend.
+//!
+//! Under the `model-check` feature the structural atomics are routed through
+//! the vendored loom stub (see `crate::sync`) and the install/retire/
+//! reclaim paths are explored exhaustively over bounded schedules in
+//! `tests/model_check.rs`.
 //!
 //! The tree is indexed by *group number* (virtual page number >> 3), nine
 //! bits per level, covering a 48-bit virtual address space.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use vmsim_types::{GuestFrame, GROUP_PAGES};
+
+use crate::sync::{scan_load, AtomicPtr, AtomicU64, Ordering};
 
 /// Fan-out of each radix level (nine index bits).
 const FANOUT: usize = 512;
 /// Number of radix levels.
 const DEPTH: usize = 4;
+
+/// Leaf word: no reservation present.
+const EMPTY: u64 = 0;
+/// Leaf word: the leaf node was pruned and is awaiting reclamation; any
+/// operation that sees this helps unlink the node and re-descends.
+const RETIRED: u64 = u64::MAX;
+
+/// Packs a reservation into a leaf word: `base << 9 | live << 1 | 1`.
+/// Bit 0 distinguishes a present word from `EMPTY`; a present word can never
+/// equal `RETIRED` because fully-live words are retired eagerly (and frame
+/// numbers stay far below 2^55).
+#[inline]
+fn pack(base: u64, live: u8) -> u64 {
+    debug_assert!(base < 1 << 55, "frame number overflows the leaf word");
+    debug_assert!(live != 0, "present words always have a live page");
+    (base << 9) | (u64::from(live) << 1) | 1
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(word: u64) -> (u64, u8) {
+    (word >> 9, ((word >> 1) & 0xff) as u8)
+}
 
 /// One reservation: an aligned eight-frame chunk and its usage mask.
 ///
@@ -84,27 +133,223 @@ pub enum ReleaseOutcome {
     },
 }
 
-enum Slot {
-    Empty,
-    Interior(Arc<Node>),
-    Leaf(Arc<LeafNode>),
-}
-
+/// An interior radix node: 512 atomically-published child pointers.
+/// Slots at levels `0..DEPTH-1` point to child `Node`s (never reclaimed);
+/// slots of level `DEPTH-1` nodes point to `LeafNode`s (`Arc`-backed,
+/// reclaimed through the epoch collector).
 struct Node {
-    slots: Vec<RwLock<Slot>>,
+    slots: Vec<AtomicPtr<()>>,
 }
 
 impl Node {
     fn new() -> Self {
         Self {
-            slots: (0..FANOUT).map(|_| RwLock::new(Slot::Empty)).collect(),
+            slots: (0..FANOUT)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
         }
     }
 }
 
+/// A leaf: the packed reservation word (see [`pack`]).
 struct LeafNode {
-    /// The per-reservation lock the paper describes.
-    inner: Mutex<Option<Reservation>>,
+    word: AtomicU64,
+}
+
+impl LeafNode {
+    fn new() -> Self {
+        Self {
+            word: AtomicU64::new(EMPTY),
+        }
+    }
+}
+
+/// A leaf pointer queued for epoch-deferred reclamation.
+struct RetiredLeaf(*const LeafNode);
+
+// Safety: the pointee is an `Arc<LeafNode>` allocation (Sync) whose last
+// reference is dropped by whichever thread drains the garbage bin.
+unsafe impl Send for RetiredLeaf {}
+
+/// Sentinel for a free epoch-participant or spare-pool slot.
+const FREE_SLOT: u64 = u64::MAX;
+/// Fixed number of epoch participant slots: the maximum number of PaRT
+/// operations in flight at once on one table. Far above anything the
+/// simulator or tests produce; `pin` retries when transiently full. Kept
+/// small under model checking (`try_advance` scans every slot with
+/// instrumented loads; model tests race two or three threads).
+#[cfg(not(feature = "model-check"))]
+const PARTICIPANTS: usize = 32;
+#[cfg(feature = "model-check")]
+const PARTICIPANTS: usize = 4;
+
+/// Per-table epoch collector (three-bin scheme): operations pin the current
+/// epoch in a participant slot; pruned leaves are pushed into the bin of the
+/// epoch they were retired in and freed two epoch advances later, when no
+/// pinned operation can still hold a pre-unlink pointer.
+struct Collector {
+    epoch: AtomicU64,
+    slots: Vec<AtomicU64>,
+    /// Bin `e % 3` holds leaves retired while the global epoch read `e`.
+    /// The mutexes guard plain `Vec` pushes only — no instrumented atomic is
+    /// ever touched while one is held, so under the model checker a critical
+    /// section can never be preempted.
+    bins: [Mutex<Vec<RetiredLeaf>>; 3],
+}
+
+impl Collector {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            slots: (0..PARTICIPANTS)
+                .map(|_| AtomicU64::new(FREE_SLOT))
+                .collect(),
+            bins: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+        }
+    }
+
+    /// Pins the current epoch. Every PaRT operation holds a guard for its
+    /// duration; leaf nodes it may have observed cannot be freed until the
+    /// guard drops.
+    fn pin(&self) -> Guard<'_> {
+        loop {
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            for (i, slot) in self.slots.iter().enumerate() {
+                if slot.load(Ordering::SeqCst) == FREE_SLOT
+                    && slot
+                        .compare_exchange(FREE_SLOT, epoch, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    return Guard {
+                        collector: self,
+                        slot: i,
+                    };
+                }
+            }
+            // All slots transiently busy: another operation will unpin.
+        }
+    }
+
+    /// Queues an unlinked leaf for reclamation two epochs from now.
+    fn defer_retire(&self, leaf: *const LeafNode) {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        self.bins[(epoch % 3) as usize]
+            .lock()
+            .push(RetiredLeaf(leaf));
+        self.try_advance();
+    }
+
+    /// Advances the epoch when no operation is pinned behind it, freeing the
+    /// bin that is now two epochs old: any operation that could have
+    /// observed those leaves pre-unlink would have blocked the previous
+    /// advance.
+    fn try_advance(&self) {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        for slot in &self.slots {
+            let pinned = slot.load(Ordering::SeqCst);
+            if pinned != FREE_SLOT && pinned < epoch {
+                return;
+            }
+        }
+        if self
+            .epoch
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            let stale = std::mem::take(&mut *self.bins[((epoch + 2) % 3) as usize].lock());
+            for leaf in stale {
+                // Safety: unlinked two epochs ago; no pinned operation can
+                // still hold this pointer (see advance rule above).
+                unsafe { drop(Arc::from_raw(leaf.0)) };
+            }
+        }
+    }
+}
+
+/// An epoch pin (see [`Collector::pin`]).
+struct Guard<'a> {
+    collector: &'a Collector,
+    slot: usize,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.collector.slots[self.slot].store(FREE_SLOT, Ordering::SeqCst);
+    }
+}
+
+/// Number of lock-free spare-chunk slots (overflow spills into a short
+/// mutex-guarded list that, like the garbage bins, never holds its lock
+/// across an instrumented atomic). Shrunk under model checking to keep the
+/// scan short.
+#[cfg(not(feature = "model-check"))]
+const SPARE_SLOTS: usize = 16;
+#[cfg(feature = "model-check")]
+const SPARE_SLOTS: usize = 4;
+
+/// Chunks allocated for an install that lost its race. The next install
+/// claims a spare before calling its factory; [`PaRt::drain_unused`] drains
+/// leftovers. Serial callers never race, so the pool stays empty and the
+/// serial engine's behaviour is bit-identical to the old locked tree.
+struct SparePool {
+    /// Approximate occupancy, letting the (hot) empty case cost one load.
+    hint: AtomicU64,
+    slots: Vec<AtomicU64>,
+    overflow: Mutex<Vec<u64>>,
+}
+
+impl SparePool {
+    fn new() -> Self {
+        Self {
+            hint: AtomicU64::new(0),
+            slots: (0..SPARE_SLOTS)
+                .map(|_| AtomicU64::new(FREE_SLOT))
+                .collect(),
+            overflow: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, base: u64) {
+        debug_assert_ne!(base, FREE_SLOT);
+        for slot in &self.slots {
+            if slot.load(Ordering::SeqCst) == FREE_SLOT
+                && slot
+                    .compare_exchange(FREE_SLOT, base, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.hint.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
+        self.overflow.lock().push(base);
+        self.hint.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn pop(&self) -> Option<u64> {
+        if self.hint.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        for slot in &self.slots {
+            let base = slot.load(Ordering::SeqCst);
+            if base != FREE_SLOT
+                && slot
+                    .compare_exchange(base, FREE_SLOT, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.hint.fetch_sub(1, Ordering::SeqCst);
+                return Some(base);
+            }
+        }
+        let got = self.overflow.lock().pop();
+        if got.is_some() {
+            self.hint.fetch_sub(1, Ordering::SeqCst);
+        }
+        got
+    }
 }
 
 /// Counters exposed by a PaRT instance. All values are cumulative except
@@ -153,11 +398,12 @@ impl vmsim_obs::MetricSource for PartStats {
     }
 }
 
-/// The concurrent Page Reservation Table.
+/// The lock-free concurrent Page Reservation Table.
 ///
-/// All methods take `&self`; interior locking makes concurrent use by many
-/// faulting threads safe. Shared between parent and child after `fork` via
-/// `Arc` (paper §4.4).
+/// All methods take `&self`; atomic leaf words and CAS-published nodes make
+/// concurrent use by many faulting threads safe without any blocking on the
+/// grant path. Shared between parent and child after `fork` via `Arc`
+/// (paper §4.4).
 ///
 /// # Examples
 ///
@@ -175,19 +421,26 @@ impl vmsim_obs::MetricSource for PartStats {
 /// assert_eq!(part.unused_frames(), 6);
 /// ```
 pub struct PaRt {
-    root: Arc<Node>,
-    /// One-entry leaf cache. Leaf nodes are never removed from the tree
-    /// (only their `Option<Reservation>` payload is cleared), so a cached
-    /// `(group, leaf)` pair stays valid forever. Faulting streams hit the
-    /// same group several times in a row (lookup + grant, eight pages per
-    /// group), making this a near-free shortcut past the radix descent.
+    root: Node,
+    collector: Collector,
+    spare: SparePool,
+    /// One-entry leaf cache. Faulting streams hit the same group several
+    /// times in a row (lookup + grant, eight pages per group), making this a
+    /// near-free shortcut past the radix descent. The cache holds a real
+    /// `Arc`, so a cached leaf that was concurrently pruned is still safe to
+    /// inspect — its `RETIRED` word sends the operation back down the tree.
+    /// Compiled out under model checking to keep the schedule space small.
+    #[cfg(not(feature = "model-check"))]
     last_leaf: Mutex<Option<(u64, Arc<LeafNode>)>>,
-    hits: AtomicU64,
-    installs: AtomicU64,
-    retired_full: AtomicU64,
-    deleted_empty: AtomicU64,
-    live_entries: AtomicU64,
-    unused_frames: AtomicU64,
+    /// Leaf nodes pruned and queued for epoch reclamation (not part of
+    /// [`PartStats`]: surfaced for tests via [`PaRt::pruned_leaves`]).
+    pruned: StdAtomicU64,
+    hits: StdAtomicU64,
+    installs: StdAtomicU64,
+    retired_full: StdAtomicU64,
+    deleted_empty: StdAtomicU64,
+    live_entries: StdAtomicU64,
+    unused_frames: StdAtomicU64,
 }
 
 impl Default for PaRt {
@@ -211,14 +464,18 @@ impl PaRt {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self {
-            root: Arc::new(Node::new()),
+            root: Node::new(),
+            collector: Collector::new(),
+            spare: SparePool::new(),
+            #[cfg(not(feature = "model-check"))]
             last_leaf: Mutex::new(None),
-            hits: AtomicU64::new(0),
-            installs: AtomicU64::new(0),
-            retired_full: AtomicU64::new(0),
-            deleted_empty: AtomicU64::new(0),
-            live_entries: AtomicU64::new(0),
-            unused_frames: AtomicU64::new(0),
+            pruned: StdAtomicU64::new(0),
+            hits: StdAtomicU64::new(0),
+            installs: StdAtomicU64::new(0),
+            retired_full: StdAtomicU64::new(0),
+            deleted_empty: StdAtomicU64::new(0),
+            live_entries: StdAtomicU64::new(0),
+            unused_frames: StdAtomicU64::new(0),
         }
     }
 
@@ -228,70 +485,117 @@ impl PaRt {
         ((group >> (9 * (DEPTH - 1 - level))) & (FANOUT as u64 - 1)) as usize
     }
 
-    /// Finds the leaf for `group`, creating the path if `create` is true.
-    fn leaf(&self, group: u64, create: bool) -> Option<Arc<LeafNode>> {
+    /// Finds the leaf for `group` through the one-entry cache, upgrading the
+    /// epoch-protected pointer into an owned `Arc`.
+    fn leaf(&self, group: u64, create: bool, guard: &Guard<'_>) -> Option<Arc<LeafNode>> {
+        #[cfg(not(feature = "model-check"))]
         {
             let cache = self.last_leaf.lock();
-            if let Some((g, leaf)) = &*cache {
-                if *g == group {
+            if let Some((cached_group, leaf)) = &*cache {
+                if *cached_group == group {
                     return Some(Arc::clone(leaf));
                 }
             }
         }
-        let found = self.leaf_descent(group, create);
-        if let Some(leaf) = &found {
-            *self.last_leaf.lock() = Some((group, Arc::clone(leaf)));
+        let ptr = self.descend(group, create, guard)?;
+        // Safety: `guard` pins the epoch, so even a concurrently pruned leaf
+        // cannot have been freed yet; bumping the strong count turns the
+        // borrowed pointer into an owned handle that outlives the guard.
+        let leaf = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        #[cfg(not(feature = "model-check"))]
+        {
+            *self.last_leaf.lock() = Some((group, Arc::clone(&leaf)));
         }
-        found
+        Some(leaf)
     }
 
-    /// The full radix descent behind [`PaRt::leaf`]'s cache.
-    fn leaf_descent(&self, group: u64, create: bool) -> Option<Arc<LeafNode>> {
-        let mut node = Arc::clone(&self.root);
-        for level in 0..DEPTH {
-            let idx = Self::index(group, level);
-            let is_last = level == DEPTH - 1;
-            // Fast path: read lock.
-            {
-                let slot = node.slots[idx].read();
-                match &*slot {
-                    Slot::Interior(child) if !is_last => {
-                        let child = Arc::clone(child);
-                        drop(slot);
-                        node = child;
-                        continue;
-                    }
-                    Slot::Leaf(leaf) if is_last => return Some(Arc::clone(leaf)),
-                    Slot::Empty if !create => return None,
-                    _ => {}
-                }
-            }
-            // Slow path: write lock and create (re-check under the lock).
-            let mut slot = node.slots[idx].write();
-            match &*slot {
-                Slot::Interior(child) if !is_last => {
-                    let child = Arc::clone(child);
-                    drop(slot);
-                    node = child;
-                }
-                Slot::Leaf(leaf) if is_last => return Some(Arc::clone(leaf)),
-                Slot::Empty => {
-                    if is_last {
-                        let leaf = Arc::new(LeafNode {
-                            inner: Mutex::new(None),
-                        });
-                        *slot = Slot::Leaf(Arc::clone(&leaf));
-                        return Some(leaf);
-                    }
-                    let child = Arc::new(Node::new());
-                    *slot = Slot::Interior(Arc::clone(&child));
-                    drop(slot);
-                    node = child;
-                }
-                _ => unreachable!("slot kind matches level"),
+    /// Drops a cached leaf for `group` (it was observed `RETIRED`).
+    fn forget_cached(&self, group: u64) {
+        #[cfg(not(feature = "model-check"))]
+        {
+            let mut cache = self.last_leaf.lock();
+            if cache.as_ref().is_some_and(|(g, _)| *g == group) {
+                *cache = None;
             }
         }
-        unreachable!("loop returns at the leaf level")
+        #[cfg(feature = "model-check")]
+        let _ = group;
+    }
+
+    /// The full radix descent behind [`PaRt::leaf`]'s cache. Interior nodes
+    /// and leaves are published with a `null → ptr` CAS; a `RETIRED` leaf
+    /// found at the bottom is helped out of its slot and the level retried,
+    /// so every retry reflects another thread's completed progress.
+    fn descend(&self, group: u64, create: bool, _guard: &Guard<'_>) -> Option<*const LeafNode> {
+        let mut node: &Node = &self.root;
+        for level in 0..DEPTH - 1 {
+            let slot = &node.slots[Self::index(group, level)];
+            let mut ptr = slot.load(Ordering::SeqCst);
+            if ptr.is_null() {
+                if !create {
+                    return None;
+                }
+                let candidate = Box::into_raw(Box::new(Node::new())).cast::<()>();
+                match slot.compare_exchange(
+                    std::ptr::null_mut(),
+                    candidate,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => ptr = candidate,
+                    Err(current) => {
+                        // Safety: the candidate was never published.
+                        unsafe { drop(Box::from_raw(candidate.cast::<Node>())) };
+                        ptr = current;
+                    }
+                }
+            }
+            // Safety: interior nodes are never reclaimed while the table
+            // lives, so a published pointer stays valid.
+            node = unsafe { &*ptr.cast_const().cast::<Node>() };
+        }
+        let slot = &node.slots[Self::index(group, DEPTH - 1)];
+        loop {
+            let ptr = slot.load(Ordering::SeqCst);
+            if ptr.is_null() {
+                if !create {
+                    return None;
+                }
+                let candidate = Arc::into_raw(Arc::new(LeafNode::new()))
+                    .cast_mut()
+                    .cast::<()>();
+                match slot.compare_exchange(
+                    std::ptr::null_mut(),
+                    candidate,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return Some(candidate.cast_const().cast::<LeafNode>()),
+                    Err(_) => {
+                        // Safety: the candidate was never published.
+                        unsafe { drop(Arc::from_raw(candidate.cast_const().cast::<LeafNode>())) };
+                        continue;
+                    }
+                }
+            }
+            let leaf = ptr.cast_const().cast::<LeafNode>();
+            // Safety: `_guard` pins the epoch; a pruned leaf is unlinked but
+            // not yet freed.
+            if unsafe { &*leaf }.word.load(Ordering::SeqCst) == RETIRED {
+                // Help the pruner unlink, then retry the level.
+                let _ = slot.compare_exchange(
+                    ptr,
+                    std::ptr::null_mut(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                continue;
+            }
+            return Some(leaf);
+        }
     }
 
     /// Grants page `offset` of `group`, installing a new reservation from
@@ -302,6 +606,11 @@ impl PaRt {
     /// available (high fragmentation / memory pressure) — in which case
     /// [`TakeOutcome::Unavailable`] tells the caller to fall back to default
     /// allocation.
+    ///
+    /// The factory is called at most once. If the install CAS then loses a
+    /// race, the chunk is parked in the internal spare pool (re-used by the
+    /// next install on any group, drained by [`PaRt::drain_unused`]) and the
+    /// grant is served from the reservation the race winner installed.
     ///
     /// # Panics
     ///
@@ -315,41 +624,77 @@ impl PaRt {
     ) -> TakeOutcome {
         assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
         let bit = 1u8 << offset;
-        let leaf = self.leaf(group, true).expect("created on demand");
-        let mut guard = leaf.inner.lock();
-        match guard.as_mut() {
-            Some(res) => {
-                assert!(
-                    res.live & bit == 0,
-                    "page {offset} of group {group:#x} is already live"
-                );
-                res.live |= bit;
-                let frame = GuestFrame::new(res.base.raw() + offset);
-                self.unused_frames.fetch_sub(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                if res.live == 0xff {
-                    // Fully mapped: the entry is no longer needed (§4.2).
-                    *guard = None;
-                    self.live_entries.fetch_sub(1, Ordering::Relaxed);
-                    self.retired_full.fetch_add(1, Ordering::Relaxed);
-                }
-                TakeOutcome::FromReservation(frame)
+        let guard = self.collector.pin();
+        let mut factory = Some(chunk_factory);
+        loop {
+            let leaf = self.leaf(group, true, &guard).expect("created on demand");
+            let word = leaf.word.load(Ordering::SeqCst);
+            if word == RETIRED {
+                self.forget_cached(group);
+                continue;
             }
-            None => {
-                let Some(base) = chunk_factory() else {
-                    return TakeOutcome::Unavailable;
+            if word == EMPTY {
+                let base = match self.spare.pop() {
+                    Some(base) => base,
+                    None => match factory.take() {
+                        Some(make) => match make() {
+                            Some(frame) => frame.raw(),
+                            None => return TakeOutcome::Unavailable,
+                        },
+                        // The factory's chunk was parked after a lost race
+                        // and another thread claimed it from the pool: treat
+                        // it like a declined buddy call.
+                        None => return TakeOutcome::Unavailable,
+                    },
                 };
                 assert_eq!(
-                    base.raw() % GROUP_PAGES,
+                    base % GROUP_PAGES,
                     0,
                     "reservation chunks must be group-aligned"
                 );
-                *guard = Some(Reservation { base, live: bit });
-                self.installs.fetch_add(1, Ordering::Relaxed);
-                self.live_entries.fetch_add(1, Ordering::Relaxed);
-                self.unused_frames
-                    .fetch_add(GROUP_PAGES - 1, Ordering::Relaxed);
-                TakeOutcome::FromNewReservation(GuestFrame::new(base.raw() + offset))
+                match leaf.word.compare_exchange(
+                    EMPTY,
+                    pack(base, bit),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        self.installs.fetch_add(1, StdOrdering::Relaxed);
+                        self.live_entries.fetch_add(1, StdOrdering::Relaxed);
+                        self.unused_frames
+                            .fetch_add(GROUP_PAGES - 1, StdOrdering::Relaxed);
+                        return TakeOutcome::FromNewReservation(GuestFrame::new(base + offset));
+                    }
+                    Err(_) => {
+                        self.spare.push(base);
+                        continue;
+                    }
+                }
+            }
+            let (base, live) = unpack(word);
+            assert!(
+                live & bit == 0,
+                "page {offset} of group {group:#x} is already live"
+            );
+            let new_live = live | bit;
+            let next = if new_live == 0xff {
+                // Fully mapped: retire the entry in the same CAS (§4.2).
+                EMPTY
+            } else {
+                pack(base, new_live)
+            };
+            if leaf
+                .word
+                .compare_exchange(word, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.unused_frames.fetch_sub(1, StdOrdering::Relaxed);
+                self.hits.fetch_add(1, StdOrdering::Relaxed);
+                if new_live == 0xff {
+                    self.live_entries.fetch_sub(1, StdOrdering::Relaxed);
+                    self.retired_full.fetch_add(1, StdOrdering::Relaxed);
+                }
+                return TakeOutcome::FromReservation(GuestFrame::new(base + offset));
             }
         }
     }
@@ -368,22 +713,41 @@ impl PaRt {
     pub fn try_take(&self, group: u64, offset: u64) -> Option<GuestFrame> {
         assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
         let bit = 1u8 << offset;
-        let leaf = self.leaf(group, false)?;
-        let mut guard = leaf.inner.lock();
-        let res = guard.as_mut()?;
-        if res.live & bit != 0 {
-            return None;
+        let guard = self.collector.pin();
+        loop {
+            let leaf = self.leaf(group, false, &guard)?;
+            let word = leaf.word.load(Ordering::SeqCst);
+            if word == RETIRED {
+                self.forget_cached(group);
+                continue;
+            }
+            if word == EMPTY {
+                return None;
+            }
+            let (base, live) = unpack(word);
+            if live & bit != 0 {
+                return None;
+            }
+            let new_live = live | bit;
+            let next = if new_live == 0xff {
+                EMPTY
+            } else {
+                pack(base, new_live)
+            };
+            if leaf
+                .word
+                .compare_exchange(word, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.unused_frames.fetch_sub(1, StdOrdering::Relaxed);
+                self.hits.fetch_add(1, StdOrdering::Relaxed);
+                if new_live == 0xff {
+                    self.live_entries.fetch_sub(1, StdOrdering::Relaxed);
+                    self.retired_full.fetch_add(1, StdOrdering::Relaxed);
+                }
+                return Some(GuestFrame::new(base + offset));
+            }
         }
-        res.live |= bit;
-        let frame = GuestFrame::new(res.base.raw() + offset);
-        self.unused_frames.fetch_sub(1, Ordering::Relaxed);
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        if res.live == 0xff {
-            *guard = None;
-            self.live_entries.fetch_sub(1, Ordering::Relaxed);
-            self.retired_full.fetch_add(1, Ordering::Relaxed);
-        }
-        Some(frame)
     }
 
     /// Releases page `offset` of `group` (application `free()` path, §4.3).
@@ -394,73 +758,122 @@ impl PaRt {
     pub fn release(&self, group: u64, offset: u64) -> ReleaseOutcome {
         assert!(offset < GROUP_PAGES, "offset {offset} out of group range");
         let bit = 1u8 << offset;
-        let Some(leaf) = self.leaf(group, false) else {
-            return ReleaseOutcome::NotTracked;
-        };
-        let mut guard = leaf.inner.lock();
-        let Some(res) = guard.as_mut() else {
-            return ReleaseOutcome::NotTracked;
-        };
-        if res.live & bit == 0 {
-            // Tracked group, but this page is not live in it.
-            return ReleaseOutcome::NotTracked;
-        }
-        // The page returns to the reservation, not to the buddy allocator —
-        // it can be re-granted on a later fault without a buddy call.
-        res.live &= !bit;
-        self.unused_frames.fetch_add(1, Ordering::Relaxed);
-        if res.live == 0 {
-            // The application freed all its pages in this group: the entry
-            // dies and every frame of the chunk goes back to the caller.
-            let unused: Vec<GuestFrame> = res.unused_frames().collect();
-            debug_assert_eq!(unused.len() as u64, GROUP_PAGES);
-            self.unused_frames
-                .fetch_sub(unused.len() as u64, Ordering::Relaxed);
-            *guard = None;
-            self.live_entries.fetch_sub(1, Ordering::Relaxed);
-            self.deleted_empty.fetch_add(1, Ordering::Relaxed);
-            ReleaseOutcome::Released {
-                unused_frames: unused,
-                entry_deleted: true,
+        let guard = self.collector.pin();
+        loop {
+            let Some(leaf) = self.leaf(group, false, &guard) else {
+                return ReleaseOutcome::NotTracked;
+            };
+            let word = leaf.word.load(Ordering::SeqCst);
+            if word == RETIRED {
+                self.forget_cached(group);
+                continue;
             }
-        } else {
-            ReleaseOutcome::Released {
+            if word == EMPTY {
+                return ReleaseOutcome::NotTracked;
+            }
+            let (base, live) = unpack(word);
+            if live & bit == 0 {
+                // Tracked group, but this page is not live in it.
+                return ReleaseOutcome::NotTracked;
+            }
+            // The page returns to the reservation, not to the buddy
+            // allocator — it can be re-granted on a later fault without a
+            // buddy call.
+            let new_live = live & !bit;
+            let next = if new_live == 0 {
+                EMPTY
+            } else {
+                pack(base, new_live)
+            };
+            if leaf
+                .word
+                .compare_exchange(word, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            if new_live == 0 {
+                // The application freed all its pages in this group: the
+                // entry dies and every frame of the chunk goes back to the
+                // caller.
+                let unused: Vec<GuestFrame> = (0..GROUP_PAGES)
+                    .map(|i| GuestFrame::new(base + i))
+                    .collect();
+                self.unused_frames
+                    .fetch_sub(GROUP_PAGES - 1, StdOrdering::Relaxed);
+                self.live_entries.fetch_sub(1, StdOrdering::Relaxed);
+                self.deleted_empty.fetch_add(1, StdOrdering::Relaxed);
+                return ReleaseOutcome::Released {
+                    unused_frames: unused,
+                    entry_deleted: true,
+                };
+            }
+            self.unused_frames.fetch_add(1, StdOrdering::Relaxed);
+            return ReleaseOutcome::Released {
                 unused_frames: Vec::new(),
                 entry_deleted: false,
-            }
+            };
         }
     }
 
     /// Looks up the reservation covering `group` without modifying it.
     pub fn peek(&self, group: u64) -> Option<Reservation> {
-        let leaf = self.leaf(group, false)?;
-        let res = *leaf.inner.lock();
-        res
+        let guard = self.collector.pin();
+        loop {
+            let leaf = self.leaf(group, false, &guard)?;
+            let word = leaf.word.load(Ordering::SeqCst);
+            if word == RETIRED {
+                self.forget_cached(group);
+                continue;
+            }
+            if word == EMPTY {
+                return None;
+            }
+            let (base, live) = unpack(word);
+            return Some(Reservation {
+                base: GuestFrame::new(base),
+                live,
+            });
+        }
     }
 
     /// Visits every live reservation (in unspecified order).
     pub fn for_each(&self, mut f: impl FnMut(u64, &Reservation)) {
-        Self::visit(&self.root, 0, 0, &mut f);
+        let guard = self.collector.pin();
+        Self::visit(&self.root, 0, 0, &guard, &mut f);
     }
 
-    #[allow(clippy::only_used_in_recursion)] // level documents tree depth
-    fn visit(node: &Node, level: usize, prefix: u64, f: &mut impl FnMut(u64, &Reservation)) {
+    /// Tree walk behind [`PaRt::for_each`]: `_guard` pins the epoch for the
+    /// leaves dereferenced along the way.
+    fn visit(
+        node: &Node,
+        level: usize,
+        prefix: u64,
+        _guard: &Guard<'_>,
+        f: &mut impl FnMut(u64, &Reservation),
+    ) {
         for (i, slot) in node.slots.iter().enumerate() {
-            let slot = slot.read();
-            match &*slot {
-                Slot::Empty => {}
-                Slot::Interior(child) => {
-                    let child = Arc::clone(child);
-                    drop(slot);
-                    Self::visit(&child, level + 1, (prefix << 9) | i as u64, f);
-                }
-                Slot::Leaf(leaf) => {
-                    let leaf = Arc::clone(leaf);
-                    drop(slot);
-                    let snapshot = *leaf.inner.lock();
-                    if let Some(res) = snapshot {
-                        f((prefix << 9) | i as u64, &res);
-                    }
+            let ptr = scan_load(slot);
+            if ptr.is_null() {
+                continue;
+            }
+            if level < DEPTH - 1 {
+                // Safety: interior nodes are never reclaimed.
+                let child = unsafe { &*ptr.cast_const().cast::<Node>() };
+                Self::visit(child, level + 1, (prefix << 9) | i as u64, _guard, f);
+            } else {
+                // Safety: `_guard` pins the epoch.
+                let leaf = unsafe { &*ptr.cast_const().cast::<LeafNode>() };
+                let word = leaf.word.load(Ordering::SeqCst);
+                if word != EMPTY && word != RETIRED {
+                    let (base, live) = unpack(word);
+                    f(
+                        (prefix << 9) | i as u64,
+                        &Reservation {
+                            base: GuestFrame::new(base),
+                            live,
+                        },
+                    );
                 }
             }
         }
@@ -469,50 +882,132 @@ impl PaRt {
     /// Drains reserved-but-unused frames, calling `release_frame` for each,
     /// until it returns `false` (target met) or the table has no more unused
     /// frames. Drained entries are deleted; their live pages stay mapped and
-    /// keep benefiting from the contiguity already created (§4.3).
+    /// keep benefiting from the contiguity already created (§4.3). Spare
+    /// chunks parked by lost install races are drained the same way, and
+    /// emptied leaf nodes are pruned afterwards (epoch-deferred).
     ///
     /// Returns the number of frames drained.
     pub fn drain_unused(&self, mut release_frame: impl FnMut(GuestFrame) -> bool) -> u64 {
+        let guard = self.collector.pin();
         let mut groups: Vec<u64> = Vec::new();
-        self.for_each(|group, res| {
+        Self::visit(&self.root, 0, 0, &guard, &mut |group, res| {
             if res.unused_count() > 0 {
                 groups.push(group);
             }
         });
         let mut drained = 0u64;
+        let mut stop = false;
         for group in groups {
-            let Some(leaf) = self.leaf(group, false) else {
+            let Some(leaf) = self.leaf(group, false, &guard) else {
                 continue;
             };
-            let mut guard = leaf.inner.lock();
-            let Some(res) = guard.as_mut() else {
-                continue;
-            };
-            let unused: Vec<GuestFrame> = res.unused_frames().collect();
-            if unused.is_empty() {
-                continue;
-            }
-            // The reservation is destroyed: live pages stay mapped; no
-            // future grants can come from it.
-            let live = res.live;
-            *guard = None;
-            drop(guard);
-            self.live_entries.fetch_sub(1, Ordering::Relaxed);
-            self.unused_frames
-                .fetch_sub(unused.len() as u64, Ordering::Relaxed);
-            let _ = live;
-            let mut stop = false;
-            for frame in unused {
-                drained += 1;
-                if !release_frame(frame) {
-                    stop = true;
+            loop {
+                let word = leaf.word.load(Ordering::SeqCst);
+                if word == EMPTY || word == RETIRED {
+                    break;
                 }
+                let (base, live) = unpack(word);
+                let res = Reservation {
+                    base: GuestFrame::new(base),
+                    live,
+                };
+                let unused: Vec<GuestFrame> = res.unused_frames().collect();
+                if unused.is_empty() {
+                    break;
+                }
+                if leaf
+                    .word
+                    .compare_exchange(word, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    continue;
+                }
+                // The reservation is destroyed: live pages stay mapped; no
+                // future grants can come from it.
+                self.live_entries.fetch_sub(1, StdOrdering::Relaxed);
+                self.unused_frames
+                    .fetch_sub(unused.len() as u64, StdOrdering::Relaxed);
+                for frame in unused {
+                    drained += 1;
+                    if !release_frame(frame) {
+                        stop = true;
+                    }
+                }
+                break;
             }
             if stop {
                 break;
             }
         }
+        if !stop {
+            while let Some(base) = self.spare.pop() {
+                for i in 0..GROUP_PAGES {
+                    drained += 1;
+                    if !release_frame(GuestFrame::new(base + i)) {
+                        stop = true;
+                    }
+                }
+                if stop {
+                    break;
+                }
+            }
+        }
+        self.prune_with(&guard);
         drained
+    }
+
+    /// Prunes empty leaf nodes out of the tree: each is CASed to the
+    /// `RETIRED` sentinel, unlinked from its parent slot, and queued on the
+    /// epoch collector for deferred reclamation. Concurrent operations that
+    /// observe the sentinel help unlink and re-descend; live entries are
+    /// untouched. Called by [`PaRt::drain_unused`]; public so reclamation
+    /// can be driven (and model-checked) directly.
+    pub fn prune_empty(&self) {
+        let guard = self.collector.pin();
+        self.prune_with(&guard);
+    }
+
+    fn prune_with(&self, _guard: &Guard<'_>) {
+        self.prune_node(&self.root, 0);
+        #[cfg(not(feature = "model-check"))]
+        {
+            *self.last_leaf.lock() = None;
+        }
+    }
+
+    fn prune_node(&self, node: &Node, level: usize) {
+        for slot in &node.slots {
+            let ptr = scan_load(slot);
+            if ptr.is_null() {
+                continue;
+            }
+            if level < DEPTH - 1 {
+                // Safety: interior nodes are never reclaimed.
+                self.prune_node(unsafe { &*ptr.cast_const().cast::<Node>() }, level + 1);
+                continue;
+            }
+            // Safety: the caller's guard pins the epoch.
+            let leaf = unsafe { &*ptr.cast_const().cast::<LeafNode>() };
+            if leaf.word.load(Ordering::SeqCst) == EMPTY
+                && leaf
+                    .word
+                    .compare_exchange(EMPTY, RETIRED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                // Winning the RETIRED transition makes this thread the sole
+                // unlinker; helpers may beat it to the slot CAS, never to a
+                // different value.
+                let _ = slot.compare_exchange(
+                    ptr,
+                    std::ptr::null_mut(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                self.collector
+                    .defer_retire(ptr.cast_const().cast::<LeafNode>());
+                self.pruned.fetch_add(1, StdOrdering::Relaxed);
+            }
+        }
     }
 
     /// Forcibly drains one group's reservation (if it exists), returning
@@ -520,41 +1015,109 @@ impl PaRt {
     /// Used when the OS targets a reserved frame for swap or compaction
     /// (§4.4 "Swap and THP").
     pub fn drain_group(&self, group: u64) -> Vec<GuestFrame> {
-        let Some(leaf) = self.leaf(group, false) else {
-            return Vec::new();
-        };
-        let mut guard = leaf.inner.lock();
-        let Some(res) = guard.as_ref() else {
-            return Vec::new();
-        };
-        let unused: Vec<GuestFrame> = res.unused_frames().collect();
-        self.unused_frames
-            .fetch_sub(unused.len() as u64, Ordering::Relaxed);
-        *guard = None;
-        self.live_entries.fetch_sub(1, Ordering::Relaxed);
-        unused
+        let guard = self.collector.pin();
+        loop {
+            let Some(leaf) = self.leaf(group, false, &guard) else {
+                return Vec::new();
+            };
+            let word = leaf.word.load(Ordering::SeqCst);
+            if word == RETIRED {
+                self.forget_cached(group);
+                continue;
+            }
+            if word == EMPTY {
+                return Vec::new();
+            }
+            let (base, live) = unpack(word);
+            let res = Reservation {
+                base: GuestFrame::new(base),
+                live,
+            };
+            let unused: Vec<GuestFrame> = res.unused_frames().collect();
+            if leaf
+                .word
+                .compare_exchange(word, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.unused_frames
+                    .fetch_sub(unused.len() as u64, StdOrdering::Relaxed);
+                self.live_entries.fetch_sub(1, StdOrdering::Relaxed);
+                return unused;
+            }
+        }
     }
 
     /// Current counter snapshot.
     pub fn stats(&self) -> PartStats {
         PartStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            installs: self.installs.load(Ordering::Relaxed),
-            retired_full: self.retired_full.load(Ordering::Relaxed),
-            deleted_empty: self.deleted_empty.load(Ordering::Relaxed),
-            live_entries: self.live_entries.load(Ordering::Relaxed),
-            unused_frames: self.unused_frames.load(Ordering::Relaxed),
+            hits: self.hits.load(StdOrdering::Relaxed),
+            installs: self.installs.load(StdOrdering::Relaxed),
+            retired_full: self.retired_full.load(StdOrdering::Relaxed),
+            deleted_empty: self.deleted_empty.load(StdOrdering::Relaxed),
+            live_entries: self.live_entries.load(StdOrdering::Relaxed),
+            unused_frames: self.unused_frames.load(StdOrdering::Relaxed),
         }
     }
 
     /// Current reserved-but-unused frame count (the §6.2 metric).
     pub fn unused_frames(&self) -> u64 {
-        self.unused_frames.load(Ordering::Relaxed)
+        self.unused_frames.load(StdOrdering::Relaxed)
     }
 
     /// Current number of live entries.
     pub fn live_entries(&self) -> u64 {
-        self.live_entries.load(Ordering::Relaxed)
+        self.live_entries.load(StdOrdering::Relaxed)
+    }
+
+    /// Leaf nodes pruned so far (cumulative; test/diagnostic surface).
+    pub fn pruned_leaves(&self) -> u64 {
+        self.pruned.load(StdOrdering::Relaxed)
+    }
+
+    /// Chunk bases currently parked in the spare pool (quiescent snapshot;
+    /// always empty for serial callers — test/diagnostic surface).
+    pub fn spare_chunks(&self) -> Vec<u64> {
+        let mut chunks: Vec<u64> = self
+            .spare
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .filter(|&b| b != FREE_SLOT)
+            .collect();
+        chunks.extend(self.spare.overflow.lock().iter().copied());
+        chunks
+    }
+}
+
+impl Drop for PaRt {
+    fn drop(&mut self) {
+        // Free leaves still queued on the collector (they were unlinked from
+        // the tree, so the walk below cannot double-free them).
+        for bin in &self.collector.bins {
+            for leaf in std::mem::take(&mut *bin.lock()) {
+                // Safety: unlinked, and no operation can be in flight during
+                // drop (exclusive access).
+                unsafe { drop(Arc::from_raw(leaf.0)) };
+            }
+        }
+        fn free(node: &Node, level: usize) {
+            for slot in &node.slots {
+                let ptr = slot.load(Ordering::SeqCst);
+                if ptr.is_null() {
+                    continue;
+                }
+                if level < DEPTH - 1 {
+                    // Safety: exclusively owned during drop.
+                    let child = unsafe { Box::from_raw(ptr.cast::<Node>()) };
+                    free(&child, level + 1);
+                } else {
+                    // Safety: the tree holds the strong count taken at
+                    // publication.
+                    unsafe { drop(Arc::from_raw(ptr.cast_const().cast::<LeafNode>())) };
+                }
+            }
+        }
+        free(&self.root, 0);
     }
 }
 
@@ -723,6 +1286,27 @@ mod tests {
     }
 
     #[test]
+    fn drain_unused_prunes_emptied_leaves_and_groups_stay_usable() {
+        let part = PaRt::new();
+        part.take_or_install(9, 0, chunk(0));
+        part.drain_unused(|_| true);
+        assert!(part.pruned_leaves() >= 1, "the emptied leaf was pruned");
+        // The group is immediately reusable through a fresh leaf.
+        let again = part.take_or_install(9, 1, chunk(8));
+        assert_eq!(again, TakeOutcome::FromNewReservation(GuestFrame::new(9)));
+        assert_eq!(part.peek(9).unwrap().base, GuestFrame::new(8));
+    }
+
+    #[test]
+    fn serial_callers_never_park_spares() {
+        let part = PaRt::new();
+        for g in 0..32 {
+            part.take_or_install(g, 0, chunk(g * 8));
+        }
+        assert!(part.spare_chunks().is_empty());
+    }
+
+    #[test]
     fn concurrent_faulting_threads_are_safe() {
         // Many threads fault into disjoint and overlapping groups; chunk
         // bases come from an atomic bump allocator. Every granted frame must
@@ -742,7 +1326,7 @@ mod tests {
                     // Threads share groups (g) but own distinct offsets (t).
                     let out = part.take_or_install(g, t, || {
                         Some(GuestFrame::new(
-                            next_chunk.fetch_add(GROUP_PAGES, Ordering::Relaxed),
+                            next_chunk.fetch_add(GROUP_PAGES, StdOrdering::Relaxed),
                         ))
                     });
                     match out {
@@ -767,5 +1351,13 @@ mod tests {
         assert_eq!(part.live_entries(), 0);
         assert_eq!(part.unused_frames(), 0);
         assert_eq!(part.stats().installs, 64);
+        // Conservation: every allocated chunk is either fully granted or
+        // parked in the spare pool — nothing leaked.
+        let allocated_chunks = next_chunk.load(StdOrdering::Relaxed) / GROUP_PAGES;
+        assert_eq!(
+            allocated_chunks,
+            64 + part.spare_chunks().len() as u64,
+            "chunks = installs + spares"
+        );
     }
 }

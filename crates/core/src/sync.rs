@@ -1,0 +1,37 @@
+//! Atomics facade for the PaRT's concurrent structure.
+//!
+//! The lock-free PaRT ([`crate::part`]) routes every *structural* atomic —
+//! tree slot pointers, packed leaf words, the spare-chunk pool, and the
+//! epoch collector — through this module. Under the `model-check` feature
+//! those atomics come from the vendored loom stub, where each operation is a
+//! scheduling point of a bounded deterministic interleaving search
+//! (`tests/model_check.rs`); in normal builds they are plain `std` atomics.
+//!
+//! Statistics counters deliberately do **not** go through this facade: they
+//! are `Relaxed` tallies whose interleavings are not interesting, and
+//! keeping them uninstrumented keeps the model-check state space small.
+
+#[cfg(feature = "model-check")]
+pub(crate) use loom::sync::atomic::{AtomicPtr, AtomicU64};
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::atomic::{AtomicPtr, AtomicU64};
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// Pointer load for bulk tree scans ([`crate::part`]'s `for_each` walk and
+/// leaf pruning iterate all 512 slots of every node, almost all null).
+/// Under model checking this skips the per-slot scheduling point — scanning
+/// empty slots adds nothing to the interleaving space, and every non-null
+/// hit is re-examined through fully instrumented operations.
+#[inline]
+pub(crate) fn scan_load<T>(slot: &AtomicPtr<T>) -> *mut T {
+    #[cfg(feature = "model-check")]
+    {
+        slot.load_raw()
+    }
+    #[cfg(not(feature = "model-check"))]
+    {
+        slot.load(Ordering::SeqCst)
+    }
+}

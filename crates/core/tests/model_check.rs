@@ -1,0 +1,252 @@
+//! Model-checked interleaving proofs for the lock-free PaRT.
+//!
+//! Compiled only under the `model-check` feature, which routes the PaRT's
+//! structural atomics through the vendored loom stub: every load/store/CAS
+//! becomes a scheduling point, and `loom::model` explores the bounded space
+//! of thread interleavings deterministically. Serial set-up before
+//! `loom::thread::spawn` contributes no branching (one runnable thread has
+//! one schedule), so each test pre-populates its table cheaply and then
+//! races exactly the transition it targets:
+//!
+//! * CAS **install** (two faulting threads racing an empty group),
+//! * fused **retire** (two threads granting the last two pages),
+//! * **release vs. take** (entry deletion racing a new fault),
+//! * **reclaim** (leaf pruning racing an install into the pruned group).
+//!
+//! `naive_read_then_write_install_is_caught` is the negative control: it
+//! re-implements the install path with the CAS replaced by the naive
+//! load-then-store and proves the checker finds the double-install schedule
+//! — i.e. these tests would go red if the real PaRT's install CAS were
+//! weakened the same way (`install_race_has_a_single_winner` is the same
+//! race against the real table).
+//!
+//! Run with: `cargo test -p ptemagnet --features model-check`.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use ptemagnet::{PaRt, ReleaseOutcome, TakeOutcome};
+use vmsim_types::GuestFrame;
+
+fn frame_of(out: TakeOutcome) -> u64 {
+    match out {
+        TakeOutcome::FromReservation(f) | TakeOutcome::FromNewReservation(f) => f.raw(),
+        TakeOutcome::Unavailable => panic!("grant unexpectedly unavailable"),
+    }
+}
+
+/// Two threads fault into the same empty group with distinct chunk
+/// factories. Exactly one install may win; the loser's chunk must be parked
+/// in the spare pool, both grants must come from the winning chunk, and no
+/// frame may be granted twice — under every interleaving.
+#[test]
+fn install_race_has_a_single_winner() {
+    loom::model(|| {
+        let part = Arc::new(PaRt::new());
+        let calls = Arc::new(StdAtomicU64::new(0));
+        let part2 = Arc::clone(&part);
+        let calls2 = Arc::clone(&calls);
+        let t = loom::thread::spawn(move || {
+            frame_of(part2.take_or_install(3, 1, || {
+                calls2.fetch_add(1, StdOrdering::Relaxed);
+                Some(GuestFrame::new(8))
+            }))
+        });
+        let a = frame_of(part.take_or_install(3, 0, || {
+            calls.fetch_add(1, StdOrdering::Relaxed);
+            Some(GuestFrame::new(16))
+        }));
+        let b = t.join().unwrap();
+        assert_ne!(a, b, "no frame granted twice");
+        let s = part.stats();
+        assert_eq!(s.installs, 1, "exactly one install wins");
+        assert_eq!(s.hits, 1, "the loser is served from the winner's entry");
+        assert_eq!(s.live_entries, 1);
+        assert_eq!(s.unused_frames, 6);
+        // Both grants come from the single tracked chunk.
+        let base = part.peek(3).expect("entry live").base.raw();
+        assert_eq!(a, base, "offset 0 grant");
+        assert_eq!(b, base + 1, "offset 1 grant");
+        // Chunk conservation: every chunk the factories allocated is either
+        // the installed one or parked in the spare pool — never leaked.
+        assert_eq!(
+            calls.load(StdOrdering::Relaxed),
+            s.installs + part.spare_chunks().len() as u64,
+            "allocated chunks = installs + parked spares"
+        );
+    });
+}
+
+/// Two threads grant the last two pages of a nearly-full group. Whichever
+/// CAS completes the mask retires the entry in the same step: retirement
+/// must happen exactly once and the entry must be gone afterwards.
+#[test]
+fn concurrent_final_grants_retire_exactly_once() {
+    loom::model(|| {
+        let part = Arc::new(PaRt::new());
+        part.take_or_install(1, 0, || Some(GuestFrame::new(0)));
+        for off in 1..6 {
+            part.take_or_install(1, off, || panic!("entry exists"));
+        }
+        let part2 = Arc::clone(&part);
+        let t =
+            loom::thread::spawn(move || frame_of(part2.take_or_install(1, 6, || unreachable!())));
+        let a = frame_of(part.take_or_install(1, 7, || unreachable!()));
+        let b = t.join().unwrap();
+        assert_eq!((a, b), (7, 6), "grants come from the reserved chunk");
+        let s = part.stats();
+        assert_eq!(s.retired_full, 1, "the full entry retires exactly once");
+        assert_eq!(s.live_entries, 0);
+        assert_eq!(s.unused_frames, 0);
+        assert!(part.peek(1).is_none(), "retired entry is gone");
+    });
+}
+
+/// A release of the last live page (which deletes the entry and returns the
+/// whole chunk) races a fault into the same group. Either the fault hits
+/// the still-live entry first, or it faults into a dead group and installs
+/// fresh — both must leave the accounting exactly consistent, with no frame
+/// lost or double-owned.
+#[test]
+fn release_race_with_take_conserves_frames() {
+    loom::model(|| {
+        let part = Arc::new(PaRt::new());
+        part.take_or_install(2, 0, || Some(GuestFrame::new(8)));
+        let part2 = Arc::clone(&part);
+        let t =
+            loom::thread::spawn(move || part2.take_or_install(2, 1, || Some(GuestFrame::new(16))));
+        let released = part.release(2, 0);
+        let took = t.join().unwrap();
+        let s = part.stats();
+        match took {
+            // The fault hit the original entry before the release deleted
+            // it, so the release only dropped page 0 back into a still-live
+            // reservation.
+            TakeOutcome::FromReservation(f) => {
+                assert_eq!(f.raw(), 9);
+                match released {
+                    ReleaseOutcome::Released {
+                        entry_deleted,
+                        unused_frames,
+                    } => {
+                        assert!(!entry_deleted, "entry still has page 1 live");
+                        assert!(unused_frames.is_empty());
+                    }
+                    other => panic!("tracked release, got {other:?}"),
+                }
+                assert_eq!(part.peek(2).expect("entry live").live, 1 << 1);
+            }
+            // The release deleted the entry first (returning all 8 frames),
+            // so the fault installed a fresh chunk.
+            TakeOutcome::FromNewReservation(f) => {
+                assert_eq!(f.raw(), 17);
+                match released {
+                    ReleaseOutcome::Released {
+                        entry_deleted,
+                        unused_frames,
+                    } => {
+                        assert!(entry_deleted);
+                        assert_eq!(unused_frames.len(), 8, "whole chunk returned");
+                    }
+                    other => panic!("tracked release, got {other:?}"),
+                }
+                assert_eq!(part.peek(2).expect("entry live").base.raw(), 16);
+            }
+            TakeOutcome::Unavailable => panic!("factory always supplies a chunk"),
+        }
+        // Both orders end with one live entry holding one live page.
+        assert_eq!(s.live_entries, 1);
+        assert_eq!(s.unused_frames, 7);
+    });
+}
+
+/// Epoch reclamation racing an install: one thread prunes the empty leaf
+/// left behind by a deleted entry (CAS to `RETIRED`, unlink, deferred free)
+/// while another faults into that same group. The install must never be
+/// swallowed by the pruner — it either beats the `RETIRED` transition or
+/// re-descends into a fresh leaf.
+#[test]
+fn prune_never_swallows_a_concurrent_install() {
+    loom::model(|| {
+        let part = Arc::new(PaRt::new());
+        // Leave group 4 with an empty (prunable) leaf behind.
+        part.take_or_install(4, 0, || Some(GuestFrame::new(8)));
+        let deleted = part.release(4, 0);
+        assert!(matches!(
+            deleted,
+            ReleaseOutcome::Released {
+                entry_deleted: true,
+                ..
+            }
+        ));
+        let part2 = Arc::clone(&part);
+        let t = loom::thread::spawn(move || part2.prune_empty());
+        let got = frame_of(part.take_or_install(4, 2, || Some(GuestFrame::new(16))));
+        t.join().unwrap();
+        assert_eq!(got, 18);
+        let res = part
+            .peek(4)
+            .expect("the installed reservation must survive pruning");
+        assert_eq!(res.base.raw(), 16);
+        assert_eq!(res.live, 1 << 2);
+        assert_eq!(part.live_entries(), 1);
+        assert_eq!(part.unused_frames(), 7);
+    });
+}
+
+/// Negative control: the PaRT's install path with its CAS replaced by the
+/// naive load-then-store. The checker must find the schedule where both
+/// threads observe `EMPTY` and double-install, one overwriting the other —
+/// proving this suite would catch that exact weakening of the real code.
+#[test]
+fn naive_read_then_write_install_is_caught() {
+    const EMPTY: u64 = 0;
+    fn pack(base: u64, live: u8) -> u64 {
+        (base << 9) | (u64::from(live) << 1) | 1
+    }
+
+    let violated = loom::model_finds_violation(|| {
+        let word = Arc::new(AtomicU64::new(EMPTY));
+        let installs = Arc::new(StdAtomicU64::new(0));
+        let grant = |word: &AtomicU64, installs: &StdAtomicU64, offset: u8, chunk: u64| -> u64 {
+            let seen = word.load(Ordering::SeqCst);
+            if seen == EMPTY {
+                // BUG under test: publication by blind store. The real PaRT
+                // uses compare_exchange(EMPTY, ..) here.
+                word.store(pack(chunk, 1 << offset), Ordering::SeqCst);
+                installs.fetch_add(1, StdOrdering::Relaxed);
+                chunk + u64::from(offset)
+            } else {
+                let base = seen >> 9;
+                let live = ((seen >> 1) & 0xff) as u8;
+                word.store(pack(base, live | (1 << offset)), Ordering::SeqCst);
+                base + u64::from(offset)
+            }
+        };
+        let word2 = Arc::clone(&word);
+        let installs2 = Arc::clone(&installs);
+        let t = loom::thread::spawn(move || grant(&word2, &installs2, 1, 8));
+        let a = grant(&word, &installs, 0, 16);
+        let b = t.join().unwrap();
+        assert_eq!(
+            installs.load(StdOrdering::Relaxed),
+            1,
+            "a second chunk was installed over the first"
+        );
+        let final_word = word.load(Ordering::SeqCst);
+        let base = final_word >> 9;
+        let live = (final_word >> 1) & 0xff;
+        assert_eq!(live, 0b11, "a grant was lost from the live mask");
+        assert!(
+            a / 8 * 8 == base && b / 8 * 8 == base,
+            "a granted frame escaped the tracked reservation"
+        );
+    });
+    assert!(
+        violated,
+        "the model checker must catch the naive install race"
+    );
+}

@@ -1,0 +1,221 @@
+//! Property-based concurrency tests of the lock-free PaRT.
+//!
+//! `tests/model_check.rs` proves small fixed races exhaustively under the
+//! model checker; this suite attacks the same invariants from the other
+//! side — randomized operation plans executed by **real OS threads**, so
+//! the full production configuration (leaf cache, 512-way nodes, 16-slot
+//! spare pool) is exercised under genuine preemption:
+//!
+//! * **No frame is ever granted twice** while its grant is outstanding.
+//! * **Chunk and frame conservation**: every chunk a factory allocates is
+//!   installed, parked in the spare pool, or returned — across grants,
+//!   releases, and a final drain, `8 × chunks = returned + drained +
+//!   still-mapped`.
+//! * **Retire-exactly-once**: a fully granted group bumps `retired_full`
+//!   exactly once, and the counter gauges always match a structural
+//!   `for_each` walk of the tree.
+//!
+//! Each case partitions the (group, offset) grant cells among threads, so
+//! the contract "a page only faults while unmapped" holds by construction
+//! while the *words and tree nodes* those cells share are contended freely.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ptemagnet::{PaRt, ReleaseOutcome, TakeOutcome};
+use vmsim_types::{GuestFrame, GROUP_PAGES};
+
+/// One thread's work list: the grant cells it owns, in execution order.
+type Plan = Vec<(u64, u64)>;
+
+/// Splits every (group, offset) cell in `mask` across `threads` round-robin
+/// by `assign`, yielding per-thread shuffled plans.
+fn partition(groups: u64, masks: &[u8], threads: usize, salt: u64) -> Vec<Plan> {
+    let mut plans = vec![Vec::new(); threads];
+    for group in 0..groups {
+        for offset in 0..GROUP_PAGES {
+            if masks[group as usize] & (1 << offset) != 0 {
+                // Deterministic scatter of cells over threads.
+                let t = ((group
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(offset)
+                    .wrapping_add(salt))
+                    >> 7) as usize
+                    % threads;
+                plans[t].push((group, offset));
+            }
+        }
+    }
+    // Interleave groups within each plan so threads collide on the same
+    // group words at staggered times.
+    for (t, plan) in plans.iter_mut().enumerate() {
+        let len = plan.len().max(1);
+        plan.rotate_left((salt as usize + t) % len);
+    }
+    plans
+}
+
+/// Sums the structural truth straight off the tree.
+fn structural(part: &PaRt) -> (u64, u64) {
+    let mut entries = 0u64;
+    let mut unused = 0u64;
+    part.for_each(|_, res| {
+        entries += 1;
+        unused += u64::from(res.unused_count());
+    });
+    (entries, unused)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Grant-only storm: threads fault into shared groups, each owning a
+    /// disjoint set of offsets. Every granted frame must be unique, every
+    /// allocated chunk installed or parked, every fully granted group
+    /// retired exactly once, and the gauges must match the tree.
+    #[test]
+    fn threaded_grants_never_duplicate_frames(
+        threads in 2usize..=6,
+        groups in 1u64..=24,
+        masks in proptest::collection::vec(1u8..=255, 24),
+        salt in any::<u64>(),
+    ) {
+        let part = Arc::new(PaRt::new());
+        let next_chunk = Arc::new(AtomicU64::new(0));
+        let plans = partition(groups, &masks, threads, salt);
+        let mut handles = Vec::new();
+        for plan in plans {
+            let part = Arc::clone(&part);
+            let next_chunk = Arc::clone(&next_chunk);
+            handles.push(std::thread::spawn(move || {
+                let mut granted = Vec::with_capacity(plan.len());
+                for (group, offset) in plan {
+                    let out = part.take_or_install(group, offset, || {
+                        Some(GuestFrame::new(
+                            next_chunk.fetch_add(GROUP_PAGES, Ordering::Relaxed),
+                        ))
+                    });
+                    match out {
+                        TakeOutcome::FromReservation(f)
+                        | TakeOutcome::FromNewReservation(f) => granted.push(f.raw()),
+                        TakeOutcome::Unavailable => panic!("factory never declines"),
+                    }
+                }
+                granted
+            }));
+        }
+        let granted: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+
+        // No frame granted twice.
+        let unique: HashSet<u64> = granted.iter().copied().collect();
+        prop_assert_eq!(unique.len(), granted.len(), "duplicate grant");
+
+        let s = part.stats();
+        let full = masks[..groups as usize].iter().filter(|m| **m == 0xff).count() as u64;
+        // Retire-exactly-once: one retirement per fully-granted group.
+        prop_assert_eq!(s.retired_full, full);
+        prop_assert_eq!(s.live_entries, groups - full);
+        prop_assert_eq!(s.hits + s.installs, granted.len() as u64);
+        // Every group saw exactly one install (entries never die mid-case).
+        prop_assert_eq!(s.installs, groups);
+        // Chunk conservation: allocated = installed + parked.
+        let allocated = next_chunk.load(Ordering::Relaxed) / GROUP_PAGES;
+        prop_assert_eq!(allocated, s.installs + part.spare_chunks().len() as u64);
+        // Gauges match a structural walk.
+        let (entries, unused) = structural(&part);
+        prop_assert_eq!(s.live_entries, entries);
+        prop_assert_eq!(s.unused_frames, unused);
+    }
+
+    /// Grants mixed with releases, then a full drain: wherever the
+    /// interleaving lands, every frame of every allocated chunk is
+    /// accounted for exactly once — returned by a deleting release, freed
+    /// down the default path, drained at the end, or still mapped.
+    #[test]
+    fn threaded_releases_conserve_every_frame(
+        threads in 2usize..=6,
+        groups in 1u64..=16,
+        masks in proptest::collection::vec(1u8..=255, 16),
+        release_one_in in 1u64..=3,
+        salt in any::<u64>(),
+    ) {
+        let part = Arc::new(PaRt::new());
+        let next_chunk = Arc::new(AtomicU64::new(0));
+        let plans = partition(groups, &masks, threads, salt);
+        let mut handles = Vec::new();
+        for plan in plans {
+            let part = Arc::clone(&part);
+            let next_chunk = Arc::clone(&next_chunk);
+            handles.push(std::thread::spawn(move || {
+                // Frames this thread still considers mapped, plus frames
+                // returned to it (deletions + default-path frees).
+                let mut mapped: Vec<u64> = Vec::new();
+                let mut returned = 0u64;
+                for (i, (group, offset)) in plan.iter().copied().enumerate() {
+                    let out = part.take_or_install(group, offset, || {
+                        Some(GuestFrame::new(
+                            next_chunk.fetch_add(GROUP_PAGES, Ordering::Relaxed),
+                        ))
+                    });
+                    let frame = match out {
+                        TakeOutcome::FromReservation(f)
+                        | TakeOutcome::FromNewReservation(f) => f.raw(),
+                        TakeOutcome::Unavailable => panic!("factory never declines"),
+                    };
+                    mapped.push(frame);
+                    if i as u64 % (release_one_in + 1) == release_one_in {
+                        // The app frees the page it just faulted in.
+                        mapped.pop();
+                        match part.release(group, offset) {
+                            ReleaseOutcome::Released { unused_frames, .. } => {
+                                // The freed page rejoined the reservation
+                                // (drained later) unless the entry died, in
+                                // which case the whole chunk came back.
+                                returned += unused_frames.len() as u64;
+                            }
+                            ReleaseOutcome::NotTracked => {
+                                // Entry already retired: default-path free.
+                                returned += 1;
+                            }
+                        }
+                    }
+                }
+                (mapped, returned)
+            }));
+        }
+        let mut mapped: Vec<u64> = Vec::new();
+        let mut returned = 0u64;
+        for h in handles {
+            let (m, r) = h.join().unwrap();
+            mapped.extend(m);
+            returned += r;
+        }
+
+        // Mapped frames are unique even after re-grant churn.
+        let unique: HashSet<u64> = mapped.iter().copied().collect();
+        prop_assert_eq!(unique.len(), mapped.len(), "frame mapped twice");
+
+        // Gauges match the tree before draining.
+        let s = part.stats();
+        let (entries, unused) = structural(&part);
+        prop_assert_eq!(s.live_entries, entries);
+        prop_assert_eq!(s.unused_frames, unused);
+
+        // Drain everything left (reservations + parked spares): full
+        // conservation over all chunks the factories pulled.
+        let drained = part.drain_unused(|_| true);
+        let allocated_frames = next_chunk.load(Ordering::Relaxed);
+        prop_assert_eq!(
+            allocated_frames,
+            returned + drained + mapped.len() as u64,
+            "a frame leaked or was double-owned"
+        );
+        prop_assert_eq!(part.unused_frames(), 0);
+        prop_assert!(part.spare_chunks().is_empty());
+    }
+}

@@ -252,7 +252,30 @@ pub struct Machine {
     /// branch per op; the probabilistic injector itself lives inside the
     /// guest buddy allocator.
     faults: Option<FaultDriver>,
+    /// Simulated guest threads declared by the driving engine. 1 (the
+    /// default) keeps the serial fault path bit-identical: no per-thread
+    /// bookkeeping runs and no `threads.*` gauges are emitted.
+    guest_threads: u32,
+    /// Thread the engine reports as currently executing (`<
+    /// guest_threads`); guest faults are attributed to it.
+    active_thread: u32,
+    /// Guest page faults taken while each thread was active.
+    thread_faults: Vec<u64>,
+    /// Ring of recent fault origins, as (group key, thread): a fault into
+    /// an 8-page reservation group another thread faulted recently is a
+    /// *contended* group — the interleaving the lock-free PaRT exists to
+    /// serve without serializing.
+    recent_fault_groups: [(u64, u32); RECENT_FAULT_GROUPS],
+    recent_fault_pos: usize,
+    /// Faults landing in a recently-cross-thread-faulted group.
+    contended_group_faults: u64,
 }
+
+/// Depth of the recent-fault-group ring used for contention detection.
+const RECENT_FAULT_GROUPS: usize = 16;
+
+/// Ring sentinel: no real group key uses thread `u32::MAX`.
+const NO_RECENT_FAULT: (u64, u32) = (u64::MAX, u32::MAX);
 
 /// Machine-level state of an installed [`vmsim_types::FaultPlan`]: the
 /// scheduled triggers (fragmentation shocks, reclaim storms, swap-outs,
@@ -320,6 +343,12 @@ impl Machine {
             tracer: None,
             prof: None,
             faults: None,
+            guest_threads: 1,
+            active_thread: 0,
+            thread_faults: vec![0],
+            recent_fault_groups: [NO_RECENT_FAULT; RECENT_FAULT_GROUPS],
+            recent_fault_pos: 0,
+            contended_group_faults: 0,
         }
     }
 
@@ -471,6 +500,82 @@ impl Machine {
     /// Whether the memo layer is active.
     pub fn memo_enabled(&self) -> bool {
         self.memo_enabled
+    }
+
+    /// Declares how many simulated guest threads the driving engine
+    /// interleaves. With `threads == 1` (the default) the machine does no
+    /// per-thread bookkeeping and its observable state is bit-identical to
+    /// a machine that never heard of threads; above 1 it attributes guest
+    /// faults to the active thread and tracks cross-thread group
+    /// contention. Resets any previous per-thread tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_guest_threads(&mut self, threads: u32) {
+        assert!(threads >= 1, "a guest needs at least one thread");
+        self.guest_threads = threads;
+        self.active_thread = 0;
+        self.thread_faults = vec![0; threads as usize];
+        self.recent_fault_groups = [NO_RECENT_FAULT; RECENT_FAULT_GROUPS];
+        self.recent_fault_pos = 0;
+        self.contended_group_faults = 0;
+    }
+
+    /// Declared simulated guest thread count (1 unless an engine raised it).
+    pub fn guest_threads(&self) -> u32 {
+        self.guest_threads
+    }
+
+    /// Marks `thread` as the one currently executing; subsequent guest
+    /// faults are attributed to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the declared thread count.
+    pub fn set_active_thread(&mut self, thread: u32) {
+        assert!(
+            thread < self.guest_threads,
+            "thread {thread} out of range (guest has {} threads)",
+            self.guest_threads
+        );
+        self.active_thread = thread;
+    }
+
+    /// The thread faults are currently attributed to.
+    pub fn active_thread(&self) -> u32 {
+        self.active_thread
+    }
+
+    /// Guest faults taken per thread (index = thread id).
+    pub fn thread_faults(&self) -> &[u64] {
+        &self.thread_faults
+    }
+
+    /// Faults that landed in an 8-page reservation group another thread
+    /// had faulted into recently — the interleavings that contend on one
+    /// PaRT leaf word.
+    pub fn contended_group_faults(&self) -> u64 {
+        self.contended_group_faults
+    }
+
+    /// Attributes a fresh guest fault at (`vm`, `vpn`) to the active
+    /// thread and updates the contended-group ring. Only called when
+    /// `guest_threads > 1`.
+    fn note_thread_fault(&mut self, vm: usize, vpn: GuestVirtPage) {
+        self.thread_faults[self.active_thread as usize] += 1;
+        // Namespace the group key by VM: guest page numbers collide across
+        // tenants, and cross-VM faults never share a PaRT.
+        let group = ((vm as u64) << 48) | (vpn.raw() / GROUP_PAGES);
+        if self
+            .recent_fault_groups
+            .iter()
+            .any(|&(g, t)| g == group && t != self.active_thread)
+        {
+            self.contended_group_faults += 1;
+        }
+        self.recent_fault_groups[self.recent_fault_pos] = (group, self.active_thread);
+        self.recent_fault_pos = (self.recent_fault_pos + 1) % RECENT_FAULT_GROUPS;
     }
 
     /// Memo-layer counters. Deliberately *not* part of
@@ -897,6 +1002,9 @@ impl Machine {
                     Err(e) => return Err(e),
                 };
                 out.faulted = true;
+                if self.guest_threads > 1 {
+                    self.note_thread_fault(vm, vpn);
+                }
                 out.cycles += self.cost.guest_fault_cycles
                     + u64::from(info.cost.buddy_calls + info.pt_node_allocs)
                         * self.cost.buddy_call_cycles
@@ -1736,6 +1844,21 @@ impl Machine {
                 );
             }
         }
+        // Multi-threaded guests additionally expose per-thread fault
+        // attribution and PaRT-group contention. Serial guests (the
+        // default) emit nothing here, so the historical snapshot key set —
+        // and every `threads: 1` differential proof — is untouched. The
+        // thread count is fixed per run, so the key set stays constant.
+        if self.guest_threads > 1 {
+            reg.gauge_u64("threads.count", u64::from(self.guest_threads));
+            reg.gauge_u64(
+                "threads.contended_group_faults",
+                self.contended_group_faults,
+            );
+            for (t, faults) in self.thread_faults.iter().enumerate() {
+                reg.gauge_u64(format!("threads.{t}.faults"), *faults);
+            }
+        }
         reg.snapshot(self.ops)
     }
 
@@ -1793,6 +1916,58 @@ mod tests {
         assert!(second.tlb_hit);
         assert!(!second.faulted);
         assert!(second.cycles < first.cycles);
+    }
+
+    #[test]
+    fn serial_machines_emit_no_thread_gauges() {
+        let mut m = machine();
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 4).unwrap();
+        m.touch(0, pid, va, true).unwrap();
+        let snap = m.metrics_snapshot();
+        assert!(snap.get("threads.count").is_none());
+        assert!(snap.get("threads.0.faults").is_none());
+        assert_eq!(m.guest_threads(), 1);
+        assert_eq!(m.contended_group_faults(), 0);
+    }
+
+    #[test]
+    fn multi_threaded_faults_attribute_and_detect_group_contention() {
+        let mut m = machine();
+        m.set_guest_threads(2);
+        let pid = m.guest_mut().spawn();
+        let va = m.guest_mut().mmap(pid, 16).unwrap();
+        // Thread 0 faults page 0; thread 1 faults page 1 of the *same*
+        // 8-page group (contended), then page 8 of the next group (not).
+        m.touch(0, pid, va, false).unwrap();
+        m.set_active_thread(1);
+        m.touch(
+            0,
+            pid,
+            GuestVirtAddr::new(va.raw() + (1 << PAGE_SHIFT)),
+            false,
+        )
+        .unwrap();
+        m.touch(
+            0,
+            pid,
+            GuestVirtAddr::new(va.raw() + (8 << PAGE_SHIFT)),
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.thread_faults(), &[1, 2]);
+        assert_eq!(m.contended_group_faults(), 1);
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.get("threads.count").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            snap.get("threads.contended_group_faults")
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("threads.1.faults").and_then(|v| v.as_u64()),
+            Some(2)
+        );
     }
 
     #[test]

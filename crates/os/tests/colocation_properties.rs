@@ -140,3 +140,91 @@ proptest! {
         check_refcounts(&m);
     }
 }
+
+const THREADS: u32 = 4;
+
+#[derive(Clone, Debug)]
+enum ThreadedOp {
+    /// Touch page `page` of VM `vm`, attributed to guest thread `thread`.
+    Touch {
+        vm: usize,
+        thread: u32,
+        page: u64,
+        write: bool,
+    },
+    /// Kill VM `vm` (skipped while already dead).
+    Kill { vm: usize },
+    /// Reboot VM `vm` (skipped while still running).
+    Boot { vm: usize },
+}
+
+fn threaded_op_strategy() -> impl Strategy<Value = ThreadedOp> {
+    prop_oneof![
+        12 => (0..VMS, 0..THREADS, 0u64..PAGES, any::<bool>())
+            .prop_map(|(vm, thread, page, write)| ThreadedOp::Touch { vm, thread, page, write }),
+        1 => (0..VMS).prop_map(|vm| ThreadedOp::Kill { vm }),
+        2 => (0..VMS).prop_map(|vm| ThreadedOp::Boot { vm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Interleaved multi-threaded faulting across a multi-VM host: the
+    /// frame-refcount invariant must survive arbitrary thread switches in
+    /// the middle of the fault stream, every served fault must be
+    /// attributed to exactly the thread that was active when it fired, and
+    /// the contention detector may only count faults that actually happened.
+    #[test]
+    fn threaded_faulting_preserves_refcounts_and_attribution(
+        ops in prop::collection::vec(threaded_op_strategy(), 1..120)
+    ) {
+        let mut m = host();
+        m.set_guest_threads(THREADS);
+        let mut residents: Vec<(Pid, GuestVirtAddr)> =
+            (0..VMS).map(|vm| resident(&mut m, vm)).collect();
+        let mut faults_fired = vec![0u64; THREADS as usize];
+
+        for op in ops {
+            match op {
+                ThreadedOp::Touch { vm, thread, page, write } => {
+                    if !m.vm_running(vm) {
+                        continue;
+                    }
+                    m.set_active_thread(thread);
+                    let (pid, base) = residents[vm];
+                    let va = GuestVirtAddr::new(base.raw() + page * PAGE_SIZE);
+                    let out = m.touch_vm(vm, vm % m.caches().core_count(), pid, va, write);
+                    prop_assert!(out.is_ok(), "touch failed: {:?}", out);
+                    if out.unwrap().faulted {
+                        faults_fired[thread as usize] += 1;
+                    }
+                }
+                ThreadedOp::Kill { vm } => {
+                    if m.vm_running(vm) {
+                        m.kill_vm(vm);
+                        check_refcounts(&m);
+                    }
+                }
+                ThreadedOp::Boot { vm } => {
+                    if !m.vm_running(vm) {
+                        m.boot_vm(vm);
+                        residents[vm] = resident(&mut m, vm);
+                    }
+                }
+            }
+        }
+
+        check_refcounts(&m);
+        prop_assert_eq!(
+            m.thread_faults(),
+            faults_fired.as_slice(),
+            "every fault attributed to the thread active when it fired"
+        );
+        let total: u64 = faults_fired.iter().sum();
+        prop_assert!(
+            m.contended_group_faults() <= total,
+            "contention detector cannot count faults that never happened"
+        );
+    }
+}

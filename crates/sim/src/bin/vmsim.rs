@@ -110,6 +110,17 @@ fn apply_env(manifest: &mut ExperimentManifest) -> Result<(), env::EnvError> {
     if let Some(ops) = env::measure_ops()? {
         manifest.measure_ops = ops;
     }
+    // VMSIM_GUEST_THREADS overrides every workload's `threads` knob (env >
+    // manifest > the implicit serial default of 1). Parsed before anything
+    // runs, so a malformed value is a usage error (exit 2), never a
+    // half-executed run.
+    if let Some(threads) = env::guest_threads()? {
+        if let ExperimentSpec::Matrix(matrix) = &mut manifest.experiment {
+            for workload in &mut matrix.workloads {
+                workload.threads = threads;
+            }
+        }
+    }
     let obs = ObsConfig::from_env()?;
     if obs.is_enabled() {
         manifest.obs = obs;

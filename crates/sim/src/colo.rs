@@ -33,6 +33,7 @@ use vmsim_os::{Machine, MachineConfig, Pid};
 use vmsim_types::{FaultPlan, GuestVirtAddr, Result, RunError, PAGE_SHIFT};
 use vmsim_workloads::{benchmark, BenchId, Op, Phase, Workload};
 
+use crate::engine::GuestThreads;
 use crate::obs::{ObsConfig, ObservedRun};
 use crate::progress::Pulse;
 use crate::scenario::{CellBudget, RunMetrics, WallBudget};
@@ -66,6 +67,9 @@ pub(crate) struct ColoParams {
     pub memo: bool,
     /// Optional deterministic fault plan (installed host-wide).
     pub faults: Option<FaultPlan>,
+    /// Simulated guest threads per VM's benchmark (1 = serial, the
+    /// legacy shape).
+    pub threads: u32,
 }
 
 /// One VM's application: the benchmark instance running inside it.
@@ -78,6 +82,9 @@ struct VmApp {
     regions: Vec<Option<(GuestVirtAddr, u64)>>,
     cycles: u64,
     ops: u64,
+    /// Simulated guest threads of this VM's benchmark; `None` = the
+    /// serial legacy path, byte-identically.
+    threads: Option<GuestThreads>,
 }
 
 impl VmApp {
@@ -97,6 +104,8 @@ struct ColoHost {
     apps: Vec<Option<VmApp>>,
     bench: BenchId,
     seed: u64,
+    /// Simulated guest threads per VM app (1 = serial).
+    threads: u32,
     /// Churn rotation cursor over VMs `1..count` (VM 0 is never killed:
     /// it carries the measurement).
     victim: usize,
@@ -105,13 +114,14 @@ struct ColoHost {
 }
 
 impl ColoHost {
-    fn new(machine: Machine, bench: BenchId, seed: u64) -> Self {
+    fn new(machine: Machine, bench: BenchId, seed: u64, threads: u32) -> Self {
         let count = machine.vm_count();
         let mut host = Self {
             machine,
             apps: (0..count).map(|_| None).collect(),
             bench,
             seed,
+            threads: threads.max(1),
             victim: 0,
             squeeze: 0,
         };
@@ -139,6 +149,9 @@ impl ColoHost {
             regions: Vec::new(),
             cycles: 0,
             ops: 0,
+            // Each instance gets its own interleaver, seeded like its
+            // workload: reboots replay a fresh thread schedule.
+            threads: (self.threads > 1).then(|| GuestThreads::new(self.threads, seed)),
         });
     }
 
@@ -174,6 +187,9 @@ impl ColoHost {
     fn step(&mut self, vm: usize, app: &mut VmApp) -> Result<()> {
         let op = app.workload.next_op();
         app.ops += 1;
+        if let Some(th) = app.threads.as_mut() {
+            th.advance();
+        }
         match op {
             Op::Touch {
                 region,
@@ -182,11 +198,24 @@ impl ColoHost {
             } => {
                 let (base, pages) = app.region(region)?;
                 debug_assert!(page_idx < pages);
-                let va = GuestVirtAddr::new(base.raw() + (page_idx << PAGE_SHIFT));
+                let page = match app.threads.as_ref() {
+                    Some(th) => {
+                        // The host machine is shared by every VM, so the
+                        // issuing thread is re-asserted before each access.
+                        self.machine.set_active_thread(th.current());
+                        th.stripe(page_idx, pages)
+                    }
+                    None => page_idx,
+                };
+                let va = GuestVirtAddr::new(base.raw() + (page << PAGE_SHIFT));
                 let out = self.machine.touch_vm(vm, app.core, app.pid, va, write)?;
                 app.cycles += out.cycles;
             }
             Op::Alloc { region, pages } => {
+                // Allocation is the guest runtime's job: thread 0.
+                if app.threads.is_some() {
+                    self.machine.set_active_thread(0);
+                }
                 let base = self.machine.vm_guest_mut(vm).mmap(app.pid, pages)?;
                 let slot = region as usize;
                 if slot >= app.regions.len() {
@@ -195,6 +224,9 @@ impl ColoHost {
                 app.regions[slot] = Some((base, pages));
             }
             Op::Free { region } => {
+                if app.threads.is_some() {
+                    self.machine.set_active_thread(0);
+                }
                 let (base, pages) = app.region(region)?;
                 app.regions[region as usize] = None;
                 self.machine.munmap_vm(vm, app.pid, base.page(), pages)?;
@@ -302,7 +334,10 @@ pub(crate) fn run_colo(
     if let Some(plan) = p.faults {
         machine.install_faults(plan, p.seed);
     }
-    let mut host = ColoHost::new(machine, p.benchmark, p.seed);
+    if p.threads > 1 {
+        machine.set_guest_threads(p.threads);
+    }
+    let mut host = ColoHost::new(machine, p.benchmark, p.seed, p.threads);
 
     // Phase A: run rounds until VM 0 finishes allocating. Neighbours
     // initialize concurrently (their faults interleave at the host buddy);

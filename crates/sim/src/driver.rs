@@ -356,6 +356,7 @@ pub fn build_scenario(
     let mut scenario = Scenario::new(bench)
         .corunners(&corunners)
         .corunner_weight(workload.corunner_weight)
+        .threads(workload.threads)
         .stop_corunners_after_init(workload.stop_corunners_after_init)
         .custom_allocator(allocator)
         .measure_ops(manifest.measure_ops)

@@ -4,6 +4,81 @@ use vmsim_os::{Machine, Pid};
 use vmsim_types::{GuestVirtAddr, MemError, Result, PAGE_SHIFT};
 use vmsim_workloads::{Op, Phase, Workload};
 
+/// Deterministic guest-thread interleaver: models one app's ops as issued
+/// by `count` simulated threads, switching the active thread round-robin
+/// after seeded quanta of 1–8 ops. Touch ops are striped so thread `t`
+/// works `t` stripes ahead in the region — distinct threads fault distinct
+/// pages (a page faults once), while neighbouring stripes land in shared
+/// 8-page reservation groups, which is exactly the PaRT contention under
+/// study. The schedule is a pure function of the seed and the op stream,
+/// so `threads: N` runs are bit-reproducible.
+#[derive(Debug)]
+pub(crate) struct GuestThreads {
+    count: u32,
+    /// Currently executing thread.
+    current: u32,
+    /// Ops left in the current thread's quantum.
+    left: u64,
+    /// xorshift64* state drawing quantum lengths (self-contained, like the
+    /// fault injector's generator — no RNG crate in the workspace).
+    state: u64,
+}
+
+impl GuestThreads {
+    pub(crate) fn new(count: u32, seed: u64) -> Self {
+        assert!(count >= 2, "an interleaver needs at least two threads");
+        // SplitMix64 finalizer; xorshift state must be nonzero.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self {
+            count,
+            // First switch wraps to thread 0.
+            current: count - 1,
+            left: 0,
+            state: if z == 0 { 0x2545_F491_4F6C_DD1D } else { z },
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The thread currently issuing ops.
+    pub(crate) fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// The thread executing the next op, switching (round-robin, with a
+    /// fresh 1–8 op quantum) when the current quantum is spent. Returns
+    /// `Some(next)` when this op starts a new thread's quantum.
+    pub(crate) fn advance(&mut self) -> Option<u32> {
+        let switched = if self.left == 0 {
+            self.current = (self.current + 1) % self.count;
+            self.left = 1 + self.next_u64() % 8;
+            Some(self.current)
+        } else {
+            None
+        };
+        self.left -= 1;
+        switched
+    }
+
+    /// Region-striped page index for the current thread: thread `t` shifts
+    /// the workload's access stream by `t` stripes of `ceil(pages/count)`
+    /// pages, wrapping at the region end.
+    pub(crate) fn stripe(&self, page_idx: u64, pages: u64) -> u64 {
+        let stripe = pages.div_ceil(u64::from(self.count));
+        (page_idx + u64::from(self.current) * stripe) % pages
+    }
+}
+
 /// One application running inside the VM.
 struct App {
     pid: Pid,
@@ -23,6 +98,10 @@ struct App {
     running: bool,
     /// Ops per scheduling round (relative execution rate).
     weight: u32,
+    /// Simulated guest threads. `None` (the default) executes the literal
+    /// serial path — results are byte-identical to an engine without the
+    /// field.
+    threads: Option<GuestThreads>,
 }
 
 impl App {
@@ -97,8 +176,26 @@ impl Colocation {
             ops: 0,
             running: true,
             weight: weight.max(1),
+            threads: None,
         });
         self.apps.len() - 1
+    }
+
+    /// Models app `idx` as `threads` simulated guest threads whose page
+    /// faults interleave deterministically (seeded round-robin quanta, see
+    /// `GuestThreads`). `threads <= 1` keeps the serial path — ops,
+    /// cycles, and machine state stay byte-identical to an untouched app.
+    /// Raises the machine's declared guest-thread count so faults are
+    /// attributed per thread.
+    pub fn set_app_threads(&mut self, idx: usize, threads: u32, seed: u64) {
+        if threads <= 1 {
+            self.apps[idx].threads = None;
+            return;
+        }
+        self.apps[idx].threads = Some(GuestThreads::new(threads, seed));
+        if threads > self.machine.guest_threads() {
+            self.machine.set_guest_threads(threads);
+        }
     }
 
     /// The machine under simulation.
@@ -227,6 +324,15 @@ impl Colocation {
         count: u64,
         batch: &mut Vec<(GuestVirtAddr, bool)>,
     ) -> Result<()> {
+        // Multi-threaded apps take the interleaved path; serial apps run
+        // the literal legacy loop below, so `threads: 1` stays
+        // byte-identical at every level (cycles, counters, trace bytes).
+        if self.apps[idx].threads.is_some() {
+            let mut th = self.apps[idx].threads.take().expect("checked above");
+            let result = self.run_quantum_threaded(idx, count, batch, &mut th);
+            self.apps[idx].threads = Some(th);
+            return result;
+        }
         for _ in 0..count {
             let app = &mut self.apps[idx];
             let op = app.workload.next_op();
@@ -260,6 +366,64 @@ impl Colocation {
                     let (base, pages) = app.region(region)?;
                     app.regions[region as usize] = None;
                     self.machine.munmap(app.pid, base.page(), pages)?;
+                }
+            }
+        }
+        self.flush_batch(idx, batch)
+    }
+
+    /// The interleaved counterpart of [`Colocation::run_quantum_inner`]:
+    /// ops still come off the workload stream in order, but each is issued
+    /// by the interleaver's current simulated thread — Touch pages are
+    /// striped per thread, the pending batch is flushed on every thread
+    /// switch (so fault attribution follows the issuing thread), and
+    /// Alloc/Free run on thread 0, the runtime thread.
+    fn run_quantum_threaded(
+        &mut self,
+        idx: usize,
+        count: u64,
+        batch: &mut Vec<(GuestVirtAddr, bool)>,
+        th: &mut GuestThreads,
+    ) -> Result<()> {
+        for _ in 0..count {
+            if let Some(next) = th.advance() {
+                self.flush_batch(idx, batch)?;
+                self.machine.set_active_thread(next);
+            }
+            let app = &mut self.apps[idx];
+            let op = app.workload.next_op();
+            app.ops += 1;
+            match op {
+                Op::Touch {
+                    region,
+                    page_idx,
+                    write,
+                } => {
+                    let (base, pages) = app.region(region)?;
+                    debug_assert!(page_idx < pages);
+                    let page = th.stripe(page_idx, pages);
+                    batch.push((GuestVirtAddr::new(base.raw() + (page << PAGE_SHIFT)), write));
+                }
+                Op::Alloc { region, pages } => {
+                    self.flush_batch(idx, batch)?;
+                    self.machine.set_active_thread(0);
+                    let app = &mut self.apps[idx];
+                    let base = self.machine.guest_mut().mmap(app.pid, pages)?;
+                    let slot = region as usize;
+                    if slot >= app.regions.len() {
+                        app.regions.resize(slot + 1, None);
+                    }
+                    app.regions[slot] = Some((base, pages));
+                    self.machine.set_active_thread(th.current);
+                }
+                Op::Free { region } => {
+                    self.flush_batch(idx, batch)?;
+                    self.machine.set_active_thread(0);
+                    let app = &mut self.apps[idx];
+                    let (base, pages) = app.region(region)?;
+                    app.regions[region as usize] = None;
+                    self.machine.munmap(app.pid, base.page(), pages)?;
+                    self.machine.set_active_thread(th.current);
                 }
             }
         }
@@ -444,6 +608,81 @@ mod tests {
             stepped.machine().metrics_snapshot(),
             "batched execution must be bit-identical to per-op stepping"
         );
+    }
+
+    #[test]
+    fn one_thread_is_the_literal_serial_path() {
+        let build = || {
+            let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+            c.add_app(small_stream(), 1);
+            c.add_app(small_churn(), 2);
+            c
+        };
+        let mut serial = build();
+        let mut routed = build();
+        // threads <= 1 must not install an interleaver at all.
+        routed.set_app_threads(0, 1, 42);
+        for _ in 0..100 {
+            serial.round().unwrap();
+            routed.round().unwrap();
+        }
+        assert_eq!(serial.cycles(0), routed.cycles(0));
+        assert_eq!(
+            serial.machine().metrics_snapshot(),
+            routed.machine().metrics_snapshot(),
+            "threads: 1 must be byte-identical to the serial engine"
+        );
+        assert_eq!(routed.machine().guest_threads(), 1);
+    }
+
+    #[test]
+    fn threaded_runs_are_seed_deterministic() {
+        let build = |seed| {
+            let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+            let a = c.add_app(small_stream(), 1);
+            c.set_app_threads(a, 4, seed);
+            c
+        };
+        let mut x = build(9);
+        let mut y = build(9);
+        for _ in 0..150 {
+            x.round().unwrap();
+            y.round().unwrap();
+        }
+        assert_eq!(x.cycles(0), y.cycles(0));
+        assert_eq!(
+            x.machine().metrics_snapshot(),
+            y.machine().metrics_snapshot(),
+            "same seed, same interleaving, same machine"
+        );
+        // A different seed draws different quanta, so the interleaved
+        // fault stream (and the cycle total) diverges.
+        let mut z = build(10);
+        for _ in 0..150 {
+            z.round().unwrap();
+        }
+        assert_ne!(x.cycles(0), z.cycles(0));
+    }
+
+    #[test]
+    fn threaded_faults_are_attributed_across_threads() {
+        let mut c = Colocation::new(Machine::new(MachineConfig::small()));
+        let a = c.add_app(small_stream(), 1);
+        c.set_app_threads(a, 4, 3);
+        c.run_until_steady(a).unwrap();
+        let faults = c.machine().thread_faults();
+        assert_eq!(faults.len(), 4);
+        assert!(
+            faults.iter().filter(|&&f| f > 0).count() >= 2,
+            "interleaved init faults come from several threads: {faults:?}"
+        );
+        assert_eq!(
+            faults.iter().sum::<u64>(),
+            c.machine().guest().stats().faults,
+            "every fault is attributed to exactly one thread"
+        );
+        let snap = c.machine().metrics_snapshot();
+        assert_eq!(snap.get("threads.count").and_then(|v| v.as_u64()), Some(4));
     }
 
     #[test]

@@ -263,7 +263,88 @@ pub fn run_kernels() -> Vec<Kernel> {
         }),
     });
 
+    // part_concurrent: raw take-or-install/release throughput of the
+    // lock-free PaRT under real OS threads, at 1/4/8 simulated faulting
+    // threads. `shared` variants contend on one leaf's words (every
+    // thread cycles the same 64 groups, each owning its own page offset);
+    // `disjoint` variants give each thread its own leaf, the
+    // never-contend case the fine-grained design promises scales.
+    for &threads in &[1usize, 4, 8] {
+        for &(label, contended) in &[("disjoint", false), ("shared", true)] {
+            out.push(Kernel {
+                name: part_kernel_name(threads, label),
+                ns_per_op: part_concurrent_ns(threads, contended),
+            });
+        }
+    }
+
     out
+}
+
+/// Static kernel name for a `part_concurrent` variant.
+fn part_kernel_name(threads: usize, label: &str) -> &'static str {
+    match (threads, label) {
+        (1, "disjoint") => "part_concurrent_disjoint_t1",
+        (1, "shared") => "part_concurrent_shared_t1",
+        (4, "disjoint") => "part_concurrent_disjoint_t4",
+        (4, "shared") => "part_concurrent_shared_t4",
+        (8, "disjoint") => "part_concurrent_disjoint_t8",
+        (8, "shared") => "part_concurrent_shared_t8",
+        _ => unreachable!("fixed kernel grid"),
+    }
+}
+
+/// Median ns per PaRT operation (a take-or-install/release pair) with
+/// `threads` OS threads hammering one shared tree. Contended runs route
+/// every thread through the same 64 groups — same leaf words, distinct
+/// page offsets, so the CAS loops race without ever violating the
+/// one-fault-per-mapped-page contract; disjoint runs separate threads by
+/// whole leaves.
+fn part_concurrent_ns(threads: usize, contended: bool) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use vmsim_types::{GuestFrame, GROUP_PAGES};
+
+    const OPS_PER_THREAD: u64 = 30_000;
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let part = Arc::new(ptemagnet::PaRt::new());
+            let next_chunk = Arc::new(AtomicU64::new(0));
+            let start = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let part = Arc::clone(&part);
+                    let next_chunk = Arc::clone(&next_chunk);
+                    std::thread::spawn(move || {
+                        // Each thread owns page offset `t` of whichever
+                        // group it visits: grants never collide on a live
+                        // page, while shared-mode leaf words are contended.
+                        let offset = t as u64 % GROUP_PAGES;
+                        for i in 0..OPS_PER_THREAD {
+                            let group = if contended {
+                                i % 64
+                            } else {
+                                (t as u64) << 10 | (i % 64)
+                            };
+                            part.take_or_install(group, offset, || {
+                                Some(GuestFrame::new(
+                                    next_chunk.fetch_add(GROUP_PAGES, Ordering::Relaxed),
+                                ))
+                            });
+                            part.release(group, offset);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("kernel thread");
+            }
+            let total_ops = threads as u64 * OPS_PER_THREAD;
+            start.elapsed().as_secs_f64() * 1e9 / total_ops as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[1]
 }
 
 /// Renders the classic `BENCH_core.json` baseline (schema `bench-core-v1`)

@@ -216,6 +216,11 @@ pub struct Scenario {
     /// (1 VM, no overcommit, no churn, no balloon) keeps the classic
     /// single-guest path, bit-identically.
     vms: Option<VmsSpec>,
+    /// Simulated guest threads of the benchmark app. 1 (the default)
+    /// routes through the serial engine bit-identically; above 1 the
+    /// engine interleaves the app's faults with a seeded round-robin
+    /// interleaver.
+    threads: u32,
 }
 
 impl Scenario {
@@ -236,6 +241,7 @@ impl Scenario {
             faults: None,
             memo: None,
             vms: None,
+            threads: 1,
         }
     }
 
@@ -323,6 +329,18 @@ impl Scenario {
     /// the classic single-guest path, bit-identically.
     pub fn vms(mut self, spec: VmsSpec) -> Self {
         self.vms = Some(spec);
+        self
+    }
+
+    /// Models the benchmark as `threads` simulated guest threads whose
+    /// page faults interleave deterministically (seeded by the scenario
+    /// seed). `threads: 1` — the default — executes the literal serial
+    /// engine path, byte-identically at every artifact level; `threads: N`
+    /// is seed-deterministic. The interleaver only reshapes *when and
+    /// where* faults land; it spawns no OS threads, so results stay
+    /// invariant across `VMSIM_THREADS` worker-pool widths.
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -445,6 +463,7 @@ impl Scenario {
                     .memo
                     .unwrap_or_else(vmsim_config::env::memo_enabled_or_default),
                 faults: self.faults,
+                threads: self.threads,
             };
             return colo::run_colo(params, obs, budget, heartbeat_ops, on_pulse);
         }
@@ -476,6 +495,11 @@ impl Scenario {
         let mut colo = Colocation::new(machine);
 
         let primary = colo.add_app(Box::new(benchmark(self.benchmark, self.seed)), 1);
+        // threads == 1 never touches the engine or the machine, so the
+        // serial path stays byte-identical (the differential proof).
+        if self.threads > 1 {
+            colo.set_app_threads(primary, self.threads, self.seed);
+        }
         let co_idxs: Vec<usize> = self
             .corunners
             .iter()

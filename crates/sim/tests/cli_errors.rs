@@ -429,3 +429,42 @@ fn malformed_heartbeat_env_is_a_usage_error() {
         );
     }
 }
+
+#[test]
+fn manifest_with_out_of_range_threads_exits_2() {
+    let dir = scratch("threads-manifest");
+    for bad in ["0", "65"] {
+        let body = table4_json().replacen("\"threads\": 1,", &format!("\"threads\": {bad},"), 1);
+        assert_ne!(body, table4_json(), "corruption must have applied");
+        let path = write_manifest(&dir, &format!("threads-{bad}.json"), &body);
+        // `run` treats an invalid manifest as a usage error (exit 2);
+        // `validate` reports it as a validation failure (exit 1). Both
+        // must carry the range diagnostic and neither may succeed.
+        let out = vmsim(&["run", &path]);
+        assert_eq!(out.status.code(), Some(2), "vmsim run threads={bad}");
+        assert!(
+            stderr_of(&out).contains("threads must be in 1..=64"),
+            "run diagnostic states the valid range (threads={bad})"
+        );
+        let out = vmsim(&["validate", &path]);
+        assert_eq!(out.status.code(), Some(1), "vmsim validate threads={bad}");
+        assert!(
+            stderr_of(&out).contains("threads must be in 1..=64"),
+            "validate diagnostic states the valid range (threads={bad})"
+        );
+    }
+}
+
+#[test]
+fn malformed_guest_threads_env_is_a_usage_error() {
+    let dir = scratch("guest-threads-env");
+    let manifest = write_manifest(&dir, "t4.json", &table4_json());
+    for bad in ["abc", "0", "65", "-1", "4.5"] {
+        let out = vmsim_env(&["run", &manifest], &[("VMSIM_GUEST_THREADS", bad)]);
+        assert_eq!(out.status.code(), Some(2), "VMSIM_GUEST_THREADS={bad}");
+        assert!(
+            stderr_of(&out).contains("VMSIM_GUEST_THREADS"),
+            "diagnostic names the variable (VMSIM_GUEST_THREADS={bad})"
+        );
+    }
+}

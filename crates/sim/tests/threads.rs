@@ -1,0 +1,109 @@
+//! Differential proofs for the guest-thread interleaver.
+//!
+//! Three invariants back the `threads` knob:
+//!
+//! 1. **Serial identity** — `threads: 1` routes through the literal legacy
+//!    single-threaded engine, so every observable surface (RunMetrics, final
+//!    snapshot, epoch CSV, event-trace bytes) is bit-identical to a scenario
+//!    that never mentions threads at all.
+//! 2. **Seed determinism** — `threads: N` replays the same round-robin
+//!    interleaving for the same seed, so repeated runs are bit-identical,
+//!    while a different seed yields a different schedule.
+//! 3. **Worker-pool invariance** — the guest-thread count is simulated
+//!    inside one deterministic engine, so results are identical whether the
+//!    harness replicates runs serially or on a `VMSIM_THREADS`-style pool.
+
+use vmsim_os::MachineConfig;
+use vmsim_sim::{AllocatorKind, ObsConfig, ObservedRun, Parallelism, Scenario};
+use vmsim_workloads::BenchId;
+
+fn scenario(alloc: AllocatorKind, seed: u64) -> Scenario {
+    Scenario::new(BenchId::Gcc)
+        .machine(MachineConfig::paper(2, 192))
+        .allocator(alloc)
+        .measure_ops(3_000)
+        .seed(seed)
+}
+
+fn observed(alloc: AllocatorKind, seed: u64, threads: u32) -> ObservedRun {
+    scenario(alloc, seed)
+        .threads(threads)
+        .run_observed(ObsConfig::enabled(750))
+}
+
+/// Every surface we persist to disk for a run: results JSON (field-exact
+/// metrics + the snapshot's JSON bytes), the epoch CSV, and the raw trace
+/// bytes.
+fn surfaces(run: &ObservedRun) -> (String, String, String) {
+    let results = format!("{:?}\n{}", run.metrics, run.snapshot.to_json());
+    (results, run.series.to_csv(), run.events_jsonl())
+}
+
+#[test]
+fn one_thread_is_bit_identical_to_the_legacy_serial_engine() {
+    for alloc in [AllocatorKind::Default, AllocatorKind::PteMagnet] {
+        let legacy = scenario(alloc, 7).run_observed(ObsConfig::enabled(750));
+        let one = observed(alloc, 7, 1);
+        let (l_json, l_csv, l_trace) = surfaces(&legacy);
+        let (o_json, o_csv, o_trace) = surfaces(&one);
+        assert_eq!(o_json, l_json, "results JSON must match ({alloc:?})");
+        assert_eq!(o_csv, l_csv, "epoch CSV must match ({alloc:?})");
+        assert_eq!(o_trace, l_trace, "trace bytes must match ({alloc:?})");
+        assert_eq!(one.metrics, legacy.metrics);
+        assert_eq!(one.snapshot, legacy.snapshot);
+    }
+}
+
+#[test]
+fn multi_threaded_runs_are_seed_deterministic() {
+    let a = observed(AllocatorKind::PteMagnet, 21, 4);
+    let b = observed(AllocatorKind::PteMagnet, 21, 4);
+    assert_eq!(surfaces(&a), surfaces(&b), "same seed, same schedule");
+
+    let c = observed(AllocatorKind::PteMagnet, 22, 4);
+    assert_ne!(
+        a.metrics.cycles, c.metrics.cycles,
+        "a different seed must drive a different interleaving"
+    );
+}
+
+#[test]
+fn multi_threaded_runs_differ_from_serial_and_report_thread_gauges() {
+    let serial = observed(AllocatorKind::PteMagnet, 5, 1);
+    let threaded = observed(AllocatorKind::PteMagnet, 5, 4);
+    // The interleaver stripes each thread into its own address-space slice,
+    // so the fault pattern — and with it the walk-cycle total — must move.
+    assert_ne!(serial.metrics.cycles, threaded.metrics.cycles);
+    assert!(serial.snapshot.get("threads.count").is_none());
+    assert_eq!(
+        threaded
+            .snapshot
+            .get("threads.count")
+            .and_then(|v| v.as_u64()),
+        Some(4)
+    );
+    let per_thread: u64 = (0..4)
+        .map(|t| {
+            threaded
+                .snapshot
+                .get(&format!("threads.{t}.faults"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(per_thread > 0, "thread fault attribution must be live");
+}
+
+#[test]
+fn guest_threads_are_invariant_across_the_worker_pool() {
+    // VMSIM_THREADS widens the replication pool, not the simulated guest.
+    // A 4-guest-thread run must be bit-identical whether the harness
+    // executes replicas serially or on a 4-wide worker pool.
+    let run = |i: usize| observed(AllocatorKind::PteMagnet, 31 + i as u64 * 13, 4);
+    let serial = vmsim_sim::parallel::run_indexed(Parallelism::Serial, 3, run);
+    let pooled = vmsim_sim::parallel::run_indexed(Parallelism::Threads(4), 3, run);
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(surfaces(s), surfaces(p));
+        assert_eq!(s.metrics, p.metrics);
+    }
+}

@@ -1,0 +1,814 @@
+//! Offline stand-in for `loom`: a bounded, deterministic model checker.
+//!
+//! The real `loom` interprets a program's atomics under the C11 memory model
+//! and explores every interleaving. This stub keeps the *shape* of that API
+//! (`loom::model`, `loom::thread::spawn`, `loom::sync::atomic::*`) but uses a
+//! much simpler engine that is still strong enough to catch real interleaving
+//! bugs in CAS-based code:
+//!
+//! * Threads run as real OS threads under a **cooperative scheduler** that
+//!   lets exactly one managed thread execute at a time.
+//! * Every instrumented atomic operation (and `spawn`/`join`/`yield_now`) is
+//!   a **scheduling point**: the scheduler may switch threads there, and
+//!   nowhere else.
+//! * [`model`] re-runs the closure under **depth-first search over the
+//!   scheduling decisions**, replaying a decision prefix and diverging at the
+//!   last branch point, until the space is exhausted or a bound is hit.
+//! * Exploration is **bounded**: a preemption bound (schedules with at most
+//!   N involuntary switches, the classic CHESS heuristic) and a schedule cap
+//!   keep the search finite and fast; both are configurable via
+//!   [`model_with`].
+//!
+//! Because only one thread runs at a time and every atomic hand-off is a
+//! scheduling point, all orderings behave as `SeqCst` — the stub explores
+//! *interleavings*, not weak-memory reorderings. That is exactly the class
+//! of bug a lost-update/naive read-then-write install exhibits, which is
+//! what the PaRT model-check suite targets.
+//!
+//! Threads not spawned through [`thread::spawn`] (e.g. the libtest harness
+//! running other tests in parallel) pass through to `std` primitives
+//! untouched, so a crate compiled against these instrumented atomics still
+//! behaves normally outside [`model`]. Concurrent [`model`] calls from
+//! parallel test threads are serialized by a global lock.
+//!
+//! Panics inside a managed thread (assertion failures — i.e. violated
+//! invariants) abort the current schedule, tear the remaining threads down,
+//! and surface from [`model`] with the failure message;
+//! [`model_finds_violation`] instead reports whether *any* explored schedule
+//! failed, which is how negative tests assert that a buggy implementation is
+//! actually caught.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Exploration bounds for [`model_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of schedules to explore before giving up the search.
+    pub max_schedules: usize,
+    /// Maximum involuntary context switches per schedule (`None` = unbounded;
+    /// the default of 2 catches single- and double-race bugs, which is the
+    /// empirical sweet spot of preemption bounding).
+    pub preemption_bound: Option<usize>,
+    /// Maximum scheduling decisions in one run (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_schedules: 20_000,
+            preemption_bound: Some(2),
+            max_steps: 200_000,
+        }
+    }
+}
+
+thread_local! {
+    /// The managed-thread id of the current OS thread, if it belongs to the
+    /// active model run. Unset threads bypass all instrumentation.
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Unwind payload used to tear down managed threads after a failure; never
+/// reported as a failure itself.
+struct Teardown;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    /// Blocked joining the given thread id.
+    Blocked(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: which threads were eligible and which
+/// was chosen (an index into `allowed`). The DFS backtracks by bumping the
+/// deepest `chosen` that has unexplored siblings.
+struct Decision {
+    allowed: Vec<usize>,
+    chosen: usize,
+}
+
+struct RunState {
+    states: Vec<Run>,
+    current: usize,
+    decisions: Vec<Decision>,
+    /// Choice indices to replay from the previous schedule.
+    prefix: Vec<usize>,
+    cursor: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    poisoned: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunState {
+    fn all_finished(&self) -> bool {
+        self.states.iter().all(|s| *s == Run::Finished)
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.poisoned = true;
+    }
+}
+
+struct Sched {
+    state: Mutex<Option<RunState>>,
+    cv: Condvar,
+}
+
+fn sched() -> &'static Sched {
+    static S: OnceLock<Sched> = OnceLock::new();
+    S.get_or_init(|| Sched {
+        state: Mutex::new(None),
+        cv: Condvar::new(),
+    })
+}
+
+/// Serializes concurrent `model()` calls (libtest runs tests in parallel).
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Picks the next thread to run after `from` reaches a scheduling point.
+/// `from_runnable` is false when `from` just blocked or finished.
+fn schedule_next(st: &mut RunState, from: usize, from_runnable: bool) {
+    if st.poisoned {
+        return;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        st.fail(format!("step limit {} exceeded (livelock?)", st.max_steps));
+        return;
+    }
+    let mut runnable: Vec<usize> = st
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == Run::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        if !st.all_finished() {
+            st.fail("deadlock: every live thread is blocked".to_string());
+        }
+        return;
+    }
+    // Eligible order: continuing the current thread first (choice 0 is the
+    // preemption-free default), then the others by ascending id.
+    if from_runnable {
+        if let Some(pos) = runnable.iter().position(|&t| t == from) {
+            runnable.remove(pos);
+            runnable.insert(0, from);
+        }
+    }
+    let bound_hit = st.bound.is_some_and(|b| st.preemptions >= b);
+    let allowed = if from_runnable && bound_hit && runnable.first() == Some(&from) {
+        vec![from]
+    } else {
+        runnable
+    };
+    let raw = if st.cursor < st.prefix.len() {
+        st.prefix[st.cursor]
+    } else {
+        0
+    };
+    st.cursor += 1;
+    // A faithful replay always lands in range; clamp defensively so a
+    // divergent replay degrades to a duplicate schedule, not a panic.
+    let chosen = raw.min(allowed.len() - 1);
+    let next = allowed[chosen];
+    st.decisions.push(Decision { allowed, chosen });
+    if from_runnable && next != from {
+        st.preemptions += 1;
+    }
+    st.current = next;
+}
+
+/// The instrumentation hook: called before every atomic operation performed
+/// by a managed thread. No-op on unmanaged threads.
+pub(crate) fn yield_point() {
+    let Some(tid) = TID.with(Cell::get) else {
+        return;
+    };
+    let s = sched();
+    let mut g = s.state.lock().unwrap();
+    {
+        let Some(st) = g.as_mut() else { return };
+        if st.poisoned {
+            drop(g);
+            resume_unwind(Box::new(Teardown));
+        }
+        debug_assert_eq!(st.current, tid, "yield from a descheduled thread");
+        schedule_next(st, tid, true);
+    }
+    s.cv.notify_all();
+    loop {
+        {
+            let st = g.as_mut().expect("model state alive while threads run");
+            if st.poisoned {
+                drop(g);
+                resume_unwind(Box::new(Teardown));
+            }
+            if st.current == tid {
+                return;
+            }
+        }
+        g = s.cv.wait(g).unwrap();
+    }
+}
+
+/// Marks `tid` finished, wakes joiners, records a real panic as the run's
+/// failure, and hands the CPU to the next runnable thread.
+fn finish_thread(tid: usize, outcome: &std::thread::Result<()>) {
+    let s = sched();
+    let mut g = s.state.lock().unwrap();
+    if let Some(st) = g.as_mut() {
+        st.states[tid] = Run::Finished;
+        for state in st.states.iter_mut() {
+            if *state == Run::Blocked(tid) {
+                *state = Run::Runnable;
+            }
+        }
+        if let Err(payload) = outcome {
+            if !payload.is::<Teardown>() {
+                st.fail(payload_message(payload));
+            }
+        }
+        if !st.poisoned {
+            schedule_next(st, tid, false);
+        }
+    }
+    s.cv.notify_all();
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Explores schedules of `f`; returns the first failure message, if any.
+fn explore<F>(cfg: Config, f: F) -> Option<String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        let s = sched();
+        *s.state.lock().unwrap() = Some(RunState {
+            states: vec![Run::Runnable],
+            current: 0,
+            decisions: Vec::new(),
+            prefix: prefix.clone(),
+            cursor: 0,
+            preemptions: 0,
+            bound: cfg.preemption_bound,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            failure: None,
+            poisoned: false,
+            os_handles: Vec::new(),
+        });
+        let root_f = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-root".into())
+            .spawn(move || {
+                TID.with(|t| t.set(Some(0)));
+                let out = catch_unwind(AssertUnwindSafe(|| root_f()));
+                finish_thread(0, &out.map(|_| ()));
+            })
+            .expect("spawn model root");
+        // Wait for every managed thread (root + spawned) to finish.
+        {
+            let mut g = s.state.lock().unwrap();
+            loop {
+                if g.as_ref().is_some_and(RunState::all_finished) {
+                    break;
+                }
+                g = s.cv.wait(g).unwrap();
+            }
+        }
+        let spawned = {
+            let mut g = s.state.lock().unwrap();
+            std::mem::take(&mut g.as_mut().expect("state alive").os_handles)
+        };
+        for h in spawned {
+            let _ = h.join();
+        }
+        let _ = root.join();
+        let done = s.state.lock().unwrap().take().expect("state alive");
+        if done.failure.is_some() {
+            return done.failure;
+        }
+        // Backtrack: bump the deepest decision with an unexplored sibling.
+        let mut next_prefix = None;
+        for i in (0..done.decisions.len()).rev() {
+            let d = &done.decisions[i];
+            if d.chosen + 1 < d.allowed.len() {
+                let mut p: Vec<usize> = done.decisions[..i].iter().map(|d| d.chosen).collect();
+                p.push(d.chosen + 1);
+                next_prefix = Some(p);
+                break;
+            }
+        }
+        match next_prefix {
+            Some(p) if schedules < cfg.max_schedules => prefix = p,
+            _ => return None,
+        }
+    }
+}
+
+/// Runs `f` under every explored interleaving (see [`Config`] for bounds),
+/// panicking with the failing schedule's message if any run fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f);
+}
+
+/// [`model`] with explicit exploration bounds.
+pub fn model_with<F>(cfg: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Some(failure) = explore(cfg, f) {
+        panic!("loom (stub) found a failing schedule: {failure}");
+    }
+}
+
+/// Explores like [`model`] but returns whether any schedule failed instead
+/// of panicking. Negative tests use this to prove the checker *would* catch
+/// a known-buggy implementation.
+pub fn model_finds_violation<F>(f: F) -> bool
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::default(), f).is_some()
+}
+
+pub mod thread {
+    //! Managed threads: spawn/join are scheduling points inside a model run
+    //! and plain `std::thread` passthroughs outside one.
+
+    use super::*;
+
+    /// Handle to a spawned thread (managed inside a model, OS outside).
+    pub enum JoinHandle<T> {
+        #[doc(hidden)]
+        Os(std::thread::JoinHandle<T>),
+        #[doc(hidden)]
+        Managed {
+            tid: usize,
+            result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    /// Spawns a thread. Inside a model run the new thread becomes a managed,
+    /// schedulable participant; outside one this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if TID.with(Cell::get).is_none() {
+            return JoinHandle::Os(std::thread::spawn(f));
+        }
+        let s = sched();
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let tid;
+        {
+            let mut g = s.state.lock().unwrap();
+            let st = g.as_mut().expect("spawn inside a model run");
+            tid = st.states.len();
+            st.states.push(Run::Runnable);
+            let slot = Arc::clone(&result);
+            let os = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    TID.with(|t| t.set(Some(tid)));
+                    if !block_until_scheduled(tid) {
+                        // Torn down before ever running.
+                        finish_thread(tid, &Ok(()));
+                        return;
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(f));
+                    let flat: std::thread::Result<()> = match &out {
+                        Ok(_) => Ok(()),
+                        Err(p) if p.is::<Teardown>() => Err(Box::new(Teardown)),
+                        Err(p) => Err(Box::new(payload_message(p.as_ref()))),
+                    };
+                    // Publish the result *before* waking joiners: the moment
+                    // `finish_thread` marks this thread Finished, a joiner on
+                    // another OS thread may read the slot.
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+                    finish_thread(tid, &flat);
+                })
+                .expect("spawn managed thread");
+            st.os_handles.push(os);
+        }
+        // Spawning is a scheduling point: the child may run before we do.
+        yield_point();
+        JoinHandle::Managed { tid, result }
+    }
+
+    /// Waits until the scheduler hands `tid` the CPU for the first time.
+    /// Returns false if the run was poisoned before that happened.
+    fn block_until_scheduled(tid: usize) -> bool {
+        let s = sched();
+        let mut g = s.state.lock().unwrap();
+        loop {
+            match g.as_ref() {
+                None => return false,
+                Some(st) if st.poisoned => return false,
+                Some(st) if st.current == tid => return true,
+                Some(_) => {}
+            }
+            g = s.cv.wait(g).unwrap();
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread. Inside a model run this blocks the caller in
+        /// the scheduler (never spins) until the target finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self {
+                JoinHandle::Os(h) => h.join(),
+                JoinHandle::Managed { tid, result } => {
+                    let me = TID.with(Cell::get).expect("join on a managed thread");
+                    let s = sched();
+                    let mut g = s.state.lock().unwrap();
+                    loop {
+                        let st = g.as_mut().expect("state alive");
+                        if st.poisoned {
+                            drop(g);
+                            resume_unwind(Box::new(Teardown));
+                        }
+                        if st.states[tid] == Run::Finished && st.current == me {
+                            break;
+                        }
+                        if st.current == me && st.states[tid] != Run::Finished {
+                            // Target still running: block on it and hand the
+                            // CPU over (a scheduling point). Re-check state
+                            // before sleeping: the hand-off itself may have
+                            // poisoned the run (deadlock detection).
+                            st.states[me] = Run::Blocked(tid);
+                            schedule_next(st, me, false);
+                            s.cv.notify_all();
+                            continue;
+                        }
+                        g = s.cv.wait(g).unwrap();
+                    }
+                    drop(g);
+                    result
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .expect("joined thread stored its result")
+                }
+            }
+        }
+    }
+
+    /// A bare scheduling point.
+    pub fn yield_now() {
+        yield_point();
+    }
+}
+
+pub mod hint {
+    /// Spin-loop hint: a scheduling point inside a model (so spin loops make
+    /// progress under the cooperative scheduler), a real hint outside one.
+    pub fn spin_loop() {
+        super::yield_point();
+        std::hint::spin_loop();
+    }
+}
+
+pub mod sync {
+    //! Instrumented `std::sync` subset.
+
+    pub mod atomic {
+        //! Atomics whose every operation is a scheduling point inside a
+        //! model run. All orderings are accepted and all behave as `SeqCst`
+        //! (the stub explores interleavings, not weak-memory reorderings).
+
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        use crate::yield_point;
+
+        macro_rules! atomic_int {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Instrumented integer atomic (see module docs).
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic with `v`.
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Loads the value (scheduling point).
+                    pub fn load(&self, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.load(SeqCst)
+                    }
+
+                    /// Stores `v` (scheduling point).
+                    pub fn store(&self, v: $int, _: Ordering) {
+                        yield_point();
+                        self.0.store(v, SeqCst)
+                    }
+
+                    /// Swaps in `v` (scheduling point).
+                    pub fn swap(&self, v: $int, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.swap(v, SeqCst)
+                    }
+
+                    /// Strong compare-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        _: Ordering,
+                        _: Ordering,
+                    ) -> Result<$int, $int> {
+                        yield_point();
+                        self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                    }
+
+                    /// Weak compare-exchange; never fails spuriously here
+                    /// (deterministic exploration needs deterministic CAS).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Adds `v`, returning the previous value (scheduling
+                    /// point).
+                    pub fn fetch_add(&self, v: $int, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.fetch_add(v, SeqCst)
+                    }
+
+                    /// Subtracts `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_sub(&self, v: $int, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.fetch_sub(v, SeqCst)
+                    }
+
+                    /// Bitwise-ors `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_or(&self, v: $int, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.fetch_or(v, SeqCst)
+                    }
+
+                    /// Bitwise-ands `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_and(&self, v: $int, _: Ordering) -> $int {
+                        yield_point();
+                        self.0.fetch_and(v, SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Instrumented boolean atomic (see module docs).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic with `v`.
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value (scheduling point).
+            pub fn load(&self, _: Ordering) -> bool {
+                yield_point();
+                self.0.load(SeqCst)
+            }
+
+            /// Stores `v` (scheduling point).
+            pub fn store(&self, v: bool, _: Ordering) {
+                yield_point();
+                self.0.store(v, SeqCst)
+            }
+
+            /// Swaps in `v` (scheduling point).
+            pub fn swap(&self, v: bool, _: Ordering) -> bool {
+                yield_point();
+                self.0.swap(v, SeqCst)
+            }
+
+            /// Strong compare-exchange (scheduling point).
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                _: Ordering,
+                _: Ordering,
+            ) -> Result<bool, bool> {
+                yield_point();
+                self.0.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
+
+        /// Instrumented pointer atomic (see module docs).
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                Self::new(std::ptr::null_mut())
+            }
+        }
+
+        impl<T> AtomicPtr<T> {
+            /// Creates a new atomic holding `p`.
+            pub const fn new(p: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            /// Loads the pointer (scheduling point).
+            pub fn load(&self, _: Ordering) -> *mut T {
+                yield_point();
+                self.0.load(SeqCst)
+            }
+
+            /// Loads the pointer *without* a scheduling point (stub
+            /// extension, akin to loom's `unsync_load`). For bulk scans
+            /// where observing a slot adds nothing to the interleaving
+            /// space — e.g. walking hundreds of null radix slots — and the
+            /// caller re-inspects any hit through instrumented operations.
+            pub fn load_raw(&self) -> *mut T {
+                self.0.load(SeqCst)
+            }
+
+            /// Stores `p` (scheduling point).
+            pub fn store(&self, p: *mut T, _: Ordering) {
+                yield_point();
+                self.0.store(p, SeqCst)
+            }
+
+            /// Swaps in `p` (scheduling point).
+            pub fn swap(&self, p: *mut T, _: Ordering) -> *mut T {
+                yield_point();
+                self.0.swap(p, SeqCst)
+            }
+
+            /// Strong compare-exchange (scheduling point).
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                _: Ordering,
+                _: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                yield_point();
+                self.0.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
+
+        /// Instrumented fence: a pure scheduling point.
+        pub fn fence(_: Ordering) {
+            yield_point();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_model_runs_once_per_schedule() {
+        let hits = Arc::new(std::sync::Mutex::new(0usize));
+        let h = Arc::clone(&hits);
+        model(move || {
+            *h.lock().unwrap() += 1;
+        });
+        // No scheduling decisions with >1 choice: exactly one schedule.
+        assert_eq!(*hits.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn atomic_increments_from_two_threads_always_sum() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn lost_update_is_found() {
+        // The canonical naive read-then-write bug: two increments built from
+        // separate load and store can lose one update under the right
+        // interleaving. The checker must find such a schedule.
+        let violated = model_finds_violation(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2, "an update was lost");
+        });
+        assert!(violated, "the naive increment race must be caught");
+    }
+
+    #[test]
+    fn cas_retry_loop_never_loses_updates() {
+        // The fix for the bug above: a CAS retry loop. No schedule fails.
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let bump = |n: &AtomicU64| loop {
+                let v = n.load(Ordering::SeqCst);
+                if n.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+            };
+            let t = thread::spawn(move || bump(&n2));
+            bump(&n);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn join_blocks_until_child_finishes() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.store(7, Ordering::SeqCst);
+                11u64
+            });
+            assert_eq!(t.join().unwrap(), 11);
+            assert_eq!(n.load(Ordering::SeqCst), 7);
+        });
+    }
+
+    #[test]
+    fn passthrough_outside_model() {
+        // Unmanaged threads use the raw std primitives: plain concurrent use
+        // must work exactly as with std atomics.
+        let n = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let n = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 400);
+    }
+}
