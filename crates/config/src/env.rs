@@ -14,6 +14,10 @@
 //! | `VMSIM_PROFILE`   | Phase profiler: `on`/`1`, `off`/`0` (default)       |
 //! | `VMSIM_HEARTBEAT_OPS` | Heartbeat cadence in machine ops (positive)     |
 //! | `VMSIM_GUEST_THREADS` | Simulated guest threads per workload (1..=64)   |
+//! | `VMSIM_SERVE_BIND` | `vmsim serve` endpoint: loopback `host:port` or `unix:<path>` |
+//! | `VMSIM_SERVE_QUEUE` | `vmsim serve` admission-queue depth (1..=4096)    |
+//! | `VMSIM_SERVE_DRAIN_MS` | `vmsim serve` graceful-drain timeout (positive) |
+//! | `VMSIM_SERVE_DEADLINE_MS` | `vmsim serve` per-job deadline (positive)    |
 //!
 //! `PTEMAGNET_OPS` is kept as a **deprecated alias** for `VMSIM_OPS` and
 //! warns once per process on use.
@@ -53,6 +57,72 @@ pub const VAR_GUEST_THREADS: &str = "VMSIM_GUEST_THREADS";
 /// Upper bound on simulated guest threads (manifest `threads` key and
 /// [`VAR_GUEST_THREADS`] alike — kept in sync with manifest validation).
 pub const MAX_GUEST_THREADS: u32 = 64;
+
+/// `vmsim serve` bind endpoint: a loopback `host:port` TCP address or a
+/// `unix:<path>` Unix-domain socket path.
+pub const VAR_SERVE_BIND: &str = "VMSIM_SERVE_BIND";
+/// `vmsim serve` admission-queue depth (jobs queued beyond the one
+/// executing before the server answers `overloaded`).
+pub const VAR_SERVE_QUEUE: &str = "VMSIM_SERVE_QUEUE";
+/// `vmsim serve` graceful-drain timeout in milliseconds (how long SIGTERM
+/// waits for in-flight work before giving up with a nonzero exit).
+pub const VAR_SERVE_DRAIN_MS: &str = "VMSIM_SERVE_DRAIN_MS";
+/// `vmsim serve` per-job deadline in milliseconds, enforced through the
+/// supervisor's per-cell soft-wall budget (unset = no deadline).
+pub const VAR_SERVE_DEADLINE_MS: &str = "VMSIM_SERVE_DEADLINE_MS";
+
+/// Default [`VAR_SERVE_QUEUE`] depth.
+pub const DEFAULT_SERVE_QUEUE: usize = 8;
+/// Upper bound on [`VAR_SERVE_QUEUE`] (the queue is bounded by design;
+/// beyond this the server should shed load, not buffer it).
+pub const MAX_SERVE_QUEUE: usize = 4096;
+/// Default [`VAR_SERVE_DRAIN_MS`] timeout.
+pub const DEFAULT_SERVE_DRAIN_MS: u64 = 30_000;
+/// Default [`VAR_SERVE_BIND`] endpoint (loopback, fixed port).
+pub const DEFAULT_SERVE_BIND: &str = "127.0.0.1:7171";
+
+/// Where `vmsim serve` listens: strictly local by construction — either a
+/// loopback TCP address or a Unix-domain socket path. Parsed from
+/// [`VAR_SERVE_BIND`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeBind {
+    /// A loopback TCP socket address (port 0 = ephemeral).
+    Tcp(std::net::SocketAddr),
+    /// A Unix-domain socket path (`unix:<path>`).
+    Unix(std::path::PathBuf),
+}
+
+impl ServeBind {
+    /// Parses a bind spec: `unix:<path>` or a loopback `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason for a malformed or non-loopback spec.
+    pub fn parse(value: &str) -> Result<ServeBind, &'static str> {
+        if let Some(path) = value.strip_prefix("unix:") {
+            if path.trim().is_empty() {
+                return Err("unix: prefix needs a socket path");
+            }
+            return Ok(ServeBind::Unix(std::path::PathBuf::from(path)));
+        }
+        let addr: std::net::SocketAddr = value
+            .parse()
+            .map_err(|_| "expected host:port (e.g. 127.0.0.1:7171) or unix:<path>")?;
+        if !addr.ip().is_loopback() {
+            return Err("serve binds loopback only (use 127.0.0.1 or [::1])");
+        }
+        Ok(ServeBind::Tcp(addr))
+    }
+}
+
+impl core::fmt::Display for ServeBind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeBind::Tcp(addr) => write!(f, "{addr}"),
+            ServeBind::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
 
 /// A deliberate failure injected into the supervised runtime for drills:
 /// cell `cell` panics on its first `fail_attempts` attempts. Parsed from
@@ -395,6 +465,98 @@ pub fn guest_threads() -> Result<Option<u32>, EnvError> {
     }
 }
 
+/// Serve bind endpoint: `VMSIM_SERVE_BIND`. `None` = the built-in default
+/// ([`DEFAULT_SERVE_BIND`]); `vmsim serve --bind` overrides both.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a loopback
+/// `host:port` address or a `unix:<path>` spec.
+pub fn serve_bind() -> Result<Option<ServeBind>, EnvError> {
+    match raw(VAR_SERVE_BIND) {
+        None => Ok(None),
+        Some(v) => ServeBind::parse(&v).map(Some).map_err(|reason| EnvError {
+            var: VAR_SERVE_BIND,
+            value: v,
+            reason,
+        }),
+    }
+}
+
+/// Serve admission-queue depth: `VMSIM_SERVE_QUEUE`. `None` = the default
+/// ([`DEFAULT_SERVE_QUEUE`]). The queue is bounded by design: a submit
+/// that would exceed the depth gets a typed `overloaded` rejection.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not an integer in
+/// `1..=4096`.
+pub fn serve_queue() -> Result<Option<usize>, EnvError> {
+    let Some(v) = raw(VAR_SERVE_QUEUE) else {
+        return Ok(None);
+    };
+    match v.parse::<usize>() {
+        Ok(n) if (1..=MAX_SERVE_QUEUE).contains(&n) => Ok(Some(n)),
+        Ok(_) => Err(EnvError {
+            var: VAR_SERVE_QUEUE,
+            value: v,
+            reason: "queue depth must be in 1..=4096",
+        }),
+        Err(_) => Err(EnvError {
+            var: VAR_SERVE_QUEUE,
+            value: v,
+            reason: "expected a queue depth in 1..=4096",
+        }),
+    }
+}
+
+/// Serve graceful-drain timeout: `VMSIM_SERVE_DRAIN_MS`. `None` = the
+/// default ([`DEFAULT_SERVE_DRAIN_MS`]).
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a positive integer.
+pub fn serve_drain_ms() -> Result<Option<u64>, EnvError> {
+    match raw(VAR_SERVE_DRAIN_MS) {
+        None => Ok(None),
+        Some(v) => {
+            let n = parse_u64(VAR_SERVE_DRAIN_MS, v.clone())?;
+            if n == 0 {
+                return Err(EnvError {
+                    var: VAR_SERVE_DRAIN_MS,
+                    value: v,
+                    reason: "drain timeout must be positive",
+                });
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Serve per-job deadline: `VMSIM_SERVE_DEADLINE_MS`. `None` = no
+/// deadline. Enforced through the supervisor's per-cell soft-wall budget,
+/// so a stuck cell is truncated/quarantined rather than wedging the server.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] if the variable is set but not a positive integer.
+pub fn serve_deadline_ms() -> Result<Option<u64>, EnvError> {
+    match raw(VAR_SERVE_DEADLINE_MS) {
+        None => Ok(None),
+        Some(v) => {
+            let n = parse_u64(VAR_SERVE_DEADLINE_MS, v.clone())?;
+            if n == 0 {
+                return Err(EnvError {
+                    var: VAR_SERVE_DEADLINE_MS,
+                    value: v,
+                    reason: "job deadline must be positive (unset = none)",
+                });
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 /// Validates every recognized override, returning all errors (empty =
 /// clean environment). `vmsim validate` prints these.
 pub fn check() -> Vec<EnvError> {
@@ -424,6 +586,18 @@ pub fn check() -> Vec<EnvError> {
         errors.push(e);
     }
     if let Err(e) = guest_threads() {
+        errors.push(e);
+    }
+    if let Err(e) = serve_bind() {
+        errors.push(e);
+    }
+    if let Err(e) = serve_queue() {
+        errors.push(e);
+    }
+    if let Err(e) = serve_drain_ms() {
+        errors.push(e);
+    }
+    if let Err(e) = serve_deadline_ms() {
         errors.push(e);
     }
     errors
@@ -555,9 +729,53 @@ mod tests {
             assert!(guest_threads().is_err(), "{bad:?} must be rejected");
         }
 
+        // Serve bind: loopback TCP or unix:<path>, strictly local.
+        assert_eq!(serve_bind(), Ok(None));
+        std::env::set_var(VAR_SERVE_BIND, "127.0.0.1:0");
+        assert_eq!(
+            serve_bind(),
+            Ok(Some(ServeBind::Tcp("127.0.0.1:0".parse().unwrap())))
+        );
+        std::env::set_var(VAR_SERVE_BIND, "unix:/tmp/vmsim.sock");
+        assert_eq!(
+            serve_bind(),
+            Ok(Some(ServeBind::Unix(std::path::PathBuf::from(
+                "/tmp/vmsim.sock"
+            ))))
+        );
+        for bad in ["8080", "example.com:80", "0.0.0.0:7171", "unix:", "unix:  "] {
+            std::env::set_var(VAR_SERVE_BIND, bad);
+            assert!(serve_bind().is_err(), "{bad:?} must be rejected");
+        }
+
+        // Serve queue depth: bounded 1..=4096.
+        assert_eq!(serve_queue(), Ok(None));
+        std::env::set_var(VAR_SERVE_QUEUE, "32");
+        assert_eq!(serve_queue(), Ok(Some(32)));
+        for bad in ["0", "4097", "lots"] {
+            std::env::set_var(VAR_SERVE_QUEUE, bad);
+            assert!(serve_queue().is_err(), "{bad:?} must be rejected");
+        }
+
+        // Serve drain timeout and job deadline: positive milliseconds.
+        assert_eq!(serve_drain_ms(), Ok(None));
+        std::env::set_var(VAR_SERVE_DRAIN_MS, "5000");
+        assert_eq!(serve_drain_ms(), Ok(Some(5000)));
+        for bad in ["0", "forever"] {
+            std::env::set_var(VAR_SERVE_DRAIN_MS, bad);
+            assert!(serve_drain_ms().is_err(), "{bad:?} must be rejected");
+        }
+        assert_eq!(serve_deadline_ms(), Ok(None));
+        std::env::set_var(VAR_SERVE_DEADLINE_MS, "60000");
+        assert_eq!(serve_deadline_ms(), Ok(Some(60000)));
+        for bad in ["0", "-5", "soon"] {
+            std::env::set_var(VAR_SERVE_DEADLINE_MS, bad);
+            assert!(serve_deadline_ms().is_err(), "{bad:?} must be rejected");
+        }
+
         // check() reports every malformed variable at once.
         let errors = check();
-        assert_eq!(errors.len(), 9);
+        assert_eq!(errors.len(), 13);
         for var in [
             VAR_OPS,
             VAR_THREADS,
@@ -568,6 +786,10 @@ mod tests {
             VAR_PROFILE,
             VAR_HEARTBEAT_OPS,
             VAR_GUEST_THREADS,
+            VAR_SERVE_BIND,
+            VAR_SERVE_QUEUE,
+            VAR_SERVE_DRAIN_MS,
+            VAR_SERVE_DEADLINE_MS,
         ] {
             assert!(errors.iter().any(|e| e.var == var), "{var} reported");
         }
@@ -583,6 +805,10 @@ mod tests {
             VAR_PROFILE,
             VAR_HEARTBEAT_OPS,
             VAR_GUEST_THREADS,
+            VAR_SERVE_BIND,
+            VAR_SERVE_QUEUE,
+            VAR_SERVE_DRAIN_MS,
+            VAR_SERVE_DEADLINE_MS,
         ] {
             std::env::remove_var(var);
         }

@@ -25,7 +25,7 @@ pub mod env;
 pub mod manifest;
 pub mod obs;
 
-pub use env::{ChaosPlan, EnvError};
+pub use env::{ChaosPlan, EnvError, ServeBind};
 pub use manifest::{
     ExperimentManifest, ExperimentSpec, ManifestError, MatrixSpec, PolicySpec, ReportKind,
     SimConfig, SupervisorSpec, VmsSpec, WorkloadSpec,

@@ -202,6 +202,24 @@ impl Snapshot {
         out
     }
 
+    /// Render one `group.`-prefixed gauge group as a flat JSON object
+    /// with the prefix stripped: `{"accepted": 3, "queue_depth": 1}`.
+    /// Lets a hand-built JSON line embed a single group (the serve
+    /// health probe reports the `serve.*` gauges this way).
+    pub fn group_json(&self, prefix: &str) -> String {
+        let mut out = String::from("{");
+        for (i, m) in self.group(prefix).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, &m.name[prefix.len() + 1..]);
+            out.push_str(": ");
+            m.value.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
     /// CSV header (`op` first, then metric names in sorted order).
     pub fn csv_header(&self) -> String {
         let mut out = String::from("op");

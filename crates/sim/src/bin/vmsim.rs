@@ -3,6 +3,10 @@
 //! ```text
 //! vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL]
 //!           [--progress FILE]
+//! vmsim serve [--out DIR]
+//! vmsim submit <manifest.json|builtin-name> [--addr ADDR|--addr-file FILE]
+//!              [--no-wait]
+//! vmsim submit (--health|--status|--drain) [--addr ADDR|--addr-file FILE]
 //! vmsim perf [--check] [--out FILE]
 //! vmsim list
 //! vmsim validate <manifest.json>...
@@ -22,6 +26,18 @@
 //! one-line stderr summary per beat. The stream is wall-clock telemetry
 //! only: results are bit-identical with and without it. Cadence is
 //! deterministic in op space (`VMSIM_HEARTBEAT_OPS` ops between beats).
+//!
+//! `serve` runs the resident experiment server (`vmsim_sim::serve`): a
+//! bounded admission queue, journal-backed crash recovery, a
+//! content-addressed result cache, and graceful drain on SIGTERM or the
+//! `drain` op. Configuration comes from the strict `VMSIM_SERVE_*` knobs
+//! (bind endpoint, queue depth, drain budget, per-job deadline); the
+//! actual bound address is advertised in `DIR/serve.addr`. `submit` is the
+//! matching client: it sends one manifest (applying the same env
+//! overrides `run` would) and by default streams status lines until the
+//! job finishes, exiting with the job's own `run`-style code — or `4`
+//! when the server refuses (overloaded, draining, journal unavailable) or
+//! defers the job. `--health`/`--status`/`--drain` send bare probe ops.
 //!
 //! `perf` runs the pinned bench-core cells and appends a stamped entry to
 //! the checked-in perf trajectory (`BENCH_trajectory.json`); `--check`
@@ -51,7 +67,8 @@
 //! `VMSIM_TRACE` / `VMSIM_EPOCH_OPS` (force observability on), and
 //! `VMSIM_CHAOS_CELL` (`i` or `i:k`: deterministically panic matrix cell
 //! `i`, every attempt or only the first `k` — the supervised-runtime
-//! failure drill).
+//! failure drill), and the `VMSIM_SERVE_*` group (`_BIND`, `_QUEUE`,
+//! `_DRAIN_MS`, `_DEADLINE_MS`) for `serve`/`submit`.
 //!
 //! `validate` checks manifest shape, resolves every policy against the
 //! registry, and reports malformed `VMSIM_*` environment values. `emit`
@@ -63,12 +80,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vmsim_config::{builtin, env, ChaosPlan, ExperimentManifest, ExperimentSpec, ObsConfig};
-use vmsim_obs::{json, PhaseProfile};
 use vmsim_sim::driver::{self, Supervisor};
-use vmsim_sim::{Journal, Progress};
+use vmsim_sim::{artifacts, serve, Journal, Progress};
 
 const USAGE: &str = "usage:
   vmsim run <manifest.json|builtin-name>... [--out DIR] [--resume JOURNAL] [--progress FILE]
+  vmsim serve [--out DIR]
+  vmsim submit <manifest.json|builtin-name> [--addr ADDR|--addr-file FILE] [--no-wait]
+  vmsim submit (--health|--status|--drain) [--addr ADDR|--addr-file FILE]
   vmsim perf [--check] [--out FILE]
   vmsim list
   vmsim validate <manifest.json>...
@@ -81,6 +100,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("perf") => vmsim_sim::perf::cmd_perf(&args[1..]),
         Some("list") => cmd_list(),
         Some("validate") => cmd_validate(&args[1..]),
@@ -297,127 +318,13 @@ fn run_one(
     print!("{}", run.report());
     stats.quarantined = run.supervision.quarantined;
 
-    let results_path = out_dir.join(format!("{}.json", manifest.name));
-    let artifact = run.results_json();
-    if let Err(e) = std::fs::write(&results_path, &artifact) {
-        eprintln!("FAIL {}: cannot write: {e}", results_path.display());
-        stats.artifact_failures += 1;
-    } else {
-        match json::parse(&artifact) {
-            Ok(doc) => {
-                let runs = doc
-                    .get("runs")
-                    .and_then(|r| r.as_arr())
-                    .map_or(0, <[_]>::len);
-                eprintln!(
-                    "vmsim: wrote {} ({} runs, {:.1}s)",
-                    results_path.display(),
-                    runs,
-                    t0.elapsed().as_secs_f64()
-                );
-            }
-            Err(e) => {
-                eprintln!("FAIL {}: {e:?}", results_path.display());
-                stats.artifact_failures += 1;
-            }
-        }
-    }
+    // The artifact writer is shared with `vmsim serve` — one code path, so
+    // served and recovered jobs emit byte-identical files.
+    let set = artifacts::write_all(&run, out_dir, t0.elapsed().as_secs_f64(), &mut |line| {
+        eprintln!("{line}");
+    });
+    stats.artifact_failures += set.failures;
 
-    if manifest.obs.is_enabled() {
-        // Profiles exist only on freshly executed cells (the journal does
-        // not persist them); the folded artifact merges every profiled
-        // cell into one flamegraph-ready file.
-        let mut merged: Option<PhaseProfile> = None;
-        for cell in &run.cells {
-            if let Some(profile) = cell.observed().and_then(|o| o.profile.as_ref()) {
-                let i = cell.index;
-                let path = out_dir.join(format!("profile_{}_{i}.json", manifest.name));
-                let mut text = profile.to_json();
-                text.push('\n');
-                if let Err(e) = std::fs::write(&path, &text) {
-                    eprintln!("FAIL {}: cannot write: {e}", path.display());
-                    stats.artifact_failures += 1;
-                } else if let Err(e) = json::parse(&text) {
-                    eprintln!("FAIL {}: {e:?}", path.display());
-                    stats.artifact_failures += 1;
-                }
-                match merged.as_mut() {
-                    None => merged = Some(profile.clone()),
-                    Some(m) => {
-                        m.total_wall_ns += profile.total_wall_ns;
-                        for (acc, t) in m.phases.iter_mut().zip(&profile.phases) {
-                            acc.wall_ns += t.wall_ns;
-                            acc.cycles += t.cycles;
-                            acc.enters += t.enters;
-                        }
-                    }
-                }
-            }
-        }
-        if let Some(m) = &merged {
-            let path = out_dir.join(format!("profile_{}.folded", manifest.name));
-            if let Err(e) = std::fs::write(&path, m.to_folded()) {
-                eprintln!("FAIL {}: cannot write: {e}", path.display());
-                stats.artifact_failures += 1;
-            } else {
-                eprintln!(
-                    "vmsim: wrote {} ({:.1}% of wall time attributed)",
-                    path.display(),
-                    m.attributed_fraction() * 100.0
-                );
-            }
-        }
-        for cell in &run.cells {
-            let (Some(jsonl), Some(csv)) = (cell.events_jsonl(), cell.series_csv()) else {
-                continue; // quarantined: no artifacts to write
-            };
-            let i = cell.index;
-            let trace_path = out_dir.join(format!("trace_{}_{i}.jsonl", manifest.name));
-            if let Err(e) = std::fs::write(&trace_path, &jsonl) {
-                eprintln!("FAIL {}: cannot write: {e}", trace_path.display());
-                stats.artifact_failures += 1;
-            } else {
-                for (n, line) in jsonl.lines().enumerate() {
-                    if let Err(e) = json::parse(line) {
-                        eprintln!(
-                            "FAIL {}: line {} unparseable: {e:?}",
-                            trace_path.display(),
-                            n + 1
-                        );
-                        stats.artifact_failures += 1;
-                    }
-                }
-            }
-            let series_path = out_dir.join(format!("series_{}_{i}.csv", manifest.name));
-            if let Err(e) = std::fs::write(&series_path, &csv) {
-                eprintln!("FAIL {}: cannot write: {e}", series_path.display());
-                stats.artifact_failures += 1;
-            }
-            // Fresh cells also verify the series' JSON rendering (replayed
-            // cells were verified when they originally ran).
-            if let Some(observed) = cell.observed() {
-                if let Err(e) = json::parse(&observed.series.to_json()) {
-                    eprintln!("FAIL series {}_{i}: {e:?}", manifest.name);
-                    stats.artifact_failures += 1;
-                }
-            }
-        }
-    }
-
-    // The supervisor trace exists only when something degraded the run, so
-    // a clean (or cleanly resumed) run's artifact set is unchanged.
-    if !run.supervision.is_clean() && !run.supervisor_events.is_empty() {
-        let mut jsonl = String::new();
-        for event in &run.supervisor_events {
-            jsonl.push_str(&event.to_json());
-            jsonl.push('\n');
-        }
-        let path = out_dir.join(format!("trace_{}_supervisor.jsonl", manifest.name));
-        if let Err(e) = std::fs::write(&path, &jsonl) {
-            eprintln!("FAIL {}: cannot write: {e}", path.display());
-            stats.artifact_failures += 1;
-        }
-    }
     if !run.supervision.is_clean() {
         let sv = &run.supervision;
         eprintln!(
@@ -430,10 +337,163 @@ fn run_one(
         stats.artifact_failures += 1;
     }
     if let Some(err) = progress.as_ref().and_then(Progress::io_error) {
-        eprintln!("FAIL progress: {err}");
+        // A latched telemetry error never interrupts the run, but it must
+        // not stay silent either: report the first error, how many lines
+        // the stream lost, and count it as an artifact failure.
+        let lost = progress.as_ref().map_or(0, |p| p.io_errors());
+        eprintln!("FAIL progress: {err} ({lost} telemetry line(s) lost)");
         stats.artifact_failures += 1;
     }
     Ok(stats)
+}
+
+/// `vmsim serve`: bring up the resident job server (see
+/// `vmsim_sim::serve`). Knobs come from the strict `VMSIM_SERVE_*`
+/// environment; a malformed value is exit 2, a bind/setup failure exit 1,
+/// and the server's own drain outcome decides the rest.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("vmsim serve: --out needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("vmsim serve: unknown argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let config = match serve::ServeConfig::from_env(&out_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vmsim serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    serve::install_sigterm_handler();
+    let server = match serve::Server::new(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vmsim serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "vmsim serve: listening on {} (queue {}, {} job(s) recovered)",
+        server.addr(),
+        config.queue_depth,
+        server.recovered()
+    );
+    ExitCode::from(server.run())
+}
+
+/// `vmsim submit`: client side of the serve line protocol. Submits one
+/// manifest (waiting for its result by default) or sends a bare
+/// health/status/drain probe.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut wait = true;
+    let mut probe: Option<&str> = None;
+    let mut sources: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => {
+                    eprintln!("vmsim submit: --addr needs an address\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--addr-file" => match it.next() {
+                Some(f) => addr_file = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("vmsim submit: --addr-file needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-wait" => wait = false,
+            "--health" => probe = Some("health"),
+            "--status" => probe = Some("status"),
+            "--drain" => probe = Some("drain"),
+            _ => sources.push(arg),
+        }
+    }
+
+    // Address resolution: --addr, else --addr-file (the server's
+    // serve.addr endpoint file), else VMSIM_SERVE_BIND, else the default.
+    let addr_text = match (addr, addr_file) {
+        (Some(a), _) => a,
+        (None, Some(file)) => match std::fs::read_to_string(&file) {
+            Ok(text) => text.trim().to_string(),
+            Err(e) => {
+                eprintln!("vmsim submit: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        },
+        (None, None) => match env::serve_bind() {
+            Ok(Some(bind)) => bind.to_string(),
+            Ok(None) => env::DEFAULT_SERVE_BIND.to_string(),
+            Err(e) => {
+                eprintln!("vmsim submit: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let bind = match vmsim_config::ServeBind::parse(&addr_text) {
+        Ok(b) => b,
+        Err(reason) => {
+            eprintln!("vmsim submit: {addr_text}: {reason}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(op) = probe {
+        if !sources.is_empty() {
+            eprintln!("vmsim submit: --{op} takes no manifest\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        return match serve::client_request(&bind, op) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vmsim submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let [source] = sources[..] else {
+        eprintln!("vmsim submit: exactly one manifest\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    // The documented env overrides (VMSIM_OPS, VMSIM_GUEST_THREADS, obs
+    // knobs) are applied client-side before sending, exactly as `vmsim
+    // run` would: the server executes what was sent, and the content
+    // address reflects what will actually run.
+    let text = match load(source) {
+        Ok(mut manifest) => {
+            if let Err(e) = apply_env(&mut manifest) {
+                eprintln!("vmsim submit: {e}");
+                return ExitCode::from(2);
+            }
+            manifest.to_json()
+        }
+        Err(msg) => {
+            eprintln!("vmsim submit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    ExitCode::from(serve::client_submit(&bind, &text, wait))
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {

@@ -11,19 +11,24 @@
 //! File format (JSON Lines):
 //!
 //! ```text
-//! {"journal": 1, "name": "<manifest name>", "manifest_hash": "<16 hex>"}
+//! {"journal": 2, "name": "<manifest name>", "manifest_hash": "<16 hex>"}
 //! {"key": "<16 hex>", "cell": N, "attempts": N, "truncated": B,
 //!  "run": {<run object, exactly as results JSON emits it>},
-//!  "events": "<trace JSONL>", "series": "<epoch CSV>"}
+//!  "events": "<trace JSONL>", "series": "<epoch CSV>", "crc": "<16 hex>"}
 //! ```
 //!
 //! A process killed mid-append leaves a partial last line; [`Journal::resume`]
 //! keeps every parseable entry, drops the corrupt tail, and rewrites the
-//! file so subsequent appends never extend a truncated line. Only
-//! *successful* cells are journaled — quarantined cells are retried on the
-//! next run. Numbers ride through the shared `vmsim_obs::json` parser
-//! (f64-backed), so metric values must stay below 2^53; every simulator
-//! counter does by a wide margin.
+//! file so subsequent appends never extend a truncated line. Every entry
+//! line carries a trailing FNV-1a checksum over its own payload (format
+//! version 2): a *parseable but tampered* line — a flipped digit inside a
+//! metric, say — fails the checksum and is dropped with the tail rather
+//! than replayed into wrong artifact bytes. The dropped cells simply
+//! re-execute, and determinism makes the merged output byte-identical to
+//! an uninterrupted run either way. Only *successful* cells are journaled —
+//! quarantined cells are retried on the next run. Numbers ride through the
+//! shared `vmsim_obs::json` parser (f64-backed), so metric values must
+//! stay below 2^53; every simulator counter does by a wide margin.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -39,8 +44,10 @@ use vmsim_types::RunError;
 use crate::obs::ObservedRun;
 use crate::scenario::RunMetrics;
 
-/// Journal format version (the header's `"journal"` field).
-pub const JOURNAL_VERSION: u64 = 1;
+/// Journal format version (the header's `"journal"` field). Version 2
+/// added the per-entry `"crc"` checksum; version-1 journals are rejected
+/// on resume (their entries carry no integrity proof).
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// FNV-1a 64-bit hash, the journal's content-hash primitive.
 #[must_use]
@@ -169,13 +176,19 @@ impl Journal {
             ));
         }
 
-        // Keep the raw text of every parseable entry; stop at the first
-        // malformed line (a killed writer's partial tail).
+        // Keep the raw text of every checksummed, parseable entry; stop at
+        // the first malformed or tampered line (a killed writer's partial
+        // tail, or on-disk corruption).
         let mut entries = HashMap::new();
         let mut kept = header(&manifest.name, hash);
         let mut dropped = false;
         for line in lines {
-            match json::parse(line).ok().and_then(|doc| parse_entry(&doc)) {
+            let valid = if entry_crc_valid(line) {
+                json::parse(line).ok().and_then(|doc| parse_entry(&doc))
+            } else {
+                None
+            };
+            match valid {
                 Some((key, entry)) => {
                     entries.insert(key, entry);
                     kept.push_str(line);
@@ -256,7 +269,12 @@ impl Journal {
         json::write_str(&mut line, &run.events_jsonl());
         line.push_str(", \"series\": ");
         json::write_str(&mut line, &run.series.to_csv());
-        line.push_str("}\n");
+        // Seal the entry with a checksum over everything before the crc
+        // field, so resume can tell a tampered-but-parseable line from a
+        // genuine one.
+        let crc = fnv1a(line.as_bytes());
+        let _ = write!(line, ", \"crc\": \"{crc:016x}\"}}");
+        line.push('\n');
 
         let mut sink = self.sink.lock().expect("journal sink poisoned");
         if sink.error.is_some() {
@@ -289,6 +307,28 @@ fn header(name: &str, hash: u64) -> String {
     json::write_str(&mut out, name);
     let _ = writeln!(out, ", \"manifest_hash\": \"{hash:016x}\"}}");
     out
+}
+
+/// Verifies an entry line's trailing checksum. [`Journal::record`] always
+/// writes the crc field last in the fixed form `, "crc": "<16 hex>"}`, so
+/// validation is a suffix strip plus an FNV-1a over the rest — no JSON
+/// canonicalization needed.
+fn entry_crc_valid(line: &str) -> bool {
+    // `, "crc": "` + 16 hex digits + `"}` = 28 bytes.
+    const TAIL: usize = 28;
+    const MARKER: &str = ", \"crc\": \"";
+    if line.len() < TAIL || !line.ends_with("\"}") {
+        return false;
+    }
+    let split = line.len() - TAIL;
+    if !line.is_char_boundary(split) || !line[split..].starts_with(MARKER) {
+        return false;
+    }
+    let hex = &line[split + MARKER.len()..line.len() - 2];
+    match u64::from_str_radix(hex, 16) {
+        Ok(recorded) => recorded == fnv1a(&line.as_bytes()[..split]),
+        Err(_) => false,
+    }
 }
 
 fn artifact(path: &Path, message: &str) -> RunError {
@@ -428,6 +468,33 @@ mod tests {
             "tail not dropped:\n{rewritten}"
         );
         assert!(rewritten.ends_with('\n'));
+    }
+
+    #[test]
+    fn tampered_entry_fails_its_checksum_and_is_dropped() {
+        let dir = scratch("tamper");
+        let path = dir.join("j.jsonl");
+        let manifest = builtin::smoke();
+        let run = smoke_cell();
+
+        let journal = Journal::create(&path, &manifest).expect("create");
+        journal.record(0, "gcc", "buddy", manifest.seeds[0], 1, &run);
+        drop(journal);
+
+        // Flip one digit inside the entry's metrics: the line still parses
+        // as JSON, but replaying it would emit wrong artifact bytes.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let idx = text.find("\"cycles\": ").expect("cycles field") + "\"cycles\": ".len();
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'9' { b'1' } else { b'9' };
+        std::fs::write(&path, &bytes).expect("write tampered");
+
+        let resumed = Journal::resume(&path, &manifest).expect("resume");
+        assert_eq!(
+            resumed.completed(),
+            0,
+            "a tampered entry must never be replayed"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! print!("{}", run.report());
 //! ```
 
+pub mod artifacts;
 mod colo;
 pub mod driver;
 pub mod engine;
@@ -61,6 +62,7 @@ pub mod perf;
 pub mod progress;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod stats;
 
 pub use driver::{
@@ -76,6 +78,7 @@ pub use experiments::{
 pub use journal::{Journal, JournalEntry};
 pub use obs::{ObsConfig, ObservedRun};
 pub use parallel::Parallelism;
-pub use progress::{Progress, Pulse, DEFAULT_HEARTBEAT_OPS};
+pub use progress::{Progress, ProgressStats, Pulse, DEFAULT_HEARTBEAT_OPS};
 pub use scenario::{AllocatorKind, CellBudget, RunMetrics, Scenario};
+pub use serve::{ServeConfig, ServeStats, Server};
 pub use stats::{Replication, Summary};

@@ -30,7 +30,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use vmsim_config::ExperimentManifest;
-use vmsim_obs::json;
+use vmsim_obs::{json, Metric, MetricSource};
 use vmsim_types::RunError;
 
 use crate::journal;
@@ -82,7 +82,32 @@ struct Pace {
 struct Sink {
     file: Option<File>,
     error: Option<String>,
+    /// Lines lost to the stream: the write that latched the error plus
+    /// every line dropped afterwards.
+    lost: u64,
     pace: HashMap<u64, Pace>,
+}
+
+/// What the heartbeat stream suffered over a run. Registers as the
+/// `progress.*` gauge group ([`MetricSource`]), so lost telemetry is
+/// visible in metric snapshots instead of silently latched.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgressStats {
+    /// Heartbeat/status lines lost to I/O errors (the failing write and
+    /// every drop after the latch).
+    pub io_errors: u64,
+    /// The first error the stream hit, if any.
+    pub error: Option<String>,
+}
+
+impl MetricSource for ProgressStats {
+    fn source_name(&self) -> &'static str {
+        "progress"
+    }
+
+    fn emit(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::u64("io_errors", self.io_errors));
+    }
 }
 
 /// An append-only heartbeat stream bound to one manifest.
@@ -90,7 +115,11 @@ struct Sink {
 /// Shared by reference across the worker pool (all mutable state behind
 /// one mutex, like the journal). I/O errors are latched: the first one is
 /// remembered and reported by [`Progress::io_error`], later writes are
-/// dropped silently — telemetry must never take down the run it watches.
+/// dropped — telemetry must never take down the run it watches. The loss
+/// is *not* silent: every dropped line is counted
+/// ([`Progress::io_errors`]) and exported as the `progress.io_errors`
+/// gauge via [`ProgressStats`], so the final run summary can report how
+/// much telemetry went missing.
 pub struct Progress {
     path: PathBuf,
     heartbeat_ops: u64,
@@ -121,6 +150,7 @@ impl Progress {
             sink: Mutex::new(Sink {
                 file: Some(file),
                 error: None,
+                lost: 0,
                 pace: HashMap::new(),
             }),
         })
@@ -223,16 +253,44 @@ impl Progress {
     pub fn io_error(&self) -> Option<String> {
         self.sink.lock().expect("progress lock").error.clone()
     }
+
+    /// Telemetry lines lost to I/O errors (0 on a healthy stream).
+    #[must_use]
+    pub fn io_errors(&self) -> u64 {
+        self.sink.lock().expect("progress lock").lost
+    }
+
+    /// Snapshot of the stream's error state for metric registration.
+    #[must_use]
+    pub fn stats(&self) -> ProgressStats {
+        let sink = self.sink.lock().expect("progress lock");
+        ProgressStats {
+            io_errors: sink.lost,
+            error: sink.error.clone(),
+        }
+    }
+
+    /// Replaces the sink with a read-only handle so the next write fails —
+    /// test hook for the error-latching path.
+    #[cfg(test)]
+    fn break_sink(&self) {
+        let mut sink = self.sink.lock().expect("progress lock");
+        sink.file = Some(File::open(&self.path).expect("reopen read-only"));
+    }
 }
 
 /// Appends `line`, latching the first error and disabling the stream.
+/// Every line lost — the failing write and every drop after the latch —
+/// is counted so the loss is reportable at the end of the run.
 fn write_line(sink: &mut Sink, path: &Path, line: &str) {
     let Some(file) = sink.file.as_mut() else {
+        sink.lost += 1;
         return;
     };
     if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
         sink.error = Some(format!("{}: append: {e}", path.display()));
         sink.file = None;
+        sink.lost += 1;
     }
 }
 
@@ -325,6 +383,43 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read stream");
         assert_eq!(text.lines().count(), 1, "only the fresh header remains");
         json::parse(text.lines().next().unwrap()).expect("header parses");
+    }
+
+    #[test]
+    fn io_errors_are_latched_counted_and_exported() {
+        let path = scratch("latch").join("p.jsonl");
+        let manifest = builtin::smoke();
+        let progress = Progress::create(&path, &manifest, 50).expect("create");
+        assert_eq!(progress.io_errors(), 0);
+        progress.break_sink();
+
+        let pulse = Pulse {
+            ops_done: 10,
+            ops_total: 100,
+            memo_hits: 0,
+            memo_misses: 10,
+        };
+        // First failing write latches the error and counts the lost line.
+        progress.heartbeat(0, "gcc", "default", 0, 1, &pulse);
+        let first = progress.io_error().expect("error latched");
+        assert_eq!(progress.io_errors(), 1);
+        // Later writes are dropped but still counted; the first error wins.
+        progress.heartbeat(0, "gcc", "default", 0, 1, &pulse);
+        progress.cell_status(0, "gcc", "default", 0, 1, "done");
+        assert_eq!(progress.io_errors(), 3);
+        assert_eq!(progress.io_error().as_deref(), Some(first.as_str()));
+
+        // The stats snapshot feeds the `progress.io_errors` gauge.
+        let stats = progress.stats();
+        assert_eq!(stats.io_errors, 3);
+        assert_eq!(stats.error.as_deref(), Some(first.as_str()));
+        let mut registry = vmsim_obs::Registry::new();
+        registry.record_as("progress", &stats);
+        let snap = registry.snapshot(0);
+        assert_eq!(
+            snap.get("progress.io_errors"),
+            Some(vmsim_obs::Value::U64(3))
+        );
     }
 
     #[test]

@@ -468,3 +468,81 @@ fn malformed_guest_threads_env_is_a_usage_error() {
         );
     }
 }
+
+#[test]
+fn malformed_serve_bind_env_is_a_usage_error() {
+    let dir = scratch("serve-bind-env");
+    // Non-loopback TCP, a bare word, and a port-less address: each must
+    // stop the server before it binds anything, naming the variable.
+    for bad in ["8.8.8.8:53", "nonsense", "127.0.0.1"] {
+        let out = vmsim_env(
+            &["serve", "--out", dir.to_str().expect("utf8 path")],
+            &[("VMSIM_SERVE_BIND", bad)],
+        );
+        assert_eq!(out.status.code(), Some(2), "VMSIM_SERVE_BIND={bad}");
+        assert!(
+            stderr_of(&out).contains("VMSIM_SERVE_BIND"),
+            "diagnostic names the variable (VMSIM_SERVE_BIND={bad})"
+        );
+    }
+}
+
+#[test]
+fn malformed_serve_queue_env_is_a_usage_error() {
+    let dir = scratch("serve-queue-env");
+    for bad in ["abc", "0", "4097", "-1", "2.5"] {
+        let out = vmsim_env(
+            &["serve", "--out", dir.to_str().expect("utf8 path")],
+            &[("VMSIM_SERVE_QUEUE", bad)],
+        );
+        assert_eq!(out.status.code(), Some(2), "VMSIM_SERVE_QUEUE={bad}");
+        assert!(
+            stderr_of(&out).contains("VMSIM_SERVE_QUEUE"),
+            "diagnostic names the variable (VMSIM_SERVE_QUEUE={bad})"
+        );
+    }
+}
+
+#[test]
+fn malformed_serve_drain_and_deadline_env_are_usage_errors() {
+    let dir = scratch("serve-timeout-env");
+    for (var, bad) in [
+        ("VMSIM_SERVE_DRAIN_MS", "soon"),
+        ("VMSIM_SERVE_DRAIN_MS", "0"),
+        ("VMSIM_SERVE_DRAIN_MS", "-5"),
+        ("VMSIM_SERVE_DEADLINE_MS", "later"),
+        ("VMSIM_SERVE_DEADLINE_MS", "0"),
+    ] {
+        let out = vmsim_env(
+            &["serve", "--out", dir.to_str().expect("utf8 path")],
+            &[(var, bad)],
+        );
+        assert_eq!(out.status.code(), Some(2), "{var}={bad}");
+        assert!(
+            stderr_of(&out).contains(var),
+            "diagnostic names the variable ({var}={bad})"
+        );
+    }
+}
+
+#[test]
+fn submit_with_unparseable_address_exits_2() {
+    let out = vmsim(&["submit", "--addr", "not-an-address", "smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("not-an-address"));
+}
+
+#[test]
+fn submit_to_unreachable_server_exits_1() {
+    // Port 1 on loopback is valid syntax but nothing listens there.
+    let out = vmsim(&["submit", "--addr", "127.0.0.1:1", "smoke"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot connect"));
+}
+
+#[test]
+fn submit_without_a_manifest_exits_2() {
+    let out = vmsim(&["submit", "--addr", "127.0.0.1:7171"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("exactly one manifest"));
+}

@@ -1,0 +1,363 @@
+//! Integration contract of `vmsim serve`: an in-process [`Server`] on an
+//! ephemeral loopback port, driven through the real line protocol over
+//! `TcpStream` — exactly what `vmsim submit` speaks.
+//!
+//! What must hold:
+//!
+//! * a submitted job's artifacts are **byte-identical** to the same
+//!   manifest run through the plain `vmsim run` pipeline (shared writer);
+//! * resubmitting a completed manifest is answered from the
+//!   content-addressed cache — same results path, no re-execution;
+//! * a full admission queue refuses with the typed `overloaded` rejection,
+//!   deterministically (same bytes every time);
+//! * `drain` finishes the in-flight job, answers queued jobs `deferred`,
+//!   exits 0, and the deferred work is recovered by the next server start
+//!   from the admission journal;
+//! * malformed requests and unknown ops get the typed `invalid` answer;
+//! * `health`/`status` expose the full `serve.*` gauge group.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use vmsim_config::{builtin, ExperimentManifest, ServeBind};
+use vmsim_obs::json::{self, Json};
+use vmsim_sim::driver::{run_supervised, Supervisor};
+use vmsim_sim::{artifacts, ServeConfig, Server};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vmsim-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn config(out_dir: &Path, queue_depth: usize) -> ServeConfig {
+    ServeConfig {
+        bind: ServeBind::parse("127.0.0.1:0").expect("loopback parses"),
+        queue_depth,
+        drain_ms: 120_000,
+        deadline_ms: None,
+        out_dir: out_dir.to_path_buf(),
+    }
+}
+
+/// A server running its accept loop on a background thread.
+struct Running {
+    addr: String,
+    handle: std::thread::JoinHandle<u8>,
+}
+
+fn start(cfg: &ServeConfig) -> Running {
+    let server = Server::new(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    Running { addr, handle }
+}
+
+impl Running {
+    /// Sends the drain op and returns the server's exit code.
+    fn drain(self) -> u8 {
+        let resp = request_line(&self.addr, "{\"op\": \"drain\"}");
+        assert!(resp.contains("draining"), "drain ack: {resp}");
+        self.handle.join().expect("server thread")
+    }
+}
+
+/// One request line, one response line (health/status/drain/rejections).
+fn request_line(addr: &str, req: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(req.as_bytes()).expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("response line");
+    line.trim().to_string()
+}
+
+fn submit_request(manifest: &ExperimentManifest, wait: bool) -> String {
+    let mut req = String::from("{\"op\": \"submit\", \"manifest_json\": ");
+    json::write_str(&mut req, &manifest.to_json());
+    req.push_str(if wait {
+        ", \"wait\": true}"
+    } else {
+        ", \"wait\": false}"
+    });
+    req
+}
+
+/// Submits with `wait: true` and reads protocol lines (accepted,
+/// heartbeats) until the final state: `done`, `deferred`, or a rejection.
+fn submit_and_wait(addr: &str, manifest: &ExperimentManifest) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(submit_request(manifest, true).as_bytes())
+        .expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read response") > 0,
+            "server closed the stream before a final state"
+        );
+        let doc = json::parse(line.trim()).expect("response is one JSON object");
+        if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+            return doc;
+        }
+        if matches!(
+            doc.get("state").and_then(|s| s.as_str()),
+            Some("done" | "deferred")
+        ) {
+            return doc;
+        }
+    }
+}
+
+fn state_of(doc: &Json) -> Option<&str> {
+    doc.get("state").and_then(|s| s.as_str())
+}
+
+fn gauge(doc: &Json, key: &str) -> Option<u64> {
+    doc.get("serve")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+}
+
+/// Runs `manifest` through the plain pipeline (the `vmsim run` path) and
+/// returns the reference artifact directory.
+fn reference_run(manifest: &ExperimentManifest, tag: &str) -> PathBuf {
+    let dir = scratch(tag);
+    let run = run_supervised(manifest, &Supervisor::default()).expect("reference run");
+    let set = artifacts::write_all(&run, &dir, 0.0, &mut |_| {});
+    assert_eq!(set.failures, 0, "reference artifacts write cleanly");
+    dir
+}
+
+/// A served job's artifacts are byte-for-byte what `vmsim run` would have
+/// produced, and resubmitting the same manifest hits the cache instead of
+/// re-executing.
+#[test]
+fn served_artifacts_match_a_clean_run_and_resubmission_hits_the_cache() {
+    let out = scratch("identity");
+    let run = start(&config(&out, 8));
+    let m = builtin::smoke();
+
+    let doc = submit_and_wait(&run.addr, &m);
+    assert_eq!(state_of(&doc), Some("done"));
+    assert_eq!(doc.get("exit").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_str())
+        .expect("results path")
+        .to_string();
+    let job_dir = PathBuf::from(&results)
+        .parent()
+        .expect("job dir")
+        .to_path_buf();
+
+    let reference = reference_run(&m, "identity-ref");
+    for name in [
+        "smoke.json",
+        "trace_smoke_0.jsonl",
+        "trace_smoke_1.jsonl",
+        "series_smoke_0.csv",
+        "series_smoke_1.csv",
+    ] {
+        let served = std::fs::read(job_dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let golden = std::fs::read(reference.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(served, golden, "{name} diverged from the vmsim run bytes");
+    }
+
+    // Same manifest again: answered from the cache, same results path.
+    let doc2 = submit_and_wait(&run.addr, &m);
+    assert_eq!(state_of(&doc2), Some("done"));
+    assert_eq!(doc2.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        doc2.get("results").and_then(|r| r.as_str()),
+        Some(results.as_str())
+    );
+    let status = json::parse(&request_line(&run.addr, "{\"op\": \"status\"}")).expect("status");
+    assert_eq!(
+        gauge(&status, "completed"),
+        Some(1),
+        "cache hit must not re-execute"
+    );
+    assert_eq!(gauge(&status, "cache_hits"), Some(1));
+
+    assert_eq!(run.drain(), 0, "clean drain");
+    assert!(!out.join("serve.addr").exists(), "endpoint file removed");
+}
+
+/// A full queue answers with the typed `overloaded` rejection — and with
+/// exactly the same bytes on every attempt (deterministic backpressure).
+#[test]
+fn full_queue_rejects_with_typed_overloaded_response() {
+    let out = scratch("overload");
+    let run = start(&config(&out, 0));
+    let m = builtin::smoke();
+
+    let first = request_line(&run.addr, &submit_request(&m, false));
+    let second = request_line(&run.addr, &submit_request(&m, false));
+    assert_eq!(first, second, "rejection must be deterministic");
+
+    let doc = json::parse(&first).expect("rejection is JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("error").and_then(|e| e.as_str()),
+        Some("overloaded")
+    );
+    assert_eq!(doc.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("limit").and_then(Json::as_u64), Some(0));
+
+    let health = json::parse(&request_line(&run.addr, "{\"op\": \"health\"}")).expect("health");
+    assert_eq!(gauge(&health, "rejected"), Some(2));
+    assert_eq!(gauge(&health, "accepted"), Some(0));
+    assert_eq!(run.drain(), 0);
+}
+
+/// Unknown ops, unparseable requests, and manifests that fail validation
+/// all get the typed `invalid` answer (and count on the `invalid` gauge).
+#[test]
+fn malformed_requests_get_typed_invalid_responses() {
+    let out = scratch("invalid");
+    let run = start(&config(&out, 8));
+
+    let unknown = request_line(&run.addr, "{\"op\": \"frobnicate\"}");
+    assert!(unknown.contains("\"error\": \"invalid\""), "{unknown}");
+    assert!(unknown.contains("unknown op"), "{unknown}");
+
+    let garbage = request_line(&run.addr, "this is not json");
+    assert!(garbage.contains("\"error\": \"invalid\""), "{garbage}");
+
+    let mut bad_manifest = String::from("{\"op\": \"submit\", \"manifest_json\": ");
+    json::write_str(&mut bad_manifest, "{\"not\": \"a manifest\"}");
+    bad_manifest.push('}');
+    let resp = request_line(&run.addr, &bad_manifest);
+    assert!(resp.contains("\"error\": \"invalid\""), "{resp}");
+
+    let health = json::parse(&request_line(&run.addr, "{\"op\": \"health\"}")).expect("health");
+    assert!(gauge(&health, "invalid").is_some_and(|n| n >= 1));
+    assert_eq!(run.drain(), 0);
+}
+
+/// `health` and `status` expose the whole `serve.*` gauge group; `status`
+/// adds the queue view.
+#[test]
+fn health_and_status_expose_the_serve_gauge_group() {
+    let out = scratch("health");
+    let run = start(&config(&out, 8));
+
+    let health = json::parse(&request_line(&run.addr, "{\"op\": \"health\"}")).expect("health");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(state_of(&health), Some("ready"));
+    for key in [
+        "queue_depth",
+        "accepted",
+        "rejected",
+        "recovered",
+        "completed",
+        "cache_hits",
+        "quarantined",
+        "invalid",
+        "draining",
+    ] {
+        assert!(gauge(&health, key).is_some(), "missing serve.{key} gauge");
+    }
+
+    let status = json::parse(&request_line(&run.addr, "{\"op\": \"status\"}")).expect("status");
+    assert!(
+        status.get("in_flight").is_some(),
+        "status reports in_flight"
+    );
+    assert!(
+        status.get("queued").and_then(Json::as_arr).is_some(),
+        "status reports the queue contents"
+    );
+    assert_eq!(run.drain(), 0);
+}
+
+/// Drain with work queued behind the in-flight job: the running job
+/// finishes and persists, the queued job is answered `deferred`, the
+/// server exits 0 — and a fresh server on the same output directory
+/// recovers the deferred job from the admission journal and completes it
+/// with the same bytes `vmsim run` would produce.
+#[test]
+fn drain_defers_queued_work_which_recovers_on_restart() {
+    let out = scratch("drain");
+    let cfg = config(&out, 8);
+    let run = start(&cfg);
+
+    // Job A: slow enough (superlinear in measure_ops) to still be in
+    // flight while we queue, drain, and defer behind it.
+    let mut slow = builtin::smoke();
+    slow.name = "slowjob".to_string();
+    slow.measure_ops = 150_000;
+    let accepted = json::parse(&request_line(&run.addr, &submit_request(&slow, false)))
+        .expect("accepted line");
+    assert_eq!(state_of(&accepted), Some("accepted"));
+
+    // Wait until A is actually in flight, so B can only queue behind it.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = json::parse(&request_line(&run.addr, "{\"op\": \"status\"}")).expect("status");
+        let busy = status
+            .get("in_flight")
+            .is_some_and(|j| j.as_str().is_some());
+        if busy {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job A never started");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Job B waits on its result from a second connection.
+    let fast = builtin::smoke();
+    let addr = run.addr.clone();
+    let fast2 = fast.clone();
+    let waiter = std::thread::spawn(move || submit_and_wait(&addr, &fast2));
+
+    // Make sure B is admitted (journaled + queued) before the drain lands.
+    loop {
+        let status = json::parse(&request_line(&run.addr, "{\"op\": \"status\"}")).expect("status");
+        if gauge(&status, "accepted") == Some(2) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job B never admitted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    assert_eq!(run.drain(), 0, "in-flight work finished inside the budget");
+    let deferred = waiter.join().expect("waiter thread");
+    assert_eq!(state_of(&deferred), Some("deferred"));
+
+    // A completed and persisted before exit; B stayed accepted-without-done
+    // in the admission journal.
+    let jobs = std::fs::read_to_string(out.join("serve.jobs.jsonl")).expect("admission journal");
+    assert!(jobs.contains("\"event\": \"accepted\""));
+    assert!(jobs.contains("slowjob"));
+
+    // Restart on the same output directory: B comes back as recovered work
+    // and completes; attaching to it returns the vmsim run bytes.
+    let restarted = Server::new(&cfg).expect("server restarts");
+    assert_eq!(restarted.recovered(), 1, "the deferred job is recovered");
+    let addr = restarted.addr().to_string();
+    let handle = std::thread::spawn(move || restarted.run());
+    let doc = submit_and_wait(&addr, &fast);
+    assert_eq!(state_of(&doc), Some("done"));
+    assert_eq!(doc.get("exit").and_then(Json::as_u64), Some(0));
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_str())
+        .expect("results path");
+    let served = std::fs::read_to_string(results).expect("recovered results file");
+    let reference = reference_run(&fast, "drain-ref");
+    let golden = std::fs::read_to_string(reference.join("smoke.json")).expect("reference results");
+    assert_eq!(served, golden, "recovered job bytes diverged");
+
+    let resp = request_line(&addr, "{\"op\": \"drain\"}");
+    assert!(resp.contains("draining"), "drain ack: {resp}");
+    assert_eq!(handle.join().expect("server thread"), 0);
+}
