@@ -13,7 +13,11 @@
 //!   `<out>/serve.jobs.jsonl` *before* it runs, and each job's cells are
 //!   journaled exactly like `vmsim run`. A `kill -9`'d server replays
 //!   interrupted jobs on restart — completed cells from the cell journal,
-//!   the rest re-executed — into byte-identical artifacts.
+//!   the rest re-executed — into byte-identical artifacts. A torn journal
+//!   tail is dropped and the file rewritten as its clean prefix before
+//!   new admissions append (mirroring the cell journal's resume); a
+//!   journal from an incompatible server version is rotated aside to
+//!   `serve.jobs.jsonl.bak` with a logged warning.
 //! * **Result cache.** Jobs are content-addressed by the FNV manifest
 //!   hash ([`crate::journal::manifest_hash`]); resubmitting a completed
 //!   manifest answers from the cache without re-execution.
@@ -74,6 +78,11 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Cadence of `running`/`queued` heartbeat lines to a waiting client.
 const WAIT_HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Socket write timeout on accepted connections: a client that stops
+/// reading fills its receive window and then errors our writes out,
+/// instead of blocking a connection thread forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Set by the SIGTERM handler; the accept loop converts it into a drain.
 static SIGTERM_DRAIN: AtomicBool = AtomicBool::new(false);
@@ -414,7 +423,30 @@ impl Server {
         let addr = listener.public_addr();
 
         let jobs_path = config.out_dir.join("serve.jobs.jsonl");
-        let (pending, cache, recovered) = replay_jobs(&jobs_path);
+        let (pending, cache, recovered) = match replay_jobs(&jobs_path) {
+            Replay::Fresh => (Vec::new(), HashMap::new(), 0),
+            Replay::VersionMismatch(found) => {
+                rotate_jobs_log(&jobs_path, found)?;
+                (Vec::new(), HashMap::new(), 0)
+            }
+            Replay::Resumed(replay) => {
+                if replay.dropped {
+                    eprintln!(
+                        "vmsim serve: {}: dropping corrupt admission-journal tail \
+                         (interrupted append)",
+                        jobs_path.display()
+                    );
+                }
+                // Repair before reopening for append: rewrite the clean
+                // parsed prefix (newline-terminated) so the next accepted
+                // line never concatenates onto a torn record — mirroring
+                // Journal::resume's rewrite of the cell journal.
+                std::fs::write(&jobs_path, &replay.kept)
+                    .map_err(|e| format!("cannot repair {}: {e}", jobs_path.display()))?;
+                let recovered = replay.pending.len() as u64;
+                (replay.pending, replay.cache, recovered)
+            }
+        };
         let jobs_log = open_jobs_log(&jobs_path)
             .map_err(|e| format!("cannot open {}: {e}", jobs_path.display()))?;
 
@@ -587,66 +619,112 @@ fn open_jobs_log(path: &Path) -> std::io::Result<File> {
     Ok(file)
 }
 
+/// What [`replay_jobs`] found on disk.
+enum Replay {
+    /// No admission journal (first start on this output directory).
+    Fresh,
+    /// The header declares a version this server does not speak; the
+    /// caller rotates the file aside rather than silently discarding the
+    /// journaled work or appending mixed-version entries.
+    VersionMismatch(Option<u64>),
+    /// A readable journal: pending work, cache seed, and the clean prefix
+    /// to rewrite over the file before appending resumes.
+    Resumed(ReplayedJobs),
+}
+
+struct ReplayedJobs {
+    pending: Vec<(String, ExperimentManifest)>,
+    cache: HashMap<String, String>,
+    /// The clean parsed prefix — canonical header plus every valid line,
+    /// each newline-terminated. Rewritten over the file on startup so an
+    /// append never lands on a torn record.
+    kept: String,
+    /// True when a corrupt tail (torn final write from a `kill -9`) was
+    /// dropped from the replay.
+    dropped: bool,
+}
+
 /// Replays the admission journal: jobs accepted but never finished come
 /// back as pending work (in admission order); finished jobs whose results
 /// file still exists seed the cache. A corrupt tail (torn final write
-/// from a `kill -9`) truncates the replay, exactly like the cell journal.
-fn replay_jobs(
-    path: &Path,
-) -> (
-    Vec<(String, ExperimentManifest)>,
-    HashMap<String, String>,
-    u64,
-) {
-    let mut pending: Vec<(String, ExperimentManifest)> = Vec::new();
-    let mut cache = HashMap::new();
+/// from a `kill -9`) truncates the replay, exactly like the cell journal,
+/// and the returned `kept` prefix lets the caller repair the file.
+fn replay_jobs(path: &Path) -> Replay {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return (pending, cache, 0);
+        return Replay::Fresh;
+    };
+    let mut replay = ReplayedJobs {
+        pending: Vec::new(),
+        cache: HashMap::new(),
+        kept: format!("{{\"serve_jobs\": {JOBS_VERSION}}}\n"),
+        dropped: false,
     };
     for (n, line) in text.lines().enumerate() {
         let Ok(doc) = json::parse(line) else {
+            replay.dropped = true;
             break; // corrupt tail: everything after is untrustworthy
         };
         if n == 0 {
-            if doc.get("serve_jobs").and_then(Json::as_u64) != Some(JOBS_VERSION) {
-                return (Vec::new(), HashMap::new(), 0);
+            let found = doc.get("serve_jobs").and_then(Json::as_u64);
+            if found != Some(JOBS_VERSION) {
+                return Replay::VersionMismatch(found);
             }
             continue;
         }
-        let Some(event) = doc.get("event").and_then(|e| e.as_str()) else {
-            break;
-        };
-        let Some(id) = doc.get("job").and_then(|j| j.as_str()) else {
-            break;
-        };
-        match event {
-            "accepted" => {
-                let Some(manifest) = doc
-                    .get("manifest_json")
-                    .and_then(|m| m.as_str())
-                    .and_then(|text| ExperimentManifest::from_json(text).ok())
-                else {
-                    break;
-                };
-                if !pending.iter().any(|(p, _)| p == id) {
-                    pending.push((id.to_string(), manifest));
+        let valid = doc
+            .get("event")
+            .and_then(|e| e.as_str())
+            .zip(doc.get("job").and_then(|j| j.as_str()))
+            .and_then(|(event, id)| match event {
+                "accepted" => {
+                    let manifest = doc
+                        .get("manifest_json")
+                        .and_then(|m| m.as_str())
+                        .and_then(|text| ExperimentManifest::from_json(text).ok())?;
+                    if !replay.pending.iter().any(|(p, _)| p == id) {
+                        replay.pending.push((id.to_string(), manifest));
+                    }
+                    Some(())
                 }
-            }
-            "done" => {
-                pending.retain(|(p, _)| p != id);
-                if doc.get("exit").and_then(Json::as_u64) == Some(0) {
-                    if let Some(results) = doc.get("results").and_then(|r| r.as_str()) {
-                        if Path::new(results).exists() {
-                            cache.insert(id.to_string(), results.to_string());
+                "done" => {
+                    replay.pending.retain(|(p, _)| p != id);
+                    if doc.get("exit").and_then(Json::as_u64) == Some(0) {
+                        if let Some(results) = doc.get("results").and_then(|r| r.as_str()) {
+                            if Path::new(results).exists() {
+                                replay.cache.insert(id.to_string(), results.to_string());
+                            }
                         }
                     }
+                    Some(())
                 }
-            }
-            _ => break,
+                _ => None,
+            });
+        if valid.is_none() {
+            replay.dropped = true;
+            break;
         }
+        replay.kept.push_str(line);
+        replay.kept.push('\n');
     }
-    let recovered = pending.len() as u64;
-    (pending, cache, recovered)
+    Replay::Resumed(replay)
+}
+
+/// Rotates an admission journal with an unsupported version aside (to
+/// `serve.jobs.jsonl.bak`) with a logged warning, so the old entries are
+/// preserved for inspection and the fresh journal starts with the current
+/// header — never a mixed-version file or silently discarded work.
+fn rotate_jobs_log(path: &Path, found: Option<u64>) -> Result<(), String> {
+    let bak = path.with_extension("jsonl.bak");
+    std::fs::rename(path, &bak)
+        .map_err(|e| format!("cannot rotate {} aside: {e}", path.display()))?;
+    let found = found.map_or_else(|| "?".to_string(), |v| v.to_string());
+    eprintln!(
+        "vmsim serve: {}: admission journal version {found} is not {JOBS_VERSION}; \
+         rotated aside to {} (its jobs will not be recovered)",
+        path.display(),
+        bak.display()
+    );
+    Ok(())
 }
 
 /// The executor: pops admitted jobs one at a time and runs them through
@@ -797,11 +875,13 @@ fn handle_conn(shared: &Arc<Shared>, stream: Stream) {
         Stream::Tcp(s) => {
             let _ = s.set_nonblocking(false);
             let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
         }
         #[cfg(unix)]
         Stream::Unix(s) => {
             let _ = s.set_nonblocking(false);
             let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
         }
     }
     let mut reader = BufReader::new(stream);
@@ -1108,52 +1188,69 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut Stream, doc: &Json) {
     }
 
     // Wait mode: heartbeat status lines until the job finishes (or is
-    // deferred by a drain). A dead client stops the stream, not the job.
-    let mut state = done.state.lock().expect("done lock");
+    // deferred by a drain). Every socket write happens with the state
+    // mutex released — a stalled client can only block its own connection
+    // thread, never the executor's `finish` on the same cell. A dead
+    // client stops the stream, not the job.
+    enum Step {
+        Heartbeat,
+        Final(String),
+    }
     loop {
-        match &*state {
-            JobState::Pending => {
-                let (guard, timeout) = done
-                    .cv
-                    .wait_timeout(state, WAIT_HEARTBEAT)
-                    .expect("done cv");
-                state = guard;
-                if timeout.timed_out() {
-                    let running = shared
-                        .queue
-                        .lock()
-                        .expect("queue lock")
-                        .in_flight
-                        .as_deref()
-                        == Some(id.as_str());
-                    let phase = if running { "running" } else { "queued" };
-                    if writeln!(stream, "{{\"job\": \"{id}\", \"state\": \"{phase}\"}}").is_err()
-                        || stream.flush().is_err()
-                    {
-                        return;
+        let step = {
+            let mut state = done.state.lock().expect("done lock");
+            loop {
+                match &*state {
+                    JobState::Pending => {
+                        let (guard, timeout) = done
+                            .cv
+                            .wait_timeout(state, WAIT_HEARTBEAT)
+                            .expect("done cv");
+                        state = guard;
+                        if timeout.timed_out() {
+                            break Step::Heartbeat;
+                        }
+                    }
+                    JobState::Finished(result) => {
+                        let mut line = format!(
+                            "{{\"job\": \"{id}\", \"state\": \"done\", \"exit\": {}, \"results\": ",
+                            result.exit
+                        );
+                        json::write_str(&mut line, &result.results);
+                        line.push_str(", \"cached\": false");
+                        if let Some(err) = &result.error {
+                            line.push_str(", \"message\": ");
+                            json::write_str(&mut line, err);
+                        }
+                        line.push('}');
+                        break Step::Final(line);
+                    }
+                    JobState::Deferred => {
+                        break Step::Final(format!(
+                            "{{\"job\": \"{id}\", \"state\": \"deferred\", \"error\": \"draining\"}}"
+                        ));
                     }
                 }
             }
-            JobState::Finished(result) => {
-                let mut line = format!(
-                    "{{\"job\": \"{id}\", \"state\": \"done\", \"exit\": {}, \"results\": ",
-                    result.exit
-                );
-                json::write_str(&mut line, &result.results);
-                line.push_str(", \"cached\": false");
-                if let Some(err) = &result.error {
-                    line.push_str(", \"message\": ");
-                    json::write_str(&mut line, err);
+        };
+        match step {
+            Step::Heartbeat => {
+                let running = shared
+                    .queue
+                    .lock()
+                    .expect("queue lock")
+                    .in_flight
+                    .as_deref()
+                    == Some(id.as_str());
+                let phase = if running { "running" } else { "queued" };
+                if writeln!(stream, "{{\"job\": \"{id}\", \"state\": \"{phase}\"}}").is_err()
+                    || stream.flush().is_err()
+                {
+                    return;
                 }
-                line.push('}');
-                let _ = writeln!(stream, "{line}");
-                return;
             }
-            JobState::Deferred => {
-                let _ = writeln!(
-                    stream,
-                    "{{\"job\": \"{id}\", \"state\": \"deferred\", \"error\": \"draining\"}}"
-                );
+            Step::Final(line) => {
+                let _ = writeln!(stream, "{line}");
                 return;
             }
         }

@@ -279,6 +279,139 @@ fn health_and_status_expose_the_serve_gauge_group() {
     assert_eq!(run.drain(), 0);
 }
 
+/// A torn final write in the admission journal (the tail a `kill -9`
+/// leaves mid-append) is repaired on startup: the file is rewritten as
+/// its clean parsed prefix before appending resumes, so the `done` entry
+/// the recovered job appends lands on its own line and the journal stays
+/// replayable across later restarts — nothing journaled after the first
+/// crash is ever lost to a merged junk line.
+#[test]
+fn torn_admission_journal_tail_is_repaired_on_restart() {
+    let out = scratch("tornjournal");
+    let cfg = config(&out, 8);
+    let m = builtin::smoke();
+    let id = format!("{:016x}", vmsim_sim::journal::manifest_hash(&m));
+    let mut accepted = format!("{{\"event\": \"accepted\", \"job\": \"{id}\", \"name\": ");
+    json::write_str(&mut accepted, &m.name);
+    accepted.push_str(", \"manifest_json\": ");
+    json::write_str(&mut accepted, &m.to_json());
+    accepted.push_str("}\n");
+    let clean = format!("{{\"serve_jobs\": 1}}\n{accepted}");
+    std::fs::write(
+        out.join("serve.jobs.jsonl"),
+        format!("{clean}{{\"event\": \"acc"),
+    )
+    .expect("write torn journal");
+
+    let server = Server::new(&cfg).expect("server starts on a torn journal");
+    assert_eq!(server.recovered(), 1, "the accepted job is recovered");
+    // The executor may already be appending the recovered job's `done`
+    // entry, so assert structure rather than exact bytes: the clean
+    // prefix survives, the torn fragment is gone, and every line —
+    // including anything appended since — parses on its own line.
+    let repaired = std::fs::read_to_string(out.join("serve.jobs.jsonl")).expect("journal");
+    assert!(
+        repaired.starts_with(&clean),
+        "clean prefix rewritten: {repaired}"
+    );
+    assert!(repaired.ends_with('\n'), "newline-terminated: {repaired}");
+    for line in repaired.lines() {
+        json::parse(line).unwrap_or_else(|e| panic!("unparseable line after repair: {line} {e:?}"));
+    }
+
+    // Let the recovered job finish (attaching to it by resubmitting),
+    // then restart: the replay must get past the old crash point and see
+    // the job as done — the cache answers instead of re-executing.
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let doc = submit_and_wait(&addr, &m);
+    assert_eq!(state_of(&doc), Some("done"));
+    assert_eq!(doc.get("exit").and_then(Json::as_u64), Some(0));
+    let resp = request_line(&addr, "{\"op\": \"drain\"}");
+    assert!(resp.contains("draining"), "drain ack: {resp}");
+    assert_eq!(handle.join().expect("server thread"), 0);
+
+    let restarted = Server::new(&cfg).expect("restart replays the repaired journal");
+    assert_eq!(restarted.recovered(), 0, "the done entry replayed cleanly");
+    let addr = restarted.addr().to_string();
+    let handle = std::thread::spawn(move || restarted.run());
+    let doc = submit_and_wait(&addr, &m);
+    assert_eq!(state_of(&doc), Some("done"));
+    assert_eq!(
+        doc.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "the post-crash done entry seeds the cache on restart"
+    );
+    let resp = request_line(&addr, "{\"op\": \"drain\"}");
+    assert!(resp.contains("draining"), "drain ack: {resp}");
+    assert_eq!(handle.join().expect("server thread"), 0);
+}
+
+/// An admission journal whose header declares a version this server does
+/// not speak is rotated aside (preserved byte-for-byte) and a fresh
+/// current-version journal is started — never a mixed-version file, and
+/// never silently discarded work.
+#[test]
+fn version_mismatched_admission_journal_is_rotated_aside() {
+    let out = scratch("jobsversion");
+    let cfg = config(&out, 8);
+    let old = "{\"serve_jobs\": 999}\n{\"event\": \"accepted\", \"job\": \"0\"}\n";
+    std::fs::write(out.join("serve.jobs.jsonl"), old).expect("write old journal");
+
+    let server = Server::new(&cfg).expect("server starts past the old journal");
+    assert_eq!(server.recovered(), 0, "old-version jobs are not replayed");
+    let bak = std::fs::read_to_string(out.join("serve.jobs.jsonl.bak")).expect("rotated aside");
+    assert_eq!(bak, old, "old journal preserved byte-for-byte");
+    let fresh = std::fs::read_to_string(out.join("serve.jobs.jsonl")).expect("fresh journal");
+    assert_eq!(
+        fresh, "{\"serve_jobs\": 1}\n",
+        "fresh journal starts with the current header"
+    );
+
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let resp = request_line(&addr, "{\"op\": \"drain\"}");
+    assert!(resp.contains("draining"), "drain ack: {resp}");
+    assert_eq!(handle.join().expect("server thread"), 0);
+}
+
+/// A waiting client that disconnects loses only its stream: the job it
+/// was waiting on still executes to completion (the executor's `finish`
+/// never depends on a client socket write).
+#[test]
+fn a_dead_waiter_does_not_block_job_execution() {
+    let out = scratch("deadclient");
+    let run = start(&config(&out, 8));
+    let m = builtin::smoke();
+
+    {
+        let mut stream = TcpStream::connect(&run.addr).expect("connect");
+        stream
+            .write_all(submit_request(&m, true).as_bytes())
+            .expect("send request");
+        stream.write_all(b"\n").expect("send newline");
+        let mut first = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut first)
+            .expect("accepted line");
+        assert!(first.contains("accepted"), "{first}");
+    } // the waiter's connection drops here, before the job finishes
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let health = json::parse(&request_line(&run.addr, "{\"op\": \"health\"}")).expect("health");
+        if gauge(&health, "completed") == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never completed after its waiter disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(run.drain(), 0);
+}
+
 /// Drain with work queued behind the in-flight job: the running job
 /// finishes and persists, the queued job is answered `deferred`, the
 /// server exits 0 — and a fresh server on the same output directory
